@@ -1,0 +1,34 @@
+// Shared formatting helpers for the figure-reproduction harnesses. Every
+// bench prints a self-describing header, the experimental setup, and one
+// row per data point so output can be diffed against EXPERIMENTS.md.
+#ifndef BENCH_BENCH_UTIL_H_
+#define BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <initializer_list>
+#include <string>
+
+namespace defl::bench {
+
+inline void PrintHeader(const std::string& figure, const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s -- %s\n", figure.c_str(), title.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void PrintNote(const std::string& note) { std::printf("  %s\n", note.c_str()); }
+
+inline void PrintColumns(std::initializer_list<const char*> columns) {
+  for (const char* c : columns) {
+    std::printf("%16s", c);
+  }
+  std::printf("\n");
+}
+
+inline void PrintCell(double value) { std::printf("%16.3f", value); }
+inline void PrintCell(const char* value) { std::printf("%16s", value); }
+inline void EndRow() { std::printf("\n"); }
+
+}  // namespace defl::bench
+
+#endif  // BENCH_BENCH_UTIL_H_

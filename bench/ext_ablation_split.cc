@@ -1,0 +1,76 @@
+// Ablation (DESIGN.md): proportional vs equal deflation split, and the
+// alpha safety margin. A heterogeneous server (one 12-vCPU and three 2-vCPU
+// transient VMs) must give up increasing amounts of resources; we report the
+// worst per-VM deflation fraction -- the straggler-maker for BSP jobs
+// (Equation 1 depends on max(d)) -- under each split policy, and the unplug
+// vs hypervisor mix as alpha grows.
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "src/core/local_controller.h"
+
+namespace defl {
+namespace {
+
+std::unique_ptr<Vm> MakeVm(VmId id, double cpus) {
+  VmSpec spec;
+  spec.name = "vm" + std::to_string(id);
+  spec.size = ResourceVector(cpus, cpus * 4096.0, cpus * 25.0, cpus * 300.0);
+  spec.priority = VmPriority::kLow;
+  return std::make_unique<Vm>(id, spec);
+}
+
+struct SplitResult {
+  double max_fraction = 0.0;
+  double mean_fraction = 0.0;
+};
+
+SplitResult RunSplit(DeflationSplit split, double reclaim_fraction) {
+  Server server(1, ResourceVector(18.0, 18.0 * 4096.0, 450.0, 5400.0));
+  server.AddVm(MakeVm(1, 12.0));
+  server.AddVm(MakeVm(2, 2.0));
+  server.AddVm(MakeVm(3, 2.0));
+  server.AddVm(MakeVm(4, 2.0));
+  for (const auto& vm : server.vms()) {
+    vm->guest_os().set_app_used_mb(vm->size().memory_mb() * 0.5);
+  }
+  LocalControllerConfig config;
+  config.mode = DeflationMode::kVmLevel;
+  config.split = split;
+  LocalController controller(&server, config);
+  controller.MakeRoom(server.capacity() * reclaim_fraction);
+
+  SplitResult result;
+  double sum = 0.0;
+  for (const auto& vm : server.vms()) {
+    const double d = vm->MaxDeflationFraction();
+    result.max_fraction = std::max(result.max_fraction, d);
+    sum += d;
+  }
+  result.mean_fraction = sum / static_cast<double>(server.vms().size());
+  return result;
+}
+
+}  // namespace
+}  // namespace defl
+
+int main() {
+  using namespace defl;
+  bench::PrintHeader("Ablation: deflation split",
+                     "proportional vs equal split on a heterogeneous server");
+  bench::PrintNote("One 12-vCPU + three 2-vCPU transient VMs; Equation 1's straggler");
+  bench::PrintNote("term grows with max(d), so a lower max fraction is better.");
+  bench::PrintColumns({"reclaim%", "prop-max(d)", "prop-mean(d)", "equal-max(d)",
+                       "equal-mean(d)"});
+  for (const double f : {0.1, 0.2, 0.3, 0.4, 0.5, 0.6}) {
+    const SplitResult prop = RunSplit(DeflationSplit::kProportional, f);
+    const SplitResult equal = RunSplit(DeflationSplit::kEqual, f);
+    bench::PrintCell(f * 100.0);
+    bench::PrintCell(prop.max_fraction);
+    bench::PrintCell(prop.mean_fraction);
+    bench::PrintCell(equal.max_fraction);
+    bench::PrintCell(equal.mean_fraction);
+    bench::EndRow();
+  }
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Extension (paper §8 "Pricing" / §6.3 "revenue"): economics of deflatable
+// vs preemptible transient capacity at 1.6x offered load. Runs the trace-
+// driven cluster under both management strategies and prices the delivered
+// low-priority capacity under the flat-discount and resource-as-a-service
+// models, including what customers lose to preemptions.
+#include "bench/bench_util.h"
+#include "src/cluster/cluster_sim.h"
+
+namespace defl {
+namespace {
+
+ClusterSimResult RunStrategy(ReclamationStrategy strategy) {
+  ClusterSimConfig config;
+  config.num_servers = 40;
+  config.server_capacity = ResourceVector(32.0, 256.0 * 1024.0, 1000.0, 10000.0);
+  config.trace.duration_s = 12.0 * 3600.0;
+  config.trace.max_lifetime_s = 8.0 * 3600.0;
+  config.trace.seed = 31337;
+  config.trace =
+      WithTargetLoad(config.trace, 1.6, config.num_servers, config.server_capacity);
+  config.cluster.strategy = strategy;
+  config.reinflate_period_s = 600.0;
+  return RunClusterSim(config);
+}
+
+void Row(const char* label, const RevenueReport& r) {
+  bench::PrintCell(label);
+  bench::PrintCell(r.provider_revenue);
+  bench::PrintCell(r.customer_cost);
+  bench::PrintCell(r.customer_loss);
+  bench::PrintCell(r.effective_cost_per_cpu_hour * 1000.0);
+  bench::EndRow();
+}
+
+}  // namespace
+}  // namespace defl
+
+int main() {
+  using namespace defl;
+  bench::PrintHeader("Extension: pricing",
+                     "economics of deflatable vs preemptible capacity (Section 8)");
+  bench::PrintNote("40 servers, 12 h, 1.6x offered load; on-demand $0.05/vCPU-h;");
+  bench::PrintNote("deflatable discount 65%, preemptible (spot) discount 75%.");
+
+  const PricingModel model;
+  const ClusterSimResult deflation = RunStrategy(ReclamationStrategy::kDeflation);
+  const ClusterSimResult preemption = RunStrategy(ReclamationStrategy::kPreemptionOnly);
+
+  std::printf("\n  deflation cluster: %.0f effective low-pri CPU-h delivered, "
+              "%ld preemptions\n",
+              deflation.usage.low_pri_effective_cpu_hours,
+              deflation.usage.preemptions);
+  std::printf("  preemption cluster: %.0f effective low-pri CPU-h delivered, "
+              "%ld preemptions\n\n",
+              preemption.usage.low_pri_effective_cpu_hours,
+              preemption.usage.preemptions);
+
+  bench::PrintColumns({"model", "revenue$", "cust-cost$", "cust-loss$",
+                       "eff-m$/cpu-h"});
+  Row("defl-flat", PriceDeflatableFlat(deflation.usage, model));
+  Row("defl-raas", PriceDeflatableRaaS(deflation.usage, model));
+  Row("spot", PricePreemptible(preemption.usage, model));
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Extension (Section 3.2.1 / footnote 2): deflation-aware load balancing
+// for web clusters. Two of four backends are deflated by increasing amounts;
+// the capacity-weighted balancer sheds traffic from deflated servers, the
+// capacity-oblivious baseline keeps overloading them.
+#include "bench/bench_util.h"
+#include "src/apps/web_cluster.h"
+
+namespace defl {
+namespace {
+
+struct Point {
+  double served = 0.0;
+  double dropped = 0.0;
+  double rt_us = 0.0;
+};
+
+Point Run(LoadBalancingPolicy policy, double deflation) {
+  const ResourceVector vm_size(4.0, 16384.0, 100.0, 1000.0);
+  WebCluster cluster(4, vm_size);
+  const double offered = 0.6 * cluster.TotalCapacityRps();
+  cluster.DeflateBackend(0, vm_size * deflation);
+  cluster.DeflateBackend(1, vm_size * deflation);
+  const WebClusterMetrics m = cluster.Evaluate(offered, policy);
+  return Point{m.served_rps, m.dropped_rps, m.mean_response_us};
+}
+
+}  // namespace
+}  // namespace defl
+
+int main() {
+  using namespace defl;
+  bench::PrintHeader("Extension: web cluster",
+                     "deflation-aware vs oblivious load balancing");
+  bench::PrintNote("4 backends at 60% offered load; backends 0-1 deflated.");
+  bench::PrintColumns({"deflation%", "aware-rps", "aware-drop", "aware-rt",
+                       "blind-rps", "blind-drop", "blind-rt"});
+  for (const double f : {0.0, 0.2, 0.4, 0.5, 0.6, 0.7}) {
+    const Point aware = Run(LoadBalancingPolicy::kDeflationAware, f);
+    const Point blind = Run(LoadBalancingPolicy::kEvenSplit, f);
+    bench::PrintCell(f * 100.0);
+    bench::PrintCell(aware.served);
+    bench::PrintCell(aware.dropped);
+    bench::PrintCell(aware.rt_us);
+    bench::PrintCell(blind.served);
+    bench::PrintCell(blind.dropped);
+    bench::PrintCell(blind.rt_us);
+    bench::EndRow();
+  }
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Figure 5d: SpecJBB (fixed injection rate) mean response time under
+// combined CPU+memory deflation, unmodified JVM (fixed max heap, swaps) vs
+// the deflation-aware JVM (shrinks max heap via GC to fit resident memory).
+#include "bench/bench_util.h"
+#include "src/apps/deflation_harness.h"
+#include "src/apps/jvm.h"
+
+namespace defl {
+namespace {
+
+double Point(bool app_deflation, double f) {
+  JvmModel model{JvmConfig{}};
+  const HarnessResult r = DeflateAppVm(
+      model, app_deflation ? DeflationMode::kCascade : DeflationMode::kVmLevel,
+      ResourceVector(f, f, 0.0, 0.0), StandardVmSpec(), app_deflation);
+  return model.ResponseTimeUs(r.alloc);
+}
+
+}  // namespace
+}  // namespace defl
+
+int main() {
+  using namespace defl;
+  bench::PrintHeader("Figure 5d", "SpecJBB response time: unmodified vs app deflation");
+  bench::PrintNote("Fixed injection rate; CPU and memory deflated by the same fraction.");
+  bench::PrintNote("Response times in microseconds (10000 = saturated/SLO blown).");
+  bench::PrintColumns({"deflation%", "unmodified", "app-deflation"});
+  for (const double f : {0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6}) {
+    bench::PrintCell(f * 100.0);
+    bench::PrintCell(Point(false, f));
+    bench::PrintCell(Point(true, f));
+    bench::EndRow();
+  }
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Figure 7a: ALS deflated by 50% at different points of its execution:
+// self-deflation vs VM-level. Early on, recomputation is cheap and
+// self-deflation competes; later, VM-level wins (the cross-over the paper
+// reports around 30% progress). Both overheads trend down with progress
+// since less of the job runs on reduced resources.
+#include "bench/bench_util.h"
+#include "src/spark/experiment.h"
+
+namespace defl {
+namespace {
+
+double Point(SparkReclamationApproach approach, double progress) {
+  const SparkWorkload wl = MakeAlsWorkload(0.5);
+  SparkExperimentConfig config;
+  config.approach = approach;
+  config.deflation_fraction = 0.5;
+  config.deflate_at_progress = progress;
+  const double baseline = SparkBaselineMakespan(wl, config);
+  const SparkExperimentResult result = RunSparkExperiment(wl, config);
+  return result.completed ? result.makespan_s / baseline : -1.0;
+}
+
+}  // namespace
+}  // namespace defl
+
+int main() {
+  using namespace defl;
+  bench::PrintHeader("Figure 7a", "ALS: deflation timing vs mechanism");
+  bench::PrintNote("50% deflation applied when the job reaches the given progress.");
+  bench::PrintColumns({"progress%", "self", "vm-level"});
+  for (const double p : {0.2, 0.3, 0.4, 0.5, 0.6, 0.7}) {
+    bench::PrintCell(p * 100.0);
+    bench::PrintCell(Point(SparkReclamationApproach::kSelfDeflation, p));
+    bench::PrintCell(Point(SparkReclamationApproach::kVmLevel, p));
+    bench::EndRow();
+  }
+  return 0;
+}

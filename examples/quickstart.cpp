@@ -1,0 +1,57 @@
+// Quickstart: deflate a single VM through the cascade.
+//
+// Creates a 4 vCPU / 16 GB low-priority VM running a deflation-aware
+// memcached, asks the cascade controller to reclaim half of everything, and
+// shows how the request flows through the three layers -- application
+// (cache resize + LRU eviction), guest OS (hot-unplug), hypervisor
+// (overcommitment) -- then returns the resources and reinflates.
+#include <cstdio>
+
+#include "src/apps/deflation_harness.h"
+#include "src/apps/memcached.h"
+#include "src/core/cascade.h"
+
+using namespace defl;
+
+namespace {
+
+void PrintVm(const char* label, const Vm& vm, const MemcachedModel& app) {
+  const EffectiveAllocation a = vm.allocation();
+  std::printf("%-22s guest sees %4.1f vCPU / %6.0f MB; backed %4.1f vCPU / %6.0f MB; "
+              "cache %5.0f MB; throughput %6.1f kGETS/s\n",
+              label, a.visible_cpus, a.guest_memory_mb, a.cpu_capacity,
+              a.resident_memory_mb, app.cache_limit_mb(), app.ThroughputKGets(a));
+}
+
+}  // namespace
+
+int main() {
+  // A deflatable (low-priority, transient) VM.
+  Vm vm(1, StandardVmSpec());
+  vm.set_state(VmState::kRunning);
+
+  // A deflation-aware application: its agent resizes the cache on request.
+  MemcachedModel app{MemcachedConfig{}};
+  vm.guest_os().set_app_used_mb(app.MemoryFootprintMb());
+
+  CascadeController cascade(DeflationMode::kCascade);
+  PrintVm("before deflation:", vm, app);
+
+  // Resource pressure: the cluster manager wants half of everything back.
+  const ResourceVector target = vm.size() * 0.5;
+  const DeflationOutcome outcome = cascade.Deflate(vm, app.agent(), target);
+
+  std::printf("\ncascade deflation of %s:\n", target.ToString().c_str());
+  std::printf("  application freed   %s\n", outcome.app_freed.ToString().c_str());
+  std::printf("  guest OS unplugged  %s\n", outcome.unplugged.ToString().c_str());
+  std::printf("  hypervisor reclaimed%s\n", outcome.hv_reclaimed.ToString().c_str());
+  std::printf("  target met: %s, latency %.1f s\n\n",
+              outcome.TargetMet() ? "yes" : "no", outcome.latency_seconds);
+  PrintVm("while deflated:", vm, app);
+
+  // Pressure is gone: reverse cascade returns everything.
+  cascade.Reinflate(vm, app.agent(), vm.size() - vm.effective());
+  std::printf("\n");
+  PrintVm("after reinflation:", vm, app);
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Application performance models. Each model maps an EffectiveAllocation
+// (what the VM actually has, per mechanism) to a steady-state performance
+// number, and optionally exposes a DeflationAgent implementing the
+// application-level policies of Section 4 / Table 1. The models are built
+// from first principles (queueing, Amdahl, LRU/Zipf locality, GC headroom)
+// and composed with the mechanism cost primitives in src/hypervisor.
+#ifndef SRC_APPS_APP_MODEL_H_
+#define SRC_APPS_APP_MODEL_H_
+
+#include <string>
+
+#include "src/core/deflation_agent.h"
+#include "src/hypervisor/vm.h"
+
+namespace defl {
+
+class AppModel {
+ public:
+  virtual ~AppModel() = default;
+
+  // Steady-state performance under `alloc`, normalized to the performance at
+  // the VM's full nominal allocation (1.0 = undegraded, 0.0 = not running,
+  // e.g. OOM-killed). May exceed 1.0 marginally if given extra resources.
+  virtual double NormalizedPerformance(const EffectiveAllocation& alloc) const = 0;
+
+  // Current anonymous-memory footprint in MB, for guest-OS accounting.
+  virtual double MemoryFootprintMb() const = 0;
+
+  // The app-level deflation agent, or nullptr for unmodified applications.
+  virtual DeflationAgent* agent() { return nullptr; }
+
+  virtual const std::string& name() const = 0;
+};
+
+}  // namespace defl
+
+#endif  // SRC_APPS_APP_MODEL_H_

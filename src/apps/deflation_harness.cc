@@ -1,0 +1,33 @@
+#include "src/apps/deflation_harness.h"
+
+namespace defl {
+
+VmSpec StandardVmSpec() {
+  VmSpec spec;
+  spec.name = "standard-vm";
+  spec.size = ResourceVector(4.0, 16.0 * 1024.0, 200.0, 1250.0);
+  spec.priority = VmPriority::kLow;
+  return spec;
+}
+
+HarnessResult DeflateAppVm(AppModel& app, DeflationMode mode,
+                           const ResourceVector& fractions, const VmSpec& spec,
+                           bool use_agent) {
+  Vm vm(0, spec);
+  vm.guest_os().set_app_used_mb(app.MemoryFootprintMb());
+
+  CascadeController controller(mode);
+  DeflationAgent* agent = use_agent ? app.agent() : nullptr;
+  const ResourceVector target = spec.size.Scale(fractions);
+
+  HarnessResult result;
+  result.outcome = controller.Deflate(vm, agent, target);
+  // Keep guest accounting in sync even when the agent was not consulted by
+  // the cascade (e.g. VM-level mode with an elastic app left unmodified).
+  vm.guest_os().set_app_used_mb(app.MemoryFootprintMb());
+  result.alloc = vm.allocation();
+  result.oom = vm.guest_os().UnderOomPressure();
+  return result;
+}
+
+}  // namespace defl

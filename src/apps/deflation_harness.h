@@ -1,0 +1,37 @@
+// Single-VM deflation harness: the experimental setup behind Figures 1 and 5
+// -- one application in one VM, deflated by a given fraction through a chosen
+// reclamation mode, then measured at steady state. Shared by the tests, the
+// figure benches and the examples.
+#ifndef SRC_APPS_DEFLATION_HARNESS_H_
+#define SRC_APPS_DEFLATION_HARNESS_H_
+
+#include "src/apps/app_model.h"
+#include "src/core/cascade.h"
+#include "src/hypervisor/vm.h"
+
+namespace defl {
+
+// The paper's standard VM: 4 vCPUs, 16 GB, with nominal I/O bandwidth.
+VmSpec StandardVmSpec();
+
+struct HarnessResult {
+  EffectiveAllocation alloc;
+  DeflationOutcome outcome;
+  // True if the guest could no longer hold the application (forced unplug).
+  bool oom = false;
+};
+
+// Creates a fresh VM of `spec`, seeds guest accounting from the app's
+// footprint, reclaims `spec * fractions` through `mode`, and returns the
+// resulting allocation. When `use_agent` is true and the app has an agent,
+// the cascade consults it (only meaningful in kCascade mode). The app's
+// internal state (cache size, heap, pool) is mutated by its agent; pass a
+// fresh model per data point when sweeping.
+HarnessResult DeflateAppVm(AppModel& app, DeflationMode mode,
+                           const ResourceVector& fractions,
+                           const VmSpec& spec = StandardVmSpec(),
+                           bool use_agent = true);
+
+}  // namespace defl
+
+#endif  // SRC_APPS_DEFLATION_HARNESS_H_

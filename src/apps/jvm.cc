@@ -1,0 +1,109 @@
+#include "src/apps/jvm.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace defl {
+
+ResourceVector JvmAgent::SelfDeflate(const ResourceVector& target) {
+  const double want_mb = target.memory_mb();
+  if (want_mb <= 0.0) {
+    return ResourceVector::Zero();
+  }
+  const double before = model_->MemoryFootprintMb();
+  model_->ResizeHeap(model_->heap_mb() - want_mb);
+  const double freed = before - model_->MemoryFootprintMb();
+  return ResourceVector(0.0, std::max(freed, 0.0));
+}
+
+void JvmAgent::OnReinflate(const ResourceVector& added) {
+  if (added.memory_mb() > 0.0) {
+    model_->ResizeHeap(model_->heap_mb() + added.memory_mb());
+  }
+}
+
+double JvmAgent::MemoryFootprintMb() const { return model_->MemoryFootprintMb(); }
+
+JvmModel::JvmModel(const JvmConfig& config)
+    : config_(config), heap_mb_(config.configured_heap_mb), agent_(this) {}
+
+double JvmModel::min_heap_mb() const {
+  return config_.live_data_mb * config_.min_headroom_factor;
+}
+
+void JvmModel::ResizeHeap(double new_heap_mb) {
+  heap_mb_ = std::clamp(new_heap_mb, min_heap_mb(), config_.configured_heap_mb);
+}
+
+double JvmModel::MemoryFootprintMb() const { return heap_mb_ + config_.jvm_overhead_mb; }
+
+double JvmModel::GcFraction() const {
+  const double headroom = heap_mb_ - config_.live_data_mb;
+  if (headroom <= 0.0) {
+    return 0.95;  // thrashing collector
+  }
+  return std::min(0.95, config_.gc_coefficient * config_.live_data_mb / headroom);
+}
+
+double JvmModel::SwapStallUs(const EffectiveAllocation& alloc) const {
+  if (!alloc.memory_overcommitted()) {
+    return 0.0;
+  }
+  const double waste_mb = BlindPagingWasteMb(
+      alloc.guest_memory_mb, alloc.resident_memory_mb, config_.hv_paging_efficiency);
+  const double resident_heap_mb = std::max(
+      0.0, alloc.resident_memory_mb - config_.jvm_overhead_mb - waste_mb);
+  const double p_swap =
+      LruSwapHitFraction(heap_mb_, resident_heap_mb, config_.heap_zipf_s);
+  return config_.pages_touched_per_request * p_swap * config_.swap_in_us;
+}
+
+double JvmModel::ResponseTimeUs(const EffectiveAllocation& alloc) const {
+  // OOM: guest memory no longer holds the JVM (forced unplug under the
+  // OS-only baseline); report the saturation cap.
+  if (alloc.guest_memory_mb < MemoryFootprintMb()) {
+    return config_.max_response_time_us;
+  }
+  // Service time: CPU cost inflated by the GC fraction, plus swap stalls.
+  const double gc = GcFraction();
+  const double service_us = config_.base_service_us / (1.0 - gc) + SwapStallUs(alloc);
+  // Effective parallel capacity of the worker pool.
+  const double capacity =
+      CappedParallelRate(alloc.visible_cpus, alloc.visible_cpus, alloc.cpu_capacity,
+                         config_.costs);
+  if (capacity <= 0.0) {
+    return config_.max_response_time_us;
+  }
+  const double utilization =
+      config_.injection_rate_per_s * service_us * 1e-6 / capacity;
+  if (utilization >= 1.0) {
+    return config_.max_response_time_us;  // saturated under fixed IR
+  }
+  return std::min(config_.max_response_time_us, service_us / (1.0 - utilization));
+}
+
+double JvmModel::MaxThroughputPerS(const EffectiveAllocation& alloc) const {
+  if (alloc.guest_memory_mb < MemoryFootprintMb()) {
+    return 0.0;
+  }
+  const double service_us =
+      config_.base_service_us / (1.0 - GcFraction()) + SwapStallUs(alloc);
+  const double capacity =
+      CappedParallelRate(alloc.visible_cpus, alloc.visible_cpus, alloc.cpu_capacity,
+                         config_.costs);
+  return capacity * 1e6 / service_us;
+}
+
+void JvmModel::SetBaseline(const EffectiveAllocation& alloc) {
+  baseline_rt_us_ = ResponseTimeUs(alloc);
+}
+
+double JvmModel::NormalizedPerformance(const EffectiveAllocation& alloc) const {
+  if (baseline_rt_us_ <= 0.0) {
+    return 0.0;
+  }
+  // Performance is inverse response time, normalized to the baseline.
+  return baseline_rt_us_ / ResponseTimeUs(alloc);
+}
+
+}  // namespace defl

@@ -1,0 +1,91 @@
+// JVM application model (SpecJBB-style, fixed injection rate). Response
+// time is driven by three effects:
+//   * CPU: an M/M/1-with-capacity queueing term -- utilization rises as CPU
+//     capacity is deflated;
+//   * GC: shrinking the heap raises garbage-collection overhead roughly as
+//     g0 * live / (heap - live) (the classic GC headroom law);
+//   * swap: an unmodified JVM keeps its configured max heap, so memory
+//     deflation below the footprint stalls requests on page faults.
+// The application deflation policy (Section 4, "JVM") shrinks the max heap
+// via forced GC to fit resident memory: more GC, but never swap.
+#ifndef SRC_APPS_JVM_H_
+#define SRC_APPS_JVM_H_
+
+#include <string>
+
+#include "src/apps/app_model.h"
+#include "src/hypervisor/overcommit.h"
+
+namespace defl {
+
+struct JvmConfig {
+  double live_data_mb = 4096.0;       // live heap data
+  double configured_heap_mb = 10240.0;
+  double jvm_overhead_mb = 1536.0;    // metaspace, code cache, stacks
+  double min_headroom_factor = 1.2;   // heap >= live * factor
+  double gc_coefficient = 0.08;       // g0 in gc_frac = g0 * live/(heap-live)
+  double base_service_us = 400.0;     // request CPU cost at zero GC
+  double injection_rate_per_s = 1000.0;  // fixed IR (SpecJBB "fixed IR" mode)
+  double pages_touched_per_request = 25.0;
+  double swap_in_us = 800.0;
+  double heap_zipf_s = 0.95;          // page-access locality within the heap
+  double hv_paging_efficiency = 0.8;
+  double max_response_time_us = 10000.0;  // saturation cap ("SLO blown")
+  OvercommitCosts costs;
+};
+
+class JvmModel;
+
+// Application policy: on memory deflation, trigger GC and reduce max heap to
+// fit the available memory (about 30 lines of JMX in the paper).
+class JvmAgent : public DeflationAgent {
+ public:
+  explicit JvmAgent(JvmModel* model) : model_(model) {}
+
+  ResourceVector SelfDeflate(const ResourceVector& target) override;
+  void OnReinflate(const ResourceVector& added) override;
+  double MemoryFootprintMb() const override;
+
+ private:
+  JvmModel* model_;
+};
+
+class JvmModel : public AppModel {
+ public:
+  explicit JvmModel(const JvmConfig& config);
+
+  double NormalizedPerformance(const EffectiveAllocation& alloc) const override;
+  double MemoryFootprintMb() const override;
+  DeflationAgent* agent() override { return &agent_; }
+  const std::string& name() const override { return name_; }
+
+  // Mean response time in microseconds: the Figure 5d metric.
+  double ResponseTimeUs(const EffectiveAllocation& alloc) const;
+  // Maximum sustainable injection rate (requests/s at saturation): the
+  // max-jOPS-style capacity metric used for Figure 1.
+  double MaxThroughputPerS(const EffectiveAllocation& alloc) const;
+  // GC time fraction at the current heap size.
+  double GcFraction() const;
+
+  double heap_mb() const { return heap_mb_; }
+  double min_heap_mb() const;
+  // Shrinks/grows the max heap (triggering GC); clamped to
+  // [min_heap, configured_heap].
+  void ResizeHeap(double new_heap_mb);
+
+  const JvmConfig& config() const { return config_; }
+  void SetBaseline(const EffectiveAllocation& alloc);
+
+ private:
+  double SwapStallUs(const EffectiveAllocation& alloc) const;
+
+  JvmConfig config_;
+  std::string name_ = "jvm-specjbb";
+  double heap_mb_;
+  JvmAgent agent_;
+  double baseline_rt_us_ = 0.0;
+};
+
+}  // namespace defl
+
+#endif  // SRC_APPS_JVM_H_

@@ -1,0 +1,44 @@
+#include "src/apps/kernel_compile.h"
+
+#include <algorithm>
+
+namespace defl {
+
+KernelCompileModel::KernelCompileModel(const KernelCompileConfig& config)
+    : config_(config) {}
+
+double KernelCompileModel::Throughput(const EffectiveAllocation& alloc) const {
+  // OOM under forced memory unplug.
+  if (alloc.guest_memory_mb < config_.footprint_mb) {
+    return 0.0;
+  }
+  const double slowdown =
+      AmdahlSlowdown(config_.parallel_fraction, alloc.visible_cpus, alloc.cpu_capacity,
+                     config_.baseline_cpus, config_.costs);
+  if (slowdown <= 0.0) {
+    return 0.0;
+  }
+  // Memory deflation below the working set stalls the compiler on swap;
+  // compilation has decent locality, so use the shared LRU model with a
+  // moderate skew.
+  double swap_factor = 1.0;
+  if (alloc.memory_overcommitted() && alloc.resident_memory_mb < config_.footprint_mb) {
+    const double p_swap =
+        LruSwapHitFraction(config_.footprint_mb, alloc.resident_memory_mb, 0.8);
+    swap_factor = 1.0 + 12.0 * p_swap;  // calibrated mild thrash penalty
+  }
+  // Losing page cache to hot-unplug sends the build's re-reads to disk.
+  double cache_factor = 1.0;
+  if (config_.page_cache_working_set_mb > 0.0) {
+    const double cache_hit =
+        std::min(1.0, alloc.page_cache_mb / config_.page_cache_working_set_mb);
+    cache_factor = 1.0 + config_.cold_cache_penalty * (1.0 - cache_hit);
+  }
+  return 1.0 / (slowdown * swap_factor * cache_factor);
+}
+
+double KernelCompileModel::NormalizedPerformance(const EffectiveAllocation& alloc) const {
+  return Throughput(alloc);
+}
+
+}  // namespace defl

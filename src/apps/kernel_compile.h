@@ -1,0 +1,59 @@
+// Kernel-compile model: a parallel build (make -j) with an Amdahl-style
+// profile -- dependency chains, link steps and single-threaded phases form
+// the serial fraction. CPU is the binding resource; the memory footprint is
+// modest, so this workload isolates the CPU reclamation mechanisms compared
+// in Figure 5b (vCPU hot-unplug vs hypervisor shares/throttling).
+//
+// An unmodified build has no deflation agent: make -jN keeps N workers, so
+// under hypervisor CPU deflation the extra runnable threads suffer LHP. A
+// deflation-aware build (the optional agent here) reduces -j instead, which
+// is equivalent to hot-unplug from the performance model's viewpoint.
+#ifndef SRC_APPS_KERNEL_COMPILE_H_
+#define SRC_APPS_KERNEL_COMPILE_H_
+
+#include <string>
+
+#include "src/apps/app_model.h"
+#include "src/hypervisor/overcommit.h"
+
+namespace defl {
+
+struct KernelCompileConfig {
+  // Fraction of build work that parallelizes across cores. Calibrated so a
+  // 4-vCPU build deflated 75% loses ~30% performance with combined
+  // hypervisor+OS deflation, matching Section 6.1.
+  double parallel_fraction = 0.5;
+  double footprint_mb = 4096.0;  // compiler working set
+  double baseline_cpus = 4.0;
+  // Source tree + artifacts the build re-reads from the page cache; when
+  // unplug drops cache pages, those reads go to disk. 0 disables the effect
+  // (cold-cache baseline).
+  double page_cache_working_set_mb = 0.0;
+  // Build-time inflation when the entire working set must be re-read.
+  double cold_cache_penalty = 0.25;
+  OvercommitCosts costs;
+};
+
+class KernelCompileModel : public AppModel {
+ public:
+  explicit KernelCompileModel(const KernelCompileConfig& config);
+
+  double NormalizedPerformance(const EffectiveAllocation& alloc) const override;
+  double MemoryFootprintMb() const override { return config_.footprint_mb; }
+  DeflationAgent* agent() override { return nullptr; }  // unmodified app
+  const std::string& name() const override { return name_; }
+
+  // Build-throughput multiplier relative to the undeflated baseline
+  // (inverse of makespan ratio).
+  double Throughput(const EffectiveAllocation& alloc) const;
+
+  const KernelCompileConfig& config() const { return config_; }
+
+ private:
+  KernelCompileConfig config_;
+  std::string name_ = "kernel-compile";
+};
+
+}  // namespace defl
+
+#endif  // SRC_APPS_KERNEL_COMPILE_H_

@@ -1,0 +1,115 @@
+// A real LRU cache (hash map + intrusive recency list), used as the storage
+// engine of the memcached model and to validate the analytic Zipf/LRU hit
+// rate curves in tests. Capacity is counted in user-defined cost units
+// (e.g. item bytes) so the cache can be resized on the fly -- the paper's
+// memcached deflation mechanism is exactly a dynamic cache-size reduction
+// with LRU eviction (Section 4, Table 1).
+#ifndef SRC_APPS_LRU_CACHE_H_
+#define SRC_APPS_LRU_CACHE_H_
+
+#include <cassert>
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+
+namespace defl {
+
+template <typename Key, typename Value>
+class LruCache {
+ public:
+  explicit LruCache(int64_t capacity) : capacity_(capacity) { assert(capacity >= 0); }
+
+  // Inserts or updates; evicts least-recently-used entries as needed.
+  // `cost` is the entry's size in capacity units (default 1).
+  void Put(const Key& key, Value value, int64_t cost = 1) {
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+      size_ -= it->second->cost;
+      order_.erase(it->second);
+      map_.erase(it);
+    }
+    if (cost > capacity_) {
+      return;  // cannot fit even alone; drop (memcached semantics)
+    }
+    order_.push_front(Entry{key, std::move(value), cost});
+    map_[key] = order_.begin();
+    size_ += cost;
+    EvictToCapacity();
+  }
+
+  // Returns the value and refreshes recency, or nullopt on miss.
+  std::optional<Value> Get(const Key& key) {
+    auto it = map_.find(key);
+    if (it == map_.end()) {
+      ++misses_;
+      return std::nullopt;
+    }
+    ++hits_;
+    order_.splice(order_.begin(), order_, it->second);
+    return it->second->value;
+  }
+
+  bool Contains(const Key& key) const { return map_.contains(key); }
+
+  bool Erase(const Key& key) {
+    auto it = map_.find(key);
+    if (it == map_.end()) {
+      return false;
+    }
+    size_ -= it->second->cost;
+    order_.erase(it->second);
+    map_.erase(it);
+    return true;
+  }
+
+  // Shrinks or grows the capacity; shrinking evicts LRU entries immediately
+  // (this is the deflation mechanism).
+  void Resize(int64_t capacity) {
+    assert(capacity >= 0);
+    capacity_ = capacity;
+    EvictToCapacity();
+  }
+
+  int64_t capacity() const { return capacity_; }
+  int64_t size() const { return size_; }
+  int64_t entry_count() const { return static_cast<int64_t>(map_.size()); }
+  int64_t hits() const { return hits_; }
+  int64_t misses() const { return misses_; }
+  double HitRate() const {
+    const int64_t total = hits_ + misses_;
+    return total > 0 ? static_cast<double>(hits_) / static_cast<double>(total) : 0.0;
+  }
+  void ResetCounters() {
+    hits_ = 0;
+    misses_ = 0;
+  }
+
+ private:
+  struct Entry {
+    Key key;
+    Value value;
+    int64_t cost;
+  };
+
+  void EvictToCapacity() {
+    while (size_ > capacity_ && !order_.empty()) {
+      const Entry& victim = order_.back();
+      size_ -= victim.cost;
+      map_.erase(victim.key);
+      order_.pop_back();
+    }
+  }
+
+  int64_t capacity_;
+  int64_t size_ = 0;
+  int64_t hits_ = 0;
+  int64_t misses_ = 0;
+  std::list<Entry> order_;
+  std::unordered_map<Key, typename std::list<Entry>::iterator> map_;
+};
+
+}  // namespace defl
+
+#endif  // SRC_APPS_LRU_CACHE_H_

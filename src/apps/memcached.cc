@@ -1,0 +1,125 @@
+#include "src/apps/memcached.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/lru_analytics.h"
+#include "src/common/rng.h"
+
+namespace defl {
+
+ResourceVector MemcachedAgent::SelfDeflate(const ResourceVector& target) {
+  const double want_mb = target.memory_mb();
+  if (want_mb <= 0.0) {
+    return ResourceVector::Zero();
+  }
+  const double before = model_->MemoryFootprintMb();
+  const double new_limit =
+      std::max(model_->config().min_cache_mb, model_->cache_limit_mb() - want_mb);
+  model_->ResizeCache(new_limit);
+  const double freed = before - model_->MemoryFootprintMb();
+  return ResourceVector(0.0, std::max(freed, 0.0));
+}
+
+void MemcachedAgent::OnReinflate(const ResourceVector& added) {
+  const double grow_mb = added.memory_mb();
+  if (grow_mb <= 0.0) {
+    return;
+  }
+  const double new_limit = std::min(model_->config().configured_cache_mb,
+                                    model_->cache_limit_mb() + grow_mb);
+  model_->ResizeCache(new_limit);
+}
+
+double MemcachedAgent::MemoryFootprintMb() const { return model_->MemoryFootprintMb(); }
+
+MemcachedModel::MemcachedModel(const MemcachedConfig& config)
+    : config_(config), cache_limit_mb_(config.configured_cache_mb), agent_(this) {}
+
+void MemcachedModel::SetBaseline(const EffectiveAllocation& alloc) {
+  baseline_kgets_ = ThroughputKGets(alloc);
+}
+
+double MemcachedModel::StoredMb() const {
+  const double filled_mb = config_.fill_fraction * config_.configured_cache_mb;
+  return std::min(filled_mb, cache_limit_mb_);
+}
+
+int64_t MemcachedModel::StoredItems() const {
+  return static_cast<int64_t>(StoredMb() * 1024.0 / config_.item_kb);
+}
+
+double MemcachedModel::MemoryFootprintMb() const {
+  return StoredMb() + config_.process_overhead_mb;
+}
+
+void MemcachedModel::ResizeCache(double new_limit_mb) {
+  cache_limit_mb_ = std::max(0.0, new_limit_mb);
+}
+
+double MemcachedModel::HitRate() const {
+  // Real LRU dynamics via Che's approximation (validated against an actual
+  // LRU in memcached_sim_test); the ideal top-k head fraction overestimates
+  // hit rates by up to ~0.2 at this skew.
+  return CheLruHitRate(config_.num_keys, StoredItems(), config_.zipf_s);
+}
+
+double MemcachedModel::SwapHitFraction(const EffectiveAllocation& alloc) const {
+  if (alloc.guest_memory_mb < MemoryFootprintMb() + config_.oom_reserve_mb) {
+    return 1.0;  // effectively OOM; caller reports termination
+  }
+  if (!alloc.memory_overcommitted()) {
+    return 0.0;
+  }
+  // Residency available for object memory after process overhead, minus
+  // what blind host paging wastes on the wrong pages (proportional to the
+  // blindly reclaimed amount).
+  const double waste_mb = BlindPagingWasteMb(
+      alloc.guest_memory_mb, alloc.resident_memory_mb, config_.hv_paging_efficiency);
+  const double resident_obj_mb = std::max(
+      0.0, alloc.resident_memory_mb - config_.process_overhead_mb - waste_mb);
+  const auto resident_items =
+      static_cast<int64_t>(resident_obj_mb * 1024.0 / config_.item_kb);
+  const int64_t stored = StoredItems();
+  if (stored <= 0 || resident_items >= stored) {
+    return 0.0;
+  }
+  // Accesses land on stored items; the kernel's page LRU keeps a resident
+  // working set of `resident_items`. P(swap | hit) is the conditional miss
+  // of the resident LRU within the hit stream (Che dynamics on both).
+  const double stored_mass =
+      CheLruHitRate(config_.num_keys, stored, config_.zipf_s);
+  const double resident_mass = CheLruHitRate(
+      config_.num_keys, std::max<int64_t>(resident_items, 1), config_.zipf_s);
+  if (stored_mass <= 0.0) {
+    return 0.0;
+  }
+  return std::clamp((stored_mass - resident_mass) / stored_mass, 0.0, 1.0);
+}
+
+double MemcachedModel::ThroughputKGets(const EffectiveAllocation& alloc) const {
+  // OOM termination under forced unplug (the Figure 5a OS-only cliff).
+  if (alloc.guest_memory_mb < MemoryFootprintMb() + config_.oom_reserve_mb) {
+    return 0.0;
+  }
+  const double hit_rate = HitRate();
+  const double p_swap = SwapHitFraction(alloc);
+  // One event-driven worker per visible core; a swap fault stalls the
+  // worker synchronously.
+  const double avg_service_us =
+      config_.base_service_us + hit_rate * p_swap * config_.swap_in_us;
+  const double worker_rate =
+      CappedParallelRate(alloc.visible_cpus, alloc.visible_cpus, alloc.cpu_capacity,
+                         config_.costs);
+  const double gets_per_s = worker_rate * 1e6 / avg_service_us;
+  return gets_per_s * hit_rate / 1000.0;
+}
+
+double MemcachedModel::NormalizedPerformance(const EffectiveAllocation& alloc) const {
+  if (baseline_kgets_ <= 0.0) {
+    return 0.0;
+  }
+  return ThroughputKGets(alloc) / baseline_kgets_;
+}
+
+}  // namespace defl

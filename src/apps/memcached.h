@@ -1,0 +1,100 @@
+// Memcached model: an in-memory LRU key-value store serving a Zipf-popular
+// GET stream (YCSB/memtier-style), plus the paper's application deflation
+// policy -- dynamically resize the cache and let LRU eviction shed the
+// coldest objects, trading hit rate for never touching swap (Section 4).
+//
+// Throughput model: worker threads (one per visible core, as memcached
+// deploys) serve GETs whose service time is the base CPU cost plus, for
+// requests that touch a non-resident page, a swap-in stall. The guest/host
+// keep the hottest pages resident (LRU paging), but blind hypervisor-level
+// reclamation wastes a fraction of residency on the wrong pages.
+#ifndef SRC_APPS_MEMCACHED_H_
+#define SRC_APPS_MEMCACHED_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/apps/app_model.h"
+#include "src/hypervisor/overcommit.h"
+
+namespace defl {
+
+struct MemcachedConfig {
+  int64_t num_keys = 20'000'000;  // key universe
+  double item_kb = 1.0;           // object size
+  double zipf_s = 0.95;           // key popularity skew
+  double configured_cache_mb = 12.0 * 1024.0;
+  // Fraction of the configured cache the workload has actually filled;
+  // determines the real memory footprint.
+  double fill_fraction = 0.6;
+  double process_overhead_mb = 1024.0;  // hash table, buffers, libc
+  double base_service_us = 30.0;        // CPU cost of a GET
+  double swap_in_us = 800.0;            // stall when a GET hits a swapped page
+  // Fraction of residency that blind hypervisor paging keeps on the right
+  // (hot) pages; guest-initiated reclamation is perfectly informed.
+  double hv_paging_efficiency = 0.8;
+  double min_cache_mb = 512.0;  // the agent will not shrink below this
+  // Guest memory headroom below which the OOM killer takes the server.
+  double oom_reserve_mb = 256.0;
+  OvercommitCosts costs;
+};
+
+class MemcachedModel;
+
+// Application deflation agent (Table 1): shrinks the cache via LRU eviction
+// for memory targets; CPU/I/O deflation is left to the VM level.
+class MemcachedAgent : public DeflationAgent {
+ public:
+  explicit MemcachedAgent(MemcachedModel* model) : model_(model) {}
+
+  ResourceVector SelfDeflate(const ResourceVector& target) override;
+  void OnReinflate(const ResourceVector& added) override;
+  double MemoryFootprintMb() const override;
+
+ private:
+  MemcachedModel* model_;
+};
+
+class MemcachedModel : public AppModel {
+ public:
+  explicit MemcachedModel(const MemcachedConfig& config);
+
+  // --- AppModel ---
+  double NormalizedPerformance(const EffectiveAllocation& alloc) const override;
+  double MemoryFootprintMb() const override;
+  DeflationAgent* agent() override { return &agent_; }
+  const std::string& name() const override { return name_; }
+
+  // Successful GETs per second (thousands): the Figure 5c metric. Counts
+  // only cache hits, as the paper does.
+  double ThroughputKGets(const EffectiveAllocation& alloc) const;
+  // Object hit rate given the currently stored item count.
+  double HitRate() const;
+
+  // --- Cache sizing (used by the agent) ---
+  double cache_limit_mb() const { return cache_limit_mb_; }
+  // Resizes the cache limit; shrinking evicts (instantly reduces footprint).
+  void ResizeCache(double new_limit_mb);
+  // MB of objects currently stored: min(fill target, cache limit).
+  double StoredMb() const;
+
+  const MemcachedConfig& config() const { return config_; }
+  // The allocation corresponding to the nominal VM size (set once by the
+  // harness so NormalizedPerformance has a baseline).
+  void SetBaseline(const EffectiveAllocation& alloc);
+
+ private:
+  int64_t StoredItems() const;
+  // Fraction of hits that stall on swap given residency for object memory.
+  double SwapHitFraction(const EffectiveAllocation& alloc) const;
+
+  MemcachedConfig config_;
+  std::string name_ = "memcached";
+  double cache_limit_mb_;
+  MemcachedAgent agent_;
+  double baseline_kgets_ = 0.0;
+};
+
+}  // namespace defl
+
+#endif  // SRC_APPS_MEMCACHED_H_

@@ -1,0 +1,90 @@
+#include "src/apps/memcached_sim.h"
+
+#include <algorithm>
+
+#include "src/apps/lru_cache.h"
+#include "src/common/rng.h"
+#include "src/hypervisor/overcommit.h"
+
+namespace defl {
+
+SimulatedMemcachedResult RunSimulatedMemcached(const MemcachedConfig& config,
+                                               const EffectiveAllocation& alloc,
+                                               int64_t num_requests, uint64_t seed) {
+  SimulatedMemcachedResult result;
+  if (alloc.guest_memory_mb < config.fill_fraction * config.configured_cache_mb +
+                                  config.process_overhead_mb + config.oom_reserve_mb) {
+    return result;  // OOM: server not running
+  }
+
+  const auto cache_items = static_cast<int64_t>(
+      std::min(config.configured_cache_mb,
+               config.fill_fraction * config.configured_cache_mb) *
+      1024.0 / config.item_kb);
+  // Resident item budget after process overhead and blind-paging waste.
+  const double waste_mb = BlindPagingWasteMb(alloc.guest_memory_mb,
+                                             alloc.resident_memory_mb,
+                                             config.hv_paging_efficiency);
+  const auto resident_items = static_cast<int64_t>(
+      std::max(0.0, alloc.resident_memory_mb - config.process_overhead_mb - waste_mb) *
+      1024.0 / config.item_kb);
+
+  // The application cache (LRU over object keys)...
+  LruCache<int64_t, char> cache(std::max<int64_t>(cache_items, 1));
+  // ...and the kernel's page LRU, tracking which objects are resident.
+  const bool overcommitted = alloc.memory_overcommitted();
+  LruCache<int64_t, char> resident(std::max<int64_t>(resident_items, 1));
+
+  ZipfDistribution zipf(config.num_keys, config.zipf_s);
+  Rng rng(seed);
+
+  // Warmup: populate the cache and the resident set.
+  for (int64_t i = 0; i < num_requests; ++i) {
+    const int64_t key = zipf.Sample(rng);
+    if (!cache.Get(key).has_value()) {
+      cache.Put(key, 1);
+    }
+    if (overcommitted && !resident.Get(key).has_value()) {
+      resident.Put(key, 1);
+    }
+  }
+  cache.ResetCounters();
+
+  double busy_us = 0.0;
+  for (int64_t i = 0; i < num_requests; ++i) {
+    const int64_t key = zipf.Sample(rng);
+    busy_us += config.base_service_us;
+    if (cache.Get(key).has_value()) {
+      ++result.hits;
+      if (overcommitted && !resident.Get(key).has_value()) {
+        // Page the object in: stall, then it becomes resident (evicting the
+        // coldest resident page).
+        busy_us += config.swap_in_us;
+        ++result.swap_stalls;
+        resident.Put(key, 1);
+      }
+    } else {
+      cache.Put(key, 1);
+      if (overcommitted) {
+        resident.Put(key, 1);  // freshly written object is resident
+      }
+    }
+  }
+
+  result.requests = num_requests;
+  result.measured_hit_rate =
+      static_cast<double>(result.hits) / static_cast<double>(num_requests);
+  result.measured_swap_fraction =
+      result.hits > 0
+          ? static_cast<double>(result.swap_stalls) / static_cast<double>(result.hits)
+          : 0.0;
+  // One event-loop worker per visible core, LHP-adjusted like the model.
+  const double worker_rate = CappedParallelRate(alloc.visible_cpus, alloc.visible_cpus,
+                                                alloc.cpu_capacity, config.costs);
+  const double avg_service_us = busy_us / static_cast<double>(num_requests);
+  result.measured_kgets =
+      worker_rate * 1e6 / avg_service_us * result.measured_hit_rate / 1000.0;
+  return result;
+}
+
+}  // namespace defl

@@ -1,0 +1,36 @@
+// Execution-based memcached simulation: serves an actual Zipf GET stream
+// against the real LruCache, with guest-kernel paging simulated as a second
+// LRU (of resident pages) rather than computed analytically. Used to
+// validate MemcachedModel's closed-form throughput/hit-rate curves against
+// genuine cache and paging dynamics -- the two share no formulas.
+#ifndef SRC_APPS_MEMCACHED_SIM_H_
+#define SRC_APPS_MEMCACHED_SIM_H_
+
+#include <cstdint>
+
+#include "src/apps/memcached.h"
+
+namespace defl {
+
+struct SimulatedMemcachedResult {
+  int64_t requests = 0;
+  int64_t hits = 0;
+  int64_t swap_stalls = 0;  // hits that had to page the object in
+  double measured_hit_rate = 0.0;
+  double measured_swap_fraction = 0.0;  // of hits
+  // Successful GETs/s (thousands), saturation throughput with one
+  // event-loop worker per visible core.
+  double measured_kgets = 0.0;
+};
+
+// Serves `num_requests` GETs (after a warmup of the same length) through a
+// real LRU of the configured capacity under allocation `alloc`. Keys follow
+// Zipf(config.zipf_s) over config.num_keys. Intended for scaled-down
+// configs (e.g. ~10^5 keys); memory use is O(cache items).
+SimulatedMemcachedResult RunSimulatedMemcached(const MemcachedConfig& config,
+                                               const EffectiveAllocation& alloc,
+                                               int64_t num_requests, uint64_t seed);
+
+}  // namespace defl
+
+#endif  // SRC_APPS_MEMCACHED_SIM_H_

@@ -1,0 +1,48 @@
+#include "src/apps/mpi.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace defl {
+
+MpiJob::MpiJob(const MpiJobConfig& config)
+    : config_(config), agent_(config.footprint_mb_per_vm) {}
+
+double MpiJob::VmRankSpeed(const Vm& vm) const {
+  const EffectiveAllocation alloc = vm.allocation();
+  const double spec_cpus = vm.size().cpu();
+  if (spec_cpus <= 0.0) {
+    return 0.0;
+  }
+  // One rank per nominal vCPU, all runnable every timestep: hot-unplugged
+  // CPUs force time-sharing (benign, guest-scheduled), hypervisor capping
+  // adds LHP.
+  const double rate = CappedParallelRate(spec_cpus, alloc.visible_cpus,
+                                         alloc.cpu_capacity, config_.costs);
+  double speed = rate / spec_cpus;
+  // Memory pressure stalls ranks on swap.
+  if (alloc.guest_memory_mb < config_.footprint_mb_per_vm) {
+    return 0.0;  // OOM: the rank (and thus the job) dies
+  }
+  if (alloc.memory_overcommitted()) {
+    const double waste = BlindPagingWasteMb(alloc.guest_memory_mb,
+                                            alloc.resident_memory_mb,
+                                            config_.hv_paging_efficiency);
+    const double p_swap = LruSwapHitFraction(
+        config_.footprint_mb_per_vm,
+        std::max(0.0, alloc.resident_memory_mb - waste), config_.page_zipf_s);
+    speed /= 1.0 + config_.swap_stall_penalty * p_swap;
+  }
+  return std::min(speed, 1.0);
+}
+
+double MpiJob::JobSpeed(const std::vector<const Vm*>& vms) const {
+  assert(!vms.empty());
+  double speed = 1.0;
+  for (const Vm* vm : vms) {
+    speed = std::min(speed, VmRankSpeed(*vm));
+  }
+  return speed;
+}
+
+}  // namespace defl

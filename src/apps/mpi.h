@@ -1,0 +1,53 @@
+// Gang-synchronous MPI job model: the paper's canonical *inelastic*
+// application ("synchronous MPI programs ... the application deflation
+// policy is to simply ignore the deflation request", Section 3.2.1). Ranks
+// are pinned one per vCPU across a set of VMs and synchronize every
+// timestep, so the whole job advances at the pace of its slowest rank --
+// deflating one VM drags everyone. This is exactly why the cluster manager
+// deflates proportionally (equal fractions) rather than dumping the
+// shortfall on one victim.
+#ifndef SRC_APPS_MPI_H_
+#define SRC_APPS_MPI_H_
+
+#include <string>
+#include <vector>
+
+#include "src/apps/app_model.h"
+#include "src/hypervisor/overcommit.h"
+
+namespace defl {
+
+struct MpiJobConfig {
+  // Per-VM working set; ranks stall on swap like everything else.
+  double footprint_mb_per_vm = 8192.0;
+  double swap_stall_penalty = 6.0;  // slowdown = 1 + penalty * swap fraction
+  double page_zipf_s = 0.9;
+  double hv_paging_efficiency = 0.8;
+  OvercommitCosts costs;
+};
+
+// Spans multiple VMs (unlike AppModel, which is per-VM); evaluate with the
+// current allocations of all member VMs.
+class MpiJob {
+ public:
+  explicit MpiJob(const MpiJobConfig& config);
+
+  // Timestep rate of one VM's ranks relative to an undeflated VM, in (0, 1].
+  double VmRankSpeed(const Vm& vm) const;
+
+  // Gang-synchronous job speed: min over member VMs (BSP every timestep).
+  double JobSpeed(const std::vector<const Vm*>& vms) const;
+
+  // The per-VM inelastic agent: refuses all requests, reports the footprint.
+  DeflationAgent* agent() { return &agent_; }
+
+  const MpiJobConfig& config() const { return config_; }
+
+ private:
+  MpiJobConfig config_;
+  InelasticAgent agent_;
+};
+
+}  // namespace defl
+
+#endif  // SRC_APPS_MPI_H_

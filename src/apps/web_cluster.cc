@@ -1,0 +1,104 @@
+#include "src/apps/web_cluster.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/core/cascade.h"
+
+namespace defl {
+
+const char* LoadBalancingPolicyName(LoadBalancingPolicy policy) {
+  switch (policy) {
+    case LoadBalancingPolicy::kDeflationAware:
+      return "deflation-aware";
+    case LoadBalancingPolicy::kEvenSplit:
+      return "even-split";
+  }
+  return "?";
+}
+
+WebCluster::WebCluster(int num_backends, const ResourceVector& vm_size,
+                       const WebServerConfig& server_config) {
+  assert(num_backends > 0);
+  for (int i = 0; i < num_backends; ++i) {
+    VmSpec spec;
+    spec.name = "web-" + std::to_string(i);
+    spec.size = vm_size;
+    spec.priority = VmPriority::kLow;
+    Backend backend;
+    backend.vm = std::make_unique<Vm>(i, spec);
+    backend.vm->set_state(VmState::kRunning);
+    backend.server = std::make_unique<WebServerModel>(server_config);
+    backend.vm->guest_os().set_app_used_mb(backend.server->MemoryFootprintMb());
+    backends_.push_back(std::move(backend));
+  }
+}
+
+double WebCluster::BackendCapacityRps(Backend& backend) {
+  return backend.server->ThroughputRps(backend.vm->allocation());
+}
+
+double WebCluster::TotalCapacityRps() {
+  double total = 0.0;
+  for (Backend& backend : backends_) {
+    total += BackendCapacityRps(backend);
+  }
+  return total;
+}
+
+WebClusterMetrics WebCluster::Evaluate(double offered_rps, LoadBalancingPolicy policy) {
+  WebClusterMetrics metrics;
+  metrics.offered_rps = offered_rps;
+
+  std::vector<double> capacity;
+  capacity.reserve(backends_.size());
+  double total_capacity = 0.0;
+  for (Backend& backend : backends_) {
+    capacity.push_back(BackendCapacityRps(backend));
+    total_capacity += capacity.back();
+  }
+
+  double weighted_rt = 0.0;
+  for (size_t i = 0; i < backends_.size(); ++i) {
+    double share;
+    if (policy == LoadBalancingPolicy::kDeflationAware) {
+      // Weight by capacity: every backend runs at the same utilization.
+      share = total_capacity > 0.0 ? capacity[i] / total_capacity : 0.0;
+    } else {
+      share = 1.0 / static_cast<double>(backends_.size());
+    }
+    const double assigned = offered_rps * share;
+    const double served = std::min(assigned, capacity[i]);
+    metrics.served_rps += served;
+    metrics.dropped_rps += assigned - served;
+    const double utilization = capacity[i] > 0.0 ? assigned / capacity[i] : 1.0;
+    metrics.backend_utilization.push_back(std::min(utilization, 1.0));
+    // M/M/1-style response time for the served stream; saturated backends
+    // respond at a capped 20x service time.
+    const double service_us = backends_[i].server->config().base_service_us;
+    const double rho = std::min(utilization, 0.95);
+    const double rt = std::min(service_us / (1.0 - rho), 20.0 * service_us);
+    weighted_rt += served * rt;
+  }
+  metrics.mean_response_us =
+      metrics.served_rps > 0.0 ? weighted_rt / metrics.served_rps : 0.0;
+  return metrics;
+}
+
+ResourceVector WebCluster::DeflateBackend(int backend_index,
+                                          const ResourceVector& target) {
+  Backend& backend = backends_[static_cast<size_t>(backend_index)];
+  CascadeController cascade(DeflationMode::kCascade);
+  const DeflationOutcome outcome =
+      cascade.Deflate(*backend.vm, backend.server->agent(), target);
+  return outcome.TotalReclaimed();
+}
+
+void WebCluster::ReinflateBackend(int backend_index) {
+  Backend& backend = backends_[static_cast<size_t>(backend_index)];
+  CascadeController cascade(DeflationMode::kCascade);
+  cascade.Reinflate(*backend.vm, backend.server->agent(),
+                    backend.vm->size() - backend.vm->effective());
+}
+
+}  // namespace defl

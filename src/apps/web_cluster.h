@@ -1,0 +1,77 @@
+// Web-application cluster with a deflation-aware load balancer (the paper's
+// footnote 2: "Web-application clusters are another popular cloud workload,
+// and can use a deflation-aware load-balancer for cascade deflation").
+//
+// A cluster of thread-pool web servers sits behind a load balancer. When a
+// backend's VM is deflated, its agent shrinks the worker pool and the
+// deflation-aware balancer re-weights traffic by each backend's current
+// capacity ("serve less traffic from deflated servers", Section 3.2.1). The
+// capacity-oblivious baseline keeps an even split and overloads deflated
+// backends while the others idle.
+#ifndef SRC_APPS_WEB_CLUSTER_H_
+#define SRC_APPS_WEB_CLUSTER_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/apps/webserver.h"
+#include "src/hypervisor/vm.h"
+
+namespace defl {
+
+enum class LoadBalancingPolicy {
+  kDeflationAware,  // weight by current backend capacity
+  kEvenSplit,       // capacity-oblivious round robin
+};
+
+const char* LoadBalancingPolicyName(LoadBalancingPolicy policy);
+
+struct WebClusterMetrics {
+  double offered_rps = 0.0;
+  double served_rps = 0.0;   // requests actually completed
+  double dropped_rps = 0.0;  // offered beyond a backend's capacity
+  // Mean response time over served requests (M/M/1 per backend), us.
+  double mean_response_us = 0.0;
+  std::vector<double> backend_utilization;
+};
+
+class WebCluster {
+ public:
+  // Creates `num_backends` web servers, each on its own low-priority VM of
+  // the given size. VMs are owned by the cluster.
+  WebCluster(int num_backends, const ResourceVector& vm_size,
+             const WebServerConfig& server_config = {});
+
+  int num_backends() const { return static_cast<int>(backends_.size()); }
+  Vm& vm(int backend) { return *backends_[static_cast<size_t>(backend)].vm; }
+  WebServerModel& server(int backend) {
+    return *backends_[static_cast<size_t>(backend)].server;
+  }
+
+  // Total capacity (requests/s) over all backends at current allocations.
+  double TotalCapacityRps();
+
+  // Distributes `offered_rps` across backends per the policy and evaluates
+  // steady-state throughput and response time.
+  WebClusterMetrics Evaluate(double offered_rps, LoadBalancingPolicy policy);
+
+  // Deflates one backend's VM through the full cascade (its agent shrinks
+  // the pool); returns what was reclaimed.
+  ResourceVector DeflateBackend(int backend, const ResourceVector& target);
+  // Reverse cascade for one backend.
+  void ReinflateBackend(int backend);
+
+ private:
+  struct Backend {
+    std::unique_ptr<Vm> vm;
+    std::unique_ptr<WebServerModel> server;
+  };
+
+  double BackendCapacityRps(Backend& backend);
+
+  std::vector<Backend> backends_;
+};
+
+}  // namespace defl
+
+#endif  // SRC_APPS_WEB_CLUSTER_H_

@@ -1,0 +1,76 @@
+#include "src/apps/webserver.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace defl {
+
+ResourceVector WebServerAgent::SelfDeflate(const ResourceVector& target) {
+  ResourceVector freed;
+  const double footprint_before = MemoryFootprintMb();
+  // CPU deflation response: shrink the pool so runnable threads match what
+  // will remain, avoiding multiplexing penalties. The relinquished CPU is
+  // then reclaimable without LHP risk.
+  if (target.cpu() > 0.0) {
+    const auto threads_per_core =
+        static_cast<double>(model_->config().configured_threads) /
+        model_->config().baseline_cpus;
+    const int shed_threads =
+        static_cast<int>(std::floor(target.cpu() * threads_per_core));
+    const int new_threads = std::max(1, model_->threads() - shed_threads);
+    const int actually_shed = model_->threads() - new_threads;
+    model_->ResizeThreadPool(new_threads);
+    freed[ResourceKind::kCpu] =
+        std::floor(static_cast<double>(actually_shed) / threads_per_core);
+  }
+  // Shrinking the pool also returns the shed workers' stacks and buffers.
+  freed[ResourceKind::kMemory] = std::max(0.0, footprint_before - MemoryFootprintMb());
+  return freed;
+}
+
+void WebServerAgent::OnReinflate(const ResourceVector& added) {
+  if (added.cpu() > 0.0) {
+    const auto threads_per_core =
+        static_cast<double>(model_->config().configured_threads) /
+        model_->config().baseline_cpus;
+    const int grow = static_cast<int>(std::floor(added.cpu() * threads_per_core));
+    model_->ResizeThreadPool(
+        std::min(model_->config().configured_threads, model_->threads() + grow));
+  }
+}
+
+double WebServerAgent::MemoryFootprintMb() const { return model_->MemoryFootprintMb(); }
+
+WebServerModel::WebServerModel(const WebServerConfig& config)
+    : config_(config), threads_(config.configured_threads), agent_(this) {}
+
+void WebServerModel::ResizeThreadPool(int threads) {
+  threads_ = std::clamp(threads, 1, config_.configured_threads);
+}
+
+double WebServerModel::MemoryFootprintMb() const {
+  return config_.app_base_mb + config_.per_thread_mb * threads_;
+}
+
+double WebServerModel::ThroughputRps(const EffectiveAllocation& alloc) const {
+  if (alloc.guest_memory_mb < MemoryFootprintMb()) {
+    return 0.0;
+  }
+  const double rate = CappedParallelRate(static_cast<double>(threads_),
+                                         alloc.visible_cpus, alloc.cpu_capacity,
+                                         config_.costs);
+  return rate * 1e6 / config_.base_service_us;
+}
+
+void WebServerModel::SetBaseline(const EffectiveAllocation& alloc) {
+  baseline_rps_ = ThroughputRps(alloc);
+}
+
+double WebServerModel::NormalizedPerformance(const EffectiveAllocation& alloc) const {
+  if (baseline_rps_ <= 0.0) {
+    return 0.0;
+  }
+  return ThroughputRps(alloc) / baseline_rps_;
+}
+
+}  // namespace defl

@@ -1,0 +1,68 @@
+// Web-server cluster member model (Table 1): a thread-pool server behind a
+// load balancer. The application deflation policy shrinks the worker pool to
+// match the deflated CPU capacity -- threads beyond capacity only add
+// lock-holder preemption and context-switch overhead -- and reports the new
+// capacity so the load balancer can shift traffic away (Section 4 footnote:
+// "a deflation-aware load-balancer").
+#ifndef SRC_APPS_WEBSERVER_H_
+#define SRC_APPS_WEBSERVER_H_
+
+#include <string>
+
+#include "src/apps/app_model.h"
+#include "src/hypervisor/overcommit.h"
+
+namespace defl {
+
+struct WebServerConfig {
+  int configured_threads = 32;
+  double base_service_us = 2000.0;    // request service time
+  double per_thread_mb = 64.0;        // stack + buffers per worker
+  double app_base_mb = 2048.0;        // code, shared caches
+  double baseline_cpus = 4.0;
+  OvercommitCosts costs;
+};
+
+class WebServerModel;
+
+class WebServerAgent : public DeflationAgent {
+ public:
+  explicit WebServerAgent(WebServerModel* model) : model_(model) {}
+
+  ResourceVector SelfDeflate(const ResourceVector& target) override;
+  void OnReinflate(const ResourceVector& added) override;
+  double MemoryFootprintMb() const override;
+
+ private:
+  WebServerModel* model_;
+};
+
+class WebServerModel : public AppModel {
+ public:
+  explicit WebServerModel(const WebServerConfig& config);
+
+  double NormalizedPerformance(const EffectiveAllocation& alloc) const override;
+  double MemoryFootprintMb() const override;
+  DeflationAgent* agent() override { return &agent_; }
+  const std::string& name() const override { return name_; }
+
+  // Sustainable requests/s given the allocation and current pool size.
+  double ThroughputRps(const EffectiveAllocation& alloc) const;
+
+  int threads() const { return threads_; }
+  void ResizeThreadPool(int threads);
+
+  const WebServerConfig& config() const { return config_; }
+  void SetBaseline(const EffectiveAllocation& alloc);
+
+ private:
+  WebServerConfig config_;
+  std::string name_ = "webserver";
+  int threads_;
+  WebServerAgent agent_;
+  double baseline_rps_ = 0.0;
+};
+
+}  // namespace defl
+
+#endif  // SRC_APPS_WEBSERVER_H_

@@ -1,0 +1,217 @@
+#include "src/cluster/cluster_manager.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/common/logging.h"
+
+namespace defl {
+
+ClusterManager::ClusterManager(int num_servers, const ResourceVector& server_capacity,
+                               const ClusterConfig& config)
+    : config_(config), rng_(config.seed) {
+  assert(num_servers > 0);
+  for (int i = 0; i < num_servers; ++i) {
+    servers_.push_back(std::make_unique<Server>(i, server_capacity));
+    controllers_.push_back(
+        std::make_unique<LocalController>(servers_.back().get(), config.controller));
+  }
+}
+
+std::vector<Server*> ClusterManager::servers() {
+  std::vector<Server*> out;
+  out.reserve(servers_.size());
+  for (const auto& s : servers_) {
+    out.push_back(s.get());
+  }
+  return out;
+}
+
+LocalController* ClusterManager::controller(ServerId id) {
+  for (auto& c : controllers_) {
+    if (c->server()->id() == id) {
+      return c.get();
+    }
+  }
+  return nullptr;
+}
+
+Result<ServerId> ClusterManager::LaunchVm(std::unique_ptr<Vm> vm) {
+  assert(vm != nullptr);
+  const ResourceVector demand = vm->size();
+  const bool low_priority = vm->deflatable();
+
+  // Reclamation happens only under resource pressure (Section 5): prefer a
+  // server with enough untouched free capacity, and fall back to reclaimable
+  // availability only when none exists. What is reclaimable depends on the
+  // strategy and the arrival's priority: deflation-managed clusters can
+  // shrink low-priority VMs for anyone; preemption-only clusters can revoke
+  // low-priority VMs for high-priority arrivals but give low-priority
+  // arrivals only free space.
+  std::vector<AvailabilityMode> passes = {AvailabilityMode::kFreeOnly};
+  if (config_.strategy == ReclamationStrategy::kDeflation) {
+    passes.push_back(AvailabilityMode::kFreePlusDeflatable);
+  }
+  if (!low_priority) {
+    // High priority displaces low priority outright as the last resort.
+    passes.push_back(AvailabilityMode::kFreePlusPreemptible);
+  }
+  Result<size_t> placed = Error{"unplaced"};
+  for (const AvailabilityMode mode : passes) {
+    placed = PlaceVm(demand, servers(), config_.placement, rng_, mode);
+    if (placed.ok()) {
+      break;
+    }
+  }
+  if (!placed.ok()) {
+    ++counters_.rejected;
+    return Error{placed.error()};
+  }
+  Server& server = *servers_[placed.value()];
+
+  if (!demand.AllLeq(server.Free())) {
+    if (config_.strategy == ReclamationStrategy::kDeflation) {
+      LocalController* controller = controllers_[placed.value()].get();
+      const ReclaimResult reclaim = controller->MakeRoom(demand);
+      for (const VmId victim : reclaim.preempted) {
+        ++counters_.preempted;
+        preempted_since_take_.push_back(victim);
+      }
+      if (!reclaim.deflated.empty()) {
+        ++counters_.deflation_ops;
+      }
+      if (!reclaim.success) {
+        ++counters_.rejected;
+        return Error{"reclamation failed on chosen server"};
+      }
+    } else {
+      if (!PreemptForDemand(server, demand)) {
+        ++counters_.rejected;
+        return Error{"preemption could not free enough resources"};
+      }
+    }
+  }
+
+  ++counters_.launched;
+  if (low_priority) {
+    ++counters_.launched_low_priority;
+  }
+  server.AddVm(std::move(vm));
+  return server.id();
+}
+
+bool ClusterManager::PreemptForDemand(Server& server, const ResourceVector& demand) {
+  while (!demand.AllLeq(server.Free())) {
+    // Revoke the low-priority VM freeing the most of the bottleneck
+    // resource (standard eviction heuristic).
+    Vm* victim = nullptr;
+    double victim_gain = -1.0;
+    const ResourceVector need = (demand - server.Free()).ClampNonNegative();
+    for (const auto& vm : server.vms()) {
+      if (vm->priority() != VmPriority::kLow) {
+        continue;
+      }
+      const double gain = vm->effective().Min(need).SafeDivide(server.capacity()).Sum();
+      if (gain > victim_gain) {
+        victim_gain = gain;
+        victim = vm.get();
+      }
+    }
+    if (victim == nullptr) {
+      return false;
+    }
+    const VmId id = victim->id();
+    victim->set_state(VmState::kPreempted);
+    server.RemoveVm(id);
+    ++counters_.preempted;
+    preempted_since_take_.push_back(id);
+  }
+  return true;
+}
+
+void ClusterManager::CompleteVm(VmId id) {
+  for (size_t i = 0; i < servers_.size(); ++i) {
+    Server& server = *servers_[i];
+    if (server.FindVm(id) == nullptr) {
+      continue;
+    }
+    std::unique_ptr<Vm> vm = server.RemoveVm(id);
+    vm->set_state(VmState::kCompleted);
+    controllers_[i]->UnregisterAgent(id);
+    ++counters_.completed;
+    // Freed resources flow back to deflated VMs (reverse cascade).
+    if (config_.strategy == ReclamationStrategy::kDeflation) {
+      controllers_[i]->ReinflateAll();
+    }
+    return;
+  }
+}
+
+Vm* ClusterManager::FindVm(VmId id) {
+  for (const auto& server : servers_) {
+    if (Vm* vm = server->FindVm(id)) {
+      return vm;
+    }
+  }
+  return nullptr;
+}
+
+Server* ClusterManager::ServerOf(VmId id) {
+  for (const auto& server : servers_) {
+    if (server->FindVm(id) != nullptr) {
+      return server.get();
+    }
+  }
+  return nullptr;
+}
+
+std::vector<VmId> ClusterManager::TakePreempted() {
+  std::vector<VmId> out;
+  out.swap(preempted_since_take_);
+  return out;
+}
+
+double ClusterManager::Utilization() const {
+  ResourceVector allocated;
+  ResourceVector capacity;
+  for (const auto& server : servers_) {
+    allocated += server->Allocated();
+    capacity += server->capacity();
+  }
+  double util = 0.0;
+  for (const ResourceKind kind : kAllResources) {
+    if (capacity[kind] > 0.0) {
+      util = std::max(util, allocated[kind] / capacity[kind]);
+    }
+  }
+  return std::min(util, 1.0);
+}
+
+double ClusterManager::Overcommitment() const {
+  ResourceVector nominal;
+  ResourceVector capacity;
+  for (const auto& server : servers_) {
+    capacity += server->capacity();
+    for (const auto& vm : server->vms()) {
+      nominal += vm->size();
+    }
+  }
+  double oc = 0.0;
+  for (const ResourceKind kind : kAllResources) {
+    if (capacity[kind] > 0.0) {
+      oc = std::max(oc, nominal[kind] / capacity[kind]);
+    }
+  }
+  return oc;
+}
+
+std::vector<double> ClusterManager::PerServerOvercommitment() const {
+  std::vector<double> out;
+  out.reserve(servers_.size());
+  for (const auto& server : servers_) {
+    out.push_back(server->NominalOvercommitment());
+  }
+  return out;
+}
+
+}  // namespace defl

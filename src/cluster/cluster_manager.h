@@ -1,0 +1,86 @@
+// Centralized deflation-based cluster manager (Section 5): places VMs with
+// deflation-aware bin packing, reclaims resources through the per-server
+// local controllers (proportional cascade deflation), preempts only when
+// deflation to minimum sizes cannot satisfy demand, and reinflates
+// proportionally when resources free up. A preemption-only mode implements
+// the baseline used in Figure 8c.
+#ifndef SRC_CLUSTER_CLUSTER_MANAGER_H_
+#define SRC_CLUSTER_CLUSTER_MANAGER_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/cluster/placement.h"
+#include "src/common/result.h"
+#include "src/common/rng.h"
+#include "src/core/local_controller.h"
+#include "src/hypervisor/server.h"
+
+namespace defl {
+
+enum class ReclamationStrategy {
+  kDeflation,       // proportional cascade deflation, preempt below minimums
+  kPreemptionOnly,  // the conventional transient-VM baseline
+};
+
+struct ClusterConfig {
+  PlacementPolicy placement = PlacementPolicy::kBestFit;
+  ReclamationStrategy strategy = ReclamationStrategy::kDeflation;
+  LocalControllerConfig controller;
+  uint64_t seed = 1;
+};
+
+struct ClusterCounters {
+  int64_t launched = 0;
+  int64_t launched_low_priority = 0;
+  int64_t rejected = 0;
+  int64_t preempted = 0;       // low-priority VMs revoked
+  int64_t completed = 0;
+  int64_t deflation_ops = 0;   // MakeRoom calls that deflated something
+};
+
+class ClusterManager {
+ public:
+  ClusterManager(int num_servers, const ResourceVector& server_capacity,
+                 const ClusterConfig& config);
+
+  // Places and starts the VM, deflating or preempting per the configured
+  // strategy. On failure the VM is rejected (returned error) and counted.
+  Result<ServerId> LaunchVm(std::unique_ptr<Vm> vm);
+
+  // Normal completion: the VM leaves and its server reinflates.
+  void CompleteVm(VmId id);
+
+  Vm* FindVm(VmId id);
+  Server* ServerOf(VmId id);
+  std::vector<Server*> servers();
+  LocalController* controller(ServerId id);
+
+  const ClusterCounters& counters() const { return counters_; }
+  // Low-priority VMs revoked since the last call (for lifecycle bookkeeping).
+  std::vector<VmId> TakePreempted();
+
+  // --- Cluster-level metrics ---
+  // Dominant-dimension utilization of backed resources, in [0, 1].
+  double Utilization() const;
+  // Sum of nominal VM sizes over total capacity (>1 = overcommitted).
+  double Overcommitment() const;
+  // Per-server nominal overcommitment values (Figure 8d).
+  std::vector<double> PerServerOvercommitment() const;
+
+ private:
+  // Preemption-only reclamation: revoke low-priority VMs on `server` until
+  // `demand` fits; returns false if impossible.
+  bool PreemptForDemand(Server& server, const ResourceVector& demand);
+
+  ClusterConfig config_;
+  Rng rng_;
+  std::vector<std::unique_ptr<Server>> servers_;
+  std::vector<std::unique_ptr<LocalController>> controllers_;
+  ClusterCounters counters_;
+  std::vector<VmId> preempted_since_take_;
+};
+
+}  // namespace defl
+
+#endif  // SRC_CLUSTER_CLUSTER_MANAGER_H_

@@ -1,0 +1,125 @@
+#include "src/cluster/cluster_sim.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "src/cluster/predictor.h"
+#include "src/common/stats.h"
+#include "src/sim/simulator.h"
+
+namespace defl {
+
+ClusterSimResult RunClusterSim(const ClusterSimConfig& config) {
+  Simulator sim;
+  ClusterManager manager(config.num_servers, config.server_capacity, config.cluster);
+  const std::vector<TraceEvent> trace =
+      config.explicit_trace.empty() ? GenerateTrace(config.trace)
+                                    : config.explicit_trace;
+
+  TimeWeightedMean utilization;
+  TimeWeightedMean overcommitment;
+  double peak_overcommitment = 0.0;
+  std::vector<double> server_oc_samples;
+
+  VmId next_id = 0;
+  for (const TraceEvent& event : trace) {
+    const VmId id = next_id++;
+    sim.At(event.arrival_s, [&manager, &sim, event, id] {
+      auto vm = std::make_unique<Vm>(id, event.spec);
+      const Result<ServerId> placed = manager.LaunchVm(std::move(vm));
+      if (!placed.ok()) {
+        return;
+      }
+      sim.After(event.lifetime_s, [&manager, id] {
+        // The VM may have been preempted in the meantime; completing a
+        // missing VM is a no-op.
+        if (manager.FindVm(id) != nullptr) {
+          manager.CompleteVm(id);
+        }
+      });
+    });
+  }
+
+  UsageSummary usage;
+  RunningStats allocation_quality;
+  const double dt_hours = config.sample_period_s / 3600.0;
+  sim.Every(config.sample_period_s, [&] {
+    const double oc = manager.Overcommitment();
+    utilization.Update(sim.now(), manager.Utilization());
+    overcommitment.Update(sim.now(), oc);
+    peak_overcommitment = std::max(peak_overcommitment, oc);
+    for (Server* server : manager.servers()) {
+      server_oc_samples.push_back(server->NominalOvercommitment());
+      for (const auto& vm : server->vms()) {
+        if (vm->priority() == VmPriority::kLow) {
+          usage.low_pri_vm_hours += dt_hours;
+          usage.low_pri_nominal_cpu_hours += vm->size().cpu() * dt_hours;
+          usage.low_pri_effective_cpu_hours += vm->effective().cpu() * dt_hours;
+          if (vm->size().cpu() > 0.0) {
+            allocation_quality.Add(vm->effective().cpu() / vm->size().cpu());
+          }
+        } else {
+          usage.high_pri_cpu_hours += vm->effective().cpu() * dt_hours;
+        }
+      }
+    }
+  });
+
+  // Proactive reinflation loop (optionally with predictive holdback).
+  EwmaPredictor high_pri_demand(config.predictor_alpha);
+  if (config.reinflate_period_s > 0.0) {
+    sim.Every(config.reinflate_period_s, [&] {
+      double high_pri_cpu = 0.0;
+      for (Server* server : manager.servers()) {
+        for (const auto& vm : server->vms()) {
+          if (vm->priority() == VmPriority::kHigh) {
+            high_pri_cpu += vm->effective().cpu();
+          }
+        }
+      }
+      high_pri_demand.Observe(high_pri_cpu);
+      double holdback_cpu_per_server = 0.0;
+      if (config.predictive_holdback && high_pri_demand.initialized()) {
+        const double expected_growth =
+            std::max(0.0, high_pri_demand.UpperBound(1.0) - high_pri_cpu);
+        holdback_cpu_per_server = expected_growth / config.num_servers;
+      }
+      for (Server* server : manager.servers()) {
+        LocalController* controller = manager.controller(server->id());
+        if (controller == nullptr) {
+          continue;
+        }
+        // Hold back capacity-shaped headroom for forecast demand.
+        const double cpu = server->capacity().cpu();
+        const ResourceVector holdback =
+            cpu > 0.0 ? server->capacity() * (holdback_cpu_per_server / cpu)
+                      : ResourceVector::Zero();
+        controller->ReinflateAll(holdback);
+      }
+    });
+  }
+
+  sim.Run(config.trace.duration_s);
+
+  ClusterSimResult result;
+  result.counters = manager.counters();
+  const int64_t low = result.counters.launched_low_priority;
+  result.preemption_probability =
+      low > 0 ? static_cast<double>(result.counters.preempted) / static_cast<double>(low)
+              : 0.0;
+  const int64_t arrivals = result.counters.launched + result.counters.rejected;
+  result.rejection_rate =
+      arrivals > 0
+          ? static_cast<double>(result.counters.rejected) / static_cast<double>(arrivals)
+          : 0.0;
+  result.mean_utilization = utilization.Finish(config.trace.duration_s);
+  result.mean_overcommitment = overcommitment.Finish(config.trace.duration_s);
+  result.peak_overcommitment = peak_overcommitment;
+  result.server_overcommitment_samples = std::move(server_oc_samples);
+  usage.preemptions = result.counters.preempted;
+  result.usage = usage;
+  result.low_priority_allocation_quality = allocation_quality.mean();
+  return result;
+}
+
+}  // namespace defl

@@ -1,0 +1,59 @@
+// Trace-driven cluster simulation (the Section 6.3 methodology): replay a
+// VM arrival/lifetime trace through the cluster manager and measure
+// utilization, overcommitment, and the probability that a low-priority VM
+// is preempted -- with deflation-based or preemption-only reclamation.
+#ifndef SRC_CLUSTER_CLUSTER_SIM_H_
+#define SRC_CLUSTER_CLUSTER_SIM_H_
+
+#include <vector>
+
+#include "src/cluster/cluster_manager.h"
+#include "src/cluster/pricing.h"
+#include "src/cluster/trace.h"
+
+namespace defl {
+
+struct ClusterSimConfig {
+  int num_servers = 100;
+  ResourceVector server_capacity = ResourceVector(32.0, 256.0 * 1024.0, 1000.0, 10000.0);
+  TraceConfig trace;
+  // When non-empty, replayed instead of generating from `trace` (the paper
+  // replays the Eucalyptus traces this way); `trace.duration_s` still bounds
+  // the simulated horizon.
+  std::vector<TraceEvent> explicit_trace;
+  ClusterConfig cluster;
+  double sample_period_s = 300.0;
+  // Proactive reinflation: every period, servers return free resources to
+  // their deflated VMs (0 = only reinflate when a VM completes, the paper's
+  // baseline behavior).
+  double reinflate_period_s = 0.0;
+  // With predictive holdback (§7 future work), the reinflation loop keeps
+  // back an EWMA-forecast of imminent high-priority demand growth instead of
+  // reinflating everything and re-deflating moments later.
+  bool predictive_holdback = false;
+  double predictor_alpha = 0.2;
+};
+
+struct ClusterSimResult {
+  ClusterCounters counters;
+  // Fraction of launched low-priority VMs that were later revoked.
+  double preemption_probability = 0.0;
+  // Fraction of all arrivals that could not be placed.
+  double rejection_rate = 0.0;
+  double mean_utilization = 0.0;      // time-weighted, dominant dimension
+  double mean_overcommitment = 0.0;   // time-weighted nominal demand / capacity
+  double peak_overcommitment = 0.0;
+  // Per-server nominal overcommitment, sampled periodically (Figure 8d).
+  std::vector<double> server_overcommitment_samples;
+  // Resource-hours delivered, for the §8 pricing models.
+  UsageSummary usage;
+  // Mean fraction of their nominal size that low-priority VMs actually had
+  // (1.0 = never deflated); the "quality" of transient capacity.
+  double low_priority_allocation_quality = 0.0;
+};
+
+ClusterSimResult RunClusterSim(const ClusterSimConfig& config);
+
+}  // namespace defl
+
+#endif  // SRC_CLUSTER_CLUSTER_SIM_H_

@@ -1,0 +1,122 @@
+#include "src/cluster/placement.h"
+
+#include <algorithm>
+
+namespace defl {
+namespace {
+
+bool Feasible(const Server& server, const ResourceVector& demand,
+              AvailabilityMode mode) {
+  return demand.AllLeq(ServerAvailability(server, mode));
+}
+
+}  // namespace
+
+const char* PlacementPolicyName(PlacementPolicy policy) {
+  switch (policy) {
+    case PlacementPolicy::kBestFit:
+      return "best-fit";
+    case PlacementPolicy::kFirstFit:
+      return "first-fit";
+    case PlacementPolicy::kTwoChoices:
+      return "2-choices";
+  }
+  return "?";
+}
+
+double PlacementFitness(const ResourceVector& demand,
+                        const ResourceVector& availability) {
+  return ResourceVector::CosineSimilarity(demand, availability);
+}
+
+ResourceVector ServerAvailability(const Server& server, AvailabilityMode mode) {
+  switch (mode) {
+    case AvailabilityMode::kFreeOnly:
+      return server.Free();
+    case AvailabilityMode::kFreePlusDeflatable:
+      return server.Availability();
+    case AvailabilityMode::kFreePlusPreemptible: {
+      ResourceVector preemptible;
+      for (const auto& vm : server.vms()) {
+        if (vm->priority() == VmPriority::kLow) {
+          preemptible += vm->effective();
+        }
+      }
+      return server.Free() + preemptible;
+    }
+  }
+  return server.Free();
+}
+
+Result<size_t> PlaceVm(const ResourceVector& demand,
+                       const std::vector<Server*>& servers, PlacementPolicy policy,
+                       Rng& rng, AvailabilityMode mode) {
+  if (servers.empty()) {
+    return Error{"no servers"};
+  }
+  switch (policy) {
+    case PlacementPolicy::kFirstFit:
+      for (size_t i = 0; i < servers.size(); ++i) {
+        if (Feasible(*servers[i], demand, mode)) {
+          return i;
+        }
+      }
+      return Error{"no feasible server (first-fit)"};
+
+    case PlacementPolicy::kBestFit: {
+      size_t best = servers.size();
+      double best_fitness = -1.0;
+      for (size_t i = 0; i < servers.size(); ++i) {
+        if (!Feasible(*servers[i], demand, mode)) {
+          continue;
+        }
+        const double fitness =
+            PlacementFitness(demand, ServerAvailability(*servers[i], mode));
+        if (fitness > best_fitness) {
+          best_fitness = fitness;
+          best = i;
+        }
+      }
+      if (best == servers.size()) {
+        return Error{"no feasible server (best-fit)"};
+      }
+      return best;
+    }
+
+    case PlacementPolicy::kTwoChoices: {
+      // Sample two random servers and keep the fitter feasible one; retry a
+      // few times before falling back to a full first-fit scan.
+      constexpr int kAttempts = 8;
+      for (int attempt = 0; attempt < kAttempts; ++attempt) {
+        const auto a = static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(servers.size()) - 1));
+        const auto b = static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(servers.size()) - 1));
+        const bool fa = Feasible(*servers[a], demand, mode);
+        const bool fb = Feasible(*servers[b], demand, mode);
+        if (fa && fb) {
+          const double fit_a =
+              PlacementFitness(demand, ServerAvailability(*servers[a], mode));
+          const double fit_b =
+              PlacementFitness(demand, ServerAvailability(*servers[b], mode));
+          return fit_a >= fit_b ? a : b;
+        }
+        if (fa) {
+          return a;
+        }
+        if (fb) {
+          return b;
+        }
+      }
+      for (size_t i = 0; i < servers.size(); ++i) {
+        if (Feasible(*servers[i], demand, mode)) {
+          return i;
+        }
+      }
+      return Error{"no feasible server (2-choices)"};
+    }
+  }
+  return Error{"unknown policy"};
+}
+
+}  // namespace defl

@@ -1,0 +1,43 @@
+// Deflation-aware VM placement (Section 5): multi-dimensional bin packing
+// where a server's availability is free + deflatable resources, and fitness
+// is the cosine similarity between the VM's demand vector and the server's
+// availability vector. Three policies from the paper: best-fit, first-fit,
+// and 2-choices (sample two random servers, keep the fitter one).
+#ifndef SRC_CLUSTER_PLACEMENT_H_
+#define SRC_CLUSTER_PLACEMENT_H_
+
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/common/rng.h"
+#include "src/hypervisor/server.h"
+#include "src/resources/resource_vector.h"
+
+namespace defl {
+
+enum class PlacementPolicy { kBestFit, kFirstFit, kTwoChoices };
+
+const char* PlacementPolicyName(PlacementPolicy policy);
+
+// What counts as a server's availability for a given arrival:
+//   kFreeOnly            -- untouched resources only (no reclamation),
+//   kFreePlusDeflatable  -- free + what deflation can reclaim (low-priority
+//                           arrivals under deflation-based management),
+//   kFreePlusPreemptible -- free + everything low-priority VMs hold (high-
+//                           priority arrivals, which may displace them).
+enum class AvailabilityMode { kFreeOnly, kFreePlusDeflatable, kFreePlusPreemptible };
+
+// fitness(D, A) = (A . D) / (|A| |D|); higher is better.
+double PlacementFitness(const ResourceVector& demand, const ResourceVector& availability);
+
+ResourceVector ServerAvailability(const Server& server, AvailabilityMode mode);
+
+// Picks a server whose availability (per `mode`) covers `demand`. Returns an
+// index into `servers` or an error when no server is feasible.
+Result<size_t> PlaceVm(const ResourceVector& demand,
+                       const std::vector<Server*>& servers, PlacementPolicy policy,
+                       Rng& rng, AvailabilityMode mode = AvailabilityMode::kFreePlusDeflatable);
+
+}  // namespace defl
+
+#endif  // SRC_CLUSTER_PLACEMENT_H_

@@ -1,0 +1,46 @@
+// Predictive resource management for deflatable VMs (the paper's §7 future
+// work, after Resource Central [26]): an exponentially-weighted moving
+// average of high-priority demand, used by the proactive reinflation loop to
+// hold back headroom for imminent high-priority arrivals instead of
+// reinflating everything and deflating again moments later.
+#ifndef SRC_CLUSTER_PREDICTOR_H_
+#define SRC_CLUSTER_PREDICTOR_H_
+
+#include <cmath>
+
+namespace defl {
+
+class EwmaPredictor {
+ public:
+  // alpha in (0, 1]: weight of the newest observation. Also tracks a
+  // variance estimate so callers can hold back mean + k*stddev.
+  explicit EwmaPredictor(double alpha = 0.2) : alpha_(alpha) {}
+
+  void Observe(double value) {
+    if (!initialized_) {
+      mean_ = value;
+      var_ = 0.0;
+      initialized_ = true;
+      return;
+    }
+    const double delta = value - mean_;
+    mean_ += alpha_ * delta;
+    var_ = (1.0 - alpha_) * (var_ + alpha_ * delta * delta);
+  }
+
+  bool initialized() const { return initialized_; }
+  double mean() const { return mean_; }
+  double stddev() const { return var_ > 0.0 ? std::sqrt(var_) : 0.0; }
+  // Conservative demand forecast: mean + k sigma.
+  double UpperBound(double k_sigma = 1.0) const { return mean_ + k_sigma * stddev(); }
+
+ private:
+  double alpha_;
+  bool initialized_ = false;
+  double mean_ = 0.0;
+  double var_ = 0.0;
+};
+
+}  // namespace defl
+
+#endif  // SRC_CLUSTER_PREDICTOR_H_

@@ -1,0 +1,48 @@
+#include "src/cluster/pricing.h"
+
+namespace defl {
+namespace {
+
+RevenueReport Finish(RevenueReport report, double effective_cpu_hours) {
+  report.effective_cost_per_cpu_hour =
+      effective_cpu_hours > 0.0
+          ? (report.customer_cost + report.customer_loss) / effective_cpu_hours
+          : 0.0;
+  return report;
+}
+
+}  // namespace
+
+RevenueReport PriceDeflatableFlat(const UsageSummary& usage, const PricingModel& model) {
+  RevenueReport report;
+  const double rate = model.on_demand_cpu_hour * (1.0 - model.deflatable_discount);
+  report.customer_cost = usage.low_pri_nominal_cpu_hours * rate;
+  report.provider_revenue = report.customer_cost;
+  // Deflation causes no fail-stop losses; rare preemptions still do.
+  report.customer_loss = static_cast<double>(usage.preemptions) *
+                         model.preemption_loss_cpu_hours * model.on_demand_cpu_hour;
+  return Finish(report, usage.low_pri_effective_cpu_hours);
+}
+
+RevenueReport PriceDeflatableRaaS(const UsageSummary& usage, const PricingModel& model) {
+  RevenueReport report;
+  const double rate = model.on_demand_cpu_hour * (1.0 - model.deflatable_discount);
+  // Billed only for what was actually allocated.
+  report.customer_cost = usage.low_pri_effective_cpu_hours * rate;
+  report.provider_revenue = report.customer_cost;
+  report.customer_loss = static_cast<double>(usage.preemptions) *
+                         model.preemption_loss_cpu_hours * model.on_demand_cpu_hour;
+  return Finish(report, usage.low_pri_effective_cpu_hours);
+}
+
+RevenueReport PricePreemptible(const UsageSummary& usage, const PricingModel& model) {
+  RevenueReport report;
+  const double rate = model.on_demand_cpu_hour * (1.0 - model.preemptible_discount);
+  report.customer_cost = usage.low_pri_nominal_cpu_hours * rate;
+  report.provider_revenue = report.customer_cost;
+  report.customer_loss = static_cast<double>(usage.preemptions) *
+                         model.preemption_loss_cpu_hours * model.on_demand_cpu_hour;
+  return Finish(report, usage.low_pri_effective_cpu_hours);
+}
+
+}  // namespace defl

@@ -1,0 +1,54 @@
+// Pricing models for deflatable VMs (the paper's §8 "Pricing" discussion):
+//   * flat-discount -- deflatable/preemptible VMs billed per VM-hour at a
+//     deep discount off on-demand, regardless of what they actually got
+//     (today's spot model);
+//   * resource-as-a-service (RaaS, Agmon Ben-Yehuda et al.) -- billed for
+//     the resources actually allocated: deflated hours cost less.
+// The report compares provider revenue and the customer's effective cost per
+// *useful* CPU-hour, charging preempted customers for the work they lose.
+#ifndef SRC_CLUSTER_PRICING_H_
+#define SRC_CLUSTER_PRICING_H_
+
+#include <cstdint>
+
+namespace defl {
+
+// Accumulated by the trace-driven cluster simulation.
+struct UsageSummary {
+  double low_pri_vm_hours = 0.0;            // wall-clock existence
+  double low_pri_nominal_cpu_hours = 0.0;   // at nominal VM sizes
+  double low_pri_effective_cpu_hours = 0.0; // actually backed (post-deflation)
+  double high_pri_cpu_hours = 0.0;
+  int64_t preemptions = 0;
+};
+
+struct PricingModel {
+  double on_demand_cpu_hour = 0.05;    // $ per vCPU-hour (memory bundled)
+  double preemptible_discount = 0.75;  // spot-style: ~4x cheaper
+  double deflatable_discount = 0.65;   // deflatable VMs priced slightly higher
+                                       // (they are more useful, Section 8)
+  // Work a customer loses per preemption, charged at the on-demand rate
+  // (checkpoint gap + restart, in CPU-hours).
+  double preemption_loss_cpu_hours = 2.0;
+};
+
+struct RevenueReport {
+  double provider_revenue = 0.0;       // $ from low-priority capacity
+  double customer_cost = 0.0;          // $ paid by low-priority customers
+  double customer_loss = 0.0;          // $ equivalent of disruption losses
+  // (cost + loss) / effective CPU-hours actually received.
+  double effective_cost_per_cpu_hour = 0.0;
+};
+
+// Deflatable VMs at a flat per-VM-hour discount (nominal size billed).
+RevenueReport PriceDeflatableFlat(const UsageSummary& usage, const PricingModel& model);
+
+// Deflatable VMs billed per allocated resource-hour (RaaS).
+RevenueReport PriceDeflatableRaaS(const UsageSummary& usage, const PricingModel& model);
+
+// Conventional preemptible VMs (flat discount + preemption losses).
+RevenueReport PricePreemptible(const UsageSummary& usage, const PricingModel& model);
+
+}  // namespace defl
+
+#endif  // SRC_CLUSTER_PRICING_H_

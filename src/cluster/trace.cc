@@ -1,0 +1,100 @@
+#include "src/cluster/trace.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "src/common/rng.h"
+
+namespace defl {
+
+std::vector<VmCatalogEntry> DefaultVmCatalog() {
+  // Sizes follow a typical cloud catalog (4 GB per core, I/O scaled with
+  // size). Minimum fractions per application class: Spark tolerates deep
+  // deflation (task scale-down), memcached needs enough memory for its hot
+  // set, SpecJBB needs live heap plus headroom.
+  // Minimum fractions follow the Figure 1 deflation-tolerance curves: Spark
+  // and batch jobs survive 80-90% deflation, memcached needs its hot set,
+  // SpecJBB needs live heap plus headroom.
+  return {
+      {"spark", ResourceVector(4.0, 16384.0, 100.0, 500.0), 0.10, 0.35},
+      {"spark-large", ResourceVector(8.0, 32768.0, 200.0, 1000.0), 0.10, 0.10},
+      {"memcached", ResourceVector(2.0, 8192.0, 50.0, 500.0), 0.20, 0.25},
+      {"specjbb", ResourceVector(4.0, 16384.0, 50.0, 250.0), 0.30, 0.15},
+      {"batch", ResourceVector(1.0, 4096.0, 25.0, 100.0), 0.05, 0.15},
+  };
+}
+
+std::vector<TraceEvent> GenerateTrace(const TraceConfig& config) {
+  assert(config.arrival_rate_per_s > 0.0 && !config.catalog.empty());
+  Rng rng(config.seed);
+
+  double total_weight = 0.0;
+  for (const VmCatalogEntry& entry : config.catalog) {
+    total_weight += entry.weight;
+  }
+
+  std::vector<TraceEvent> events;
+  double t = rng.Exponential(config.arrival_rate_per_s);
+  int64_t next_id = 0;
+  while (t < config.duration_s) {
+    // Pick a catalog entry by weight.
+    double pick = rng.NextDouble() * total_weight;
+    const VmCatalogEntry* chosen = &config.catalog.back();
+    for (const VmCatalogEntry& entry : config.catalog) {
+      pick -= entry.weight;
+      if (pick <= 0.0) {
+        chosen = &entry;
+        break;
+      }
+    }
+
+    TraceEvent event;
+    event.arrival_s = t;
+    event.lifetime_s = rng.BoundedPareto(config.min_lifetime_s, config.max_lifetime_s,
+                                         config.lifetime_alpha);
+    event.spec.name = chosen->app + "-" + std::to_string(next_id++);
+    event.spec.size = chosen->size;
+    event.spec.priority = rng.Chance(config.low_priority_fraction)
+                              ? VmPriority::kLow
+                              : VmPriority::kHigh;
+    event.spec.min_size = chosen->size * chosen->min_fraction;
+    events.push_back(event);
+
+    t += rng.Exponential(config.arrival_rate_per_s);
+  }
+  return events;
+}
+
+double MeanVmCpu(const TraceConfig& config) {
+  double total_weight = 0.0;
+  double weighted_cpu = 0.0;
+  for (const VmCatalogEntry& entry : config.catalog) {
+    total_weight += entry.weight;
+    weighted_cpu += entry.weight * entry.size.cpu();
+  }
+  return total_weight > 0.0 ? weighted_cpu / total_weight : 0.0;
+}
+
+double MeanLifetimeS(const TraceConfig& config) {
+  // Mean of a bounded Pareto on [L, H] with tail alpha (alpha != 1).
+  const double l = config.min_lifetime_s;
+  const double h = config.max_lifetime_s;
+  const double a = config.lifetime_alpha;
+  const double la = std::pow(l, a);
+  const double ha = std::pow(h, a);
+  return la / (1.0 - la / ha) * a / (a - 1.0) *
+         (1.0 / std::pow(l, a - 1.0) - 1.0 / std::pow(h, a - 1.0));
+}
+
+TraceConfig WithTargetLoad(const TraceConfig& config, double target_load,
+                           int num_servers, const ResourceVector& server_capacity) {
+  assert(target_load > 0.0);
+  TraceConfig out = config;
+  const double cluster_cpu = num_servers * server_capacity.cpu();
+  // Little's law: offered CPU = rate * E[lifetime] * E[vm cpu].
+  out.arrival_rate_per_s =
+      target_load * cluster_cpu / (MeanLifetimeS(config) * MeanVmCpu(config));
+  return out;
+}
+
+}  // namespace defl

@@ -1,0 +1,130 @@
+#include "src/cluster/trace_io.h"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+
+namespace defl {
+namespace {
+
+constexpr const char* kHeader =
+    "# arrival_s,lifetime_s,name,priority,cpus,memory_mb,disk_bw,net_bw,"
+    "min_cpus,min_memory_mb,min_disk_bw,min_net_bw";
+
+Result<double> ParseNumber(const std::string& field, int line_no) {
+  double value = 0.0;
+  const auto [ptr, ec] =
+      std::from_chars(field.data(), field.data() + field.size(), value);
+  if (ec != std::errc() || ptr != field.data() + field.size()) {
+    return Error{"line " + std::to_string(line_no) + ": bad number '" + field + "'"};
+  }
+  return value;
+}
+
+std::vector<std::string> SplitCsv(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string field;
+  std::istringstream in(line);
+  while (std::getline(in, field, ',')) {
+    fields.push_back(field);
+  }
+  return fields;
+}
+
+}  // namespace
+
+void WriteTraceCsv(const std::vector<TraceEvent>& trace, std::ostream& out) {
+  out << kHeader << "\n";
+  out.precision(12);  // round-trip fidelity for times and sizes
+  for (const TraceEvent& e : trace) {
+    out << e.arrival_s << ',' << e.lifetime_s << ',' << e.spec.name << ','
+        << (e.spec.priority == VmPriority::kLow ? "low" : "high") << ','
+        << e.spec.size.cpu() << ',' << e.spec.size.memory_mb() << ','
+        << e.spec.size.disk_bw() << ',' << e.spec.size.net_bw() << ','
+        << e.spec.min_size.cpu() << ',' << e.spec.min_size.memory_mb() << ','
+        << e.spec.min_size.disk_bw() << ',' << e.spec.min_size.net_bw() << "\n";
+  }
+}
+
+std::string TraceToCsv(const std::vector<TraceEvent>& trace) {
+  std::ostringstream out;
+  WriteTraceCsv(trace, out);
+  return out.str();
+}
+
+Result<std::vector<TraceEvent>> ReadTraceCsv(std::istream& in) {
+  std::vector<TraceEvent> trace;
+  std::string line;
+  int line_no = 0;
+  double last_arrival = -1.0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    const std::vector<std::string> fields = SplitCsv(line);
+    if (fields.size() != 12) {
+      return Error{"line " + std::to_string(line_no) + ": expected 12 fields, got " +
+                   std::to_string(fields.size())};
+    }
+    TraceEvent event;
+    double numbers[10] = {};
+    // Numeric fields: 0,1 then 4..11 (2 = name, 3 = priority).
+    const int numeric_indexes[10] = {0, 1, 4, 5, 6, 7, 8, 9, 10, 11};
+    for (int i = 0; i < 10; ++i) {
+      const Result<double> parsed =
+          ParseNumber(fields[static_cast<size_t>(numeric_indexes[i])], line_no);
+      if (!parsed.ok()) {
+        return Error{parsed.error()};
+      }
+      numbers[i] = parsed.value();
+    }
+    event.arrival_s = numbers[0];
+    event.lifetime_s = numbers[1];
+    event.spec.name = fields[2];
+    if (fields[3] == "low") {
+      event.spec.priority = VmPriority::kLow;
+    } else if (fields[3] == "high") {
+      event.spec.priority = VmPriority::kHigh;
+    } else {
+      return Error{"line " + std::to_string(line_no) + ": bad priority '" + fields[3] +
+                   "'"};
+    }
+    event.spec.size = ResourceVector(numbers[2], numbers[3], numbers[4], numbers[5]);
+    event.spec.min_size = ResourceVector(numbers[6], numbers[7], numbers[8], numbers[9]);
+    if (event.arrival_s < last_arrival) {
+      return Error{"line " + std::to_string(line_no) + ": arrivals not sorted"};
+    }
+    if (event.lifetime_s <= 0.0 || !event.spec.min_size.AllLeq(event.spec.size)) {
+      return Error{"line " + std::to_string(line_no) + ": invalid event"};
+    }
+    last_arrival = event.arrival_s;
+    trace.push_back(std::move(event));
+  }
+  return trace;
+}
+
+Result<std::vector<TraceEvent>> ParseTraceCsv(const std::string& text) {
+  std::istringstream in(text);
+  return ReadTraceCsv(in);
+}
+
+Result<bool> SaveTraceFile(const std::vector<TraceEvent>& trace,
+                           const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return Error{"cannot open for writing: " + path};
+  }
+  WriteTraceCsv(trace, out);
+  return true;
+}
+
+Result<std::vector<TraceEvent>> LoadTraceFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Error{"cannot open: " + path};
+  }
+  return ReadTraceCsv(in);
+}
+
+}  // namespace defl

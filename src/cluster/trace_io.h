@@ -1,0 +1,37 @@
+// Trace file I/O: the paper drives its cluster simulator from the
+// Eucalyptus workload traces; this reader/writer lets users plug in their
+// own traces in a simple CSV schema (one VM per line):
+//
+//   arrival_s,lifetime_s,name,priority,cpus,memory_mb,disk_bw,net_bw,
+//   min_cpus,min_memory_mb,min_disk_bw,min_net_bw
+//
+// Lines starting with '#' are comments. Parsing is strict: malformed rows
+// produce an error naming the line, not silently skewed experiments.
+#ifndef SRC_CLUSTER_TRACE_IO_H_
+#define SRC_CLUSTER_TRACE_IO_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/cluster/trace.h"
+#include "src/common/result.h"
+
+namespace defl {
+
+// Serializes a trace; the inverse of ParseTraceCsv.
+std::string TraceToCsv(const std::vector<TraceEvent>& trace);
+void WriteTraceCsv(const std::vector<TraceEvent>& trace, std::ostream& out);
+
+// Parses a CSV trace. Events must be sorted by arrival time (verified).
+Result<std::vector<TraceEvent>> ParseTraceCsv(const std::string& text);
+Result<std::vector<TraceEvent>> ReadTraceCsv(std::istream& in);
+
+// Convenience file wrappers.
+Result<bool> SaveTraceFile(const std::vector<TraceEvent>& trace,
+                           const std::string& path);
+Result<std::vector<TraceEvent>> LoadTraceFile(const std::string& path);
+
+}  // namespace defl
+
+#endif  // SRC_CLUSTER_TRACE_IO_H_

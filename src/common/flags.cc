@@ -1,0 +1,129 @@
+#include "src/common/flags.h"
+
+#include <charconv>
+#include <sstream>
+
+namespace defl {
+namespace {
+
+std::string BoolText(bool b) { return b ? "true" : "false"; }
+
+}  // namespace
+
+FlagParser::FlagParser(std::string program_description)
+    : description_(std::move(program_description)) {}
+
+void FlagParser::AddString(const std::string& name, const std::string& help,
+                           std::string* out) {
+  flags_.push_back(Flag{name, help, Kind::kString, out, *out});
+}
+
+void FlagParser::AddDouble(const std::string& name, const std::string& help,
+                           double* out) {
+  flags_.push_back(Flag{name, help, Kind::kDouble, out, std::to_string(*out)});
+}
+
+void FlagParser::AddInt(const std::string& name, const std::string& help,
+                        int64_t* out) {
+  flags_.push_back(Flag{name, help, Kind::kInt, out, std::to_string(*out)});
+}
+
+void FlagParser::AddBool(const std::string& name, const std::string& help, bool* out) {
+  flags_.push_back(Flag{name, help, Kind::kBool, out, BoolText(*out)});
+}
+
+FlagParser::Flag* FlagParser::Find(const std::string& name) {
+  for (Flag& flag : flags_) {
+    if (flag.name == name) {
+      return &flag;
+    }
+  }
+  return nullptr;
+}
+
+Result<bool> FlagParser::Assign(Flag& flag, const std::string& value) {
+  switch (flag.kind) {
+    case Kind::kString:
+      *static_cast<std::string*>(flag.out) = value;
+      return true;
+    case Kind::kDouble: {
+      double parsed = 0.0;
+      const auto [ptr, ec] =
+          std::from_chars(value.data(), value.data() + value.size(), parsed);
+      if (ec != std::errc() || ptr != value.data() + value.size()) {
+        return Error{"--" + flag.name + ": bad number '" + value + "'"};
+      }
+      *static_cast<double*>(flag.out) = parsed;
+      return true;
+    }
+    case Kind::kInt: {
+      int64_t parsed = 0;
+      const auto [ptr, ec] =
+          std::from_chars(value.data(), value.data() + value.size(), parsed);
+      if (ec != std::errc() || ptr != value.data() + value.size()) {
+        return Error{"--" + flag.name + ": bad integer '" + value + "'"};
+      }
+      *static_cast<int64_t*>(flag.out) = parsed;
+      return true;
+    }
+    case Kind::kBool:
+      if (value == "true" || value == "1") {
+        *static_cast<bool*>(flag.out) = true;
+      } else if (value == "false" || value == "0") {
+        *static_cast<bool*>(flag.out) = false;
+      } else {
+        return Error{"--" + flag.name + ": bad boolean '" + value + "'"};
+      }
+      return true;
+  }
+  return Error{"internal: unknown flag kind"};
+}
+
+Result<std::vector<std::string>> FlagParser::Parse(int argc, const char* const* argv) {
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      return Error{Usage()};
+    }
+    if (arg.rfind("--", 0) != 0) {
+      positional.push_back(arg);
+      continue;
+    }
+    const size_t eq = arg.find('=');
+    const std::string name = arg.substr(2, eq == std::string::npos ? std::string::npos
+                                                                   : eq - 2);
+    Flag* flag = Find(name);
+    if (flag == nullptr) {
+      return Error{"unknown flag --" + name + "\n" + Usage()};
+    }
+    std::string value;
+    if (eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+    } else if (flag->kind == Kind::kBool) {
+      value = "true";
+    } else {
+      if (i + 1 >= argc) {
+        return Error{"--" + name + " needs a value"};
+      }
+      value = argv[++i];
+    }
+    const Result<bool> assigned = Assign(*flag, value);
+    if (!assigned.ok()) {
+      return Error{assigned.error()};
+    }
+  }
+  return positional;
+}
+
+std::string FlagParser::Usage() const {
+  std::ostringstream os;
+  os << description_ << "\n\nflags:\n";
+  for (const Flag& flag : flags_) {
+    os << "  --" << flag.name << "  " << flag.help << " (default: " << flag.default_text
+       << ")\n";
+  }
+  return os.str();
+}
+
+}  // namespace defl

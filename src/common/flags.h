@@ -1,0 +1,53 @@
+// A minimal command-line flag parser for the tools (no external
+// dependencies): --name=value / --name value / --bool-flag, typed
+// registration, generated usage text, and strict errors on unknown flags or
+// bad values.
+#ifndef SRC_COMMON_FLAGS_H_
+#define SRC_COMMON_FLAGS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+
+namespace defl {
+
+class FlagParser {
+ public:
+  explicit FlagParser(std::string program_description);
+
+  // Registration: `out` must outlive Parse(); it is pre-filled with the
+  // current (default) value shown in the usage text.
+  void AddString(const std::string& name, const std::string& help, std::string* out);
+  void AddDouble(const std::string& name, const std::string& help, double* out);
+  void AddInt(const std::string& name, const std::string& help, int64_t* out);
+  // Bools: `--name` sets true, `--name=false/true` sets explicitly.
+  void AddBool(const std::string& name, const std::string& help, bool* out);
+
+  // Parses argv (skipping argv[0]). On success returns the positional
+  // (non-flag) arguments. `--help` yields an error whose message is the
+  // usage text.
+  Result<std::vector<std::string>> Parse(int argc, const char* const* argv);
+
+  std::string Usage() const;
+
+ private:
+  enum class Kind { kString, kDouble, kInt, kBool };
+  struct Flag {
+    std::string name;
+    std::string help;
+    Kind kind;
+    void* out;
+    std::string default_text;
+  };
+
+  Flag* Find(const std::string& name);
+  Result<bool> Assign(Flag& flag, const std::string& value);
+
+  std::string description_;
+  std::vector<Flag> flags_;
+};
+
+}  // namespace defl
+
+#endif  // SRC_COMMON_FLAGS_H_

@@ -1,0 +1,48 @@
+// Minimal leveled logging for the library and harnesses. Logging is off by
+// default at kDebug and writes to stderr so bench stdout stays machine-
+// readable. Not thread-safe by design: the simulator is single-threaded.
+#ifndef SRC_COMMON_LOGGING_H_
+#define SRC_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace defl {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+// Global threshold; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// Emits one line "[LEVEL] message" to stderr if level passes the threshold.
+void LogMessage(LogLevel level, const std::string& message);
+
+namespace internal {
+
+// Stream-style collector used by the DEFL_LOG macro.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { LogMessage(level_, stream_.str()); }
+
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace defl
+
+#define DEFL_LOG(level) ::defl::internal::LogLine(::defl::LogLevel::level)
+
+#endif  // SRC_COMMON_LOGGING_H_

@@ -1,0 +1,89 @@
+#include "src/common/lru_analytics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/rng.h"
+
+namespace defl {
+namespace {
+
+constexpr int64_t kExactHead = 1024;
+constexpr int kTailBuckets = 256;
+
+// Evaluates sum_{i=1..n} f(p_i) with p_i = i^{-s} / H_{n,s}: exact head plus
+// log-bucketed midpoint integration of the tail. `f` must be smooth in p.
+template <typename F>
+double ZipfSum(int64_t n, double s, F&& f) {
+  const double h_n = GeneralizedHarmonic(n, s);
+  double sum = 0.0;
+  const int64_t head = std::min(n, kExactHead);
+  for (int64_t i = 1; i <= head; ++i) {
+    sum += f(std::pow(static_cast<double>(i), -s) / h_n);
+  }
+  if (n <= kExactHead) {
+    return sum;
+  }
+  // Tail: integrate f(x^-s / H) dx over [head + 0.5, n + 0.5] in log space.
+  const double lo = static_cast<double>(head) + 0.5;
+  const double hi = static_cast<double>(n) + 0.5;
+  const double log_ratio = std::log(hi / lo);
+  double prev_edge = lo;
+  for (int b = 1; b <= kTailBuckets; ++b) {
+    const double edge = lo * std::exp(log_ratio * b / kTailBuckets);
+    const double mid = std::sqrt(prev_edge * edge);  // geometric midpoint
+    const double width = edge - prev_edge;
+    sum += width * f(std::pow(mid, -s) / h_n);
+    prev_edge = edge;
+  }
+  return sum;
+}
+
+// Expected number of distinct items referenced within time T.
+double ExpectedOccupancy(int64_t n, double s, double t) {
+  return ZipfSum(n, s, [t](double p) { return 1.0 - std::exp(-p * t); });
+}
+
+}  // namespace
+
+double CheCharacteristicTime(int64_t n, int64_t capacity, double s) {
+  if (capacity <= 0 || n <= 0) {
+    return 0.0;
+  }
+  if (capacity >= n) {
+    return 1e300;  // everything fits; infinite characteristic time
+  }
+  // Bisection on T: occupancy is monotone increasing in T.
+  double lo = 0.0;
+  double hi = 1.0;
+  while (ExpectedOccupancy(n, s, hi) < static_cast<double>(capacity) && hi < 1e280) {
+    hi *= 4.0;
+  }
+  for (int iter = 0; iter < 128; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (ExpectedOccupancy(n, s, mid) < static_cast<double>(capacity)) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+    if (hi - lo <= 1e-9 * hi) {
+      break;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+double CheLruHitRate(int64_t n, int64_t capacity, double s) {
+  if (capacity <= 0 || n <= 0) {
+    return 0.0;
+  }
+  if (capacity >= n) {
+    return 1.0;
+  }
+  const double t = CheCharacteristicTime(n, capacity, s);
+  const double hit =
+      ZipfSum(n, s, [t](double p) { return p * (1.0 - std::exp(-p * t)); });
+  return std::clamp(hit, 0.0, 1.0);
+}
+
+}  // namespace defl

@@ -1,0 +1,32 @@
+// Analytic LRU cache models under the independent reference model with
+// Zipf-distributed popularity.
+//
+// ZipfHeadFraction (rng.h) gives the *ideal* top-k hit rate, which
+// overestimates real LRU noticeably at moderate skew. Che's approximation
+// [Che, Tung, Wang 2002] models the actual LRU dynamics via the cache
+// characteristic time T_C -- the solution of
+//     sum_i (1 - exp(-p_i * T_C)) = C
+// with hit rate
+//     H = sum_i p_i * (1 - exp(-p_i * T_C)),
+// and is known to track real LRU within a percent or two. The sums are
+// evaluated with an exact head plus log-bucketed integration of the tail,
+// so the functions are cheap even for hundred-million-item universes.
+#ifndef SRC_COMMON_LRU_ANALYTICS_H_
+#define SRC_COMMON_LRU_ANALYTICS_H_
+
+#include <cstdint>
+
+namespace defl {
+
+// Characteristic time of an LRU cache of `capacity` items over a Zipf(s)
+// universe of n items (in units of requests). Returns 0 when capacity <= 0
+// and +inf-like large values as capacity -> n.
+double CheCharacteristicTime(int64_t n, int64_t capacity, double s);
+
+// LRU hit rate per Che's approximation; in [0, 1]. Exact limits: 0 for an
+// empty cache, 1 when the whole universe fits.
+double CheLruHitRate(int64_t n, int64_t capacity, double s);
+
+}  // namespace defl
+
+#endif  // SRC_COMMON_LRU_ANALYTICS_H_

@@ -1,0 +1,54 @@
+// A small Result<T> error type (C++23 std::expected is not available under
+// the C++20 toolchain). Operations that can fail at runtime for reasons the
+// caller must handle -- e.g. hot-unplug refusing a request, placement finding
+// no feasible server -- return Result instead of throwing.
+#ifndef SRC_COMMON_RESULT_H_
+#define SRC_COMMON_RESULT_H_
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace defl {
+
+struct Error {
+  std::string message;
+};
+
+template <typename T>
+class Result {
+ public:
+  // Implicit construction from a value or an Error keeps call sites terse:
+  //   return Error{"no feasible server"};
+  Result(T value) : data_(std::move(value)) {}       // NOLINT(google-explicit-constructor)
+  Result(Error error) : data_(std::move(error)) {}   // NOLINT(google-explicit-constructor)
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(data_));
+  }
+
+  const std::string& error() const {
+    assert(!ok());
+    return std::get<Error>(data_).message;
+  }
+
+ private:
+  std::variant<T, Error> data_;
+};
+
+}  // namespace defl
+
+#endif  // SRC_COMMON_RESULT_H_

@@ -1,0 +1,110 @@
+#include "src/common/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+namespace defl {
+
+void RunningStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+void RunningStats::Merge(const RunningStats& other) {
+  if (other.count_ == 0) {
+    return;
+  }
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto n1 = static_cast<double>(count_);
+  const auto n2 = static_cast<double>(other.count_);
+  const double n = n1 + n2;
+  mean_ += delta * n2 / n;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) {
+    return 0.0;
+  }
+  assert(p >= 0.0 && p <= 100.0);
+  std::sort(values.begin(), values.end());
+  const double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] + frac * (values[hi] - values[lo]);
+}
+
+Histogram::Histogram(double lo, double hi, int bins)
+    : lo_(lo), width_((hi - lo) / bins), counts_(static_cast<size_t>(bins), 0) {
+  assert(bins > 0 && hi > lo);
+}
+
+void Histogram::Add(double x) {
+  auto bin = static_cast<int64_t>((x - lo_) / width_);
+  bin = std::clamp<int64_t>(bin, 0, static_cast<int64_t>(counts_.size()) - 1);
+  ++counts_[static_cast<size_t>(bin)];
+  ++total_;
+}
+
+double Histogram::bin_lo(int bin) const { return lo_ + width_ * bin; }
+double Histogram::bin_hi(int bin) const { return lo_ + width_ * (bin + 1); }
+
+std::string Histogram::ToString() const {
+  std::ostringstream os;
+  for (int b = 0; b < num_bins(); ++b) {
+    os << "[" << bin_lo(b) << ", " << bin_hi(b) << "): " << bin_count(b) << "\n";
+  }
+  return os.str();
+}
+
+void TimeWeightedMean::Update(double time, double value) {
+  if (started_) {
+    assert(time >= last_time_);
+    weighted_sum_ += last_value_ * (time - last_time_);
+    total_time_ += time - last_time_;
+  }
+  started_ = true;
+  last_time_ = time;
+  last_value_ = value;
+}
+
+double TimeWeightedMean::Finish(double t_end) {
+  Update(t_end, last_value_);
+  return mean();
+}
+
+double TimeWeightedMean::mean() const {
+  return total_time_ > 0.0 ? weighted_sum_ / total_time_ : last_value_;
+}
+
+}  // namespace defl

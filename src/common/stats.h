@@ -1,0 +1,88 @@
+// Streaming and batch statistics used by the benchmark harnesses and the
+// cluster simulator: Welford running moments, percentiles, fixed-bin
+// histograms, and a time-weighted average accumulator for utilization-style
+// metrics sampled over simulated time.
+#ifndef SRC_COMMON_STATS_H_
+#define SRC_COMMON_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace defl {
+
+// Numerically stable running mean/variance/min/max (Welford's algorithm).
+class RunningStats {
+ public:
+  void Add(double x);
+
+  int64_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  // Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+  // Merge another accumulator into this one (parallel-friendly).
+  void Merge(const RunningStats& other);
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+// Percentile with linear interpolation between order statistics.
+// p in [0, 100]. Sorts a copy; fine for harness-sized data.
+double Percentile(std::vector<double> values, double p);
+
+// Fixed-width histogram over [lo, hi); out-of-range samples clamp to the
+// first/last bin. Used for reporting distributions in bench output.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, int bins);
+
+  void Add(double x);
+  int64_t bin_count(int bin) const { return counts_[static_cast<size_t>(bin)]; }
+  int num_bins() const { return static_cast<int>(counts_.size()); }
+  int64_t total() const { return total_; }
+  double bin_lo(int bin) const;
+  double bin_hi(int bin) const;
+
+  // Multi-line "lo..hi: count" rendering for harness output.
+  std::string ToString() const;
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<int64_t> counts_;
+  int64_t total_ = 0;
+};
+
+// Time-weighted mean of a piecewise-constant signal, e.g. cluster utilization
+// over simulated seconds. Call Update(t, v) at each change point; the value v
+// holds from time t until the next update or Finish(t_end).
+class TimeWeightedMean {
+ public:
+  void Update(double time, double value);
+  // Closes the signal at time t_end and returns the weighted mean.
+  double Finish(double t_end);
+  double mean() const;
+
+ private:
+  bool started_ = false;
+  double last_time_ = 0.0;
+  double last_value_ = 0.0;
+  double weighted_sum_ = 0.0;
+  double total_time_ = 0.0;
+};
+
+}  // namespace defl
+
+#endif  // SRC_COMMON_STATS_H_

@@ -1,0 +1,189 @@
+#include "src/core/cascade.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/logging.h"
+
+namespace defl {
+
+const char* DeflationModeName(DeflationMode mode) {
+  switch (mode) {
+    case DeflationMode::kHypervisorOnly:
+      return "hypervisor-only";
+    case DeflationMode::kOsOnly:
+      return "os-only";
+    case DeflationMode::kVmLevel:
+      return "vm-level";
+    case DeflationMode::kCascade:
+      return "cascade";
+    case DeflationMode::kBalloonLevel:
+      return "balloon-level";
+  }
+  return "?";
+}
+
+CascadeController::CascadeController(DeflationMode mode, LatencyParams latency_params)
+    : mode_(mode), latency_model_(latency_params) {}
+
+DeflationOutcome CascadeController::Deflate(Vm& vm, DeflationAgent* agent,
+                                            const ResourceVector& target) {
+  return Deflate(vm, agent, target, CascadeOptions{});
+}
+
+DeflationOutcome CascadeController::Deflate(Vm& vm, DeflationAgent* agent,
+                                            const ResourceVector& target,
+                                            const CascadeOptions& options) {
+  DeflationOutcome out;
+  out.requested = target.ClampNonNegative();
+
+  const bool use_app = mode_ == DeflationMode::kCascade;
+  const bool use_balloon = mode_ == DeflationMode::kBalloonLevel;
+  const bool use_os =
+      mode_ != DeflationMode::kHypervisorOnly && mode_ != DeflationMode::kBalloonLevel;
+  const bool use_hv = mode_ != DeflationMode::kOsOnly;
+  const LatencyParams& lat = latency_model_.params();
+  // Remaining wall-clock budget for the upper (synchronous) stages.
+  double budget_s = options.deadline_s > 0.0
+                        ? std::max(0.0, options.deadline_s - lat.fixed_s)
+                        : -1.0;
+
+  GuestOs& guest = vm.guest_os();
+  const double safe_free_before_mb = guest.SafelyUnpluggable().memory_mb();
+
+  // --- Stage 1: application self-deflation (Figure 3: app_r). ---
+  if (use_app && agent != nullptr) {
+    ResourceVector app_target = out.requested;
+    if (budget_s >= 0.0) {
+      // Only ask the agent for what it can free within the time budget;
+      // the rest falls through immediately (Section 5 timeout behavior).
+      const double stage_budget = std::max(0.0, budget_s - lat.app_fixed_s);
+      const double mem_cap = stage_budget * lat.app_free_mbps;
+      if (app_target.memory_mb() > mem_cap) {
+        app_target[ResourceKind::kMemory] = mem_cap;
+        out.deadline_clipped = true;
+      }
+      if (mem_cap <= 0.0 && budget_s < lat.app_fixed_s) {
+        app_target = ResourceVector::Zero();  // no time even for the round trip
+      }
+    }
+    out.app_freed = agent->SelfDeflate(app_target).ClampNonNegative();
+    // The app's footprint changed; tell the guest so unplug sees the freed
+    // memory as reclaimable.
+    guest.set_app_used_mb(agent->MemoryFootprintMb());
+    out.breakdown.used_app_level = true;
+    out.breakdown.app_freed_mb = out.app_freed.memory_mb();
+    if (budget_s >= 0.0) {
+      budget_s = std::max(0.0, budget_s - latency_model_.AppStageSeconds(out.breakdown));
+    }
+  }
+
+  // --- Stage 2: guest-OS hot-unplug (Figure 3: hot_unplug). ---
+  if (use_os) {
+    ResourceVector unplug_target;
+    bool force = false;
+    if (mode_ == DeflationMode::kOsOnly) {
+      // OS-only baseline: no fall-through exists, so the full target is
+      // forced onto the unplug mechanism (this is what makes it unsafe --
+      // the application can OOM, as in Figure 5a).
+      unplug_target = out.requested;
+      force = true;
+    } else {
+      // unplug_target = min(target, max(app_r, safely_free)) per Figure 3.
+      unplug_target = out.app_freed.Max(guest.SafelyUnpluggable()).Min(out.requested);
+    }
+    if (budget_s >= 0.0) {
+      // Clip unplug work to the remaining budget: already-freed memory
+      // offlines fast, cold memory migrates slower; CPU unplug overlaps.
+      const double freed_pool =
+          std::max(safe_free_before_mb, out.app_freed.memory_mb());
+      const double fast_mb =
+          std::min({unplug_target.memory_mb(), freed_pool,
+                    budget_s * lat.unplug_freed_mbps});
+      const double cold_budget_s =
+          std::max(0.0, budget_s - fast_mb / lat.unplug_freed_mbps);
+      const double cold_cap_mb = cold_budget_s * lat.unplug_cold_mbps;
+      const double mem_cap = fast_mb + cold_cap_mb;
+      if (unplug_target.memory_mb() > mem_cap) {
+        unplug_target[ResourceKind::kMemory] = mem_cap;
+        out.deadline_clipped = true;
+      }
+      const double cpu_cap =
+          std::floor(budget_s / latency_model_.params().cpu_unplug_s);
+      if (unplug_target.cpu() > cpu_cap) {
+        unplug_target[ResourceKind::kCpu] = std::max(0.0, cpu_cap);
+        out.deadline_clipped = true;
+      }
+    }
+    out.unplugged = guest.TryUnplug(unplug_target, force);
+    // Unplugged resources are released to the host automatically; hypervisor
+    // accounting can never exceed what the guest still sees.
+    vm.ClampHvToVisible();
+
+    const double unplugged_mb = out.unplugged.memory_mb();
+    // Memory that was already free (app-freed or idle) is offlined cheaply;
+    // the rest needs page migration.
+    const double freed_pool_mb = std::max(safe_free_before_mb, out.app_freed.memory_mb());
+    out.breakdown.unplug_freed_mb = std::min(unplugged_mb, freed_pool_mb);
+    out.breakdown.unplug_cold_mb = unplugged_mb - out.breakdown.unplug_freed_mb;
+    out.breakdown.unplug_cpus = out.unplugged.cpu();
+  }
+
+  // --- Stage 2 (alternative): balloon driver (comparison baseline). ---
+  if (use_balloon && out.requested.memory_mb() > 0.0) {
+    const double pinned = guest.BalloonInflate(out.requested.memory_mb());
+    out.unplugged[ResourceKind::kMemory] = pinned;  // host-side: memory returned
+    vm.ClampHvToVisible();
+    out.breakdown.balloon_mb = pinned;
+  }
+
+  // --- Stage 3: hypervisor overcommitment picks up the slack. ---
+  if (use_hv) {
+    const ResourceVector remaining = (out.requested - out.unplugged).ClampNonNegative();
+    if (remaining.AnyPositive()) {
+      out.hv_reclaimed = vm.HvReclaim(remaining);
+      out.breakdown.hv_swap_mb = out.hv_reclaimed.memory_mb();
+    }
+  }
+
+  out.latency_seconds = latency_model_.TotalSeconds(out.breakdown);
+  if (!out.TargetMet()) {
+    DEFL_LOG(kDebug) << "vm " << vm.id() << " [" << DeflationModeName(mode_)
+                     << "] missed deflation target: requested "
+                     << out.requested.ToString() << ", reclaimed "
+                     << out.TotalReclaimed().ToString();
+  }
+  return out;
+}
+
+ResourceVector CascadeController::Reinflate(Vm& vm, DeflationAgent* agent,
+                                            const ResourceVector& amount) {
+  const ResourceVector want = amount.ClampNonNegative();
+  // Step 1: raise the hypervisor-level allocation.
+  const ResourceVector released = vm.HvRelease(want);
+  // Step 2a: deflate the balloon (if this controller inflated one).
+  ResourceVector deflated_balloon;
+  deflated_balloon[ResourceKind::kMemory] =
+      vm.guest_os().BalloonDeflate((want - released).memory_mb());
+  // Step 2b: replug OS-level resources with whatever remains.
+  const ResourceVector replugged =
+      vm.guest_os().Replug(want - released - deflated_balloon);
+  const ResourceVector total = released + deflated_balloon + replugged;
+  // Step 3: tell the application it may expand again. The memory offer is
+  // capped at what the guest can actually hold: hypervisor-released
+  // residency only un-swaps existing guest memory, so the application may
+  // grow only into guest-visible headroom.
+  if (agent != nullptr && total.AnyPositive()) {
+    ResourceVector offer = total;
+    const GuestOs& guest = vm.guest_os();
+    const double headroom = guest.visible().memory_mb() - agent->MemoryFootprintMb() -
+                            guest.params().kernel_reserve_mb;
+    offer[ResourceKind::kMemory] =
+        std::clamp(offer.memory_mb(), 0.0, std::max(headroom, 0.0));
+    agent->OnReinflate(offer);
+    vm.guest_os().set_app_used_mb(agent->MemoryFootprintMb());
+  }
+  return total;
+}
+
+}  // namespace defl

@@ -1,0 +1,87 @@
+// Cascade deflation (Section 3.2, Figure 3): the multi-level reclamation
+// controller. Resource pressure is applied top-down -- application first,
+// then guest-OS hot-unplug, then hypervisor overcommitment -- and whatever a
+// layer cannot (or chooses not to) reclaim falls through to the next one.
+// Single-level and two-level baselines from the evaluation (hypervisor-only,
+// OS-only, VM-level) are the same controller with layers masked off.
+#ifndef SRC_CORE_CASCADE_H_
+#define SRC_CORE_CASCADE_H_
+
+#include "src/core/deflation_agent.h"
+#include "src/hypervisor/latency.h"
+#include "src/hypervisor/vm.h"
+#include "src/resources/resource_vector.h"
+
+namespace defl {
+
+enum class DeflationMode {
+  kHypervisorOnly,  // black-box VM overcommitment (Figure 5 "Hypervisor only")
+  kOsOnly,          // forced hot-unplug, no fall-through ("OS only")
+  kVmLevel,         // OS + hypervisor, no app involvement ("Hypervisor+OS")
+  kCascade,         // application + OS + hypervisor (full cascade)
+  kBalloonLevel,    // balloon driver + hypervisor: the classic VMware-style
+                    // reclamation the paper's hot-unplug replaces (Section 7)
+};
+
+const char* DeflationModeName(DeflationMode mode);
+
+struct CascadeOptions {
+  // Wall-clock budget for the reclamation (Section 5: "deflation operations
+  // have a deadline that is primarily determined by the amount of memory
+  // reclamation. If a deflation operation times out, we proceed to the next
+  // level"). The application and OS stages are given only as much work as
+  // fits their share of the budget; the hypervisor absorbs the remainder
+  // (its reclamation proceeds under host control). <= 0 disables.
+  double deadline_s = 0.0;
+};
+
+struct DeflationOutcome {
+  ResourceVector requested;
+  // Freed internally by the application (its allocation shrank).
+  ResourceVector app_freed;
+  // Returned to the host by guest hot-unplug.
+  ResourceVector unplugged;
+  // Reclaimed by hypervisor overcommitment.
+  ResourceVector hv_reclaimed;
+  // Per-stage work items for the latency model.
+  ReclaimBreakdown breakdown;
+  double latency_seconds = 0.0;
+  // A deadline was set and the upper stages were clipped to honor it.
+  bool deadline_clipped = false;
+
+  // Resources actually back in the host's hands.
+  ResourceVector TotalReclaimed() const { return unplugged + hv_reclaimed; }
+  bool TargetMet(double eps = 1e-6) const {
+    return requested.AllLeq(TotalReclaimed(), eps);
+  }
+};
+
+class CascadeController {
+ public:
+  explicit CascadeController(DeflationMode mode,
+                             LatencyParams latency_params = LatencyParams());
+
+  DeflationMode mode() const { return mode_; }
+
+  // Reclaims `target` (absolute amounts) from the VM using the configured
+  // layers. `agent` may be nullptr (unmodified application); it is only
+  // consulted in kCascade mode.
+  DeflationOutcome Deflate(Vm& vm, DeflationAgent* agent, const ResourceVector& target);
+  DeflationOutcome Deflate(Vm& vm, DeflationAgent* agent, const ResourceVector& target,
+                           const CascadeOptions& options);
+
+  // Reverse cascade (Section 5): returns `amount` to the VM -- hypervisor
+  // release first, then memory/CPU replug, then agent notification.
+  // Returns what was actually returned to the VM.
+  ResourceVector Reinflate(Vm& vm, DeflationAgent* agent, const ResourceVector& amount);
+
+  const DeflationLatencyModel& latency_model() const { return latency_model_; }
+
+ private:
+  DeflationMode mode_;
+  DeflationLatencyModel latency_model_;
+};
+
+}  // namespace defl
+
+#endif  // SRC_CORE_CASCADE_H_

@@ -1,0 +1,52 @@
+// Application deflation agent interface. In the paper this is a REST
+// endpoint inside the VM that the per-server local controller calls with a
+// deflation vector; the application responds with the amount of resources it
+// voluntarily relinquished (Section 5, "Implementation details"). Here it is
+// a virtual interface implemented by the application models in src/apps and
+// by the Spark driver in src/spark.
+#ifndef SRC_CORE_DEFLATION_AGENT_H_
+#define SRC_CORE_DEFLATION_AGENT_H_
+
+#include "src/resources/resource_vector.h"
+
+namespace defl {
+
+class DeflationAgent {
+ public:
+  virtual ~DeflationAgent() = default;
+
+  // Asks the application to voluntarily relinquish up to `target` (absolute
+  // amounts). The application applies its own policy -- it may free all,
+  // part, or none of the request (inelastic apps simply return zero).
+  // Returns what was actually freed.
+  virtual ResourceVector SelfDeflate(const ResourceVector& target) = 0;
+
+  // Notifies the application that `added` resources became available again
+  // (reverse cascade, Section 5). The application may re-expand.
+  virtual void OnReinflate(const ResourceVector& added) = 0;
+
+  // Current application memory footprint in MB; the cascade controller
+  // propagates this into the guest OS accounting so hot-unplug knows what
+  // is safely free.
+  virtual double MemoryFootprintMb() const = 0;
+};
+
+// Policy of inelastic applications (synchronous MPI, legacy single-VM apps):
+// ignore deflation requests and let the OS + hypervisor handle everything.
+class InelasticAgent : public DeflationAgent {
+ public:
+  explicit InelasticAgent(double footprint_mb) : footprint_mb_(footprint_mb) {}
+
+  ResourceVector SelfDeflate(const ResourceVector& /*target*/) override {
+    return ResourceVector::Zero();
+  }
+  void OnReinflate(const ResourceVector& /*added*/) override {}
+  double MemoryFootprintMb() const override { return footprint_mb_; }
+
+ private:
+  double footprint_mb_;
+};
+
+}  // namespace defl
+
+#endif  // SRC_CORE_DEFLATION_AGENT_H_

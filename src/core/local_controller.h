@@ -1,0 +1,94 @@
+// Per-server local deflation controller (Section 5, Figure 2). Tracks
+// resource allocation and availability on one server, implements the
+// proportional cascade deflation policy across its low-priority VMs, preempts
+// VMs only when deflation to their minimum sizes cannot satisfy demand, and
+// runs the reverse cascade (proportional reinflation) when resources free up.
+#ifndef SRC_CORE_LOCAL_CONTROLLER_H_
+#define SRC_CORE_LOCAL_CONTROLLER_H_
+
+#include <map>
+#include <vector>
+
+#include "src/core/cascade.h"
+#include "src/core/deflation_agent.h"
+#include "src/hypervisor/server.h"
+#include "src/resources/resource_vector.h"
+
+namespace defl {
+
+// How a server-level shortfall is split across its deflatable VMs.
+enum class DeflationSplit {
+  // x_i proportional to each VM's deflatable headroom (the paper's policy).
+  kProportional,
+  // Equal absolute amounts from every deflatable VM (ablation baseline):
+  // hits small VMs much harder and creates stragglers.
+  kEqual,
+};
+
+const char* DeflationSplitName(DeflationSplit split);
+
+struct LocalControllerConfig {
+  DeflationMode mode = DeflationMode::kCascade;
+  LatencyParams latency;
+  // Safety margin in the proportional target x_i = (1 - alpha) * share_i:
+  // holding back a fraction of each VM's deflatable headroom (Section 5).
+  double alpha = 0.0;
+  DeflationSplit split = DeflationSplit::kProportional;
+  // Per-operation deadline for the synchronous cascade stages (Section 5);
+  // <= 0 disables. Clipped work falls through to the hypervisor.
+  double deflation_deadline_s = 0.0;
+};
+
+struct ReclaimResult {
+  bool success = false;
+  // Resources freed (unplug + overcommit + preempted allocations).
+  ResourceVector freed;
+  // Wall-clock latency: per-VM deflations run concurrently, so the slowest
+  // VM determines it (Section 6.3: "deflation is concurrent across VMs").
+  double latency_seconds = 0.0;
+  std::vector<VmId> deflated;
+  std::vector<VmId> preempted;
+};
+
+class LocalController {
+ public:
+  LocalController(Server* server, const LocalControllerConfig& config = {});
+
+  // Registers/unregisters the application deflation agent for a hosted VM.
+  void RegisterAgent(VmId id, DeflationAgent* agent);
+  void UnregisterAgent(VmId id);
+  DeflationAgent* FindAgent(VmId id) const;
+
+  // Ensures at least `demand` is free on the server, deflating low-priority
+  // VMs proportionally to their deflatable headroom and preempting (farthest-
+  // from-target first) only if deflation cannot cover the shortfall.
+  // Preempted VMs are removed from the server; their ids are reported.
+  ReclaimResult MakeRoom(const ResourceVector& demand);
+
+  // Deflates one VM by an explicit target (used by the cluster manager and
+  // the single-VM benches).
+  DeflationOutcome DeflateVm(VmId id, const ResourceVector& target);
+
+  // Proportionally reinflates deflated VMs from the server's current free
+  // pool, reserving `hold_back` (e.g. for a VM about to arrive).
+  // Returns the total amount returned to VMs.
+  ResourceVector ReinflateAll(const ResourceVector& hold_back = ResourceVector::Zero());
+
+  Server* server() { return server_; }
+  const LocalControllerConfig& config() const { return config_; }
+  CascadeController& cascade() { return cascade_; }
+
+ private:
+  // Total amount a VM has been deflated by (unplug + overcommit).
+  static ResourceVector DeflatedBy(const Vm& vm);
+  CascadeOptions Options() const;
+
+  Server* server_;
+  LocalControllerConfig config_;
+  CascadeController cascade_;
+  std::map<VmId, DeflationAgent*> agents_;
+};
+
+}  // namespace defl
+
+#endif  // SRC_CORE_LOCAL_CONTROLLER_H_

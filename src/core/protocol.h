@@ -1,0 +1,89 @@
+// Wire protocol between the per-server local deflation controller and the
+// in-VM deflation agents. In the paper this is a REST endpoint: "the
+// deflation agents listen to deflation requests (in the form of deflation
+// vectors) ... and respond with the amount of resources voluntarily
+// relinquished" (Section 5). Here the messages are serializable structs with
+// a compact text encoding, so agents can run out-of-process and traces can
+// be logged/replayed; RemoteAgentProxy adapts a wire transport back to the
+// in-process DeflationAgent interface.
+#ifndef SRC_CORE_PROTOCOL_H_
+#define SRC_CORE_PROTOCOL_H_
+
+#include <functional>
+#include <string>
+
+#include "src/common/result.h"
+#include "src/core/deflation_agent.h"
+#include "src/hypervisor/vm.h"
+#include "src/resources/resource_vector.h"
+
+namespace defl {
+
+enum class DeflationMessageKind {
+  kDeflateRequest,    // controller -> agent: please free `amount`
+  kDeflateResponse,   // agent -> controller: freed `amount`
+  kReinflateNotice,   // controller -> agent: `amount` is available again
+  kFootprintQuery,    // controller -> agent
+  kFootprintReport,   // agent -> controller: memory_mb in amount.memory
+};
+
+const char* DeflationMessageKindName(DeflationMessageKind kind);
+
+struct DeflationMessage {
+  DeflationMessageKind kind = DeflationMessageKind::kDeflateRequest;
+  VmId vm_id = 0;
+  // Monotonic per-sender sequence number; responses echo the request's.
+  int64_t sequence = 0;
+  ResourceVector amount;
+};
+
+// Compact single-line encoding:
+//   "defl/1 <kind> vm=<id> seq=<n> cpu=<v> mem=<v> disk=<v> net=<v>"
+std::string EncodeMessage(const DeflationMessage& message);
+
+// Parses a line produced by EncodeMessage; rejects malformed input, unknown
+// kinds, wrong protocol version, and non-numeric fields.
+Result<DeflationMessage> DecodeMessage(const std::string& line);
+
+// A transport delivers an encoded request line and returns the encoded
+// response line (e.g. an HTTP POST in a real deployment; in tests, a lambda
+// wrapping an AgentEndpoint).
+using WireTransport = std::function<std::string(const std::string& request_line)>;
+
+// Server side: wraps a real agent behind the wire protocol.
+class AgentEndpoint {
+ public:
+  AgentEndpoint(VmId vm_id, DeflationAgent* agent);
+
+  // Handles one encoded request line; returns the encoded response line.
+  // Malformed requests yield an encoded error-free zero response with the
+  // request's sequence when parseable, else sequence -1.
+  std::string Handle(const std::string& request_line);
+
+ private:
+  VmId vm_id_;
+  DeflationAgent* agent_;
+};
+
+// Client side: a DeflationAgent that forwards every call over a transport.
+// This is what the local controller registers when the application's agent
+// lives inside the guest.
+class RemoteAgentProxy : public DeflationAgent {
+ public:
+  RemoteAgentProxy(VmId vm_id, WireTransport transport);
+
+  ResourceVector SelfDeflate(const ResourceVector& target) override;
+  void OnReinflate(const ResourceVector& added) override;
+  double MemoryFootprintMb() const override;
+
+  int64_t messages_sent() const { return sequence_; }
+
+ private:
+  VmId vm_id_;
+  WireTransport transport_;
+  mutable int64_t sequence_ = 0;
+};
+
+}  // namespace defl
+
+#endif  // SRC_CORE_PROTOCOL_H_

@@ -1,0 +1,97 @@
+#include "src/hypervisor/guest_os.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace defl {
+
+GuestOs::GuestOs(const ResourceVector& spec) : GuestOs(spec, Params()) {}
+
+GuestOs::GuestOs(const ResourceVector& spec, const Params& params)
+    : spec_(spec), params_(params), fault_rng_(params.fault_seed) {}
+
+ResourceVector GuestOs::SafelyUnpluggable() const {
+  const ResourceVector vis = visible();
+  ResourceVector out;  // zero disk/net: never unplugged
+
+  const double unpinned = vis.cpu() - std::max(pinned_cpus_, params_.min_cpus);
+  out[ResourceKind::kCpu] = std::max(0.0, std::floor(unpinned));
+
+  // Page cache counts as reclaimable: the kernel drops it under pressure.
+  // Balloon-pinned memory (and its fragmentation waste) is not.
+  const double free_mb = UsableMemoryMb() - app_used_mb_ - params_.kernel_reserve_mb;
+  out[ResourceKind::kMemory] = std::max(0.0, free_mb) * params_.unplug_efficiency;
+  return out;
+}
+
+double GuestOs::UsableMemoryMb() const {
+  return visible().memory_mb() - balloon_mb_ - BalloonFragmentationMb();
+}
+
+double GuestOs::BalloonInflate(double mb) {
+  const double safe =
+      std::max(0.0, UsableMemoryMb() - app_used_mb_ - params_.kernel_reserve_mb);
+  // Inflating by x consumes x * (1 + fragmentation) of usable memory.
+  const double pinned =
+      std::min(std::max(mb, 0.0), safe / (1.0 + params_.balloon_fragmentation));
+  balloon_mb_ += pinned;
+  return pinned;
+}
+
+double GuestOs::BalloonDeflate(double mb) {
+  const double released = std::min(std::max(mb, 0.0), balloon_mb_);
+  balloon_mb_ -= released;
+  return released;
+}
+
+ResourceVector GuestOs::TryUnplug(const ResourceVector& target, bool force) {
+  ResourceVector done;
+  const ResourceVector vis = visible();
+
+  // CPU: whole units only; even under force, at least min_cpus stay online.
+  double cpu_req = std::floor(std::max(0.0, target.cpu()));
+  const double cpu_avail =
+      force ? std::max(0.0, vis.cpu() - params_.min_cpus) : SafelyUnpluggable().cpu();
+  done[ResourceKind::kCpu] = std::min(cpu_req, std::floor(cpu_avail));
+
+  // Memory: best-effort; forced unplug ignores the app footprint but still
+  // honors the kernel reserve and unmovable-page efficiency.
+  double mem_req = std::max(0.0, target.memory_mb());
+  double mem_avail;
+  if (force) {
+    mem_avail = std::max(0.0, vis.memory_mb() - params_.kernel_reserve_mb) *
+                params_.unplug_efficiency;
+  } else {
+    mem_avail = SafelyUnpluggable().memory_mb();
+  }
+  // Injected partial failures: page migration can fail to assemble the full
+  // contiguous range; the cascade's lower layers pick up the slack.
+  if (params_.unplug_flakiness > 0.0) {
+    mem_avail *= 1.0 - params_.unplug_flakiness * fault_rng_.NextDouble();
+  }
+  done[ResourceKind::kMemory] = std::min(mem_req, mem_avail);
+
+  // Memory taken beyond the truly-free pool comes out of the page cache
+  // (the kernel drops clean cache pages before anything else).
+  const double reclaimable =
+      std::max(0.0, vis.memory_mb() - app_used_mb_ - params_.kernel_reserve_mb);
+  const double truly_free = std::max(0.0, reclaimable - page_cache_mb_);
+  const double from_cache =
+      std::clamp(done.memory_mb() - truly_free, 0.0, page_cache_mb_);
+  page_cache_mb_ -= from_cache;
+
+  unplugged_ += done;
+  return done;
+}
+
+ResourceVector GuestOs::Replug(const ResourceVector& amount) {
+  const ResourceVector done = amount.ClampNonNegative().Min(unplugged_);
+  unplugged_ -= done;
+  return done;
+}
+
+bool GuestOs::UnderOomPressure() const {
+  return app_used_mb_ + params_.kernel_reserve_mb > UsableMemoryMb();
+}
+
+}  // namespace defl

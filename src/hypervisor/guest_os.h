@@ -1,0 +1,122 @@
+// Guest operating system model: tracks what the guest kernel would know --
+// application memory footprint, reclaimable page cache, pinned vCPUs -- and
+// implements agent-based best-effort resource hot-unplug with the safety
+// semantics described in the paper (Section 3.2.2 / Section 5): unplug
+// operations may partially fail, and the safe policy refuses to take memory
+// the application is actually using.
+#ifndef SRC_HYPERVISOR_GUEST_OS_H_
+#define SRC_HYPERVISOR_GUEST_OS_H_
+
+#include "src/common/rng.h"
+#include "src/resources/resource_vector.h"
+
+namespace defl {
+
+class GuestOs {
+ public:
+  struct Params {
+    // Memory the kernel itself needs; unplug never goes below this.
+    double kernel_reserve_mb = 512.0;
+    // Fraction of nominally free memory that can actually be offlined;
+    // the rest is blocked by unmovable pages (fragmentation).
+    double unplug_efficiency = 0.92;
+    // The OS always keeps at least one online CPU.
+    int min_cpus = 1;
+    // Failure injection: each memory unplug delivers only a random
+    // (1 - flakiness*U[0,1]) fraction of what was computed as available --
+    // "hot unplugging of resources may fail or only succeed in partial
+    // reclamation" (Section 3.2.2). 0 disables. Deterministic per
+    // fault_seed.
+    double unplug_flakiness = 0.0;
+    uint64_t fault_seed = 0;
+    // Ballooning fragmentation: inflating the balloon scatters pinned pages
+    // through the guest's address space, wasting this fraction of the
+    // ballooned amount in unusable slivers (why hotplug beats ballooning,
+    // Section 7 [47, 54]).
+    double balloon_fragmentation = 0.08;
+  };
+
+  // `spec` is the VM's nominal size; the guest starts seeing all of it.
+  explicit GuestOs(const ResourceVector& spec);
+  GuestOs(const ResourceVector& spec, const Params& params);
+
+  // --- State the guest kernel observes ---
+
+  // Resources currently online in the guest (spec - unplugged).
+  ResourceVector visible() const { return spec_ - unplugged_; }
+  const ResourceVector& unplugged() const { return unplugged_; }
+
+  // Application anonymous memory footprint (set by the app model / agent).
+  double app_used_mb() const { return app_used_mb_; }
+  void set_app_used_mb(double mb) { app_used_mb_ = mb; }
+
+  // Page cache: reclaimable by the OS under pressure, so it does not block
+  // unplug, but dropping it has an (application-model-level) cost.
+  double page_cache_mb() const { return page_cache_mb_; }
+  void set_page_cache_mb(double mb) { page_cache_mb_ = mb; }
+
+  // vCPUs with pinned tasks: generally not safely unpluggable.
+  int pinned_cpus() const { return pinned_cpus_; }
+  void set_pinned_cpus(int n) { pinned_cpus_ = n; }
+
+  // --- Unplug/replug mechanism ---
+
+  // Resources that can be unplugged without endangering the application:
+  // free memory plus the reclaimable page cache (the OS "can reduce the
+  // size of its disk caches", Section 3.1) after the kernel reserve and the
+  // app footprint, scaled by unplug efficiency; and unpinned CPUs beyond
+  // the minimum. Disk/network are never unplugged (unsafe; Section 3.2.2).
+  ResourceVector SafelyUnpluggable() const;
+
+  // Best-effort unplug toward `target` (absolute amounts). CPU unplugs in
+  // whole units. When force is false the request is clamped to
+  // SafelyUnpluggable(); when force is true (the OS-only baseline) memory is
+  // taken regardless of the app footprint -- the application may then OOM,
+  // which the app model surfaces as termination. Returns what was actually
+  // unplugged.
+  ResourceVector TryUnplug(const ResourceVector& target, bool force = false);
+
+  // Returns previously unplugged resources to the guest, up to `amount`.
+  // Returns what was actually replugged.
+  ResourceVector Replug(const ResourceVector& amount);
+
+  // --- Balloon driver (the classic guest-aware memory reclamation that
+  // cascade deflation replaces with hot-unplug; kept as a comparison
+  // baseline). The balloon pins guest pages and returns them to the host;
+  // the guest still *sees* the memory but cannot use it, and fragmentation
+  // wastes an extra slice. Best-effort: clamped to safely-free memory. ---
+
+  // Inflates by up to `mb`; returns the amount actually pinned.
+  double BalloonInflate(double mb);
+  // Deflates by up to `mb`; returns the amount released back to the guest.
+  double BalloonDeflate(double mb);
+  double balloon_mb() const { return balloon_mb_; }
+  // Memory the guest cannot use because of balloon fragmentation.
+  double BalloonFragmentationMb() const {
+    return balloon_mb_ * params_.balloon_fragmentation;
+  }
+  // Guest memory actually usable by applications: visible minus the balloon
+  // and its fragmentation waste.
+  double UsableMemoryMb() const;
+
+  // True if the guest-visible memory can no longer hold the application
+  // (the OOM-kill condition used by app models under forced unplug).
+  bool UnderOomPressure() const;
+
+  const Params& params() const { return params_; }
+  const ResourceVector& spec() const { return spec_; }
+
+ private:
+  ResourceVector spec_;
+  Params params_;
+  Rng fault_rng_;
+  ResourceVector unplugged_;
+  double balloon_mb_ = 0.0;
+  double app_used_mb_ = 0.0;
+  double page_cache_mb_ = 0.0;
+  int pinned_cpus_ = 0;
+};
+
+}  // namespace defl
+
+#endif  // SRC_HYPERVISOR_GUEST_OS_H_

@@ -1,0 +1,34 @@
+#include "src/hypervisor/latency.h"
+
+#include <algorithm>
+
+namespace defl {
+
+DeflationLatencyModel::DeflationLatencyModel(const LatencyParams& params)
+    : params_(params) {}
+
+double DeflationLatencyModel::AppStageSeconds(const ReclaimBreakdown& b) const {
+  if (!b.used_app_level) {
+    return 0.0;
+  }
+  return params_.app_fixed_s + b.app_freed_mb / params_.app_free_mbps;
+}
+
+double DeflationLatencyModel::OsStageSeconds(const ReclaimBreakdown& b) const {
+  const double mem_s = b.unplug_freed_mb / params_.unplug_freed_mbps +
+                       b.unplug_cold_mb / params_.unplug_cold_mbps +
+                       b.balloon_mb / params_.balloon_mbps;
+  const double cpu_s = b.unplug_cpus * params_.cpu_unplug_s;
+  return std::max(mem_s, cpu_s);  // CPU and memory unplug overlap
+}
+
+double DeflationLatencyModel::HypervisorStageSeconds(const ReclaimBreakdown& b) const {
+  return b.hv_swap_mb / params_.swap_out_mbps * params_.control_loop_overhead;
+}
+
+double DeflationLatencyModel::TotalSeconds(const ReclaimBreakdown& b) const {
+  return params_.fixed_s + AppStageSeconds(b) + OsStageSeconds(b) +
+         HypervisorStageSeconds(b);
+}
+
+}  // namespace defl

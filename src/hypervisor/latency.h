@@ -1,0 +1,73 @@
+// Deflation latency model (Figure 8b). Reclamation time is dominated by
+// memory: hypervisor-level reclamation must swap resident pages to disk,
+// OS-level unplug migrates pages at memory speed, and application-level
+// deflation frees memory internally (eviction / GC) after which unplugging
+// is cheap. CPU and I/O throttling changes are effectively instantaneous;
+// vCPU unplug costs a small fixed time per CPU.
+#ifndef SRC_HYPERVISOR_LATENCY_H_
+#define SRC_HYPERVISOR_LATENCY_H_
+
+#include "src/resources/resource_vector.h"
+
+namespace defl {
+
+struct LatencyParams {
+  // Host swap-out bandwidth (MB/s); the dominant cost of hypervisor-level
+  // memory reclamation.
+  double swap_out_mbps = 180.0;
+  // The incremental control loop (Section 5) retries large reclamations in
+  // steps; multiplies hypervisor memory latency.
+  double control_loop_overhead = 1.35;
+  // Page-migration bandwidth when unplugging memory that is in use / cold
+  // but not freed by the app (MB/s).
+  double unplug_cold_mbps = 1500.0;
+  // Offlining memory the application has already freed (no migration).
+  double unplug_freed_mbps = 6000.0;
+  // Rate at which applications free memory internally: LRU eviction, GC.
+  double app_free_mbps = 2500.0;
+  // Fixed agent round-trip for application-level deflation (s).
+  double app_fixed_s = 2.0;
+  // Per-vCPU hot-unplug cost (s).
+  double cpu_unplug_s = 0.6;
+  // Balloon inflation rate (MB/s): the driver must allocate guest pages one
+  // batch at a time under memory pressure -- slower than offlining freed
+  // blocks (part of why hotplug wins, Section 7).
+  double balloon_mbps = 900.0;
+  // Fixed orchestration overhead per deflation operation (s).
+  double fixed_s = 1.0;
+};
+
+// Breakdown of how much memory/cpu each layer reclaimed, produced by the
+// cascade controller; the latency model turns it into seconds.
+struct ReclaimBreakdown {
+  double app_freed_mb = 0.0;      // freed internally by the application
+  double unplug_freed_mb = 0.0;   // unplugged memory that the app had freed
+  double unplug_cold_mb = 0.0;    // unplugged memory needing page migration
+  double balloon_mb = 0.0;        // reclaimed via balloon inflation
+  double hv_swap_mb = 0.0;        // hypervisor-reclaimed (swapped) memory
+  double unplug_cpus = 0.0;
+  bool used_app_level = false;
+};
+
+class DeflationLatencyModel {
+ public:
+  explicit DeflationLatencyModel(const LatencyParams& params = LatencyParams());
+
+  // Total wall-clock seconds for one VM's cascade deflation. Stages run
+  // sequentially (app, then OS, then hypervisor, per Figure 3); within a
+  // stage CPU and memory operations overlap.
+  double TotalSeconds(const ReclaimBreakdown& b) const;
+
+  double AppStageSeconds(const ReclaimBreakdown& b) const;
+  double OsStageSeconds(const ReclaimBreakdown& b) const;
+  double HypervisorStageSeconds(const ReclaimBreakdown& b) const;
+
+  const LatencyParams& params() const { return params_; }
+
+ private:
+  LatencyParams params_;
+};
+
+}  // namespace defl
+
+#endif  // SRC_HYPERVISOR_LATENCY_H_

@@ -1,0 +1,94 @@
+#include "src/hypervisor/overcommit.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/rng.h"
+
+namespace defl {
+
+double MultiplexedCpuFactor(double visible_cpus, double cpu_capacity,
+                            const OvercommitCosts& costs) {
+  if (visible_cpus <= 0.0) {
+    return 0.0;
+  }
+  if (cpu_capacity >= visible_cpus) {
+    return 1.0;
+  }
+  if (cpu_capacity <= 0.0) {
+    return 0.0;
+  }
+  const double raw = cpu_capacity / visible_cpus;
+  const double multiplex_ratio = visible_cpus / cpu_capacity - 1.0;
+  const double lhp = 1.0 / (1.0 + costs.lhp_coefficient * multiplex_ratio);
+  return raw * lhp;
+}
+
+double CappedParallelRate(double runnable_threads, double visible_cpus,
+                          double cpu_capacity, const OvercommitCosts& costs) {
+  const double threads = std::min(runnable_threads, visible_cpus);
+  if (threads <= 0.0 || cpu_capacity <= 0.0) {
+    return 0.0;
+  }
+  if (threads <= cpu_capacity) {
+    return threads;  // fully backed: every runnable thread gets a core
+  }
+  // More runnable threads than capacity: work-conserving cap plus LHP.
+  const double lhp = 1.0 / (1.0 + costs.lhp_coefficient * (threads / cpu_capacity - 1.0));
+  return cpu_capacity * lhp;
+}
+
+double AmdahlSlowdown(double parallel_fraction, double visible_cpus,
+                      double cpu_capacity, double baseline_cpus,
+                      const OvercommitCosts& costs) {
+  const double p = std::clamp(parallel_fraction, 0.0, 1.0);
+  const double serial_rate = CappedParallelRate(1.0, visible_cpus, cpu_capacity, costs);
+  const double parallel_rate =
+      CappedParallelRate(visible_cpus, visible_cpus, cpu_capacity, costs);
+  if (serial_rate <= 0.0 || parallel_rate <= 0.0) {
+    return 1e9;  // no CPU at all: effectively stalled
+  }
+  const double time = (1.0 - p) / serial_rate + p / parallel_rate;
+  const double baseline_time = (1.0 - p) + p / baseline_cpus;
+  return time / baseline_time;
+}
+
+double AverageAccessCostUs(double swap_hit_fraction, const OvercommitCosts& costs) {
+  const double f = std::clamp(swap_hit_fraction, 0.0, 1.0);
+  return (1.0 - f) * costs.mem_access_us + f * costs.swap_access_us;
+}
+
+double SwapSlowdown(double swap_hit_fraction, double memory_intensity,
+                    const OvercommitCosts& costs) {
+  const double intensity = std::clamp(memory_intensity, 0.0, 1.0);
+  const double cost_ratio = AverageAccessCostUs(swap_hit_fraction, costs) / costs.mem_access_us;
+  // Runtime = (1 - intensity) * compute + intensity * memory * cost_ratio.
+  return (1.0 - intensity) + intensity * cost_ratio;
+}
+
+double BlindPagingWasteMb(double guest_visible_mb, double resident_mb,
+                          double efficiency) {
+  const double blind_mb = std::max(0.0, guest_visible_mb - resident_mb);
+  return (1.0 - std::clamp(efficiency, 0.0, 1.0)) * blind_mb;
+}
+
+double LruSwapHitFraction(double footprint_mb, double resident_mb, double zipf_s) {
+  if (footprint_mb <= 0.0 || resident_mb >= footprint_mb) {
+    return 0.0;
+  }
+  if (resident_mb <= 0.0) {
+    return 1.0;
+  }
+  // Model the footprint as 4 KB pages with Zipf popularity; the resident set
+  // holds the hottest pages (kernel LRU), so the swap-hit fraction is the
+  // Zipf tail mass beyond the resident capacity.
+  constexpr double kPageMb = 4096.0 / (1024.0 * 1024.0);
+  const auto total_pages = static_cast<int64_t>(footprint_mb / kPageMb);
+  const auto resident_pages = static_cast<int64_t>(resident_mb / kPageMb);
+  if (total_pages <= 0) {
+    return 0.0;
+  }
+  return 1.0 - ZipfHeadFraction(total_pages, std::max<int64_t>(resident_pages, 1), zipf_s);
+}
+
+}  // namespace defl

@@ -1,0 +1,84 @@
+// Performance-cost models for hypervisor-level overcommitment mechanisms.
+// These capture the tradeoffs Section 3.1 describes qualitatively:
+//   * multiplexing vCPUs onto fewer physical cores causes lock-holder
+//     preemption (LHP) and blocked-waiter wakeup penalties;
+//   * backing guest memory with less resident memory causes host swapping,
+//     whose cost depends on how often the access stream leaves the resident
+//     set;
+//   * I/O throttling scales bandwidth-bound work linearly.
+// Application models in src/apps and src/spark compose these primitives with
+// their own demand curves.
+#ifndef SRC_HYPERVISOR_OVERCOMMIT_H_
+#define SRC_HYPERVISOR_OVERCOMMIT_H_
+
+namespace defl {
+
+struct OvercommitCosts {
+  // LHP penalty coefficient: when R runnable vCPUs share C < R cores of
+  // capacity, parallel throughput is multiplied by 1 / (1 + k * (R/C - 1)).
+  // Calibrated so hypervisor-only CPU deflation trails OS-level hot-unplug
+  // by ~20% at high deflation, matching Figure 5b.
+  double lhp_coefficient = 0.2;
+  // DRAM access service time (us) and swap (disk) access service time (us)
+  // for the swap-penalty model. ~100ns vs ~5ms => factor 50000 per miss.
+  double mem_access_us = 0.1;
+  double swap_access_us = 5000.0;
+};
+
+// Throughput multiplier (<= 1) for CPU-parallel work on `visible_cpus` vCPUs
+// backed by `cpu_capacity` physical cores. Without multiplexing this is 1.
+// With multiplexing, raw capacity scales by capacity/vcpus and LHP adds a
+// super-linear penalty in the multiplexing ratio.
+double MultiplexedCpuFactor(double visible_cpus, double cpu_capacity,
+                            const OvercommitCosts& costs = OvercommitCosts());
+
+// Aggregate execution rate (in core-equivalents) of a code section with
+// `runnable_threads` runnable threads on a VM with `visible_cpus` vCPUs and
+// `cpu_capacity` physical backing. Models KVM + cgroups CPU throttling as a
+// work-conserving bandwidth cap: a serial section still runs at full
+// single-core speed as long as capacity >= 1, which is why hypervisor CPU
+// throttling is competitive with hot-unplug for partially-serial workloads
+// (Figure 5b). Lock-holder preemption kicks in only when more threads are
+// runnable than there is capacity.
+double CappedParallelRate(double runnable_threads, double visible_cpus,
+                          double cpu_capacity,
+                          const OvercommitCosts& costs = OvercommitCosts());
+
+// Time multiplier (>= 1) for an Amdahl-style workload with parallel fraction
+// `parallel_fraction`, `visible_cpus` vCPUs and `cpu_capacity` backing,
+// relative to the same work on `baseline_cpus` fully-backed CPUs.
+double AmdahlSlowdown(double parallel_fraction, double visible_cpus,
+                      double cpu_capacity, double baseline_cpus,
+                      const OvercommitCosts& costs = OvercommitCosts());
+
+// Average memory access cost (us) when a fraction `swap_hit_fraction` of
+// accesses miss the resident set and hit swap.
+double AverageAccessCostUs(double swap_hit_fraction,
+                           const OvercommitCosts& costs = OvercommitCosts());
+
+// Slowdown multiplier (>= 1) for memory-bound work: ratio of the effective
+// average access cost to the all-resident cost, damped by `memory_intensity`
+// in [0, 1] -- the fraction of runtime that is memory-access-bound.
+double SwapSlowdown(double swap_hit_fraction, double memory_intensity,
+                    const OvercommitCosts& costs = OvercommitCosts());
+
+// Residency wasted by blind hypervisor paging: when the host reclaims
+// memory underneath an unaware guest, a fraction of the remaining resident
+// set ends up holding the wrong (cold/free) pages. The waste scales with how
+// much was blindly reclaimed -- guest-visible memory beyond the resident
+// limit -- not with total residency, so informed reclamation (unplug,
+// application-freed memory) pays nothing.
+//   waste_mb = (1 - efficiency) * max(0, guest_visible_mb - resident_mb)
+double BlindPagingWasteMb(double guest_visible_mb, double resident_mb,
+                          double efficiency);
+
+// Fraction of accesses that hit swap for an app whose page-level access
+// stream is approximately LRU-managed by the guest kernel: the hottest
+// `resident_mb` of the `footprint_mb` working set stays resident, and the
+// page popularity follows Zipf(zipf_s) (a standard locality model). Returns
+// 0 when the footprint fits.
+double LruSwapHitFraction(double footprint_mb, double resident_mb, double zipf_s = 0.9);
+
+}  // namespace defl
+
+#endif  // SRC_HYPERVISOR_OVERCOMMIT_H_

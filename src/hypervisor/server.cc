@@ -1,0 +1,91 @@
+#include "src/hypervisor/server.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/common/logging.h"
+
+namespace defl {
+
+Server::Server(ServerId id, ResourceVector capacity) : id_(id), capacity_(capacity) {}
+
+Vm* Server::AddVm(std::unique_ptr<Vm> vm) {
+  assert(vm != nullptr);
+  if (!vm->effective().AllLeq(Free())) {
+    DEFL_LOG(kWarn) << "server " << id_ << ": admitting VM " << vm->id()
+                    << " beyond free capacity";
+  }
+  vm->set_state(VmState::kRunning);
+  vms_.push_back(std::move(vm));
+  return vms_.back().get();
+}
+
+std::unique_ptr<Vm> Server::RemoveVm(VmId id) {
+  const auto it = std::find_if(vms_.begin(), vms_.end(),
+                               [id](const auto& vm) { return vm->id() == id; });
+  if (it == vms_.end()) {
+    return nullptr;
+  }
+  std::unique_ptr<Vm> out = std::move(*it);
+  vms_.erase(it);
+  return out;
+}
+
+Vm* Server::FindVm(VmId id) {
+  const auto it = std::find_if(vms_.begin(), vms_.end(),
+                               [id](const auto& vm) { return vm->id() == id; });
+  return it != vms_.end() ? it->get() : nullptr;
+}
+
+ResourceVector Server::Allocated() const {
+  ResourceVector total;
+  for (const auto& vm : vms_) {
+    total += vm->effective();
+  }
+  return total;
+}
+
+ResourceVector Server::Free() const {
+  return (capacity_ - Allocated()).ClampNonNegative();
+}
+
+ResourceVector Server::Deflatable() const {
+  ResourceVector total;
+  for (const auto& vm : vms_) {
+    total += vm->deflatable_amount();
+  }
+  return total;
+}
+
+ResourceVector Server::Availability() const { return Free() + Deflatable(); }
+
+double Server::NominalOvercommitment() const {
+  ResourceVector nominal;
+  for (const auto& vm : vms_) {
+    nominal += vm->size();
+  }
+  double oc = 0.0;
+  for (const ResourceKind kind : kAllResources) {
+    if (capacity_[kind] > 0.0) {
+      oc = std::max(oc, nominal[kind] / capacity_[kind]);
+    }
+  }
+  return oc;
+}
+
+double Server::Utilization() const {
+  const ResourceVector alloc = Allocated();
+  double util = 0.0;
+  for (const ResourceKind kind : kAllResources) {
+    if (capacity_[kind] > 0.0) {
+      util = std::max(util, alloc[kind] / capacity_[kind]);
+    }
+  }
+  return std::min(util, 1.0);
+}
+
+bool Server::CanFitWithDeflation(const ResourceVector& demand) const {
+  return demand.AllLeq(Availability());
+}
+
+}  // namespace defl

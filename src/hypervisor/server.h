@@ -1,0 +1,67 @@
+// Physical server model: capacity, hosted VMs, and the free / deflatable
+// accounting the cluster manager's placement policies consume (Section 5:
+// availability = free + deflatable).
+#ifndef SRC_HYPERVISOR_SERVER_H_
+#define SRC_HYPERVISOR_SERVER_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/hypervisor/vm.h"
+#include "src/resources/resource_vector.h"
+
+namespace defl {
+
+using ServerId = int64_t;
+
+class Server {
+ public:
+  Server(ServerId id, ResourceVector capacity);
+
+  ServerId id() const { return id_; }
+  const ResourceVector& capacity() const { return capacity_; }
+
+  // --- VM hosting ---
+
+  // Takes ownership. The VM's effective allocation must fit in Free() at
+  // admission time (the caller deflates first if needed); this is checked.
+  Vm* AddVm(std::unique_ptr<Vm> vm);
+  // Removes the VM and returns ownership (completion, migration, preemption).
+  std::unique_ptr<Vm> RemoveVm(VmId id);
+  Vm* FindVm(VmId id);
+  const std::vector<std::unique_ptr<Vm>>& vms() const { return vms_; }
+  size_t vm_count() const { return vms_.size(); }
+
+  // --- Accounting ---
+
+  // Sum of effective (physically backed) allocations of hosted VMs.
+  ResourceVector Allocated() const;
+  // capacity - Allocated(), clamped non-negative.
+  ResourceVector Free() const;
+  // Total resources still reclaimable from hosted low-priority VMs.
+  ResourceVector Deflatable() const;
+  // Free + Deflatable: the availability vector used by placement fitness.
+  ResourceVector Availability() const;
+
+  // Sum of *nominal* VM sizes over capacity (per the dominant dimension):
+  // the server overcommitment metric reported in Figure 8d. 1.0 = exactly
+  // full at nominal sizes; > 1.0 = overcommitted.
+  double NominalOvercommitment() const;
+
+  // Fraction of capacity backed to VMs (dominant dimension), in [0, 1].
+  double Utilization() const;
+
+  // True if a VM of `demand` could run here after deflating low-priority
+  // VMs as far as allowed.
+  bool CanFitWithDeflation(const ResourceVector& demand) const;
+
+ private:
+  ServerId id_;
+  ResourceVector capacity_;
+  std::vector<std::unique_ptr<Vm>> vms_;
+};
+
+}  // namespace defl
+
+#endif  // SRC_HYPERVISOR_SERVER_H_

@@ -1,0 +1,155 @@
+#include "src/resources/resource_vector.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace defl {
+
+const char* ResourceKindName(ResourceKind kind) {
+  switch (kind) {
+    case ResourceKind::kCpu:
+      return "cpu";
+    case ResourceKind::kMemory:
+      return "memory";
+    case ResourceKind::kDiskBw:
+      return "disk_bw";
+    case ResourceKind::kNetBw:
+      return "net_bw";
+  }
+  return "?";
+}
+
+ResourceVector ResourceVector::operator+(const ResourceVector& o) const {
+  ResourceVector r = *this;
+  r += o;
+  return r;
+}
+
+ResourceVector ResourceVector::operator-(const ResourceVector& o) const {
+  ResourceVector r = *this;
+  r -= o;
+  return r;
+}
+
+ResourceVector ResourceVector::operator*(double s) const {
+  ResourceVector r;
+  for (size_t i = 0; i < v_.size(); ++i) {
+    r.v_[i] = v_[i] * s;
+  }
+  return r;
+}
+
+ResourceVector ResourceVector::operator/(double s) const { return *this * (1.0 / s); }
+
+ResourceVector& ResourceVector::operator+=(const ResourceVector& o) {
+  for (size_t i = 0; i < v_.size(); ++i) {
+    v_[i] += o.v_[i];
+  }
+  return *this;
+}
+
+ResourceVector& ResourceVector::operator-=(const ResourceVector& o) {
+  for (size_t i = 0; i < v_.size(); ++i) {
+    v_[i] -= o.v_[i];
+  }
+  return *this;
+}
+
+ResourceVector ResourceVector::Min(const ResourceVector& o) const {
+  ResourceVector r;
+  for (size_t i = 0; i < v_.size(); ++i) {
+    r.v_[i] = std::min(v_[i], o.v_[i]);
+  }
+  return r;
+}
+
+ResourceVector ResourceVector::Max(const ResourceVector& o) const {
+  ResourceVector r;
+  for (size_t i = 0; i < v_.size(); ++i) {
+    r.v_[i] = std::max(v_[i], o.v_[i]);
+  }
+  return r;
+}
+
+ResourceVector ResourceVector::ClampNonNegative() const {
+  return Max(ResourceVector::Zero());
+}
+
+ResourceVector ResourceVector::Scale(const ResourceVector& fractions) const {
+  ResourceVector r;
+  for (size_t i = 0; i < v_.size(); ++i) {
+    r.v_[i] = v_[i] * fractions.v_[i];
+  }
+  return r;
+}
+
+ResourceVector ResourceVector::SafeDivide(const ResourceVector& o) const {
+  ResourceVector r;
+  for (size_t i = 0; i < v_.size(); ++i) {
+    r.v_[i] = o.v_[i] != 0.0 ? v_[i] / o.v_[i] : 0.0;
+  }
+  return r;
+}
+
+bool ResourceVector::AllLeq(const ResourceVector& o, double eps) const {
+  for (size_t i = 0; i < v_.size(); ++i) {
+    if (v_[i] > o.v_[i] + eps) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool ResourceVector::AnyPositive(double eps) const {
+  for (const double x : v_) {
+    if (x > eps) {
+      return true;
+    }
+  }
+  return false;
+}
+
+double ResourceVector::Dot(const ResourceVector& o) const {
+  double d = 0.0;
+  for (size_t i = 0; i < v_.size(); ++i) {
+    d += v_[i] * o.v_[i];
+  }
+  return d;
+}
+
+double ResourceVector::Norm() const { return std::sqrt(Dot(*this)); }
+
+double ResourceVector::MaxComponent() const {
+  return *std::max_element(v_.begin(), v_.end());
+}
+
+double ResourceVector::MinComponent() const {
+  return *std::min_element(v_.begin(), v_.end());
+}
+
+double ResourceVector::Sum() const {
+  double s = 0.0;
+  for (const double x : v_) {
+    s += x;
+  }
+  return s;
+}
+
+double ResourceVector::CosineSimilarity(const ResourceVector& a, const ResourceVector& b) {
+  const double na = a.Norm();
+  const double nb = b.Norm();
+  if (na == 0.0 || nb == 0.0) {
+    return 0.0;
+  }
+  return a.Dot(b) / (na * nb);
+}
+
+std::string ResourceVector::ToString() const {
+  std::ostringstream os;
+  os << "(cpu=" << cpu() << ", mem=" << memory_mb() << "MB, disk=" << disk_bw()
+     << "MB/s, net=" << net_bw() << "MB/s)";
+  return os.str();
+}
+
+}  // namespace defl

@@ -1,0 +1,83 @@
+#include "src/sim/simulator.h"
+
+#include <cassert>
+#include <utility>
+
+namespace defl {
+
+void EventHandle::Cancel() {
+  if (state_ != nullptr) {
+    *state_ = true;
+  }
+}
+
+EventHandle Simulator::Push(SimTime when, std::function<void()> fn) {
+  auto cancelled = std::make_shared<bool>(false);
+  queue_.push(Entry{when, next_seq_++, std::move(fn), cancelled});
+  return EventHandle(std::move(cancelled));
+}
+
+EventHandle Simulator::At(SimTime when, std::function<void()> fn) {
+  assert(when >= now_);
+  return Push(when, std::move(fn));
+}
+
+EventHandle Simulator::After(SimTime delay, std::function<void()> fn) {
+  assert(delay >= 0.0);
+  return Push(now_ + delay, std::move(fn));
+}
+
+EventHandle Simulator::Every(SimTime period, std::function<void()> fn) {
+  assert(period > 0.0);
+  auto cancelled = std::make_shared<bool>(false);
+  // Self-rescheduling wrapper; shares one cancellation flag across firings.
+  auto tick = std::make_shared<std::function<void(SimTime)>>();
+  std::weak_ptr<std::function<void(SimTime)>> weak_tick = tick;
+  *tick = [this, period, fn = std::move(fn), cancelled, weak_tick](SimTime when) {
+    if (*cancelled) {
+      return;
+    }
+    fn();
+    if (*cancelled) {
+      return;
+    }
+    if (auto self = weak_tick.lock()) {
+      queue_.push(Entry{when + period, next_seq_++,
+                        [self, when, period] { (*self)(when + period); }, cancelled});
+    }
+  };
+  queue_.push(Entry{now_ + period, next_seq_++,
+                    [tick, first = now_ + period] { (*tick)(first); }, cancelled});
+  return EventHandle(std::move(cancelled));
+}
+
+bool Simulator::Step() {
+  while (!queue_.empty()) {
+    Entry entry = queue_.top();
+    queue_.pop();
+    if (*entry.cancelled) {
+      continue;
+    }
+    assert(entry.when >= now_);
+    now_ = entry.when;
+    ++events_executed_;
+    entry.fn();
+    return true;
+  }
+  return false;
+}
+
+void Simulator::Run(SimTime until) {
+  while (!queue_.empty()) {
+    if (until != kNoLimit && queue_.top().when > until) {
+      now_ = until;
+      return;
+    }
+    Step();
+  }
+  if (until != kNoLimit && until > now_) {
+    now_ = until;
+  }
+}
+
+}  // namespace defl

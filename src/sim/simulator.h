@@ -1,0 +1,95 @@
+// Discrete-event simulation kernel. A Simulator owns a virtual clock and a
+// priority queue of scheduled events; events are callbacks executed in
+// (time, sequence) order so same-time events run in scheduling order,
+// which keeps every experiment deterministic.
+//
+// The Spark engine, the cluster manager, and the timeline benches all run on
+// this kernel; the analytic application models do not need it.
+#ifndef SRC_SIM_SIMULATOR_H_
+#define SRC_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+namespace defl {
+
+// Simulated time in seconds.
+using SimTime = double;
+
+// Handle that allows cancelling a scheduled event. Cancellation is lazy: the
+// event stays in the queue but is skipped when popped.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  // False if the event already ran or was cancelled, or the handle is empty.
+  bool pending() const { return state_ != nullptr && !*state_; }
+  void Cancel();
+
+ private:
+  friend class Simulator;
+  // Shared "cancelled" flag; the queue entry holds the other reference.
+  explicit EventHandle(std::shared_ptr<bool> state) : state_(std::move(state)) {}
+  std::shared_ptr<bool> state_;
+};
+
+class Simulator {
+ public:
+  Simulator() = default;
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  SimTime now() const { return now_; }
+
+  // Schedules `fn` to run at absolute time `when` (>= now).
+  EventHandle At(SimTime when, std::function<void()> fn);
+
+  // Schedules `fn` to run `delay` seconds from now (delay >= 0).
+  EventHandle After(SimTime delay, std::function<void()> fn);
+
+  // Schedules `fn` every `period` seconds, first firing at now + period,
+  // until the returned handle is cancelled or the run limit stops the sim.
+  EventHandle Every(SimTime period, std::function<void()> fn);
+
+  // Runs until the queue is empty or `until` is reached (events strictly
+  // after `until` remain queued; the clock advances to `until`).
+  void Run(SimTime until = kNoLimit);
+
+  // Runs exactly one event if any is due; returns false when queue is empty.
+  bool Step();
+
+  int64_t events_executed() const { return events_executed_; }
+
+  static constexpr SimTime kNoLimit = -1.0;
+
+ private:
+  struct Entry {
+    SimTime when;
+    int64_t seq;
+    std::function<void()> fn;
+    std::shared_ptr<bool> cancelled;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) {
+        return a.when > b.when;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  EventHandle Push(SimTime when, std::function<void()> fn);
+
+  SimTime now_ = 0.0;
+  int64_t next_seq_ = 0;
+  int64_t events_executed_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+};
+
+}  // namespace defl
+
+#endif  // SRC_SIM_SIMULATOR_H_

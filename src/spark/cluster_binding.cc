@@ -1,0 +1,76 @@
+#include "src/spark/cluster_binding.h"
+
+#include <algorithm>
+
+namespace defl {
+
+class SparkClusterBinding::VmAgent : public DeflationAgent {
+ public:
+  VmAgent(SparkClusterBinding* binding, Vm* vm) : binding_(binding), vm_(vm) {}
+
+  ResourceVector SelfDeflate(const ResourceVector& target) override {
+    double fraction = 0.0;
+    for (const ResourceKind kind : kAllResources) {
+      if (vm_->size()[kind] > 0.0) {
+        fraction = std::max(fraction, target[kind] / vm_->size()[kind]);
+      }
+    }
+    const SparkDeflationChoice choice =
+        binding_->DecideRound(binding_->sim_->now(), fraction);
+    if (choice != SparkDeflationChoice::kSelfDeflate) {
+      return ResourceVector::Zero();  // decline; OS/hypervisor take over
+    }
+    return binding_->engine_->SelfDeflateVm(vm_->id(), target);
+  }
+
+  void OnReinflate(const ResourceVector& added) override {
+    binding_->engine_->ReinflateVm(vm_->id(), added);
+  }
+
+  double MemoryFootprintMb() const override {
+    return binding_->engine_->WorkerFootprintMb(vm_->id());
+  }
+
+ private:
+  SparkClusterBinding* binding_;
+  Vm* vm_;
+};
+
+SparkClusterBinding::SparkClusterBinding(SparkEngine* engine,
+                                         LocalController* controller, Simulator* sim)
+    : engine_(engine), controller_(controller), sim_(sim) {
+  for (Vm* vm : engine_->worker_vms()) {
+    agents_.push_back(std::make_unique<VmAgent>(this, vm));
+    controller_->RegisterAgent(vm->id(), agents_.back().get());
+    registered_.push_back(vm->id());
+    vm->guest_os().set_app_used_mb(engine_->WorkerFootprintMb(vm->id()));
+  }
+}
+
+SparkClusterBinding::~SparkClusterBinding() {
+  for (const VmId id : registered_) {
+    controller_->UnregisterAgent(id);
+  }
+}
+
+SparkDeflationChoice SparkClusterBinding::DecideRound(double now, double fraction) {
+  if (now == round_time_) {
+    return round_choice_;  // same round: the master decides once per event
+  }
+  round_time_ = now;
+  // The master sees the whole deflation vector; under the controller's
+  // proportional policy every worker receives (approximately) this fraction.
+  const std::vector<double> fractions(engine_->worker_vms().size(),
+                                      std::min(fraction, 0.95));
+  const SparkPolicyDecision decision =
+      DecideSparkDeflation(engine_->MakePolicyInputs(fractions));
+  round_choice_ = decision.choice;
+  if (round_choice_ == SparkDeflationChoice::kSelfDeflate) {
+    ++self_rounds_;
+  } else {
+    ++vm_rounds_;
+  }
+  return round_choice_;
+}
+
+}  // namespace defl

@@ -1,0 +1,62 @@
+// Binds a running Spark job to the cluster management plane: each worker VM
+// gets a DeflationAgent that relays cascade requests to the Spark driver
+// (Section 5: "Spark workers relay the deflation requests to the Spark
+// master, which then executes the policy, and returns the amount of
+// relinquished resources on each worker"). The driver runs the Section 4.1
+// policy once per deflation round; if it chooses self-deflation the agents
+// kill executors and report the freed resources, otherwise they decline and
+// the cascade falls through to OS/hypervisor reclamation. Reinflation
+// notifications revive executors.
+#ifndef SRC_SPARK_CLUSTER_BINDING_H_
+#define SRC_SPARK_CLUSTER_BINDING_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/core/local_controller.h"
+#include "src/spark/engine.h"
+
+namespace defl {
+
+class SparkClusterBinding {
+ public:
+  // Registers one agent per engine worker VM with the controller. Borrowed
+  // pointers; the binding must outlive neither.
+  SparkClusterBinding(SparkEngine* engine, LocalController* controller,
+                      Simulator* sim);
+  ~SparkClusterBinding();
+
+  SparkClusterBinding(const SparkClusterBinding&) = delete;
+  SparkClusterBinding& operator=(const SparkClusterBinding&) = delete;
+
+  // Call after the controller deflated/reinflated VMs so in-flight task
+  // speeds pick up the new allocations.
+  void SyncAllocations() { engine_->OnAllocationChanged(); }
+
+  // Number of deflation rounds in which the driver chose self-deflation /
+  // declined (VM-level).
+  int self_deflation_rounds() const { return self_rounds_; }
+  int vm_level_rounds() const { return vm_rounds_; }
+
+ private:
+  class VmAgent;
+
+  // Policy decision shared by all agents within one deflation round (same
+  // simulated timestamp).
+  SparkDeflationChoice DecideRound(double now, double fraction);
+
+  SparkEngine* engine_;
+  LocalController* controller_;
+  Simulator* sim_;
+  std::vector<std::unique_ptr<VmAgent>> agents_;
+  std::vector<VmId> registered_;
+
+  double round_time_ = -1.0;
+  SparkDeflationChoice round_choice_ = SparkDeflationChoice::kVmLevel;
+  int self_rounds_ = 0;
+  int vm_rounds_ = 0;
+};
+
+}  // namespace defl
+
+#endif  // SRC_SPARK_CLUSTER_BINDING_H_

@@ -1,0 +1,677 @@
+#include "src/spark/engine.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "src/common/logging.h"
+
+namespace defl {
+
+int SparkEngine::Worker::AliveCount() const {
+  int n = 0;
+  for (const Executor& e : executors) {
+    if (e.alive) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+SparkEngine::SparkEngine(Simulator* sim, SparkWorkload workload, std::vector<Vm*> workers)
+    : SparkEngine(sim, std::move(workload), std::move(workers), Config()) {}
+
+SparkEngine::SparkEngine(Simulator* sim, SparkWorkload workload, std::vector<Vm*> workers,
+                         const Config& config)
+    : sim_(sim), workload_(std::move(workload)), config_(config) {
+  assert(sim_ != nullptr && !workers.empty());
+  for (Vm* vm : workers) {
+    Worker w;
+    w.vm = vm;
+    const int slots = static_cast<int>(vm->size().cpu());
+    for (int s = 0; s < slots; ++s) {
+      w.executors.push_back(Executor{ExecutorId{vm->id(), s}, true, {}});
+    }
+    workers_.push_back(std::move(w));
+  }
+  BuildStages();
+  total_cost_ = workload_.TotalCost();
+  outputs_.resize(stages_.size());
+  pending_.resize(stages_.size());
+  ever_completed_.resize(stages_.size());
+  for (size_t s = 0; s < stages_.size(); ++s) {
+    outputs_[s].assign(static_cast<size_t>(stages_[s].num_partitions),
+                       OutputState::kMissing);
+    ever_completed_[s].assign(static_cast<size_t>(stages_[s].num_partitions), 0);
+    for (int p = 0; p < stages_[s].num_partitions; ++p) {
+      pending_[s].insert(p);
+    }
+  }
+}
+
+void SparkEngine::BuildStages() {
+  // Map RDD id -> stage index while walking the (topologically ordered)
+  // lineage. A new stage begins at a source, a wide dependency, or a cached
+  // parent; otherwise the RDD pipelines into its parent's stage.
+  std::vector<int> stage_of(workload_.rdds.size(), -1);
+  for (const RddDef& rdd : workload_.rdds) {
+    // A second parent (join) always forces a stage boundary.
+    const bool new_stage = rdd.parent < 0 || rdd.wide || rdd.parent2 >= 0 ||
+                           workload_.rdds[static_cast<size_t>(rdd.parent)].cached;
+    if (new_stage) {
+      Stage stage;
+      stage.members.push_back(rdd.id);
+      stage.output_rdd = rdd.id;
+      stage.num_partitions = rdd.num_partitions;
+      stage.cost_per_task = rdd.cost_per_partition_s;
+      stage.wide_input = rdd.wide || rdd.parent2 >= 0;
+      stage.input_stage = rdd.parent >= 0 ? stage_of[static_cast<size_t>(rdd.parent)] : -1;
+      stage.input_stage2 =
+          rdd.parent2 >= 0 ? stage_of[static_cast<size_t>(rdd.parent2)] : -1;
+      stage.records_per_task = workload_.records_per_task;
+      stages_.push_back(stage);
+      stage_of[static_cast<size_t>(rdd.id)] = static_cast<int>(stages_.size()) - 1;
+    } else {
+      // Narrow, uncached: pipeline into the parent's stage.
+      const int s = stage_of[static_cast<size_t>(rdd.parent)];
+      Stage& stage = stages_[static_cast<size_t>(s)];
+      assert(stage.num_partitions == rdd.num_partitions &&
+             "narrow dependency must preserve partitioning");
+      stage.members.push_back(rdd.id);
+      stage.output_rdd = rdd.id;
+      stage.cost_per_task += rdd.cost_per_partition_s;
+      stage_of[static_cast<size_t>(rdd.id)] = s;
+    }
+  }
+}
+
+SparkEngine::Worker* SparkEngine::FindWorker(VmId id) {
+  for (Worker& w : workers_) {
+    if (w.vm->id() == id) {
+      return &w;
+    }
+  }
+  return nullptr;
+}
+
+const SparkEngine::Worker* SparkEngine::FindWorker(VmId id) const {
+  for (const Worker& w : workers_) {
+    if (w.vm->id() == id) {
+      return &w;
+    }
+  }
+  return nullptr;
+}
+
+int SparkEngine::AliveExecutors(VmId id) const {
+  const Worker* w = FindWorker(id);
+  return w != nullptr ? w->AliveCount() : 0;
+}
+
+std::vector<Vm*> SparkEngine::worker_vms() const {
+  std::vector<Vm*> out;
+  out.reserve(workers_.size());
+  for (const Worker& w : workers_) {
+    out.push_back(w.vm);
+  }
+  return out;
+}
+
+double SparkEngine::WorkerFootprintMb(VmId id) const {
+  const Worker* w = FindWorker(id);
+  if (w == nullptr) {
+    return 0.0;
+  }
+  const double spec_mem = w->vm->size().memory_mb();
+  const double per_exec_mem = spec_mem * config_.executor_mem_fraction /
+                              std::max(w->vm->size().cpu(), 1.0);
+  return 0.15 * spec_mem + per_exec_mem * w->AliveCount();
+}
+
+double SparkEngine::WorkerActiveTasks(VmId id) const {
+  double n = 0;
+  for (const RunningTask& t : running_) {
+    if (t.executor.vm == id) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+double SparkEngine::TaskSpeed(const Worker& worker, int active_tasks) const {
+  if (active_tasks <= 0 || worker.vm->state() != VmState::kRunning) {
+    return 0.0;
+  }
+  const EffectiveAllocation alloc = worker.vm->allocation();
+  const double cpu_rate =
+      CappedParallelRate(static_cast<double>(active_tasks), alloc.visible_cpus,
+                         alloc.cpu_capacity, config_.costs) /
+      static_cast<double>(active_tasks);
+  // Fewer concurrent tasks contend less for memory bandwidth and GC.
+  const double spec_cpus = std::max(worker.vm->size().cpu(), 1.0);
+  const double contention_boost = std::min(
+      2.0, std::pow(spec_cpus / static_cast<double>(active_tasks),
+                    config_.contention_gamma));
+  // Memory demand is the workload's working set, scaled down when executors
+  // are killed (self-deflation returns their memory); under VM-level
+  // deflation it stays put and the shortfall is swap stalls.
+  const double spec_mem = worker.vm->size().memory_mb();
+  const double total_slots = std::max(static_cast<double>(worker.executors.size()), 1.0);
+  const double demand = spec_mem * workload_.memory_demand_fraction *
+                        worker.AliveCount() / total_slots;
+  double swap_factor = 1.0;
+  if (alloc.memory_overcommitted()) {
+    // Resident memory left for executors after the guest's own working set
+    // and the residency wasted by blind host paging.
+    const double waste_mb =
+        BlindPagingWasteMb(alloc.guest_memory_mb, alloc.resident_memory_mb,
+                           config_.hv_paging_efficiency);
+    const double resident_for_spark =
+        alloc.resident_memory_mb - 0.15 * spec_mem - waste_mb;
+    const double p_swap =
+        LruSwapHitFraction(demand, std::max(resident_for_spark, 0.0), config_.page_zipf_s);
+    swap_factor = 1.0 / (1.0 + config_.swap_task_penalty * p_swap);
+  }
+  // Only the CPU-elastic part of a task slows with reduced CPU capacity;
+  // the rest is bandwidth/sync bound.
+  const double pf = std::clamp(workload_.cpu_elastic_fraction, 0.0, 1.0);
+  const double raw = cpu_rate * contention_boost;
+  if (raw <= 0.0) {
+    return 0.0;
+  }
+  const double elastic_speed = 1.0 / ((1.0 - pf) + pf / raw);
+  return elastic_speed * swap_factor;
+}
+
+bool SparkEngine::StageOutputAvailable(int stage, int partition) const {
+  return outputs_[static_cast<size_t>(stage)][static_cast<size_t>(partition)] !=
+         OutputState::kMissing;
+}
+
+bool SparkEngine::InputsAvailable(int stage, int partition) const {
+  const Stage& st = stages_[static_cast<size_t>(stage)];
+  // Join input (always shuffle-wide): all partitions required.
+  if (st.input_stage2 >= 0) {
+    const Stage& in2 = stages_[static_cast<size_t>(st.input_stage2)];
+    for (int q = 0; q < in2.num_partitions; ++q) {
+      if (!StageOutputAvailable(st.input_stage2, q)) {
+        return false;
+      }
+    }
+  }
+  if (st.input_stage < 0) {
+    return true;
+  }
+  const Stage& in = stages_[static_cast<size_t>(st.input_stage)];
+  if (st.wide_input) {
+    for (int q = 0; q < in.num_partitions; ++q) {
+      if (!StageOutputAvailable(st.input_stage, q)) {
+        return false;
+      }
+    }
+    return true;
+  }
+  return StageOutputAvailable(st.input_stage, partition);
+}
+
+void SparkEngine::EnsureInputsPending() {
+  // Missing inputs of pending partitions become pending in their producer
+  // stage; iterate to a fixpoint (repairs can cascade down the lineage).
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int s = static_cast<int>(stages_.size()) - 1; s >= 0; --s) {
+      const Stage& st = stages_[static_cast<size_t>(s)];
+      if (pending_[static_cast<size_t>(s)].empty()) {
+        continue;
+      }
+      auto need_input = [&](int input_stage, int q) {
+        if (StageOutputAvailable(input_stage, q)) {
+          return;
+        }
+        if (pending_[static_cast<size_t>(input_stage)].insert(q).second) {
+          changed = true;
+        }
+      };
+      if (st.input_stage2 >= 0) {
+        const Stage& in2 = stages_[static_cast<size_t>(st.input_stage2)];
+        for (int q = 0; q < in2.num_partitions; ++q) {
+          need_input(st.input_stage2, q);
+        }
+      }
+      if (st.input_stage < 0) {
+        continue;
+      }
+      const Stage& in = stages_[static_cast<size_t>(st.input_stage)];
+      if (st.wide_input) {
+        for (int q = 0; q < in.num_partitions; ++q) {
+          need_input(st.input_stage, q);
+        }
+      } else {
+        for (const int p : pending_[static_cast<size_t>(s)]) {
+          need_input(st.input_stage, p);
+        }
+      }
+    }
+  }
+  // Repairs re-run tasks whose input stage may itself have running tasks; a
+  // pending partition that is currently being recomputed must not be
+  // double-dispatched. Running tasks were removed from pending at dispatch,
+  // but a repair insert could re-add them -- filter those out.
+  for (const RunningTask& t : running_) {
+    pending_[static_cast<size_t>(t.stage)].erase(t.partition);
+  }
+}
+
+void SparkEngine::MarkOutput(int stage, int partition, const ExecutorId& executor) {
+  OutputState& state =
+      outputs_[static_cast<size_t>(stage)][static_cast<size_t>(partition)];
+  if (state != OutputState::kDurable) {
+    state = OutputState::kStored;
+  }
+  Worker* w = FindWorker(executor.vm);
+  assert(w != nullptr);
+  w->executors[static_cast<size_t>(executor.slot)].stored.insert({stage, partition});
+}
+
+void SparkEngine::InvalidateOutputsOn(const ExecutorId& executor) {
+  Worker* w = FindWorker(executor.vm);
+  assert(w != nullptr);
+  Executor& exec = w->executors[static_cast<size_t>(executor.slot)];
+  const int last_stage = static_cast<int>(stages_.size()) - 1;
+  for (const auto& [stage, partition] : exec.stored) {
+    OutputState& state =
+        outputs_[static_cast<size_t>(stage)][static_cast<size_t>(partition)];
+    if (state == OutputState::kDurable) {
+      continue;  // checkpointed to stable storage
+    }
+    state = OutputState::kMissing;
+    // Final-stage outputs have no downstream consumer to trigger a repair;
+    // re-add them directly so the job still completes.
+    if (stage == last_stage && !done_) {
+      pending_[static_cast<size_t>(stage)].insert(partition);
+    }
+  }
+  exec.stored.clear();
+}
+
+void SparkEngine::Start() {
+  assert(!started_);
+  started_ = true;
+  Dispatch();
+}
+
+void SparkEngine::Dispatch() {
+  if (done_ || !started_ || checkpoint_in_progress_) {
+    return;
+  }
+  EnsureInputsPending();
+
+  // Strict BSP including repairs: work on the lowest stage that has pending
+  // or running tasks; later stages wait at the barrier.
+  int work_stage = -1;
+  for (size_t s = 0; s < stages_.size(); ++s) {
+    const bool has_running =
+        std::any_of(running_.begin(), running_.end(),
+                    [&](const RunningTask& t) { return t.stage == static_cast<int>(s); });
+    if (!pending_[s].empty() || has_running) {
+      work_stage = static_cast<int>(s);
+      break;
+    }
+  }
+  if (work_stage < 0) {
+    done_ = true;
+    finish_time_ = sim_->now();
+    return;
+  }
+
+  // Launch pending tasks of the work stage onto free executors, least-loaded
+  // worker first (the Spark scheduler's even load distribution).
+  const std::vector<int> pending_now(pending_[static_cast<size_t>(work_stage)].begin(),
+                                     pending_[static_cast<size_t>(work_stage)].end());
+  for (const int p : pending_now) {
+    if (!InputsAvailable(work_stage, p)) {
+      continue;  // a repair will produce it; revisit on next dispatch
+    }
+    Worker* best = nullptr;
+    int best_slot = -1;
+    double best_load = 1e18;
+    for (Worker& w : workers_) {
+      if (w.vm->state() != VmState::kRunning) {
+        continue;
+      }
+      int free_slot = -1;
+      for (const Executor& e : w.executors) {
+        if (!e.alive) {
+          continue;
+        }
+        const bool busy = std::any_of(running_.begin(), running_.end(),
+                                      [&](const RunningTask& t) { return t.executor == e.id; });
+        if (!busy) {
+          free_slot = e.id.slot;
+          break;
+        }
+      }
+      if (free_slot < 0) {
+        continue;
+      }
+      const double load = WorkerActiveTasks(w.vm->id());
+      if (load < best_load) {
+        best_load = load;
+        best = &w;
+        best_slot = free_slot;
+      }
+    }
+    if (best == nullptr) {
+      break;  // no free slots anywhere
+    }
+    StartTask(work_stage, p, *best, best_slot);
+  }
+}
+
+void SparkEngine::StartTask(int stage, int partition, Worker& worker, int slot) {
+  pending_[static_cast<size_t>(stage)].erase(partition);
+  RunningTask task;
+  task.stage = stage;
+  task.partition = partition;
+  task.executor = ExecutorId{worker.vm->id(), slot};
+  task.work_left = stages_[static_cast<size_t>(stage)].cost_per_task;
+  task.segment_start = sim_->now();
+  task.speed = 0.0;  // set by RefreshSpeeds below
+  running_.push_back(std::move(task));
+  RefreshSpeeds(worker.vm->id());
+}
+
+void SparkEngine::RefreshSpeeds(VmId id) {
+  Worker* w = FindWorker(id);
+  if (w == nullptr) {
+    return;
+  }
+  const int active = static_cast<int>(WorkerActiveTasks(id));
+  const double speed = TaskSpeed(*w, active);
+  for (RunningTask& t : running_) {
+    if (t.executor.vm != id) {
+      continue;
+    }
+    // Bank completed work at the old speed, then restart the clock.
+    t.work_left = std::max(0.0, t.work_left - t.speed * (sim_->now() - t.segment_start));
+    t.segment_start = sim_->now();
+    t.speed = speed;
+    t.event.Cancel();
+    if (speed <= 0.0) {
+      continue;  // fully stalled; rescheduled when capacity returns
+    }
+    const ExecutorId exec = t.executor;
+    const int stage = t.stage;
+    const int partition = t.partition;
+    t.event = sim_->After(t.work_left / speed, [this, exec, stage, partition] {
+      for (size_t i = 0; i < running_.size(); ++i) {
+        if (running_[i].executor == exec && running_[i].stage == stage &&
+            running_[i].partition == partition) {
+          FinishTask(i);
+          return;
+        }
+      }
+    });
+  }
+}
+
+void SparkEngine::FinishTask(size_t running_index) {
+  RunningTask task = running_[running_index];
+  running_.erase(running_.begin() + static_cast<std::ptrdiff_t>(running_index));
+
+  MarkOutput(task.stage, task.partition, task.executor);
+  char& done_before =
+      ever_completed_[static_cast<size_t>(task.stage)][static_cast<size_t>(task.partition)];
+  const Stage& st = stages_[static_cast<size_t>(task.stage)];
+  if (done_before == 0) {
+    done_before = 1;
+    progress_cost_done_ += st.cost_per_task;
+  } else {
+    ++recomputed_tasks_;
+  }
+  completion_log_.push_back(TaskCompletion{sim_->now(), task.stage, st.records_per_task});
+
+  RefreshSpeeds(task.executor.vm);
+
+  // Stage barrier bookkeeping: if this stage is drained, consider a
+  // checkpoint before moving on.
+  const bool stage_drained =
+      pending_[static_cast<size_t>(task.stage)].empty() &&
+      std::none_of(running_.begin(), running_.end(),
+                   [&](const RunningTask& t) { return t.stage == task.stage; });
+  if (stage_drained) {
+    MaybeCheckpoint(task.stage);
+  }
+  Dispatch();
+}
+
+void SparkEngine::MaybeCheckpoint(int completed_stage) {
+  if (workload_.checkpoint_every_stages <= 0 || checkpoint_in_progress_) {
+    return;
+  }
+  if (!stages_[static_cast<size_t>(completed_stage)].wide_input) {
+    return;  // only iteration (shuffle) stages advance the model
+  }
+  if (completed_stage <= last_durable_stage_) {
+    return;  // re-execution of already-checkpointed work
+  }
+  ++stages_since_checkpoint_;
+  if (stages_since_checkpoint_ < workload_.checkpoint_every_stages) {
+    return;
+  }
+  checkpoint_in_progress_ = true;
+  sim_->After(workload_.checkpoint_cost_s, [this, completed_stage] {
+    for (int s = 0; s <= completed_stage; ++s) {
+      for (auto& state : outputs_[static_cast<size_t>(s)]) {
+        if (state == OutputState::kStored) {
+          state = OutputState::kDurable;
+        }
+      }
+    }
+    last_durable_stage_ = completed_stage;
+    stages_since_checkpoint_ = 0;
+    checkpoint_in_progress_ = false;
+    Dispatch();
+  });
+}
+
+void SparkEngine::KillTasksOn(const ExecutorId& executor) {
+  for (size_t i = running_.size(); i-- > 0;) {
+    RunningTask& t = running_[i];
+    if (t.executor == executor) {
+      t.event.Cancel();
+      pending_[static_cast<size_t>(t.stage)].insert(t.partition);
+      running_.erase(running_.begin() + static_cast<std::ptrdiff_t>(i));
+      ++tasks_killed_;
+    }
+  }
+}
+
+void SparkEngine::OnTaskKilled() {
+  if (workload_.synchronous) {
+    RollbackToCheckpoint();
+  }
+}
+
+void SparkEngine::RollbackToCheckpoint() {
+  ++rollbacks_;
+  // The in-flight iteration is invalid: kill everything still running.
+  for (RunningTask& t : running_) {
+    t.event.Cancel();
+    pending_[static_cast<size_t>(t.stage)].insert(t.partition);
+    ++tasks_killed_;
+  }
+  running_.clear();
+  // Model state after the last checkpoint is lost: invalidate the outputs of
+  // every non-durable iteration (wide) stage. Cached input data on surviving
+  // executors is not model state and survives.
+  for (size_t s = 0; s < stages_.size(); ++s) {
+    if (!stages_[s].wide_input || static_cast<int>(s) <= last_durable_stage_) {
+      continue;
+    }
+    for (int p = 0; p < stages_[s].num_partitions; ++p) {
+      OutputState& state = outputs_[s][static_cast<size_t>(p)];
+      if (state == OutputState::kStored) {
+        state = OutputState::kMissing;
+        pending_[s].insert(p);
+        // Remove stale store records.
+        for (Worker& w : workers_) {
+          for (Executor& e : w.executors) {
+            e.stored.erase({static_cast<int>(s), p});
+          }
+        }
+      }
+    }
+  }
+}
+
+ResourceVector SparkEngine::SelfDeflateVm(VmId id, const ResourceVector& target) {
+  Worker* w = FindWorker(id);
+  if (w == nullptr) {
+    return ResourceVector::Zero();
+  }
+  const double per_exec_mem = w->vm->size().memory_mb() * config_.executor_mem_fraction /
+                              std::max(w->vm->size().cpu(), 1.0);
+  // The driver reduces parallelism in proportion to the dominant deflation
+  // fraction: a 50% request kills half the executors. Memory the dead
+  // executors held is returned; any shortfall against the raw target falls
+  // through to the lower cascade layers (best-effort self-deflation).
+  double fraction = 0.0;
+  for (const ResourceKind kind : kAllResources) {
+    if (w->vm->size()[kind] > 0.0) {
+      fraction = std::max(fraction, target[kind] / w->vm->size()[kind]);
+    }
+  }
+  const int total_slots = static_cast<int>(w->executors.size());
+  const int want_kill =
+      std::clamp(static_cast<int>(std::llround(fraction * total_slots)), 0,
+                 w->AliveCount());
+  int to_kill = want_kill;
+  if (to_kill == 0) {
+    return ResourceVector::Zero();
+  }
+  bool killed_any_task = false;
+  // Kill from the highest slot down (deterministic; Spark blacklists whole
+  // executors regardless of what they hold).
+  for (int s = static_cast<int>(w->executors.size()) - 1; s >= 0 && to_kill > 0; --s) {
+    Executor& e = w->executors[static_cast<size_t>(s)];
+    if (!e.alive) {
+      continue;
+    }
+    const bool was_busy = std::any_of(running_.begin(), running_.end(),
+                                      [&](const RunningTask& t) { return t.executor == e.id; });
+    killed_any_task = killed_any_task || was_busy;
+    KillTasksOn(e.id);
+    InvalidateOutputsOn(e.id);
+    e.alive = false;
+    --to_kill;
+  }
+  const int killed = want_kill - to_kill;
+  if (killed_any_task || workload_.synchronous) {
+    OnTaskKilled();
+  }
+  RefreshSpeeds(id);
+  Dispatch();
+  return ResourceVector(static_cast<double>(killed), killed * per_exec_mem);
+}
+
+void SparkEngine::ReinflateVm(VmId id, const ResourceVector& added) {
+  Worker* w = FindWorker(id);
+  if (w == nullptr || w->vm->state() != VmState::kRunning) {
+    return;
+  }
+  int revive = static_cast<int>(added.cpu());
+  for (Executor& e : w->executors) {
+    if (revive <= 0) {
+      break;
+    }
+    if (!e.alive) {
+      e.alive = true;
+      e.stored.clear();
+      --revive;
+    }
+  }
+  RefreshSpeeds(id);
+  Dispatch();
+}
+
+void SparkEngine::PreemptVm(VmId id) {
+  Worker* w = FindWorker(id);
+  if (w == nullptr) {
+    return;
+  }
+  bool killed_any_task = false;
+  for (Executor& e : w->executors) {
+    if (!e.alive) {
+      continue;
+    }
+    const bool was_busy = std::any_of(running_.begin(), running_.end(),
+                                      [&](const RunningTask& t) { return t.executor == e.id; });
+    killed_any_task = killed_any_task || was_busy;
+    KillTasksOn(e.id);
+    InvalidateOutputsOn(e.id);
+    e.alive = false;
+  }
+  w->vm->set_state(VmState::kPreempted);
+  if (killed_any_task || workload_.synchronous) {
+    OnTaskKilled();
+  }
+  Dispatch();
+}
+
+void SparkEngine::OnAllocationChanged() {
+  for (Worker& w : workers_) {
+    RefreshSpeeds(w.vm->id());
+  }
+  Dispatch();
+}
+
+double SparkEngine::Progress() const {
+  if (total_cost_ <= 0.0) {
+    return 0.0;
+  }
+  return std::min(1.0, progress_cost_done_ / total_cost_);
+}
+
+double SparkEngine::SyncCostFraction() const {
+  double sync_cost = 0.0;
+  double total = 0.0;
+  for (const Stage& st : stages_) {
+    const double cost = st.cost_per_task * st.num_partitions;
+    total += cost;
+    if (st.wide_input) {
+      sync_cost += cost;
+    }
+  }
+  return total > 0.0 ? sync_cost / total : 0.0;
+}
+
+bool SparkEngine::ShuffleImminent() const {
+  // The stage currently at the barrier: if it is a shuffle (wide input),
+  // killed tasks will need to refetch inputs that may die with their
+  // executors -- worst-case recomputation (Section 4.1).
+  for (size_t s = 0; s < stages_.size(); ++s) {
+    const bool has_work =
+        !pending_[s].empty() ||
+        std::any_of(running_.begin(), running_.end(),
+                    [&](const RunningTask& t) { return t.stage == static_cast<int>(s); });
+    if (has_work) {
+      return stages_[s].wide_input;
+    }
+  }
+  return false;
+}
+
+SparkPolicyInputs SparkEngine::MakePolicyInputs(
+    const std::vector<double>& deflation_fractions) const {
+  SparkPolicyInputs inputs;
+  inputs.progress_c = Progress();
+  inputs.deflation_fractions = deflation_fractions;
+  inputs.r_estimate = SyncCostFraction();
+  inputs.shuffle_imminent = ShuffleImminent();
+  inputs.synchronous_job = workload_.synchronous;
+  return inputs;
+}
+
+}  // namespace defl

@@ -1,0 +1,199 @@
+#include "src/spark/experiment.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "src/core/cascade.h"
+#include "src/sim/simulator.h"
+
+namespace defl {
+namespace {
+
+// Guest-OS memory accounting for a Spark worker: base system usage plus the
+// live executors' shares.
+void SyncGuestFootprint(Vm& vm, const SparkEngine& engine,
+                        const SparkEngine::Config& config) {
+  const double spec_mem = vm.size().memory_mb();
+  const double per_exec_mem =
+      spec_mem * config.executor_mem_fraction / std::max(vm.size().cpu(), 1.0);
+  const double used =
+      0.15 * spec_mem + per_exec_mem * engine.AliveExecutors(vm.id());
+  vm.guest_os().set_app_used_mb(used);
+}
+
+class ExperimentRun {
+ public:
+  ExperimentRun(const SparkWorkload& workload, const SparkExperimentConfig& config)
+      : config_(config), cascade_(DeflationMode::kVmLevel) {
+    for (int i = 0; i < config.num_workers; ++i) {
+      VmSpec spec;
+      spec.name = "spark-worker-" + std::to_string(i);
+      spec.size = config.worker_size;
+      spec.priority = VmPriority::kLow;
+      vms_.push_back(std::make_unique<Vm>(i, spec));
+      vms_.back()->set_state(VmState::kRunning);
+    }
+    std::vector<Vm*> raw;
+    for (const auto& vm : vms_) {
+      raw.push_back(vm.get());
+    }
+    engine_ = std::make_unique<SparkEngine>(&sim_, workload, raw, config.engine);
+    for (const auto& vm : vms_) {
+      SyncGuestFootprint(*vm, *engine_, config.engine);
+    }
+  }
+
+  SparkExperimentResult Run() {
+    engine_->Start();
+    ArmDeflationTrigger();
+    sim_.Run(config_.sim_time_limit_s);
+
+    SparkExperimentResult result;
+    result.completed = engine_->done();
+    result.makespan_s = engine_->done() ? engine_->finish_time() : sim_.now();
+    result.deflation_applied = deflated_;
+    result.decision = decision_;
+    result.tasks_killed = engine_->tasks_killed();
+    result.recomputed_tasks = engine_->recomputed_tasks();
+    result.rollbacks = engine_->rollbacks();
+    result.completion_log = engine_->completion_log();
+    return result;
+  }
+
+ private:
+  void ArmDeflationTrigger() {
+    if (config_.approach == SparkReclamationApproach::kNone ||
+        config_.deflation_fraction <= 0.0) {
+      return;
+    }
+    if (config_.deflate_at_time_s >= 0.0) {
+      sim_.At(config_.deflate_at_time_s, [this] { ApplyPressure(); });
+      return;
+    }
+    // Progress-based trigger: poll the driver.
+    poll_ = sim_.Every(0.5, [this] {
+      if (!deflated_ && engine_->Progress() >= config_.deflate_at_progress) {
+        ApplyPressure();
+      }
+      if ((deflated_ || engine_->done()) && poll_.pending()) {
+        poll_.Cancel();
+      }
+    });
+  }
+
+  void ApplyPressure() {
+    if (deflated_ || engine_->done()) {
+      return;
+    }
+    deflated_ = true;
+    const double f = config_.deflation_fraction;
+
+    SparkReclamationApproach approach = config_.approach;
+    if (approach == SparkReclamationApproach::kCascadePolicy) {
+      // The driver collects the deflation vector and runs the policy.
+      const std::vector<double> fractions(vms_.size(), f);
+      decision_ = DecideSparkDeflation(engine_->MakePolicyInputs(fractions));
+      approach = decision_.choice == SparkDeflationChoice::kSelfDeflate
+                     ? SparkReclamationApproach::kSelfDeflation
+                     : SparkReclamationApproach::kVmLevel;
+    }
+
+    switch (approach) {
+      case SparkReclamationApproach::kVmLevel:
+        for (const auto& vm : vms_) {
+          SyncGuestFootprint(*vm, *engine_, config_.engine);
+          cascade_.Deflate(*vm, nullptr, vm->size() * f);
+        }
+        break;
+      case SparkReclamationApproach::kSelfDeflation:
+        for (const auto& vm : vms_) {
+          const ResourceVector target = vm->size() * f;
+          engine_->SelfDeflateVm(vm->id(), target);
+          SyncGuestFootprint(*vm, *engine_, config_.engine);
+          // The freed resources are reclaimed safely (unplug-first); any
+          // remainder (I/O bandwidth, fractional CPU) is taken underneath.
+          cascade_.Deflate(*vm, nullptr, target);
+        }
+        break;
+      case SparkReclamationApproach::kPreemption: {
+        const int to_preempt = static_cast<int>(
+            std::llround(f * static_cast<double>(vms_.size())));
+        for (int i = 0; i < to_preempt; ++i) {
+          engine_->PreemptVm(vms_[static_cast<size_t>(i)]->id());
+        }
+        break;
+      }
+      case SparkReclamationApproach::kNone:
+      case SparkReclamationApproach::kCascadePolicy:
+        break;
+    }
+    engine_->OnAllocationChanged();
+
+    if (config_.reinflate_after_s >= 0.0) {
+      sim_.After(config_.reinflate_after_s, [this] { ReleasePressure(); });
+    }
+  }
+
+  void ReleasePressure() {
+    for (const auto& vm : vms_) {
+      if (vm->state() == VmState::kPreempted) {
+        // The provider re-launches the revoked VM (fresh executors).
+        vm->set_state(VmState::kRunning);
+        engine_->ReinflateVm(vm->id(), vm->size());
+        continue;
+      }
+      const ResourceVector deflated_by = vm->size() - vm->effective();
+      const ResourceVector returned = cascade_.Reinflate(*vm, nullptr, deflated_by);
+      engine_->ReinflateVm(vm->id(), returned);
+      SyncGuestFootprint(*vm, *engine_, config_.engine);
+    }
+    engine_->OnAllocationChanged();
+  }
+
+  SparkExperimentConfig config_;
+  Simulator sim_;
+  CascadeController cascade_;
+  std::vector<std::unique_ptr<Vm>> vms_;
+  std::unique_ptr<SparkEngine> engine_;
+  bool deflated_ = false;
+  SparkPolicyDecision decision_;
+  EventHandle poll_;
+};
+
+}  // namespace
+
+const char* SparkReclamationApproachName(SparkReclamationApproach approach) {
+  switch (approach) {
+    case SparkReclamationApproach::kNone:
+      return "none";
+    case SparkReclamationApproach::kCascadePolicy:
+      return "cascade";
+    case SparkReclamationApproach::kSelfDeflation:
+      return "self";
+    case SparkReclamationApproach::kVmLevel:
+      return "vm-level";
+    case SparkReclamationApproach::kPreemption:
+      return "preemption";
+  }
+  return "?";
+}
+
+SparkExperimentResult RunSparkExperiment(const SparkWorkload& workload,
+                                         const SparkExperimentConfig& config) {
+  ExperimentRun run(workload, config);
+  return run.Run();
+}
+
+double SparkBaselineMakespan(const SparkWorkload& workload,
+                             const SparkExperimentConfig& config) {
+  SparkExperimentConfig base = config;
+  base.approach = SparkReclamationApproach::kNone;
+  base.deflation_fraction = 0.0;
+  base.reinflate_after_s = -1.0;
+  const SparkExperimentResult result = RunSparkExperiment(workload, base);
+  assert(result.completed);
+  return result.makespan_s;
+}
+
+}  // namespace defl

@@ -1,0 +1,75 @@
+// End-to-end Spark deflation experiments (Section 6.2): run a workload on a
+// cluster of worker VMs, apply resource pressure mid-run through one of the
+// compared reclamation approaches, and measure the makespan.
+//
+//   * kVmLevel     -- decline self-deflation; OS + hypervisor reclaim
+//                     underneath (stragglers emerge from the BSP barrier);
+//   * kSelf        -- the driver kills executors and returns resources
+//                     voluntarily (recomputation of lost lineage emerges);
+//   * kCascadePolicy -- the Section 4.1 policy picks between the two from
+//                     the Equation 1/3 estimates;
+//   * kPreemption  -- the public-cloud baseline: whole VMs are revoked;
+//   * kNone        -- undisturbed baseline run.
+#ifndef SRC_SPARK_EXPERIMENT_H_
+#define SRC_SPARK_EXPERIMENT_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/spark/engine.h"
+#include "src/spark/policy.h"
+#include "src/spark/workload.h"
+
+namespace defl {
+
+enum class SparkReclamationApproach {
+  kNone,
+  kCascadePolicy,
+  kSelfDeflation,
+  kVmLevel,
+  kPreemption,
+};
+
+const char* SparkReclamationApproachName(SparkReclamationApproach approach);
+
+struct SparkExperimentConfig {
+  int num_workers = 8;
+  // Worker VM size (the driver runs on a separate non-deflatable VM).
+  ResourceVector worker_size = ResourceVector(4.0, 16.0 * 1024.0, 200.0, 1250.0);
+  SparkReclamationApproach approach = SparkReclamationApproach::kNone;
+  // Fraction of every worker's resources reclaimed (CPU, memory, I/O).
+  double deflation_fraction = 0.0;
+  // Trigger when job progress first reaches this fraction (Section 6.2
+  // deflates "roughly 50% into their execution")...
+  double deflate_at_progress = 0.5;
+  // ...or at an absolute time if >= 0 (overrides the progress trigger).
+  double deflate_at_time_s = -1.0;
+  // If >= 0, pressure ends this many seconds after deflation: resources are
+  // returned and VMs reinflate (Figure 7b).
+  double reinflate_after_s = -1.0;
+  SparkEngine::Config engine;
+  double sim_time_limit_s = 400000.0;
+};
+
+struct SparkExperimentResult {
+  double makespan_s = 0.0;
+  bool completed = false;
+  bool deflation_applied = false;
+  // Only meaningful for kCascadePolicy.
+  SparkPolicyDecision decision;
+  int64_t tasks_killed = 0;
+  int64_t recomputed_tasks = 0;
+  int64_t rollbacks = 0;
+  std::vector<SparkEngine::TaskCompletion> completion_log;
+};
+
+SparkExperimentResult RunSparkExperiment(const SparkWorkload& workload,
+                                         const SparkExperimentConfig& config);
+
+// Convenience: makespan of the undisturbed run (kNone), for normalization.
+double SparkBaselineMakespan(const SparkWorkload& workload,
+                             const SparkExperimentConfig& config);
+
+}  // namespace defl
+
+#endif  // SRC_SPARK_EXPERIMENT_H_

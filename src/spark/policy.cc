@@ -1,0 +1,64 @@
+#include "src/spark/policy.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace defl {
+namespace {
+
+// Deflating 100% would stall forever; clamp the denominator.
+constexpr double kMaxFraction = 0.95;
+
+double Clamp01(double x) { return std::clamp(x, 0.0, kMaxFraction); }
+
+}  // namespace
+
+const char* SparkDeflationChoiceName(SparkDeflationChoice choice) {
+  switch (choice) {
+    case SparkDeflationChoice::kSelfDeflate:
+      return "self";
+    case SparkDeflationChoice::kVmLevel:
+      return "vm-level";
+  }
+  return "?";
+}
+
+double EstimateVmLevelTimeFactor(double c, double max_deflation,
+                                 double overcommit_efficiency) {
+  c = std::clamp(c, 0.0, 1.0);
+  const double efficiency = std::clamp(overcommit_efficiency, 0.05, 1.0);
+  return c + (1.0 - c) / ((1.0 - Clamp01(max_deflation)) * efficiency);
+}
+
+double EstimateSelfDeflationTimeFactor(double c, double mean_deflation, double r) {
+  c = std::clamp(c, 0.0, 1.0);
+  r = std::clamp(r, 0.0, 1.0);
+  return c + (r * c + 1.0 - c) / (1.0 - Clamp01(mean_deflation));
+}
+
+SparkPolicyDecision DecideSparkDeflation(const SparkPolicyInputs& inputs) {
+  SparkPolicyDecision decision;
+  const auto& d = inputs.deflation_fractions;
+  assert(!d.empty());
+  const double max_d = *std::max_element(d.begin(), d.end());
+  const double mean_d =
+      std::accumulate(d.begin(), d.end(), 0.0) / static_cast<double>(d.size());
+
+  // Worst-case recomputation when a shuffle is about to run or when killing
+  // tasks restarts the synchronous job outright.
+  decision.r_used = (inputs.shuffle_imminent || inputs.synchronous_job)
+                        ? 1.0
+                        : inputs.r_estimate;
+
+  decision.t_vm_factor = EstimateVmLevelTimeFactor(inputs.progress_c, max_d,
+                                                   inputs.vm_overcommit_efficiency);
+  decision.t_self_factor = EstimateSelfDeflationTimeFactor(
+      inputs.progress_c, mean_d, decision.r_used);
+  decision.choice = decision.t_self_factor < decision.t_vm_factor
+                        ? SparkDeflationChoice::kSelfDeflate
+                        : SparkDeflationChoice::kVmLevel;
+  return decision;
+}
+
+}  // namespace defl

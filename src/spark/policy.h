@@ -1,0 +1,66 @@
+// The Spark cascade-deflation policy of Section 4.1: given a deflation
+// vector, estimate the total running time under (a) VM-level deflation
+// (stragglers dominate: slowdown by the most-deflated VM, Equation 1) and
+// (b) application self-deflation (recomputation of killed lineage plus even
+// slowdown by the mean deflation, Equation 3), and pick the cheaper one.
+// The recomputation fraction r comes from the synchronous-execution-time
+// heuristic, overridden to the worst case r = 1 when a shuffle is imminent.
+//
+// The policy is pure and decoupled from the engine: decisions are made from
+// these estimates, outcomes are whatever the engine then actually measures.
+#ifndef SRC_SPARK_POLICY_H_
+#define SRC_SPARK_POLICY_H_
+
+#include <vector>
+
+namespace defl {
+
+enum class SparkDeflationChoice {
+  kSelfDeflate,  // kill tasks / shrink executors, return resources voluntarily
+  kVmLevel,      // decline; let OS + hypervisor reclaim underneath
+};
+
+const char* SparkDeflationChoiceName(SparkDeflationChoice choice);
+
+struct SparkPolicyInputs {
+  // Fraction of the job already completed (c), estimated from stage costs.
+  double progress_c = 0.0;
+  // Requested deflation fraction per worker VM (the deflation vector d).
+  std::vector<double> deflation_fractions;
+  // Recomputation-fraction estimate r in [0, 1]: the synchronous-execution
+  // heuristic r = sync time / total time, or 1 for worst-case.
+  double r_estimate = 0.0;
+  // A shuffle stage is scheduled in the immediate future: killed tasks will
+  // not have cached outputs, so the policy uses r = 1 (Section 4.1).
+  bool shuffle_imminent = false;
+  // Synchronous (DNN-style) jobs restart from a checkpoint when tasks are
+  // killed; self-deflation is then effectively worst-case.
+  bool synchronous_job = false;
+  // Efficiency of running on overcommitted (VM-level-deflated) resources
+  // relative to the same amount of cleanly relinquished resources: captures
+  // lock-holder preemption and swap overheads that self-deflation avoids.
+  // Equation 1's denominator becomes (1 - max d) * efficiency. With
+  // efficiency = 1 this reduces exactly to the paper's Equation 1; the
+  // default reflects the measured gap (see DESIGN.md).
+  double vm_overcommit_efficiency = 0.85;
+};
+
+// Equation 1 (normalized by T): c + (1-c) / ((1 - max(d)) * efficiency).
+double EstimateVmLevelTimeFactor(double c, double max_deflation,
+                                 double overcommit_efficiency = 1.0);
+
+// Equation 3 (normalized by T): c + (r*c + 1 - c) / (1 - mean(d)).
+double EstimateSelfDeflationTimeFactor(double c, double mean_deflation, double r);
+
+struct SparkPolicyDecision {
+  SparkDeflationChoice choice = SparkDeflationChoice::kVmLevel;
+  double t_vm_factor = 0.0;
+  double t_self_factor = 0.0;
+  double r_used = 0.0;
+};
+
+SparkPolicyDecision DecideSparkDeflation(const SparkPolicyInputs& inputs);
+
+}  // namespace defl
+
+#endif  // SRC_SPARK_POLICY_H_

@@ -1,0 +1,129 @@
+#include "src/spark/workload.h"
+
+namespace defl {
+namespace {
+
+// Appends an RDD and returns its id.
+RddId Add(SparkWorkload& wl, const std::string& name, RddId parent, bool wide,
+          int partitions, double cost_s, double out_mb, bool cached = false,
+          RddId parent2 = -1) {
+  RddDef def;
+  def.id = static_cast<RddId>(wl.rdds.size());
+  def.name = name;
+  def.parent = parent;
+  def.parent2 = parent2;
+  def.wide = wide;
+  def.num_partitions = partitions;
+  def.cost_per_partition_s = cost_s;
+  def.output_mb_per_partition = out_mb;
+  def.cached = cached;
+  wl.rdds.push_back(def);
+  return def.id;
+}
+
+}  // namespace
+
+double SparkWorkload::TotalCost() const {
+  double total = 0.0;
+  for (const RddDef& rdd : rdds) {
+    total += rdd.cost_per_partition_s * rdd.num_partitions;
+  }
+  return total;
+}
+
+SparkWorkload MakeAlsWorkload(double scale) {
+  // mllib ALS on a 100 GB ratings dataset: load + cache the ratings, then
+  // alternate user-factor / item-factor updates. Every update shuffles the
+  // full factor matrices -- deep wide lineage, heavy recomputation when
+  // shuffle outputs are lost (Section 6.2: "the RDD recomputation graph for
+  // ALS is shuffle-heavy").
+  SparkWorkload wl;
+  wl.name = "als";
+  wl.records_per_task = 500.0;
+  wl.cpu_elastic_fraction = 0.9;
+  wl.memory_demand_fraction = 0.55;
+  const int p = 64;
+  const RddId ratings =
+      Add(wl, "ratings", -1, false, p, 3.0 * scale, 180.0, /*cached=*/true);
+  // Initial factor matrix (cheap random init).
+  RddId prev = Add(wl, "init-factors", -1, false, p, 0.2 * scale, 100.0);
+  for (int i = 0; i < 10; ++i) {
+    const std::string side = i % 2 == 0 ? "user" : "item";
+    // Each half-iteration joins the previous factors with the cached
+    // ratings -- a two-parent shuffle, mllib's actual structure.
+    prev = Add(wl, side + "-factors-" + std::to_string(i / 2 + 1), prev,
+               /*wide=*/true, p, 2.5 * scale, 120.0, /*cached=*/false,
+               /*parent2=*/ratings);
+  }
+  return wl;
+}
+
+SparkWorkload MakeKmeansWorkload(double scale) {
+  // mllib dense K-means on a 50 GB dataset: the points are cached once; each
+  // iteration maps over the cached points (narrow) and aggregates tiny
+  // per-partition sums (cheap shuffle). Lineage is shallow: everything hangs
+  // off the cached input, so recomputation after task kills is cheap.
+  SparkWorkload wl;
+  wl.name = "kmeans";
+  wl.records_per_task = 800.0;
+  wl.cpu_elastic_fraction = 0.85;
+  wl.memory_demand_fraction = 0.6;
+  const int p = 64;
+  const RddId points =
+      Add(wl, "points", -1, false, p, 4.0 * scale, 150.0, /*cached=*/true);
+  for (int i = 0; i < 10; ++i) {
+    const RddId dist = Add(wl, "closest-" + std::to_string(i + 1), points,
+                           /*wide=*/false, p, 2.0 * scale, 1.0);
+    Add(wl, "centers-" + std::to_string(i + 1), dist, /*wide=*/true, 8,
+        0.15 * scale, 0.5);
+  }
+  return wl;
+}
+
+namespace {
+
+SparkWorkload MakeTrainingWorkload(const std::string& name, int iterations,
+                                   double iter_task_cost_s, double records_per_task,
+                                   double cpu_elastic_fraction, double scale,
+                                   bool with_checkpointing) {
+  // BigDL-style synchronous SGD: partitioned training data is cached; every
+  // iteration computes gradients on all partitions and synchronously merges
+  // model parameters (a barrier + shuffle). The job is inelastic: losing any
+  // task invalidates the in-flight iteration and rolls back to the last
+  // checkpoint (Section 4.1, Section 6.2).
+  SparkWorkload wl;
+  wl.name = name;
+  wl.synchronous = true;
+  wl.records_per_task = records_per_task;
+  wl.cpu_elastic_fraction = cpu_elastic_fraction;
+  wl.memory_demand_fraction = 0.3;  // small training sets (Cifar-10, text)
+  const int p = 32;
+  const RddId data =
+      Add(wl, "train-data", -1, false, p, 2.0 * scale, 200.0, /*cached=*/true);
+  RddId prev = data;
+  for (int i = 0; i < iterations; ++i) {
+    prev = Add(wl, "iter-" + std::to_string(i + 1), prev, /*wide=*/true, p,
+               iter_task_cost_s * scale, 20.0);
+  }
+  if (with_checkpointing) {
+    wl.checkpoint_every_stages = 2;
+    // ~20% of the compute time between checkpoints: the ~20% steady-state
+    // throughput cost of checkpointed training in Figure 7b.
+    wl.checkpoint_cost_s = 0.2 * 2.0 * iter_task_cost_s * scale;
+  }
+  return wl;
+}
+
+}  // namespace
+
+SparkWorkload MakeCnnWorkload(double scale, bool with_checkpointing, int iterations) {
+  return MakeTrainingWorkload("cnn", iterations, 11.0, 720.0,
+                              /*cpu_elastic_fraction=*/0.35, scale, with_checkpointing);
+}
+
+SparkWorkload MakeRnnWorkload(double scale, bool with_checkpointing, int iterations) {
+  return MakeTrainingWorkload("rnn", iterations, 8.0, 400.0,
+                              /*cpu_elastic_fraction=*/0.45, scale, with_checkpointing);
+}
+
+}  // namespace defl

@@ -1,0 +1,78 @@
+// Spark workload descriptions: RDD lineage chains with narrow/wide
+// dependencies, partition counts, per-partition compute costs and output
+// sizes. The four evaluation workloads (Table 2) are built here:
+//   * ALS    -- shuffle-heavy alternating least squares (deep wide lineage),
+//   * K-means -- iterative maps over a cached input with tiny reduces,
+//   * CNN/RNN -- synchronous data-parallel DNN training (BigDL-style):
+//                every iteration is a barrier; losing any task rolls the
+//                model back to the last checkpoint.
+#ifndef SRC_SPARK_WORKLOAD_H_
+#define SRC_SPARK_WORKLOAD_H_
+
+#include <string>
+#include <vector>
+
+namespace defl {
+
+using RddId = int;
+
+struct RddDef {
+  RddId id = 0;
+  std::string name;
+  // -1 for a source RDD (reads from external storage, always recomputable).
+  RddId parent = -1;
+  // Optional second parent (join/cogroup); always consumed shuffle-wide and
+  // forces a stage boundary. -1 = none.
+  RddId parent2 = -1;
+  // Wide dependency: computing any partition needs ALL parent partitions
+  // (shuffle); starts a new stage. Narrow: partition i needs parent's i.
+  bool wide = false;
+  int num_partitions = 0;
+  // Compute cost of one partition, in seconds on one fully-backed core.
+  double cost_per_partition_s = 0.0;
+  // Materialized output size (shuffle file or cached block) per partition.
+  double output_mb_per_partition = 0.0;
+  // persist(): output kept in executor memory for reuse by later stages.
+  bool cached = false;
+};
+
+struct SparkWorkload {
+  std::string name;
+  std::vector<RddDef> rdds;  // topologically ordered; rdds[i].id == i
+  // Synchronous data-parallel training semantics: killing any running task
+  // or losing any worker invalidates in-flight and post-checkpoint progress.
+  bool synchronous = false;
+  // Iteration checkpointing (used by the preemption baseline and Figure 7b):
+  // every `checkpoint_every_stages` completed stages, pay `checkpoint_cost_s`
+  // and make all outputs so far durable. 0 = disabled.
+  int checkpoint_every_stages = 0;
+  double checkpoint_cost_s = 0.0;
+  // Records processed per task, for throughput timelines (Figure 7b/8a).
+  double records_per_task = 0.0;
+  // Fraction of a task's runtime that scales with CPU capacity; the rest is
+  // memory-bandwidth / synchronization bound. DNN training (BigDL) tasks are
+  // mostly bandwidth-bound, which is why CNN tolerates 50% CPU deflation
+  // with only ~20% slowdown (Figure 6c).
+  double cpu_elastic_fraction = 1.0;
+  // Fraction of worker VM memory the tasks actually touch (working set);
+  // determines swap pain under VM-level memory deflation. Data-heavy jobs
+  // (K-means over 50 GB, ALS over 100 GB) fill their executors; DNN training
+  // on small datasets (Cifar-10) does not.
+  double memory_demand_fraction = 0.6;
+
+  // Total compute cost (sum over partitions of all RDDs), seconds.
+  double TotalCost() const;
+};
+
+// Workload builders with the evaluation-scale defaults; the scale factor
+// multiplies partition costs (1.0 reproduces the paper-sized runs).
+SparkWorkload MakeAlsWorkload(double scale = 1.0);
+SparkWorkload MakeKmeansWorkload(double scale = 1.0);
+SparkWorkload MakeCnnWorkload(double scale = 1.0, bool with_checkpointing = false,
+                              int iterations = 20);
+SparkWorkload MakeRnnWorkload(double scale = 1.0, bool with_checkpointing = false,
+                              int iterations = 15);
+
+}  // namespace defl
+
+#endif  // SRC_SPARK_WORKLOAD_H_

@@ -1,0 +1,55 @@
+#include "src/apps/deflation_harness.h"
+
+#include <gtest/gtest.h>
+
+#include "src/apps/memcached.h"
+
+namespace defl {
+namespace {
+
+TEST(DeflationHarnessTest, ZeroFractionsLeaveVmUntouched) {
+  MemcachedModel model{MemcachedConfig{}};
+  const HarnessResult r =
+      DeflateAppVm(model, DeflationMode::kCascade, ResourceVector::Zero());
+  const VmSpec spec = StandardVmSpec();
+  EXPECT_DOUBLE_EQ(r.alloc.visible_cpus, spec.size.cpu());
+  EXPECT_DOUBLE_EQ(r.alloc.cpu_capacity, spec.size.cpu());
+  EXPECT_FALSE(r.oom);
+  EXPECT_TRUE(r.outcome.TotalReclaimed().IsZero());
+}
+
+TEST(DeflationHarnessTest, TargetIsSpecTimesFractions) {
+  MemcachedModel model{MemcachedConfig{}};
+  const HarnessResult r = DeflateAppVm(model, DeflationMode::kVmLevel,
+                                       ResourceVector(0.5, 0.25, 0.0, 0.0),
+                                       StandardVmSpec(), /*use_agent=*/false);
+  const VmSpec spec = StandardVmSpec();
+  EXPECT_DOUBLE_EQ(r.outcome.requested.cpu(), spec.size.cpu() * 0.5);
+  EXPECT_DOUBLE_EQ(r.outcome.requested.memory_mb(), spec.size.memory_mb() * 0.25);
+  EXPECT_TRUE(r.outcome.TargetMet());
+}
+
+TEST(DeflationHarnessTest, UseAgentFalseSkipsSelfDeflation) {
+  MemcachedModel model{MemcachedConfig{}};
+  const double cache_before = model.cache_limit_mb();
+  DeflateAppVm(model, DeflationMode::kCascade, ResourceVector(0.0, 0.5, 0.0, 0.0),
+               StandardVmSpec(), /*use_agent=*/false);
+  EXPECT_DOUBLE_EQ(model.cache_limit_mb(), cache_before);
+}
+
+TEST(DeflationHarnessTest, CascadeWithAgentShrinksApp) {
+  MemcachedModel model{MemcachedConfig{}};
+  const double cache_before = model.cache_limit_mb();
+  DeflateAppVm(model, DeflationMode::kCascade, ResourceVector(0.0, 0.5, 0.0, 0.0));
+  EXPECT_LT(model.cache_limit_mb(), cache_before);
+}
+
+TEST(DeflationHarnessTest, StandardVmSpecShape) {
+  const VmSpec spec = StandardVmSpec();
+  EXPECT_DOUBLE_EQ(spec.size.cpu(), 4.0);
+  EXPECT_DOUBLE_EQ(spec.size.memory_mb(), 16384.0);
+  EXPECT_EQ(spec.priority, VmPriority::kLow);
+}
+
+}  // namespace
+}  // namespace defl

@@ -1,0 +1,118 @@
+#include "src/apps/jvm.h"
+
+#include <gtest/gtest.h>
+
+#include "src/apps/deflation_harness.h"
+
+namespace defl {
+namespace {
+
+EffectiveAllocation FullAllocation() {
+  Vm vm(0, StandardVmSpec());
+  return vm.allocation();
+}
+
+TEST(JvmModelTest, BaselineResponseTimeReasonable) {
+  JvmModel model{JvmConfig{}};
+  const double rt = model.ResponseTimeUs(FullAllocation());
+  EXPECT_GT(rt, 300.0);
+  EXPECT_LT(rt, 1000.0);
+}
+
+TEST(JvmModelTest, GcFractionGrowsAsHeapShrinks) {
+  JvmModel model{JvmConfig{}};
+  const double gc_full = model.GcFraction();
+  model.ResizeHeap(model.min_heap_mb());
+  EXPECT_GT(model.GcFraction(), gc_full);
+  EXPECT_LE(model.GcFraction(), 0.95);
+}
+
+TEST(JvmModelTest, HeapResizeClampsToBounds) {
+  JvmModel model{JvmConfig{}};
+  model.ResizeHeap(1.0);
+  EXPECT_DOUBLE_EQ(model.heap_mb(), model.min_heap_mb());
+  model.ResizeHeap(1e9);
+  EXPECT_DOUBLE_EQ(model.heap_mb(), model.config().configured_heap_mb);
+}
+
+TEST(JvmModelTest, AgentFreesHeapMemory) {
+  JvmModel model{JvmConfig{}};
+  const double before = model.MemoryFootprintMb();
+  const ResourceVector freed = model.agent()->SelfDeflate(ResourceVector(0.0, 2048.0));
+  EXPECT_NEAR(freed.memory_mb(), 2048.0, 1e-6);
+  EXPECT_NEAR(model.MemoryFootprintMb(), before - 2048.0, 1e-6);
+}
+
+TEST(JvmModelTest, AgentCannotFreeBelowMinHeap) {
+  JvmModel model{JvmConfig{}};
+  const ResourceVector freed = model.agent()->SelfDeflate(ResourceVector(0.0, 1e9));
+  EXPECT_DOUBLE_EQ(model.heap_mb(), model.min_heap_mb());
+  EXPECT_LT(freed.memory_mb(), model.config().configured_heap_mb);
+}
+
+TEST(JvmModelTest, ReinflateGrowsHeapBack) {
+  JvmModel model{JvmConfig{}};
+  model.agent()->SelfDeflate(ResourceVector(0.0, 4096.0));
+  model.agent()->OnReinflate(ResourceVector(0.0, 4096.0));
+  EXPECT_DOUBLE_EQ(model.heap_mb(), model.config().configured_heap_mb);
+}
+
+TEST(JvmModelTest, UnmodifiedSwapsUnderMemoryDeflation) {
+  JvmModel model{JvmConfig{}};
+  const EffectiveAllocation full = FullAllocation();
+  const double rt_full = model.ResponseTimeUs(full);
+  const HarnessResult r = DeflateAppVm(model, DeflationMode::kVmLevel,
+                                       ResourceVector(0.0, 0.5, 0.0, 0.0),
+                                       StandardVmSpec(), /*use_agent=*/false);
+  const double rt_deflated = model.ResponseTimeUs(r.alloc);
+  EXPECT_GT(rt_deflated, rt_full * 2.0);
+}
+
+TEST(JvmModelTest, AppDeflationAvoidsSwapViaGc) {
+  // Figure 5d: at combined CPU+memory deflation the deflation-aware JVM
+  // (shrink heap, more GC) responds faster than the unmodified one (swap).
+  const ResourceVector both(0.5, 0.5, 0.0, 0.0);
+
+  JvmModel unmodified{JvmConfig{}};
+  const HarnessResult u = DeflateAppVm(unmodified, DeflationMode::kVmLevel, both,
+                                       StandardVmSpec(), /*use_agent=*/false);
+  const double rt_unmodified = unmodified.ResponseTimeUs(u.alloc);
+
+  JvmModel aware{JvmConfig{}};
+  const HarnessResult a = DeflateAppVm(aware, DeflationMode::kCascade, both);
+  const double rt_aware = aware.ResponseTimeUs(a.alloc);
+
+  EXPECT_LT(rt_aware, rt_unmodified);
+  EXPECT_GT(aware.GcFraction(), JvmModel{JvmConfig{}}.GcFraction());
+}
+
+TEST(JvmModelTest, SaturationCapsResponseTime) {
+  JvmConfig config;
+  config.injection_rate_per_s = 1e9;  // impossible load
+  JvmModel model(config);
+  EXPECT_DOUBLE_EQ(model.ResponseTimeUs(FullAllocation()),
+                   config.max_response_time_us);
+}
+
+TEST(JvmModelTest, OomReportsMaxResponseTime) {
+  JvmModel model{JvmConfig{}};
+  EffectiveAllocation tiny = FullAllocation();
+  tiny.guest_memory_mb = 1000.0;  // cannot hold the JVM
+  tiny.resident_memory_mb = 1000.0;
+  EXPECT_DOUBLE_EQ(model.ResponseTimeUs(tiny), model.config().max_response_time_us);
+}
+
+TEST(JvmModelTest, NormalizedPerformanceInverseOfResponseTime) {
+  JvmModel model{JvmConfig{}};
+  const EffectiveAllocation full = FullAllocation();
+  model.SetBaseline(full);
+  EXPECT_NEAR(model.NormalizedPerformance(full), 1.0, 1e-9);
+  const HarnessResult r = DeflateAppVm(model, DeflationMode::kVmLevel,
+                                       ResourceVector(0.5, 0.5, 0.0, 0.0),
+                                       StandardVmSpec(), /*use_agent=*/false);
+  EXPECT_LT(model.NormalizedPerformance(r.alloc), 1.0);
+  EXPECT_GT(model.NormalizedPerformance(r.alloc), 0.0);
+}
+
+}  // namespace
+}  // namespace defl

@@ -1,0 +1,125 @@
+#include "src/apps/kernel_compile.h"
+
+#include <gtest/gtest.h>
+
+#include "src/apps/deflation_harness.h"
+
+namespace defl {
+namespace {
+
+EffectiveAllocation FullAllocation() {
+  Vm vm(0, StandardVmSpec());
+  return vm.allocation();
+}
+
+double PerfAfterCpuDeflation(DeflationMode mode, double fraction) {
+  KernelCompileModel model{KernelCompileConfig{}};
+  const HarnessResult r = DeflateAppVm(model, mode,
+                                       ResourceVector(fraction, 0.0, 0.0, 0.0),
+                                       StandardVmSpec(), /*use_agent=*/false);
+  return model.NormalizedPerformance(r.alloc);
+}
+
+TEST(KernelCompileTest, FullAllocationIsBaseline) {
+  KernelCompileModel model{KernelCompileConfig{}};
+  EXPECT_NEAR(model.NormalizedPerformance(FullAllocation()), 1.0, 1e-9);
+}
+
+TEST(KernelCompileTest, OsUnplugFollowsAmdahl) {
+  // 4 -> 2 CPUs with p = 0.5: time 0.75/0.625, perf = 0.833.
+  const double perf = PerfAfterCpuDeflation(DeflationMode::kOsOnly, 0.5);
+  EXPECT_NEAR(perf, 0.625 / 0.75, 1e-6);
+}
+
+TEST(KernelCompileTest, HypervisorOnlyTrailsOsUnplug) {
+  // Figure 5b: hypervisor-level CPU deflation is inferior to hot-unplug,
+  // by up to ~20%, due to lock-holder preemption.
+  for (const double f : {0.25, 0.5, 0.75}) {
+    const double hv = PerfAfterCpuDeflation(DeflationMode::kHypervisorOnly, f);
+    const double os = PerfAfterCpuDeflation(DeflationMode::kOsOnly, f);
+    EXPECT_LT(hv, os) << "at deflation " << f;
+    EXPECT_GT(hv, os * 0.7) << "at deflation " << f;
+  }
+}
+
+TEST(KernelCompileTest, HybridDeflationAt75PercentLosesAboutThirty) {
+  // Section 6.1: combining hypervisor and OS deflation allows 75% CPU
+  // deflation with only ~30% performance loss.
+  const double perf = PerfAfterCpuDeflation(DeflationMode::kVmLevel, 0.75);
+  EXPECT_GT(perf, 0.55);
+  EXPECT_LT(perf, 0.8);
+}
+
+TEST(KernelCompileTest, HybridAtLeastAsGoodAsEitherSingleLevel) {
+  for (const double f : {0.25, 0.5, 0.6}) {
+    const double hybrid = PerfAfterCpuDeflation(DeflationMode::kVmLevel, f);
+    const double hv = PerfAfterCpuDeflation(DeflationMode::kHypervisorOnly, f);
+    EXPECT_GE(hybrid, hv - 1e-9) << "at deflation " << f;
+  }
+}
+
+TEST(KernelCompileTest, MonotonicInCpuDeflation) {
+  double prev = 2.0;
+  for (double f = 0.0; f <= 0.8; f += 0.1) {
+    const double perf = PerfAfterCpuDeflation(DeflationMode::kVmLevel, f);
+    EXPECT_LE(perf, prev + 1e-9) << "at deflation " << f;
+    prev = perf;
+  }
+}
+
+TEST(KernelCompileTest, MemorySwapHurtsBuild) {
+  KernelCompileModel model{KernelCompileConfig{}};
+  EffectiveAllocation alloc = FullAllocation();
+  alloc.resident_memory_mb = model.config().footprint_mb * 0.5;
+  const double perf = model.NormalizedPerformance(alloc);
+  EXPECT_LT(perf, 0.8);
+  EXPECT_GT(perf, 0.0);
+}
+
+TEST(KernelCompileTest, OomKillsBuild) {
+  KernelCompileModel model{KernelCompileConfig{}};
+  EffectiveAllocation alloc = FullAllocation();
+  alloc.guest_memory_mb = model.config().footprint_mb - 1.0;
+  EXPECT_DOUBLE_EQ(model.NormalizedPerformance(alloc), 0.0);
+}
+
+TEST(KernelCompileTest, LosingPageCacheSlowsTheBuild) {
+  KernelCompileConfig config;
+  config.page_cache_working_set_mb = 2048.0;
+  KernelCompileModel model(config);
+  EffectiveAllocation warm = FullAllocation();
+  warm.page_cache_mb = 2048.0;
+  EffectiveAllocation cold = warm;
+  cold.page_cache_mb = 0.0;
+  const double warm_perf = model.NormalizedPerformance(warm);
+  const double cold_perf = model.NormalizedPerformance(cold);
+  EXPECT_LT(cold_perf, warm_perf);
+  EXPECT_NEAR(warm_perf / cold_perf, 1.0 + config.cold_cache_penalty, 1e-9);
+}
+
+TEST(KernelCompileTest, UnplugTakesCacheOnlyUnderDeepDeflation) {
+  // With a warm cache in the guest, OS-level memory unplug first takes the
+  // truly-free pool; the build only slows once the cache is consumed.
+  KernelCompileConfig config;
+  config.page_cache_working_set_mb = 2048.0;
+  KernelCompileModel model(config);
+  Vm vm(0, StandardVmSpec());
+  vm.guest_os().set_app_used_mb(model.MemoryFootprintMb());
+  vm.guest_os().set_page_cache_mb(2048.0);
+  CascadeController controller(DeflationMode::kVmLevel);
+  // 16384 - 4096 - 512 reserve = 11776 reclaimable; 9728 truly free.
+  controller.Deflate(vm, nullptr, ResourceVector(0.0, 6000.0));
+  const double after_light = model.NormalizedPerformance(vm.allocation());
+  controller.Deflate(vm, nullptr, ResourceVector(0.0, 5000.0));
+  const double after_deep = model.NormalizedPerformance(vm.allocation());
+  EXPECT_GT(after_light, after_deep);
+  EXPECT_LT(vm.guest_os().page_cache_mb(), 2048.0);
+}
+
+TEST(KernelCompileTest, HasNoAgentByDefault) {
+  KernelCompileModel model{KernelCompileConfig{}};
+  EXPECT_EQ(model.agent(), nullptr);
+}
+
+}  // namespace
+}  // namespace defl

@@ -1,0 +1,133 @@
+#include "src/apps/lru_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/common/rng.h"
+
+namespace defl {
+namespace {
+
+TEST(LruCacheTest, PutGetBasics) {
+  LruCache<int, std::string> cache(3);
+  cache.Put(1, "a");
+  cache.Put(2, "b");
+  EXPECT_EQ(cache.Get(1).value_or(""), "a");
+  EXPECT_EQ(cache.Get(2).value_or(""), "b");
+  EXPECT_FALSE(cache.Get(3).has_value());
+  EXPECT_EQ(cache.entry_count(), 2);
+}
+
+TEST(LruCacheTest, EvictsLeastRecentlyUsed) {
+  LruCache<int, int> cache(2);
+  cache.Put(1, 10);
+  cache.Put(2, 20);
+  ASSERT_TRUE(cache.Get(1).has_value());  // 1 is now most recent
+  cache.Put(3, 30);                       // evicts 2
+  EXPECT_TRUE(cache.Contains(1));
+  EXPECT_FALSE(cache.Contains(2));
+  EXPECT_TRUE(cache.Contains(3));
+}
+
+TEST(LruCacheTest, UpdateRefreshesRecencyAndValue) {
+  LruCache<int, int> cache(2);
+  cache.Put(1, 10);
+  cache.Put(2, 20);
+  cache.Put(1, 11);  // update; 2 is now LRU
+  cache.Put(3, 30);
+  EXPECT_EQ(cache.Get(1).value_or(0), 11);
+  EXPECT_FALSE(cache.Contains(2));
+}
+
+TEST(LruCacheTest, CostAccounting) {
+  LruCache<int, int> cache(10);
+  cache.Put(1, 1, 4);
+  cache.Put(2, 2, 4);
+  EXPECT_EQ(cache.size(), 8);
+  cache.Put(3, 3, 4);  // evicts 1 (cost 4) to fit
+  EXPECT_EQ(cache.size(), 8);
+  EXPECT_FALSE(cache.Contains(1));
+}
+
+TEST(LruCacheTest, OversizedItemIsDropped) {
+  LruCache<int, int> cache(5);
+  cache.Put(1, 1, 10);
+  EXPECT_FALSE(cache.Contains(1));
+  EXPECT_EQ(cache.size(), 0);
+}
+
+TEST(LruCacheTest, ResizeEvictsImmediately) {
+  LruCache<int, int> cache(4);
+  for (int i = 0; i < 4; ++i) {
+    cache.Put(i, i);
+  }
+  ASSERT_TRUE(cache.Get(0).has_value());  // 0 most recent; LRU order 1,2,3
+  cache.Resize(2);
+  EXPECT_EQ(cache.entry_count(), 2);
+  EXPECT_TRUE(cache.Contains(0));
+  EXPECT_TRUE(cache.Contains(3));
+  EXPECT_FALSE(cache.Contains(1));
+  EXPECT_FALSE(cache.Contains(2));
+  // Growing back does not resurrect entries.
+  cache.Resize(4);
+  EXPECT_EQ(cache.entry_count(), 2);
+}
+
+TEST(LruCacheTest, EraseRemovesEntry) {
+  LruCache<int, int> cache(4);
+  cache.Put(1, 1);
+  EXPECT_TRUE(cache.Erase(1));
+  EXPECT_FALSE(cache.Erase(1));
+  EXPECT_EQ(cache.size(), 0);
+}
+
+TEST(LruCacheTest, HitRateCounters) {
+  LruCache<int, int> cache(2);
+  cache.Put(1, 1);
+  cache.Get(1);
+  cache.Get(2);
+  EXPECT_EQ(cache.hits(), 1);
+  EXPECT_EQ(cache.misses(), 1);
+  EXPECT_DOUBLE_EQ(cache.HitRate(), 0.5);
+  cache.ResetCounters();
+  EXPECT_DOUBLE_EQ(cache.HitRate(), 0.0);
+}
+
+TEST(LruCacheTest, EmpiricalZipfHitRateMatchesAnalyticModel) {
+  // Drive a real LRU with a Zipf stream and compare the measured hit rate
+  // with the ZipfHeadFraction approximation used by the memcached model.
+  // This validates the analytic curve the Figure 5 benches rely on.
+  const int64_t universe = 50000;
+  const int64_t capacity = 5000;
+  const double s = 0.9;
+  LruCache<int64_t, int> cache(capacity);
+  ZipfDistribution zipf(universe, s);
+  Rng rng(12345);
+
+  // Warm up.
+  for (int i = 0; i < 200000; ++i) {
+    const int64_t key = zipf.Sample(rng);
+    if (!cache.Get(key).has_value()) {
+      cache.Put(key, 1);
+    }
+  }
+  cache.ResetCounters();
+  for (int i = 0; i < 400000; ++i) {
+    const int64_t key = zipf.Sample(rng);
+    if (!cache.Get(key).has_value()) {
+      cache.Put(key, 1);
+    }
+  }
+  const double analytic = ZipfHeadFraction(universe, capacity, s);
+  // ZipfHeadFraction is the *ideal* top-k hit rate; real LRU under the
+  // independent reference model underperforms it by a margin that shrinks
+  // with skew (Che's approximation). Require the analytic curve to be a
+  // modest upper bound, not an exact match.
+  EXPECT_LE(cache.HitRate(), analytic + 0.01);
+  EXPECT_GT(cache.HitRate(), analytic - 0.15);
+  EXPECT_GT(cache.HitRate(), 0.5);  // still far above the 10% capacity ratio
+}
+
+}  // namespace
+}  // namespace defl

@@ -1,0 +1,123 @@
+// Cross-validation: the execution-based memcached simulation (real LRU +
+// simulated kernel paging) against MemcachedModel's closed-form curves.
+// The two implementations share no formulas, so agreement here validates
+// the analytic model the Figure 5 benches are built on.
+#include "src/apps/memcached_sim.h"
+
+#include <gtest/gtest.h>
+
+#include "src/apps/deflation_harness.h"
+
+namespace defl {
+namespace {
+
+// Scaled-down config so the real LRU fits in test memory while the cache
+// still dominates the VM (as in the Figure 5c setup), and small enough that
+// a million requests drive the cache and the resident page set to steady
+// state: 600k keys, a 360 MB / ~369k-item cache in a "512 MB" VM.
+MemcachedConfig SmallConfig() {
+  MemcachedConfig config;
+  config.num_keys = 600000;
+  // Flat enough that a million requests reach cache/paging steady state
+  // (at higher skew the tail fills the structures too slowly to validate
+  // steady-state formulas).
+  config.zipf_s = 0.8;
+  config.item_kb = 1.0;
+  config.configured_cache_mb = 360.0;
+  config.fill_fraction = 1.0;
+  config.process_overhead_mb = 32.0;
+  config.oom_reserve_mb = 16.0;
+  return config;
+}
+
+VmSpec SmallVmSpec() {
+  VmSpec spec;
+  spec.name = "small-vm";
+  spec.size = ResourceVector(4.0, 512.0, 200.0, 1250.0);
+  spec.priority = VmPriority::kLow;
+  return spec;
+}
+
+constexpr int64_t kRequests = 1000000;
+
+TEST(MemcachedSimTest, UndeflatedMatchesAnalyticModel) {
+  const MemcachedConfig config = SmallConfig();
+  MemcachedModel model(config);
+  Vm vm(0, SmallVmSpec());
+  const EffectiveAllocation full = vm.allocation();
+
+  const SimulatedMemcachedResult sim = RunSimulatedMemcached(config, full, kRequests, 7);
+  // Che's approximation tracks the real LRU hit rate closely.
+  EXPECT_NEAR(sim.measured_hit_rate, model.HitRate(), 0.03);
+  // Throughput within 10%.
+  const double analytic = model.ThroughputKGets(full);
+  EXPECT_NEAR(sim.measured_kgets / analytic, 1.0, 0.10);
+  EXPECT_EQ(sim.swap_stalls, 0);
+}
+
+TEST(MemcachedSimTest, MemoryDeflationMatchesAnalyticShape) {
+  // Sweep hypervisor memory deflation; measured and analytic throughput
+  // must degrade together. Both the hit rate (application LRU) and the
+  // swap fraction (kernel page LRU) come from Che's approximation in the
+  // model and from real LRU structures in the simulation.
+  for (const double f : {0.2, 0.35, 0.5}) {
+    const MemcachedConfig config = SmallConfig();
+    MemcachedModel model(config);
+    const HarnessResult r =
+        DeflateAppVm(model, DeflationMode::kHypervisorOnly,
+                     ResourceVector(0.0, f, 0.0, 0.0), SmallVmSpec(),
+                     /*use_agent=*/false);
+    const SimulatedMemcachedResult sim =
+        RunSimulatedMemcached(config, r.alloc, kRequests, 11);
+    const double analytic = model.ThroughputKGets(r.alloc);
+    ASSERT_GT(analytic, 0.0);
+    EXPECT_NEAR(sim.measured_kgets / analytic, 1.0, 0.12) << "deflation " << f;
+    if (f >= 0.35) {
+      EXPECT_GT(sim.swap_stalls, 0) << "deflation " << f;
+    }
+  }
+}
+
+TEST(MemcachedSimTest, SwapFractionGrowsWithDeflation) {
+  double prev = -1.0;
+  for (const double f : {0.2, 0.4, 0.55}) {
+    const MemcachedConfig config = SmallConfig();
+    MemcachedModel model(config);
+    const HarnessResult r =
+        DeflateAppVm(model, DeflationMode::kHypervisorOnly,
+                     ResourceVector(0.0, f, 0.0, 0.0), SmallVmSpec(),
+                     /*use_agent=*/false);
+    const SimulatedMemcachedResult sim =
+        RunSimulatedMemcached(config, r.alloc, kRequests, 13);
+    EXPECT_GE(sim.measured_swap_fraction, prev) << "deflation " << f;
+    prev = sim.measured_swap_fraction;
+  }
+  EXPECT_GT(prev, 0.01);
+}
+
+TEST(MemcachedSimTest, OomReturnsZero) {
+  const MemcachedConfig config = SmallConfig();
+  EffectiveAllocation tiny;
+  tiny.visible_cpus = 4.0;
+  tiny.cpu_capacity = 4.0;
+  tiny.guest_memory_mb = 50.0;  // cannot hold the cache
+  tiny.resident_memory_mb = 50.0;
+  const SimulatedMemcachedResult sim =
+      RunSimulatedMemcached(config, tiny, kRequests, 17);
+  EXPECT_EQ(sim.requests, 0);
+  EXPECT_DOUBLE_EQ(sim.measured_kgets, 0.0);
+}
+
+TEST(MemcachedSimTest, DeterministicForSameSeed) {
+  const MemcachedConfig config = SmallConfig();
+  Vm vm(0, SmallVmSpec());
+  const SimulatedMemcachedResult a =
+      RunSimulatedMemcached(config, vm.allocation(), 50000, 23);
+  const SimulatedMemcachedResult b =
+      RunSimulatedMemcached(config, vm.allocation(), 50000, 23);
+  EXPECT_EQ(a.hits, b.hits);
+  EXPECT_DOUBLE_EQ(a.measured_kgets, b.measured_kgets);
+}
+
+}  // namespace
+}  // namespace defl

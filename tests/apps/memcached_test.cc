@@ -1,0 +1,160 @@
+#include "src/apps/memcached.h"
+
+#include <gtest/gtest.h>
+
+#include "src/apps/deflation_harness.h"
+
+namespace defl {
+namespace {
+
+EffectiveAllocation FullAllocation() {
+  const VmSpec spec = StandardVmSpec();
+  Vm vm(0, spec);
+  return vm.allocation();
+}
+
+TEST(MemcachedModelTest, BaselineThroughputIsCpuBound) {
+  MemcachedModel model{MemcachedConfig{}};
+  const EffectiveAllocation full = FullAllocation();
+  const double kgets = model.ThroughputKGets(full);
+  // 4 cores at 30 us/GET, scaled by the hit rate: on the order of 1e2 kGETS.
+  EXPECT_GT(kgets, 80.0);
+  EXPECT_LT(kgets, 140.0);
+  model.SetBaseline(full);
+  EXPECT_NEAR(model.NormalizedPerformance(full), 1.0, 1e-9);
+}
+
+TEST(MemcachedModelTest, HitRateHighWithSkewedKeys) {
+  MemcachedModel model{MemcachedConfig{}};
+  EXPECT_GT(model.HitRate(), 0.85);
+  EXPECT_LE(model.HitRate(), 1.0);
+}
+
+TEST(MemcachedModelTest, FootprintIsStoredPlusOverhead) {
+  MemcachedConfig config;
+  config.configured_cache_mb = 12288.0;
+  config.fill_fraction = 0.5;
+  config.process_overhead_mb = 1000.0;
+  MemcachedModel model(config);
+  EXPECT_DOUBLE_EQ(model.StoredMb(), 6144.0);
+  EXPECT_DOUBLE_EQ(model.MemoryFootprintMb(), 7144.0);
+}
+
+TEST(MemcachedModelTest, AgentShrinksCacheAndReportsFreedMemory) {
+  MemcachedConfig config;
+  config.fill_fraction = 1.0;
+  MemcachedModel model(config);
+  const double before = model.MemoryFootprintMb();
+  const ResourceVector freed =
+      model.agent()->SelfDeflate(ResourceVector(0.0, 4096.0));
+  EXPECT_NEAR(freed.memory_mb(), 4096.0, 1.0);
+  EXPECT_NEAR(model.MemoryFootprintMb(), before - freed.memory_mb(), 1e-6);
+  EXPECT_LT(model.HitRate(), 1.0);
+}
+
+TEST(MemcachedModelTest, AgentHonorsMinimumCacheSize) {
+  MemcachedConfig config;
+  config.min_cache_mb = 512.0;
+  MemcachedModel model(config);
+  model.agent()->SelfDeflate(ResourceVector(0.0, 1e9));
+  EXPECT_DOUBLE_EQ(model.cache_limit_mb(), 512.0);
+}
+
+TEST(MemcachedModelTest, ReinflateGrowsBackToConfiguredLimit) {
+  MemcachedModel model{MemcachedConfig{}};
+  model.agent()->SelfDeflate(ResourceVector(0.0, 6000.0));
+  model.agent()->OnReinflate(ResourceVector(0.0, 1e9));
+  EXPECT_DOUBLE_EQ(model.cache_limit_mb(), model.config().configured_cache_mb);
+}
+
+TEST(MemcachedModelTest, HypervisorMemoryDeflationCausesSwapStalls) {
+  MemcachedModel model{MemcachedConfig{}};
+  const EffectiveAllocation full = FullAllocation();
+  model.SetBaseline(full);
+  const ResourceVector mem_half(0.0, 0.5, 0.0, 0.0);
+  const HarnessResult r =
+      DeflateAppVm(model, DeflationMode::kHypervisorOnly, mem_half);
+  const double perf = model.NormalizedPerformance(r.alloc);
+  EXPECT_LT(perf, 0.95);  // swapping hurts...
+  EXPECT_GT(perf, 0.2);   // ...but is not a preemption-style cliff
+}
+
+TEST(MemcachedModelTest, OsOnlyDeflationOomsAtHighLevels) {
+  // The Figure 5a failure mode: forced unplug beyond the footprint kills
+  // the unmodified app.
+  MemcachedModel model{MemcachedConfig{}};
+  const EffectiveAllocation full = FullAllocation();
+  model.SetBaseline(full);
+  const HarnessResult r = DeflateAppVm(model, DeflationMode::kOsOnly,
+                                       ResourceVector(0.0, 0.6, 0.0, 0.0),
+                                       StandardVmSpec(), /*use_agent=*/false);
+  EXPECT_TRUE(r.oom);
+  EXPECT_DOUBLE_EQ(model.NormalizedPerformance(r.alloc), 0.0);
+}
+
+TEST(MemcachedModelTest, OsOnlySafeAtLowLevels) {
+  MemcachedModel model{MemcachedConfig{}};
+  const EffectiveAllocation full = FullAllocation();
+  model.SetBaseline(full);
+  const HarnessResult r = DeflateAppVm(model, DeflationMode::kOsOnly,
+                                       ResourceVector(0.0, 0.25, 0.0, 0.0),
+                                       StandardVmSpec(), /*use_agent=*/false);
+  EXPECT_FALSE(r.oom);
+  EXPECT_GT(model.NormalizedPerformance(r.alloc), 0.95);
+}
+
+TEST(MemcachedModelTest, AppDeflationBeatsUnmodifiedAtHighMemoryPressure) {
+  // Figure 5c: at >= 50% memory deflation the deflation-aware memcached
+  // (resize + LRU eviction, no swap) far outperforms the unmodified one.
+  MemcachedConfig heavy;
+  heavy.fill_fraction = 1.0;     // cache is full, nothing free in the guest
+  heavy.swap_in_us = 2500.0;
+
+  MemcachedModel unmodified(heavy);
+  const EffectiveAllocation full = FullAllocation();
+  unmodified.SetBaseline(full);
+  const HarnessResult u = DeflateAppVm(unmodified, DeflationMode::kVmLevel,
+                                       ResourceVector(0.0, 0.5, 0.0, 0.0),
+                                       StandardVmSpec(), /*use_agent=*/false);
+  const double kgets_unmodified = unmodified.ThroughputKGets(u.alloc);
+
+  MemcachedModel aware(heavy);
+  aware.SetBaseline(full);
+  const HarnessResult a = DeflateAppVm(aware, DeflationMode::kCascade,
+                                       ResourceVector(0.0, 0.5, 0.0, 0.0));
+  const double kgets_aware = aware.ThroughputKGets(a.alloc);
+
+  EXPECT_GT(kgets_aware, kgets_unmodified * 3.0);
+  // The deflation-aware server still serves a healthy fraction of baseline.
+  EXPECT_GT(kgets_aware, unmodified.ThroughputKGets(full) * 0.5);
+}
+
+TEST(MemcachedModelTest, CpuDeflationScalesThroughput) {
+  MemcachedModel model{MemcachedConfig{}};
+  const EffectiveAllocation full = FullAllocation();
+  model.SetBaseline(full);
+  const HarnessResult r = DeflateAppVm(model, DeflationMode::kVmLevel,
+                                       ResourceVector(0.5, 0.0, 0.0, 0.0),
+                                       StandardVmSpec(), /*use_agent=*/false);
+  const double perf = model.NormalizedPerformance(r.alloc);
+  EXPECT_GT(perf, 0.4);
+  EXPECT_LT(perf, 0.65);  // roughly proportional for a throughput server
+}
+
+TEST(MemcachedModelTest, PerformanceMonotonicallyDegradesWithMemoryDeflation) {
+  double prev = 2.0;
+  for (const double f : {0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.55}) {
+    MemcachedModel model{MemcachedConfig{}};
+    const EffectiveAllocation full = FullAllocation();
+    model.SetBaseline(full);
+    const HarnessResult r = DeflateAppVm(model, DeflationMode::kVmLevel,
+                                         ResourceVector(0.0, f, 0.0, 0.0),
+                                         StandardVmSpec(), /*use_agent=*/false);
+    const double perf = model.NormalizedPerformance(r.alloc);
+    EXPECT_LE(perf, prev + 1e-9) << "at deflation " << f;
+    prev = perf;
+  }
+}
+
+}  // namespace
+}  // namespace defl

@@ -1,0 +1,108 @@
+#include "src/apps/mpi.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/core/cascade.h"
+
+namespace defl {
+namespace {
+
+std::unique_ptr<Vm> MakeVm(VmId id) {
+  VmSpec spec;
+  spec.name = "mpi-" + std::to_string(id);
+  spec.size = ResourceVector(4.0, 16384.0, 100.0, 1000.0);
+  spec.priority = VmPriority::kLow;
+  return std::make_unique<Vm>(id, spec);
+}
+
+class MpiFixture : public ::testing::Test {
+ protected:
+  MpiFixture() : job_(MpiJobConfig{}) {
+    for (int i = 0; i < 4; ++i) {
+      vms_.push_back(MakeVm(i));
+      vms_.back()->guest_os().set_app_used_mb(job_.config().footprint_mb_per_vm);
+    }
+  }
+
+  std::vector<const Vm*> VmPtrs() const {
+    std::vector<const Vm*> out;
+    for (const auto& vm : vms_) {
+      out.push_back(vm.get());
+    }
+    return out;
+  }
+
+  MpiJob job_;
+  std::vector<std::unique_ptr<Vm>> vms_;
+};
+
+TEST_F(MpiFixture, UndeflatedRunsAtFullSpeed) {
+  EXPECT_DOUBLE_EQ(job_.JobSpeed(VmPtrs()), 1.0);
+}
+
+TEST_F(MpiFixture, AgentIsInelastic) {
+  EXPECT_TRUE(job_.agent()->SelfDeflate(ResourceVector(4.0, 8192.0)).IsZero());
+  EXPECT_DOUBLE_EQ(job_.agent()->MemoryFootprintMb(),
+                   job_.config().footprint_mb_per_vm);
+}
+
+TEST_F(MpiFixture, GangRunsAtSlowestVm) {
+  CascadeController cascade(DeflationMode::kVmLevel);
+  cascade.Deflate(*vms_[0], job_.agent(), vms_[0]->size() * 0.5);
+  const double one_deflated = job_.JobSpeed(VmPtrs());
+  // The whole gang slows to the single deflated VM's pace.
+  EXPECT_NEAR(one_deflated, job_.VmRankSpeed(*vms_[0]), 1e-12);
+  EXPECT_LT(one_deflated, 0.7);
+}
+
+TEST_F(MpiFixture, ProportionalDeflationBeatsSkewedAtEqualReclamation) {
+  // The Section 5 policy rationale, quantified: reclaiming the same total
+  // amount of resources hurts a gang job far less when spread evenly
+  // (18.75% from each of 4 VMs) than when taken from a single victim (75%).
+  CascadeController cascade(DeflationMode::kVmLevel);
+
+  // Skewed: one VM gives up 3 of its 4 CPUs-worth.
+  cascade.Deflate(*vms_[0], nullptr, vms_[0]->size() * 0.75);
+  const double skewed_speed = job_.JobSpeed(VmPtrs());
+  cascade.Reinflate(*vms_[0], nullptr, vms_[0]->size() - vms_[0]->effective());
+
+  // Proportional: every VM gives up 18.75%.
+  for (auto& vm : vms_) {
+    cascade.Deflate(*vm, nullptr, vm->size() * 0.1875);
+  }
+  const double proportional_speed = job_.JobSpeed(VmPtrs());
+
+  EXPECT_GT(proportional_speed, skewed_speed * 1.5);
+}
+
+TEST_F(MpiFixture, OomKillsTheJob) {
+  // Forced unplug below the footprint on a single VM: rank death = job death.
+  CascadeController cascade(DeflationMode::kOsOnly);
+  cascade.Deflate(*vms_[2], nullptr, ResourceVector(0.0, 12000.0));
+  EXPECT_DOUBLE_EQ(job_.JobSpeed(VmPtrs()), 0.0);
+}
+
+TEST_F(MpiFixture, ReinflationRestoresFullSpeed) {
+  CascadeController cascade(DeflationMode::kVmLevel);
+  for (auto& vm : vms_) {
+    cascade.Deflate(*vm, nullptr, vm->size() * 0.5);
+  }
+  ASSERT_LT(job_.JobSpeed(VmPtrs()), 1.0);
+  for (auto& vm : vms_) {
+    cascade.Reinflate(*vm, nullptr, vm->size() - vm->effective());
+  }
+  EXPECT_DOUBLE_EQ(job_.JobSpeed(VmPtrs()), 1.0);
+}
+
+TEST_F(MpiFixture, MemoryOvercommitmentSlowsRanks) {
+  CascadeController cascade(DeflationMode::kHypervisorOnly);
+  cascade.Deflate(*vms_[1], nullptr, ResourceVector(0.0, 10000.0));
+  const double speed = job_.VmRankSpeed(*vms_[1]);
+  EXPECT_LT(speed, 1.0);
+  EXPECT_GT(speed, 0.0);
+}
+
+}  // namespace
+}  // namespace defl

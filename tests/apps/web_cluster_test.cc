@@ -1,0 +1,95 @@
+#include "src/apps/web_cluster.h"
+
+#include <gtest/gtest.h>
+
+namespace defl {
+namespace {
+
+ResourceVector VmSize() { return ResourceVector(4.0, 16384.0, 100.0, 1000.0); }
+
+TEST(WebClusterTest, UndeflatedCapacityScalesWithBackends) {
+  WebCluster cluster(4, VmSize());
+  // Each backend: 4 cores at 2 ms/request = 2000 rps.
+  EXPECT_NEAR(cluster.TotalCapacityRps(), 8000.0, 1.0);
+}
+
+TEST(WebClusterTest, EvenLoadBelowCapacityFullyServed) {
+  WebCluster cluster(4, VmSize());
+  for (const LoadBalancingPolicy policy :
+       {LoadBalancingPolicy::kDeflationAware, LoadBalancingPolicy::kEvenSplit}) {
+    const WebClusterMetrics m = cluster.Evaluate(4000.0, policy);
+    EXPECT_NEAR(m.served_rps, 4000.0, 1e-6) << LoadBalancingPolicyName(policy);
+    EXPECT_NEAR(m.dropped_rps, 0.0, 1e-6);
+  }
+}
+
+TEST(WebClusterTest, DeflationShrinksBackendPoolAndCapacity) {
+  WebCluster cluster(4, VmSize());
+  const ResourceVector reclaimed =
+      cluster.DeflateBackend(0, VmSize() * 0.5);
+  EXPECT_GT(reclaimed.cpu(), 0.0);
+  EXPECT_LT(cluster.server(0).threads(), cluster.server(1).threads());
+  EXPECT_LT(cluster.TotalCapacityRps(), 8000.0);
+}
+
+TEST(WebClusterTest, AwareBalancerShiftsTrafficAwayFromDeflatedBackend) {
+  WebCluster cluster(4, VmSize());
+  cluster.DeflateBackend(0, VmSize() * 0.5);
+  // Offered load that the remaining capacity can still serve.
+  const double offered = 0.85 * cluster.TotalCapacityRps();
+
+  const WebClusterMetrics aware =
+      cluster.Evaluate(offered, LoadBalancingPolicy::kDeflationAware);
+  EXPECT_NEAR(aware.dropped_rps, 0.0, 1e-6);
+  // Deflated backend gets less traffic but the same utilization.
+  for (size_t i = 1; i < aware.backend_utilization.size(); ++i) {
+    EXPECT_NEAR(aware.backend_utilization[0], aware.backend_utilization[i], 1e-6);
+  }
+
+  const WebClusterMetrics oblivious =
+      cluster.Evaluate(offered, LoadBalancingPolicy::kEvenSplit);
+  EXPECT_GT(oblivious.dropped_rps, 0.0);  // deflated backend overloads
+  EXPECT_GT(aware.served_rps, oblivious.served_rps);
+  EXPECT_LT(aware.mean_response_us, oblivious.mean_response_us);
+}
+
+TEST(WebClusterTest, ReinflationRestoresCapacity) {
+  WebCluster cluster(2, VmSize());
+  const double before = cluster.TotalCapacityRps();
+  cluster.DeflateBackend(1, VmSize() * 0.5);
+  ASSERT_LT(cluster.TotalCapacityRps(), before);
+  cluster.ReinflateBackend(1);
+  EXPECT_NEAR(cluster.TotalCapacityRps(), before, 1.0);
+  EXPECT_EQ(cluster.server(1).threads(), cluster.server(1).config().configured_threads);
+}
+
+TEST(WebClusterTest, AllBackendsDeflatedStillServeProportionally) {
+  WebCluster cluster(4, VmSize());
+  for (int i = 0; i < 4; ++i) {
+    cluster.DeflateBackend(i, VmSize() * 0.5);
+  }
+  const double capacity = cluster.TotalCapacityRps();
+  EXPECT_GT(capacity, 3000.0);  // roughly half of 8000
+  EXPECT_LT(capacity, 5000.0);
+  const WebClusterMetrics m =
+      cluster.Evaluate(capacity * 0.9, LoadBalancingPolicy::kDeflationAware);
+  EXPECT_NEAR(m.dropped_rps, 0.0, 1e-6);
+}
+
+TEST(WebClusterTest, ResponseTimeGrowsWithUtilization) {
+  WebCluster cluster(2, VmSize());
+  const WebClusterMetrics light =
+      cluster.Evaluate(1000.0, LoadBalancingPolicy::kDeflationAware);
+  const WebClusterMetrics heavy =
+      cluster.Evaluate(3600.0, LoadBalancingPolicy::kDeflationAware);
+  EXPECT_GT(heavy.mean_response_us, light.mean_response_us);
+}
+
+TEST(WebClusterTest, PolicyNames) {
+  EXPECT_STREQ(LoadBalancingPolicyName(LoadBalancingPolicy::kDeflationAware),
+               "deflation-aware");
+  EXPECT_STREQ(LoadBalancingPolicyName(LoadBalancingPolicy::kEvenSplit), "even-split");
+}
+
+}  // namespace
+}  // namespace defl

@@ -1,0 +1,76 @@
+#include "src/apps/webserver.h"
+
+#include <gtest/gtest.h>
+
+#include "src/apps/deflation_harness.h"
+
+namespace defl {
+namespace {
+
+EffectiveAllocation FullAllocation() {
+  Vm vm(0, StandardVmSpec());
+  return vm.allocation();
+}
+
+TEST(WebServerTest, BaselineThroughput) {
+  WebServerModel model{WebServerConfig{}};
+  // 4 cores at 2 ms/request: 2000 rps.
+  EXPECT_NEAR(model.ThroughputRps(FullAllocation()), 2000.0, 1.0);
+}
+
+TEST(WebServerTest, AgentShrinksPoolOnCpuDeflation) {
+  WebServerModel model{WebServerConfig{}};
+  const ResourceVector freed = model.agent()->SelfDeflate(ResourceVector(2.0, 0.0));
+  // 8 threads/core * 2 cores = 16 threads shed; 2 CPUs relinquished.
+  EXPECT_EQ(model.threads(), 16);
+  EXPECT_DOUBLE_EQ(freed.cpu(), 2.0);
+  EXPECT_GT(freed.memory_mb(), 0.0);  // thread stacks returned
+}
+
+TEST(WebServerTest, PoolNeverShrinksBelowOneThread) {
+  WebServerModel model{WebServerConfig{}};
+  model.agent()->SelfDeflate(ResourceVector(100.0, 0.0));
+  EXPECT_GE(model.threads(), 1);
+}
+
+TEST(WebServerTest, ReinflateGrowsPool) {
+  WebServerModel model{WebServerConfig{}};
+  model.agent()->SelfDeflate(ResourceVector(2.0, 0.0));
+  model.agent()->OnReinflate(ResourceVector(2.0, 0.0));
+  EXPECT_EQ(model.threads(), model.config().configured_threads);
+}
+
+TEST(WebServerTest, SelfDeflatedPoolAvoidsLhpPenalty) {
+  // Keeping 32 runnable threads on 2 cores incurs LHP; shrinking the pool
+  // to match capacity does not.
+  WebServerModel aware{WebServerConfig{}};
+  const HarnessResult a =
+      DeflateAppVm(aware, DeflationMode::kCascade, ResourceVector(0.5, 0.0, 0.0, 0.0));
+  const double rps_aware = aware.ThroughputRps(a.alloc);
+
+  WebServerModel unmodified{WebServerConfig{}};
+  const HarnessResult u =
+      DeflateAppVm(unmodified, DeflationMode::kHypervisorOnly,
+                   ResourceVector(0.5, 0.0, 0.0, 0.0), StandardVmSpec(),
+                   /*use_agent=*/false);
+  const double rps_unmodified = unmodified.ThroughputRps(u.alloc);
+
+  EXPECT_GT(rps_aware, rps_unmodified);
+}
+
+TEST(WebServerTest, OomWhenMemoryBelowFootprint) {
+  WebServerModel model{WebServerConfig{}};
+  EffectiveAllocation alloc = FullAllocation();
+  alloc.guest_memory_mb = 100.0;
+  EXPECT_DOUBLE_EQ(model.ThroughputRps(alloc), 0.0);
+}
+
+TEST(WebServerTest, NormalizedAgainstBaseline) {
+  WebServerModel model{WebServerConfig{}};
+  const EffectiveAllocation full = FullAllocation();
+  model.SetBaseline(full);
+  EXPECT_NEAR(model.NormalizedPerformance(full), 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace defl

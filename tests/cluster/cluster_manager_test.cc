@@ -1,0 +1,137 @@
+#include "src/cluster/cluster_manager.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace defl {
+namespace {
+
+std::unique_ptr<Vm> MakeVm(VmId id, double cpus, double mem_mb,
+                           VmPriority priority = VmPriority::kLow,
+                           double min_fraction = 0.0) {
+  VmSpec spec;
+  spec.name = "vm" + std::to_string(id);
+  spec.size = ResourceVector(cpus, mem_mb);
+  spec.priority = priority;
+  spec.min_size = spec.size * min_fraction;
+  return std::make_unique<Vm>(id, spec);
+}
+
+ClusterConfig DeflationConfig() {
+  ClusterConfig config;
+  config.strategy = ReclamationStrategy::kDeflation;
+  config.controller.mode = DeflationMode::kVmLevel;
+  return config;
+}
+
+TEST(ClusterManagerTest, LaunchPlacesOnFreeServer) {
+  ClusterManager manager(2, ResourceVector(16.0, 65536.0), DeflationConfig());
+  const Result<ServerId> placed = manager.LaunchVm(MakeVm(1, 8.0, 32768.0));
+  ASSERT_TRUE(placed.ok());
+  EXPECT_NE(manager.FindVm(1), nullptr);
+  EXPECT_EQ(manager.counters().launched, 1);
+  EXPECT_EQ(manager.ServerOf(1)->id(), placed.value());
+}
+
+TEST(ClusterManagerTest, OverflowTriggersDeflation) {
+  ClusterManager manager(1, ResourceVector(16.0, 65536.0), DeflationConfig());
+  ASSERT_TRUE(manager.LaunchVm(MakeVm(1, 16.0, 65536.0)).ok());  // fills server
+  const Result<ServerId> placed =
+      manager.LaunchVm(MakeVm(2, 8.0, 32768.0, VmPriority::kHigh));
+  ASSERT_TRUE(placed.ok());
+  EXPECT_EQ(manager.counters().deflation_ops, 1);
+  EXPECT_EQ(manager.counters().preempted, 0);
+  // The low-priority VM shrank to make room.
+  EXPECT_LE(manager.FindVm(1)->effective().cpu(), 8.0 + 1e-9);
+}
+
+TEST(ClusterManagerTest, DeflationPreemptsOnlyBelowMinimums) {
+  ClusterManager manager(1, ResourceVector(16.0, 65536.0), DeflationConfig());
+  // Two low-pri VMs with high minimums: deflation alone cannot yield 12 CPUs.
+  ASSERT_TRUE(manager.LaunchVm(MakeVm(1, 8.0, 32768.0, VmPriority::kLow, 0.75)).ok());
+  ASSERT_TRUE(manager.LaunchVm(MakeVm(2, 8.0, 32768.0, VmPriority::kLow, 0.75)).ok());
+  const Result<ServerId> placed =
+      manager.LaunchVm(MakeVm(3, 12.0, 49152.0, VmPriority::kHigh));
+  ASSERT_TRUE(placed.ok());
+  EXPECT_GE(manager.counters().preempted, 1);
+  EXPECT_EQ(manager.TakePreempted().size(), manager.counters().preempted);
+}
+
+TEST(ClusterManagerTest, PreemptionOnlyStrategyRevokesInsteadOfDeflating) {
+  ClusterConfig config;
+  config.strategy = ReclamationStrategy::kPreemptionOnly;
+  ClusterManager manager(1, ResourceVector(16.0, 65536.0), config);
+  ASSERT_TRUE(manager.LaunchVm(MakeVm(1, 12.0, 49152.0)).ok());
+  const Result<ServerId> placed =
+      manager.LaunchVm(MakeVm(2, 8.0, 32768.0, VmPriority::kHigh));
+  ASSERT_TRUE(placed.ok());
+  EXPECT_EQ(manager.counters().preempted, 1);
+  EXPECT_EQ(manager.counters().deflation_ops, 0);
+  EXPECT_EQ(manager.FindVm(1), nullptr);
+}
+
+TEST(ClusterManagerTest, PreemptionOnlyLowPriorityCannotDisplace) {
+  ClusterConfig config;
+  config.strategy = ReclamationStrategy::kPreemptionOnly;
+  ClusterManager manager(1, ResourceVector(16.0, 65536.0), config);
+  ASSERT_TRUE(manager.LaunchVm(MakeVm(1, 12.0, 49152.0)).ok());
+  // A low-priority arrival that does not fit in free space is rejected.
+  const Result<ServerId> placed = manager.LaunchVm(MakeVm(2, 8.0, 32768.0));
+  EXPECT_FALSE(placed.ok());
+  EXPECT_EQ(manager.counters().rejected, 1);
+}
+
+TEST(ClusterManagerTest, HighPriorityNeverPreempted) {
+  ClusterConfig config;
+  config.strategy = ReclamationStrategy::kPreemptionOnly;
+  ClusterManager manager(1, ResourceVector(16.0, 65536.0), config);
+  ASSERT_TRUE(manager.LaunchVm(MakeVm(1, 16.0, 65536.0, VmPriority::kHigh)).ok());
+  const Result<ServerId> placed =
+      manager.LaunchVm(MakeVm(2, 8.0, 32768.0, VmPriority::kHigh));
+  EXPECT_FALSE(placed.ok());
+  EXPECT_NE(manager.FindVm(1), nullptr);
+}
+
+TEST(ClusterManagerTest, CompletionReinflatesDeflatedNeighbors) {
+  ClusterManager manager(1, ResourceVector(16.0, 65536.0), DeflationConfig());
+  ASSERT_TRUE(manager.LaunchVm(MakeVm(1, 16.0, 65536.0)).ok());
+  ASSERT_TRUE(manager.LaunchVm(MakeVm(2, 8.0, 32768.0, VmPriority::kHigh)).ok());
+  ASSERT_LT(manager.FindVm(1)->effective().cpu(), 16.0);
+  manager.CompleteVm(2);
+  EXPECT_EQ(manager.counters().completed, 1);
+  // The freed resources flowed back.
+  EXPECT_NEAR(manager.FindVm(1)->effective().cpu(), 16.0, 1e-6);
+}
+
+TEST(ClusterManagerTest, UtilizationAndOvercommitmentMetrics) {
+  ClusterManager manager(2, ResourceVector(16.0, 65536.0), DeflationConfig());
+  EXPECT_DOUBLE_EQ(manager.Utilization(), 0.0);
+  EXPECT_DOUBLE_EQ(manager.Overcommitment(), 0.0);
+  ASSERT_TRUE(manager.LaunchVm(MakeVm(1, 16.0, 65536.0)).ok());
+  EXPECT_DOUBLE_EQ(manager.Utilization(), 0.5);
+  EXPECT_DOUBLE_EQ(manager.Overcommitment(), 0.5);
+  // Deflate by launching a high-priority VM on the same server.
+  ASSERT_TRUE(manager.LaunchVm(MakeVm(2, 16.0, 65536.0, VmPriority::kHigh)).ok());
+  ASSERT_TRUE(manager.LaunchVm(MakeVm(3, 16.0, 65536.0, VmPriority::kHigh)).ok());
+  // Nominal demand 48 CPUs on 32: overcommitted 1.5x.
+  EXPECT_DOUBLE_EQ(manager.Overcommitment(), 1.5);
+  const std::vector<double> per_server = manager.PerServerOvercommitment();
+  EXPECT_EQ(per_server.size(), 2u);
+}
+
+TEST(ClusterManagerTest, RejectsWhenClusterExhausted) {
+  ClusterManager manager(1, ResourceVector(16.0, 65536.0), DeflationConfig());
+  ASSERT_TRUE(manager.LaunchVm(MakeVm(1, 16.0, 65536.0, VmPriority::kHigh)).ok());
+  EXPECT_FALSE(manager.LaunchVm(MakeVm(2, 16.0, 65536.0, VmPriority::kHigh)).ok());
+  EXPECT_EQ(manager.counters().rejected, 1);
+}
+
+TEST(ClusterManagerTest, CompleteUnknownVmIsNoOp) {
+  ClusterManager manager(1, ResourceVector(16.0, 65536.0), DeflationConfig());
+  manager.CompleteVm(42);
+  EXPECT_EQ(manager.counters().completed, 0);
+}
+
+}  // namespace
+}  // namespace defl

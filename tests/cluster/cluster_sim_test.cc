@@ -1,0 +1,119 @@
+#include "src/cluster/cluster_sim.h"
+
+#include <gtest/gtest.h>
+
+namespace defl {
+namespace {
+
+ClusterSimConfig SmallSim(double target_load, ReclamationStrategy strategy) {
+  ClusterSimConfig config;
+  config.num_servers = 20;
+  config.server_capacity = ResourceVector(32.0, 256.0 * 1024.0, 1000.0, 10000.0);
+  config.trace.duration_s = 3600.0 * 8;
+  config.trace.max_lifetime_s = 3600.0 * 6;
+  config.trace.seed = 11;
+  config.trace =
+      WithTargetLoad(config.trace, target_load, config.num_servers, config.server_capacity);
+  config.cluster.strategy = strategy;
+  config.cluster.controller.mode = DeflationMode::kVmLevel;
+  config.sample_period_s = 120.0;
+  return config;
+}
+
+TEST(ClusterSimTest, LowLoadHasNoPreemptionsEitherWay) {
+  for (const ReclamationStrategy strategy :
+       {ReclamationStrategy::kDeflation, ReclamationStrategy::kPreemptionOnly}) {
+    const ClusterSimResult result = RunClusterSim(SmallSim(0.4, strategy));
+    EXPECT_GT(result.counters.launched, 0);
+    EXPECT_DOUBLE_EQ(result.preemption_probability, 0.0);
+  }
+}
+
+TEST(ClusterSimTest, DeflationAvoidsPreemptionsUnderOvercommitment) {
+  // The Figure 8c claim: at ~1.6x offered load, deflation keeps preemption
+  // probability negligible while preemption-only revokes a large fraction.
+  const ClusterSimResult deflation =
+      RunClusterSim(SmallSim(1.6, ReclamationStrategy::kDeflation));
+  const ClusterSimResult preemption =
+      RunClusterSim(SmallSim(1.6, ReclamationStrategy::kPreemptionOnly));
+  EXPECT_LT(deflation.preemption_probability, 0.05);
+  EXPECT_GT(preemption.preemption_probability, 5.0 * deflation.preemption_probability);
+  EXPECT_GT(preemption.preemption_probability, 0.1);
+}
+
+TEST(ClusterSimTest, DeflationSustainsHigherOvercommitment) {
+  const ClusterSimResult result =
+      RunClusterSim(SmallSim(1.6, ReclamationStrategy::kDeflation));
+  EXPECT_GT(result.peak_overcommitment, 1.2);
+  EXPECT_GT(result.mean_utilization, 0.6);
+}
+
+TEST(ClusterSimTest, PreemptionProbabilityGrowsWithLoad) {
+  double prev = -1.0;
+  for (const double load : {0.8, 1.4, 2.0}) {
+    const ClusterSimResult result =
+        RunClusterSim(SmallSim(load, ReclamationStrategy::kPreemptionOnly));
+    EXPECT_GE(result.preemption_probability, prev - 0.02) << "load " << load;
+    prev = result.preemption_probability;
+  }
+}
+
+TEST(ClusterSimTest, SamplesCollectedForAllServers) {
+  const ClusterSimConfig config = SmallSim(1.0, ReclamationStrategy::kDeflation);
+  const ClusterSimResult result = RunClusterSim(config);
+  const auto expected_samples =
+      static_cast<size_t>(config.trace.duration_s / config.sample_period_s) *
+      static_cast<size_t>(config.num_servers);
+  EXPECT_NEAR(static_cast<double>(result.server_overcommitment_samples.size()),
+              static_cast<double>(expected_samples),
+              static_cast<double>(config.num_servers) * 2.0);
+}
+
+TEST(ClusterSimTest, UsageSummaryIsAccumulated) {
+  const ClusterSimResult r =
+      RunClusterSim(SmallSim(1.2, ReclamationStrategy::kDeflation));
+  EXPECT_GT(r.usage.low_pri_vm_hours, 0.0);
+  EXPECT_GT(r.usage.low_pri_nominal_cpu_hours, 0.0);
+  EXPECT_GT(r.usage.high_pri_cpu_hours, 0.0);
+  // Effective never exceeds nominal; quality is a fraction.
+  EXPECT_LE(r.usage.low_pri_effective_cpu_hours,
+            r.usage.low_pri_nominal_cpu_hours + 1e-9);
+  EXPECT_GT(r.low_priority_allocation_quality, 0.0);
+  EXPECT_LE(r.low_priority_allocation_quality, 1.0 + 1e-9);
+  EXPECT_EQ(r.usage.preemptions, r.counters.preempted);
+}
+
+TEST(ClusterSimTest, PeriodicReinflationImprovesAllocationQuality) {
+  ClusterSimConfig base = SmallSim(1.5, ReclamationStrategy::kDeflation);
+  const ClusterSimResult lazy = RunClusterSim(base);
+  base.reinflate_period_s = 300.0;
+  const ClusterSimResult proactive = RunClusterSim(base);
+  // Proactively returning freed resources gives transient VMs a larger
+  // share of their nominal allocation.
+  EXPECT_GE(proactive.low_priority_allocation_quality,
+            lazy.low_priority_allocation_quality - 1e-6);
+  EXPECT_GE(proactive.usage.low_pri_effective_cpu_hours,
+            lazy.usage.low_pri_effective_cpu_hours - 1e-6);
+}
+
+TEST(ClusterSimTest, PredictiveHoldbackStillPlacesEverything) {
+  ClusterSimConfig config = SmallSim(1.2, ReclamationStrategy::kDeflation);
+  config.reinflate_period_s = 300.0;
+  config.predictive_holdback = true;
+  const ClusterSimResult r = RunClusterSim(config);
+  EXPECT_DOUBLE_EQ(r.preemption_probability, 0.0);
+  EXPECT_GT(r.counters.launched, 0);
+  EXPECT_LT(r.rejection_rate, 0.05);
+}
+
+TEST(ClusterSimTest, CountersAreConsistent) {
+  const ClusterSimResult result =
+      RunClusterSim(SmallSim(1.2, ReclamationStrategy::kDeflation));
+  EXPECT_GE(result.counters.launched, result.counters.completed);
+  EXPECT_GE(result.counters.launched_low_priority, result.counters.preempted);
+  EXPECT_GE(result.rejection_rate, 0.0);
+  EXPECT_LE(result.rejection_rate, 1.0);
+}
+
+}  // namespace
+}  // namespace defl

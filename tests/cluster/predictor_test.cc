@@ -1,0 +1,64 @@
+#include "src/cluster/predictor.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+
+namespace defl {
+namespace {
+
+TEST(EwmaPredictorTest, FirstObservationInitializes) {
+  EwmaPredictor p(0.3);
+  EXPECT_FALSE(p.initialized());
+  p.Observe(10.0);
+  EXPECT_TRUE(p.initialized());
+  EXPECT_DOUBLE_EQ(p.mean(), 10.0);
+  EXPECT_DOUBLE_EQ(p.stddev(), 0.0);
+}
+
+TEST(EwmaPredictorTest, ConvergesToConstantSignal) {
+  EwmaPredictor p(0.3);
+  for (int i = 0; i < 100; ++i) {
+    p.Observe(42.0);
+  }
+  EXPECT_NEAR(p.mean(), 42.0, 1e-9);
+  EXPECT_NEAR(p.stddev(), 0.0, 1e-9);
+}
+
+TEST(EwmaPredictorTest, TracksLevelShift) {
+  EwmaPredictor p(0.3);
+  for (int i = 0; i < 50; ++i) {
+    p.Observe(10.0);
+  }
+  for (int i = 0; i < 50; ++i) {
+    p.Observe(100.0);
+  }
+  EXPECT_NEAR(p.mean(), 100.0, 1.0);
+}
+
+TEST(EwmaPredictorTest, NoisySignalHasPositiveSpread) {
+  EwmaPredictor p(0.2);
+  Rng rng(5);
+  for (int i = 0; i < 500; ++i) {
+    p.Observe(rng.Normal(50.0, 10.0));
+  }
+  EXPECT_NEAR(p.mean(), 50.0, 8.0);
+  EXPECT_GT(p.stddev(), 3.0);
+  EXPECT_GT(p.UpperBound(1.0), p.mean());
+  EXPECT_GT(p.UpperBound(2.0), p.UpperBound(1.0));
+}
+
+TEST(EwmaPredictorTest, HigherAlphaReactsFaster) {
+  EwmaPredictor slow(0.05);
+  EwmaPredictor fast(0.5);
+  for (int i = 0; i < 20; ++i) {
+    slow.Observe(0.0);
+    fast.Observe(0.0);
+  }
+  slow.Observe(100.0);
+  fast.Observe(100.0);
+  EXPECT_GT(fast.mean(), slow.mean());
+}
+
+}  // namespace
+}  // namespace defl

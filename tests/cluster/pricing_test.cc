@@ -1,0 +1,69 @@
+#include "src/cluster/pricing.h"
+
+#include <gtest/gtest.h>
+
+namespace defl {
+namespace {
+
+UsageSummary BaseUsage() {
+  UsageSummary usage;
+  usage.low_pri_vm_hours = 1000.0;
+  usage.low_pri_nominal_cpu_hours = 4000.0;
+  usage.low_pri_effective_cpu_hours = 3400.0;  // ~15% deflated on average
+  usage.high_pri_cpu_hours = 2000.0;
+  usage.preemptions = 0;
+  return usage;
+}
+
+TEST(PricingTest, FlatBillsNominalRegardlessOfDeflation) {
+  const PricingModel model;
+  const RevenueReport r = PriceDeflatableFlat(BaseUsage(), model);
+  const double rate = model.on_demand_cpu_hour * (1.0 - model.deflatable_discount);
+  EXPECT_DOUBLE_EQ(r.customer_cost, 4000.0 * rate);
+  EXPECT_DOUBLE_EQ(r.provider_revenue, r.customer_cost);
+  EXPECT_DOUBLE_EQ(r.customer_loss, 0.0);
+}
+
+TEST(PricingTest, RaaSBillsOnlyAllocatedResources) {
+  const PricingModel model;
+  const RevenueReport flat = PriceDeflatableFlat(BaseUsage(), model);
+  const RevenueReport raas = PriceDeflatableRaaS(BaseUsage(), model);
+  EXPECT_LT(raas.customer_cost, flat.customer_cost);
+  // Effective $/CPU-hour is the discounted rate exactly under RaaS.
+  EXPECT_NEAR(raas.effective_cost_per_cpu_hour,
+              model.on_demand_cpu_hour * (1.0 - model.deflatable_discount), 1e-12);
+}
+
+TEST(PricingTest, PreemptionsRaiseEffectiveCost) {
+  const PricingModel model;
+  UsageSummary disrupted = BaseUsage();
+  disrupted.preemptions = 200;
+  const RevenueReport calm = PricePreemptible(BaseUsage(), model);
+  const RevenueReport rough = PricePreemptible(disrupted, model);
+  EXPECT_GT(rough.customer_loss, 0.0);
+  EXPECT_GT(rough.effective_cost_per_cpu_hour, calm.effective_cost_per_cpu_hour);
+}
+
+TEST(PricingTest, DeflatableCanBeatPreemptibleDespiteSmallerDiscount) {
+  // The §8 argument: deflatable VMs are priced higher than spot, but when
+  // spot preemptions destroy enough work, the deflatable customer's
+  // effective $/useful-CPU-hour is lower.
+  const PricingModel model;
+  UsageSummary deflatable_usage = BaseUsage();  // deflated, never preempted
+  UsageSummary spot_usage = BaseUsage();
+  spot_usage.low_pri_effective_cpu_hours = spot_usage.low_pri_nominal_cpu_hours;
+  spot_usage.preemptions = 400;  // heavy revocation regime
+
+  const RevenueReport deflatable = PriceDeflatableRaaS(deflatable_usage, model);
+  const RevenueReport spot = PricePreemptible(spot_usage, model);
+  EXPECT_LT(deflatable.effective_cost_per_cpu_hour, spot.effective_cost_per_cpu_hour);
+}
+
+TEST(PricingTest, ZeroUsageYieldsZeroes) {
+  const RevenueReport r = PriceDeflatableRaaS(UsageSummary{}, PricingModel{});
+  EXPECT_DOUBLE_EQ(r.provider_revenue, 0.0);
+  EXPECT_DOUBLE_EQ(r.effective_cost_per_cpu_hour, 0.0);
+}
+
+}  // namespace
+}  // namespace defl

@@ -1,0 +1,101 @@
+#include "src/cluster/trace_io.h"
+
+#include <gtest/gtest.h>
+
+namespace defl {
+namespace {
+
+std::vector<TraceEvent> SampleTrace() {
+  TraceConfig config;
+  config.duration_s = 3600.0;
+  config.arrival_rate_per_s = 0.02;
+  config.seed = 13;
+  return GenerateTrace(config);
+}
+
+TEST(TraceIoTest, RoundTripPreservesEverything) {
+  const std::vector<TraceEvent> original = SampleTrace();
+  ASSERT_FALSE(original.empty());
+  const Result<std::vector<TraceEvent>> parsed = ParseTraceCsv(TraceToCsv(original));
+  ASSERT_TRUE(parsed.ok()) << parsed.error();
+  const std::vector<TraceEvent>& loaded = parsed.value();
+  ASSERT_EQ(loaded.size(), original.size());
+  for (size_t i = 0; i < original.size(); ++i) {
+    EXPECT_NEAR(loaded[i].arrival_s, original[i].arrival_s, 1e-3);
+    EXPECT_NEAR(loaded[i].lifetime_s, original[i].lifetime_s, 1e-3);
+    EXPECT_EQ(loaded[i].spec.name, original[i].spec.name);
+    EXPECT_EQ(loaded[i].spec.priority, original[i].spec.priority);
+    EXPECT_NEAR(loaded[i].spec.size.cpu(), original[i].spec.size.cpu(), 1e-9);
+    EXPECT_NEAR(loaded[i].spec.min_size.memory_mb(),
+                original[i].spec.min_size.memory_mb(), 1e-3);
+  }
+}
+
+TEST(TraceIoTest, CommentsAndBlankLinesIgnored) {
+  const std::string text =
+      "# a comment\n"
+      "\n"
+      "10,600,vm-a,low,4,16384,100,500,1,4096,25,125\n"
+      "# another\n"
+      "20,1200,vm-b,high,2,8192,50,250,0,0,0,0\n";
+  const Result<std::vector<TraceEvent>> parsed = ParseTraceCsv(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.error();
+  ASSERT_EQ(parsed.value().size(), 2u);
+  EXPECT_EQ(parsed.value()[0].spec.priority, VmPriority::kLow);
+  EXPECT_EQ(parsed.value()[1].spec.priority, VmPriority::kHigh);
+  EXPECT_DOUBLE_EQ(parsed.value()[1].arrival_s, 20.0);
+}
+
+TEST(TraceIoTest, RejectsMalformedRows) {
+  const char* bad_cases[] = {
+      "10,600,vm,low,4,16384,100,500,1,4096,25",          // 11 fields
+      "10,600,vm,medium,4,16384,100,500,1,4096,25,125",   // bad priority
+      "10,xyz,vm,low,4,16384,100,500,1,4096,25,125",      // bad number
+      "10,600,vm,low,4,16384,100,500,8,32768,200,1000",   // min > size
+      "10,-5,vm,low,4,16384,100,500,1,4096,25,125",       // non-positive life
+  };
+  for (const char* text : bad_cases) {
+    EXPECT_FALSE(ParseTraceCsv(text).ok()) << text;
+  }
+}
+
+TEST(TraceIoTest, RejectsUnsortedArrivals) {
+  const std::string text =
+      "20,600,vm-a,low,4,16384,100,500,1,4096,25,125\n"
+      "10,600,vm-b,low,4,16384,100,500,1,4096,25,125\n";
+  const Result<std::vector<TraceEvent>> parsed = ParseTraceCsv(text);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.error().find("not sorted"), std::string::npos);
+}
+
+TEST(TraceIoTest, ErrorsNameTheLine) {
+  const std::string text =
+      "10,600,vm-a,low,4,16384,100,500,1,4096,25,125\n"
+      "oops\n";
+  const Result<std::vector<TraceEvent>> parsed = ParseTraceCsv(text);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.error().find("line 2"), std::string::npos);
+}
+
+TEST(TraceIoTest, FileRoundTrip) {
+  const std::vector<TraceEvent> original = SampleTrace();
+  const std::string path = ::testing::TempDir() + "/trace_io_test.csv";
+  const Result<bool> saved = SaveTraceFile(original, path);
+  ASSERT_TRUE(saved.ok()) << saved.error();
+  const Result<std::vector<TraceEvent>> loaded = LoadTraceFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.error();
+  EXPECT_EQ(loaded.value().size(), original.size());
+}
+
+TEST(TraceIoTest, MissingFileIsAnError) {
+  EXPECT_FALSE(LoadTraceFile("/nonexistent/path/trace.csv").ok());
+}
+
+TEST(TraceIoTest, EmptyInputIsAnEmptyTrace) {
+  const Result<std::vector<TraceEvent>> parsed = ParseTraceCsv("");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed.value().empty());
+}
+
+}  // namespace
+}  // namespace defl

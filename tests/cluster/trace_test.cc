@@ -1,0 +1,109 @@
+#include "src/cluster/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace defl {
+namespace {
+
+TraceConfig SmallConfig() {
+  TraceConfig config;
+  config.duration_s = 3600.0 * 4;
+  config.arrival_rate_per_s = 0.05;
+  config.seed = 9;
+  return config;
+}
+
+TEST(TraceTest, DeterministicForSameSeed) {
+  const auto a = GenerateTrace(SmallConfig());
+  const auto b = GenerateTrace(SmallConfig());
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].arrival_s, b[i].arrival_s);
+    EXPECT_EQ(a[i].spec.name, b[i].spec.name);
+  }
+}
+
+TEST(TraceTest, ArrivalsAreOrderedAndInRange) {
+  const auto trace = GenerateTrace(SmallConfig());
+  ASSERT_FALSE(trace.empty());
+  double prev = 0.0;
+  for (const TraceEvent& e : trace) {
+    EXPECT_GE(e.arrival_s, prev);
+    EXPECT_LT(e.arrival_s, SmallConfig().duration_s);
+    prev = e.arrival_s;
+  }
+}
+
+TEST(TraceTest, ArrivalCountMatchesPoissonRate) {
+  const TraceConfig config = SmallConfig();
+  const auto trace = GenerateTrace(config);
+  const double expected = config.arrival_rate_per_s * config.duration_s;
+  EXPECT_NEAR(static_cast<double>(trace.size()), expected, 4.0 * std::sqrt(expected));
+}
+
+TEST(TraceTest, LifetimesRespectBounds) {
+  const TraceConfig config = SmallConfig();
+  for (const TraceEvent& e : GenerateTrace(config)) {
+    EXPECT_GE(e.lifetime_s, config.min_lifetime_s);
+    EXPECT_LE(e.lifetime_s, config.max_lifetime_s);
+  }
+}
+
+TEST(TraceTest, PriorityMixMatchesFraction) {
+  TraceConfig config = SmallConfig();
+  config.duration_s = 3600.0 * 24;
+  config.low_priority_fraction = 0.5;
+  const auto trace = GenerateTrace(config);
+  int low = 0;
+  for (const TraceEvent& e : trace) {
+    low += e.spec.priority == VmPriority::kLow ? 1 : 0;
+  }
+  const double fraction = static_cast<double>(low) / static_cast<double>(trace.size());
+  EXPECT_NEAR(fraction, 0.5, 0.05);
+}
+
+TEST(TraceTest, MinSizesFollowCatalog) {
+  for (const TraceEvent& e : GenerateTrace(SmallConfig())) {
+    EXPECT_TRUE(e.spec.min_size.AllLeq(e.spec.size));
+    EXPECT_GT(e.spec.min_size.cpu(), 0.0);
+  }
+}
+
+TEST(TraceTest, MeanLifetimeFormulaMatchesEmpirical) {
+  TraceConfig config = SmallConfig();
+  config.duration_s = 3600.0 * 200;
+  config.arrival_rate_per_s = 0.05;
+  const auto trace = GenerateTrace(config);
+  double sum = 0.0;
+  for (const TraceEvent& e : trace) {
+    sum += e.lifetime_s;
+  }
+  const double empirical = sum / static_cast<double>(trace.size());
+  EXPECT_NEAR(empirical / MeanLifetimeS(config), 1.0, 0.1);
+}
+
+TEST(TraceTest, WithTargetLoadHitsOfferedLoad) {
+  TraceConfig config = SmallConfig();
+  const int servers = 10;
+  const ResourceVector capacity(32.0, 262144.0);
+  const TraceConfig tuned = WithTargetLoad(config, 1.6, servers, capacity);
+  const double offered =
+      tuned.arrival_rate_per_s * MeanLifetimeS(tuned) * MeanVmCpu(tuned);
+  EXPECT_NEAR(offered / (servers * capacity.cpu()), 1.6, 1e-9);
+}
+
+TEST(TraceTest, DefaultCatalogIsSane) {
+  const auto catalog = DefaultVmCatalog();
+  ASSERT_GE(catalog.size(), 3u);
+  for (const VmCatalogEntry& entry : catalog) {
+    EXPECT_GT(entry.weight, 0.0);
+    EXPECT_GT(entry.size.cpu(), 0.0);
+    EXPECT_GE(entry.min_fraction, 0.0);
+    EXPECT_LE(entry.min_fraction, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace defl

@@ -1,0 +1,90 @@
+#include "src/common/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace defl {
+namespace {
+
+struct Flags {
+  std::string name = "default";
+  double ratio = 1.5;
+  int64_t count = 10;
+  bool verbose = false;
+};
+
+FlagParser MakeParser(Flags& f) {
+  FlagParser parser("test tool");
+  parser.AddString("name", "a name", &f.name);
+  parser.AddDouble("ratio", "a ratio", &f.ratio);
+  parser.AddInt("count", "a count", &f.count);
+  parser.AddBool("verbose", "chatty", &f.verbose);
+  return parser;
+}
+
+Result<std::vector<std::string>> ParseArgs(FlagParser& parser,
+                                     std::initializer_list<const char*> args) {
+  std::vector<const char*> argv = {"tool"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return parser.Parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(FlagsTest, DefaultsSurviveEmptyArgs) {
+  Flags f;
+  FlagParser parser = MakeParser(f);
+  ASSERT_TRUE(ParseArgs(parser, {}).ok());
+  EXPECT_EQ(f.name, "default");
+  EXPECT_DOUBLE_EQ(f.ratio, 1.5);
+  EXPECT_EQ(f.count, 10);
+  EXPECT_FALSE(f.verbose);
+}
+
+TEST(FlagsTest, EqualsAndSpaceSyntax) {
+  Flags f;
+  FlagParser parser = MakeParser(f);
+  ASSERT_TRUE(ParseArgs(parser, {"--name=alice", "--ratio", "2.25", "--count=42"}).ok());
+  EXPECT_EQ(f.name, "alice");
+  EXPECT_DOUBLE_EQ(f.ratio, 2.25);
+  EXPECT_EQ(f.count, 42);
+}
+
+TEST(FlagsTest, BoolForms) {
+  Flags f;
+  FlagParser parser = MakeParser(f);
+  ASSERT_TRUE(ParseArgs(parser, {"--verbose"}).ok());
+  EXPECT_TRUE(f.verbose);
+  ASSERT_TRUE(ParseArgs(parser, {"--verbose=false"}).ok());
+  EXPECT_FALSE(f.verbose);
+  ASSERT_TRUE(ParseArgs(parser, {"--verbose=1"}).ok());
+  EXPECT_TRUE(f.verbose);
+}
+
+TEST(FlagsTest, PositionalArgumentsReturned) {
+  Flags f;
+  FlagParser parser = MakeParser(f);
+  const auto result = ParseArgs(parser, {"input.csv", "--count=3", "output.csv"});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), (std::vector<std::string>{"input.csv", "output.csv"}));
+}
+
+TEST(FlagsTest, Errors) {
+  Flags f;
+  FlagParser parser = MakeParser(f);
+  EXPECT_FALSE(ParseArgs(parser, {"--nope=1"}).ok());
+  EXPECT_FALSE(ParseArgs(parser, {"--ratio=abc"}).ok());
+  EXPECT_FALSE(ParseArgs(parser, {"--count=1.5"}).ok());
+  EXPECT_FALSE(ParseArgs(parser, {"--verbose=maybe"}).ok());
+  EXPECT_FALSE(ParseArgs(parser, {"--name"}).ok());  // missing value
+}
+
+TEST(FlagsTest, HelpYieldsUsage) {
+  Flags f;
+  FlagParser parser = MakeParser(f);
+  const auto result = ParseArgs(parser, {"--help"});
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error().find("test tool"), std::string::npos);
+  EXPECT_NE(result.error().find("--ratio"), std::string::npos);
+  EXPECT_NE(result.error().find("default: 10"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace defl

@@ -1,0 +1,213 @@
+#include "src/common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace defl {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextU64() == b.NextU64()) {
+      ++same;
+    }
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRangeInclusive) {
+  Rng rng(3);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const int64_t x = rng.UniformInt(2, 5);
+    EXPECT_GE(x, 2);
+    EXPECT_LE(x, 5);
+    saw_lo = saw_lo || x == 2;
+    saw_hi = saw_hi || x == 5;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, UniformIntSingleton) {
+  Rng rng(3);
+  EXPECT_EQ(rng.UniformInt(9, 9), 9);
+}
+
+TEST(RngTest, ExponentialMeanMatchesRate) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    sum += rng.Exponential(0.5);
+  }
+  EXPECT_NEAR(sum / n, 2.0, 0.05);
+}
+
+TEST(RngTest, NormalMomentsMatch) {
+  Rng rng(13);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Normal(10.0, 3.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 3.0, 0.05);
+}
+
+TEST(RngTest, BoundedParetoStaysInBounds) {
+  Rng rng(17);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.BoundedPareto(1.0, 100.0, 1.5);
+    EXPECT_GE(x, 1.0);
+    EXPECT_LE(x, 100.0);
+  }
+}
+
+TEST(RngTest, BoundedParetoIsHeavyTailed) {
+  // Mass should concentrate near the lower bound.
+  Rng rng(19);
+  int below_10 = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.BoundedPareto(1.0, 1000.0, 1.2) < 10.0) {
+      ++below_10;
+    }
+  }
+  EXPECT_GT(below_10, n * 0.8);
+}
+
+TEST(RngTest, PermutationIsAPermutation) {
+  Rng rng(23);
+  auto p = rng.Permutation(50);
+  std::sort(p.begin(), p.end());
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(p[static_cast<size_t>(i)], i);
+  }
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent(31);
+  Rng child = parent.Fork();
+  EXPECT_NE(parent.NextU64(), child.NextU64());
+}
+
+TEST(RngTest, ChanceExtremes) {
+  Rng rng(37);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(rng.Chance(0.0));
+    EXPECT_TRUE(rng.Chance(1.0));
+  }
+}
+
+// --- Zipf ---
+
+TEST(ZipfTest, SamplesInRange) {
+  Rng rng(41);
+  ZipfDistribution zipf(1000, 0.9);
+  for (int i = 0; i < 10000; ++i) {
+    const int64_t k = zipf.Sample(rng);
+    EXPECT_GE(k, 1);
+    EXPECT_LE(k, 1000);
+  }
+}
+
+TEST(ZipfTest, UniverseOfOne) {
+  Rng rng(43);
+  ZipfDistribution zipf(1, 1.2);
+  EXPECT_EQ(zipf.Sample(rng), 1);
+}
+
+TEST(ZipfTest, EmpiricalHeadMassMatchesAnalytic) {
+  // The fraction of samples falling in the top-k ranks should match
+  // ZipfHeadFraction, tying the sampler and the analytic model together.
+  Rng rng(47);
+  const int64_t n = 10000;
+  const double s = 0.9;
+  ZipfDistribution zipf(n, s);
+  const int64_t k = 100;
+  int64_t in_head = 0;
+  const int samples = 200000;
+  for (int i = 0; i < samples; ++i) {
+    if (zipf.Sample(rng) <= k) {
+      ++in_head;
+    }
+  }
+  const double empirical = static_cast<double>(in_head) / samples;
+  EXPECT_NEAR(empirical, ZipfHeadFraction(n, k, s), 0.01);
+}
+
+TEST(ZipfTest, SkewOneIsHandled) {
+  Rng rng(53);
+  ZipfDistribution zipf(500, 1.0);
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t k = zipf.Sample(rng);
+    EXPECT_GE(k, 1);
+    EXPECT_LE(k, 500);
+  }
+}
+
+TEST(GeneralizedHarmonicTest, SmallExactValues) {
+  EXPECT_DOUBLE_EQ(GeneralizedHarmonic(1, 1.0), 1.0);
+  EXPECT_NEAR(GeneralizedHarmonic(2, 1.0), 1.5, 1e-12);
+  EXPECT_NEAR(GeneralizedHarmonic(3, 2.0), 1.0 + 0.25 + 1.0 / 9.0, 1e-12);
+  EXPECT_DOUBLE_EQ(GeneralizedHarmonic(0, 1.0), 0.0);
+}
+
+TEST(GeneralizedHarmonicTest, LargeKMatchesBruteForce) {
+  const double s = 0.9;
+  const int64_t k = 100000;
+  double brute = 0.0;
+  for (int64_t i = 1; i <= k; ++i) {
+    brute += std::pow(static_cast<double>(i), -s);
+  }
+  EXPECT_NEAR(GeneralizedHarmonic(k, s) / brute, 1.0, 1e-6);
+}
+
+TEST(ZipfHeadFractionTest, BoundaryBehavior) {
+  EXPECT_DOUBLE_EQ(ZipfHeadFraction(100, 100, 0.9), 1.0);
+  EXPECT_DOUBLE_EQ(ZipfHeadFraction(100, 200, 0.9), 1.0);
+  EXPECT_DOUBLE_EQ(ZipfHeadFraction(100, 0, 0.9), 0.0);
+  EXPECT_GT(ZipfHeadFraction(1000, 100, 0.9), 0.1);  // skewed head is heavy
+}
+
+TEST(ZipfHeadFractionTest, MonotonicInK) {
+  double prev = 0.0;
+  for (int64_t k = 1; k <= 1000; k += 37) {
+    const double f = ZipfHeadFraction(1000, k, 0.8);
+    EXPECT_GE(f, prev);
+    prev = f;
+  }
+}
+
+}  // namespace
+}  // namespace defl

@@ -1,0 +1,347 @@
+#include "src/core/cascade.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace defl {
+namespace {
+
+VmSpec MakeSpec() {
+  VmSpec spec;
+  spec.name = "cascade-vm";
+  spec.size = ResourceVector(4.0, 16000.0, 100.0, 1000.0);
+  spec.priority = VmPriority::kLow;
+  return spec;
+}
+
+GuestOs::Params ExactOsParams() {
+  GuestOs::Params p;
+  p.kernel_reserve_mb = 500.0;
+  p.unplug_efficiency = 1.0;
+  return p;
+}
+
+// Test agent: frees up to `memory_budget_mb` of memory, nothing else.
+class MemoryFreeingAgent : public DeflationAgent {
+ public:
+  MemoryFreeingAgent(double footprint_mb, double min_footprint_mb)
+      : footprint_mb_(footprint_mb), min_footprint_mb_(min_footprint_mb) {}
+
+  ResourceVector SelfDeflate(const ResourceVector& target) override {
+    const double can_free = footprint_mb_ - min_footprint_mb_;
+    const double freed = std::min(target.memory_mb(), std::max(can_free, 0.0));
+    footprint_mb_ -= freed;
+    ++calls_;
+    return ResourceVector(0.0, freed);
+  }
+  void OnReinflate(const ResourceVector& added) override {
+    reinflated_ += added;
+  }
+  double MemoryFootprintMb() const override { return footprint_mb_; }
+
+  int calls() const { return calls_; }
+  const ResourceVector& reinflated() const { return reinflated_; }
+
+ private:
+  double footprint_mb_;
+  double min_footprint_mb_;
+  int calls_ = 0;
+  ResourceVector reinflated_;
+};
+
+TEST(CascadeTest, HypervisorOnlyNeverTouchesGuest) {
+  Vm vm(1, MakeSpec(), ExactOsParams());
+  vm.guest_os().set_app_used_mb(8000.0);
+  CascadeController controller(DeflationMode::kHypervisorOnly);
+  const ResourceVector target(2.0, 8000.0, 0.0, 0.0);
+  const DeflationOutcome out = controller.Deflate(vm, nullptr, target);
+  EXPECT_TRUE(out.unplugged.IsZero());
+  EXPECT_TRUE(out.app_freed.IsZero());
+  EXPECT_EQ(out.hv_reclaimed, target);
+  EXPECT_TRUE(out.TargetMet());
+  EXPECT_EQ(vm.guest_visible(), vm.size());
+  // All memory reclaimed by swapping.
+  EXPECT_DOUBLE_EQ(out.breakdown.hv_swap_mb, 8000.0);
+}
+
+TEST(CascadeTest, OsOnlyForcesUnplugAndCanMissTarget) {
+  Vm vm(1, MakeSpec(), ExactOsParams());
+  vm.guest_os().set_app_used_mb(12000.0);
+  CascadeController controller(DeflationMode::kOsOnly);
+  // Ask for 8000 MB; force-unplug takes it even though the app uses 12000,
+  // creating OOM pressure (the Figure 5a OS-only failure mode).
+  const DeflationOutcome out = controller.Deflate(vm, nullptr, ResourceVector(0.0, 8000.0));
+  EXPECT_DOUBLE_EQ(out.unplugged.memory_mb(), 8000.0);
+  EXPECT_TRUE(out.hv_reclaimed.IsZero());
+  EXPECT_TRUE(vm.guest_os().UnderOomPressure());
+}
+
+TEST(CascadeTest, VmLevelUnplugsFreeThenOvercommitsRest) {
+  Vm vm(1, MakeSpec(), ExactOsParams());
+  vm.guest_os().set_app_used_mb(12000.0);  // 3500 MB safely free
+  CascadeController controller(DeflationMode::kVmLevel);
+  const DeflationOutcome out = controller.Deflate(vm, nullptr, ResourceVector(0.0, 8000.0));
+  EXPECT_DOUBLE_EQ(out.unplugged.memory_mb(), 3500.0);
+  EXPECT_DOUBLE_EQ(out.hv_reclaimed.memory_mb(), 4500.0);
+  EXPECT_TRUE(out.TargetMet());
+  EXPECT_FALSE(vm.guest_os().UnderOomPressure());
+  // Latency breakdown: free memory offlined, the rest swapped.
+  EXPECT_DOUBLE_EQ(out.breakdown.unplug_freed_mb, 3500.0);
+  EXPECT_DOUBLE_EQ(out.breakdown.hv_swap_mb, 4500.0);
+}
+
+TEST(CascadeTest, FullCascadeUsesAppFirst) {
+  Vm vm(1, MakeSpec(), ExactOsParams());
+  vm.guest_os().set_app_used_mb(14000.0);  // little free
+  MemoryFreeingAgent agent(14000.0, 4000.0);
+  CascadeController controller(DeflationMode::kCascade);
+  const DeflationOutcome out =
+      controller.Deflate(vm, &agent, ResourceVector(0.0, 8000.0));
+  EXPECT_EQ(agent.calls(), 1);
+  EXPECT_DOUBLE_EQ(out.app_freed.memory_mb(), 8000.0);
+  // Everything the app freed becomes unpluggable; no hypervisor swap needed.
+  EXPECT_DOUBLE_EQ(out.unplugged.memory_mb(), 8000.0);
+  EXPECT_DOUBLE_EQ(out.hv_reclaimed.memory_mb(), 0.0);
+  EXPECT_TRUE(out.TargetMet());
+  EXPECT_DOUBLE_EQ(out.breakdown.hv_swap_mb, 0.0);
+  // Guest footprint accounting was updated.
+  EXPECT_DOUBLE_EQ(vm.guest_os().app_used_mb(), 6000.0);
+}
+
+TEST(CascadeTest, CascadeFallsThroughWhenAppDeclines) {
+  Vm vm(1, MakeSpec(), ExactOsParams());
+  vm.guest_os().set_app_used_mb(14000.0);
+  InelasticAgent agent(14000.0);  // refuses to self-deflate
+  CascadeController controller(DeflationMode::kCascade);
+  const DeflationOutcome out =
+      controller.Deflate(vm, &agent, ResourceVector(0.0, 8000.0));
+  EXPECT_TRUE(out.app_freed.IsZero());
+  // Safe free = 16000 - 14000 - 500 = 1500; the rest falls to the hypervisor.
+  EXPECT_DOUBLE_EQ(out.unplugged.memory_mb(), 1500.0);
+  EXPECT_DOUBLE_EQ(out.hv_reclaimed.memory_mb(), 6500.0);
+  EXPECT_TRUE(out.TargetMet());
+}
+
+TEST(CascadeTest, CascadeWithoutAgentBehavesLikeVmLevel) {
+  Vm vm1(1, MakeSpec(), ExactOsParams());
+  vm1.guest_os().set_app_used_mb(10000.0);
+  Vm vm2(2, MakeSpec(), ExactOsParams());
+  vm2.guest_os().set_app_used_mb(10000.0);
+  CascadeController cascade(DeflationMode::kCascade);
+  CascadeController vm_level(DeflationMode::kVmLevel);
+  const ResourceVector target(2.0, 6000.0, 0.0, 0.0);
+  const DeflationOutcome a = cascade.Deflate(vm1, nullptr, target);
+  const DeflationOutcome b = vm_level.Deflate(vm2, nullptr, target);
+  EXPECT_EQ(a.unplugged, b.unplugged);
+  EXPECT_EQ(a.hv_reclaimed, b.hv_reclaimed);
+}
+
+TEST(CascadeTest, CpuUnplugIsWholeUnitsRestOvercommitted) {
+  Vm vm(1, MakeSpec(), ExactOsParams());
+  vm.guest_os().set_app_used_mb(1000.0);
+  CascadeController controller(DeflationMode::kVmLevel);
+  const DeflationOutcome out =
+      controller.Deflate(vm, nullptr, ResourceVector(2.5, 0.0));
+  EXPECT_DOUBLE_EQ(out.unplugged.cpu(), 2.0);
+  EXPECT_DOUBLE_EQ(out.hv_reclaimed.cpu(), 0.5);
+  EXPECT_TRUE(out.TargetMet());
+  const EffectiveAllocation a = vm.allocation();
+  EXPECT_DOUBLE_EQ(a.visible_cpus, 2.0);
+  EXPECT_DOUBLE_EQ(a.cpu_capacity, 1.5);
+}
+
+TEST(CascadeTest, DiskAndNetworkAlwaysViaHypervisor) {
+  Vm vm(1, MakeSpec(), ExactOsParams());
+  CascadeController controller(DeflationMode::kVmLevel);
+  const DeflationOutcome out =
+      controller.Deflate(vm, nullptr, ResourceVector(0.0, 0.0, 50.0, 500.0));
+  EXPECT_DOUBLE_EQ(out.unplugged.disk_bw(), 0.0);
+  EXPECT_DOUBLE_EQ(out.hv_reclaimed.disk_bw(), 50.0);
+  EXPECT_DOUBLE_EQ(out.hv_reclaimed.net_bw(), 500.0);
+}
+
+TEST(CascadeTest, NegativeTargetIsNoOp) {
+  Vm vm(1, MakeSpec(), ExactOsParams());
+  CascadeController controller(DeflationMode::kCascade);
+  const DeflationOutcome out =
+      controller.Deflate(vm, nullptr, ResourceVector(-1.0, -100.0));
+  EXPECT_TRUE(out.TotalReclaimed().IsZero());
+  EXPECT_EQ(vm.effective(), vm.size());
+}
+
+TEST(CascadeTest, LatencyOrderingAcrossModes) {
+  // Same target, three mechanisms: cascade (app frees) < vm-level (some
+  // unplug) < hypervisor-only (all swap). The Figure 8b ordering.
+  const ResourceVector target(0.0, 8000.0, 0.0, 0.0);
+
+  Vm hv_vm(1, MakeSpec(), ExactOsParams());
+  hv_vm.guest_os().set_app_used_mb(14000.0);
+  CascadeController hv(DeflationMode::kHypervisorOnly);
+  const double t_hv = hv.Deflate(hv_vm, nullptr, target).latency_seconds;
+
+  Vm vml_vm(2, MakeSpec(), ExactOsParams());
+  vml_vm.guest_os().set_app_used_mb(14000.0);
+  CascadeController vml(DeflationMode::kVmLevel);
+  const double t_vml = vml.Deflate(vml_vm, nullptr, target).latency_seconds;
+
+  Vm casc_vm(3, MakeSpec(), ExactOsParams());
+  casc_vm.guest_os().set_app_used_mb(14000.0);
+  MemoryFreeingAgent agent(14000.0, 4000.0);
+  CascadeController casc(DeflationMode::kCascade);
+  const double t_casc = casc.Deflate(casc_vm, &agent, target).latency_seconds;
+
+  EXPECT_LT(t_casc, t_vml);
+  EXPECT_LT(t_vml, t_hv);
+}
+
+TEST(CascadeTest, ReinflateReversesHypervisorFirst) {
+  Vm vm(1, MakeSpec(), ExactOsParams());
+  vm.guest_os().set_app_used_mb(12000.0);
+  CascadeController controller(DeflationMode::kVmLevel);
+  controller.Deflate(vm, nullptr, ResourceVector(0.0, 8000.0));
+  const double hv_before = vm.hv_reclaimed().memory_mb();
+  ASSERT_GT(hv_before, 0.0);
+  // Return less than the hypervisor-reclaimed amount: only HvRelease runs.
+  const ResourceVector back =
+      controller.Reinflate(vm, nullptr, ResourceVector(0.0, hv_before / 2.0));
+  EXPECT_DOUBLE_EQ(back.memory_mb(), hv_before / 2.0);
+  EXPECT_DOUBLE_EQ(vm.hv_reclaimed().memory_mb(), hv_before / 2.0);
+  EXPECT_DOUBLE_EQ(vm.guest_os().unplugged().memory_mb(), 3500.0);  // untouched
+}
+
+TEST(CascadeTest, ReinflateFullyRestoresVm) {
+  Vm vm(1, MakeSpec(), ExactOsParams());
+  vm.guest_os().set_app_used_mb(10000.0);
+  MemoryFreeingAgent agent(10000.0, 2000.0);
+  CascadeController controller(DeflationMode::kCascade);
+  controller.Deflate(vm, &agent, ResourceVector(2.0, 9000.0, 20.0, 200.0));
+  const ResourceVector deflated_by = vm.size() - vm.effective();
+  const ResourceVector back = controller.Reinflate(vm, &agent, deflated_by);
+  EXPECT_EQ(back, deflated_by);
+  EXPECT_EQ(vm.effective(), vm.size());
+  EXPECT_TRUE(agent.reinflated().AnyPositive());
+}
+
+TEST(CascadeBalloonTest, BalloonLevelReclaimsViaBalloonThenHypervisor) {
+  Vm vm(1, MakeSpec(), ExactOsParams());
+  vm.guest_os().set_app_used_mb(12000.0);  // 3500 MB safely free
+  CascadeController controller(DeflationMode::kBalloonLevel);
+  const DeflationOutcome out =
+      controller.Deflate(vm, nullptr, ResourceVector(0.0, 8000.0));
+  EXPECT_GT(out.breakdown.balloon_mb, 0.0);
+  EXPECT_GT(out.hv_reclaimed.memory_mb(), 0.0);
+  EXPECT_TRUE(out.TargetMet());
+  EXPECT_FALSE(vm.guest_os().UnderOomPressure());
+}
+
+TEST(CascadeBalloonTest, HotplugBeatsBallooningOnUsableMemoryAndLatency) {
+  // The Section 7 comparison [47, 54]: at the same reclamation target,
+  // hot-unplug leaves the guest more usable memory (no fragmentation) and
+  // completes faster (no page-at-a-time balloon inflation).
+  const ResourceVector target(0.0, 6000.0, 0.0, 0.0);
+
+  Vm unplug_vm(1, MakeSpec(), ExactOsParams());
+  unplug_vm.guest_os().set_app_used_mb(8000.0);
+  CascadeController hotplug(DeflationMode::kVmLevel);
+  const DeflationOutcome unplug_out = hotplug.Deflate(unplug_vm, nullptr, target);
+
+  Vm balloon_vm(2, MakeSpec(), ExactOsParams());
+  balloon_vm.guest_os().set_app_used_mb(8000.0);
+  CascadeController balloon(DeflationMode::kBalloonLevel);
+  const DeflationOutcome balloon_out = balloon.Deflate(balloon_vm, nullptr, target);
+
+  EXPECT_TRUE(unplug_out.TargetMet());
+  EXPECT_TRUE(balloon_out.TargetMet());
+  // Both gave the host the same amount back...
+  EXPECT_NEAR(unplug_vm.effective().memory_mb(), balloon_vm.effective().memory_mb(),
+              1e-6);
+  // ...but the ballooned guest lost extra usable memory to fragmentation
+  // and took longer to reclaim.
+  EXPECT_GT(unplug_vm.allocation().guest_memory_mb,
+            balloon_vm.allocation().guest_memory_mb);
+  EXPECT_LT(unplug_out.latency_seconds, balloon_out.latency_seconds);
+}
+
+TEST(CascadeBalloonTest, ReinflateDeflatesTheBalloon) {
+  Vm vm(1, MakeSpec(), ExactOsParams());
+  vm.guest_os().set_app_used_mb(8000.0);
+  CascadeController controller(DeflationMode::kBalloonLevel);
+  controller.Deflate(vm, nullptr, ResourceVector(0.0, 6000.0));
+  const ResourceVector back =
+      controller.Reinflate(vm, nullptr, vm.size() - vm.effective());
+  EXPECT_NEAR(back.memory_mb(), 6000.0, 1e-6);
+  EXPECT_DOUBLE_EQ(vm.guest_os().balloon_mb(), 0.0);
+  EXPECT_EQ(vm.effective(), vm.size());
+}
+
+TEST(CascadeDeadlineTest, NoDeadlineNeverClips) {
+  Vm vm(1, MakeSpec(), ExactOsParams());
+  vm.guest_os().set_app_used_mb(10000.0);
+  CascadeController controller(DeflationMode::kVmLevel);
+  const DeflationOutcome out =
+      controller.Deflate(vm, nullptr, ResourceVector(2.0, 8000.0), CascadeOptions{});
+  EXPECT_FALSE(out.deadline_clipped);
+  EXPECT_TRUE(out.TargetMet());
+}
+
+TEST(CascadeDeadlineTest, TightDeadlineShiftsWorkToHypervisor) {
+  // Two identical VMs, same target; the deadline-bound one unplugs less and
+  // lets the hypervisor absorb the remainder -- the target is still met,
+  // only the mechanism mix changes (Section 5 timeout fall-through).
+  const ResourceVector target(0.0, 8000.0, 0.0, 0.0);
+
+  Vm relaxed_vm(1, MakeSpec(), ExactOsParams());
+  relaxed_vm.guest_os().set_app_used_mb(6000.0);
+  CascadeController controller(DeflationMode::kVmLevel);
+  const DeflationOutcome relaxed = controller.Deflate(relaxed_vm, nullptr, target);
+
+  Vm rushed_vm(2, MakeSpec(), ExactOsParams());
+  rushed_vm.guest_os().set_app_used_mb(6000.0);
+  CascadeOptions options;
+  options.deadline_s = 2.0;  // barely more than the fixed overhead
+  const DeflationOutcome rushed = controller.Deflate(rushed_vm, nullptr, target, options);
+
+  EXPECT_TRUE(rushed.deadline_clipped);
+  EXPECT_LT(rushed.unplugged.memory_mb(), relaxed.unplugged.memory_mb());
+  EXPECT_GT(rushed.hv_reclaimed.memory_mb(), relaxed.hv_reclaimed.memory_mb());
+  EXPECT_TRUE(rushed.TargetMet());
+}
+
+TEST(CascadeDeadlineTest, DeadlineLimitsAgentAsk) {
+  // The agent is only asked for what it can free within the budget.
+  Vm vm(1, MakeSpec(), ExactOsParams());
+  vm.guest_os().set_app_used_mb(14000.0);
+  MemoryFreeingAgent agent(14000.0, 2000.0);
+  CascadeController controller(DeflationMode::kCascade);
+  CascadeOptions options;
+  options.deadline_s = 4.0;  // fixed 1s + agent fixed 2s -> ~1s of freeing
+  const DeflationOutcome out =
+      controller.Deflate(vm, &agent, ResourceVector(0.0, 10000.0), options);
+  EXPECT_TRUE(out.deadline_clipped);
+  // ~1s at the app free rate (2500 MB/s) plus slack; far below 10000.
+  EXPECT_LT(out.app_freed.memory_mb(), 4000.0);
+  EXPECT_TRUE(out.TargetMet());  // hypervisor still covers the full target
+}
+
+TEST(CascadeDeadlineTest, CpuUnplugClippedByPerCpuCost) {
+  Vm vm(1, MakeSpec(), ExactOsParams());
+  vm.guest_os().set_app_used_mb(1000.0);
+  CascadeController controller(DeflationMode::kVmLevel);
+  CascadeOptions options;
+  options.deadline_s = 1.0 + 0.6;  // fixed 1s + time for exactly one CPU
+  const DeflationOutcome out =
+      controller.Deflate(vm, nullptr, ResourceVector(3.0, 0.0), options);
+  EXPECT_LE(out.unplugged.cpu(), 1.0);
+  EXPECT_TRUE(out.TargetMet());  // shares cover the other two CPUs
+}
+
+TEST(DeflationModeTest, Names) {
+  EXPECT_STREQ(DeflationModeName(DeflationMode::kHypervisorOnly), "hypervisor-only");
+  EXPECT_STREQ(DeflationModeName(DeflationMode::kOsOnly), "os-only");
+  EXPECT_STREQ(DeflationModeName(DeflationMode::kVmLevel), "vm-level");
+  EXPECT_STREQ(DeflationModeName(DeflationMode::kCascade), "cascade");
+}
+
+}  // namespace
+}  // namespace defl

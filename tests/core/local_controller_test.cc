@@ -1,0 +1,246 @@
+#include "src/core/local_controller.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace defl {
+namespace {
+
+GuestOs::Params ExactOsParams() {
+  GuestOs::Params p;
+  p.kernel_reserve_mb = 0.0;
+  p.unplug_efficiency = 1.0;
+  p.min_cpus = 0;
+  return p;
+}
+
+std::unique_ptr<Vm> MakeVm(VmId id, double cpus, double mem_mb,
+                           VmPriority priority = VmPriority::kLow,
+                           ResourceVector min_size = ResourceVector()) {
+  VmSpec spec;
+  spec.name = "vm" + std::to_string(id);
+  spec.size = ResourceVector(cpus, mem_mb);
+  spec.priority = priority;
+  spec.min_size = min_size;
+  return std::make_unique<Vm>(id, spec, ExactOsParams());
+}
+
+LocalControllerConfig VmLevelConfig() {
+  LocalControllerConfig config;
+  config.mode = DeflationMode::kVmLevel;
+  return config;
+}
+
+TEST(LocalControllerTest, NoOpWhenEnoughFree) {
+  Server server(1, ResourceVector(32.0, 64000.0));
+  server.AddVm(MakeVm(1, 8.0, 16000.0));
+  LocalController controller(&server, VmLevelConfig());
+  const ReclaimResult r = controller.MakeRoom(ResourceVector(8.0, 16000.0));
+  EXPECT_TRUE(r.success);
+  EXPECT_TRUE(r.deflated.empty());
+  EXPECT_TRUE(r.preempted.empty());
+}
+
+TEST(LocalControllerTest, ProportionalDeflationAcrossVms) {
+  Server server(1, ResourceVector(16.0, 32000.0));
+  // Two low-pri VMs fill the server; one is twice the other.
+  server.AddVm(MakeVm(1, 8.0, 16000.0));   // deflatable 8 CPU
+  server.AddVm(MakeVm(2, 4.0, 8000.0));    // deflatable 4 CPU
+  server.AddVm(MakeVm(3, 4.0, 8000.0, VmPriority::kHigh));
+  LocalController controller(&server, VmLevelConfig());
+  const ReclaimResult r = controller.MakeRoom(ResourceVector(6.0, 12000.0));
+  EXPECT_TRUE(r.success);
+  EXPECT_TRUE(r.preempted.empty());
+  EXPECT_EQ(r.deflated.size(), 2u);
+  // Proportional: VM 1 gives 2/3 of the need, VM 2 gives 1/3.
+  Vm* vm1 = server.FindVm(1);
+  Vm* vm2 = server.FindVm(2);
+  EXPECT_NEAR(vm1->size().cpu() - vm1->effective().cpu(), 4.0, 1e-6);
+  EXPECT_NEAR(vm2->size().cpu() - vm2->effective().cpu(), 2.0, 1e-6);
+  EXPECT_TRUE(ResourceVector(6.0, 12000.0).AllLeq(server.Free(), 1e-6));
+}
+
+TEST(LocalControllerTest, HighPriorityVmsAreNeverDeflated) {
+  Server server(1, ResourceVector(16.0, 32000.0));
+  server.AddVm(MakeVm(1, 8.0, 16000.0, VmPriority::kHigh));
+  server.AddVm(MakeVm(2, 8.0, 16000.0));
+  LocalController controller(&server, VmLevelConfig());
+  const ReclaimResult r = controller.MakeRoom(ResourceVector(4.0, 8000.0));
+  EXPECT_TRUE(r.success);
+  EXPECT_EQ(server.FindVm(1)->effective(), ResourceVector(8.0, 16000.0));
+  EXPECT_EQ(server.FindVm(2)->effective(), ResourceVector(4.0, 8000.0));
+}
+
+TEST(LocalControllerTest, MinSizeTriggersPreemption) {
+  Server server(1, ResourceVector(16.0, 32000.0));
+  // Both VMs have high minimums: only 2+2 CPUs deflatable in total.
+  server.AddVm(MakeVm(1, 8.0, 16000.0, VmPriority::kLow, ResourceVector(6.0, 12000.0)));
+  server.AddVm(MakeVm(2, 8.0, 16000.0, VmPriority::kLow, ResourceVector(6.0, 12000.0)));
+  LocalController controller(&server, VmLevelConfig());
+  // Need 8 CPUs; deflation alone gives at most 4 => preempt one VM.
+  const ReclaimResult r = controller.MakeRoom(ResourceVector(8.0, 16000.0));
+  EXPECT_TRUE(r.success);
+  EXPECT_EQ(r.preempted.size(), 1u);
+  EXPECT_EQ(server.vm_count(), 1u);
+}
+
+TEST(LocalControllerTest, PreemptionFreesWholeAllocation) {
+  Server server(1, ResourceVector(16.0, 32000.0));
+  server.AddVm(MakeVm(1, 16.0, 32000.0, VmPriority::kLow, ResourceVector(15.0, 30000.0)));
+  LocalController controller(&server, VmLevelConfig());
+  const ReclaimResult r = controller.MakeRoom(ResourceVector(8.0, 16000.0));
+  EXPECT_TRUE(r.success);
+  EXPECT_EQ(r.preempted.size(), 1u);
+  EXPECT_EQ(server.Free(), server.capacity());
+}
+
+TEST(LocalControllerTest, FailsWhenOnlyHighPriorityRemain) {
+  Server server(1, ResourceVector(16.0, 32000.0));
+  server.AddVm(MakeVm(1, 16.0, 32000.0, VmPriority::kHigh));
+  LocalController controller(&server, VmLevelConfig());
+  const ReclaimResult r = controller.MakeRoom(ResourceVector(8.0, 16000.0));
+  EXPECT_FALSE(r.success);
+  EXPECT_TRUE(r.preempted.empty());
+  EXPECT_EQ(server.vm_count(), 1u);
+}
+
+TEST(LocalControllerTest, ConcurrentLatencyIsMaxNotSum) {
+  Server server(1, ResourceVector(16.0, 64000.0));
+  Vm* vm1 = server.AddVm(MakeVm(1, 8.0, 32000.0));
+  Vm* vm2 = server.AddVm(MakeVm(2, 8.0, 32000.0));
+  vm1->guest_os().set_app_used_mb(30000.0);
+  vm2->guest_os().set_app_used_mb(30000.0);
+  LocalController controller(&server, VmLevelConfig());
+  const ReclaimResult r = controller.MakeRoom(ResourceVector(0.0, 16000.0));
+  ASSERT_TRUE(r.success);
+  // Each VM reclaims ~8000 MB by swap; latency should be one VM's worth.
+  DeflationLatencyModel model;
+  ReclaimBreakdown one;
+  one.hv_swap_mb = 9000.0;  // upper bound on one VM's share
+  EXPECT_LE(r.latency_seconds, model.TotalSeconds(one));
+}
+
+TEST(LocalControllerTest, ResidualSweepAfterUnplugGranularity) {
+  // Proportional split of 3 CPUs across two VMs gives 1.5 each; whole-unit
+  // unplug delivers 1+1 and hypervisor shares cover the rest. MakeRoom must
+  // still succeed exactly.
+  Server server(1, ResourceVector(8.0, 32000.0));
+  server.AddVm(MakeVm(1, 4.0, 16000.0));
+  server.AddVm(MakeVm(2, 4.0, 16000.0));
+  LocalController controller(&server, VmLevelConfig());
+  const ReclaimResult r = controller.MakeRoom(ResourceVector(3.0, 0.0));
+  EXPECT_TRUE(r.success);
+  EXPECT_GE(server.Free().cpu(), 3.0 - 1e-6);
+}
+
+TEST(LocalControllerTest, ReinflateAllReturnsProportionally) {
+  Server server(1, ResourceVector(16.0, 32000.0));
+  server.AddVm(MakeVm(1, 8.0, 16000.0));
+  server.AddVm(MakeVm(2, 8.0, 16000.0));
+  LocalController controller(&server, VmLevelConfig());
+  ASSERT_TRUE(controller.MakeRoom(ResourceVector(8.0, 16000.0)).success);
+  // The demand leaves; everything can be reinflated.
+  const ResourceVector returned = controller.ReinflateAll();
+  EXPECT_NEAR(returned.cpu(), 8.0, 1e-6);
+  EXPECT_NEAR(returned.memory_mb(), 16000.0, 1e-6);
+  EXPECT_EQ(server.FindVm(1)->effective(), ResourceVector(8.0, 16000.0));
+  EXPECT_EQ(server.FindVm(2)->effective(), ResourceVector(8.0, 16000.0));
+}
+
+TEST(LocalControllerTest, ReinflateRespectsHoldBack) {
+  Server server(1, ResourceVector(16.0, 32000.0));
+  server.AddVm(MakeVm(1, 16.0, 32000.0));
+  LocalController controller(&server, VmLevelConfig());
+  ASSERT_TRUE(controller.MakeRoom(ResourceVector(8.0, 16000.0)).success);
+  // Hold back half of what is free for an incoming VM.
+  controller.ReinflateAll(ResourceVector(4.0, 8000.0));
+  EXPECT_NEAR(server.Free().cpu(), 4.0, 1e-6);
+  EXPECT_NEAR(server.Free().memory_mb(), 8000.0, 1e-6);
+}
+
+TEST(LocalControllerTest, ReinflateNoOpWhenNothingDeflated) {
+  Server server(1, ResourceVector(16.0, 32000.0));
+  server.AddVm(MakeVm(1, 8.0, 16000.0));
+  LocalController controller(&server, VmLevelConfig());
+  EXPECT_TRUE(controller.ReinflateAll().IsZero());
+}
+
+TEST(LocalControllerTest, AlphaHoldsBackSafetyMargin) {
+  Server server(1, ResourceVector(16.0, 32000.0));
+  server.AddVm(MakeVm(1, 16.0, 32000.0));
+  LocalControllerConfig config = VmLevelConfig();
+  config.alpha = 0.5;
+  LocalController controller(&server, config);
+  const ReclaimResult r = controller.MakeRoom(ResourceVector(8.0, 0.0));
+  // First proportional pass holds back half, residual sweep completes it.
+  EXPECT_TRUE(r.success);
+  EXPECT_GE(server.Free().cpu(), 8.0 - 1e-6);
+}
+
+TEST(LocalControllerTest, EqualSplitHitsSmallVmsHarder) {
+  // Ablation (DESIGN.md): equal-split deflation takes the same absolute
+  // amount from every VM, so the small VM ends up proportionally far more
+  // deflated -- the straggler-maker the proportional policy avoids.
+  auto run = [](DeflationSplit split) {
+    Server server(1, ResourceVector(16.0, 32000.0));
+    server.AddVm(MakeVm(1, 12.0, 24000.0));
+    server.AddVm(MakeVm(2, 4.0, 8000.0));
+    LocalControllerConfig config = VmLevelConfig();
+    config.split = split;
+    LocalController controller(&server, config);
+    EXPECT_TRUE(controller.MakeRoom(ResourceVector(4.0, 8000.0)).success);
+    return std::pair<double, double>{
+        server.FindVm(1)->MaxDeflationFraction(),
+        server.FindVm(2)->MaxDeflationFraction()};
+  };
+  const auto [prop_big, prop_small] = run(DeflationSplit::kProportional);
+  EXPECT_NEAR(prop_big, prop_small, 1e-6);  // equal *fractions*
+  const auto [eq_big, eq_small] = run(DeflationSplit::kEqual);
+  EXPECT_GT(eq_small, eq_big + 0.2);  // small VM deflated much harder
+  EXPECT_GT(eq_small, prop_small);
+}
+
+TEST(LocalControllerTest, DeadlineBoundsSynchronousStages) {
+  // The Section 5 deadline bounds the time spent in the synchronous upper
+  // layers (agent round-trip, hot-unplug); clipped work falls through to
+  // the hypervisor, whose reclamation proceeds asynchronously under host
+  // control. The target is still fully reclaimed.
+  auto run = [](double deadline) {
+    Server server(1, ResourceVector(16.0, 64000.0));
+    Vm* vm = server.AddVm(MakeVm(1, 16.0, 64000.0));
+    vm->guest_os().set_app_used_mb(20000.0);
+    LocalControllerConfig config = VmLevelConfig();
+    config.deflation_deadline_s = deadline;
+    LocalController controller(&server, config);
+    const DeflationOutcome out =
+        controller.DeflateVm(1, ResourceVector(8.0, 40000.0));
+    EXPECT_TRUE(out.TargetMet());
+    const DeflationLatencyModel model;
+    return model.AppStageSeconds(out.breakdown) + model.OsStageSeconds(out.breakdown);
+  };
+  const double unbounded_sync_s = run(0.0);
+  const double bounded_sync_s = run(5.0);
+  EXPECT_GT(unbounded_sync_s, 5.0);
+  EXPECT_LE(bounded_sync_s, 5.0 + 1e-6);
+}
+
+TEST(LocalControllerTest, SplitNames) {
+  EXPECT_STREQ(DeflationSplitName(DeflationSplit::kProportional), "proportional");
+  EXPECT_STREQ(DeflationSplitName(DeflationSplit::kEqual), "equal");
+}
+
+TEST(LocalControllerTest, AgentRegistry) {
+  Server server(1, ResourceVector(16.0, 32000.0));
+  server.AddVm(MakeVm(1, 8.0, 16000.0));
+  LocalController controller(&server, VmLevelConfig());
+  InelasticAgent agent(1000.0);
+  controller.RegisterAgent(1, &agent);
+  EXPECT_EQ(controller.FindAgent(1), &agent);
+  controller.UnregisterAgent(1);
+  EXPECT_EQ(controller.FindAgent(1), nullptr);
+  EXPECT_EQ(controller.FindAgent(42), nullptr);
+}
+
+}  // namespace
+}  // namespace defl

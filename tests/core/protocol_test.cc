@@ -1,0 +1,151 @@
+#include "src/core/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/cascade.h"
+
+namespace defl {
+namespace {
+
+TEST(ProtocolCodecTest, RoundTripsAllKinds) {
+  for (const DeflationMessageKind kind :
+       {DeflationMessageKind::kDeflateRequest, DeflationMessageKind::kDeflateResponse,
+        DeflationMessageKind::kReinflateNotice, DeflationMessageKind::kFootprintQuery,
+        DeflationMessageKind::kFootprintReport}) {
+    DeflationMessage message;
+    message.kind = kind;
+    message.vm_id = 42;
+    message.sequence = 7;
+    message.amount = ResourceVector(2.5, 8192.0, 50.0, 625.0);
+    const Result<DeflationMessage> decoded = DecodeMessage(EncodeMessage(message));
+    ASSERT_TRUE(decoded.ok()) << DeflationMessageKindName(kind) << ": "
+                              << decoded.error();
+    EXPECT_EQ(decoded.value().kind, kind);
+    EXPECT_EQ(decoded.value().vm_id, 42);
+    EXPECT_EQ(decoded.value().sequence, 7);
+    EXPECT_EQ(decoded.value().amount, message.amount);
+  }
+}
+
+TEST(ProtocolCodecTest, RejectsMalformedInput) {
+  EXPECT_FALSE(DecodeMessage("").ok());
+  EXPECT_FALSE(DecodeMessage("http/1.1 GET /deflate").ok());
+  EXPECT_FALSE(DecodeMessage("defl/1 bogus-kind vm=1 seq=1 cpu=0 mem=0 disk=0 net=0").ok());
+  EXPECT_FALSE(DecodeMessage("defl/1 deflate-req vm=1 seq=1 cpu=0 mem=0").ok());
+  EXPECT_FALSE(
+      DecodeMessage("defl/1 deflate-req vm=1 seq=1 cpu=x mem=0 disk=0 net=0").ok());
+  EXPECT_FALSE(
+      DecodeMessage("defl/1 deflate-req vm=1 seq=1 mem=0 cpu=0 disk=0 net=0").ok())
+      << "field order is part of the format";
+  EXPECT_FALSE(
+      DecodeMessage("defl/1 deflate-req vm=1 seq=1 cpu=0 mem=0 disk=0 net=0 extra=1")
+          .ok());
+}
+
+TEST(ProtocolCodecTest, EncodingIsStable) {
+  DeflationMessage message;
+  message.kind = DeflationMessageKind::kDeflateRequest;
+  message.vm_id = 3;
+  message.sequence = 11;
+  message.amount = ResourceVector(2.0, 8192.0, 0.0, 0.0);
+  EXPECT_EQ(EncodeMessage(message),
+            "defl/1 deflate-req vm=3 seq=11 cpu=2 mem=8192 disk=0 net=0");
+}
+
+// A local agent behind the wire behaves like the in-process agent.
+class CountingAgent : public DeflationAgent {
+ public:
+  ResourceVector SelfDeflate(const ResourceVector& target) override {
+    ++deflates_;
+    freed_ = target * 0.5;
+    footprint_mb_ -= freed_.memory_mb();
+    return freed_;
+  }
+  void OnReinflate(const ResourceVector& added) override {
+    ++reinflates_;
+    footprint_mb_ += added.memory_mb();
+  }
+  double MemoryFootprintMb() const override { return footprint_mb_; }
+
+  int deflates_ = 0;
+  int reinflates_ = 0;
+  double footprint_mb_ = 10000.0;
+  ResourceVector freed_;
+};
+
+TEST(ProtocolEndToEndTest, ProxySpeaksToEndpoint) {
+  CountingAgent real_agent;
+  AgentEndpoint endpoint(5, &real_agent);
+  RemoteAgentProxy proxy(5, [&endpoint](const std::string& line) {
+    return endpoint.Handle(line);
+  });
+
+  const ResourceVector freed = proxy.SelfDeflate(ResourceVector(4.0, 8000.0));
+  EXPECT_EQ(real_agent.deflates_, 1);
+  EXPECT_EQ(freed, ResourceVector(2.0, 4000.0));
+  EXPECT_DOUBLE_EQ(proxy.MemoryFootprintMb(), real_agent.MemoryFootprintMb());
+  proxy.OnReinflate(ResourceVector(0.0, 4000.0));
+  EXPECT_EQ(real_agent.reinflates_, 1);
+  EXPECT_DOUBLE_EQ(real_agent.footprint_mb_, 10000.0);
+  EXPECT_GE(proxy.messages_sent(), 3);
+}
+
+TEST(ProtocolEndToEndTest, CascadeWorksThroughTheWire) {
+  // The full cascade with a remote agent gives the same outcome as with the
+  // in-process agent.
+  CountingAgent remote_backend;
+  AgentEndpoint endpoint(1, &remote_backend);
+  RemoteAgentProxy proxy(1, [&endpoint](const std::string& line) {
+    return endpoint.Handle(line);
+  });
+
+  VmSpec spec;
+  spec.name = "wire-vm";
+  spec.size = ResourceVector(4.0, 16384.0, 100.0, 1000.0);
+  Vm vm(1, spec);
+  vm.guest_os().set_app_used_mb(remote_backend.MemoryFootprintMb());
+
+  CascadeController controller(DeflationMode::kCascade);
+  const DeflationOutcome out =
+      controller.Deflate(vm, &proxy, ResourceVector(0.0, 8000.0));
+  EXPECT_EQ(remote_backend.deflates_, 1);
+  EXPECT_DOUBLE_EQ(out.app_freed.memory_mb(), 4000.0);
+  EXPECT_TRUE(out.TargetMet());
+  // Guest accounting reflects the remote agent's reported footprint.
+  EXPECT_DOUBLE_EQ(vm.guest_os().app_used_mb(), remote_backend.footprint_mb_);
+}
+
+TEST(ProtocolRobustnessTest, SilentAgentFreesNothing) {
+  RemoteAgentProxy proxy(9, [](const std::string&) { return std::string("garbage"); });
+  EXPECT_TRUE(proxy.SelfDeflate(ResourceVector(4.0, 8000.0)).IsZero());
+  EXPECT_DOUBLE_EQ(proxy.MemoryFootprintMb(), 0.0);
+}
+
+TEST(ProtocolRobustnessTest, EndpointSurvivesGarbageRequests) {
+  CountingAgent agent;
+  AgentEndpoint endpoint(2, &agent);
+  const Result<DeflationMessage> reply = DecodeMessage(endpoint.Handle("not a message"));
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply.value().sequence, -1);
+  EXPECT_TRUE(reply.value().amount.IsZero());
+  EXPECT_EQ(agent.deflates_, 0);
+}
+
+TEST(ProtocolRobustnessTest, SequenceMismatchTreatedAsFailure) {
+  CountingAgent agent;
+  AgentEndpoint endpoint(2, &agent);
+  // A transport that replays a stale response.
+  std::string stale;
+  RemoteAgentProxy proxy(2, [&](const std::string& line) {
+    if (stale.empty()) {
+      stale = endpoint.Handle(line);
+      return stale;
+    }
+    return stale;  // wrong sequence from now on
+  });
+  EXPECT_FALSE(proxy.SelfDeflate(ResourceVector(1.0, 1000.0)).IsZero());
+  EXPECT_TRUE(proxy.SelfDeflate(ResourceVector(1.0, 1000.0)).IsZero());
+}
+
+}  // namespace
+}  // namespace defl

@@ -1,0 +1,185 @@
+#include "src/hypervisor/guest_os.h"
+
+#include <gtest/gtest.h>
+
+namespace defl {
+namespace {
+
+GuestOs::Params TestParams() {
+  GuestOs::Params p;
+  p.kernel_reserve_mb = 500.0;
+  p.unplug_efficiency = 1.0;  // exact numbers in tests
+  p.min_cpus = 1;
+  return p;
+}
+
+TEST(GuestOsTest, StartsSeeingFullSpec) {
+  GuestOs os(ResourceVector(4.0, 16384.0, 100.0, 1000.0), TestParams());
+  EXPECT_EQ(os.visible(), ResourceVector(4.0, 16384.0, 100.0, 1000.0));
+  EXPECT_TRUE(os.unplugged().IsZero());
+}
+
+TEST(GuestOsTest, SafelyUnpluggableAccountsForAppAndReserve) {
+  GuestOs os(ResourceVector(4.0, 16000.0), TestParams());
+  os.set_app_used_mb(8000.0);
+  const ResourceVector safe = os.SafelyUnpluggable();
+  EXPECT_DOUBLE_EQ(safe.memory_mb(), 16000.0 - 8000.0 - 500.0);
+  EXPECT_DOUBLE_EQ(safe.cpu(), 3.0);  // keeps min_cpus online
+  EXPECT_DOUBLE_EQ(safe.disk_bw(), 0.0);
+  EXPECT_DOUBLE_EQ(safe.net_bw(), 0.0);
+}
+
+TEST(GuestOsTest, UnplugEfficiencyReducesUnpluggableMemory) {
+  GuestOs::Params p = TestParams();
+  p.unplug_efficiency = 0.5;
+  GuestOs os(ResourceVector(4.0, 10500.0), p);
+  os.set_app_used_mb(5000.0);
+  EXPECT_DOUBLE_EQ(os.SafelyUnpluggable().memory_mb(), 2500.0);
+}
+
+TEST(GuestOsTest, PinnedCpusBlockUnplug) {
+  GuestOs os(ResourceVector(8.0, 16000.0), TestParams());
+  os.set_pinned_cpus(6);
+  EXPECT_DOUBLE_EQ(os.SafelyUnpluggable().cpu(), 2.0);
+  const ResourceVector done = os.TryUnplug(ResourceVector(4.0, 0.0));
+  EXPECT_DOUBLE_EQ(done.cpu(), 2.0);
+}
+
+TEST(GuestOsTest, CpuUnplugsWholeUnits) {
+  GuestOs os(ResourceVector(8.0, 16000.0), TestParams());
+  const ResourceVector done = os.TryUnplug(ResourceVector(2.7, 0.0));
+  EXPECT_DOUBLE_EQ(done.cpu(), 2.0);
+  EXPECT_DOUBLE_EQ(os.visible().cpu(), 6.0);
+}
+
+TEST(GuestOsTest, SafeUnplugRefusesAppMemory) {
+  GuestOs os(ResourceVector(4.0, 16000.0), TestParams());
+  os.set_app_used_mb(14000.0);
+  // Only 1500 MB safely free; a 8000 MB request is clamped.
+  const ResourceVector done = os.TryUnplug(ResourceVector(0.0, 8000.0));
+  EXPECT_DOUBLE_EQ(done.memory_mb(), 1500.0);
+  EXPECT_FALSE(os.UnderOomPressure());
+}
+
+TEST(GuestOsTest, ForcedUnplugCanCauseOomPressure) {
+  GuestOs os(ResourceVector(4.0, 16000.0), TestParams());
+  os.set_app_used_mb(14000.0);
+  const ResourceVector done = os.TryUnplug(ResourceVector(0.0, 8000.0), /*force=*/true);
+  EXPECT_DOUBLE_EQ(done.memory_mb(), 8000.0);
+  EXPECT_TRUE(os.UnderOomPressure());
+}
+
+TEST(GuestOsTest, ForcedUnplugStillHonorsKernelReserve) {
+  GuestOs os(ResourceVector(4.0, 16000.0), TestParams());
+  const ResourceVector done = os.TryUnplug(ResourceVector(0.0, 20000.0), /*force=*/true);
+  EXPECT_DOUBLE_EQ(done.memory_mb(), 15500.0);
+}
+
+TEST(GuestOsTest, ForcedCpuUnplugKeepsMinimum) {
+  GuestOs os(ResourceVector(4.0, 16000.0), TestParams());
+  const ResourceVector done = os.TryUnplug(ResourceVector(10.0, 0.0), /*force=*/true);
+  EXPECT_DOUBLE_EQ(done.cpu(), 3.0);
+  EXPECT_DOUBLE_EQ(os.visible().cpu(), 1.0);
+}
+
+TEST(GuestOsTest, ReplugRestoresResources) {
+  GuestOs os(ResourceVector(8.0, 16000.0), TestParams());
+  os.TryUnplug(ResourceVector(4.0, 6000.0));
+  EXPECT_EQ(os.visible(), ResourceVector(4.0, 10000.0));
+  const ResourceVector back = os.Replug(ResourceVector(2.0, 3000.0));
+  EXPECT_EQ(back, ResourceVector(2.0, 3000.0));
+  EXPECT_EQ(os.visible(), ResourceVector(6.0, 13000.0));
+}
+
+TEST(GuestOsTest, ReplugClampsToUnplugged) {
+  GuestOs os(ResourceVector(8.0, 16000.0), TestParams());
+  os.TryUnplug(ResourceVector(2.0, 1000.0));
+  const ResourceVector back = os.Replug(ResourceVector(100.0, 100000.0));
+  EXPECT_EQ(back, ResourceVector(2.0, 1000.0));
+  EXPECT_EQ(os.visible(), ResourceVector(8.0, 16000.0));
+  EXPECT_TRUE(os.unplugged().IsZero());
+}
+
+TEST(GuestOsTest, UnplugConsumesTrulyFreeBeforePageCache) {
+  GuestOs os(ResourceVector(4.0, 16000.0), TestParams());
+  os.set_app_used_mb(8000.0);
+  os.set_page_cache_mb(3000.0);
+  // Reclaimable = 16000 - 8000 - 500 = 7500, of which 3000 is page cache.
+  // Taking 4000 consumes the 4500 truly-free pool only.
+  os.TryUnplug(ResourceVector(0.0, 4000.0));
+  EXPECT_DOUBLE_EQ(os.page_cache_mb(), 3000.0);
+  // Taking 2000 more digs 1500 into the cache.
+  os.TryUnplug(ResourceVector(0.0, 2000.0));
+  EXPECT_DOUBLE_EQ(os.page_cache_mb(), 1500.0);
+}
+
+TEST(GuestOsTest, ForcedUnplugDropsAllCacheBeforeOom) {
+  GuestOs os(ResourceVector(4.0, 16000.0), TestParams());
+  os.set_app_used_mb(8000.0);
+  os.set_page_cache_mb(3000.0);
+  os.TryUnplug(ResourceVector(0.0, 7500.0));
+  EXPECT_DOUBLE_EQ(os.page_cache_mb(), 0.0);
+  EXPECT_FALSE(os.UnderOomPressure());
+}
+
+TEST(GuestOsTest, NegativeTargetIsIgnored) {
+  GuestOs os(ResourceVector(8.0, 16000.0), TestParams());
+  const ResourceVector done = os.TryUnplug(ResourceVector(-2.0, -500.0));
+  EXPECT_TRUE(done.IsZero());
+}
+
+TEST(GuestOsTest, BalloonPinsMemoryWithFragmentationWaste) {
+  GuestOs::Params p = TestParams();
+  p.balloon_fragmentation = 0.1;
+  GuestOs os(ResourceVector(4.0, 16000.0), p);
+  os.set_app_used_mb(8000.0);
+  const double pinned = os.BalloonInflate(4000.0);
+  EXPECT_DOUBLE_EQ(pinned, 4000.0);
+  EXPECT_DOUBLE_EQ(os.balloon_mb(), 4000.0);
+  EXPECT_DOUBLE_EQ(os.BalloonFragmentationMb(), 400.0);
+  EXPECT_DOUBLE_EQ(os.UsableMemoryMb(), 16000.0 - 4400.0);
+  // Visible memory is unchanged: the guest still sees the pinned pages.
+  EXPECT_DOUBLE_EQ(os.visible().memory_mb(), 16000.0);
+}
+
+TEST(GuestOsTest, BalloonIsBestEffortLikeUnplug) {
+  GuestOs::Params p = TestParams();
+  p.balloon_fragmentation = 0.0;
+  GuestOs os(ResourceVector(4.0, 16000.0), p);
+  os.set_app_used_mb(14000.0);
+  // Only 1500 MB safely free; the balloon cannot take app memory.
+  const double pinned = os.BalloonInflate(8000.0);
+  EXPECT_DOUBLE_EQ(pinned, 1500.0);
+  EXPECT_FALSE(os.UnderOomPressure());
+}
+
+TEST(GuestOsTest, BalloonDeflateRestoresUsableMemory) {
+  GuestOs os(ResourceVector(4.0, 16000.0), TestParams());
+  os.set_app_used_mb(4000.0);
+  os.BalloonInflate(6000.0);
+  const double released = os.BalloonDeflate(10000.0);
+  EXPECT_DOUBLE_EQ(released, 6000.0);
+  EXPECT_DOUBLE_EQ(os.balloon_mb(), 0.0);
+  EXPECT_DOUBLE_EQ(os.UsableMemoryMb(), 16000.0);
+}
+
+TEST(GuestOsTest, BalloonReducesSafelyUnpluggable) {
+  GuestOs::Params p = TestParams();
+  p.balloon_fragmentation = 0.0;
+  GuestOs os(ResourceVector(4.0, 16000.0), p);
+  os.set_app_used_mb(8000.0);
+  const double before = os.SafelyUnpluggable().memory_mb();
+  os.BalloonInflate(3000.0);
+  EXPECT_DOUBLE_EQ(os.SafelyUnpluggable().memory_mb(), before - 3000.0);
+}
+
+TEST(GuestOsTest, UnplugNeverTouchesDiskOrNet) {
+  GuestOs os(ResourceVector(8.0, 16000.0, 100.0, 1000.0), TestParams());
+  const ResourceVector done =
+      os.TryUnplug(ResourceVector(0.0, 0.0, 50.0, 500.0), /*force=*/true);
+  EXPECT_TRUE(done.IsZero());
+  EXPECT_DOUBLE_EQ(os.visible().disk_bw(), 100.0);
+}
+
+}  // namespace
+}  // namespace defl

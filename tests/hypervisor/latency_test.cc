@@ -1,0 +1,91 @@
+#include "src/hypervisor/latency.h"
+
+#include <gtest/gtest.h>
+
+namespace defl {
+namespace {
+
+TEST(LatencyTest, EmptyBreakdownIsJustFixedCost) {
+  DeflationLatencyModel model;
+  ReclaimBreakdown b;
+  EXPECT_DOUBLE_EQ(model.TotalSeconds(b), model.params().fixed_s);
+}
+
+TEST(LatencyTest, HypervisorSwapDominatesLargeMemory) {
+  DeflationLatencyModel model;
+  ReclaimBreakdown b;
+  b.hv_swap_mb = 50.0 * 1024.0;  // 50 GB, the Figure 8b giant-VM case
+  const double t = model.TotalSeconds(b);
+  // 50 GB at ~180 MB/s with control-loop overhead: several minutes.
+  EXPECT_GT(t, 250.0);
+  EXPECT_LT(t, 500.0);
+}
+
+TEST(LatencyTest, UnplugIsMuchFasterThanSwap) {
+  DeflationLatencyModel model;
+  ReclaimBreakdown swap;
+  swap.hv_swap_mb = 20000.0;
+  ReclaimBreakdown unplug;
+  unplug.unplug_cold_mb = 20000.0;
+  EXPECT_LT(model.TotalSeconds(unplug), model.TotalSeconds(swap) / 5.0);
+}
+
+TEST(LatencyTest, AppFreedMemoryUnplugsFastest) {
+  DeflationLatencyModel model;
+  ReclaimBreakdown cold;
+  cold.unplug_cold_mb = 20000.0;
+  ReclaimBreakdown freed;
+  freed.unplug_freed_mb = 20000.0;
+  EXPECT_LT(model.OsStageSeconds(freed), model.OsStageSeconds(cold));
+}
+
+TEST(LatencyTest, AppStageOnlyChargedWhenUsed) {
+  DeflationLatencyModel model;
+  ReclaimBreakdown b;
+  b.app_freed_mb = 10000.0;
+  b.used_app_level = false;
+  EXPECT_DOUBLE_EQ(model.AppStageSeconds(b), 0.0);
+  b.used_app_level = true;
+  EXPECT_GT(model.AppStageSeconds(b), model.params().app_fixed_s);
+}
+
+TEST(LatencyTest, CpuAndMemoryUnplugOverlap) {
+  DeflationLatencyModel model;
+  ReclaimBreakdown b;
+  b.unplug_cpus = 24.0;
+  b.unplug_cold_mb = 1000.0;
+  const double cpu_only = 24.0 * model.params().cpu_unplug_s;
+  EXPECT_DOUBLE_EQ(model.OsStageSeconds(b), cpu_only);  // CPU dominates; max not sum
+}
+
+TEST(LatencyTest, StagesAreAdditive) {
+  DeflationLatencyModel model;
+  ReclaimBreakdown b;
+  b.used_app_level = true;
+  b.app_freed_mb = 5000.0;
+  b.unplug_freed_mb = 5000.0;
+  b.hv_swap_mb = 1000.0;
+  EXPECT_NEAR(model.TotalSeconds(b),
+              model.params().fixed_s + model.AppStageSeconds(b) +
+                  model.OsStageSeconds(b) + model.HypervisorStageSeconds(b),
+              1e-12);
+}
+
+TEST(LatencyTest, CascadeBeatsBlackBoxForGiantVm) {
+  // The Figure 8b scenario in microcosm: reclaiming 50 GB from a VM where
+  // the app can free most of it should be several times faster than pure
+  // hypervisor swapping.
+  DeflationLatencyModel model;
+  ReclaimBreakdown cascade;
+  cascade.used_app_level = true;
+  cascade.app_freed_mb = 40000.0;
+  cascade.unplug_freed_mb = 40000.0;
+  cascade.unplug_cold_mb = 0.0;
+  cascade.hv_swap_mb = 10000.0;
+  ReclaimBreakdown blackbox;
+  blackbox.hv_swap_mb = 50000.0;
+  EXPECT_LT(model.TotalSeconds(cascade), model.TotalSeconds(blackbox) / 2.0);
+}
+
+}  // namespace
+}  // namespace defl

@@ -1,0 +1,151 @@
+#include "src/hypervisor/overcommit.h"
+
+#include <gtest/gtest.h>
+
+namespace defl {
+namespace {
+
+TEST(MultiplexedCpuFactorTest, NoMultiplexingIsFree) {
+  EXPECT_DOUBLE_EQ(MultiplexedCpuFactor(4.0, 4.0), 1.0);
+  EXPECT_DOUBLE_EQ(MultiplexedCpuFactor(4.0, 8.0), 1.0);
+}
+
+TEST(MultiplexedCpuFactorTest, WorseThanProportionalUnderMultiplexing) {
+  // 4 vCPUs on 2 cores: raw share is 0.5; LHP makes it strictly worse.
+  const double f = MultiplexedCpuFactor(4.0, 2.0);
+  EXPECT_LT(f, 0.5);
+  EXPECT_GT(f, 0.0);
+}
+
+TEST(MultiplexedCpuFactorTest, MonotonicInCapacity) {
+  double prev = 0.0;
+  for (double cap = 0.5; cap <= 4.0; cap += 0.5) {
+    const double f = MultiplexedCpuFactor(4.0, cap);
+    EXPECT_GT(f, prev);
+    prev = f;
+  }
+}
+
+TEST(MultiplexedCpuFactorTest, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(MultiplexedCpuFactor(0.0, 2.0), 0.0);
+  EXPECT_DOUBLE_EQ(MultiplexedCpuFactor(4.0, 0.0), 0.0);
+}
+
+TEST(MultiplexedCpuFactorTest, PenaltyGrowsWithRatio) {
+  // Efficiency loss vs. the raw share grows as multiplexing deepens.
+  const double loss_2x = 1.0 - MultiplexedCpuFactor(4.0, 2.0) / 0.5;
+  const double loss_4x = 1.0 - MultiplexedCpuFactor(4.0, 1.0) / 0.25;
+  EXPECT_GT(loss_4x, loss_2x);
+}
+
+TEST(CappedParallelRateTest, FullyBackedRunsAtThreadCount) {
+  EXPECT_DOUBLE_EQ(CappedParallelRate(4.0, 4.0, 4.0), 4.0);
+  EXPECT_DOUBLE_EQ(CappedParallelRate(2.0, 4.0, 4.0), 2.0);
+}
+
+TEST(CappedParallelRateTest, SerialSectionImmuneWhileCapacityAtLeastOne) {
+  // A single runnable thread keeps full speed under CPU throttling as long
+  // as at least one core of capacity remains (work-conserving shares).
+  EXPECT_DOUBLE_EQ(CappedParallelRate(1.0, 4.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(CappedParallelRate(1.0, 4.0, 2.5), 1.0);
+}
+
+TEST(CappedParallelRateTest, LhpPenaltyWhenOversubscribed) {
+  // 4 runnable threads on 2 cores: capacity 2 minus LHP penalty.
+  const double rate = CappedParallelRate(4.0, 4.0, 2.0);
+  EXPECT_LT(rate, 2.0);
+  EXPECT_GT(rate, 1.5);
+}
+
+TEST(CappedParallelRateTest, ThreadsBeyondVisibleCpusDontHelp) {
+  EXPECT_DOUBLE_EQ(CappedParallelRate(16.0, 4.0, 4.0), 4.0);
+}
+
+TEST(CappedParallelRateTest, ZeroCapacityStalls) {
+  EXPECT_DOUBLE_EQ(CappedParallelRate(4.0, 4.0, 0.0), 0.0);
+}
+
+TEST(AmdahlSlowdownTest, NoDeflationNoSlowdown) {
+  EXPECT_NEAR(AmdahlSlowdown(0.5, 4.0, 4.0, 4.0), 1.0, 1e-12);
+}
+
+TEST(AmdahlSlowdownTest, UnplugMatchesClassicAmdahl) {
+  // 4 -> 2 fully-backed CPUs with p = 0.5: time goes 0.625 -> 0.75.
+  EXPECT_NEAR(AmdahlSlowdown(0.5, 2.0, 2.0, 4.0), 0.75 / 0.625, 1e-12);
+}
+
+TEST(AmdahlSlowdownTest, ThrottlingBeatsNaiveProportionalSlowdown) {
+  // 4 vCPUs throttled to 1 core: the serial half still runs at full speed,
+  // so the slowdown is far below the naive 4x.
+  const double s = AmdahlSlowdown(0.5, 4.0, 1.0, 4.0);
+  EXPECT_LT(s, 3.0);
+  EXPECT_GT(s, 1.5);
+}
+
+TEST(AmdahlSlowdownTest, ThrottlingSlowerThanEquivalentUnplug) {
+  // Same capacity, but multiplexing incurs LHP: hv-only trails hot-unplug
+  // (the Figure 5b gap).
+  const double throttled = AmdahlSlowdown(0.5, 4.0, 2.0, 4.0);
+  const double unplugged = AmdahlSlowdown(0.5, 2.0, 2.0, 4.0);
+  EXPECT_GT(throttled, unplugged);
+  // ...but by a modest factor (~20%), not a cliff.
+  EXPECT_LT(throttled, unplugged * 1.5);
+}
+
+TEST(AmdahlSlowdownTest, ZeroCapacityEffectivelyStalls) {
+  EXPECT_GT(AmdahlSlowdown(0.5, 4.0, 0.0, 4.0), 1e6);
+}
+
+TEST(SwapSlowdownTest, NoSwapNoSlowdown) {
+  EXPECT_DOUBLE_EQ(SwapSlowdown(0.0, 0.5), 1.0);
+}
+
+TEST(SwapSlowdownTest, ScalesWithIntensity) {
+  const double light = SwapSlowdown(0.01, 0.1);
+  const double heavy = SwapSlowdown(0.01, 0.9);
+  EXPECT_GT(heavy, light);
+  EXPECT_GT(light, 1.0);
+}
+
+TEST(SwapSlowdownTest, ZeroIntensityImmune) {
+  EXPECT_DOUBLE_EQ(SwapSlowdown(1.0, 0.0), 1.0);
+}
+
+TEST(AverageAccessCostTest, InterpolatesBetweenMemAndSwap) {
+  OvercommitCosts costs;
+  EXPECT_DOUBLE_EQ(AverageAccessCostUs(0.0, costs), costs.mem_access_us);
+  EXPECT_DOUBLE_EQ(AverageAccessCostUs(1.0, costs), costs.swap_access_us);
+  const double mid = AverageAccessCostUs(0.5, costs);
+  EXPECT_GT(mid, costs.mem_access_us);
+  EXPECT_LT(mid, costs.swap_access_us);
+}
+
+TEST(LruSwapHitFractionTest, FitsEntirelyNoSwap) {
+  EXPECT_DOUBLE_EQ(LruSwapHitFraction(1000.0, 1000.0), 0.0);
+  EXPECT_DOUBLE_EQ(LruSwapHitFraction(1000.0, 2000.0), 0.0);
+  EXPECT_DOUBLE_EQ(LruSwapHitFraction(0.0, 0.0), 0.0);
+}
+
+TEST(LruSwapHitFractionTest, NothingResidentAllSwap) {
+  EXPECT_DOUBLE_EQ(LruSwapHitFraction(1000.0, 0.0), 1.0);
+}
+
+TEST(LruSwapHitFractionTest, LocalityMakesSwapSublinear) {
+  // With half the footprint resident, much less than half the accesses
+  // should hit swap (hot pages stay resident).
+  const double f = LruSwapHitFraction(8000.0, 4000.0);
+  EXPECT_GT(f, 0.0);
+  EXPECT_LT(f, 0.35);
+}
+
+TEST(LruSwapHitFractionTest, MonotonicInResidentSize) {
+  double prev = 1.1;
+  for (double resident = 0.0; resident <= 8000.0; resident += 1000.0) {
+    const double f = LruSwapHitFraction(8000.0, resident);
+    EXPECT_LE(f, prev);
+    prev = f;
+  }
+}
+
+}  // namespace
+}  // namespace defl

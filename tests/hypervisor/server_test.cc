@@ -1,0 +1,99 @@
+#include "src/hypervisor/server.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace defl {
+namespace {
+
+std::unique_ptr<Vm> MakeVm(VmId id, double cpus, double mem_mb,
+                           VmPriority priority = VmPriority::kLow,
+                           ResourceVector min_size = ResourceVector()) {
+  VmSpec spec;
+  spec.name = "vm" + std::to_string(id);
+  spec.size = ResourceVector(cpus, mem_mb);
+  spec.priority = priority;
+  spec.min_size = min_size;
+  return std::make_unique<Vm>(id, spec);
+}
+
+TEST(ServerTest, EmptyServerIsFree) {
+  Server server(1, ResourceVector(32.0, 262144.0));
+  EXPECT_EQ(server.Free(), server.capacity());
+  EXPECT_TRUE(server.Deflatable().IsZero());
+  EXPECT_DOUBLE_EQ(server.Utilization(), 0.0);
+  EXPECT_DOUBLE_EQ(server.NominalOvercommitment(), 0.0);
+}
+
+TEST(ServerTest, AddRemoveVmUpdatesAccounting) {
+  Server server(1, ResourceVector(32.0, 262144.0));
+  Vm* vm = server.AddVm(MakeVm(7, 8.0, 65536.0));
+  EXPECT_EQ(vm->state(), VmState::kRunning);
+  EXPECT_EQ(server.Allocated(), ResourceVector(8.0, 65536.0));
+  EXPECT_EQ(server.Free(), ResourceVector(24.0, 196608.0));
+  auto removed = server.RemoveVm(7);
+  ASSERT_NE(removed, nullptr);
+  EXPECT_EQ(removed->id(), 7);
+  EXPECT_EQ(server.Free(), server.capacity());
+}
+
+TEST(ServerTest, RemoveMissingVmReturnsNull) {
+  Server server(1, ResourceVector(32.0, 262144.0));
+  EXPECT_EQ(server.RemoveVm(99), nullptr);
+  EXPECT_EQ(server.FindVm(99), nullptr);
+}
+
+TEST(ServerTest, DeflatableSumsLowPriorityHeadroom) {
+  Server server(1, ResourceVector(32.0, 262144.0));
+  server.AddVm(MakeVm(1, 8.0, 65536.0, VmPriority::kLow, ResourceVector(2.0, 16384.0)));
+  server.AddVm(MakeVm(2, 8.0, 65536.0, VmPriority::kHigh));
+  EXPECT_EQ(server.Deflatable(), ResourceVector(6.0, 49152.0));
+  EXPECT_EQ(server.Availability(), server.Free() + ResourceVector(6.0, 49152.0));
+}
+
+TEST(ServerTest, DeflationFreesCapacity) {
+  Server server(1, ResourceVector(16.0, 131072.0));
+  Vm* vm = server.AddVm(MakeVm(1, 8.0, 65536.0));
+  vm->HvReclaim(ResourceVector(4.0, 32768.0));
+  EXPECT_EQ(server.Allocated(), ResourceVector(4.0, 32768.0));
+  EXPECT_EQ(server.Free(), ResourceVector(12.0, 98304.0));
+}
+
+TEST(ServerTest, NominalOvercommitmentUsesSpecSizes) {
+  Server server(1, ResourceVector(16.0, 131072.0));
+  Vm* a = server.AddVm(MakeVm(1, 8.0, 65536.0));
+  server.AddVm(MakeVm(2, 16.0, 65536.0));
+  // Nominal CPU 24/16 = 1.5 even though VM 1 is deflated.
+  a->HvReclaim(ResourceVector(8.0, 0.0));
+  EXPECT_DOUBLE_EQ(server.NominalOvercommitment(), 1.5);
+}
+
+TEST(ServerTest, UtilizationIsDominantDimension) {
+  Server server(1, ResourceVector(16.0, 100000.0));
+  server.AddVm(MakeVm(1, 4.0, 80000.0));
+  EXPECT_DOUBLE_EQ(server.Utilization(), 0.8);  // memory dominates
+}
+
+TEST(ServerTest, CanFitWithDeflation) {
+  Server server(1, ResourceVector(16.0, 131072.0));
+  server.AddVm(MakeVm(1, 16.0, 131072.0));  // fills the server
+  EXPECT_TRUE(server.CanFitWithDeflation(ResourceVector(8.0, 65536.0)));
+  Server rigid(2, ResourceVector(16.0, 131072.0));
+  rigid.AddVm(MakeVm(2, 16.0, 131072.0, VmPriority::kHigh));
+  EXPECT_FALSE(rigid.CanFitWithDeflation(ResourceVector(8.0, 65536.0)));
+}
+
+TEST(ServerTest, VmCountTracksHostedVms) {
+  Server server(1, ResourceVector(32.0, 262144.0));
+  EXPECT_EQ(server.vm_count(), 0u);
+  server.AddVm(MakeVm(1, 2.0, 8192.0));
+  server.AddVm(MakeVm(2, 2.0, 8192.0));
+  EXPECT_EQ(server.vm_count(), 2u);
+  server.RemoveVm(1);
+  EXPECT_EQ(server.vm_count(), 1u);
+  EXPECT_NE(server.FindVm(2), nullptr);
+}
+
+}  // namespace
+}  // namespace defl

@@ -1,0 +1,109 @@
+#include "src/hypervisor/vm.h"
+
+#include <gtest/gtest.h>
+
+namespace defl {
+namespace {
+
+VmSpec MakeSpec(VmPriority priority = VmPriority::kLow) {
+  VmSpec spec;
+  spec.name = "test-vm";
+  spec.size = ResourceVector(4.0, 16000.0, 100.0, 1000.0);
+  spec.priority = priority;
+  spec.min_size = ResourceVector(1.0, 2000.0, 10.0, 100.0);
+  return spec;
+}
+
+TEST(VmTest, InitialAllocationsMatchSpec) {
+  Vm vm(1, MakeSpec());
+  EXPECT_EQ(vm.guest_visible(), vm.size());
+  EXPECT_EQ(vm.effective(), vm.size());
+  EXPECT_DOUBLE_EQ(vm.MaxDeflationFraction(), 0.0);
+  EXPECT_EQ(vm.state(), VmState::kPending);
+}
+
+TEST(VmTest, HvReclaimReducesEffectiveNotVisible) {
+  Vm vm(1, MakeSpec());
+  const ResourceVector taken = vm.HvReclaim(ResourceVector(2.0, 8000.0, 0.0, 0.0));
+  EXPECT_EQ(taken, ResourceVector(2.0, 8000.0, 0.0, 0.0));
+  EXPECT_EQ(vm.guest_visible(), vm.size());  // guest unaware (black box)
+  EXPECT_EQ(vm.effective(), ResourceVector(2.0, 8000.0, 100.0, 1000.0));
+}
+
+TEST(VmTest, HvReclaimClampsToEffective) {
+  Vm vm(1, MakeSpec());
+  const ResourceVector taken = vm.HvReclaim(ResourceVector(100.0, 99999.0, 0.0, 0.0));
+  EXPECT_EQ(taken, ResourceVector(4.0, 16000.0, 0.0, 0.0));
+  EXPECT_DOUBLE_EQ(vm.effective().cpu(), 0.0);
+}
+
+TEST(VmTest, HvReleaseReturnsResources) {
+  Vm vm(1, MakeSpec());
+  vm.HvReclaim(ResourceVector(2.0, 8000.0, 0.0, 0.0));
+  const ResourceVector released = vm.HvRelease(ResourceVector(1.0, 4000.0, 5.0, 5.0));
+  EXPECT_EQ(released, ResourceVector(1.0, 4000.0, 0.0, 0.0));  // disk/net not reclaimed
+  EXPECT_EQ(vm.effective(), ResourceVector(3.0, 12000.0, 100.0, 1000.0));
+}
+
+TEST(VmTest, UnplugThenClampKeepsInvariant) {
+  Vm vm(1, MakeSpec());
+  // Hypervisor reclaims 3 CPUs, then guest unplugs 2: visible=2 < spec-hv=1?
+  vm.HvReclaim(ResourceVector(3.0, 0.0, 0.0, 0.0));
+  vm.guest_os().TryUnplug(ResourceVector(2.0, 0.0));
+  vm.ClampHvToVisible();
+  EXPECT_DOUBLE_EQ(vm.guest_visible().cpu(), 2.0);
+  // hv_reclaimed clamped to visible: effective >= 0.
+  EXPECT_GE(vm.effective().cpu(), 0.0);
+  EXPECT_LE(vm.hv_reclaimed().cpu(), vm.guest_visible().cpu());
+}
+
+TEST(VmTest, DeflationFractionPerResource) {
+  Vm vm(1, MakeSpec());
+  vm.HvReclaim(ResourceVector(2.0, 4000.0, 0.0, 0.0));
+  EXPECT_DOUBLE_EQ(vm.DeflationFraction(ResourceKind::kCpu), 0.5);
+  EXPECT_DOUBLE_EQ(vm.DeflationFraction(ResourceKind::kMemory), 0.25);
+  EXPECT_DOUBLE_EQ(vm.DeflationFraction(ResourceKind::kDiskBw), 0.0);
+  EXPECT_DOUBLE_EQ(vm.MaxDeflationFraction(), 0.5);
+}
+
+TEST(VmTest, DeflatableAmountRespectsMinSize) {
+  Vm vm(1, MakeSpec(VmPriority::kLow));
+  const ResourceVector d = vm.deflatable_amount();
+  EXPECT_EQ(d, ResourceVector(3.0, 14000.0, 90.0, 900.0));
+  // Deflate to min: nothing left.
+  vm.HvReclaim(d);
+  EXPECT_TRUE(vm.deflatable_amount().IsZero());
+}
+
+TEST(VmTest, HighPriorityVmIsNotDeflatable) {
+  Vm vm(1, MakeSpec(VmPriority::kHigh));
+  EXPECT_FALSE(vm.deflatable());
+  EXPECT_TRUE(vm.deflatable_amount().IsZero());
+}
+
+TEST(VmTest, AllocationViewReflectsLayers) {
+  Vm vm(1, MakeSpec());
+  vm.guest_os().TryUnplug(ResourceVector(1.0, 2000.0));
+  vm.ClampHvToVisible();
+  vm.HvReclaim(ResourceVector(1.0, 3000.0, 20.0, 200.0));
+  const EffectiveAllocation a = vm.allocation();
+  EXPECT_DOUBLE_EQ(a.visible_cpus, 3.0);
+  EXPECT_DOUBLE_EQ(a.cpu_capacity, 2.0);
+  EXPECT_DOUBLE_EQ(a.guest_memory_mb, 14000.0);
+  EXPECT_DOUBLE_EQ(a.resident_memory_mb, 11000.0);
+  EXPECT_DOUBLE_EQ(a.disk_bw, 80.0);
+  EXPECT_DOUBLE_EQ(a.net_bw, 800.0);
+  EXPECT_TRUE(a.cpu_multiplexed());
+  EXPECT_TRUE(a.memory_overcommitted());
+}
+
+TEST(VmTest, AllocationNotMultiplexedWithoutHvReclaim) {
+  Vm vm(1, MakeSpec());
+  vm.guest_os().TryUnplug(ResourceVector(2.0, 4000.0));
+  const EffectiveAllocation a = vm.allocation();
+  EXPECT_FALSE(a.cpu_multiplexed());
+  EXPECT_FALSE(a.memory_overcommitted());
+}
+
+}  // namespace
+}  // namespace defl

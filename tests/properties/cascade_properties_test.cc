@@ -1,0 +1,177 @@
+// Property-based tests of the cascade deflation invariants, swept over
+// deflation modes, target magnitudes, application footprints and agent
+// behaviors (parameterized + seeded-random cases):
+//
+//   P1  conservation: what the layers reclaim never exceeds the request
+//       (per resource), and effective allocation never goes negative;
+//   P2  layering: effective = spec - unplugged - hv_reclaimed (element-wise),
+//       hv_reclaimed <= guest-visible;
+//   P3  safety: non-forced deflation never puts the guest under OOM pressure;
+//   P4  round-trip: deflate then reinflate(everything) restores the VM
+//       exactly;
+//   P5  monotonicity: a larger target never reclaims less (same VM state).
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "src/common/rng.h"
+#include "src/core/cascade.h"
+
+namespace defl {
+namespace {
+
+// An agent that frees a configurable fraction of any memory request.
+class FractionalAgent : public DeflationAgent {
+ public:
+  FractionalAgent(double footprint_mb, double min_mb, double willingness)
+      : footprint_mb_(footprint_mb), min_mb_(min_mb), willingness_(willingness) {}
+
+  ResourceVector SelfDeflate(const ResourceVector& target) override {
+    const double want = target.memory_mb() * willingness_;
+    const double freed = std::min(want, std::max(0.0, footprint_mb_ - min_mb_));
+    footprint_mb_ -= freed;
+    return ResourceVector(0.0, freed);
+  }
+  void OnReinflate(const ResourceVector& added) override {
+    footprint_mb_ += added.memory_mb() * willingness_;
+  }
+  double MemoryFootprintMb() const override { return footprint_mb_; }
+
+ private:
+  double footprint_mb_;
+  double min_mb_;
+  double willingness_;
+};
+
+using CascadeCase = std::tuple<DeflationMode, double /*target fraction*/,
+                               double /*footprint fraction*/, double /*willingness*/>;
+
+class CascadePropertyTest : public ::testing::TestWithParam<CascadeCase> {
+ protected:
+  static VmSpec Spec() {
+    VmSpec spec;
+    spec.name = "prop-vm";
+    spec.size = ResourceVector(8.0, 32768.0, 400.0, 2500.0);
+    spec.priority = VmPriority::kLow;
+    return spec;
+  }
+};
+
+TEST_P(CascadePropertyTest, InvariantsHold) {
+  const auto [mode, target_frac, footprint_frac, willingness] = GetParam();
+  Vm vm(1, Spec());
+  const double footprint = footprint_frac * vm.size().memory_mb();
+  FractionalAgent agent(footprint, footprint * 0.2, willingness);
+  vm.guest_os().set_app_used_mb(footprint);
+
+  CascadeController controller(mode);
+  const ResourceVector target = vm.size() * target_frac;
+  const DeflationOutcome out = controller.Deflate(vm, &agent, target);
+
+  // P1: conservation and non-negativity.
+  for (const ResourceKind kind : kAllResources) {
+    EXPECT_LE(out.TotalReclaimed()[kind], out.requested[kind] + 1e-9)
+        << ResourceKindName(kind);
+    EXPECT_GE(vm.effective()[kind], -1e-9) << ResourceKindName(kind);
+    EXPECT_GE(out.unplugged[kind], -1e-9);
+    EXPECT_GE(out.hv_reclaimed[kind], -1e-9);
+    EXPECT_GE(out.app_freed[kind], -1e-9);
+  }
+
+  // P2: layering arithmetic.
+  const ResourceVector reconstructed =
+      vm.size() - vm.guest_os().unplugged() - vm.hv_reclaimed();
+  for (const ResourceKind kind : kAllResources) {
+    EXPECT_NEAR(vm.effective()[kind], std::max(0.0, reconstructed[kind]), 1e-6);
+    EXPECT_LE(vm.hv_reclaimed()[kind], vm.guest_visible()[kind] + 1e-9);
+  }
+
+  // P3: safety for non-forced modes.
+  if (mode != DeflationMode::kOsOnly) {
+    EXPECT_FALSE(vm.guest_os().UnderOomPressure())
+        << "non-forced deflation must not OOM the guest";
+  }
+
+  // P4: full reinflation restores the VM exactly.
+  const ResourceVector deflated_by = vm.size() - vm.effective();
+  controller.Reinflate(vm, &agent, deflated_by);
+  for (const ResourceKind kind : kAllResources) {
+    EXPECT_NEAR(vm.effective()[kind], vm.size()[kind], 1e-6) << ResourceKindName(kind);
+  }
+  EXPECT_TRUE(vm.guest_os().unplugged().IsZero(1e-6));
+  EXPECT_TRUE(vm.hv_reclaimed().IsZero(1e-6));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CascadePropertyTest,
+    ::testing::Combine(
+        ::testing::Values(DeflationMode::kHypervisorOnly, DeflationMode::kOsOnly,
+                          DeflationMode::kVmLevel, DeflationMode::kCascade),
+        ::testing::Values(0.0, 0.1, 0.25, 0.5, 0.75, 0.9),
+        ::testing::Values(0.2, 0.5, 0.85),
+        ::testing::Values(0.0, 0.5, 1.0)));
+
+class CascadeMonotonicityTest : public ::testing::TestWithParam<DeflationMode> {};
+
+TEST_P(CascadeMonotonicityTest, LargerTargetsReclaimAtLeastAsMuch) {
+  const DeflationMode mode = GetParam();
+  ResourceVector prev_reclaimed;
+  for (double f = 0.0; f <= 0.9; f += 0.05) {
+    VmSpec spec;
+    spec.name = "mono-vm";
+    spec.size = ResourceVector(8.0, 32768.0, 400.0, 2500.0);
+    Vm vm(1, spec);
+    vm.guest_os().set_app_used_mb(16000.0);
+    CascadeController controller(mode);
+    const DeflationOutcome out = controller.Deflate(vm, nullptr, vm.size() * f);
+    for (const ResourceKind kind : kAllResources) {
+      EXPECT_GE(out.TotalReclaimed()[kind], prev_reclaimed[kind] - 1e-9)
+          << DeflationModeName(mode) << " " << ResourceKindName(kind) << " at " << f;
+    }
+    prev_reclaimed = out.TotalReclaimed();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModes, CascadeMonotonicityTest,
+                         ::testing::Values(DeflationMode::kHypervisorOnly,
+                                           DeflationMode::kOsOnly,
+                                           DeflationMode::kVmLevel,
+                                           DeflationMode::kCascade));
+
+// Randomized sequences of deflate/reinflate operations keep all invariants.
+class CascadeFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CascadeFuzzTest, RandomOperationSequencesKeepInvariants) {
+  Rng rng(GetParam());
+  VmSpec spec;
+  spec.name = "fuzz-vm";
+  spec.size = ResourceVector(16.0, 65536.0, 800.0, 5000.0);
+  Vm vm(1, spec);
+  FractionalAgent agent(30000.0, 5000.0, 0.7);
+  vm.guest_os().set_app_used_mb(agent.MemoryFootprintMb());
+  CascadeController controller(DeflationMode::kCascade);
+
+  for (int step = 0; step < 200; ++step) {
+    const ResourceVector amount(rng.Uniform(0.0, 8.0), rng.Uniform(0.0, 32768.0),
+                                rng.Uniform(0.0, 400.0), rng.Uniform(0.0, 2500.0));
+    if (rng.Chance(0.5)) {
+      controller.Deflate(vm, &agent, amount);
+    } else {
+      controller.Reinflate(vm, &agent, amount);
+    }
+    for (const ResourceKind kind : kAllResources) {
+      ASSERT_GE(vm.effective()[kind], -1e-9) << "step " << step;
+      ASSERT_LE(vm.effective()[kind], vm.size()[kind] + 1e-9) << "step " << step;
+      ASSERT_LE(vm.hv_reclaimed()[kind], vm.guest_visible()[kind] + 1e-9)
+          << "step " << step;
+      ASSERT_GE(vm.guest_os().unplugged()[kind], -1e-9) << "step " << step;
+    }
+    ASSERT_FALSE(vm.guest_os().UnderOomPressure()) << "step " << step;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CascadeFuzzTest,
+                         ::testing::Values(1u, 7u, 42u, 1234u, 99991u));
+
+}  // namespace
+}  // namespace defl

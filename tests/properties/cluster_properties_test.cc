@@ -1,0 +1,102 @@
+// Property tests of the trace-driven cluster simulation, swept over loads,
+// strategies, placement policies and seeds:
+//
+//   P1  accounting: launched = completed + preempted + still-running;
+//       preempted <= launched_low_priority; rates in [0, 1];
+//   P2  capacity: utilization never exceeds 1; effective allocation on every
+//       server never exceeds its capacity;
+//   P3  dominance: at equal load, deflation-based management never preempts
+//       more than preemption-only management;
+//   P4  determinism: same seed, same result.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "src/cluster/cluster_sim.h"
+
+namespace defl {
+namespace {
+
+ClusterSimConfig MakeConfig(double load, ReclamationStrategy strategy,
+                            PlacementPolicy placement, uint64_t seed) {
+  ClusterSimConfig config;
+  config.num_servers = 16;
+  config.server_capacity = ResourceVector(32.0, 256.0 * 1024.0, 1000.0, 10000.0);
+  config.trace.duration_s = 4.0 * 3600.0;
+  config.trace.max_lifetime_s = 3.0 * 3600.0;
+  config.trace.seed = seed;
+  config.trace =
+      WithTargetLoad(config.trace, load, config.num_servers, config.server_capacity);
+  config.cluster.strategy = strategy;
+  config.cluster.placement = placement;
+  config.sample_period_s = 200.0;
+  return config;
+}
+
+using SimCase = std::tuple<double, int /*strategy*/, int /*placement*/, uint64_t>;
+
+class ClusterSimPropertyTest : public ::testing::TestWithParam<SimCase> {};
+
+TEST_P(ClusterSimPropertyTest, AccountingAndCapacityInvariants) {
+  const auto [load, strategy, placement, seed] = GetParam();
+  const ClusterSimResult r =
+      RunClusterSim(MakeConfig(load, static_cast<ReclamationStrategy>(strategy),
+                               static_cast<PlacementPolicy>(placement), seed));
+
+  // P1: accounting.
+  EXPECT_GE(r.counters.launched, 0);
+  EXPECT_LE(r.counters.completed + r.counters.preempted, r.counters.launched);
+  EXPECT_LE(r.counters.preempted, r.counters.launched_low_priority);
+  EXPECT_LE(r.counters.launched_low_priority, r.counters.launched);
+  EXPECT_GE(r.preemption_probability, 0.0);
+  EXPECT_LE(r.preemption_probability, 1.0);
+  EXPECT_GE(r.rejection_rate, 0.0);
+  EXPECT_LE(r.rejection_rate, 1.0);
+
+  // P2: capacity.
+  EXPECT_GE(r.mean_utilization, 0.0);
+  EXPECT_LE(r.mean_utilization, 1.0 + 1e-9);
+  EXPECT_GE(r.peak_overcommitment, r.mean_overcommitment - 1e-9);
+  for (const double oc : r.server_overcommitment_samples) {
+    EXPECT_GE(oc, 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ClusterSimPropertyTest,
+    ::testing::Combine(::testing::Values(0.5, 1.0, 1.8),
+                       ::testing::Values(0, 1),  // deflation, preemption-only
+                       ::testing::Values(0, 1, 2),
+                       ::testing::Values(5u, 55u)));
+
+class StrategyDominanceTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(StrategyDominanceTest, DeflationNeverPreemptsMoreThanPreemptionOnly) {
+  const double load = GetParam();
+  const ClusterSimResult deflation = RunClusterSim(MakeConfig(
+      load, ReclamationStrategy::kDeflation, PlacementPolicy::kBestFit, 9));
+  const ClusterSimResult preemption = RunClusterSim(MakeConfig(
+      load, ReclamationStrategy::kPreemptionOnly, PlacementPolicy::kBestFit, 9));
+  EXPECT_LE(deflation.preemption_probability,
+            preemption.preemption_probability + 0.02)
+      << "at load " << load;
+  // Deflation should also admit at least as much work.
+  EXPECT_GE(deflation.counters.launched, preemption.counters.launched);
+}
+
+INSTANTIATE_TEST_SUITE_P(Loads, StrategyDominanceTest,
+                         ::testing::Values(0.6, 1.0, 1.4, 1.8, 2.2));
+
+TEST(ClusterSimDeterminismTest, SameSeedSameResult) {
+  const ClusterSimConfig config =
+      MakeConfig(1.4, ReclamationStrategy::kDeflation, PlacementPolicy::kTwoChoices, 3);
+  const ClusterSimResult a = RunClusterSim(config);
+  const ClusterSimResult b = RunClusterSim(config);
+  EXPECT_EQ(a.counters.launched, b.counters.launched);
+  EXPECT_EQ(a.counters.preempted, b.counters.preempted);
+  EXPECT_DOUBLE_EQ(a.mean_utilization, b.mean_utilization);
+  EXPECT_DOUBLE_EQ(a.mean_overcommitment, b.mean_overcommitment);
+}
+
+}  // namespace
+}  // namespace defl

@@ -1,0 +1,169 @@
+// Property tests of the per-server local controller, swept over VM mixes,
+// demands and policies:
+//
+//   P1  MakeRoom postcondition: on success, demand fits in Free();
+//   P2  server conservation: allocated + free == capacity (element-wise);
+//   P3  high-priority VMs are never deflated nor preempted;
+//   P4  proportionality: equal-size, equal-min VMs are deflated equally;
+//   P5  reinflation never exceeds original specs and never overdraws the
+//       server.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+
+#include "src/common/rng.h"
+#include "src/core/local_controller.h"
+
+namespace defl {
+namespace {
+
+GuestOs::Params ExactOs() {
+  GuestOs::Params p;
+  p.kernel_reserve_mb = 0.0;
+  p.unplug_efficiency = 1.0;
+  p.min_cpus = 0;
+  return p;
+}
+
+std::unique_ptr<Vm> MakeVm(VmId id, const ResourceVector& size, VmPriority priority,
+                           double min_fraction) {
+  VmSpec spec;
+  spec.name = "vm" + std::to_string(id);
+  spec.size = size;
+  spec.priority = priority;
+  spec.min_size = size * min_fraction;
+  return std::make_unique<Vm>(id, spec, ExactOs());
+}
+
+void CheckConservation(const Server& server) {
+  const ResourceVector total = server.Allocated() + server.Free();
+  for (const ResourceKind kind : kAllResources) {
+    // Free() clamps at zero, so allocated+free >= capacity in general; when
+    // allocation fits, they must match exactly.
+    if (server.Allocated()[kind] <= server.capacity()[kind] + 1e-9) {
+      EXPECT_NEAR(total[kind], server.capacity()[kind], 1e-6)
+          << ResourceKindName(kind);
+    }
+  }
+}
+
+using RoomCase = std::tuple<int /*num low*/, int /*num high*/, double /*demand frac*/,
+                            double /*min frac*/>;
+
+class MakeRoomPropertyTest : public ::testing::TestWithParam<RoomCase> {};
+
+TEST_P(MakeRoomPropertyTest, PostconditionsHold) {
+  const auto [num_low, num_high, demand_frac, min_frac] = GetParam();
+  const ResourceVector vm_size(4.0, 16384.0, 100.0, 1000.0);
+  const int total_vms = num_low + num_high;
+  Server server(1, vm_size * total_vms);  // exactly full at nominal sizes
+  LocalControllerConfig config;
+  config.mode = DeflationMode::kVmLevel;
+  LocalController controller(&server, config);
+
+  for (int i = 0; i < num_low; ++i) {
+    server.AddVm(MakeVm(i, vm_size, VmPriority::kLow, min_frac));
+  }
+  for (int i = 0; i < num_high; ++i) {
+    server.AddVm(MakeVm(100 + i, vm_size, VmPriority::kHigh, 0.0));
+  }
+
+  const ResourceVector demand = vm_size * (demand_frac * num_low);
+  const ReclaimResult result = controller.MakeRoom(demand);
+
+  // P1: success iff the demand now fits.
+  if (result.success) {
+    EXPECT_TRUE(demand.AllLeq(server.Free(), 1e-6));
+  }
+  // P2: conservation.
+  CheckConservation(server);
+  // P3: high-priority untouched.
+  for (int i = 0; i < num_high; ++i) {
+    const Vm* vm = server.FindVm(100 + i);
+    ASSERT_NE(vm, nullptr) << "high-priority VM preempted";
+    EXPECT_EQ(vm->effective(), vm_size);
+  }
+  // Feasibility: demand <= what low-priority VMs could ever give.
+  const double max_yield = (1.0 - min_frac) * num_low;
+  if (demand_frac * num_low <= max_yield + 1e-9) {
+    EXPECT_TRUE(result.success) << "feasible demand must succeed (possibly with "
+                                << result.preempted.size() << " preemptions)";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, MakeRoomPropertyTest,
+                         ::testing::Combine(::testing::Values(1, 3, 8),
+                                            ::testing::Values(0, 2),
+                                            ::testing::Values(0.1, 0.4, 0.8),
+                                            ::testing::Values(0.0, 0.25, 0.6)));
+
+TEST(ProportionalityPropertyTest, EqualVmsDeflateEqually) {
+  const ResourceVector vm_size(4.0, 16384.0, 100.0, 1000.0);
+  Server server(1, vm_size * 4);
+  LocalControllerConfig config;
+  config.mode = DeflationMode::kVmLevel;
+  LocalController controller(&server, config);
+  for (int i = 0; i < 4; ++i) {
+    server.AddVm(MakeVm(i, vm_size, VmPriority::kLow, 0.1));
+  }
+  ASSERT_TRUE(controller.MakeRoom(vm_size * 2.0).success);
+  const ResourceVector first = server.FindVm(0)->effective();
+  for (int i = 1; i < 4; ++i) {
+    const ResourceVector other = server.FindVm(i)->effective();
+    for (const ResourceKind kind : kAllResources) {
+      EXPECT_NEAR(other[kind], first[kind], 1e-6)
+          << "vm " << i << " " << ResourceKindName(kind);
+    }
+  }
+}
+
+class ControllerFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ControllerFuzzTest, RandomMakeRoomReinflateSequences) {
+  Rng rng(GetParam());
+  const ResourceVector capacity(64.0, 262144.0, 2000.0, 20000.0);
+  Server server(1, capacity);
+  LocalControllerConfig config;
+  config.mode = DeflationMode::kVmLevel;
+  LocalController controller(&server, config);
+
+  VmId next_id = 0;
+  for (int i = 0; i < 10; ++i) {
+    const double cpus = static_cast<double>(rng.UniformInt(1, 8));
+    server.AddVm(MakeVm(next_id++, ResourceVector(cpus, cpus * 4096.0, 100.0, 500.0),
+                        rng.Chance(0.3) ? VmPriority::kHigh : VmPriority::kLow,
+                        rng.Uniform(0.0, 0.4)));
+  }
+
+  for (int step = 0; step < 100; ++step) {
+    if (rng.Chance(0.6)) {
+      const ResourceVector demand(rng.Uniform(0.0, 16.0), rng.Uniform(0.0, 65536.0),
+                                  rng.Uniform(0.0, 200.0), rng.Uniform(0.0, 1000.0));
+      controller.MakeRoom(demand);
+    } else {
+      controller.ReinflateAll();
+    }
+    CheckConservation(server);
+    for (const auto& vm : server.vms()) {
+      for (const ResourceKind kind : kAllResources) {
+        ASSERT_GE(vm->effective()[kind], -1e-9);
+        ASSERT_LE(vm->effective()[kind], vm->size()[kind] + 1e-9);
+      }
+      if (!vm->deflatable()) {
+        ASSERT_EQ(vm->effective(), vm->size()) << "high-priority VM was deflated";
+      }
+    }
+    // Allocation never exceeds capacity.
+    for (const ResourceKind kind : kAllResources) {
+      ASSERT_LE(server.Allocated()[kind], capacity[kind] + 1e-6)
+          << "step " << step << " " << ResourceKindName(kind);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ControllerFuzzTest,
+                         ::testing::Values(2u, 17u, 271u, 65537u));
+
+}  // namespace
+}  // namespace defl

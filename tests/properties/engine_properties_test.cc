@@ -1,0 +1,170 @@
+// Property tests of the Spark engine under randomized disruption schedules:
+//
+//   P1  liveness: the job always completes (given eventual capacity),
+//       whatever sequence of self-deflations / reinflations / VM-level
+//       deflations is applied;
+//   P2  progress monotonicity;
+//   P3  every partition of every stage was computed at least once, and the
+//       final makespan is never below the undisturbed one;
+//   P4  determinism: identical seeds give identical makespans.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+
+#include "src/common/rng.h"
+#include "src/core/cascade.h"
+#include "src/spark/engine.h"
+#include "src/spark/experiment.h"
+
+namespace defl {
+namespace {
+
+struct Fixture {
+  explicit Fixture(SparkWorkload workload) {
+    for (int i = 0; i < 8; ++i) {
+      VmSpec spec;
+      spec.name = "w" + std::to_string(i);
+      spec.size = ResourceVector(4.0, 16384.0, 200.0, 1250.0);
+      vms.push_back(std::make_unique<Vm>(i, spec));
+      vms.back()->set_state(VmState::kRunning);
+    }
+    std::vector<Vm*> raw;
+    for (auto& vm : vms) {
+      raw.push_back(vm.get());
+    }
+    engine = std::make_unique<SparkEngine>(&sim, std::move(workload), raw);
+  }
+
+  Simulator sim;
+  std::vector<std::unique_ptr<Vm>> vms;
+  std::unique_ptr<SparkEngine> engine;
+};
+
+using FuzzCase = std::tuple<int /*workload*/, uint64_t /*seed*/>;
+
+SparkWorkload PickWorkload(int which) {
+  switch (which) {
+    case 0:
+      return MakeAlsWorkload(0.2);
+    case 1:
+      return MakeKmeansWorkload(0.2);
+    default:
+      return MakeCnnWorkload(0.2);
+  }
+}
+
+class EngineFuzzTest : public ::testing::TestWithParam<FuzzCase> {};
+
+TEST_P(EngineFuzzTest, SurvivesRandomDisruptionSchedule) {
+  const auto [which, seed] = GetParam();
+  const SparkWorkload workload = PickWorkload(which);
+  Fixture f(workload);
+  Rng rng(seed);
+  CascadeController cascade(DeflationMode::kVmLevel);
+
+  const double baseline = [&workload] {
+    Fixture clean(workload);
+    clean.engine->Start();
+    clean.sim.Run();
+    EXPECT_TRUE(clean.engine->done());
+    return clean.engine->finish_time();
+  }();
+
+  f.engine->Start();
+  double last_progress = 0.0;
+  // A random disruption every few seconds until t = 600; liveness requires
+  // pressure to eventually stop, since synchronous workloads lose all
+  // progress on every kill (they would livelock under unbounded disruption).
+  EventHandle disruptor = f.sim.Every(3.0, [&] {
+    if (f.engine->done()) {
+      return;
+    }
+    // P2 check while we are here.
+    const double p = f.engine->Progress();
+    ASSERT_GE(p, last_progress - 1e-12);
+    last_progress = p;
+
+    const auto victim = static_cast<size_t>(rng.UniformInt(0, 7));
+    Vm& vm = *f.vms[victim];
+    const int action = static_cast<int>(rng.UniformInt(0, 2));
+    if (action == 0) {
+      const double frac = rng.Uniform(0.1, 0.6);
+      vm.guest_os().set_app_used_mb(10000.0);
+      cascade.Deflate(vm, nullptr, vm.size() * frac);
+      f.engine->OnAllocationChanged();
+    } else if (action == 1) {
+      f.engine->SelfDeflateVm(vm.id(), vm.size() * rng.Uniform(0.1, 0.6));
+    } else {
+      // Undo everything on this VM.
+      const ResourceVector back = vm.size() - vm.effective();
+      cascade.Reinflate(vm, nullptr, back);
+      f.engine->ReinflateVm(vm.id(), vm.size());
+      f.engine->OnAllocationChanged();
+    }
+  });
+  // Make sure pressure eventually ends so the run can finish.
+  f.sim.At(600.0, [&] {
+    disruptor.Cancel();
+    for (auto& vm : f.vms) {
+      cascade.Reinflate(*vm, nullptr, vm->size() - vm->effective());
+      f.engine->ReinflateVm(vm->id(), vm->size());
+    }
+    f.engine->OnAllocationChanged();
+  });
+
+  f.sim.Run(100000.0);
+  ASSERT_TRUE(f.engine->done()) << workload.name << " seed " << seed;
+  // P3: completion implies full progress and a makespan >= baseline.
+  EXPECT_NEAR(f.engine->Progress(), 1.0, 1e-9);
+  EXPECT_GE(f.engine->finish_time(), baseline - 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, EngineFuzzTest,
+                         ::testing::Combine(::testing::Values(0, 1, 2),
+                                            ::testing::Values(3u, 31u, 313u)));
+
+class ExperimentDeterminismTest
+    : public ::testing::TestWithParam<SparkReclamationApproach> {};
+
+TEST_P(ExperimentDeterminismTest, IdenticalConfigsGiveIdenticalMakespans) {
+  const SparkWorkload wl = MakeAlsWorkload(0.2);
+  SparkExperimentConfig config;
+  config.approach = GetParam();
+  config.deflation_fraction = 0.5;
+  const SparkExperimentResult a = RunSparkExperiment(wl, config);
+  const SparkExperimentResult b = RunSparkExperiment(wl, config);
+  EXPECT_DOUBLE_EQ(a.makespan_s, b.makespan_s);
+  EXPECT_EQ(a.tasks_killed, b.tasks_killed);
+  EXPECT_EQ(a.recomputed_tasks, b.recomputed_tasks);
+}
+
+INSTANTIATE_TEST_SUITE_P(Approaches, ExperimentDeterminismTest,
+                         ::testing::Values(SparkReclamationApproach::kCascadePolicy,
+                                           SparkReclamationApproach::kSelfDeflation,
+                                           SparkReclamationApproach::kVmLevel,
+                                           SparkReclamationApproach::kPreemption));
+
+// Sweep: deflation overhead is monotone-ish in the deflation fraction for
+// VM-level reclamation (no recomputation noise).
+class VmLevelMonotoneTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(VmLevelMonotoneTest, OverheadGrowsWithDeflation) {
+  const SparkWorkload wl =
+      GetParam() == 0 ? MakeAlsWorkload(0.2) : MakeKmeansWorkload(0.2);
+  SparkExperimentConfig config;
+  config.approach = SparkReclamationApproach::kVmLevel;
+  double prev = 0.0;
+  for (const double f : {0.0, 0.2, 0.4, 0.6}) {
+    config.deflation_fraction = f;
+    const SparkExperimentResult r = RunSparkExperiment(wl, config);
+    ASSERT_TRUE(r.completed);
+    EXPECT_GE(r.makespan_s, prev - 1e-6) << "at fraction " << f;
+    prev = r.makespan_s;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, VmLevelMonotoneTest, ::testing::Values(0, 1));
+
+}  // namespace
+}  // namespace defl

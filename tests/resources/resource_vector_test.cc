@@ -1,0 +1,119 @@
+#include "src/resources/resource_vector.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace defl {
+namespace {
+
+TEST(ResourceVectorTest, DefaultIsZero) {
+  const ResourceVector v;
+  EXPECT_TRUE(v.IsZero());
+  EXPECT_DOUBLE_EQ(v.cpu(), 0.0);
+  EXPECT_DOUBLE_EQ(v.memory_mb(), 0.0);
+}
+
+TEST(ResourceVectorTest, ConstructorAndAccessors) {
+  const ResourceVector v(4.0, 16384.0, 100.0, 1000.0);
+  EXPECT_DOUBLE_EQ(v.cpu(), 4.0);
+  EXPECT_DOUBLE_EQ(v.memory_mb(), 16384.0);
+  EXPECT_DOUBLE_EQ(v.disk_bw(), 100.0);
+  EXPECT_DOUBLE_EQ(v.net_bw(), 1000.0);
+  EXPECT_DOUBLE_EQ(v[ResourceKind::kCpu], 4.0);
+  EXPECT_DOUBLE_EQ(v[ResourceKind::kNetBw], 1000.0);
+}
+
+TEST(ResourceVectorTest, Arithmetic) {
+  const ResourceVector a(2.0, 10.0, 4.0, 6.0);
+  const ResourceVector b(1.0, 5.0, 2.0, 3.0);
+  EXPECT_EQ(a + b, ResourceVector(3.0, 15.0, 6.0, 9.0));
+  EXPECT_EQ(a - b, b);
+  EXPECT_EQ(a * 0.5, b);
+  EXPECT_EQ(b * 2.0, a);
+  EXPECT_EQ(a / 2.0, b);
+  EXPECT_EQ(2.0 * b, a);
+}
+
+TEST(ResourceVectorTest, CompoundAssignment) {
+  ResourceVector v(1.0, 1.0, 1.0, 1.0);
+  v += ResourceVector(1.0, 2.0, 3.0, 4.0);
+  EXPECT_EQ(v, ResourceVector(2.0, 3.0, 4.0, 5.0));
+  v -= ResourceVector(2.0, 3.0, 4.0, 5.0);
+  EXPECT_TRUE(v.IsZero());
+}
+
+TEST(ResourceVectorTest, MinMaxClamp) {
+  const ResourceVector a(2.0, 10.0, 4.0, 6.0);
+  const ResourceVector b(3.0, 5.0, 4.0, 7.0);
+  EXPECT_EQ(a.Min(b), ResourceVector(2.0, 5.0, 4.0, 6.0));
+  EXPECT_EQ(a.Max(b), ResourceVector(3.0, 10.0, 4.0, 7.0));
+  const ResourceVector neg(-1.0, 2.0, -3.0, 0.0);
+  EXPECT_EQ(neg.ClampNonNegative(), ResourceVector(0.0, 2.0, 0.0, 0.0));
+}
+
+TEST(ResourceVectorTest, ScaleAndSafeDivide) {
+  const ResourceVector v(4.0, 100.0, 10.0, 20.0);
+  const ResourceVector f(0.5, 0.1, 1.0, 0.0);
+  EXPECT_EQ(v.Scale(f), ResourceVector(2.0, 10.0, 10.0, 0.0));
+  const ResourceVector d = v.SafeDivide(ResourceVector(2.0, 0.0, 5.0, 10.0));
+  EXPECT_DOUBLE_EQ(d.cpu(), 2.0);
+  EXPECT_DOUBLE_EQ(d.memory_mb(), 0.0);  // divide by zero yields zero
+  EXPECT_DOUBLE_EQ(d.disk_bw(), 2.0);
+  EXPECT_DOUBLE_EQ(d.net_bw(), 2.0);
+}
+
+TEST(ResourceVectorTest, Comparisons) {
+  const ResourceVector small(1.0, 1.0, 1.0, 1.0);
+  const ResourceVector big(2.0, 2.0, 2.0, 2.0);
+  EXPECT_TRUE(small.AllLeq(big));
+  EXPECT_FALSE(big.AllLeq(small));
+  EXPECT_TRUE(small.AllLeq(small));
+  // Mixed: not all dims <=.
+  EXPECT_FALSE(ResourceVector(3.0, 0.0, 0.0, 0.0).AllLeq(big));
+  EXPECT_TRUE(big.AnyPositive());
+  EXPECT_FALSE(ResourceVector().AnyPositive());
+}
+
+TEST(ResourceVectorTest, DotNormComponents) {
+  const ResourceVector v(3.0, 4.0, 0.0, 0.0);
+  EXPECT_DOUBLE_EQ(v.Norm(), 5.0);
+  EXPECT_DOUBLE_EQ(v.Dot(v), 25.0);
+  EXPECT_DOUBLE_EQ(v.MaxComponent(), 4.0);
+  EXPECT_DOUBLE_EQ(v.MinComponent(), 0.0);
+  EXPECT_DOUBLE_EQ(v.Sum(), 7.0);
+}
+
+TEST(ResourceVectorTest, CosineSimilarity) {
+  const ResourceVector a(1.0, 0.0, 0.0, 0.0);
+  const ResourceVector b(0.0, 1.0, 0.0, 0.0);
+  EXPECT_DOUBLE_EQ(ResourceVector::CosineSimilarity(a, b), 0.0);
+  EXPECT_DOUBLE_EQ(ResourceVector::CosineSimilarity(a, a), 1.0);
+  // Parallel vectors of different magnitude have similarity 1.
+  EXPECT_NEAR(ResourceVector::CosineSimilarity(a * 5.0, a), 1.0, 1e-12);
+  // Zero vector yields 0 (not NaN).
+  EXPECT_DOUBLE_EQ(ResourceVector::CosineSimilarity(ResourceVector(), a), 0.0);
+}
+
+TEST(ResourceVectorTest, UniformHelper) {
+  const ResourceVector u = ResourceVector::Uniform(2.5);
+  for (const ResourceKind kind : kAllResources) {
+    EXPECT_DOUBLE_EQ(u[kind], 2.5);
+  }
+}
+
+TEST(ResourceVectorTest, ToStringContainsAllDims) {
+  const std::string s = ResourceVector(4.0, 16384.0, 100.0, 1000.0).ToString();
+  EXPECT_NE(s.find("cpu=4"), std::string::npos);
+  EXPECT_NE(s.find("16384"), std::string::npos);
+}
+
+TEST(ResourceKindTest, Names) {
+  EXPECT_STREQ(ResourceKindName(ResourceKind::kCpu), "cpu");
+  EXPECT_STREQ(ResourceKindName(ResourceKind::kMemory), "memory");
+  EXPECT_STREQ(ResourceKindName(ResourceKind::kDiskBw), "disk_bw");
+  EXPECT_STREQ(ResourceKindName(ResourceKind::kNetBw), "net_bw");
+}
+
+}  // namespace
+}  // namespace defl

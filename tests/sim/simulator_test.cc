@@ -1,0 +1,158 @@
+#include "src/sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace defl {
+namespace {
+
+TEST(SimulatorTest, ExecutesInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.At(5.0, [&] { order.push_back(2); });
+  sim.At(1.0, [&] { order.push_back(1); });
+  sim.At(9.0, [&] { order.push_back(3); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now(), 9.0);
+}
+
+TEST(SimulatorTest, SameTimeRunsInSchedulingOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.At(1.0, [&order, i] { order.push_back(i); });
+  }
+  sim.Run();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[static_cast<size_t>(i)], i);
+  }
+}
+
+TEST(SimulatorTest, AfterIsRelative) {
+  Simulator sim;
+  double fired_at = -1.0;
+  sim.At(10.0, [&] { sim.After(5.0, [&] { fired_at = sim.now(); }); });
+  sim.Run();
+  EXPECT_DOUBLE_EQ(fired_at, 15.0);
+}
+
+TEST(SimulatorTest, CancelPreventsExecution) {
+  Simulator sim;
+  bool ran = false;
+  EventHandle h = sim.At(1.0, [&] { ran = true; });
+  EXPECT_TRUE(h.pending());
+  h.Cancel();
+  EXPECT_FALSE(h.pending());
+  sim.Run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(SimulatorTest, RunUntilStopsClock) {
+  Simulator sim;
+  int count = 0;
+  sim.At(1.0, [&] { ++count; });
+  sim.At(100.0, [&] { ++count; });
+  sim.Run(50.0);
+  EXPECT_EQ(count, 1);
+  EXPECT_DOUBLE_EQ(sim.now(), 50.0);
+  sim.Run();
+  EXPECT_EQ(count, 2);
+  EXPECT_DOUBLE_EQ(sim.now(), 100.0);
+}
+
+TEST(SimulatorTest, RunUntilAdvancesClockOnEmptyQueue) {
+  Simulator sim;
+  sim.Run(25.0);
+  EXPECT_DOUBLE_EQ(sim.now(), 25.0);
+}
+
+TEST(SimulatorTest, EveryFiresPeriodically) {
+  Simulator sim;
+  std::vector<double> fires;
+  EventHandle h = sim.Every(2.0, [&] { fires.push_back(sim.now()); });
+  sim.Run(9.0);
+  EXPECT_EQ(fires, (std::vector<double>{2.0, 4.0, 6.0, 8.0}));
+  h.Cancel();
+  sim.Run(20.0);
+  EXPECT_EQ(fires.size(), 4u);
+}
+
+TEST(SimulatorTest, EveryCancelFromInsideCallback) {
+  Simulator sim;
+  int count = 0;
+  EventHandle h;
+  h = sim.Every(1.0, [&] {
+    if (++count == 3) {
+      h.Cancel();
+    }
+  });
+  sim.Run(100.0);
+  EXPECT_EQ(count, 3);
+}
+
+TEST(SimulatorTest, StepReturnsFalseWhenEmpty) {
+  Simulator sim;
+  EXPECT_FALSE(sim.Step());
+  sim.At(0.0, [] {});
+  EXPECT_TRUE(sim.Step());
+  EXPECT_FALSE(sim.Step());
+}
+
+TEST(SimulatorTest, StressOrderingUnderHeavyLoad) {
+  // 100k events in random submission order with interleaved cancellations:
+  // execution must be globally time-ordered and skip every cancelled event.
+  Simulator sim;
+  Rng rng(99);
+  std::vector<double> fired;
+  std::vector<EventHandle> handles;
+  for (int i = 0; i < 100000; ++i) {
+    const double when = rng.Uniform(0.0, 1e6);
+    handles.push_back(sim.At(when, [&fired, when] { fired.push_back(when); }));
+  }
+  int cancelled = 0;
+  for (size_t i = 0; i < handles.size(); i += 7) {
+    handles[i].Cancel();
+    ++cancelled;
+  }
+  sim.Run();
+  EXPECT_EQ(fired.size(), handles.size() - static_cast<size_t>(cancelled));
+  EXPECT_TRUE(std::is_sorted(fired.begin(), fired.end()));
+  EXPECT_EQ(sim.events_executed(), static_cast<int64_t>(fired.size()));
+}
+
+TEST(SimulatorTest, ManyPeriodicTasksCoexist) {
+  Simulator sim;
+  std::vector<int> counts(50, 0);
+  std::vector<EventHandle> handles;
+  for (int i = 0; i < 50; ++i) {
+    handles.push_back(sim.Every(1.0 + i * 0.1, [&counts, i] { ++counts[i]; }));
+  }
+  sim.Run(100.0);
+  for (int i = 0; i < 50; ++i) {
+    const int expected = static_cast<int>(100.0 / (1.0 + i * 0.1));
+    EXPECT_NEAR(counts[i], expected, 1) << "timer " << i;
+  }
+}
+
+TEST(SimulatorTest, EventsScheduledDuringRunExecute) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 5) {
+      sim.After(1.0, chain);
+    }
+  };
+  sim.After(1.0, chain);
+  sim.Run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+  EXPECT_EQ(sim.events_executed(), 5);
+}
+
+}  // namespace
+}  // namespace defl

@@ -1,0 +1,139 @@
+// End-to-end integration: a Spark job bound to the cluster management plane.
+// High-priority VMs arrive on the server through the local controller;
+// cascade deflation consults the Spark driver's agents (Section 4.1 policy),
+// the job slows, the high-priority VMs leave, reinflation restores it.
+#include "src/spark/cluster_binding.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/spark/workload.h"
+
+namespace defl {
+namespace {
+
+struct ClusterFixture {
+  explicit ClusterFixture(SparkWorkload workload)
+      // Exactly the eight workers' nominal size: any high-priority arrival
+      // must be funded by deflation.
+      : server(0, ResourceVector(32.0, 128.0 * 1024.0, 1600.0, 10000.0)) {
+    LocalControllerConfig config;
+    config.mode = DeflationMode::kCascade;
+    controller = std::make_unique<LocalController>(&server, config);
+    std::vector<Vm*> raw;
+    for (int i = 0; i < 8; ++i) {
+      VmSpec spec;
+      spec.name = "spark-" + std::to_string(i);
+      spec.size = ResourceVector(4.0, 16384.0, 200.0, 1250.0);
+      spec.priority = VmPriority::kLow;
+      raw.push_back(server.AddVm(std::make_unique<Vm>(i, spec)));
+    }
+    engine = std::make_unique<SparkEngine>(&sim, std::move(workload), raw);
+    binding = std::make_unique<SparkClusterBinding>(engine.get(), controller.get(), &sim);
+  }
+
+  // Launches a high-priority VM through the controller (reclaiming space)
+  // and returns it for later completion.
+  VmId LaunchHighPriority(VmId id, const ResourceVector& size) {
+    const ReclaimResult result = controller->MakeRoom(size);
+    EXPECT_TRUE(result.success);
+    VmSpec spec;
+    spec.name = "hp-" + std::to_string(id);
+    spec.size = size;
+    spec.priority = VmPriority::kHigh;
+    server.AddVm(std::make_unique<Vm>(id, spec));
+    binding->SyncAllocations();
+    return id;
+  }
+
+  void CompleteHighPriority(VmId id) {
+    server.RemoveVm(id);
+    controller->ReinflateAll();
+    binding->SyncAllocations();
+  }
+
+  Simulator sim;
+  Server server;
+  std::unique_ptr<LocalController> controller;
+  std::unique_ptr<SparkEngine> engine;
+  std::unique_ptr<SparkClusterBinding> binding;
+};
+
+TEST(SparkClusterBindingTest, UndisturbedJobRunsAtFullSpeed) {
+  ClusterFixture f(MakeKmeansWorkload(0.25));
+  const double baseline = [&] {
+    ClusterFixture clean(MakeKmeansWorkload(0.25));
+    clean.engine->Start();
+    clean.sim.Run();
+    return clean.engine->finish_time();
+  }();
+  f.engine->Start();
+  f.sim.Run();
+  ASSERT_TRUE(f.engine->done());
+  EXPECT_DOUBLE_EQ(f.engine->finish_time(), baseline);
+}
+
+TEST(SparkClusterBindingTest, HighPriorityArrivalDeflatesThroughDriverPolicy) {
+  ClusterFixture f(MakeKmeansWorkload(0.25));
+  f.engine->Start();
+  // Half the cluster is claimed by high-priority VMs mid-run.
+  f.sim.At(6.0, [&] { f.LaunchHighPriority(100, ResourceVector(16.0, 65536.0)); });
+  f.sim.Run(100000.0);
+  ASSERT_TRUE(f.engine->done());
+  // The driver was consulted and (K-means, low r) chose self-deflation.
+  EXPECT_EQ(f.binding->self_deflation_rounds(), 1);
+  EXPECT_GT(f.engine->tasks_killed(), 0);
+  // The demand was actually met from the Spark VMs' resources.
+  EXPECT_TRUE(f.server.FindVm(100) != nullptr);
+  EXPECT_LE(f.server.Allocated().cpu(), f.server.capacity().cpu() + 1e-6);
+}
+
+TEST(SparkClusterBindingTest, SynchronousJobDeclinesSelfDeflation) {
+  ClusterFixture f(MakeCnnWorkload(0.2));
+  f.engine->Start();
+  f.sim.At(20.0, [&] { f.LaunchHighPriority(100, ResourceVector(16.0, 65536.0)); });
+  f.sim.Run(100000.0);
+  ASSERT_TRUE(f.engine->done());
+  EXPECT_EQ(f.binding->vm_level_rounds(), 1);
+  EXPECT_EQ(f.binding->self_deflation_rounds(), 0);
+  EXPECT_EQ(f.engine->tasks_killed(), 0);   // no kills: VM-level reclamation
+  EXPECT_EQ(f.engine->rollbacks(), 0);      // so no model rollbacks either
+}
+
+TEST(SparkClusterBindingTest, PressureWindowSlowsThenRecovers) {
+  const SparkWorkload wl = MakeCnnWorkload(0.3);
+  const double baseline = [&wl] {
+    ClusterFixture clean(wl);
+    clean.engine->Start();
+    clean.sim.Run();
+    return clean.engine->finish_time();
+  }();
+
+  ClusterFixture f(wl);
+  f.engine->Start();
+  f.sim.At(10.0, [&] { f.LaunchHighPriority(100, ResourceVector(16.0, 65536.0)); });
+  f.sim.At(40.0, [&] { f.CompleteHighPriority(100); });
+  f.sim.Run(100000.0);
+  ASSERT_TRUE(f.engine->done());
+  EXPECT_GT(f.engine->finish_time(), baseline);
+  // Bounded damage: 30 s of 50% pressure costs far less than 50% forever.
+  EXPECT_LT(f.engine->finish_time(), baseline * 1.5);
+  // Reinflation restored the workers.
+  for (Vm* vm : f.engine->worker_vms()) {
+    EXPECT_NEAR(vm->effective().cpu(), vm->size().cpu(), 1e-6);
+  }
+}
+
+TEST(SparkClusterBindingTest, RepeatedPressureRoundsAreDecidedIndependently) {
+  ClusterFixture f(MakeKmeansWorkload(0.3));
+  f.engine->Start();
+  f.sim.At(5.0, [&] { f.LaunchHighPriority(100, ResourceVector(8.0, 32768.0)); });
+  f.sim.At(15.0, [&] { f.LaunchHighPriority(101, ResourceVector(8.0, 32768.0)); });
+  f.sim.Run(100000.0);
+  ASSERT_TRUE(f.engine->done());
+  EXPECT_EQ(f.binding->self_deflation_rounds() + f.binding->vm_level_rounds(), 2);
+}
+
+}  // namespace
+}  // namespace defl

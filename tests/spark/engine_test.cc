@@ -1,0 +1,280 @@
+#include "src/spark/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/core/cascade.h"
+
+namespace defl {
+namespace {
+
+class EngineFixture {
+ public:
+  explicit EngineFixture(SparkWorkload workload, int num_workers = 8) {
+    for (int i = 0; i < num_workers; ++i) {
+      VmSpec spec;
+      spec.name = "w" + std::to_string(i);
+      spec.size = ResourceVector(4.0, 16384.0, 200.0, 1250.0);
+      spec.priority = VmPriority::kLow;
+      vms.push_back(std::make_unique<Vm>(i, spec));
+      vms.back()->set_state(VmState::kRunning);
+    }
+    std::vector<Vm*> raw;
+    for (auto& vm : vms) {
+      raw.push_back(vm.get());
+    }
+    engine = std::make_unique<SparkEngine>(&sim, std::move(workload), raw);
+  }
+
+  Simulator sim;
+  std::vector<std::unique_ptr<Vm>> vms;
+  std::unique_ptr<SparkEngine> engine;
+};
+
+// A small two-stage workload for precise assertions: 32 source partitions
+// (1s each) feeding a wide stage of 32 partitions (2s each).
+SparkWorkload TinyWorkload() {
+  SparkWorkload wl;
+  wl.name = "tiny";
+  wl.records_per_task = 10.0;
+  wl.rdds.push_back(RddDef{0, "src", -1, -1, false, 32, 1.0, 50.0, true});
+  wl.rdds.push_back(RddDef{1, "agg", 0, -1, true, 32, 2.0, 10.0, false});
+  return wl;
+}
+
+TEST(SparkEngineTest, BaselineRunCompletesAtIdealMakespan) {
+  EngineFixture f(TinyWorkload());
+  f.engine->Start();
+  f.sim.Run();
+  ASSERT_TRUE(f.engine->done());
+  // 32 slots, 32 tasks/stage, full speed: 1s + 2s = 3s exactly.
+  EXPECT_NEAR(f.engine->finish_time(), 3.0, 1e-9);
+  EXPECT_DOUBLE_EQ(f.engine->Progress(), 1.0);
+  EXPECT_EQ(f.engine->tasks_completed(), 64);
+  EXPECT_EQ(f.engine->recomputed_tasks(), 0);
+}
+
+TEST(SparkEngineTest, FewerSlotsRunInWaves) {
+  EngineFixture f(TinyWorkload(), /*num_workers=*/4);  // 16 slots
+  f.engine->Start();
+  f.sim.Run();
+  ASSERT_TRUE(f.engine->done());
+  // Two waves per stage: 2*1s + 2*2s = 6s.
+  EXPECT_NEAR(f.engine->finish_time(), 6.0, 1e-9);
+}
+
+TEST(SparkEngineTest, StageBarrierIsRespected) {
+  EngineFixture f(TinyWorkload());
+  f.engine->Start();
+  // At t = 0.5 only stage-0 tasks exist; no stage-1 completions before 1.0.
+  f.sim.Run(2.0);
+  for (const auto& c : f.engine->completion_log()) {
+    if (c.stage == 1) {
+      EXPECT_GE(c.time, 1.0 + 2.0 - 1e-9);
+    }
+  }
+}
+
+TEST(SparkEngineTest, VmLevelDeflationSlowsTasksDown) {
+  EngineFixture f(TinyWorkload());
+  CascadeController cascade(DeflationMode::kVmLevel);
+  f.engine->Start();
+  f.sim.At(0.5, [&] {
+    for (auto& vm : f.vms) {
+      vm->guest_os().set_app_used_mb(12000.0);
+      cascade.Deflate(*vm, nullptr, vm->size() * 0.5);
+    }
+    f.engine->OnAllocationChanged();
+  });
+  f.sim.Run();
+  ASSERT_TRUE(f.engine->done());
+  EXPECT_GT(f.engine->finish_time(), 3.5);
+  EXPECT_EQ(f.engine->tasks_killed(), 0);  // nothing dies under VM-level
+}
+
+TEST(SparkEngineTest, SingleDeflatedVmCreatesStraggler) {
+  EngineFixture f(TinyWorkload());
+  CascadeController cascade(DeflationMode::kHypervisorOnly);
+  f.engine->Start();
+  // Deflate only worker 0 by 75% right away: its 4 running tasks crawl and
+  // the stage barrier waits for them.
+  f.sim.At(1e-6, [&] {
+    cascade.Deflate(*f.vms[0], nullptr, f.vms[0]->size() * 0.75);
+    f.engine->OnAllocationChanged();
+  });
+  f.sim.Run();
+  ASSERT_TRUE(f.engine->done());
+  EXPECT_GT(f.engine->finish_time(), 5.0);  // >> the 3s ideal
+}
+
+TEST(SparkEngineTest, SelfDeflationKillsExecutorsAndFreesResources) {
+  EngineFixture f(TinyWorkload());
+  f.engine->Start();
+  f.sim.At(0.5, [&] {
+    const ResourceVector freed =
+        f.engine->SelfDeflateVm(0, ResourceVector(2.0, 8192.0));
+    EXPECT_DOUBLE_EQ(freed.cpu(), 2.0);
+    EXPECT_GT(freed.memory_mb(), 0.0);
+    EXPECT_EQ(f.engine->AliveExecutors(0), 2);
+  });
+  f.sim.Run();
+  ASSERT_TRUE(f.engine->done());
+  EXPECT_GT(f.engine->tasks_killed(), 0);  // slots were busy at t=0.5
+}
+
+TEST(SparkEngineTest, LostOutputsAreRecomputed) {
+  EngineFixture f(TinyWorkload());
+  f.engine->Start();
+  // Kill all of worker 0's executors after stage 0 finished: its stage-0
+  // outputs are needed by the (wide) stage 1 and must be recomputed.
+  f.sim.At(1.5, [&] {
+    f.engine->SelfDeflateVm(0, ResourceVector(4.0, 16384.0));
+  });
+  f.sim.Run();
+  ASSERT_TRUE(f.engine->done());
+  EXPECT_GT(f.engine->recomputed_tasks(), 0);
+  EXPECT_GT(f.engine->finish_time(), 3.0);
+}
+
+TEST(SparkEngineTest, PreemptionStillCompletesViaLineage) {
+  EngineFixture f(TinyWorkload());
+  f.engine->Start();
+  f.sim.At(1.5, [&] { f.engine->PreemptVm(0); });
+  f.sim.Run();
+  ASSERT_TRUE(f.engine->done());
+  EXPECT_EQ(f.vms[0]->state(), VmState::kPreempted);
+  EXPECT_GT(f.engine->recomputed_tasks(), 0);
+  EXPECT_DOUBLE_EQ(f.engine->Progress(), 1.0);
+}
+
+TEST(SparkEngineTest, ReinflateRestoresParallelism) {
+  EngineFixture f(TinyWorkload());
+  f.engine->Start();
+  f.sim.At(0.25, [&] { f.engine->SelfDeflateVm(0, ResourceVector(4.0, 16384.0)); });
+  f.sim.At(0.5, [&] {
+    f.engine->ReinflateVm(0, ResourceVector(4.0, 16384.0));
+    EXPECT_EQ(f.engine->AliveExecutors(0), 4);
+  });
+  f.sim.Run();
+  ASSERT_TRUE(f.engine->done());
+}
+
+TEST(SparkEngineTest, SynchronousWorkloadRollsBackOnKill) {
+  SparkWorkload wl = MakeCnnWorkload(0.2);
+  EngineFixture f(wl);
+  f.engine->Start();
+  // Let a few iterations finish, then kill an executor mid-iteration.
+  f.sim.At(30.0, [&] { f.engine->SelfDeflateVm(0, ResourceVector(1.0, 0.0)); });
+  f.sim.Run();
+  ASSERT_TRUE(f.engine->done());
+  EXPECT_GE(f.engine->rollbacks(), 1);
+  // Without checkpointing, the completed iterations re-run.
+  EXPECT_GT(f.engine->recomputed_tasks(), 0);
+}
+
+TEST(SparkEngineTest, CheckpointLimitsRollbackDamage) {
+  // Same disruption, with and without checkpointing: the checkpointed run
+  // recomputes less.
+  auto run = [](bool checkpointing) {
+    SparkWorkload wl = MakeCnnWorkload(0.2, checkpointing);
+    EngineFixture f(wl);
+    f.engine->Start();
+    f.sim.At(20.0, [&] { f.engine->PreemptVm(0); });
+    f.sim.Run();
+    EXPECT_TRUE(f.engine->done());
+    return f.engine->recomputed_tasks();
+  };
+  EXPECT_LT(run(true), run(false));
+}
+
+TEST(SparkEngineTest, ProgressIsMonotonicUnderDisruption) {
+  EngineFixture f(MakeKmeansWorkload(0.3));
+  f.engine->Start();
+  double last_progress = 0.0;
+  f.sim.Every(1.0, [&] {
+    const double p = f.engine->Progress();
+    EXPECT_GE(p, last_progress - 1e-12);
+    last_progress = p;
+  });
+  f.sim.At(10.0, [&] { f.engine->SelfDeflateVm(2, ResourceVector(4.0, 16384.0)); });
+  f.sim.Run(100000.0);
+  EXPECT_TRUE(f.engine->done());
+}
+
+TEST(SparkEngineTest, SyncFractionDistinguishesWorkloads) {
+  EngineFixture als(MakeAlsWorkload());
+  EngineFixture kmeans(MakeKmeansWorkload());
+  EXPECT_GT(als.engine->SyncCostFraction(), 0.6);
+  EXPECT_LT(kmeans.engine->SyncCostFraction(), 0.1);
+}
+
+// A join workload: two sources feeding a two-parent shuffle stage.
+SparkWorkload JoinWorkload() {
+  SparkWorkload wl;
+  wl.name = "join";
+  wl.records_per_task = 5.0;
+  wl.rdds.push_back(RddDef{0, "left", -1, -1, false, 32, 1.0, 40.0, true});
+  wl.rdds.push_back(RddDef{1, "right", -1, -1, false, 32, 1.0, 40.0, false});
+  wl.rdds.push_back(RddDef{2, "joined", 1, 0, true, 32, 2.0, 10.0, false});
+  return wl;
+}
+
+TEST(SparkEngineTest, JoinWaitsForBothParents) {
+  EngineFixture f(JoinWorkload());
+  f.engine->Start();
+  f.sim.Run();
+  ASSERT_TRUE(f.engine->done());
+  // Both 32-task sources (2 waves on 32 slots) then the join: 1+1+2 = 4 s.
+  EXPECT_NEAR(f.engine->finish_time(), 4.0, 1e-9);
+  // No join task may complete before both parents are fully done (t=2).
+  for (const auto& c : f.engine->completion_log()) {
+    if (c.stage == 2) {
+      EXPECT_GE(c.time, 2.0 + 2.0 - 1e-9);
+    }
+  }
+}
+
+TEST(SparkEngineTest, LosingEitherJoinParentTriggersRepair) {
+  EngineFixture f(JoinWorkload());
+  f.engine->Start();
+  // Kill worker 0 right as the join stage starts: its share of BOTH parents'
+  // outputs dies and must be recomputed before the join can finish.
+  f.sim.At(2.5, [&] { f.engine->SelfDeflateVm(0, ResourceVector(4.0, 16384.0)); });
+  f.sim.Run();
+  ASSERT_TRUE(f.engine->done());
+  EXPECT_GT(f.engine->recomputed_tasks(), 0);
+  EXPECT_GT(f.engine->finish_time(), 4.0);
+}
+
+TEST(SparkEngineTest, AlsJoinLineageRecomputesRatings) {
+  // The real ALS structure: losing executors mid-run forces re-reading the
+  // cached ratings partitions those executors held, in addition to the
+  // factor lineage.
+  EngineFixture f(MakeAlsWorkload(0.2));
+  f.engine->Start();
+  f.sim.Every(1.0, [&] {
+    if (!f.engine->done() && f.engine->Progress() > 0.5 &&
+        f.engine->AliveExecutors(0) == 4) {
+      f.engine->SelfDeflateVm(0, ResourceVector(4.0, 16384.0));
+    }
+  });
+  f.sim.Run(100000.0);
+  ASSERT_TRUE(f.engine->done());
+  EXPECT_GT(f.engine->recomputed_tasks(), 0);
+}
+
+TEST(SparkEngineTest, CompletionLogCarriesRecords) {
+  EngineFixture f(TinyWorkload());
+  f.engine->Start();
+  f.sim.Run();
+  ASSERT_FALSE(f.engine->completion_log().empty());
+  for (const auto& c : f.engine->completion_log()) {
+    EXPECT_DOUBLE_EQ(c.records, 10.0);
+    EXPECT_GE(c.time, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace defl

@@ -1,0 +1,144 @@
+#include "src/spark/experiment.h"
+
+#include <gtest/gtest.h>
+
+namespace defl {
+namespace {
+
+// Scaled-down workloads keep the suite fast; shapes are scale-invariant.
+constexpr double kScale = 0.25;
+
+double NormalizedRunningTime(const SparkWorkload& wl, SparkReclamationApproach approach,
+                             double fraction, double at_progress = 0.5) {
+  SparkExperimentConfig config;
+  config.approach = approach;
+  config.deflation_fraction = fraction;
+  config.deflate_at_progress = at_progress;
+  const double baseline = SparkBaselineMakespan(wl, config);
+  const SparkExperimentResult result = RunSparkExperiment(wl, config);
+  EXPECT_TRUE(result.completed) << wl.name << " did not complete";
+  return result.makespan_s / baseline;
+}
+
+TEST(SparkExperimentTest, BaselinesComplete) {
+  SparkExperimentConfig config;
+  for (const SparkWorkload& wl :
+       {MakeAlsWorkload(kScale), MakeKmeansWorkload(kScale), MakeCnnWorkload(kScale),
+        MakeRnnWorkload(kScale)}) {
+    const double t = SparkBaselineMakespan(wl, config);
+    EXPECT_GT(t, 0.0) << wl.name;
+  }
+}
+
+TEST(SparkExperimentTest, DeflationSlowsJobsButLessThanProportionally) {
+  // Figure 6 headline: 50% deflation costs well under 2x for VM-level.
+  for (const SparkWorkload& wl : {MakeAlsWorkload(kScale), MakeKmeansWorkload(kScale)}) {
+    const double t =
+        NormalizedRunningTime(wl, SparkReclamationApproach::kVmLevel, 0.5);
+    EXPECT_GT(t, 1.05) << wl.name;
+    EXPECT_LT(t, 2.2) << wl.name;
+  }
+}
+
+TEST(SparkExperimentTest, AlsSelfDeflationIsExpensive) {
+  // Figure 6a: shuffle-heavy ALS recomputes deeply under self-deflation;
+  // VM-level is cheaper.
+  const SparkWorkload wl = MakeAlsWorkload(kScale);
+  const double self =
+      NormalizedRunningTime(wl, SparkReclamationApproach::kSelfDeflation, 0.5);
+  const double vm = NormalizedRunningTime(wl, SparkReclamationApproach::kVmLevel, 0.5);
+  EXPECT_GT(self, vm);
+}
+
+TEST(SparkExperimentTest, KmeansSelfDeflationIsCheap) {
+  // Figure 6b: K-means' shallow lineage makes self-deflation the better
+  // mechanism.
+  const SparkWorkload wl = MakeKmeansWorkload(kScale);
+  const double self =
+      NormalizedRunningTime(wl, SparkReclamationApproach::kSelfDeflation, 0.5);
+  const double vm = NormalizedRunningTime(wl, SparkReclamationApproach::kVmLevel, 0.5);
+  EXPECT_LT(self, vm);
+  EXPECT_LT(self, 1.8);
+}
+
+TEST(SparkExperimentTest, CascadePolicyTracksTheBetterMechanism) {
+  for (const SparkWorkload& wl : {MakeAlsWorkload(kScale), MakeKmeansWorkload(kScale)}) {
+    const double self =
+        NormalizedRunningTime(wl, SparkReclamationApproach::kSelfDeflation, 0.5);
+    const double vm = NormalizedRunningTime(wl, SparkReclamationApproach::kVmLevel, 0.5);
+    const double cascade =
+        NormalizedRunningTime(wl, SparkReclamationApproach::kCascadePolicy, 0.5);
+    EXPECT_LE(cascade, std::min(self, vm) + 0.05) << wl.name;
+  }
+}
+
+TEST(SparkExperimentTest, CnnPreemptionWorseThanDeflation) {
+  // Figure 6c: deflation roughly halves the degradation vs preemption for
+  // synchronous training.
+  const SparkWorkload wl = MakeCnnWorkload(kScale);
+  const double vm = NormalizedRunningTime(wl, SparkReclamationApproach::kVmLevel, 0.5);
+  const double preempt =
+      NormalizedRunningTime(wl, SparkReclamationApproach::kPreemption, 0.5);
+  EXPECT_GT(preempt, vm * 1.3);
+  EXPECT_LT(vm, 1.7);  // training tolerates VM-level deflation gracefully
+}
+
+TEST(SparkExperimentTest, CascadePicksVmLevelForSynchronousTraining) {
+  const SparkWorkload wl = MakeRnnWorkload(kScale);
+  SparkExperimentConfig config;
+  config.approach = SparkReclamationApproach::kCascadePolicy;
+  config.deflation_fraction = 0.5;
+  const SparkExperimentResult result = RunSparkExperiment(wl, config);
+  ASSERT_TRUE(result.completed);
+  ASSERT_TRUE(result.deflation_applied);
+  EXPECT_EQ(result.decision.choice, SparkDeflationChoice::kVmLevel);
+  EXPECT_DOUBLE_EQ(result.decision.r_used, 1.0);
+}
+
+TEST(SparkExperimentTest, SelfDeflationCostGrowsWithProgress) {
+  // Figure 7a: deflating later means more completed work is at risk; the
+  // self-deflation overhead trend is upward in job progress while VM-level
+  // overhead trends downward.
+  const SparkWorkload wl = MakeAlsWorkload(kScale);
+  const double self_early =
+      NormalizedRunningTime(wl, SparkReclamationApproach::kSelfDeflation, 0.5, 0.2);
+  const double self_late =
+      NormalizedRunningTime(wl, SparkReclamationApproach::kSelfDeflation, 0.5, 0.7);
+  const double vm_early =
+      NormalizedRunningTime(wl, SparkReclamationApproach::kVmLevel, 0.5, 0.2);
+  const double vm_late =
+      NormalizedRunningTime(wl, SparkReclamationApproach::kVmLevel, 0.5, 0.7);
+  EXPECT_GT(vm_early, vm_late);
+  EXPECT_LT(self_early - vm_early, self_late - vm_late);
+}
+
+TEST(SparkExperimentTest, TransientPressureWithReinflation) {
+  // Figure 7b in microcosm: pressure for a window, then reinflation; the job
+  // completes with modest overhead compared to permanent deflation.
+  const SparkWorkload wl = MakeCnnWorkload(kScale);
+  SparkExperimentConfig config;
+  config.approach = SparkReclamationApproach::kVmLevel;
+  config.deflation_fraction = 0.5;
+  config.deflate_at_time_s = 20.0;
+  config.reinflate_after_s = 20.0;  // pressure ends well before the job does
+  const double baseline = SparkBaselineMakespan(wl, config);
+  const SparkExperimentResult result = RunSparkExperiment(wl, config);
+  ASSERT_TRUE(result.completed);
+  EXPECT_GT(result.makespan_s, baseline);
+
+  SparkExperimentConfig permanent = config;
+  permanent.reinflate_after_s = -1.0;
+  const SparkExperimentResult forever = RunSparkExperiment(wl, permanent);
+  ASSERT_TRUE(forever.completed);
+  EXPECT_LT(result.makespan_s, forever.makespan_s);
+}
+
+TEST(SparkExperimentTest, ApproachNames) {
+  EXPECT_STREQ(SparkReclamationApproachName(SparkReclamationApproach::kCascadePolicy),
+               "cascade");
+  EXPECT_STREQ(SparkReclamationApproachName(SparkReclamationApproach::kPreemption),
+               "preemption");
+}
+
+}  // namespace
+}  // namespace defl

@@ -1,0 +1,109 @@
+#include "src/spark/policy.h"
+
+#include <gtest/gtest.h>
+
+namespace defl {
+namespace {
+
+TEST(PolicyMathTest, VmLevelFactorMatchesEquation1) {
+  // T_vm/T = c + (1-c)/(1-max d): c=0.5, d=0.5 -> 0.5 + 0.5/0.5 = 1.5.
+  EXPECT_DOUBLE_EQ(EstimateVmLevelTimeFactor(0.5, 0.5), 1.5);
+  EXPECT_DOUBLE_EQ(EstimateVmLevelTimeFactor(0.0, 0.5), 2.0);
+  EXPECT_DOUBLE_EQ(EstimateVmLevelTimeFactor(1.0, 0.9), 1.0);
+  EXPECT_DOUBLE_EQ(EstimateVmLevelTimeFactor(0.0, 0.0), 1.0);
+}
+
+TEST(PolicyMathTest, SelfFactorMatchesEquation3) {
+  // T_self/T = c + (rc + 1 - c)/(1 - mean d): c=0.5, d=0.5, r=1 ->
+  // 0.5 + (0.5 + 0.5)/0.5 = 2.5.
+  EXPECT_DOUBLE_EQ(EstimateSelfDeflationTimeFactor(0.5, 0.5, 1.0), 2.5);
+  // With r = 0 self-deflation matches VM-level at equal d.
+  EXPECT_DOUBLE_EQ(EstimateSelfDeflationTimeFactor(0.5, 0.5, 0.0),
+                   EstimateVmLevelTimeFactor(0.5, 0.5));
+}
+
+TEST(PolicyMathTest, ExtremeDeflationClamped) {
+  EXPECT_LT(EstimateVmLevelTimeFactor(0.0, 1.0), 1e3);
+  EXPECT_LT(EstimateSelfDeflationTimeFactor(0.0, 1.0, 1.0), 1e3);
+}
+
+SparkPolicyInputs BaseInputs() {
+  SparkPolicyInputs in;
+  in.progress_c = 0.5;
+  in.deflation_fractions = std::vector<double>(8, 0.5);
+  in.r_estimate = 0.5;
+  return in;
+}
+
+TEST(PolicyDecisionTest, UniformDeflationHighRPrefersVmLevel) {
+  // With equal deflation everywhere, mean d == max d, so the straggler
+  // penalty disappears and any recomputation cost tips toward VM-level.
+  SparkPolicyInputs in = BaseInputs();
+  in.r_estimate = 0.9;  // ALS-like
+  const SparkPolicyDecision d = DecideSparkDeflation(in);
+  EXPECT_EQ(d.choice, SparkDeflationChoice::kVmLevel);
+  EXPECT_GT(d.t_self_factor, d.t_vm_factor);
+}
+
+TEST(PolicyMathTest, OvercommitEfficiencyInflatesVmEstimate) {
+  EXPECT_GT(EstimateVmLevelTimeFactor(0.5, 0.5, 0.85),
+            EstimateVmLevelTimeFactor(0.5, 0.5, 1.0));
+}
+
+TEST(PolicyDecisionTest, UniformDeflationLowRPrefersSelf) {
+  // K-means-like: recomputation is cheap, while running on overcommitted
+  // resources pays LHP/swap overheads -- self-deflation wins (Figure 6b).
+  SparkPolicyInputs in = BaseInputs();
+  in.r_estimate = 0.05;
+  const SparkPolicyDecision d = DecideSparkDeflation(in);
+  EXPECT_EQ(d.choice, SparkDeflationChoice::kSelfDeflate);
+}
+
+TEST(PolicyDecisionTest, SkewedDeflationLowRPrefersSelf) {
+  // One VM deflated hard: VM-level stragglers dominate; cheap recomputation
+  // (K-means-like) makes self-deflation attractive.
+  SparkPolicyInputs in = BaseInputs();
+  in.deflation_fractions = {0.8, 0.1, 0.1, 0.1, 0.1, 0.1, 0.1, 0.1};
+  in.r_estimate = 0.05;
+  const SparkPolicyDecision d = DecideSparkDeflation(in);
+  EXPECT_EQ(d.choice, SparkDeflationChoice::kSelfDeflate);
+}
+
+TEST(PolicyDecisionTest, ShuffleImminentForcesWorstCaseR) {
+  SparkPolicyInputs in = BaseInputs();
+  in.deflation_fractions = {0.8, 0.1, 0.1, 0.1, 0.1, 0.1, 0.1, 0.1};
+  in.r_estimate = 0.05;
+  in.shuffle_imminent = true;
+  const SparkPolicyDecision d = DecideSparkDeflation(in);
+  EXPECT_DOUBLE_EQ(d.r_used, 1.0);
+}
+
+TEST(PolicyDecisionTest, SynchronousJobForcesWorstCaseR) {
+  SparkPolicyInputs in = BaseInputs();
+  in.synchronous_job = true;
+  in.r_estimate = 0.0;
+  const SparkPolicyDecision d = DecideSparkDeflation(in);
+  EXPECT_DOUBLE_EQ(d.r_used, 1.0);
+  EXPECT_EQ(d.choice, SparkDeflationChoice::kVmLevel);
+}
+
+TEST(PolicyDecisionTest, NearCompletionPrefersVmLevel) {
+  // Section 4.1: jobs close to completion risk high recomputation, so the
+  // policy tends to VM overcommitment.
+  SparkPolicyInputs in = BaseInputs();
+  in.deflation_fractions = {0.6, 0.2, 0.2, 0.2, 0.2, 0.2, 0.2, 0.2};
+  in.r_estimate = 0.4;
+  in.progress_c = 0.95;
+  EXPECT_EQ(DecideSparkDeflation(in).choice, SparkDeflationChoice::kVmLevel);
+  // The same pressure early in the run favors self-deflation.
+  in.progress_c = 0.05;
+  EXPECT_EQ(DecideSparkDeflation(in).choice, SparkDeflationChoice::kSelfDeflate);
+}
+
+TEST(PolicyDecisionTest, NamesAreStable) {
+  EXPECT_STREQ(SparkDeflationChoiceName(SparkDeflationChoice::kSelfDeflate), "self");
+  EXPECT_STREQ(SparkDeflationChoiceName(SparkDeflationChoice::kVmLevel), "vm-level");
+}
+
+}  // namespace
+}  // namespace defl

@@ -1,0 +1,89 @@
+#include "src/spark/workload.h"
+
+#include <gtest/gtest.h>
+
+namespace defl {
+namespace {
+
+void ValidateChain(const SparkWorkload& wl) {
+  ASSERT_FALSE(wl.rdds.empty());
+  for (size_t i = 0; i < wl.rdds.size(); ++i) {
+    const RddDef& rdd = wl.rdds[i];
+    EXPECT_EQ(rdd.id, static_cast<RddId>(i));
+    EXPECT_LT(rdd.parent, rdd.id) << "lineage must be topologically ordered";
+    EXPECT_LT(rdd.parent2, rdd.id) << "join lineage must be topologically ordered";
+    EXPECT_GT(rdd.num_partitions, 0);
+    EXPECT_GE(rdd.cost_per_partition_s, 0.0);
+    if (rdd.parent >= 0 && !rdd.wide) {
+      EXPECT_EQ(rdd.num_partitions,
+                wl.rdds[static_cast<size_t>(rdd.parent)].num_partitions)
+          << "narrow dependencies preserve partitioning";
+    }
+  }
+}
+
+TEST(WorkloadTest, AlsIsShuffleHeavy) {
+  const SparkWorkload wl = MakeAlsWorkload();
+  ValidateChain(wl);
+  EXPECT_FALSE(wl.synchronous);
+  int wide = 0;
+  for (const RddDef& rdd : wl.rdds) {
+    wide += rdd.wide ? 1 : 0;
+  }
+  // All iteration RDDs shuffle.
+  EXPECT_GE(wide, 8);
+  // Wide-stage cost dominates: the r heuristic will be high.
+  double wide_cost = 0.0;
+  for (const RddDef& rdd : wl.rdds) {
+    if (rdd.wide) {
+      wide_cost += rdd.cost_per_partition_s * rdd.num_partitions;
+    }
+  }
+  EXPECT_GT(wide_cost / wl.TotalCost(), 0.6);
+}
+
+TEST(WorkloadTest, KmeansHasShallowLineageAndCheapShuffles) {
+  const SparkWorkload wl = MakeKmeansWorkload();
+  ValidateChain(wl);
+  EXPECT_FALSE(wl.synchronous);
+  // Every iteration's map depends directly on the cached input.
+  EXPECT_TRUE(wl.rdds.front().cached);
+  double wide_cost = 0.0;
+  for (const RddDef& rdd : wl.rdds) {
+    if (rdd.wide) {
+      wide_cost += rdd.cost_per_partition_s * rdd.num_partitions;
+      EXPECT_EQ(wl.rdds[static_cast<size_t>(rdd.parent)].parent, 0)
+          << "maps hang directly off the cached points";
+    }
+  }
+  EXPECT_LT(wide_cost / wl.TotalCost(), 0.1);
+}
+
+TEST(WorkloadTest, TrainingWorkloadsAreSynchronous) {
+  for (const SparkWorkload& wl : {MakeCnnWorkload(), MakeRnnWorkload()}) {
+    ValidateChain(wl);
+    EXPECT_TRUE(wl.synchronous);
+    EXPECT_EQ(wl.checkpoint_every_stages, 0);  // no checkpointing by default
+  }
+}
+
+TEST(WorkloadTest, CheckpointingVariantHasCosts) {
+  const SparkWorkload wl = MakeCnnWorkload(1.0, /*with_checkpointing=*/true);
+  EXPECT_GT(wl.checkpoint_every_stages, 0);
+  EXPECT_GT(wl.checkpoint_cost_s, 0.0);
+}
+
+TEST(WorkloadTest, ScaleMultipliesCost) {
+  const double base = MakeAlsWorkload(1.0).TotalCost();
+  EXPECT_NEAR(MakeAlsWorkload(2.0).TotalCost(), 2.0 * base, 1e-9);
+}
+
+TEST(WorkloadTest, TotalCostSumsRdds) {
+  SparkWorkload wl;
+  wl.rdds.push_back(RddDef{0, "a", -1, -1, false, 4, 2.0, 0.0, false});
+  wl.rdds.push_back(RddDef{1, "b", 0, -1, true, 2, 3.0, 0.0, false});
+  EXPECT_DOUBLE_EQ(wl.TotalCost(), 4 * 2.0 + 2 * 3.0);
+}
+
+}  // namespace
+}  // namespace defl

@@ -1,0 +1,162 @@
+// deflation_sim: command-line driver for the trace-driven cluster simulator.
+//
+// Runs a synthetic or user-provided VM trace through the deflation-based
+// cluster manager (or the preemption-only baseline) and reports utilization,
+// overcommitment, preemption probability, delivered resource-hours, and the
+// Section 8 pricing comparison.
+//
+// Examples:
+//   deflation_sim --servers=100 --load=1.6 --duration-h=12
+//   deflation_sim --strategy=preemption --placement=2-choices --load=1.4
+//   deflation_sim --trace-file=my_trace.csv --pricing
+//   deflation_sim --save-trace=generated.csv --load=1.2
+#include <cstdio>
+#include <string>
+
+#include "src/cluster/cluster_sim.h"
+#include "src/cluster/trace_io.h"
+#include "src/common/flags.h"
+
+using namespace defl;
+
+namespace {
+
+struct Options {
+  int64_t servers = 50;
+  int64_t server_cpus = 32;
+  double server_mem_gb = 256.0;
+  double load = 1.6;
+  double duration_h = 12.0;
+  double low_pri_fraction = 0.6;
+  std::string strategy = "deflation";
+  std::string placement = "best-fit";
+  int64_t seed = 42;
+  double reinflate_period_s = 0.0;
+  bool predictive = false;
+  bool pricing = false;
+  std::string trace_file;
+  std::string save_trace;
+};
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "%s\n", message.c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  FlagParser parser(
+      "deflation_sim: trace-driven cluster simulation with resource deflation");
+  parser.AddInt("servers", "number of physical servers", &opt.servers);
+  parser.AddInt("server-cpus", "cores per server", &opt.server_cpus);
+  parser.AddDouble("server-mem-gb", "memory per server (GB)", &opt.server_mem_gb);
+  parser.AddDouble("load", "offered CPU load as a fraction of capacity", &opt.load);
+  parser.AddDouble("duration-h", "simulated hours", &opt.duration_h);
+  parser.AddDouble("low-pri-fraction", "fraction of transient VM arrivals",
+                   &opt.low_pri_fraction);
+  parser.AddString("strategy", "deflation | preemption", &opt.strategy);
+  parser.AddString("placement", "best-fit | first-fit | 2-choices", &opt.placement);
+  parser.AddInt("seed", "trace RNG seed", &opt.seed);
+  parser.AddDouble("reinflate-period-s", "proactive reinflation period (0 = off)",
+                   &opt.reinflate_period_s);
+  parser.AddBool("predictive", "EWMA holdback during proactive reinflation",
+                 &opt.predictive);
+  parser.AddBool("pricing", "print the Section 8 pricing comparison", &opt.pricing);
+  parser.AddString("trace-file", "replay this CSV trace instead of generating",
+                   &opt.trace_file);
+  parser.AddString("save-trace", "write the generated trace to this CSV file",
+                   &opt.save_trace);
+  const Result<std::vector<std::string>> parsed = parser.Parse(argc, argv);
+  if (!parsed.ok()) {
+    return Fail(parsed.error());
+  }
+
+  ClusterSimConfig config;
+  config.num_servers = static_cast<int>(opt.servers);
+  config.server_capacity =
+      ResourceVector(static_cast<double>(opt.server_cpus), opt.server_mem_gb * 1024.0,
+                     1000.0, 10000.0);
+  config.trace.duration_s = opt.duration_h * 3600.0;
+  config.trace.max_lifetime_s = std::min(config.trace.duration_s, 8.0 * 3600.0);
+  config.trace.low_priority_fraction = opt.low_pri_fraction;
+  config.trace.seed = static_cast<uint64_t>(opt.seed);
+  config.trace =
+      WithTargetLoad(config.trace, opt.load, config.num_servers, config.server_capacity);
+  config.reinflate_period_s = opt.reinflate_period_s;
+  config.predictive_holdback = opt.predictive;
+
+  if (opt.strategy == "deflation") {
+    config.cluster.strategy = ReclamationStrategy::kDeflation;
+  } else if (opt.strategy == "preemption") {
+    config.cluster.strategy = ReclamationStrategy::kPreemptionOnly;
+  } else {
+    return Fail("unknown --strategy '" + opt.strategy + "'");
+  }
+  if (opt.placement == "best-fit") {
+    config.cluster.placement = PlacementPolicy::kBestFit;
+  } else if (opt.placement == "first-fit") {
+    config.cluster.placement = PlacementPolicy::kFirstFit;
+  } else if (opt.placement == "2-choices") {
+    config.cluster.placement = PlacementPolicy::kTwoChoices;
+  } else {
+    return Fail("unknown --placement '" + opt.placement + "'");
+  }
+
+  if (!opt.trace_file.empty()) {
+    Result<std::vector<TraceEvent>> loaded = LoadTraceFile(opt.trace_file);
+    if (!loaded.ok()) {
+      return Fail("cannot load trace: " + loaded.error());
+    }
+    config.explicit_trace = std::move(loaded.value());
+    if (!config.explicit_trace.empty()) {
+      config.trace.duration_s = std::max(
+          config.trace.duration_s, config.explicit_trace.back().arrival_s + 3600.0);
+    }
+    std::printf("replaying %zu events from %s\n", config.explicit_trace.size(),
+                opt.trace_file.c_str());
+  }
+  if (!opt.save_trace.empty()) {
+    const std::vector<TraceEvent> generated = GenerateTrace(config.trace);
+    const Result<bool> saved = SaveTraceFile(generated, opt.save_trace);
+    if (!saved.ok()) {
+      return Fail(saved.error());
+    }
+    std::printf("wrote %zu events to %s\n", generated.size(), opt.save_trace.c_str());
+  }
+
+  const ClusterSimResult r = RunClusterSim(config);
+
+  std::printf("\n=== deflation_sim: %d servers x %lldc/%.0fGB, %s, %s, load %.2f ===\n",
+              config.num_servers, static_cast<long long>(opt.server_cpus),
+              opt.server_mem_gb, opt.strategy.c_str(), opt.placement.c_str(), opt.load);
+  std::printf("VMs launched        %ld (%ld transient), rejected %ld (%.1f%%)\n",
+              r.counters.launched, r.counters.launched_low_priority,
+              r.counters.rejected, 100.0 * r.rejection_rate);
+  std::printf("preempted           %ld transient VMs (probability %.3f)\n",
+              r.counters.preempted, r.preemption_probability);
+  std::printf("utilization         %.3f mean\n", r.mean_utilization);
+  std::printf("overcommitment      %.3f mean, %.3f peak\n", r.mean_overcommitment,
+              r.peak_overcommitment);
+  std::printf("transient quality   %.3f of nominal allocation on average\n",
+              r.low_priority_allocation_quality);
+  std::printf("delivered           %.0f effective transient CPU-hours "
+              "(%.0f nominal)\n",
+              r.usage.low_pri_effective_cpu_hours, r.usage.low_pri_nominal_cpu_hours);
+
+  if (opt.pricing) {
+    const PricingModel model;
+    std::printf("\npricing (on-demand $%.3f/vCPU-h):\n", model.on_demand_cpu_hour);
+    const auto report = [](const char* label, const RevenueReport& rr) {
+      std::printf("  %-10s revenue $%8.2f  customer cost $%8.2f  losses $%7.2f  "
+                  "effective $%.4f/CPU-h\n",
+                  label, rr.provider_revenue, rr.customer_cost, rr.customer_loss,
+                  rr.effective_cost_per_cpu_hour);
+    };
+    report("flat", PriceDeflatableFlat(r.usage, model));
+    report("raas", PriceDeflatableRaaS(r.usage, model));
+    report("spot", PricePreemptible(r.usage, model));
+  }
+  return 0;
+}
