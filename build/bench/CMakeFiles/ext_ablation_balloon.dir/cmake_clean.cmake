@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_ablation_balloon.dir/ext_ablation_balloon.cc.o"
+  "CMakeFiles/ext_ablation_balloon.dir/ext_ablation_balloon.cc.o.d"
+  "ext_ablation_balloon"
+  "ext_ablation_balloon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_ablation_balloon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

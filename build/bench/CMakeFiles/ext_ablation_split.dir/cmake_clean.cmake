@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_ablation_split.dir/ext_ablation_split.cc.o"
+  "CMakeFiles/ext_ablation_split.dir/ext_ablation_split.cc.o.d"
+  "ext_ablation_split"
+  "ext_ablation_split.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_ablation_split.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_pricing_economics.dir/ext_pricing_economics.cc.o"
+  "CMakeFiles/ext_pricing_economics.dir/ext_pricing_economics.cc.o.d"
+  "ext_pricing_economics"
+  "ext_pricing_economics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_pricing_economics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_web_cluster_lb.dir/ext_web_cluster_lb.cc.o"
+  "CMakeFiles/ext_web_cluster_lb.dir/ext_web_cluster_lb.cc.o.d"
+  "ext_web_cluster_lb"
+  "ext_web_cluster_lb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_web_cluster_lb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

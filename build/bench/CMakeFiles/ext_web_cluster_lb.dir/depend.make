@@ -1,0 +1,2 @@
+# Empty dependencies file for ext_web_cluster_lb.
+# This may be replaced when dependencies are built.

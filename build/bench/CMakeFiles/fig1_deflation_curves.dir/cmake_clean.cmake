@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_deflation_curves.dir/fig1_deflation_curves.cc.o"
+  "CMakeFiles/fig1_deflation_curves.dir/fig1_deflation_curves.cc.o.d"
+  "fig1_deflation_curves"
+  "fig1_deflation_curves.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_deflation_curves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

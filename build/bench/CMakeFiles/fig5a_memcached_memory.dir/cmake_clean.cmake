@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5a_memcached_memory.dir/fig5a_memcached_memory.cc.o"
+  "CMakeFiles/fig5a_memcached_memory.dir/fig5a_memcached_memory.cc.o.d"
+  "fig5a_memcached_memory"
+  "fig5a_memcached_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5a_memcached_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5b_kcompile_cpu.dir/fig5b_kcompile_cpu.cc.o"
+  "CMakeFiles/fig5b_kcompile_cpu.dir/fig5b_kcompile_cpu.cc.o.d"
+  "fig5b_kcompile_cpu"
+  "fig5b_kcompile_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5b_kcompile_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5c_memcached_app.dir/fig5c_memcached_app.cc.o"
+  "CMakeFiles/fig5c_memcached_app.dir/fig5c_memcached_app.cc.o.d"
+  "fig5c_memcached_app"
+  "fig5c_memcached_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5c_memcached_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

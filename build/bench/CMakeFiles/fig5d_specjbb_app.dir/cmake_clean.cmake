@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5d_specjbb_app.dir/fig5d_specjbb_app.cc.o"
+  "CMakeFiles/fig5d_specjbb_app.dir/fig5d_specjbb_app.cc.o.d"
+  "fig5d_specjbb_app"
+  "fig5d_specjbb_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5d_specjbb_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_spark_workloads.dir/fig6_spark_workloads.cc.o"
+  "CMakeFiles/fig6_spark_workloads.dir/fig6_spark_workloads.cc.o.d"
+  "fig6_spark_workloads"
+  "fig6_spark_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_spark_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7a_deflation_timing.dir/fig7a_deflation_timing.cc.o"
+  "CMakeFiles/fig7a_deflation_timing.dir/fig7a_deflation_timing.cc.o.d"
+  "fig7a_deflation_timing"
+  "fig7a_deflation_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7a_deflation_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

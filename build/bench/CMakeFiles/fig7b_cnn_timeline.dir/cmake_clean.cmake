@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7b_cnn_timeline.dir/fig7b_cnn_timeline.cc.o"
+  "CMakeFiles/fig7b_cnn_timeline.dir/fig7b_cnn_timeline.cc.o.d"
+  "fig7b_cnn_timeline"
+  "fig7b_cnn_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7b_cnn_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

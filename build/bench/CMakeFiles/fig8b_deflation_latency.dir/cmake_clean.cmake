@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8b_deflation_latency.dir/fig8b_deflation_latency.cc.o"
+  "CMakeFiles/fig8b_deflation_latency.dir/fig8b_deflation_latency.cc.o.d"
+  "fig8b_deflation_latency"
+  "fig8b_deflation_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8b_deflation_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

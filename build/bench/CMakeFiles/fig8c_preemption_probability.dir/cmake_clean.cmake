@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8c_preemption_probability.dir/fig8c_preemption_probability.cc.o"
+  "CMakeFiles/fig8c_preemption_probability.dir/fig8c_preemption_probability.cc.o.d"
+  "fig8c_preemption_probability"
+  "fig8c_preemption_probability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8c_preemption_probability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig8c_preemption_probability.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8d_placement_policies.dir/fig8d_placement_policies.cc.o"
+  "CMakeFiles/fig8d_placement_policies.dir/fig8d_placement_policies.cc.o.d"
+  "fig8d_placement_policies"
+  "fig8d_placement_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8d_placement_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

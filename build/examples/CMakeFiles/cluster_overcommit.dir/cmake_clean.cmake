@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_overcommit.dir/cluster_overcommit.cpp.o"
+  "CMakeFiles/cluster_overcommit.dir/cluster_overcommit.cpp.o.d"
+  "cluster_overcommit"
+  "cluster_overcommit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_overcommit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

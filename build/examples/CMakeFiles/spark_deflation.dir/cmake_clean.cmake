@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spark_deflation.dir/spark_deflation.cpp.o"
+  "CMakeFiles/spark_deflation.dir/spark_deflation.cpp.o.d"
+  "spark_deflation"
+  "spark_deflation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spark_deflation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

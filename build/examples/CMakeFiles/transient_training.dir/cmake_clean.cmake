@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transient_training.dir/transient_training.cpp.o"
+  "CMakeFiles/transient_training.dir/transient_training.cpp.o.d"
+  "transient_training"
+  "transient_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transient_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/web_cluster_demo.dir/web_cluster_demo.cpp.o"
+  "CMakeFiles/web_cluster_demo.dir/web_cluster_demo.cpp.o.d"
+  "web_cluster_demo"
+  "web_cluster_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/web_cluster_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

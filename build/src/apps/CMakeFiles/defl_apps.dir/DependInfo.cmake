@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/deflation_harness.cc" "src/apps/CMakeFiles/defl_apps.dir/deflation_harness.cc.o" "gcc" "src/apps/CMakeFiles/defl_apps.dir/deflation_harness.cc.o.d"
+  "/root/repo/src/apps/jvm.cc" "src/apps/CMakeFiles/defl_apps.dir/jvm.cc.o" "gcc" "src/apps/CMakeFiles/defl_apps.dir/jvm.cc.o.d"
+  "/root/repo/src/apps/kernel_compile.cc" "src/apps/CMakeFiles/defl_apps.dir/kernel_compile.cc.o" "gcc" "src/apps/CMakeFiles/defl_apps.dir/kernel_compile.cc.o.d"
+  "/root/repo/src/apps/memcached.cc" "src/apps/CMakeFiles/defl_apps.dir/memcached.cc.o" "gcc" "src/apps/CMakeFiles/defl_apps.dir/memcached.cc.o.d"
+  "/root/repo/src/apps/memcached_sim.cc" "src/apps/CMakeFiles/defl_apps.dir/memcached_sim.cc.o" "gcc" "src/apps/CMakeFiles/defl_apps.dir/memcached_sim.cc.o.d"
+  "/root/repo/src/apps/mpi.cc" "src/apps/CMakeFiles/defl_apps.dir/mpi.cc.o" "gcc" "src/apps/CMakeFiles/defl_apps.dir/mpi.cc.o.d"
+  "/root/repo/src/apps/web_cluster.cc" "src/apps/CMakeFiles/defl_apps.dir/web_cluster.cc.o" "gcc" "src/apps/CMakeFiles/defl_apps.dir/web_cluster.cc.o.d"
+  "/root/repo/src/apps/webserver.cc" "src/apps/CMakeFiles/defl_apps.dir/webserver.cc.o" "gcc" "src/apps/CMakeFiles/defl_apps.dir/webserver.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/defl_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/resources/CMakeFiles/defl_resources.dir/DependInfo.cmake"
+  "/root/repo/build/src/hypervisor/CMakeFiles/defl_hypervisor.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/defl_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/defl_apps.dir/deflation_harness.cc.o"
+  "CMakeFiles/defl_apps.dir/deflation_harness.cc.o.d"
+  "CMakeFiles/defl_apps.dir/jvm.cc.o"
+  "CMakeFiles/defl_apps.dir/jvm.cc.o.d"
+  "CMakeFiles/defl_apps.dir/kernel_compile.cc.o"
+  "CMakeFiles/defl_apps.dir/kernel_compile.cc.o.d"
+  "CMakeFiles/defl_apps.dir/memcached.cc.o"
+  "CMakeFiles/defl_apps.dir/memcached.cc.o.d"
+  "CMakeFiles/defl_apps.dir/memcached_sim.cc.o"
+  "CMakeFiles/defl_apps.dir/memcached_sim.cc.o.d"
+  "CMakeFiles/defl_apps.dir/mpi.cc.o"
+  "CMakeFiles/defl_apps.dir/mpi.cc.o.d"
+  "CMakeFiles/defl_apps.dir/web_cluster.cc.o"
+  "CMakeFiles/defl_apps.dir/web_cluster.cc.o.d"
+  "CMakeFiles/defl_apps.dir/webserver.cc.o"
+  "CMakeFiles/defl_apps.dir/webserver.cc.o.d"
+  "libdefl_apps.a"
+  "libdefl_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/defl_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

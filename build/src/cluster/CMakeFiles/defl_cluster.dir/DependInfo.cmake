@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/cluster_manager.cc" "src/cluster/CMakeFiles/defl_cluster.dir/cluster_manager.cc.o" "gcc" "src/cluster/CMakeFiles/defl_cluster.dir/cluster_manager.cc.o.d"
+  "/root/repo/src/cluster/cluster_sim.cc" "src/cluster/CMakeFiles/defl_cluster.dir/cluster_sim.cc.o" "gcc" "src/cluster/CMakeFiles/defl_cluster.dir/cluster_sim.cc.o.d"
+  "/root/repo/src/cluster/placement.cc" "src/cluster/CMakeFiles/defl_cluster.dir/placement.cc.o" "gcc" "src/cluster/CMakeFiles/defl_cluster.dir/placement.cc.o.d"
+  "/root/repo/src/cluster/pricing.cc" "src/cluster/CMakeFiles/defl_cluster.dir/pricing.cc.o" "gcc" "src/cluster/CMakeFiles/defl_cluster.dir/pricing.cc.o.d"
+  "/root/repo/src/cluster/trace.cc" "src/cluster/CMakeFiles/defl_cluster.dir/trace.cc.o" "gcc" "src/cluster/CMakeFiles/defl_cluster.dir/trace.cc.o.d"
+  "/root/repo/src/cluster/trace_io.cc" "src/cluster/CMakeFiles/defl_cluster.dir/trace_io.cc.o" "gcc" "src/cluster/CMakeFiles/defl_cluster.dir/trace_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/defl_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/resources/CMakeFiles/defl_resources.dir/DependInfo.cmake"
+  "/root/repo/build/src/hypervisor/CMakeFiles/defl_hypervisor.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/defl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/defl_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/defl_cluster.dir/cluster_manager.cc.o"
+  "CMakeFiles/defl_cluster.dir/cluster_manager.cc.o.d"
+  "CMakeFiles/defl_cluster.dir/cluster_sim.cc.o"
+  "CMakeFiles/defl_cluster.dir/cluster_sim.cc.o.d"
+  "CMakeFiles/defl_cluster.dir/placement.cc.o"
+  "CMakeFiles/defl_cluster.dir/placement.cc.o.d"
+  "CMakeFiles/defl_cluster.dir/pricing.cc.o"
+  "CMakeFiles/defl_cluster.dir/pricing.cc.o.d"
+  "CMakeFiles/defl_cluster.dir/trace.cc.o"
+  "CMakeFiles/defl_cluster.dir/trace.cc.o.d"
+  "CMakeFiles/defl_cluster.dir/trace_io.cc.o"
+  "CMakeFiles/defl_cluster.dir/trace_io.cc.o.d"
+  "libdefl_cluster.a"
+  "libdefl_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/defl_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

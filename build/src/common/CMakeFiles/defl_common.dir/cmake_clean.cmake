@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/defl_common.dir/flags.cc.o"
+  "CMakeFiles/defl_common.dir/flags.cc.o.d"
+  "CMakeFiles/defl_common.dir/logging.cc.o"
+  "CMakeFiles/defl_common.dir/logging.cc.o.d"
+  "CMakeFiles/defl_common.dir/lru_analytics.cc.o"
+  "CMakeFiles/defl_common.dir/lru_analytics.cc.o.d"
+  "CMakeFiles/defl_common.dir/rng.cc.o"
+  "CMakeFiles/defl_common.dir/rng.cc.o.d"
+  "CMakeFiles/defl_common.dir/stats.cc.o"
+  "CMakeFiles/defl_common.dir/stats.cc.o.d"
+  "libdefl_common.a"
+  "libdefl_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/defl_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

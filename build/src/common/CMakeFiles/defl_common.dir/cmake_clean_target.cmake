@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdefl_common.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/defl_core.dir/cascade.cc.o"
+  "CMakeFiles/defl_core.dir/cascade.cc.o.d"
+  "CMakeFiles/defl_core.dir/local_controller.cc.o"
+  "CMakeFiles/defl_core.dir/local_controller.cc.o.d"
+  "CMakeFiles/defl_core.dir/protocol.cc.o"
+  "CMakeFiles/defl_core.dir/protocol.cc.o.d"
+  "libdefl_core.a"
+  "libdefl_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/defl_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hypervisor/guest_os.cc" "src/hypervisor/CMakeFiles/defl_hypervisor.dir/guest_os.cc.o" "gcc" "src/hypervisor/CMakeFiles/defl_hypervisor.dir/guest_os.cc.o.d"
+  "/root/repo/src/hypervisor/latency.cc" "src/hypervisor/CMakeFiles/defl_hypervisor.dir/latency.cc.o" "gcc" "src/hypervisor/CMakeFiles/defl_hypervisor.dir/latency.cc.o.d"
+  "/root/repo/src/hypervisor/overcommit.cc" "src/hypervisor/CMakeFiles/defl_hypervisor.dir/overcommit.cc.o" "gcc" "src/hypervisor/CMakeFiles/defl_hypervisor.dir/overcommit.cc.o.d"
+  "/root/repo/src/hypervisor/server.cc" "src/hypervisor/CMakeFiles/defl_hypervisor.dir/server.cc.o" "gcc" "src/hypervisor/CMakeFiles/defl_hypervisor.dir/server.cc.o.d"
+  "/root/repo/src/hypervisor/vm.cc" "src/hypervisor/CMakeFiles/defl_hypervisor.dir/vm.cc.o" "gcc" "src/hypervisor/CMakeFiles/defl_hypervisor.dir/vm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/defl_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/resources/CMakeFiles/defl_resources.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

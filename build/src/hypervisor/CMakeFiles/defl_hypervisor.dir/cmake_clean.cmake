@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/defl_hypervisor.dir/guest_os.cc.o"
+  "CMakeFiles/defl_hypervisor.dir/guest_os.cc.o.d"
+  "CMakeFiles/defl_hypervisor.dir/latency.cc.o"
+  "CMakeFiles/defl_hypervisor.dir/latency.cc.o.d"
+  "CMakeFiles/defl_hypervisor.dir/overcommit.cc.o"
+  "CMakeFiles/defl_hypervisor.dir/overcommit.cc.o.d"
+  "CMakeFiles/defl_hypervisor.dir/server.cc.o"
+  "CMakeFiles/defl_hypervisor.dir/server.cc.o.d"
+  "CMakeFiles/defl_hypervisor.dir/vm.cc.o"
+  "CMakeFiles/defl_hypervisor.dir/vm.cc.o.d"
+  "libdefl_hypervisor.a"
+  "libdefl_hypervisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/defl_hypervisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

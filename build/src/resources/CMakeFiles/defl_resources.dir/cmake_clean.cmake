@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/defl_resources.dir/resource_vector.cc.o"
+  "CMakeFiles/defl_resources.dir/resource_vector.cc.o.d"
+  "libdefl_resources.a"
+  "libdefl_resources.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/defl_resources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

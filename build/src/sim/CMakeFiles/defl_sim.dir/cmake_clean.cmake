@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/defl_sim.dir/simulator.cc.o"
+  "CMakeFiles/defl_sim.dir/simulator.cc.o.d"
+  "libdefl_sim.a"
+  "libdefl_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/defl_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spark/cluster_binding.cc" "src/spark/CMakeFiles/defl_spark.dir/cluster_binding.cc.o" "gcc" "src/spark/CMakeFiles/defl_spark.dir/cluster_binding.cc.o.d"
+  "/root/repo/src/spark/engine.cc" "src/spark/CMakeFiles/defl_spark.dir/engine.cc.o" "gcc" "src/spark/CMakeFiles/defl_spark.dir/engine.cc.o.d"
+  "/root/repo/src/spark/experiment.cc" "src/spark/CMakeFiles/defl_spark.dir/experiment.cc.o" "gcc" "src/spark/CMakeFiles/defl_spark.dir/experiment.cc.o.d"
+  "/root/repo/src/spark/policy.cc" "src/spark/CMakeFiles/defl_spark.dir/policy.cc.o" "gcc" "src/spark/CMakeFiles/defl_spark.dir/policy.cc.o.d"
+  "/root/repo/src/spark/workload.cc" "src/spark/CMakeFiles/defl_spark.dir/workload.cc.o" "gcc" "src/spark/CMakeFiles/defl_spark.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/defl_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/resources/CMakeFiles/defl_resources.dir/DependInfo.cmake"
+  "/root/repo/build/src/hypervisor/CMakeFiles/defl_hypervisor.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/defl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/defl_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

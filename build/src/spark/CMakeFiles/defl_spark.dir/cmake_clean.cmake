@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/defl_spark.dir/cluster_binding.cc.o"
+  "CMakeFiles/defl_spark.dir/cluster_binding.cc.o.d"
+  "CMakeFiles/defl_spark.dir/engine.cc.o"
+  "CMakeFiles/defl_spark.dir/engine.cc.o.d"
+  "CMakeFiles/defl_spark.dir/experiment.cc.o"
+  "CMakeFiles/defl_spark.dir/experiment.cc.o.d"
+  "CMakeFiles/defl_spark.dir/policy.cc.o"
+  "CMakeFiles/defl_spark.dir/policy.cc.o.d"
+  "CMakeFiles/defl_spark.dir/workload.cc.o"
+  "CMakeFiles/defl_spark.dir/workload.cc.o.d"
+  "libdefl_spark.a"
+  "libdefl_spark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/defl_spark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

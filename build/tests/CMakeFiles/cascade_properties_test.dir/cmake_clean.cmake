@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cascade_properties_test.dir/properties/cascade_properties_test.cc.o"
+  "CMakeFiles/cascade_properties_test.dir/properties/cascade_properties_test.cc.o.d"
+  "cascade_properties_test"
+  "cascade_properties_test.pdb"
+  "cascade_properties_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cascade_properties_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_binding_test.dir/spark/cluster_binding_test.cc.o"
+  "CMakeFiles/cluster_binding_test.dir/spark/cluster_binding_test.cc.o.d"
+  "cluster_binding_test"
+  "cluster_binding_test.pdb"
+  "cluster_binding_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_binding_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

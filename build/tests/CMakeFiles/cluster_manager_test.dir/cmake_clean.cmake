@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_manager_test.dir/cluster/cluster_manager_test.cc.o"
+  "CMakeFiles/cluster_manager_test.dir/cluster/cluster_manager_test.cc.o.d"
+  "cluster_manager_test"
+  "cluster_manager_test.pdb"
+  "cluster_manager_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_manager_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/controller_properties_test.dir/properties/controller_properties_test.cc.o"
+  "CMakeFiles/controller_properties_test.dir/properties/controller_properties_test.cc.o.d"
+  "controller_properties_test"
+  "controller_properties_test.pdb"
+  "controller_properties_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/controller_properties_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deflation_harness_test.dir/apps/deflation_harness_test.cc.o"
+  "CMakeFiles/deflation_harness_test.dir/apps/deflation_harness_test.cc.o.d"
+  "deflation_harness_test"
+  "deflation_harness_test.pdb"
+  "deflation_harness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deflation_harness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/spark/engine_test.cc" "tests/CMakeFiles/engine_test.dir/spark/engine_test.cc.o" "gcc" "tests/CMakeFiles/engine_test.dir/spark/engine_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/spark/CMakeFiles/defl_spark.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/defl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/hypervisor/CMakeFiles/defl_hypervisor.dir/DependInfo.cmake"
+  "/root/repo/build/src/resources/CMakeFiles/defl_resources.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/defl_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/defl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

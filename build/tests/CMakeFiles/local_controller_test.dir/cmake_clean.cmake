@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/local_controller_test.dir/core/local_controller_test.cc.o"
+  "CMakeFiles/local_controller_test.dir/core/local_controller_test.cc.o.d"
+  "local_controller_test"
+  "local_controller_test.pdb"
+  "local_controller_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/local_controller_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

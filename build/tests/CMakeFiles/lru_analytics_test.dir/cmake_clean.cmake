@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lru_analytics_test.dir/common/lru_analytics_test.cc.o"
+  "CMakeFiles/lru_analytics_test.dir/common/lru_analytics_test.cc.o.d"
+  "lru_analytics_test"
+  "lru_analytics_test.pdb"
+  "lru_analytics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lru_analytics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memcached_sim_test.dir/apps/memcached_sim_test.cc.o"
+  "CMakeFiles/memcached_sim_test.dir/apps/memcached_sim_test.cc.o.d"
+  "memcached_sim_test"
+  "memcached_sim_test.pdb"
+  "memcached_sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memcached_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

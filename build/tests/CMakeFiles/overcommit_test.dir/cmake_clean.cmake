@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overcommit_test.dir/hypervisor/overcommit_test.cc.o"
+  "CMakeFiles/overcommit_test.dir/hypervisor/overcommit_test.cc.o.d"
+  "overcommit_test"
+  "overcommit_test.pdb"
+  "overcommit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overcommit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

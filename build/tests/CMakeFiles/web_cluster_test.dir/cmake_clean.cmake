@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/web_cluster_test.dir/apps/web_cluster_test.cc.o"
+  "CMakeFiles/web_cluster_test.dir/apps/web_cluster_test.cc.o.d"
+  "web_cluster_test"
+  "web_cluster_test.pdb"
+  "web_cluster_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/web_cluster_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deflation_sim.dir/deflation_sim.cc.o"
+  "CMakeFiles/deflation_sim.dir/deflation_sim.cc.o.d"
+  "deflation_sim"
+  "deflation_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deflation_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spark_sim.dir/spark_sim.cc.o"
+  "CMakeFiles/spark_sim.dir/spark_sim.cc.o.d"
+  "spark_sim"
+  "spark_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spark_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test([=[deflation_sim_smoke]=] "/root/repo/build/tools/deflation_sim" "--servers=4" "--duration-h=1" "--load=1.2" "--pricing")
+set_tests_properties([=[deflation_sim_smoke]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test([=[spark_sim_smoke]=] "/root/repo/build/tools/spark_sim" "--workload=kmeans" "--approach=cascade" "--fraction=0.5" "--scale=0.25")
+set_tests_properties([=[spark_sim_smoke]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
