@@ -5,17 +5,20 @@
 // since less of the job runs on reduced resources.
 #include "bench/bench_util.h"
 #include "src/spark/experiment.h"
+#include "src/telemetry/telemetry.h"
 
 namespace defl {
 namespace {
 
-double Point(SparkReclamationApproach approach, double progress) {
+double Point(SparkReclamationApproach approach, double progress,
+             TelemetryContext* telemetry) {
   const SparkWorkload wl = MakeAlsWorkload(0.5);
   SparkExperimentConfig config;
   config.approach = approach;
   config.deflation_fraction = 0.5;
   config.deflate_at_progress = progress;
   const double baseline = SparkBaselineMakespan(wl, config);
+  config.telemetry = telemetry;
   const SparkExperimentResult result = RunSparkExperiment(wl, config);
   return result.completed ? result.makespan_s / baseline : -1.0;
 }
@@ -28,11 +31,20 @@ int main() {
   bench::PrintHeader("Figure 7a", "ALS: deflation timing vs mechanism");
   bench::PrintNote("50% deflation applied when the job reaches the given progress.");
   bench::PrintColumns({"progress%", "self", "vm-level"});
+  // One shared telemetry context accumulates across every measured run.
+  TelemetryContext telemetry;
   for (const double p : {0.2, 0.3, 0.4, 0.5, 0.6, 0.7}) {
     bench::PrintCell(p * 100.0);
-    bench::PrintCell(Point(SparkReclamationApproach::kSelfDeflation, p));
-    bench::PrintCell(Point(SparkReclamationApproach::kVmLevel, p));
+    bench::PrintCell(Point(SparkReclamationApproach::kSelfDeflation, p, &telemetry));
+    bench::PrintCell(Point(SparkReclamationApproach::kVmLevel, p, &telemetry));
     bench::EndRow();
   }
+  const MetricsRegistry& registry = telemetry.metrics();
+  std::printf("  (telemetry: %lld deflate ops, %lld tasks killed, %lld rollbacks, "
+              "%zu trace events)\n",
+              static_cast<long long>(registry.CounterValue("cascade/deflate/ops")),
+              static_cast<long long>(registry.CounterValue("spark/engine/tasks_killed")),
+              static_cast<long long>(registry.CounterValue("spark/engine/rollbacks")),
+              telemetry.trace().size());
   return 0;
 }

@@ -11,6 +11,7 @@
 #include "bench/bench_util.h"
 #include "src/spark/cluster_binding.h"
 #include "src/spark/workload.h"
+#include "src/telemetry/telemetry.h"
 
 namespace defl {
 namespace {
@@ -28,6 +29,9 @@ struct Run {
     LocalControllerConfig config;
     config.mode = DeflationMode::kCascade;
     controller = std::make_unique<LocalController>(&server, config);
+    telemetry.SetClock([this] { return sim.now(); });
+    server.AttachTelemetry(&telemetry);
+    controller->AttachTelemetry(&telemetry);
     std::vector<Vm*> raw;
     for (int i = 0; i < 8; ++i) {
       VmSpec spec;
@@ -38,6 +42,7 @@ struct Run {
     }
     engine = std::make_unique<SparkEngine>(&sim, MakeCnnWorkload(kScale, false, kIterations),
                                            raw);
+    engine->AttachTelemetry(&telemetry);
     binding = std::make_unique<SparkClusterBinding>(engine.get(), controller.get(), &sim);
     engine->Start();
     if (with_pressure) {
@@ -61,6 +66,9 @@ struct Run {
     sim.Run(kHorizonS);
   }
 
+  // Declared before the simulator users so the clock can bind to `sim`; the
+  // members are destroyed in reverse order, detaching nothing dangling.
+  TelemetryContext telemetry;
   Simulator sim;
   Server server;
   std::unique_ptr<LocalController> controller;
@@ -103,6 +111,13 @@ int main() {
   std::printf("  (spark policy rounds: %d vm-level, %d self)\n",
               pressured.binding->vm_level_rounds(),
               pressured.binding->self_deflation_rounds());
+  const MetricsRegistry& registry = pressured.telemetry.metrics();
+  std::printf("  (telemetry: %lld deflate ops, %lld reinflate ops, "
+              "%lld tasks killed, %lld policy decisions)\n",
+              static_cast<long long>(registry.CounterValue("cascade/deflate/ops")),
+              static_cast<long long>(registry.CounterValue("cascade/reinflate/ops")),
+              static_cast<long long>(registry.CounterValue("spark/engine/tasks_killed")),
+              static_cast<long long>(registry.CounterValue("spark/policy/decisions")));
   bench::PrintColumns({"minute", "spark", "memcached", "total"});
   for (size_t bin = 0; bin < bins.size(); ++bin) {
     const double t = static_cast<double>(bin) * kBinS;

@@ -7,6 +7,7 @@
 #include "bench/bench_util.h"
 #include "src/apps/memcached.h"
 #include "src/core/cascade.h"
+#include "src/telemetry/telemetry.h"
 
 namespace defl {
 namespace {
@@ -28,11 +29,17 @@ MemcachedConfig GiantAppConfig() {
   return config;
 }
 
+TelemetryContext* SharedTelemetry() {
+  static TelemetryContext telemetry;
+  return &telemetry;
+}
+
 double Point(DeflationMode mode, double f, bool with_agent, double deadline_s = 0.0) {
   Vm vm(0, GiantVmSpec());
   MemcachedModel app(GiantAppConfig());
   vm.guest_os().set_app_used_mb(app.MemoryFootprintMb());
   CascadeController controller(mode);
+  controller.AttachTelemetry(SharedTelemetry());
   CascadeOptions options;
   options.deadline_s = deadline_s;
   const DeflationOutcome outcome = controller.Deflate(
@@ -65,5 +72,19 @@ int main() {
     bench::PrintCell(Point(DeflationMode::kCascade, f, true, /*deadline_s=*/30.0));
     bench::EndRow();
   }
+  const MetricsRegistry& registry = SharedTelemetry()->metrics();
+  const RunningStats& latency =
+      registry.distribution(registry.FindDistribution("cascade/deflate/latency_s"));
+  const EventTrace& trace = SharedTelemetry()->trace();
+  std::printf("  (telemetry: %lld ops, latency mean %.1f s / max %.1f s; "
+              "%lld app / %lld os / %lld hv stage events)\n",
+              static_cast<long long>(registry.CounterValue("cascade/deflate/ops")),
+              latency.mean(), latency.max(),
+              static_cast<long long>(trace.CountKind(TraceEventKind::kCascadeStage,
+                                                     CascadeLayer::kApplication)),
+              static_cast<long long>(trace.CountKind(TraceEventKind::kCascadeStage,
+                                                     CascadeLayer::kGuestOs)),
+              static_cast<long long>(trace.CountKind(TraceEventKind::kCascadeStage,
+                                                     CascadeLayer::kHypervisor)));
   return 0;
 }

@@ -6,11 +6,13 @@
 // overcommitment (1.6x utilization).
 #include "bench/bench_util.h"
 #include "src/cluster/cluster_sim.h"
+#include "src/telemetry/telemetry.h"
 
 namespace defl {
 namespace {
 
-ClusterSimResult RunAtLoad(double load, ReclamationStrategy strategy) {
+ClusterSimResult RunAtLoad(double load, ReclamationStrategy strategy,
+                           TelemetryContext* telemetry) {
   ClusterSimConfig config;
   config.num_servers = 100;
   config.server_capacity = ResourceVector(32.0, 256.0 * 1024.0, 1000.0, 10000.0);
@@ -22,7 +24,7 @@ ClusterSimResult RunAtLoad(double load, ReclamationStrategy strategy) {
   config.cluster.strategy = strategy;
   config.cluster.controller.mode = DeflationMode::kVmLevel;
   config.sample_period_s = 600.0;
-  return RunClusterSim(config);
+  return RunClusterSim(config, telemetry);
 }
 
 }  // namespace
@@ -35,11 +37,20 @@ int main() {
   bench::PrintNote("overcommit% = offered nominal demand beyond capacity.");
   bench::PrintColumns({"overcommit%", "p(deflation)", "p(preempt-only)", "oc-meas(defl)",
                        "util(defl)"});
+  int64_t deflate_ops = 0;
+  int64_t cascade_stage_events = 0;
   for (const double oc : {0.0, 0.2, 0.4, 0.5, 0.6, 0.8, 1.0, 1.1}) {
     const double load = 1.0 + oc;
-    const ClusterSimResult deflation = RunAtLoad(load, ReclamationStrategy::kDeflation);
+    // A fresh context per run: the registry-derived result fields must not
+    // mix points across loads.
+    TelemetryContext telemetry;
+    const ClusterSimResult deflation =
+        RunAtLoad(load, ReclamationStrategy::kDeflation, &telemetry);
     const ClusterSimResult preempt =
-        RunAtLoad(load, ReclamationStrategy::kPreemptionOnly);
+        RunAtLoad(load, ReclamationStrategy::kPreemptionOnly, nullptr);
+    deflate_ops += telemetry.metrics().CounterValue("cascade/deflate/ops");
+    cascade_stage_events +=
+        telemetry.trace().CountKind(TraceEventKind::kCascadeStage);
     bench::PrintCell(oc * 100.0);
     bench::PrintCell(deflation.preemption_probability);
     bench::PrintCell(preempt.preemption_probability);
@@ -47,5 +58,9 @@ int main() {
     bench::PrintCell(deflation.mean_utilization);
     bench::EndRow();
   }
+  std::printf("  (telemetry, deflation runs: %lld deflate ops, %lld cascade stage "
+              "events)\n",
+              static_cast<long long>(deflate_ops),
+              static_cast<long long>(cascade_stage_events));
   return 0;
 }

@@ -5,11 +5,12 @@
 #include "bench/bench_util.h"
 #include "src/cluster/cluster_sim.h"
 #include "src/common/stats.h"
+#include "src/telemetry/telemetry.h"
 
 namespace defl {
 namespace {
 
-ClusterSimResult RunWithPolicy(PlacementPolicy policy) {
+ClusterSimResult RunWithPolicy(PlacementPolicy policy, TelemetryContext* telemetry) {
   ClusterSimConfig config;
   config.num_servers = 50;
   config.server_capacity = ResourceVector(32.0, 256.0 * 1024.0, 1000.0, 10000.0);
@@ -21,7 +22,7 @@ ClusterSimResult RunWithPolicy(PlacementPolicy policy) {
   config.cluster.strategy = ReclamationStrategy::kDeflation;
   config.cluster.placement = policy;
   config.sample_period_s = 300.0;
-  return RunClusterSim(config);
+  return RunClusterSim(config, telemetry);
 }
 
 }  // namespace
@@ -36,11 +37,19 @@ int main() {
   for (const PlacementPolicy policy :
        {PlacementPolicy::kBestFit, PlacementPolicy::kFirstFit,
         PlacementPolicy::kTwoChoices}) {
-    const ClusterSimResult result = RunWithPolicy(policy);
-    const auto& samples = result.server_overcommitment_samples;
+    TelemetryContext telemetry;
+    const ClusterSimResult result = RunWithPolicy(policy, &telemetry);
+    // The per-server overcommitment distribution comes straight out of the
+    // registry series the sampling loop recorded.
+    const MetricsRegistry& registry = telemetry.metrics();
+    const auto& points =
+        registry.series_points(registry.FindSeries("cluster/server_overcommitment"));
+    std::vector<double> samples;
+    samples.reserve(points.size());
     RunningStats stats;
-    for (const double s : samples) {
-      stats.Add(s);
+    for (const MetricsRegistry::TimePoint& point : points) {
+      samples.push_back(point.value);
+      stats.Add(point.value);
     }
     bench::PrintCell(PlacementPolicyName(policy));
     bench::PrintCell(Percentile(samples, 25.0));

@@ -11,6 +11,7 @@
 #include "src/common/rng.h"
 #include "src/core/local_controller.h"
 #include "src/spark/experiment.h"
+#include "src/telemetry/telemetry.h"
 
 namespace defl {
 namespace {
@@ -39,6 +40,32 @@ void BM_CascadeDeflateReinflate(benchmark::State& state) {
 BENCHMARK(BM_CascadeDeflateReinflate)
     ->Arg(static_cast<int>(DeflationMode::kHypervisorOnly))
     ->Arg(static_cast<int>(DeflationMode::kVmLevel));
+
+// The same loop with a TelemetryContext attached -- the acceptance gate for
+// the telemetry layer is that the trace-disabled variant is indistinguishable
+// from the detached baseline above (one null check + one bool branch per
+// emit site). Arg: 0 = attached with tracing disabled, 1 = tracing enabled
+// (upper bound; counts the O(1) event appends and a per-iteration Clear()).
+void BM_CascadeDeflateReinflateTelemetry(benchmark::State& state) {
+  const bool trace_enabled = state.range(0) == 1;
+  TelemetryContext telemetry;
+  telemetry.trace().set_enabled(trace_enabled);
+  CascadeController controller(DeflationMode::kVmLevel);
+  controller.AttachTelemetry(&telemetry);
+  Vm vm(0, BenchVmSpec(0));
+  vm.guest_os().set_app_used_mb(10000.0);
+  const ResourceVector target = vm.size() * 0.5;
+  for (auto _ : state) {
+    const DeflationOutcome outcome = controller.Deflate(vm, nullptr, target);
+    benchmark::DoNotOptimize(outcome.latency_seconds);
+    controller.Reinflate(vm, nullptr, outcome.TotalReclaimed());
+    if (trace_enabled) {
+      telemetry.trace().Clear();  // keep memory flat over millions of iters
+    }
+  }
+  state.SetLabel(trace_enabled ? "trace on" : "trace off");
+}
+BENCHMARK(BM_CascadeDeflateReinflateTelemetry)->Arg(0)->Arg(1);
 
 void BM_MakeRoomProportional(benchmark::State& state) {
   const auto num_vms = static_cast<int>(state.range(0));

@@ -8,14 +8,44 @@
 namespace defl {
 
 ClusterManager::ClusterManager(int num_servers, const ResourceVector& server_capacity,
-                               const ClusterConfig& config)
+                               const ClusterConfig& config, TelemetryContext* telemetry)
     : config_(config), rng_(config.seed) {
   assert(num_servers > 0);
+  if (telemetry != nullptr) {
+    telemetry_ = telemetry;
+  } else {
+    // Private fallback so the counters() view is always live. Nothing will
+    // export the private trace, so don't let it accumulate.
+    owned_telemetry_ = std::make_unique<TelemetryContext>();
+    owned_telemetry_->trace().set_enabled(false);
+    telemetry_ = owned_telemetry_.get();
+  }
+  MetricsRegistry& registry = telemetry_->metrics();
+  metrics_.launched = registry.Counter("cluster/vms/launched");
+  metrics_.launched_low_priority = registry.Counter("cluster/vms/launched_low_priority");
+  metrics_.rejected = registry.Counter("cluster/vms/rejected");
+  metrics_.preempted = registry.Counter("cluster/vms/preempted");
+  metrics_.completed = registry.Counter("cluster/vms/completed");
+  metrics_.deflation_ops = registry.Counter("cluster/deflation_ops");
   for (int i = 0; i < num_servers; ++i) {
     servers_.push_back(std::make_unique<Server>(i, server_capacity));
+    servers_.back()->AttachTelemetry(telemetry_);
     controllers_.push_back(
         std::make_unique<LocalController>(servers_.back().get(), config.controller));
+    controllers_.back()->AttachTelemetry(telemetry_);
   }
+}
+
+ClusterCounters ClusterManager::counters() const {
+  const MetricsRegistry& registry = telemetry_->metrics();
+  ClusterCounters out;
+  out.launched = registry.counter(metrics_.launched);
+  out.launched_low_priority = registry.counter(metrics_.launched_low_priority);
+  out.rejected = registry.counter(metrics_.rejected);
+  out.preempted = registry.counter(metrics_.preempted);
+  out.completed = registry.counter(metrics_.completed);
+  out.deflation_ops = registry.counter(metrics_.deflation_ops);
+  return out;
 }
 
 std::vector<Server*> ClusterManager::servers() {
@@ -63,39 +93,54 @@ Result<ServerId> ClusterManager::LaunchVm(std::unique_ptr<Vm> vm) {
       break;
     }
   }
+  MetricsRegistry& registry = telemetry_->metrics();
   if (!placed.ok()) {
-    ++counters_.rejected;
+    registry.Add(metrics_.rejected);
+    telemetry_->trace().Record(TraceEventKind::kRejection, CascadeLayer::kNone,
+                               vm->id(), -1, demand, ResourceVector::Zero(), 0);
     return Error{placed.error()};
   }
   Server& server = *servers_[placed.value()];
 
+  // Placement outcome for the trace: 1 = fit into free capacity,
+  // 2 = deflation made room, 3 = preemption made room.
+  int32_t placement_outcome = 1;
   if (!demand.AllLeq(server.Free())) {
     if (config_.strategy == ReclamationStrategy::kDeflation) {
+      placement_outcome = 2;
       LocalController* controller = controllers_[placed.value()].get();
       const ReclaimResult reclaim = controller->MakeRoom(demand);
       for (const VmId victim : reclaim.preempted) {
-        ++counters_.preempted;
+        registry.Add(metrics_.preempted);
         preempted_since_take_.push_back(victim);
       }
       if (!reclaim.deflated.empty()) {
-        ++counters_.deflation_ops;
+        registry.Add(metrics_.deflation_ops);
       }
       if (!reclaim.success) {
-        ++counters_.rejected;
+        registry.Add(metrics_.rejected);
+        telemetry_->trace().Record(TraceEventKind::kRejection, CascadeLayer::kNone,
+                                   vm->id(), server.id(), demand, reclaim.freed, 2);
         return Error{"reclamation failed on chosen server"};
       }
     } else {
+      placement_outcome = 3;
       if (!PreemptForDemand(server, demand)) {
-        ++counters_.rejected;
+        registry.Add(metrics_.rejected);
+        telemetry_->trace().Record(TraceEventKind::kRejection, CascadeLayer::kNone,
+                                   vm->id(), server.id(), demand,
+                                   ResourceVector::Zero(), 3);
         return Error{"preemption could not free enough resources"};
       }
     }
   }
 
-  ++counters_.launched;
+  registry.Add(metrics_.launched);
   if (low_priority) {
-    ++counters_.launched_low_priority;
+    registry.Add(metrics_.launched_low_priority);
   }
+  telemetry_->trace().Record(TraceEventKind::kPlacement, CascadeLayer::kNone, vm->id(),
+                             server.id(), demand, server.Free(), placement_outcome);
   server.AddVm(std::move(vm));
   return server.id();
 }
@@ -121,9 +166,11 @@ bool ClusterManager::PreemptForDemand(Server& server, const ResourceVector& dema
       return false;
     }
     const VmId id = victim->id();
+    telemetry_->metrics().Add(metrics_.preempted);
+    telemetry_->trace().Record(TraceEventKind::kPreemption, CascadeLayer::kNone, id,
+                               server.id(), need, victim->effective(), 0);
     victim->set_state(VmState::kPreempted);
     server.RemoveVm(id);
-    ++counters_.preempted;
     preempted_since_take_.push_back(id);
   }
   return true;
@@ -138,7 +185,9 @@ void ClusterManager::CompleteVm(VmId id) {
     std::unique_ptr<Vm> vm = server.RemoveVm(id);
     vm->set_state(VmState::kCompleted);
     controllers_[i]->UnregisterAgent(id);
-    ++counters_.completed;
+    telemetry_->metrics().Add(metrics_.completed);
+    telemetry_->trace().Record(TraceEventKind::kVmComplete, CascadeLayer::kNone, id,
+                               server.id(), vm->size(), vm->effective(), 0);
     // Freed resources flow back to deflated VMs (reverse cascade).
     if (config_.strategy == ReclamationStrategy::kDeflation) {
       controllers_[i]->ReinflateAll();

@@ -30,6 +30,9 @@ struct ClusterConfig {
   uint64_t seed = 1;
 };
 
+// Snapshot view of the registry-backed lifecycle counters. Kept as a struct
+// for API compatibility with the pre-telemetry counters; the live values
+// reside in the MetricsRegistry under cluster/vms/*.
 struct ClusterCounters {
   int64_t launched = 0;
   int64_t launched_low_priority = 0;
@@ -41,8 +44,11 @@ struct ClusterCounters {
 
 class ClusterManager {
  public:
+  // `telemetry` may be nullptr: the manager then owns a private context so
+  // the counters() view always accumulates. Servers and local controllers
+  // publish through the same context.
   ClusterManager(int num_servers, const ResourceVector& server_capacity,
-                 const ClusterConfig& config);
+                 const ClusterConfig& config, TelemetryContext* telemetry = nullptr);
 
   // Places and starts the VM, deflating or preempting per the configured
   // strategy. On failure the VM is rejected (returned error) and counted.
@@ -56,7 +62,8 @@ class ClusterManager {
   std::vector<Server*> servers();
   LocalController* controller(ServerId id);
 
-  const ClusterCounters& counters() const { return counters_; }
+  ClusterCounters counters() const;
+  TelemetryContext* telemetry() const { return telemetry_; }
   // Low-priority VMs revoked since the last call (for lifecycle bookkeeping).
   std::vector<VmId> TakePreempted();
 
@@ -77,8 +84,18 @@ class ClusterManager {
   Rng rng_;
   std::vector<std::unique_ptr<Server>> servers_;
   std::vector<std::unique_ptr<LocalController>> controllers_;
-  ClusterCounters counters_;
   std::vector<VmId> preempted_since_take_;
+
+  TelemetryContext* telemetry_ = nullptr;
+  std::unique_ptr<TelemetryContext> owned_telemetry_;
+  struct {
+    CounterHandle launched;
+    CounterHandle launched_low_priority;
+    CounterHandle rejected;
+    CounterHandle preempted;
+    CounterHandle completed;
+    CounterHandle deflation_ops;
+  } metrics_;
 };
 
 }  // namespace defl

@@ -10,16 +10,38 @@
 namespace defl {
 
 ClusterSimResult RunClusterSim(const ClusterSimConfig& config) {
+  // Private context so every result field can still be derived from the
+  // registry; nothing will export the trace, so don't accumulate it.
+  TelemetryContext local;
+  local.trace().set_enabled(false);
+  return RunClusterSim(config, &local);
+}
+
+ClusterSimResult RunClusterSim(const ClusterSimConfig& config,
+                               TelemetryContext* telemetry) {
+  if (telemetry == nullptr) {
+    return RunClusterSim(config);
+  }
   Simulator sim;
-  ClusterManager manager(config.num_servers, config.server_capacity, config.cluster);
+  TelemetryClockScope clock_scope(telemetry, [&sim] { return sim.now(); });
+  ClusterManager manager(config.num_servers, config.server_capacity, config.cluster,
+                         telemetry);
   const std::vector<TraceEvent> trace =
       config.explicit_trace.empty() ? GenerateTrace(config.trace)
                                     : config.explicit_trace;
 
-  TimeWeightedMean utilization;
-  TimeWeightedMean overcommitment;
-  double peak_overcommitment = 0.0;
-  std::vector<double> server_oc_samples;
+  MetricsRegistry& registry = telemetry->metrics();
+  const SeriesHandle util_series = registry.Series("cluster/utilization");
+  const SeriesHandle oc_series = registry.Series("cluster/overcommitment");
+  const SeriesHandle server_oc_series = registry.Series("cluster/server_overcommitment");
+  const GaugeHandle low_vm_hours = registry.Gauge("cluster/usage/low_pri_vm_hours");
+  const GaugeHandle low_nominal_cpu_hours =
+      registry.Gauge("cluster/usage/low_pri_nominal_cpu_hours");
+  const GaugeHandle low_effective_cpu_hours =
+      registry.Gauge("cluster/usage/low_pri_effective_cpu_hours");
+  const GaugeHandle high_cpu_hours = registry.Gauge("cluster/usage/high_pri_cpu_hours");
+  const DistributionHandle allocation_quality =
+      registry.Distribution("cluster/low_pri/allocation_quality");
 
   VmId next_id = 0;
   for (const TraceEvent& event : trace) {
@@ -40,26 +62,22 @@ ClusterSimResult RunClusterSim(const ClusterSimConfig& config) {
     });
   }
 
-  UsageSummary usage;
-  RunningStats allocation_quality;
   const double dt_hours = config.sample_period_s / 3600.0;
   sim.Every(config.sample_period_s, [&] {
-    const double oc = manager.Overcommitment();
-    utilization.Update(sim.now(), manager.Utilization());
-    overcommitment.Update(sim.now(), oc);
-    peak_overcommitment = std::max(peak_overcommitment, oc);
+    registry.ObserveAt(util_series, sim.now(), manager.Utilization());
+    registry.ObserveAt(oc_series, sim.now(), manager.Overcommitment());
     for (Server* server : manager.servers()) {
-      server_oc_samples.push_back(server->NominalOvercommitment());
+      registry.ObserveAt(server_oc_series, sim.now(), server->NominalOvercommitment());
       for (const auto& vm : server->vms()) {
         if (vm->priority() == VmPriority::kLow) {
-          usage.low_pri_vm_hours += dt_hours;
-          usage.low_pri_nominal_cpu_hours += vm->size().cpu() * dt_hours;
-          usage.low_pri_effective_cpu_hours += vm->effective().cpu() * dt_hours;
+          registry.AddTo(low_vm_hours, dt_hours);
+          registry.AddTo(low_nominal_cpu_hours, vm->size().cpu() * dt_hours);
+          registry.AddTo(low_effective_cpu_hours, vm->effective().cpu() * dt_hours);
           if (vm->size().cpu() > 0.0) {
-            allocation_quality.Add(vm->effective().cpu() / vm->size().cpu());
+            registry.Observe(allocation_quality, vm->effective().cpu() / vm->size().cpu());
           }
         } else {
-          usage.high_pri_cpu_hours += vm->effective().cpu() * dt_hours;
+          registry.AddTo(high_cpu_hours, vm->effective().cpu() * dt_hours);
         }
       }
     }
@@ -112,13 +130,25 @@ ClusterSimResult RunClusterSim(const ClusterSimConfig& config) {
       arrivals > 0
           ? static_cast<double>(result.counters.rejected) / static_cast<double>(arrivals)
           : 0.0;
-  result.mean_utilization = utilization.Finish(config.trace.duration_s);
-  result.mean_overcommitment = overcommitment.Finish(config.trace.duration_s);
-  result.peak_overcommitment = peak_overcommitment;
-  result.server_overcommitment_samples = std::move(server_oc_samples);
-  usage.preemptions = result.counters.preempted;
-  result.usage = usage;
-  result.low_priority_allocation_quality = allocation_quality.mean();
+  // Everything below is a registry read: the result struct is a snapshot
+  // view over the telemetry the run produced.
+  result.mean_utilization =
+      registry.SeriesTimeWeightedMean(util_series, config.trace.duration_s);
+  result.mean_overcommitment =
+      registry.SeriesTimeWeightedMean(oc_series, config.trace.duration_s);
+  result.peak_overcommitment = registry.SeriesMax(oc_series);
+  const auto& server_oc_points = registry.series_points(server_oc_series);
+  result.server_overcommitment_samples.reserve(server_oc_points.size());
+  for (const MetricsRegistry::TimePoint& point : server_oc_points) {
+    result.server_overcommitment_samples.push_back(point.value);
+  }
+  result.usage.low_pri_vm_hours = registry.gauge(low_vm_hours);
+  result.usage.low_pri_nominal_cpu_hours = registry.gauge(low_nominal_cpu_hours);
+  result.usage.low_pri_effective_cpu_hours = registry.gauge(low_effective_cpu_hours);
+  result.usage.high_pri_cpu_hours = registry.gauge(high_cpu_hours);
+  result.usage.preemptions = result.counters.preempted;
+  result.low_priority_allocation_quality =
+      registry.distribution(allocation_quality).mean();
   return result;
 }
 

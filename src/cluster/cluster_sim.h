@@ -52,7 +52,14 @@ struct ClusterSimResult {
   double low_priority_allocation_quality = 0.0;
 };
 
+// Runs the simulation publishing through `telemetry`: the cluster manager /
+// servers / controllers emit their events there, the sampling loop records
+// the cluster/utilization and cluster/overcommitment series, and every
+// ClusterSimResult field is derived back from the registry. The one-argument
+// form uses a private context (trace disabled) and is otherwise identical.
 ClusterSimResult RunClusterSim(const ClusterSimConfig& config);
+ClusterSimResult RunClusterSim(const ClusterSimConfig& config,
+                               TelemetryContext* telemetry);
 
 }  // namespace defl
 

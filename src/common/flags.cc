@@ -8,6 +8,18 @@ namespace {
 
 std::string BoolText(bool b) { return b ? "true" : "false"; }
 
+// Flags are registered dash-style (--metrics-out) but accepted with either
+// separator (--metrics_out), gflags-style.
+std::string NormalizeName(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    if (c == '_') {
+      c = '-';
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 FlagParser::FlagParser(std::string program_description)
@@ -33,8 +45,9 @@ void FlagParser::AddBool(const std::string& name, const std::string& help, bool*
 }
 
 FlagParser::Flag* FlagParser::Find(const std::string& name) {
+  const std::string normalized = NormalizeName(name);
   for (Flag& flag : flags_) {
-    if (flag.name == name) {
+    if (NormalizeName(flag.name) == normalized) {
       return &flag;
     }
   }

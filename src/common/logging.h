@@ -40,9 +40,23 @@ class LogLine {
   std::ostringstream stream_;
 };
 
+// Swallows the LogLine expression in the enabled branch of DEFL_LOG so both
+// ternary arms have type void. operator& binds looser than operator<<, so it
+// consumes the fully streamed line.
+struct LogVoidifier {
+  void operator&(const LogLine&) {}
+};
+
 }  // namespace internal
 }  // namespace defl
 
-#define DEFL_LOG(level) ::defl::internal::LogLine(::defl::LogLevel::level)
+// A suppressed line costs one level comparison: the ternary short-circuits
+// before the LogLine (and its ostringstream, and every streamed operand) is
+// ever constructed.
+#define DEFL_LOG(level)                                      \
+  (::defl::LogLevel::level < ::defl::GetLogLevel())          \
+      ? (void)0                                              \
+      : ::defl::internal::LogVoidifier() &                   \
+            ::defl::internal::LogLine(::defl::LogLevel::level)
 
 #endif  // SRC_COMMON_LOGGING_H_

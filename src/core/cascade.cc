@@ -26,6 +26,23 @@ const char* DeflationModeName(DeflationMode mode) {
 CascadeController::CascadeController(DeflationMode mode, LatencyParams latency_params)
     : mode_(mode), latency_model_(latency_params) {}
 
+void CascadeController::AttachTelemetry(TelemetryContext* telemetry) {
+  telemetry_ = telemetry;
+  if (telemetry_ == nullptr) {
+    metrics_ = {};
+    return;
+  }
+  MetricsRegistry& registry = telemetry_->metrics();
+  metrics_.deflate_ops = registry.Counter("cascade/deflate/ops");
+  metrics_.target_missed = registry.Counter("cascade/deflate/target_missed");
+  metrics_.deadline_clipped = registry.Counter("cascade/deflate/deadline_clipped");
+  metrics_.reinflate_ops = registry.Counter("cascade/reinflate/ops");
+  metrics_.latency_s = registry.Distribution("cascade/deflate/latency_s");
+  metrics_.app_freed_mb = registry.Distribution("cascade/app/freed_mb");
+  metrics_.unplugged_mb = registry.Distribution("cascade/os/unplugged_mb");
+  metrics_.hv_reclaimed_mb = registry.Distribution("cascade/hv/reclaimed_mb");
+}
+
 DeflationOutcome CascadeController::Deflate(Vm& vm, DeflationAgent* agent,
                                             const ResourceVector& target) {
   return Deflate(vm, agent, target, CascadeOptions{});
@@ -75,6 +92,12 @@ DeflationOutcome CascadeController::Deflate(Vm& vm, DeflationAgent* agent,
     out.breakdown.app_freed_mb = out.app_freed.memory_mb();
     if (budget_s >= 0.0) {
       budget_s = std::max(0.0, budget_s - latency_model_.AppStageSeconds(out.breakdown));
+    }
+    if (telemetry_ != nullptr) {
+      telemetry_->metrics().Observe(metrics_.app_freed_mb, out.app_freed.memory_mb());
+      telemetry_->trace().Record(TraceEventKind::kCascadeStage,
+                                 CascadeLayer::kApplication, vm.id(), -1, app_target,
+                                 out.app_freed, 1);
     }
   }
 
@@ -127,6 +150,12 @@ DeflationOutcome CascadeController::Deflate(Vm& vm, DeflationAgent* agent,
     out.breakdown.unplug_freed_mb = std::min(unplugged_mb, freed_pool_mb);
     out.breakdown.unplug_cold_mb = unplugged_mb - out.breakdown.unplug_freed_mb;
     out.breakdown.unplug_cpus = out.unplugged.cpu();
+    if (telemetry_ != nullptr) {
+      telemetry_->metrics().Observe(metrics_.unplugged_mb, unplugged_mb);
+      telemetry_->trace().Record(TraceEventKind::kCascadeStage, CascadeLayer::kGuestOs,
+                                 vm.id(), -1, unplug_target, out.unplugged,
+                                 force ? 2 : 1);
+    }
   }
 
   // --- Stage 2 (alternative): balloon driver (comparison baseline). ---
@@ -135,6 +164,14 @@ DeflationOutcome CascadeController::Deflate(Vm& vm, DeflationAgent* agent,
     out.unplugged[ResourceKind::kMemory] = pinned;  // host-side: memory returned
     vm.ClampHvToVisible();
     out.breakdown.balloon_mb = pinned;
+    if (telemetry_ != nullptr) {
+      ResourceVector balloon_target;
+      balloon_target[ResourceKind::kMemory] = out.requested.memory_mb();
+      ResourceVector balloon_got;
+      balloon_got[ResourceKind::kMemory] = pinned;
+      telemetry_->trace().Record(TraceEventKind::kCascadeStage, CascadeLayer::kBalloon,
+                                 vm.id(), -1, balloon_target, balloon_got, 1);
+    }
   }
 
   // --- Stage 3: hypervisor overcommitment picks up the slack. ---
@@ -143,10 +180,35 @@ DeflationOutcome CascadeController::Deflate(Vm& vm, DeflationAgent* agent,
     if (remaining.AnyPositive()) {
       out.hv_reclaimed = vm.HvReclaim(remaining);
       out.breakdown.hv_swap_mb = out.hv_reclaimed.memory_mb();
+      if (telemetry_ != nullptr) {
+        telemetry_->metrics().Observe(metrics_.hv_reclaimed_mb,
+                                      out.hv_reclaimed.memory_mb());
+        telemetry_->trace().Record(TraceEventKind::kCascadeStage,
+                                   CascadeLayer::kHypervisor, vm.id(), -1, remaining,
+                                   out.hv_reclaimed, 1);
+      }
     }
   }
 
   out.latency_seconds = latency_model_.TotalSeconds(out.breakdown);
+  if (telemetry_ != nullptr) {
+    MetricsRegistry& registry = telemetry_->metrics();
+    registry.Add(metrics_.deflate_ops);
+    registry.Observe(metrics_.latency_s, out.latency_seconds);
+    if (out.deadline_clipped) {
+      registry.Add(metrics_.deadline_clipped);
+    }
+    int32_t outcome = out.TargetMet() ? kOutcomeTargetMet : 0;
+    if (out.deadline_clipped) {
+      outcome |= kOutcomeDeadlineClipped;
+    }
+    if (!out.TargetMet()) {
+      registry.Add(metrics_.target_missed);
+    }
+    telemetry_->trace().Record(TraceEventKind::kDeflation, CascadeLayer::kNone,
+                               vm.id(), -1, out.requested, out.TotalReclaimed(),
+                               outcome);
+  }
   if (!out.TargetMet()) {
     DEFL_LOG(kDebug) << "vm " << vm.id() << " [" << DeflationModeName(mode_)
                      << "] missed deflation target: requested "
@@ -182,6 +244,11 @@ ResourceVector CascadeController::Reinflate(Vm& vm, DeflationAgent* agent,
         std::clamp(offer.memory_mb(), 0.0, std::max(headroom, 0.0));
     agent->OnReinflate(offer);
     vm.guest_os().set_app_used_mb(agent->MemoryFootprintMb());
+  }
+  if (telemetry_ != nullptr) {
+    telemetry_->metrics().Add(metrics_.reinflate_ops);
+    telemetry_->trace().Record(TraceEventKind::kReinflation, CascadeLayer::kNone,
+                               vm.id(), -1, want, total, 1);
   }
   return total;
 }

@@ -11,6 +11,7 @@
 #include "src/hypervisor/latency.h"
 #include "src/hypervisor/vm.h"
 #include "src/resources/resource_vector.h"
+#include "src/telemetry/telemetry.h"
 
 namespace defl {
 
@@ -77,9 +78,31 @@ class CascadeController {
 
   const DeflationLatencyModel& latency_model() const { return latency_model_; }
 
+  // Publishes per-layer reclamation events and cascade metrics through
+  // `telemetry` (nullptr detaches). Metric handles are resolved here once;
+  // the Deflate hot path never performs a name lookup.
+  void AttachTelemetry(TelemetryContext* telemetry);
+  TelemetryContext* telemetry() const { return telemetry_; }
+
  private:
+  // Deflation-outcome bits for the kDeflation trace event.
+  static constexpr int32_t kOutcomeTargetMet = 1;
+  static constexpr int32_t kOutcomeDeadlineClipped = 2;
+
   DeflationMode mode_;
   DeflationLatencyModel latency_model_;
+
+  TelemetryContext* telemetry_ = nullptr;
+  struct {
+    CounterHandle deflate_ops;
+    CounterHandle target_missed;
+    CounterHandle deadline_clipped;
+    CounterHandle reinflate_ops;
+    DistributionHandle latency_s;
+    DistributionHandle app_freed_mb;
+    DistributionHandle unplugged_mb;
+    DistributionHandle hv_reclaimed_mb;
+  } metrics_;
 };
 
 }  // namespace defl

@@ -22,6 +22,20 @@ LocalController::LocalController(Server* server, const LocalControllerConfig& co
   assert(server_ != nullptr);
 }
 
+void LocalController::AttachTelemetry(TelemetryContext* telemetry) {
+  telemetry_ = telemetry;
+  cascade_.AttachTelemetry(telemetry);
+  if (telemetry_ == nullptr) {
+    metrics_ = {};
+    return;
+  }
+  MetricsRegistry& registry = telemetry_->metrics();
+  metrics_.make_room_calls = registry.Counter("controller/make_room/calls");
+  metrics_.make_room_failures = registry.Counter("controller/make_room/failures");
+  metrics_.preemptions = registry.Counter("controller/preemptions");
+  metrics_.make_room_latency_s = registry.Distribution("controller/make_room/latency_s");
+}
+
 void LocalController::RegisterAgent(VmId id, DeflationAgent* agent) {
   agents_[id] = agent;
 }
@@ -56,6 +70,9 @@ ReclaimResult LocalController::MakeRoom(const ResourceVector& demand) {
     result.success = true;
     return result;
   }
+  if (telemetry_ != nullptr) {
+    telemetry_->metrics().Add(metrics_.make_room_calls);
+  }
 
   // Preempt while even full deflation of every low-priority VM cannot cover
   // the shortfall. "VMs that are farthest from their deflation target are
@@ -82,10 +99,19 @@ ReclaimResult LocalController::MakeRoom(const ResourceVector& demand) {
       // No low-priority VMs left to preempt; demand cannot be satisfied.
       result.success = false;
       result.freed = (demand - (demand - server_->Free()).ClampNonNegative());
+      if (telemetry_ != nullptr) {
+        telemetry_->metrics().Add(metrics_.make_room_failures);
+      }
       return result;
     }
     const VmId victim_id = victim->id();
     DEFL_LOG(kInfo) << "server " << server_->id() << ": preempting VM " << victim_id;
+    if (telemetry_ != nullptr) {
+      telemetry_->metrics().Add(metrics_.preemptions);
+      telemetry_->trace().Record(TraceEventKind::kPreemption, CascadeLayer::kNone,
+                                 victim_id, server_->id(), need, victim->effective(),
+                                 0);
+    }
     victim->set_state(VmState::kPreempted);
     UnregisterAgent(victim_id);
     server_->RemoveVm(victim_id);  // frees its whole effective allocation
@@ -157,6 +183,13 @@ ReclaimResult LocalController::MakeRoom(const ResourceVector& demand) {
       residual = (demand - server_->Free()).ClampNonNegative();
     }
     result.success = demand.AllLeq(server_->Free(), 1e-6);
+  }
+  if (telemetry_ != nullptr) {
+    MetricsRegistry& registry = telemetry_->metrics();
+    registry.Observe(metrics_.make_room_latency_s, result.latency_seconds);
+    if (!result.success) {
+      registry.Add(metrics_.make_room_failures);
+    }
   }
   return result;
 }

@@ -78,6 +78,11 @@ class LocalController {
   const LocalControllerConfig& config() const { return config_; }
   CascadeController& cascade() { return cascade_; }
 
+  // Publishes MakeRoom/preemption metrics and events through `telemetry`
+  // (nullptr detaches) and forwards the context to the cascade controller.
+  void AttachTelemetry(TelemetryContext* telemetry);
+  TelemetryContext* telemetry() const { return telemetry_; }
+
  private:
   // Total amount a VM has been deflated by (unplug + overcommit).
   static ResourceVector DeflatedBy(const Vm& vm);
@@ -87,6 +92,14 @@ class LocalController {
   LocalControllerConfig config_;
   CascadeController cascade_;
   std::map<VmId, DeflationAgent*> agents_;
+
+  TelemetryContext* telemetry_ = nullptr;
+  struct {
+    CounterHandle make_room_calls;
+    CounterHandle make_room_failures;
+    CounterHandle preemptions;
+    DistributionHandle make_room_latency_s;
+  } metrics_;
 };
 
 }  // namespace defl

@@ -9,6 +9,38 @@ namespace defl {
 
 Server::Server(ServerId id, ResourceVector capacity) : id_(id), capacity_(capacity) {}
 
+void Server::AttachTelemetry(TelemetryContext* telemetry) {
+  telemetry_ = telemetry;
+  if (telemetry_ == nullptr) {
+    metrics_ = {};
+    return;
+  }
+  MetricsRegistry& registry = telemetry_->metrics();
+  metrics_.vms_added = registry.Counter("server/vm/added");
+  metrics_.vms_removed = registry.Counter("server/vm/removed");
+  metrics_.overcommit_entries = registry.Counter("server/overcommit/entries");
+}
+
+void Server::RecordOvercommitTransition(double before, int64_t vm) {
+  const double after = NominalOvercommitment();
+  const bool was_over = before > 1.0 + 1e-9;
+  const bool is_over = after > 1.0 + 1e-9;
+  if (was_over == is_over) {
+    return;
+  }
+  if (is_over) {
+    telemetry_->metrics().Add(metrics_.overcommit_entries);
+  }
+  // Reuse the target vector to carry the overcommit factors: cpu slot =
+  // factor before the transition, memory slot = factor after.
+  ResourceVector factors;
+  factors[ResourceKind::kCpu] = before;
+  factors[ResourceKind::kMemory] = after;
+  telemetry_->trace().Record(
+      is_over ? TraceEventKind::kOvercommitEnter : TraceEventKind::kOvercommitExit,
+      CascadeLayer::kHypervisor, vm, id_, factors, ResourceVector::Zero(), 0);
+}
+
 Vm* Server::AddVm(std::unique_ptr<Vm> vm) {
   assert(vm != nullptr);
   if (!vm->effective().AllLeq(Free())) {
@@ -16,8 +48,16 @@ Vm* Server::AddVm(std::unique_ptr<Vm> vm) {
                     << " beyond free capacity";
   }
   vm->set_state(VmState::kRunning);
+  const double oc_before = telemetry_ != nullptr ? NominalOvercommitment() : 0.0;
   vms_.push_back(std::move(vm));
-  return vms_.back().get();
+  Vm* added = vms_.back().get();
+  if (telemetry_ != nullptr) {
+    telemetry_->metrics().Add(metrics_.vms_added);
+    telemetry_->trace().Record(TraceEventKind::kVmLaunch, CascadeLayer::kNone,
+                               added->id(), id_, added->size(), added->effective(), 0);
+    RecordOvercommitTransition(oc_before, added->id());
+  }
+  return added;
 }
 
 std::unique_ptr<Vm> Server::RemoveVm(VmId id) {
@@ -26,8 +66,15 @@ std::unique_ptr<Vm> Server::RemoveVm(VmId id) {
   if (it == vms_.end()) {
     return nullptr;
   }
+  const double oc_before = telemetry_ != nullptr ? NominalOvercommitment() : 0.0;
   std::unique_ptr<Vm> out = std::move(*it);
   vms_.erase(it);
+  if (telemetry_ != nullptr) {
+    telemetry_->metrics().Add(metrics_.vms_removed);
+    telemetry_->trace().Record(TraceEventKind::kVmRemove, CascadeLayer::kNone,
+                               out->id(), id_, out->size(), out->effective(), 0);
+    RecordOvercommitTransition(oc_before, out->id());
+  }
   return out;
 }
 

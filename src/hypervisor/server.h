@@ -10,6 +10,7 @@
 
 #include "src/hypervisor/vm.h"
 #include "src/resources/resource_vector.h"
+#include "src/telemetry/telemetry.h"
 
 namespace defl {
 
@@ -56,10 +57,26 @@ class Server {
   // VMs as far as allowed.
   bool CanFitWithDeflation(const ResourceVector& demand) const;
 
+  // Publishes VM-lifecycle events and overcommit transitions (nominal
+  // overcommitment crossing 1.0) through `telemetry` (nullptr detaches).
+  void AttachTelemetry(TelemetryContext* telemetry);
+  TelemetryContext* telemetry() const { return telemetry_; }
+
  private:
+  // Emits kOvercommitEnter/kOvercommitExit when AddVm/RemoveVm moved the
+  // nominal overcommitment across 1.0.
+  void RecordOvercommitTransition(double before, int64_t vm);
+
   ServerId id_;
   ResourceVector capacity_;
   std::vector<std::unique_ptr<Vm>> vms_;
+
+  TelemetryContext* telemetry_ = nullptr;
+  struct {
+    CounterHandle vms_added;
+    CounterHandle vms_removed;
+    CounterHandle overcommit_entries;
+  } metrics_;
 };
 
 }  // namespace defl

@@ -62,8 +62,8 @@ SparkDeflationChoice SparkClusterBinding::DecideRound(double now, double fractio
   // proportional policy every worker receives (approximately) this fraction.
   const std::vector<double> fractions(engine_->worker_vms().size(),
                                       std::min(fraction, 0.95));
-  const SparkPolicyDecision decision =
-      DecideSparkDeflation(engine_->MakePolicyInputs(fractions));
+  const SparkPolicyDecision decision = DecideSparkDeflation(
+      engine_->MakePolicyInputs(fractions), controller_->telemetry());
   round_choice_ = decision.choice;
   if (round_choice_ == SparkDeflationChoice::kSelfDeflate) {
     ++self_rounds_;

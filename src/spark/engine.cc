@@ -49,6 +49,19 @@ SparkEngine::SparkEngine(Simulator* sim, SparkWorkload workload, std::vector<Vm*
   }
 }
 
+void SparkEngine::AttachTelemetry(TelemetryContext* telemetry) {
+  telemetry_ = telemetry;
+  if (telemetry_ == nullptr) {
+    metrics_ = {};
+    return;
+  }
+  MetricsRegistry& registry = telemetry_->metrics();
+  metrics_.tasks_completed = registry.Counter("spark/engine/tasks_completed");
+  metrics_.tasks_killed = registry.Counter("spark/engine/tasks_killed");
+  metrics_.rollbacks = registry.Counter("spark/engine/rollbacks");
+  metrics_.recomputed_tasks = registry.Counter("spark/engine/recomputed_tasks");
+}
+
 void SparkEngine::BuildStages() {
   // Map RDD id -> stage index while walking the (topologically ordered)
   // lineage. A new stage begins at a source, a wide dependency, or a cached
@@ -429,8 +442,14 @@ void SparkEngine::FinishTask(size_t running_index) {
     progress_cost_done_ += st.cost_per_task;
   } else {
     ++recomputed_tasks_;
+    if (telemetry_ != nullptr) {
+      telemetry_->metrics().Add(metrics_.recomputed_tasks);
+    }
   }
   completion_log_.push_back(TaskCompletion{sim_->now(), task.stage, st.records_per_task});
+  if (telemetry_ != nullptr) {
+    telemetry_->metrics().Add(metrics_.tasks_completed);
+  }
 
   RefreshSpeeds(task.executor.vm);
 
@@ -477,6 +496,7 @@ void SparkEngine::MaybeCheckpoint(int completed_stage) {
 }
 
 void SparkEngine::KillTasksOn(const ExecutorId& executor) {
+  int64_t killed = 0;
   for (size_t i = running_.size(); i-- > 0;) {
     RunningTask& t = running_[i];
     if (t.executor == executor) {
@@ -484,7 +504,14 @@ void SparkEngine::KillTasksOn(const ExecutorId& executor) {
       pending_[static_cast<size_t>(t.stage)].insert(t.partition);
       running_.erase(running_.begin() + static_cast<std::ptrdiff_t>(i));
       ++tasks_killed_;
+      ++killed;
     }
+  }
+  if (killed > 0 && telemetry_ != nullptr) {
+    telemetry_->metrics().Add(metrics_.tasks_killed, killed);
+    telemetry_->trace().Record(TraceEventKind::kTaskKill, CascadeLayer::kApplication,
+                               executor.vm, -1, ResourceVector::Zero(),
+                               ResourceVector::Zero(), static_cast<int32_t>(killed));
   }
 }
 
@@ -501,6 +528,14 @@ void SparkEngine::RollbackToCheckpoint() {
     t.event.Cancel();
     pending_[static_cast<size_t>(t.stage)].insert(t.partition);
     ++tasks_killed_;
+  }
+  if (telemetry_ != nullptr) {
+    MetricsRegistry& registry = telemetry_->metrics();
+    registry.Add(metrics_.rollbacks);
+    registry.Add(metrics_.tasks_killed, static_cast<int64_t>(running_.size()));
+    telemetry_->trace().Record(TraceEventKind::kRollback, CascadeLayer::kApplication,
+                               -1, -1, ResourceVector::Zero(), ResourceVector::Zero(),
+                               static_cast<int32_t>(running_.size()));
   }
   running_.clear();
   // Model state after the last checkpoint is lost: invalidate the outputs of

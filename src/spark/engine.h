@@ -31,6 +31,7 @@
 #include "src/sim/simulator.h"
 #include "src/spark/policy.h"
 #include "src/spark/workload.h"
+#include "src/telemetry/telemetry.h"
 
 namespace defl {
 
@@ -110,6 +111,10 @@ class SparkEngine {
   const std::vector<TaskCompletion>& completion_log() const { return completion_log_; }
   int AliveExecutors(VmId id) const;
   std::vector<Vm*> worker_vms() const;
+
+  // Publishes task-kill / rollback / completion telemetry (nullptr detaches).
+  void AttachTelemetry(TelemetryContext* telemetry);
+  TelemetryContext* telemetry() const { return telemetry_; }
   // Guest-OS memory footprint of a worker: base system usage plus the live
   // executors' shares (for agent/guest accounting).
   double WorkerFootprintMb(VmId id) const;
@@ -212,6 +217,14 @@ class SparkEngine {
   int64_t rollbacks_ = 0;
   int64_t recomputed_tasks_ = 0;
   std::vector<TaskCompletion> completion_log_;
+
+  TelemetryContext* telemetry_ = nullptr;
+  struct {
+    CounterHandle tasks_completed;
+    CounterHandle tasks_killed;
+    CounterHandle rollbacks;
+    CounterHandle recomputed_tasks;
+  } metrics_;
 };
 
 }  // namespace defl

@@ -39,12 +39,17 @@ class ExperimentRun {
       raw.push_back(vm.get());
     }
     engine_ = std::make_unique<SparkEngine>(&sim_, workload, raw, config.engine);
+    engine_->AttachTelemetry(config.telemetry);
+    cascade_.AttachTelemetry(config.telemetry);
     for (const auto& vm : vms_) {
       SyncGuestFootprint(*vm, *engine_, config.engine);
     }
   }
 
   SparkExperimentResult Run() {
+    // The simulator lives on this stack frame; scope the telemetry clock to
+    // the run so no dangling callback outlives it.
+    TelemetryClockScope clock_scope(config_.telemetry, [this] { return sim_.now(); });
     engine_->Start();
     ArmDeflationTrigger();
     sim_.Run(config_.sim_time_limit_s);
@@ -93,7 +98,8 @@ class ExperimentRun {
     if (approach == SparkReclamationApproach::kCascadePolicy) {
       // The driver collects the deflation vector and runs the policy.
       const std::vector<double> fractions(vms_.size(), f);
-      decision_ = DecideSparkDeflation(engine_->MakePolicyInputs(fractions));
+      decision_ =
+          DecideSparkDeflation(engine_->MakePolicyInputs(fractions), config_.telemetry);
       approach = decision_.choice == SparkDeflationChoice::kSelfDeflate
                      ? SparkReclamationApproach::kSelfDeflation
                      : SparkReclamationApproach::kVmLevel;

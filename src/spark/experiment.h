@@ -49,6 +49,10 @@ struct SparkExperimentConfig {
   double reinflate_after_s = -1.0;
   SparkEngine::Config engine;
   double sim_time_limit_s = 400000.0;
+  // Optional telemetry sink: the engine, the cascade controller, and the
+  // policy all publish through it; its clock follows the experiment's
+  // simulator for the duration of the run.
+  TelemetryContext* telemetry = nullptr;
 };
 
 struct SparkExperimentResult {

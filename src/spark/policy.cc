@@ -37,7 +37,8 @@ double EstimateSelfDeflationTimeFactor(double c, double mean_deflation, double r
   return c + (r * c + 1.0 - c) / (1.0 - Clamp01(mean_deflation));
 }
 
-SparkPolicyDecision DecideSparkDeflation(const SparkPolicyInputs& inputs) {
+SparkPolicyDecision DecideSparkDeflation(const SparkPolicyInputs& inputs,
+                                         TelemetryContext* telemetry) {
   SparkPolicyDecision decision;
   const auto& d = inputs.deflation_fractions;
   assert(!d.empty());
@@ -58,6 +59,19 @@ SparkPolicyDecision DecideSparkDeflation(const SparkPolicyInputs& inputs) {
   decision.choice = decision.t_self_factor < decision.t_vm_factor
                         ? SparkDeflationChoice::kSelfDeflate
                         : SparkDeflationChoice::kVmLevel;
+  if (telemetry != nullptr) {
+    // Decisions are per-round, not per-task: the idempotent name lookup here
+    // is off the hot path.
+    const bool self = decision.choice == SparkDeflationChoice::kSelfDeflate;
+    MetricsRegistry& registry = telemetry->metrics();
+    registry.Add(registry.Counter("spark/policy/decisions"));
+    registry.Add(registry.Counter(self ? "spark/policy/self" : "spark/policy/vm_level"));
+    telemetry->trace().Record(
+        TraceEventKind::kSparkPolicy, CascadeLayer::kApplication, -1, -1,
+        ResourceVector(decision.t_vm_factor, decision.t_self_factor, decision.r_used,
+                       inputs.progress_c),
+        ResourceVector::Zero(), self ? 1 : 0);
+  }
   return decision;
 }
 

@@ -13,6 +13,8 @@
 
 #include <vector>
 
+#include "src/telemetry/telemetry.h"
+
 namespace defl {
 
 enum class SparkDeflationChoice {
@@ -59,7 +61,13 @@ struct SparkPolicyDecision {
   double r_used = 0.0;
 };
 
-SparkPolicyDecision DecideSparkDeflation(const SparkPolicyInputs& inputs);
+// When `telemetry` is non-null, every decision is counted under
+// spark/policy/* and recorded as a kSparkPolicy trace event whose target
+// vector carries (t_vm_factor, t_self_factor, r_used, progress_c) in its
+// (cpu, mem, disk, net) slots and whose outcome is 1 for self-deflation,
+// 0 for VM-level.
+SparkPolicyDecision DecideSparkDeflation(const SparkPolicyInputs& inputs,
+                                         TelemetryContext* telemetry = nullptr);
 
 }  // namespace defl
 

@@ -1,0 +1,105 @@
+#include "src/telemetry/event_trace.h"
+
+#include <cstdio>
+
+namespace defl {
+namespace {
+
+std::string JsonNumber(double x) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", x);
+  return buf;
+}
+
+void DumpVector(std::ostream& os, const ResourceVector& v) {
+  os << "{\"cpu\": " << JsonNumber(v.cpu()) << ", \"mem_mb\": "
+     << JsonNumber(v.memory_mb()) << ", \"disk_bw\": " << JsonNumber(v.disk_bw())
+     << ", \"net_bw\": " << JsonNumber(v.net_bw()) << "}";
+}
+
+}  // namespace
+
+const char* TraceEventKindName(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::kCascadeStage:
+      return "cascade_stage";
+    case TraceEventKind::kDeflation:
+      return "deflation";
+    case TraceEventKind::kReinflation:
+      return "reinflation";
+    case TraceEventKind::kPlacement:
+      return "placement";
+    case TraceEventKind::kRejection:
+      return "rejection";
+    case TraceEventKind::kVmLaunch:
+      return "vm_launch";
+    case TraceEventKind::kVmRemove:
+      return "vm_remove";
+    case TraceEventKind::kVmComplete:
+      return "vm_complete";
+    case TraceEventKind::kPreemption:
+      return "preemption";
+    case TraceEventKind::kOvercommitEnter:
+      return "overcommit_enter";
+    case TraceEventKind::kOvercommitExit:
+      return "overcommit_exit";
+    case TraceEventKind::kSparkPolicy:
+      return "spark_policy";
+    case TraceEventKind::kTaskKill:
+      return "task_kill";
+    case TraceEventKind::kRollback:
+      return "rollback";
+  }
+  return "?";
+}
+
+const char* CascadeLayerName(CascadeLayer layer) {
+  switch (layer) {
+    case CascadeLayer::kNone:
+      return "none";
+    case CascadeLayer::kApplication:
+      return "application";
+    case CascadeLayer::kGuestOs:
+      return "guest_os";
+    case CascadeLayer::kBalloon:
+      return "balloon";
+    case CascadeLayer::kHypervisor:
+      return "hypervisor";
+  }
+  return "?";
+}
+
+int64_t EventTrace::CountKind(TraceEventKind kind) const {
+  int64_t n = 0;
+  for (const TraceEventRecord& e : events_) {
+    if (e.kind == kind) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+int64_t EventTrace::CountKind(TraceEventKind kind, CascadeLayer layer) const {
+  int64_t n = 0;
+  for (const TraceEventRecord& e : events_) {
+    if (e.kind == kind && e.layer == layer) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+void EventTrace::DumpJsonl(std::ostream& os) const {
+  for (const TraceEventRecord& e : events_) {
+    os << "{\"time\": " << JsonNumber(e.time) << ", \"kind\": \""
+       << TraceEventKindName(e.kind) << "\", \"layer\": \""
+       << CascadeLayerName(e.layer) << "\", \"vm\": " << e.vm
+       << ", \"server\": " << e.server << ", \"target\": ";
+    DumpVector(os, e.target);
+    os << ", \"reclaimed\": ";
+    DumpVector(os, e.reclaimed);
+    os << ", \"outcome\": " << e.outcome << "}\n";
+  }
+}
+
+}  // namespace defl

@@ -1,0 +1,119 @@
+// EventTrace: a structured, machine-consumable record of every deflation
+// decision the system takes. Each record is one fixed-size POD entry
+// {time, kind, layer, vm, server, target_vector, reclaimed_vector, outcome},
+// appended in O(1); recording can be disabled entirely (one branch per call)
+// for hot-path benchmarking. The trace replaces grepping DEFL_LOG output:
+// the per-VM allocation timelines, deflation latency distributions and
+// deflation-tolerance analyses of the evaluation all read from it.
+//
+// Event kinds and the meaning of the vector/outcome fields are documented in
+// DESIGN.md ("Telemetry & tracing").
+#ifndef SRC_TELEMETRY_EVENT_TRACE_H_
+#define SRC_TELEMETRY_EVENT_TRACE_H_
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <vector>
+
+#include "src/resources/resource_vector.h"
+
+namespace defl {
+
+enum class TraceEventKind : uint8_t {
+  kCascadeStage,   // one layer of one cascade deflation (layer set)
+  kDeflation,      // a whole cascade Deflate() call (requested vs reclaimed)
+  kReinflation,    // reverse cascade (requested vs returned)
+  kPlacement,      // a VM was placed on a server
+  kRejection,      // an arrival could not be placed
+  kVmLaunch,       // a VM started running on a server
+  kVmRemove,       // a VM left a server (any reason)
+  kVmComplete,     // normal completion, recorded by the cluster manager
+  kPreemption,     // a low-priority VM was revoked
+  kOvercommitEnter,  // server's nominal demand crossed above capacity
+  kOvercommitExit,   // ...and back below
+  kSparkPolicy,    // a Section 4.1 policy decision
+  kTaskKill,       // a Spark task was killed (self-deflation / preemption)
+  kRollback,       // a synchronous Spark job rolled back to its checkpoint
+};
+
+// The cascade layer an event belongs to, kNone for non-cascade events.
+enum class CascadeLayer : uint8_t {
+  kNone,
+  kApplication,
+  kGuestOs,
+  kBalloon,
+  kHypervisor,
+};
+
+const char* TraceEventKindName(TraceEventKind kind);
+const char* CascadeLayerName(CascadeLayer layer);
+
+struct TraceEventRecord {
+  double time = 0.0;
+  TraceEventKind kind = TraceEventKind::kDeflation;
+  CascadeLayer layer = CascadeLayer::kNone;
+  int64_t vm = -1;      // VmId, -1 when not VM-scoped
+  int64_t server = -1;  // ServerId, -1 when not server-scoped
+  ResourceVector target;
+  ResourceVector reclaimed;
+  // Kind-specific code: success flag, placement pass, policy choice, stage id.
+  int32_t outcome = 0;
+};
+
+class EventTrace {
+ public:
+  EventTrace() = default;
+  EventTrace(const EventTrace&) = delete;
+  EventTrace& operator=(const EventTrace&) = delete;
+
+  // The clock stamps records with the current simulated time; producers that
+  // run outside a simulator leave it unset (records stamp 0, or use RecordAt).
+  void SetClock(std::function<double()> clock) { clock_ = std::move(clock); }
+  void ClearClock() { clock_ = nullptr; }
+  double Now() const { return clock_ ? clock_() : 0.0; }
+
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+  bool enabled() const { return enabled_; }
+
+  // O(1) append; a disabled trace costs one branch.
+  void Record(TraceEventKind kind, CascadeLayer layer, int64_t vm, int64_t server,
+              const ResourceVector& target, const ResourceVector& reclaimed,
+              int32_t outcome) {
+    if (!enabled_) {
+      return;
+    }
+    RecordAt(Now(), kind, layer, vm, server, target, reclaimed, outcome);
+  }
+  void RecordAt(double time, TraceEventKind kind, CascadeLayer layer, int64_t vm,
+                int64_t server, const ResourceVector& target,
+                const ResourceVector& reclaimed, int32_t outcome) {
+    if (!enabled_) {
+      return;
+    }
+    events_.push_back(
+        TraceEventRecord{time, kind, layer, vm, server, target, reclaimed, outcome});
+  }
+
+  const std::vector<TraceEventRecord>& events() const { return events_; }
+  size_t size() const { return events_.size(); }
+  void Clear() { events_.clear(); }
+
+  // Counts events of one kind (convenience for tests and benches),
+  // optionally restricted to one cascade layer.
+  int64_t CountKind(TraceEventKind kind) const;
+  int64_t CountKind(TraceEventKind kind, CascadeLayer layer) const;
+
+  // One JSON object per line; deterministic (identical runs dump
+  // byte-identical output).
+  void DumpJsonl(std::ostream& os) const;
+
+ private:
+  bool enabled_ = true;
+  std::function<double()> clock_;
+  std::vector<TraceEventRecord> events_;
+};
+
+}  // namespace defl
+
+#endif  // SRC_TELEMETRY_EVENT_TRACE_H_

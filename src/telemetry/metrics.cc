@@ -1,0 +1,211 @@
+#include "src/telemetry/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace defl {
+namespace {
+
+// Deterministic, locale-independent double rendering for the JSON dump.
+std::string JsonNumber(double x) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", x);
+  return buf;
+}
+
+std::string JsonString(const std::string& s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+CounterHandle MetricsRegistry::Counter(const std::string& name) {
+  const CounterHandle existing = FindCounter(name);
+  if (existing.valid()) {
+    return existing;
+  }
+  counters_.push_back(CounterSlot{name, 0});
+  return CounterHandle{static_cast<int32_t>(counters_.size()) - 1};
+}
+
+GaugeHandle MetricsRegistry::Gauge(const std::string& name) {
+  const GaugeHandle existing = FindGauge(name);
+  if (existing.valid()) {
+    return existing;
+  }
+  gauges_.push_back(GaugeSlot{name, 0.0});
+  return GaugeHandle{static_cast<int32_t>(gauges_.size()) - 1};
+}
+
+DistributionHandle MetricsRegistry::Distribution(const std::string& name) {
+  const DistributionHandle existing = FindDistribution(name);
+  if (existing.valid()) {
+    return existing;
+  }
+  distributions_.push_back(DistributionSlot{name, RunningStats(), {}});
+  return DistributionHandle{static_cast<int32_t>(distributions_.size()) - 1};
+}
+
+DistributionHandle MetricsRegistry::Distribution(const std::string& name,
+                                                 double hist_lo, double hist_hi,
+                                                 int hist_bins) {
+  const DistributionHandle h = Distribution(name);
+  DistributionSlot& slot = distributions_[static_cast<size_t>(h.index)];
+  if (slot.histogram.empty()) {
+    slot.histogram.emplace_back(hist_lo, hist_hi, hist_bins);
+  }
+  return h;
+}
+
+SeriesHandle MetricsRegistry::Series(const std::string& name) {
+  const SeriesHandle existing = FindSeries(name);
+  if (existing.valid()) {
+    return existing;
+  }
+  series_.push_back(SeriesSlot{name, {}});
+  return SeriesHandle{static_cast<int32_t>(series_.size()) - 1};
+}
+
+void MetricsRegistry::Observe(DistributionHandle h, double sample) {
+  if (!h.valid()) {
+    return;
+  }
+  DistributionSlot& slot = distributions_[static_cast<size_t>(h.index)];
+  slot.stats.Add(sample);
+  if (!slot.histogram.empty()) {
+    slot.histogram.front().Add(sample);
+  }
+}
+
+const RunningStats& MetricsRegistry::distribution(DistributionHandle h) const {
+  static const RunningStats kEmpty;
+  return h.valid() ? distributions_[static_cast<size_t>(h.index)].stats : kEmpty;
+}
+
+const std::vector<MetricsRegistry::TimePoint>& MetricsRegistry::series_points(
+    SeriesHandle h) const {
+  static const std::vector<TimePoint> kEmpty;
+  return h.valid() ? series_[static_cast<size_t>(h.index)].points : kEmpty;
+}
+
+double MetricsRegistry::SeriesTimeWeightedMean(SeriesHandle h, double t_end) const {
+  const std::vector<TimePoint>& points = series_points(h);
+  if (points.empty()) {
+    return 0.0;
+  }
+  TimeWeightedMean mean;
+  for (const TimePoint& p : points) {
+    mean.Update(p.time, p.value);
+  }
+  return mean.Finish(std::max(t_end, points.back().time));
+}
+
+double MetricsRegistry::SeriesMax(SeriesHandle h) const {
+  const std::vector<TimePoint>& points = series_points(h);
+  double max = 0.0;
+  for (const TimePoint& p : points) {
+    max = std::max(max, p.value);
+  }
+  return max;
+}
+
+CounterHandle MetricsRegistry::FindCounter(const std::string& name) const {
+  for (size_t i = 0; i < counters_.size(); ++i) {
+    if (counters_[i].name == name) {
+      return CounterHandle{static_cast<int32_t>(i)};
+    }
+  }
+  return CounterHandle{};
+}
+
+GaugeHandle MetricsRegistry::FindGauge(const std::string& name) const {
+  for (size_t i = 0; i < gauges_.size(); ++i) {
+    if (gauges_[i].name == name) {
+      return GaugeHandle{static_cast<int32_t>(i)};
+    }
+  }
+  return GaugeHandle{};
+}
+
+DistributionHandle MetricsRegistry::FindDistribution(const std::string& name) const {
+  for (size_t i = 0; i < distributions_.size(); ++i) {
+    if (distributions_[i].name == name) {
+      return DistributionHandle{static_cast<int32_t>(i)};
+    }
+  }
+  return DistributionHandle{};
+}
+
+SeriesHandle MetricsRegistry::FindSeries(const std::string& name) const {
+  for (size_t i = 0; i < series_.size(); ++i) {
+    if (series_[i].name == name) {
+      return SeriesHandle{static_cast<int32_t>(i)};
+    }
+  }
+  return SeriesHandle{};
+}
+
+void MetricsRegistry::DumpJson(std::ostream& os) const {
+  os << "{\n  \"counters\": {";
+  for (size_t i = 0; i < counters_.size(); ++i) {
+    os << (i == 0 ? "\n" : ",\n") << "    " << JsonString(counters_[i].name)
+       << ": " << counters_[i].value;
+  }
+  os << (counters_.empty() ? "" : "\n  ") << "},\n  \"gauges\": {";
+  for (size_t i = 0; i < gauges_.size(); ++i) {
+    os << (i == 0 ? "\n" : ",\n") << "    " << JsonString(gauges_[i].name)
+       << ": " << JsonNumber(gauges_[i].value);
+  }
+  os << (gauges_.empty() ? "" : "\n  ") << "},\n  \"distributions\": {";
+  for (size_t i = 0; i < distributions_.size(); ++i) {
+    const DistributionSlot& slot = distributions_[i];
+    os << (i == 0 ? "\n" : ",\n") << "    " << JsonString(slot.name) << ": {"
+       << "\"count\": " << slot.stats.count()
+       << ", \"mean\": " << JsonNumber(slot.stats.mean())
+       << ", \"stddev\": " << JsonNumber(slot.stats.stddev())
+       << ", \"min\": " << JsonNumber(slot.stats.min())
+       << ", \"max\": " << JsonNumber(slot.stats.max())
+       << ", \"sum\": " << JsonNumber(slot.stats.sum());
+    if (!slot.histogram.empty()) {
+      const Histogram& hist = slot.histogram.front();
+      os << ", \"histogram\": [";
+      for (int b = 0; b < hist.num_bins(); ++b) {
+        os << (b == 0 ? "" : ", ") << "[" << JsonNumber(hist.bin_lo(b)) << ", "
+           << JsonNumber(hist.bin_hi(b)) << ", " << hist.bin_count(b) << "]";
+      }
+      os << "]";
+    }
+    os << "}";
+  }
+  os << (distributions_.empty() ? "" : "\n  ") << "},\n  \"series\": {";
+  for (size_t i = 0; i < series_.size(); ++i) {
+    const SeriesSlot& slot = series_[i];
+    os << (i == 0 ? "\n" : ",\n") << "    " << JsonString(slot.name)
+       << ": {\"points\": [";
+    for (size_t p = 0; p < slot.points.size(); ++p) {
+      os << (p == 0 ? "" : ", ") << "[" << JsonNumber(slot.points[p].time) << ", "
+         << JsonNumber(slot.points[p].value) << "]";
+    }
+    os << "]}";
+  }
+  os << (series_.empty() ? "" : "\n  ") << "}\n}\n";
+}
+
+}  // namespace defl

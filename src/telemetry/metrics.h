@@ -1,0 +1,155 @@
+// MetricsRegistry: the uniform instrumentation substrate for every layer of
+// the reproduction (cascade, local controllers, hypervisor servers, cluster
+// manager, cluster sim, Spark engine). Producers register named metrics once
+// (naming convention: "layer/subsystem/metric") and then publish through
+// small integer handles, so the hot path is an array index -- no map lookups,
+// no allocation beyond amortized vector growth.
+//
+// Metric families:
+//   * Counter      -- monotonically increasing int64 (events, ops, kills).
+//   * Gauge        -- a double that is set or accumulated (resource-hours).
+//   * Distribution -- RunningStats over samples, optionally histogram-backed
+//                     (latencies, per-op reclaimed MB).
+//   * Series       -- a piecewise-constant signal sampled in SimTime
+//                     (cluster utilization, overcommitment over time).
+//
+// Registration is idempotent: registering an existing name returns the same
+// handle, so several producers (e.g. per-server local controllers) can share
+// one aggregate metric.
+#ifndef SRC_TELEMETRY_METRICS_H_
+#define SRC_TELEMETRY_METRICS_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "src/common/stats.h"
+
+namespace defl {
+
+// Typed handles: cheap to copy, default-invalid so a detached producer can
+// keep them around without registering.
+struct CounterHandle {
+  int32_t index = -1;
+  bool valid() const { return index >= 0; }
+};
+struct GaugeHandle {
+  int32_t index = -1;
+  bool valid() const { return index >= 0; }
+};
+struct DistributionHandle {
+  int32_t index = -1;
+  bool valid() const { return index >= 0; }
+};
+struct SeriesHandle {
+  int32_t index = -1;
+  bool valid() const { return index >= 0; }
+};
+
+class MetricsRegistry {
+ public:
+  struct TimePoint {
+    double time = 0.0;
+    double value = 0.0;
+  };
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // --- Registration (idempotent; slow path, done once per producer) ---
+  CounterHandle Counter(const std::string& name);
+  GaugeHandle Gauge(const std::string& name);
+  DistributionHandle Distribution(const std::string& name);
+  // Distribution that additionally bins samples into a fixed histogram.
+  DistributionHandle Distribution(const std::string& name, double hist_lo,
+                                  double hist_hi, int hist_bins);
+  SeriesHandle Series(const std::string& name);
+
+  // --- Hot-path updates (O(1), handle-indexed) ---
+  void Add(CounterHandle h, int64_t delta = 1) {
+    if (h.valid()) {
+      counters_[static_cast<size_t>(h.index)].value += delta;
+    }
+  }
+  void Set(GaugeHandle h, double value) {
+    if (h.valid()) {
+      gauges_[static_cast<size_t>(h.index)].value = value;
+    }
+  }
+  // Gauges double as floating-point accumulators (e.g. delivered CPU-hours).
+  void AddTo(GaugeHandle h, double delta) {
+    if (h.valid()) {
+      gauges_[static_cast<size_t>(h.index)].value += delta;
+    }
+  }
+  void Observe(DistributionHandle h, double sample);
+  // Appends one (time, value) point; `time` must be non-decreasing per series
+  // (callers sample off the simulator clock, which only moves forward).
+  void ObserveAt(SeriesHandle h, double time, double value) {
+    if (h.valid()) {
+      series_[static_cast<size_t>(h.index)].points.push_back(
+          TimePoint{time, value});
+    }
+  }
+
+  // --- Reads ---
+  int64_t counter(CounterHandle h) const {
+    return h.valid() ? counters_[static_cast<size_t>(h.index)].value : 0;
+  }
+  double gauge(GaugeHandle h) const {
+    return h.valid() ? gauges_[static_cast<size_t>(h.index)].value : 0.0;
+  }
+  const RunningStats& distribution(DistributionHandle h) const;
+  const std::vector<TimePoint>& series_points(SeriesHandle h) const;
+  // Time-weighted mean of the piecewise-constant series signal over
+  // [first point, t_end]; 0 when empty.
+  double SeriesTimeWeightedMean(SeriesHandle h, double t_end) const;
+  double SeriesMax(SeriesHandle h) const;
+
+  // --- Lookup by name (slow; for tests and export consumers) ---
+  // Invalid handle if the name was never registered (or has another type).
+  CounterHandle FindCounter(const std::string& name) const;
+  GaugeHandle FindGauge(const std::string& name) const;
+  DistributionHandle FindDistribution(const std::string& name) const;
+  SeriesHandle FindSeries(const std::string& name) const;
+  int64_t CounterValue(const std::string& name) const {
+    return counter(FindCounter(name));
+  }
+  double GaugeValue(const std::string& name) const {
+    return gauge(FindGauge(name));
+  }
+
+  // JSON object with one section per metric family, in registration order.
+  // Output is deterministic: identical runs dump byte-identical JSON.
+  void DumpJson(std::ostream& os) const;
+
+ private:
+  struct CounterSlot {
+    std::string name;
+    int64_t value = 0;
+  };
+  struct GaugeSlot {
+    std::string name;
+    double value = 0.0;
+  };
+  struct DistributionSlot {
+    std::string name;
+    RunningStats stats;
+    std::vector<Histogram> histogram;  // empty or exactly one (no default ctor)
+  };
+  struct SeriesSlot {
+    std::string name;
+    std::vector<TimePoint> points;
+  };
+
+  std::vector<CounterSlot> counters_;
+  std::vector<GaugeSlot> gauges_;
+  std::vector<DistributionSlot> distributions_;
+  std::vector<SeriesSlot> series_;
+};
+
+}  // namespace defl
+
+#endif  // SRC_TELEMETRY_METRICS_H_

@@ -1,0 +1,62 @@
+// TelemetryContext: one bundle of MetricsRegistry + EventTrace that a whole
+// experiment shares. Producers hold a `TelemetryContext*` (nullptr =
+// detached, zero overhead beyond one branch) and pre-register their metric
+// handles in AttachTelemetry(); drivers (tools, benches, tests) own the
+// context, point its clock at their simulator, and export JSON/JSONL at the
+// end of the run.
+#ifndef SRC_TELEMETRY_TELEMETRY_H_
+#define SRC_TELEMETRY_TELEMETRY_H_
+
+#include <functional>
+#include <utility>
+
+#include "src/telemetry/event_trace.h"
+#include "src/telemetry/metrics.h"
+
+namespace defl {
+
+class TelemetryContext {
+ public:
+  TelemetryContext() = default;
+  TelemetryContext(const TelemetryContext&) = delete;
+  TelemetryContext& operator=(const TelemetryContext&) = delete;
+
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+  EventTrace& trace() { return trace_; }
+  const EventTrace& trace() const { return trace_; }
+
+  void SetClock(std::function<double()> clock) { trace_.SetClock(std::move(clock)); }
+  double Now() const { return trace_.Now(); }
+
+ private:
+  MetricsRegistry metrics_;
+  EventTrace trace_;
+};
+
+// RAII clock binding: drivers whose simulator dies before the context does
+// (experiments constructing a Simulator on the stack) scope the clock to the
+// run so no dangling clock callback survives.
+class TelemetryClockScope {
+ public:
+  TelemetryClockScope(TelemetryContext* telemetry, std::function<double()> clock)
+      : telemetry_(telemetry) {
+    if (telemetry_ != nullptr) {
+      telemetry_->SetClock(std::move(clock));
+    }
+  }
+  ~TelemetryClockScope() {
+    if (telemetry_ != nullptr) {
+      telemetry_->trace().ClearClock();
+    }
+  }
+  TelemetryClockScope(const TelemetryClockScope&) = delete;
+  TelemetryClockScope& operator=(const TelemetryClockScope&) = delete;
+
+ private:
+  TelemetryContext* telemetry_;
+};
+
+}  // namespace defl
+
+#endif  // SRC_TELEMETRY_TELEMETRY_H_

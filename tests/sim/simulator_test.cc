@@ -95,6 +95,44 @@ TEST(SimulatorTest, EveryCancelFromInsideCallback) {
   EXPECT_EQ(count, 3);
 }
 
+TEST(SimulatorTest, EveryCancelOnFirstFiringNeverRefires) {
+  // Regression: cancelling a periodic event from inside its very first
+  // callback must prevent the self-reschedule -- the callback must not run a
+  // second time even though the next tick may already be queued.
+  Simulator sim;
+  int count = 0;
+  EventHandle h;
+  h = sim.Every(1.0, [&] {
+    ++count;
+    h.Cancel();
+  });
+  sim.Run(100.0);
+  EXPECT_EQ(count, 1);
+  EXPECT_FALSE(h.pending());
+}
+
+TEST(SimulatorTest, EveryCancelledBySameTimeSiblingDoesNotFire) {
+  // A sibling event at the same timestamp, scheduled before the periodic
+  // event, cancels it; the tick pops later in the same instant and must be
+  // skipped.
+  Simulator sim;
+  int count = 0;
+  EventHandle h;
+  sim.At(1.0, [&] { h.Cancel(); });
+  h = sim.Every(1.0, [&] { ++count; });
+  sim.Run(10.0);
+  EXPECT_EQ(count, 0);
+
+  // And the mirror case: the tick fires first, then the sibling cancels the
+  // already-queued next tick.
+  Simulator sim2;
+  int count2 = 0;
+  EventHandle h2 = sim2.Every(1.0, [&] { ++count2; });
+  sim2.At(1.0, [&] { h2.Cancel(); });
+  sim2.Run(10.0);
+  EXPECT_EQ(count2, 1);
+}
+
 TEST(SimulatorTest, StepReturnsFalseWhenEmpty) {
   Simulator sim;
   EXPECT_FALSE(sim.Step());

@@ -1,0 +1,117 @@
+// Integration: the cluster simulation publishing through a TelemetryContext.
+// Two identical runs must produce byte-identical exports (the determinism
+// guarantee the --metrics-out/--trace-out tool flags rely on), and the
+// registry-backed ClusterCounters view must agree with the counter metrics
+// it is derived from.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "src/cluster/cluster_sim.h"
+#include "src/telemetry/telemetry.h"
+
+namespace defl {
+namespace {
+
+ClusterSimConfig SmallSim() {
+  ClusterSimConfig config;
+  config.num_servers = 8;
+  config.server_capacity = ResourceVector(32.0, 256.0 * 1024.0, 1000.0, 10000.0);
+  config.trace.duration_s = 3600.0 * 2;
+  config.trace.max_lifetime_s = 3600.0;
+  config.trace.seed = 42;
+  config.trace =
+      WithTargetLoad(config.trace, 1.4, config.num_servers, config.server_capacity);
+  config.cluster.strategy = ReclamationStrategy::kDeflation;
+  config.cluster.controller.mode = DeflationMode::kVmLevel;
+  config.sample_period_s = 300.0;
+  return config;
+}
+
+TEST(ClusterTelemetryTest, SameSeedRunsExportIdenticalTelemetry) {
+  const ClusterSimConfig config = SmallSim();
+  std::string metrics[2];
+  std::string trace[2];
+  for (int run = 0; run < 2; ++run) {
+    TelemetryContext telemetry;
+    RunClusterSim(config, &telemetry);
+    std::ostringstream metrics_os;
+    telemetry.metrics().DumpJson(metrics_os);
+    metrics[run] = metrics_os.str();
+    std::ostringstream trace_os;
+    telemetry.trace().DumpJsonl(trace_os);
+    trace[run] = trace_os.str();
+    EXPECT_GT(telemetry.trace().size(), 0u);
+  }
+  EXPECT_EQ(metrics[0], metrics[1]);
+  EXPECT_EQ(trace[0], trace[1]);
+}
+
+TEST(ClusterTelemetryTest, CountersViewMatchesRegistry) {
+  TelemetryContext telemetry;
+  const ClusterSimResult result = RunClusterSim(SmallSim(), &telemetry);
+  const MetricsRegistry& registry = telemetry.metrics();
+  EXPECT_GT(result.counters.launched, 0);
+  EXPECT_EQ(result.counters.launched, registry.CounterValue("cluster/vms/launched"));
+  EXPECT_EQ(result.counters.launched_low_priority,
+            registry.CounterValue("cluster/vms/launched_low_priority"));
+  EXPECT_EQ(result.counters.rejected, registry.CounterValue("cluster/vms/rejected"));
+  EXPECT_EQ(result.counters.preempted, registry.CounterValue("cluster/vms/preempted"));
+  EXPECT_EQ(result.counters.completed, registry.CounterValue("cluster/vms/completed"));
+  EXPECT_EQ(result.counters.deflation_ops,
+            registry.CounterValue("cluster/deflation_ops"));
+}
+
+TEST(ClusterTelemetryTest, ResultFieldsAgreeWithRegistryDerivation) {
+  TelemetryContext telemetry;
+  const ClusterSimConfig config = SmallSim();
+  const ClusterSimResult result = RunClusterSim(config, &telemetry);
+  const MetricsRegistry& registry = telemetry.metrics();
+  // The result's headline figures are themselves registry reads; recomputing
+  // them from the exported series must reproduce them exactly.
+  const SeriesHandle util = registry.FindSeries("cluster/utilization");
+  const SeriesHandle oc = registry.FindSeries("cluster/overcommitment");
+  ASSERT_TRUE(util.valid());
+  ASSERT_TRUE(oc.valid());
+  EXPECT_DOUBLE_EQ(result.mean_utilization,
+                   registry.SeriesTimeWeightedMean(util, config.trace.duration_s));
+  EXPECT_DOUBLE_EQ(result.mean_overcommitment,
+                   registry.SeriesTimeWeightedMean(oc, config.trace.duration_s));
+  EXPECT_DOUBLE_EQ(result.peak_overcommitment, registry.SeriesMax(oc));
+  const SeriesHandle per_server = registry.FindSeries("cluster/server_overcommitment");
+  ASSERT_TRUE(per_server.valid());
+  EXPECT_EQ(result.server_overcommitment_samples.size(),
+            registry.series_points(per_server).size());
+}
+
+TEST(ClusterTelemetryTest, TraceContainsLifecycleAndDeflationEvents) {
+  TelemetryContext telemetry;
+  const ClusterSimResult result = RunClusterSim(SmallSim(), &telemetry);
+  const EventTrace& trace = telemetry.trace();
+  EXPECT_EQ(trace.CountKind(TraceEventKind::kVmLaunch), result.counters.launched);
+  EXPECT_EQ(trace.CountKind(TraceEventKind::kVmComplete), result.counters.completed);
+  EXPECT_EQ(trace.CountKind(TraceEventKind::kPlacement), result.counters.launched);
+  // At 1.4x offered load the controller must have deflated something, and
+  // each cascade Deflate() emits at least one per-layer stage event.
+  EXPECT_GT(trace.CountKind(TraceEventKind::kDeflation), 0);
+  EXPECT_GE(trace.CountKind(TraceEventKind::kCascadeStage),
+            trace.CountKind(TraceEventKind::kDeflation));
+  // Events are stamped off the simulator clock in non-decreasing order.
+  double last = -1.0;
+  for (const TraceEventRecord& event : trace.events()) {
+    EXPECT_GE(event.time, last);
+    last = event.time;
+  }
+}
+
+TEST(ClusterTelemetryTest, NullContextStillProducesCounters) {
+  // The one-argument overload runs on a private context: the counters view
+  // must stay live even when the caller provides no telemetry.
+  const ClusterSimResult result = RunClusterSim(SmallSim());
+  EXPECT_GT(result.counters.launched, 0);
+  EXPECT_GT(result.mean_utilization, 0.0);
+}
+
+}  // namespace
+}  // namespace defl

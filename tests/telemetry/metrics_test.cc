@@ -1,0 +1,146 @@
+#include "src/telemetry/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+namespace defl {
+namespace {
+
+TEST(MetricsRegistryTest, CounterAddAndRead) {
+  MetricsRegistry registry;
+  const CounterHandle ops = registry.Counter("cascade/deflate/ops");
+  EXPECT_TRUE(ops.valid());
+  EXPECT_EQ(registry.counter(ops), 0);
+  registry.Add(ops);
+  registry.Add(ops, 4);
+  EXPECT_EQ(registry.counter(ops), 5);
+  EXPECT_EQ(registry.CounterValue("cascade/deflate/ops"), 5);
+}
+
+TEST(MetricsRegistryTest, RegistrationIsIdempotent) {
+  MetricsRegistry registry;
+  const CounterHandle a = registry.Counter("cluster/vms/launched");
+  const CounterHandle b = registry.Counter("cluster/vms/launched");
+  EXPECT_EQ(a.index, b.index);
+  registry.Add(a);
+  registry.Add(b);
+  // Both handles publish into the same slot -- how per-server controllers
+  // share one aggregate metric.
+  EXPECT_EQ(registry.counter(a), 2);
+
+  const GaugeHandle g1 = registry.Gauge("cluster/usage/cpu_hours");
+  const GaugeHandle g2 = registry.Gauge("cluster/usage/cpu_hours");
+  EXPECT_EQ(g1.index, g2.index);
+  const DistributionHandle d1 = registry.Distribution("cascade/latency_s");
+  const DistributionHandle d2 = registry.Distribution("cascade/latency_s");
+  EXPECT_EQ(d1.index, d2.index);
+  const SeriesHandle s1 = registry.Series("cluster/utilization");
+  const SeriesHandle s2 = registry.Series("cluster/utilization");
+  EXPECT_EQ(s1.index, s2.index);
+}
+
+TEST(MetricsRegistryTest, InvalidHandlesAreSafeNoOps) {
+  MetricsRegistry registry;
+  CounterHandle c;  // default: invalid, as held by a detached producer
+  GaugeHandle g;
+  DistributionHandle d;
+  SeriesHandle s;
+  EXPECT_FALSE(c.valid());
+  registry.Add(c);
+  registry.Set(g, 3.0);
+  registry.AddTo(g, 1.0);
+  registry.Observe(d, 7.0);
+  registry.ObserveAt(s, 1.0, 2.0);
+  EXPECT_EQ(registry.counter(c), 0);
+  EXPECT_DOUBLE_EQ(registry.gauge(g), 0.0);
+  EXPECT_EQ(registry.distribution(d).count(), 0);
+  EXPECT_TRUE(registry.series_points(s).empty());
+  EXPECT_DOUBLE_EQ(registry.SeriesTimeWeightedMean(s, 10.0), 0.0);
+  EXPECT_DOUBLE_EQ(registry.SeriesMax(s), 0.0);
+}
+
+TEST(MetricsRegistryTest, FindReturnsInvalidForUnknownName) {
+  MetricsRegistry registry;
+  registry.Counter("a/b/c");
+  EXPECT_FALSE(registry.FindCounter("no/such/metric").valid());
+  EXPECT_FALSE(registry.FindGauge("a/b/c").valid());  // wrong family
+  EXPECT_FALSE(registry.FindDistribution("a/b/c").valid());
+  EXPECT_FALSE(registry.FindSeries("a/b/c").valid());
+  EXPECT_EQ(registry.CounterValue("no/such/metric"), 0);
+  EXPECT_DOUBLE_EQ(registry.GaugeValue("no/such/metric"), 0.0);
+}
+
+TEST(MetricsRegistryTest, GaugeSetAndAccumulate) {
+  MetricsRegistry registry;
+  const GaugeHandle g = registry.Gauge("cluster/usage/vm_hours");
+  registry.Set(g, 10.0);
+  EXPECT_DOUBLE_EQ(registry.gauge(g), 10.0);
+  registry.AddTo(g, 2.5);
+  registry.AddTo(g, 2.5);
+  EXPECT_DOUBLE_EQ(registry.gauge(g), 15.0);
+  EXPECT_DOUBLE_EQ(registry.GaugeValue("cluster/usage/vm_hours"), 15.0);
+}
+
+TEST(MetricsRegistryTest, DistributionTracksRunningStats) {
+  MetricsRegistry registry;
+  const DistributionHandle d = registry.Distribution("cascade/deflate/latency_s");
+  for (const double sample : {1.0, 2.0, 3.0, 4.0}) {
+    registry.Observe(d, sample);
+  }
+  const RunningStats& stats = registry.distribution(d);
+  EXPECT_EQ(stats.count(), 4);
+  EXPECT_DOUBLE_EQ(stats.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(stats.min(), 1.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 4.0);
+}
+
+TEST(MetricsRegistryTest, HistogramBackedDistributionStillObserves) {
+  MetricsRegistry registry;
+  const DistributionHandle d =
+      registry.Distribution("cascade/deflate/latency_s", 0.0, 100.0, 10);
+  registry.Observe(d, 5.0);
+  registry.Observe(d, 95.0);
+  registry.Observe(d, 1000.0);  // clamps into the last bin
+  EXPECT_EQ(registry.distribution(d).count(), 3);
+  EXPECT_DOUBLE_EQ(registry.distribution(d).max(), 1000.0);
+}
+
+TEST(MetricsRegistryTest, SeriesTimeWeightedMeanIsPiecewiseConstant) {
+  MetricsRegistry registry;
+  const SeriesHandle s = registry.Series("cluster/utilization");
+  registry.ObserveAt(s, 0.0, 1.0);
+  registry.ObserveAt(s, 10.0, 3.0);
+  // 1.0 holds over [0, 10), 3.0 over [10, 20]: mean = (10 + 30) / 20.
+  EXPECT_DOUBLE_EQ(registry.SeriesTimeWeightedMean(s, 20.0), 2.0);
+  EXPECT_DOUBLE_EQ(registry.SeriesMax(s), 3.0);
+  ASSERT_EQ(registry.series_points(s).size(), 2u);
+  EXPECT_DOUBLE_EQ(registry.series_points(s)[1].time, 10.0);
+  EXPECT_DOUBLE_EQ(registry.series_points(s)[1].value, 3.0);
+}
+
+TEST(MetricsRegistryTest, DumpJsonIsDeterministicAndNamed) {
+  auto populate = [](MetricsRegistry& registry) {
+    registry.Add(registry.Counter("cluster/vms/launched"), 7);
+    registry.Set(registry.Gauge("cluster/usage/vm_hours"), 1.25);
+    registry.Observe(registry.Distribution("cascade/deflate/latency_s"), 3.5);
+    registry.ObserveAt(registry.Series("cluster/utilization"), 60.0, 0.5);
+  };
+  MetricsRegistry a;
+  MetricsRegistry b;
+  populate(a);
+  populate(b);
+  std::ostringstream dump_a;
+  std::ostringstream dump_b;
+  a.DumpJson(dump_a);
+  b.DumpJson(dump_b);
+  EXPECT_EQ(dump_a.str(), dump_b.str());
+  EXPECT_NE(dump_a.str().find("\"cluster/vms/launched\""), std::string::npos);
+  EXPECT_NE(dump_a.str().find("\"cluster/usage/vm_hours\""), std::string::npos);
+  EXPECT_NE(dump_a.str().find("\"cascade/deflate/latency_s\""), std::string::npos);
+  EXPECT_NE(dump_a.str().find("\"cluster/utilization\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace defl

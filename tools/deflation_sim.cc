@@ -10,12 +10,15 @@
 //   deflation_sim --strategy=preemption --placement=2-choices --load=1.4
 //   deflation_sim --trace-file=my_trace.csv --pricing
 //   deflation_sim --save-trace=generated.csv --load=1.2
+//   deflation_sim --metrics-out=metrics.json --trace-out=events.jsonl
 #include <cstdio>
+#include <fstream>
 #include <string>
 
 #include "src/cluster/cluster_sim.h"
 #include "src/cluster/trace_io.h"
 #include "src/common/flags.h"
+#include "src/telemetry/telemetry.h"
 
 using namespace defl;
 
@@ -36,6 +39,8 @@ struct Options {
   bool pricing = false;
   std::string trace_file;
   std::string save_trace;
+  std::string metrics_out;
+  std::string trace_out;
 };
 
 int Fail(const std::string& message) {
@@ -68,6 +73,10 @@ int main(int argc, char** argv) {
                    &opt.trace_file);
   parser.AddString("save-trace", "write the generated trace to this CSV file",
                    &opt.save_trace);
+  parser.AddString("metrics-out", "write the metrics registry to this JSON file",
+                   &opt.metrics_out);
+  parser.AddString("trace-out", "write the deflation event trace to this JSONL file",
+                   &opt.trace_out);
   const Result<std::vector<std::string>> parsed = parser.Parse(argc, argv);
   if (!parsed.ok()) {
     return Fail(parsed.error());
@@ -126,7 +135,29 @@ int main(int argc, char** argv) {
     std::printf("wrote %zu events to %s\n", generated.size(), opt.save_trace.c_str());
   }
 
-  const ClusterSimResult r = RunClusterSim(config);
+  TelemetryContext telemetry;
+  // Recording the full event trace costs memory; only do it when asked.
+  telemetry.trace().set_enabled(!opt.trace_out.empty());
+  const ClusterSimResult r = RunClusterSim(config, &telemetry);
+
+  if (!opt.metrics_out.empty()) {
+    std::ofstream os(opt.metrics_out);
+    if (!os) {
+      return Fail("cannot open --metrics-out file " + opt.metrics_out);
+    }
+    telemetry.metrics().DumpJson(os);
+    os << "\n";
+    std::printf("wrote metrics to %s\n", opt.metrics_out.c_str());
+  }
+  if (!opt.trace_out.empty()) {
+    std::ofstream os(opt.trace_out);
+    if (!os) {
+      return Fail("cannot open --trace-out file " + opt.trace_out);
+    }
+    telemetry.trace().DumpJsonl(os);
+    std::printf("wrote %zu trace events to %s\n", telemetry.trace().size(),
+                opt.trace_out.c_str());
+  }
 
   std::printf("\n=== deflation_sim: %d servers x %lldc/%.0fGB, %s, %s, load %.2f ===\n",
               config.num_servers, static_cast<long long>(opt.server_cpus),

@@ -8,11 +8,14 @@
 //   spark_sim --workload=als --approach=cascade --fraction=0.5
 //   spark_sim --workload=cnn --approach=preemption --fraction=0.25
 //   spark_sim --workload=kmeans --approach=self --fraction=0.5 --at-progress=0.3
+//   spark_sim --workload=als --metrics-out=metrics.json --trace-out=events.jsonl
 #include <cstdio>
+#include <fstream>
 #include <string>
 
 #include "src/common/flags.h"
 #include "src/spark/experiment.h"
+#include "src/telemetry/telemetry.h"
 
 using namespace defl;
 
@@ -32,6 +35,8 @@ int main(int argc, char** argv) {
   double at_progress = 0.5;
   double scale = 1.0;
   int64_t workers = 8;
+  std::string metrics_out;
+  std::string trace_out;
 
   FlagParser parser("spark_sim: Spark workloads under resource deflation");
   parser.AddString("workload", "als | kmeans | cnn | rnn", &workload_name);
@@ -41,6 +46,10 @@ int main(int argc, char** argv) {
   parser.AddDouble("at-progress", "job progress at which pressure hits", &at_progress);
   parser.AddDouble("scale", "workload size multiplier", &scale);
   parser.AddInt("workers", "number of worker VMs", &workers);
+  parser.AddString("metrics-out", "write the metrics registry to this JSON file",
+                   &metrics_out);
+  parser.AddString("trace-out", "write the deflation event trace to this JSONL file",
+                   &trace_out);
   const Result<std::vector<std::string>> parsed = parser.Parse(argc, argv);
   if (!parsed.ok()) {
     return Fail(parsed.error());
@@ -75,10 +84,34 @@ int main(int argc, char** argv) {
     return Fail("unknown --approach '" + approach_name + "'");
   }
 
+  // The baseline run stays untelemetered so only the measured run's events
+  // land in the export.
   const double baseline = SparkBaselineMakespan(workload, config);
+  TelemetryContext telemetry;
+  telemetry.trace().set_enabled(!trace_out.empty());
+  config.telemetry = &telemetry;
   const SparkExperimentResult result = RunSparkExperiment(workload, config);
   if (!result.completed) {
     return Fail("job did not complete within the simulation limit");
+  }
+
+  if (!metrics_out.empty()) {
+    std::ofstream os(metrics_out);
+    if (!os) {
+      return Fail("cannot open --metrics-out file " + metrics_out);
+    }
+    telemetry.metrics().DumpJson(os);
+    os << "\n";
+    std::printf("wrote metrics to %s\n", metrics_out.c_str());
+  }
+  if (!trace_out.empty()) {
+    std::ofstream os(trace_out);
+    if (!os) {
+      return Fail("cannot open --trace-out file " + trace_out);
+    }
+    telemetry.trace().DumpJsonl(os);
+    std::printf("wrote %zu trace events to %s\n", telemetry.trace().size(),
+                trace_out.c_str());
   }
 
   std::printf("workload      %s (x%.2f scale, %lld workers)\n", workload.name.c_str(),
