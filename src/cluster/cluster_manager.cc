@@ -7,6 +7,20 @@
 
 namespace defl {
 
+const char* ServerHealthName(ServerHealth health) {
+  switch (health) {
+    case ServerHealth::kHealthy:
+      return "healthy";
+    case ServerHealth::kDegraded:
+      return "degraded";
+    case ServerHealth::kDown:
+      return "down";
+    case ServerHealth::kRecovering:
+      return "recovering";
+  }
+  return "?";
+}
+
 ClusterManager::ClusterManager(int num_servers, const ResourceVector& server_capacity,
                                const ClusterConfig& config, TelemetryContext* telemetry)
     : config_(config), rng_(config.seed) {
@@ -27,6 +41,15 @@ ClusterManager::ClusterManager(int num_servers, const ResourceVector& server_cap
   metrics_.preempted = registry.Counter("cluster/vms/preempted");
   metrics_.completed = registry.Counter("cluster/vms/completed");
   metrics_.deflation_ops = registry.Counter("cluster/deflation_ops");
+  metrics_.crash_replaced = registry.Counter("cluster/vms/crash_replaced");
+  metrics_.crash_preempted = registry.Counter("cluster/vms/crash_preempted");
+  metrics_.crash_lost = registry.Counter("cluster/vms/crash_lost");
+  metrics_.server_crashes = registry.Counter("cluster/servers/crashes");
+  metrics_.server_recoveries = registry.Counter("cluster/servers/recoveries");
+  metrics_.server_degrades = registry.Counter("cluster/servers/degrades");
+  metrics_.healthy_servers = registry.Gauge("cluster/servers/healthy");
+  health_.assign(static_cast<size_t>(num_servers), ServerHealth::kHealthy);
+  registry.Set(metrics_.healthy_servers, static_cast<double>(num_servers));
   for (int i = 0; i < num_servers; ++i) {
     servers_.push_back(std::make_unique<Server>(i, server_capacity));
     servers_.back()->AttachTelemetry(telemetry_);
@@ -45,6 +68,11 @@ ClusterCounters ClusterManager::counters() const {
   out.preempted = registry.counter(metrics_.preempted);
   out.completed = registry.counter(metrics_.completed);
   out.deflation_ops = registry.counter(metrics_.deflation_ops);
+  out.crash_replaced = registry.counter(metrics_.crash_replaced);
+  out.crash_preempted = registry.counter(metrics_.crash_preempted);
+  out.crash_lost = registry.counter(metrics_.crash_lost);
+  out.server_crashes = registry.counter(metrics_.server_crashes);
+  out.server_recoveries = registry.counter(metrics_.server_recoveries);
   return out;
 }
 
@@ -66,8 +94,8 @@ LocalController* ClusterManager::controller(ServerId id) {
   return nullptr;
 }
 
-Result<ServerId> ClusterManager::LaunchVm(std::unique_ptr<Vm> vm) {
-  assert(vm != nullptr);
+ClusterManager::PlaceOutcome ClusterManager::TryPlace(std::unique_ptr<Vm>& vm) {
+  PlaceOutcome out;
   const ResourceVector demand = vm->size();
   const bool low_priority = vm->deflatable();
 
@@ -86,30 +114,32 @@ Result<ServerId> ClusterManager::LaunchVm(std::unique_ptr<Vm> vm) {
     // High priority displaces low priority outright as the last resort.
     passes.push_back(AvailabilityMode::kFreePlusPreemptible);
   }
+  std::vector<size_t> index_map;
+  const std::vector<Server*> candidates = PlaceableServers(&index_map);
   Result<size_t> placed = Error{"unplaced"};
-  for (const AvailabilityMode mode : passes) {
-    placed = PlaceVm(demand, servers(), config_.placement, rng_, mode);
-    if (placed.ok()) {
-      break;
+  if (candidates.empty()) {
+    placed = Error{"no healthy servers"};
+  } else {
+    for (const AvailabilityMode mode : passes) {
+      placed = PlaceVm(demand, candidates, config_.placement, rng_, mode);
+      if (placed.ok()) {
+        break;
+      }
     }
   }
-  MetricsRegistry& registry = telemetry_->metrics();
   if (!placed.ok()) {
-    registry.Add(metrics_.rejected);
-    telemetry_->trace().Record(TraceEventKind::kRejection, CascadeLayer::kNone,
-                               vm->id(), -1, demand, ResourceVector::Zero(), 0);
-    return Error{placed.error()};
+    out.error = placed.error();
+    return out;
   }
-  Server& server = *servers_[placed.value()];
+  const size_t index = index_map[placed.value()];
+  Server& server = *servers_[index];
+  out.server = server.id();
 
-  // Placement outcome for the trace: 1 = fit into free capacity,
-  // 2 = deflation made room, 3 = preemption made room.
-  int32_t placement_outcome = 1;
+  MetricsRegistry& registry = telemetry_->metrics();
   if (!demand.AllLeq(server.Free())) {
     if (config_.strategy == ReclamationStrategy::kDeflation) {
-      placement_outcome = 2;
-      LocalController* controller = controllers_[placed.value()].get();
-      const ReclaimResult reclaim = controller->MakeRoom(demand);
+      out.trace_outcome = 2;
+      const ReclaimResult reclaim = controllers_[index]->MakeRoom(demand);
       for (const VmId victim : reclaim.preempted) {
         registry.Add(metrics_.preempted);
         preempted_since_take_.push_back(victim);
@@ -118,31 +148,51 @@ Result<ServerId> ClusterManager::LaunchVm(std::unique_ptr<Vm> vm) {
         registry.Add(metrics_.deflation_ops);
       }
       if (!reclaim.success) {
-        registry.Add(metrics_.rejected);
-        telemetry_->trace().Record(TraceEventKind::kRejection, CascadeLayer::kNone,
-                                   vm->id(), server.id(), demand, reclaim.freed, 2);
-        return Error{"reclamation failed on chosen server"};
+        out.freed = reclaim.freed;
+        out.error = "reclamation failed on chosen server";
+        return out;
       }
     } else {
-      placement_outcome = 3;
+      out.trace_outcome = 3;
       if (!PreemptForDemand(server, demand)) {
-        registry.Add(metrics_.rejected);
-        telemetry_->trace().Record(TraceEventKind::kRejection, CascadeLayer::kNone,
-                                   vm->id(), server.id(), demand,
-                                   ResourceVector::Zero(), 3);
-        return Error{"preemption could not free enough resources"};
+        out.error = "preemption could not free enough resources";
+        return out;
       }
     }
   }
 
+  telemetry_->trace().Record(TraceEventKind::kPlacement, CascadeLayer::kNone, vm->id(),
+                             server.id(), demand, server.Free(), out.trace_outcome);
+  if (faults_ != nullptr) {
+    vm->guest_os().AttachFaultInjector(faults_, vm->id());
+  }
+  server.AddVm(std::move(vm));
+  out.ok = true;
+  return out;
+}
+
+Result<ServerId> ClusterManager::LaunchVm(std::unique_ptr<Vm> vm) {
+  assert(vm != nullptr);
+  const VmId id = vm->id();
+  const ResourceVector demand = vm->size();
+  const bool low_priority = vm->deflatable();
+  MetricsRegistry& registry = telemetry_->metrics();
+
+  const PlaceOutcome placed = TryPlace(vm);
+  if (!placed.ok) {
+    registry.Add(metrics_.rejected);
+    // Rejection outcome mirrors how far placement got: 0 = no feasible
+    // server, 2 = deflation fell short, 3 = preemption fell short.
+    const int32_t outcome = placed.server < 0 ? 0 : placed.trace_outcome;
+    telemetry_->trace().Record(TraceEventKind::kRejection, CascadeLayer::kNone, id,
+                               placed.server, demand, placed.freed, outcome);
+    return Error{placed.error};
+  }
   registry.Add(metrics_.launched);
   if (low_priority) {
     registry.Add(metrics_.launched_low_priority);
   }
-  telemetry_->trace().Record(TraceEventKind::kPlacement, CascadeLayer::kNone, vm->id(),
-                             server.id(), demand, server.Free(), placement_outcome);
-  server.AddVm(std::move(vm));
-  return server.id();
+  return placed.server;
 }
 
 bool ClusterManager::PreemptForDemand(Server& server, const ResourceVector& demand) {
@@ -220,12 +270,179 @@ std::vector<VmId> ClusterManager::TakePreempted() {
   return out;
 }
 
+void ClusterManager::AttachFaultInjector(FaultInjector* faults) {
+  faults_ = faults;
+  for (auto& controller : controllers_) {
+    controller->AttachFaultInjector(faults);
+  }
+  for (auto& server : servers_) {
+    for (const auto& vm : server->vms()) {
+      vm->guest_os().AttachFaultInjector(faults, vm->id());
+    }
+  }
+}
+
+std::vector<Server*> ClusterManager::PlaceableServers(
+    std::vector<size_t>* index_map) const {
+  std::vector<Server*> out;
+  index_map->clear();
+  for (size_t i = 0; i < servers_.size(); ++i) {
+    if (health_[i] != ServerHealth::kHealthy) {
+      continue;
+    }
+    out.push_back(servers_[i].get());
+    index_map->push_back(i);
+  }
+  return out;
+}
+
+int ClusterManager::ServerIndex(ServerId id) const {
+  for (size_t i = 0; i < servers_.size(); ++i) {
+    if (servers_[i]->id() == id) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+ServerHealth ClusterManager::health(ServerId id) const {
+  const int index = ServerIndex(id);
+  assert(index >= 0);
+  return health_[static_cast<size_t>(index)];
+}
+
+void ClusterManager::UpdateHealthGauge() {
+  double healthy = 0.0;
+  for (const ServerHealth h : health_) {
+    if (h == ServerHealth::kHealthy) {
+      healthy += 1.0;
+    }
+  }
+  telemetry_->metrics().Set(metrics_.healthy_servers, healthy);
+}
+
+void ClusterManager::ResetVmDeflation(Vm& vm) {
+  vm.HvRelease(vm.hv_reclaimed());
+  vm.guest_os().Replug(vm.guest_os().unplugged());
+}
+
+void ClusterManager::CrashServer(ServerId id) {
+  const int index = ServerIndex(id);
+  if (index < 0 || health_[index] == ServerHealth::kDown) {
+    return;
+  }
+  health_[index] = ServerHealth::kDown;
+  Server& server = *servers_[index];
+  MetricsRegistry& registry = telemetry_->metrics();
+  registry.Add(metrics_.server_crashes);
+  UpdateHealthGauge();
+  telemetry_->trace().Record(TraceEventKind::kServerCrash, CascadeLayer::kNone, -1, id,
+                             server.Allocated(), ResourceVector::Zero(),
+                             static_cast<int32_t>(server.vm_count()));
+  DEFL_LOG(kInfo) << "server " << id << ": crashed with " << server.vm_count()
+                  << " VMs";
+
+  // Evacuate: the crash wiped every hosted VM; each restarts at nominal
+  // size somewhere else if the cluster has room. High priority re-places
+  // first so transient capacity cannot crowd it out.
+  std::vector<std::unique_ptr<Vm>> lost;
+  while (server.vm_count() > 0) {
+    const VmId vm_id = server.vms().front()->id();
+    controllers_[index]->UnregisterAgent(vm_id);
+    lost.push_back(server.RemoveVm(vm_id));
+  }
+  std::stable_sort(lost.begin(), lost.end(),
+                   [](const std::unique_ptr<Vm>& a, const std::unique_ptr<Vm>& b) {
+                     if (a->priority() != b->priority()) {
+                       return a->priority() == VmPriority::kHigh;
+                     }
+                     return a->id() < b->id();
+                   });
+  for (auto& vm : lost) {
+    ResetVmDeflation(*vm);
+    vm->set_state(VmState::kPending);
+    const VmId vm_id = vm->id();
+    const ResourceVector size = vm->size();
+    const bool low_priority = vm->deflatable();
+    const PlaceOutcome placed = TryPlace(vm);
+    if (placed.ok) {
+      registry.Add(metrics_.crash_replaced);
+      continue;
+    }
+    if (low_priority) {
+      // Crash-induced revocation: outcome 4 distinguishes it from policy
+      // preemption (outcome 0) in the trace, and crash_preempted keeps it
+      // out of the preemption-probability numerator.
+      registry.Add(metrics_.crash_preempted);
+      telemetry_->trace().Record(TraceEventKind::kPreemption, CascadeLayer::kNone,
+                                 vm_id, id, size, ResourceVector::Zero(), 4);
+      vm->set_state(VmState::kPreempted);
+      preempted_since_take_.push_back(vm_id);
+    } else {
+      registry.Add(metrics_.crash_lost);
+      telemetry_->trace().Record(TraceEventKind::kRejection, CascadeLayer::kNone,
+                                 vm_id, id, size, ResourceVector::Zero(), 4);
+      vm->set_state(VmState::kPreempted);
+    }
+  }
+}
+
+void ClusterManager::DegradeServer(ServerId id) {
+  const int index = ServerIndex(id);
+  if (index < 0 || health_[index] != ServerHealth::kHealthy) {
+    return;
+  }
+  health_[index] = ServerHealth::kDegraded;
+  telemetry_->metrics().Add(metrics_.server_degrades);
+  UpdateHealthGauge();
+  telemetry_->trace().Record(TraceEventKind::kServerDegrade, CascadeLayer::kNone, -1,
+                             id, ResourceVector::Zero(), ResourceVector::Zero(), 0);
+}
+
+void ClusterManager::RecoverServer(ServerId id) {
+  const int index = ServerIndex(id);
+  if (index < 0 || health_[index] != ServerHealth::kDown) {
+    return;
+  }
+  health_[index] = ServerHealth::kRecovering;
+  telemetry_->metrics().Add(metrics_.server_recoveries);
+  UpdateHealthGauge();
+  telemetry_->trace().Record(TraceEventKind::kServerRecover, CascadeLayer::kNone, -1,
+                             id, servers_[index]->capacity(), ResourceVector::Zero(),
+                             0);
+  // The returned capacity relieves cluster pressure; survivors that were
+  // squeezed while the server was down get their resources back.
+  if (config_.strategy == ReclamationStrategy::kDeflation) {
+    for (size_t i = 0; i < servers_.size(); ++i) {
+      if (health_[i] == ServerHealth::kHealthy ||
+          health_[i] == ServerHealth::kDegraded) {
+        controllers_[i]->ReinflateAll();
+      }
+    }
+  }
+}
+
+void ClusterManager::MarkHealthy(ServerId id) {
+  const int index = ServerIndex(id);
+  if (index < 0) {
+    return;
+  }
+  if (health_[index] == ServerHealth::kRecovering ||
+      health_[index] == ServerHealth::kDegraded) {
+    health_[index] = ServerHealth::kHealthy;
+    UpdateHealthGauge();
+  }
+}
+
 double ClusterManager::Utilization() const {
   ResourceVector allocated;
   ResourceVector capacity;
-  for (const auto& server : servers_) {
-    allocated += server->Allocated();
-    capacity += server->capacity();
+  for (size_t i = 0; i < servers_.size(); ++i) {
+    if (health_[i] == ServerHealth::kDown) {
+      continue;  // a down server's capacity is not serving anyone
+    }
+    allocated += servers_[i]->Allocated();
+    capacity += servers_[i]->capacity();
   }
   double util = 0.0;
   for (const ResourceKind kind : kAllResources) {
@@ -239,9 +456,12 @@ double ClusterManager::Utilization() const {
 double ClusterManager::Overcommitment() const {
   ResourceVector nominal;
   ResourceVector capacity;
-  for (const auto& server : servers_) {
-    capacity += server->capacity();
-    for (const auto& vm : server->vms()) {
+  for (size_t i = 0; i < servers_.size(); ++i) {
+    if (health_[i] == ServerHealth::kDown) {
+      continue;
+    }
+    capacity += servers_[i]->capacity();
+    for (const auto& vm : servers_[i]->vms()) {
       nominal += vm->size();
     }
   }

@@ -4,19 +4,35 @@
 // deflation to minimum sizes cannot satisfy demand, and reinflates
 // proportionally when resources free up. A preemption-only mode implements
 // the baseline used in Figure 8c.
+//
+// Servers additionally carry a health state machine driven by fault
+// injection (DESIGN.md §8): healthy -> degraded -> down -> recovering ->
+// healthy. Unhealthy servers are excluded from placement; crashing a server
+// evacuates its VMs (re-placed elsewhere if possible, otherwise revoked as
+// crash preemptions), and recovery reinflates the survivors.
 #ifndef SRC_CLUSTER_CLUSTER_MANAGER_H_
 #define SRC_CLUSTER_CLUSTER_MANAGER_H_
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "src/cluster/placement.h"
 #include "src/common/result.h"
 #include "src/common/rng.h"
 #include "src/core/local_controller.h"
+#include "src/faults/fault_injector.h"
 #include "src/hypervisor/server.h"
 
 namespace defl {
+
+// Per-server health as seen by the cluster manager. Only kHealthy servers
+// receive new placements; kDegraded keeps its VMs but takes no more;
+// kDown has lost everything; kRecovering is back up but on probation until
+// the manager promotes it (MarkHealthy).
+enum class ServerHealth { kHealthy, kDegraded, kDown, kRecovering };
+
+const char* ServerHealthName(ServerHealth health);
 
 enum class ReclamationStrategy {
   kDeflation,       // proportional cascade deflation, preempt below minimums
@@ -37,9 +53,16 @@ struct ClusterCounters {
   int64_t launched = 0;
   int64_t launched_low_priority = 0;
   int64_t rejected = 0;
-  int64_t preempted = 0;       // low-priority VMs revoked
+  int64_t preempted = 0;       // low-priority VMs revoked by policy
   int64_t completed = 0;
   int64_t deflation_ops = 0;   // MakeRoom calls that deflated something
+  // Crash fallout, kept separate from the policy counters above so the
+  // paper's preemption probability is not polluted by injected failures.
+  int64_t crash_replaced = 0;  // VMs re-placed after their server crashed
+  int64_t crash_preempted = 0; // low-priority VMs revoked because no server had room
+  int64_t crash_lost = 0;      // high-priority VMs that could not be re-placed
+  int64_t server_crashes = 0;
+  int64_t server_recoveries = 0;
 };
 
 class ClusterManager {
@@ -67,6 +90,31 @@ class ClusterManager {
   // Low-priority VMs revoked since the last call (for lifecycle bookkeeping).
   std::vector<VmId> TakePreempted();
 
+  // --- Failure injection and server health (DESIGN.md §8) ---
+
+  // Forwards the injector to every local controller (agent guards, cascade
+  // latency spikes) and to the guest OS of every hosted and future VM
+  // (partial-unplug faults). nullptr detaches.
+  void AttachFaultInjector(FaultInjector* faults);
+  FaultInjector* fault_injector() const { return faults_; }
+
+  ServerHealth health(ServerId id) const;
+  // Whole-server failure: marks the server kDown and evacuates it. Each lost
+  // VM is reset to its nominal allocation (crash wipes deflation state) and
+  // re-placed on a healthy server if any fits (counted crash_replaced);
+  // otherwise low-priority VMs are revoked (crash_preempted, trace outcome 4)
+  // and high-priority VMs are lost (crash_lost). No-op if already down.
+  void CrashServer(ServerId id);
+  // kHealthy -> kDegraded: keeps its VMs but receives no new placements.
+  void DegradeServer(ServerId id);
+  // kDown -> kRecovering: capacity returns (still excluded from placement)
+  // and the relieved pressure proportionally reinflates survivors on the
+  // healthy servers.
+  void RecoverServer(ServerId id);
+  // Promotes kRecovering/kDegraded back to kHealthy after the caller's
+  // probation grace period.
+  void MarkHealthy(ServerId id);
+
   // --- Cluster-level metrics ---
   // Dominant-dimension utilization of backed resources, in [0, 1].
   double Utilization() const;
@@ -76,6 +124,29 @@ class ClusterManager {
   std::vector<double> PerServerOvercommitment() const;
 
  private:
+  // Outcome of one placement attempt (shared by LaunchVm and crash
+  // re-placement; the caller does its own rejection accounting).
+  struct PlaceOutcome {
+    bool ok = false;
+    ServerId server = -1;
+    // 1 = fit into free capacity, 2 = deflation made room, 3 = preemption
+    // made room (trace outcome convention of kPlacement/kRejection).
+    int32_t trace_outcome = 1;
+    ResourceVector freed;  // what reclamation managed to free on failure
+    std::string error;
+  };
+
+  // Places `vm` on a healthy server, reclaiming per the configured strategy.
+  // Consumes `vm` on success and leaves it intact on failure.
+  PlaceOutcome TryPlace(std::unique_ptr<Vm>& vm);
+  // Healthy servers only, with `index_map` mapping returned positions back
+  // to indices into servers_/controllers_.
+  std::vector<Server*> PlaceableServers(std::vector<size_t>* index_map) const;
+  int ServerIndex(ServerId id) const;
+  void UpdateHealthGauge();
+  // Crash wipes deflation state: the re-placed VM restarts at nominal size.
+  static void ResetVmDeflation(Vm& vm);
+
   // Preemption-only reclamation: revoke low-priority VMs on `server` until
   // `demand` fits; returns false if impossible.
   bool PreemptForDemand(Server& server, const ResourceVector& demand);
@@ -84,7 +155,9 @@ class ClusterManager {
   Rng rng_;
   std::vector<std::unique_ptr<Server>> servers_;
   std::vector<std::unique_ptr<LocalController>> controllers_;
+  std::vector<ServerHealth> health_;
   std::vector<VmId> preempted_since_take_;
+  FaultInjector* faults_ = nullptr;
 
   TelemetryContext* telemetry_ = nullptr;
   std::unique_ptr<TelemetryContext> owned_telemetry_;
@@ -95,6 +168,13 @@ class ClusterManager {
     CounterHandle preempted;
     CounterHandle completed;
     CounterHandle deflation_ops;
+    CounterHandle crash_replaced;
+    CounterHandle crash_preempted;
+    CounterHandle crash_lost;
+    CounterHandle server_crashes;
+    CounterHandle server_recoveries;
+    CounterHandle server_degrades;
+    GaugeHandle healthy_servers;
   } metrics_;
 };
 

@@ -26,6 +26,34 @@ ClusterSimResult RunClusterSim(const ClusterSimConfig& config,
   TelemetryClockScope clock_scope(telemetry, [&sim] { return sim.now(); });
   ClusterManager manager(config.num_servers, config.server_capacity, config.cluster,
                          telemetry);
+  // Only built when the plan has rules, so a faultless run registers no
+  // fault metrics and its output stays byte-identical to earlier builds.
+  std::unique_ptr<FaultInjector> injector;
+  if (!config.fault_plan.rules.empty()) {
+    injector = std::make_unique<FaultInjector>(config.fault_plan);
+    injector->AttachTelemetry(telemetry);
+    manager.AttachFaultInjector(injector.get());
+    for (const FaultInjector::ServerEvent& event :
+         injector->ServerEventsFor(config.num_servers)) {
+      sim.At(event.time_s, [&manager, &sim, &config, event] {
+        switch (event.kind) {
+          case FaultKind::kServerCrash:
+            manager.CrashServer(event.server);
+            break;
+          case FaultKind::kServerDegrade:
+            manager.DegradeServer(event.server);
+            break;
+          case FaultKind::kServerRecover:
+            manager.RecoverServer(event.server);
+            sim.After(config.recovery_grace_s,
+                      [&manager, event] { manager.MarkHealthy(event.server); });
+            break;
+          default:
+            break;
+        }
+      });
+    }
+  }
   const std::vector<TraceEvent> trace =
       config.explicit_trace.empty() ? GenerateTrace(config.trace)
                                     : config.explicit_trace;
@@ -149,6 +177,10 @@ ClusterSimResult RunClusterSim(const ClusterSimConfig& config,
   result.usage.preemptions = result.counters.preempted;
   result.low_priority_allocation_quality =
       registry.distribution(allocation_quality).mean();
+  result.crash_preemptions = result.counters.crash_preempted;
+  result.crash_replacements = result.counters.crash_replaced;
+  result.server_crashes = result.counters.server_crashes;
+  result.server_recoveries = result.counters.server_recoveries;
   return result;
 }
 

@@ -10,6 +10,7 @@
 #include "src/cluster/cluster_manager.h"
 #include "src/cluster/pricing.h"
 #include "src/cluster/trace.h"
+#include "src/faults/fault_plan.h"
 
 namespace defl {
 
@@ -32,6 +33,14 @@ struct ClusterSimConfig {
   // reinflating everything and re-deflating moments later.
   bool predictive_holdback = false;
   double predictor_alpha = 0.2;
+  // Failure injection (DESIGN.md §8). Rules with no effect in a cluster run
+  // are ignored; server_crash/server_degrade/server_recover rules become
+  // scheduled health transitions. An empty plan disables injection entirely
+  // (and keeps the telemetry output byte-identical to a faultless build).
+  FaultPlan fault_plan;
+  // How long a recovered server stays on probation (kRecovering, excluded
+  // from placement) before being promoted back to kHealthy.
+  double recovery_grace_s = 600.0;
 };
 
 struct ClusterSimResult {
@@ -50,6 +59,13 @@ struct ClusterSimResult {
   // Mean fraction of their nominal size that low-priority VMs actually had
   // (1.0 = never deflated); the "quality" of transient capacity.
   double low_priority_allocation_quality = 0.0;
+  // Crash fallout, separate from the policy preemptions above: VMs revoked
+  // because their server died and nothing else had room do not count against
+  // the deflation policy's preemption probability.
+  int64_t crash_preemptions = 0;
+  int64_t crash_replacements = 0;
+  int64_t server_crashes = 0;
+  int64_t server_recoveries = 0;
 };
 
 // Runs the simulation publishing through `telemetry`: the cluster manager /

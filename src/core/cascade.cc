@@ -191,6 +191,17 @@ DeflationOutcome CascadeController::Deflate(Vm& vm, DeflationAgent* agent,
   }
 
   out.latency_seconds = latency_model_.TotalSeconds(out.breakdown);
+  if (faults_ != nullptr) {
+    // Hypervisor ops under host contention: the swap/throttle stage takes a
+    // multiple of its modeled time. The reclaimed amounts are unaffected --
+    // the hypervisor layer is slow, never wrong.
+    const FaultDecision spike =
+        faults_->Sample(FaultKind::kHvLatencySpike, vm.id(), -1);
+    if (spike.fired && spike.magnitude > 1.0) {
+      out.latency_seconds += (spike.magnitude - 1.0) *
+                             latency_model_.HypervisorStageSeconds(out.breakdown);
+    }
+  }
   if (telemetry_ != nullptr) {
     MetricsRegistry& registry = telemetry_->metrics();
     registry.Add(metrics_.deflate_ops);

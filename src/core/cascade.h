@@ -8,6 +8,7 @@
 #define SRC_CORE_CASCADE_H_
 
 #include "src/core/deflation_agent.h"
+#include "src/faults/fault_injector.h"
 #include "src/hypervisor/latency.h"
 #include "src/hypervisor/vm.h"
 #include "src/resources/resource_vector.h"
@@ -84,6 +85,12 @@ class CascadeController {
   void AttachTelemetry(TelemetryContext* telemetry);
   TelemetryContext* telemetry() const { return telemetry_; }
 
+  // Injects hypervisor-stage latency spikes (kHvLatencySpike rules) into the
+  // outcome latency. nullptr detaches; the detached hot path costs one
+  // branch.
+  void AttachFaultInjector(FaultInjector* faults) { faults_ = faults; }
+  FaultInjector* fault_injector() const { return faults_; }
+
  private:
   // Deflation-outcome bits for the kDeflation trace event.
   static constexpr int32_t kOutcomeTargetMet = 1;
@@ -91,6 +98,7 @@ class CascadeController {
 
   DeflationMode mode_;
   DeflationLatencyModel latency_model_;
+  FaultInjector* faults_ = nullptr;
 
   TelemetryContext* telemetry_ = nullptr;
   struct {

@@ -25,6 +25,9 @@ LocalController::LocalController(Server* server, const LocalControllerConfig& co
 void LocalController::AttachTelemetry(TelemetryContext* telemetry) {
   telemetry_ = telemetry;
   cascade_.AttachTelemetry(telemetry);
+  for (const auto& [id, guard] : guards_) {
+    guard->AttachTelemetry(telemetry);
+  }
   if (telemetry_ == nullptr) {
     metrics_ = {};
     return;
@@ -36,15 +39,58 @@ void LocalController::AttachTelemetry(TelemetryContext* telemetry) {
   metrics_.make_room_latency_s = registry.Distribution("controller/make_room/latency_s");
 }
 
-void LocalController::RegisterAgent(VmId id, DeflationAgent* agent) {
-  agents_[id] = agent;
+void LocalController::AttachFaultInjector(FaultInjector* faults) {
+  faults_ = faults;
+  cascade_.AttachFaultInjector(faults);
+  if (faults_ == nullptr) {
+    guards_.clear();
+    return;
+  }
+  for (const auto& [id, agent] : agents_) {
+    WrapAgent(id, agent);
+  }
 }
 
-void LocalController::UnregisterAgent(VmId id) { agents_.erase(id); }
+void LocalController::WrapAgent(VmId id, DeflationAgent* agent) {
+  auto guard = std::make_unique<GuardedAgent>(id, agent, faults_, config_.guard);
+  guard->AttachTelemetry(telemetry_);
+  guards_[id] = std::move(guard);
+}
+
+void LocalController::RegisterAgent(VmId id, DeflationAgent* agent) {
+  agents_[id] = agent;
+  if (faults_ != nullptr) {
+    WrapAgent(id, agent);
+  }
+}
+
+void LocalController::UnregisterAgent(VmId id) {
+  agents_.erase(id);
+  guards_.erase(id);
+}
 
 DeflationAgent* LocalController::FindAgent(VmId id) const {
+  const auto guard = guards_.find(id);
+  if (guard != guards_.end()) {
+    return guard->second.get();
+  }
   const auto it = agents_.find(id);
   return it != agents_.end() ? it->second : nullptr;
+}
+
+GuardedAgent* LocalController::FindGuard(VmId id) const {
+  const auto guard = guards_.find(id);
+  return guard != guards_.end() ? guard->second.get() : nullptr;
+}
+
+DeflationOutcome LocalController::GuardedDeflate(Vm& vm, const ResourceVector& target) {
+  DeflationOutcome outcome = cascade_.Deflate(vm, FindAgent(vm.id()), target, Options());
+  if (GuardedAgent* guard = FindGuard(vm.id())) {
+    // Timeouts, retries, and backoff waits happened inside the app stage;
+    // they are wall-clock time the reclamation spent.
+    outcome.latency_seconds += guard->TakeInjectedDelay();
+  }
+  return outcome;
 }
 
 ResourceVector LocalController::DeflatedBy(const Vm& vm) {
@@ -54,7 +100,7 @@ ResourceVector LocalController::DeflatedBy(const Vm& vm) {
 DeflationOutcome LocalController::DeflateVm(VmId id, const ResourceVector& target) {
   Vm* vm = server_->FindVm(id);
   assert(vm != nullptr);
-  return cascade_.Deflate(*vm, FindAgent(id), target, Options());
+  return GuardedDeflate(*vm, target);
 }
 
 CascadeOptions LocalController::Options() const {
@@ -153,8 +199,7 @@ ReclaimResult LocalController::MakeRoom(const ResourceVector& demand) {
     if (!target.AnyPositive()) {
       continue;
     }
-    const DeflationOutcome outcome =
-        cascade_.Deflate(*vm, FindAgent(vm->id()), target, Options());
+    const DeflationOutcome outcome = GuardedDeflate(*vm, target);
     result.freed += outcome.TotalReclaimed();
     result.latency_seconds = std::max(result.latency_seconds, outcome.latency_seconds);
     result.deflated.push_back(vm->id());
@@ -176,8 +221,7 @@ ReclaimResult LocalController::MakeRoom(const ResourceVector& demand) {
       if (!take.AnyPositive()) {
         continue;
       }
-      const DeflationOutcome outcome =
-          cascade_.Deflate(*vm, FindAgent(vm->id()), take, Options());
+      const DeflationOutcome outcome = GuardedDeflate(*vm, take);
       result.freed += outcome.TotalReclaimed();
       result.latency_seconds = std::max(result.latency_seconds, outcome.latency_seconds);
       residual = (demand - server_->Free()).ClampNonNegative();

@@ -7,8 +7,10 @@
 #define SRC_CORE_LOCAL_CONTROLLER_H_
 
 #include <map>
+#include <memory>
 #include <vector>
 
+#include "src/core/agent_guard.h"
 #include "src/core/cascade.h"
 #include "src/core/deflation_agent.h"
 #include "src/hypervisor/server.h"
@@ -37,6 +39,9 @@ struct LocalControllerConfig {
   // Per-operation deadline for the synchronous cascade stages (Section 5);
   // <= 0 disables. Clipped work falls through to the hypervisor.
   double deflation_deadline_s = 0.0;
+  // Agent RPC deadline/retry/circuit-breaker settings; effective only while
+  // a fault injector is attached (without one, no RPC can fail).
+  AgentGuardConfig guard;
 };
 
 struct ReclaimResult {
@@ -55,9 +60,13 @@ class LocalController {
   LocalController(Server* server, const LocalControllerConfig& config = {});
 
   // Registers/unregisters the application deflation agent for a hosted VM.
+  // With a fault injector attached, the agent is wrapped in a GuardedAgent
+  // (deadline + retries + circuit breaker); FindAgent returns the wrapper.
   void RegisterAgent(VmId id, DeflationAgent* agent);
   void UnregisterAgent(VmId id);
   DeflationAgent* FindAgent(VmId id) const;
+  // The guard for a VM's agent, or nullptr (no injector / no agent).
+  GuardedAgent* FindGuard(VmId id) const;
 
   // Ensures at least `demand` is free on the server, deflating low-priority
   // VMs proportionally to their deflatable headroom and preempting (farthest-
@@ -83,15 +92,26 @@ class LocalController {
   void AttachTelemetry(TelemetryContext* telemetry);
   TelemetryContext* telemetry() const { return telemetry_; }
 
+  // Enables failure injection: forwards the injector to the cascade
+  // (latency spikes) and wraps registered agents in GuardedAgents so the
+  // RPC path gains deadlines, retries, and the per-VM circuit breaker.
+  void AttachFaultInjector(FaultInjector* faults);
+  FaultInjector* fault_injector() const { return faults_; }
+
  private:
   // Total amount a VM has been deflated by (unplug + overcommit).
   static ResourceVector DeflatedBy(const Vm& vm);
   CascadeOptions Options() const;
+  // Cascade deflation of one VM plus the guard's synthetic RPC latency.
+  DeflationOutcome GuardedDeflate(Vm& vm, const ResourceVector& target);
+  void WrapAgent(VmId id, DeflationAgent* agent);
 
   Server* server_;
   LocalControllerConfig config_;
   CascadeController cascade_;
+  FaultInjector* faults_ = nullptr;
   std::map<VmId, DeflationAgent*> agents_;
+  std::map<VmId, std::unique_ptr<GuardedAgent>> guards_;
 
   TelemetryContext* telemetry_ = nullptr;
   struct {

@@ -1,6 +1,7 @@
 #include "src/core/protocol.h"
 
 #include <charconv>
+#include <cmath>
 #include <cstdio>
 #include <sstream>
 
@@ -50,6 +51,11 @@ Result<double> ParseField(const std::string& token, const char* key) {
   if (ec != std::errc() || ptr != value.data() + value.size()) {
     return Error{"bad numeric value in '" + token + "'"};
   }
+  // from_chars accepts "inf"/"nan" spellings; a non-finite amount would
+  // poison every downstream resource computation.
+  if (!std::isfinite(parsed)) {
+    return Error{"non-finite value in '" + token + "'"};
+  }
   return parsed;
 }
 
@@ -72,6 +78,11 @@ std::string EncodeMessage(const DeflationMessage& message) {
 }
 
 Result<DeflationMessage> DecodeMessage(const std::string& line) {
+  // EncodeMessage emits at most 256 bytes; anything much longer is not ours
+  // and is rejected before tokenization touches it.
+  if (line.size() > 512) {
+    return Error{"oversized message line (" + std::to_string(line.size()) + " bytes)"};
+  }
   std::istringstream in(line);
   std::string tag;
   std::string kind_token;
@@ -102,6 +113,13 @@ Result<DeflationMessage> DecodeMessage(const std::string& line) {
   }
   if (in >> token) {
     return Error{"trailing garbage: '" + token + "'"};
+  }
+  // vm and seq are identifiers: fractional or magnitude-overflowing values
+  // mean the field was corrupted, not that a huge id exists.
+  for (int i = 0; i < 2; ++i) {
+    if (values[i] != std::floor(values[i]) || std::abs(values[i]) > 9.0e15) {
+      return Error{std::string("non-integral id field '") + keys[i] + "'"};
+    }
   }
   message.vm_id = static_cast<VmId>(values[0]);
   message.sequence = static_cast<int64_t>(values[1]);
@@ -157,8 +175,11 @@ ResourceVector RemoteAgentProxy::SelfDeflate(const ResourceVector& target) {
   request.sequence = ++sequence_;
   request.amount = target;
   const Result<DeflationMessage> reply = DecodeMessage(transport_(EncodeMessage(request)));
-  if (!reply.ok() || reply.value().sequence != request.sequence) {
-    // A silent or confused agent frees nothing; the cascade falls through.
+  if (!reply.ok() || reply.value().sequence != request.sequence ||
+      reply.value().kind != DeflationMessageKind::kDeflateResponse ||
+      reply.value().vm_id != vm_id_) {
+    // A silent, confused, or cross-wired agent frees nothing; the cascade
+    // falls through.
     return ResourceVector::Zero();
   }
   return reply.value().amount.ClampNonNegative();

@@ -1,0 +1,122 @@
+#include "src/faults/fault_injector.h"
+
+#include <algorithm>
+
+namespace defl {
+namespace {
+
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {
+  rule_fires_.assign(plan_.rules.size(), 0);
+}
+
+void FaultInjector::AttachTelemetry(TelemetryContext* telemetry) {
+  telemetry_ = telemetry;
+  if (telemetry_ == nullptr) {
+    metrics_ = {};
+    return;
+  }
+  MetricsRegistry& registry = telemetry_->metrics();
+  for (int i = 0; i < kNumFaultKinds; ++i) {
+    const FaultKind kind = static_cast<FaultKind>(i);
+    metrics_[static_cast<size_t>(i)] =
+        registry.Counter(std::string("faults/injected/") + FaultKindName(kind));
+  }
+}
+
+double FaultInjector::SiteUniform(FaultKind kind, int64_t vm, int64_t server,
+                                  uint64_t n, uint64_t salt) const {
+  uint64_t x = plan_.seed;
+  x = SplitMix64(x ^ (static_cast<uint64_t>(kind) + 1));
+  x = SplitMix64(x ^ static_cast<uint64_t>(vm));
+  x = SplitMix64(x ^ static_cast<uint64_t>(server));
+  x = SplitMix64(x ^ n);
+  x = SplitMix64(x ^ salt);
+  return static_cast<double>(x >> 11) * 0x1.0p-53;
+}
+
+FaultDecision FaultInjector::Sample(FaultKind kind, int64_t vm, int64_t server) {
+  FaultDecision decision;
+  if (plan_.rules.empty()) {
+    return decision;
+  }
+  const double now = Now();
+  for (size_t r = 0; r < plan_.rules.size(); ++r) {
+    const FaultRule& rule = plan_.rules[r];
+    if (rule.kind != kind || IsServerEventKind(rule.kind)) {
+      continue;
+    }
+    if (rule.vm >= 0 && rule.vm != vm) {
+      continue;
+    }
+    if (rule.server >= 0 && rule.server != server) {
+      continue;
+    }
+    if (now < rule.start_s || now > rule.end_s) {
+      continue;
+    }
+    if (rule.max_count >= 0 && rule_fires_[r] >= rule.max_count) {
+      continue;
+    }
+    const uint64_t n = site_draws_[{static_cast<uint8_t>(kind), vm, server}]++;
+    if (SiteUniform(kind, vm, server, n, 0) >= rule.probability) {
+      return decision;  // the matched rule's trial failed: no fault here
+    }
+    ++rule_fires_[r];
+    ++injected_[static_cast<size_t>(kind)];
+    decision.fired = true;
+    decision.magnitude = rule.magnitude;
+    decision.roll = SiteUniform(kind, vm, server, n, 1);
+    if (telemetry_ != nullptr) {
+      telemetry_->metrics().Add(metrics_[static_cast<size_t>(kind)]);
+      // target packs (magnitude, roll) so the trace alone reconstructs the
+      // injected severity; outcome carries the fault kind.
+      telemetry_->trace().Record(TraceEventKind::kFaultInjected, CascadeLayer::kNone,
+                                 vm, server,
+                                 ResourceVector(decision.magnitude, decision.roll),
+                                 ResourceVector::Zero(), static_cast<int32_t>(kind));
+    }
+    return decision;
+  }
+  return decision;
+}
+
+int64_t FaultInjector::total_injected() const {
+  int64_t total = 0;
+  for (const int64_t n : injected_) {
+    total += n;
+  }
+  return total;
+}
+
+std::vector<FaultInjector::ServerEvent> FaultInjector::ServerEventsFor(
+    int num_servers) const {
+  std::vector<ServerEvent> events;
+  for (const FaultRule& rule : plan_.rules) {
+    if (!IsServerEventKind(rule.kind)) {
+      continue;
+    }
+    if (rule.server >= 0) {
+      events.push_back(ServerEvent{rule.start_s, rule.kind, rule.server});
+    } else {
+      for (int s = 0; s < num_servers; ++s) {
+        events.push_back(ServerEvent{rule.start_s, rule.kind, s});
+      }
+    }
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const ServerEvent& a, const ServerEvent& b) {
+                     return a.time_s < b.time_s;
+                   });
+  return events;
+}
+
+}  // namespace defl

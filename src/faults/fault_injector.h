@@ -1,0 +1,84 @@
+// FaultInjector: deterministic sampling of a FaultPlan. Every layer that can
+// fail holds an injector pointer (nullptr = no faults, one branch) and asks
+// it at each injection site whether a fault fires there. Sampling is keyed by
+// (kind, vm, server): each site gets an independent SplitMix64-derived
+// stream, so the decision sequence at one site does not depend on how often
+// other sites sample. Same plan + same seed => identical failure schedule,
+// which is what makes a faulted run byte-for-byte replayable.
+#ifndef SRC_FAULTS_FAULT_INJECTOR_H_
+#define SRC_FAULTS_FAULT_INJECTOR_H_
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <tuple>
+#include <vector>
+
+#include "src/faults/fault_plan.h"
+#include "src/telemetry/telemetry.h"
+
+namespace defl {
+
+struct FaultDecision {
+  bool fired = false;
+  // The matched rule's magnitude (kind-specific; see FaultKind).
+  double magnitude = 0.0;
+  // An extra uniform [0, 1) draw for layers that need a severity roll
+  // (e.g. partial unplug delivers (1 - magnitude * roll) of the available).
+  double roll = 0.0;
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan);
+
+  // Publishes per-kind injection counters ("faults/injected/<kind>") and
+  // kFaultInjected trace events through `telemetry` (nullptr detaches). The
+  // telemetry clock also supplies the time used to match rule windows.
+  void AttachTelemetry(TelemetryContext* telemetry);
+  TelemetryContext* telemetry() const { return telemetry_; }
+
+  // Samples whether a fault of `kind` fires at site (vm, server) now.
+  // Rules are matched in plan order; the first rule whose kind, scope, time
+  // window, and remaining count budget match gets a Bernoulli(p) trial.
+  FaultDecision Sample(FaultKind kind, int64_t vm, int64_t server);
+
+  // Total faults fired per kind so far.
+  int64_t injected(FaultKind kind) const {
+    return injected_[static_cast<size_t>(kind)];
+  }
+  int64_t total_injected() const;
+
+  // The whole-server availability events (crash/degrade/recover) in the
+  // plan, expanded over `num_servers` (rules with server=-1 apply to every
+  // server) and sorted by (time, plan order). The cluster simulator turns
+  // these into scheduled calls on the cluster manager.
+  struct ServerEvent {
+    double time_s = 0.0;
+    FaultKind kind = FaultKind::kServerCrash;
+    int64_t server = -1;
+  };
+  std::vector<ServerEvent> ServerEventsFor(int num_servers) const;
+
+  const FaultPlan& plan() const { return plan_; }
+
+ private:
+  double Now() const { return telemetry_ != nullptr ? telemetry_->Now() : 0.0; }
+  // The n-th uniform draw of the (kind, vm, server) site stream, with a salt
+  // separating the fire trial from the severity roll.
+  double SiteUniform(FaultKind kind, int64_t vm, int64_t server, uint64_t n,
+                     uint64_t salt) const;
+
+  FaultPlan plan_;
+  // Per-site draw counters; ordered map keeps behavior deterministic.
+  std::map<std::tuple<uint8_t, int64_t, int64_t>, uint64_t> site_draws_;
+  std::vector<int64_t> rule_fires_;  // parallel to plan_.rules
+  std::array<int64_t, kNumFaultKinds> injected_ = {};
+
+  TelemetryContext* telemetry_ = nullptr;
+  std::array<CounterHandle, kNumFaultKinds> metrics_ = {};
+};
+
+}  // namespace defl
+
+#endif  // SRC_FAULTS_FAULT_INJECTOR_H_

@@ -1,0 +1,228 @@
+#include "src/faults/fault_plan.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace defl {
+namespace {
+
+constexpr const char* kHeaderTag = "faultplan/1";
+
+Result<double> ParseNumber(const std::string& value, const std::string& context) {
+  double parsed = 0.0;
+  const auto [ptr, ec] =
+      std::from_chars(value.data(), value.data() + value.size(), parsed);
+  if (ec != std::errc() || ptr != value.data() + value.size() ||
+      !std::isfinite(parsed)) {
+    return Error{"bad numeric value in '" + context + "'"};
+  }
+  return parsed;
+}
+
+Result<int64_t> ParseInteger(const std::string& value, const std::string& context) {
+  const Result<double> parsed = ParseNumber(value, context);
+  if (!parsed.ok()) {
+    return Error{parsed.error()};
+  }
+  if (parsed.value() != std::floor(parsed.value()) ||
+      std::abs(parsed.value()) > 9.0e15) {
+    return Error{"expected an integer in '" + context + "'"};
+  }
+  return static_cast<int64_t>(parsed.value());
+}
+
+// Splits "key=value"; returns false on malformed tokens.
+bool SplitKeyValue(const std::string& token, std::string* key, std::string* value) {
+  const size_t eq = token.find('=');
+  if (eq == std::string::npos || eq == 0) {
+    return false;
+  }
+  *key = token.substr(0, eq);
+  *value = token.substr(eq + 1);
+  return true;
+}
+
+std::string FormatDouble(double x) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", x);
+  return buf;
+}
+
+}  // namespace
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kAgentUnresponsive:
+      return "agent-unresponsive";
+    case FaultKind::kAgentSlow:
+      return "agent-slow";
+    case FaultKind::kAgentShortDelivery:
+      return "agent-short";
+    case FaultKind::kWireDrop:
+      return "wire-drop";
+    case FaultKind::kWireCorrupt:
+      return "wire-corrupt";
+    case FaultKind::kUnplugPartial:
+      return "unplug-partial";
+    case FaultKind::kHvLatencySpike:
+      return "hv-latency-spike";
+    case FaultKind::kServerDegrade:
+      return "server-degrade";
+    case FaultKind::kServerCrash:
+      return "server-crash";
+    case FaultKind::kServerRecover:
+      return "server-recover";
+  }
+  return "?";
+}
+
+Result<FaultKind> FaultKindFromName(const std::string& name) {
+  for (int i = 0; i < kNumFaultKinds; ++i) {
+    const FaultKind kind = static_cast<FaultKind>(i);
+    if (name == FaultKindName(kind)) {
+      return kind;
+    }
+  }
+  return Error{"unknown fault kind: '" + name + "'"};
+}
+
+bool IsServerEventKind(FaultKind kind) {
+  return kind == FaultKind::kServerDegrade || kind == FaultKind::kServerCrash ||
+         kind == FaultKind::kServerRecover;
+}
+
+Result<FaultPlan> ParseFaultPlan(const std::string& text) {
+  FaultPlan plan;
+  std::istringstream in(text);
+  std::string line;
+  bool saw_header = false;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::string where = "line " + std::to_string(line_no);
+    std::istringstream tokens(line);
+    std::string first;
+    if (!(tokens >> first) || first[0] == '#') {
+      continue;  // blank or comment
+    }
+    if (!saw_header) {
+      if (first != kHeaderTag) {
+        return Error{where + ": expected '" + kHeaderTag + "' header, got '" +
+                     first + "'"};
+      }
+      saw_header = true;
+      std::string token;
+      while (tokens >> token) {
+        std::string key, value;
+        if (!SplitKeyValue(token, &key, &value) || key != "seed") {
+          return Error{where + ": bad header token '" + token + "'"};
+        }
+        const Result<int64_t> seed = ParseInteger(value, token);
+        if (!seed.ok()) {
+          return Error{where + ": " + seed.error()};
+        }
+        plan.seed = static_cast<uint64_t>(seed.value());
+      }
+      continue;
+    }
+    if (first != "rule") {
+      return Error{where + ": expected 'rule', got '" + first + "'"};
+    }
+    FaultRule rule;
+    bool have_kind = false;
+    std::string token;
+    while (tokens >> token) {
+      std::string key, value;
+      if (!SplitKeyValue(token, &key, &value)) {
+        return Error{where + ": malformed token '" + token + "'"};
+      }
+      if (key == "kind") {
+        const Result<FaultKind> kind = FaultKindFromName(value);
+        if (!kind.ok()) {
+          return Error{where + ": " + kind.error()};
+        }
+        rule.kind = kind.value();
+        have_kind = true;
+      } else if (key == "vm" || key == "server" || key == "max") {
+        const Result<int64_t> parsed = ParseInteger(value, token);
+        if (!parsed.ok()) {
+          return Error{where + ": " + parsed.error()};
+        }
+        (key == "vm" ? rule.vm : key == "server" ? rule.server : rule.max_count) =
+            parsed.value();
+      } else if (key == "p" || key == "magnitude" || key == "start" ||
+                 key == "end" || key == "at") {
+        const Result<double> parsed = ParseNumber(value, token);
+        if (!parsed.ok()) {
+          return Error{where + ": " + parsed.error()};
+        }
+        if (key == "p") {
+          rule.probability = parsed.value();
+        } else if (key == "magnitude") {
+          rule.magnitude = parsed.value();
+        } else if (key == "start") {
+          rule.start_s = parsed.value();
+        } else if (key == "end") {
+          rule.end_s = parsed.value();
+        } else {  // at
+          rule.start_s = parsed.value();
+          rule.end_s = parsed.value();
+        }
+      } else {
+        return Error{where + ": unknown key '" + key + "'"};
+      }
+    }
+    if (!have_kind) {
+      return Error{where + ": rule is missing kind="};
+    }
+    if (rule.probability < 0.0 || rule.probability > 1.0) {
+      return Error{where + ": probability must be in [0, 1]"};
+    }
+    if (rule.magnitude < 0.0) {
+      return Error{where + ": magnitude must be >= 0"};
+    }
+    if (rule.end_s < rule.start_s) {
+      return Error{where + ": end before start"};
+    }
+    plan.rules.push_back(rule);
+  }
+  if (!saw_header) {
+    return Error{"missing '" + std::string(kHeaderTag) + "' header"};
+  }
+  return plan;
+}
+
+std::string EncodeFaultPlan(const FaultPlan& plan) {
+  std::ostringstream os;
+  os << kHeaderTag << " seed=" << plan.seed << "\n";
+  for (const FaultRule& rule : plan.rules) {
+    os << "rule kind=" << FaultKindName(rule.kind) << " vm=" << rule.vm
+       << " server=" << rule.server << " p=" << FormatDouble(rule.probability)
+       << " magnitude=" << FormatDouble(rule.magnitude)
+       << " start=" << FormatDouble(rule.start_s);
+    if (rule.end_s < FaultRule::kNoEnd) {
+      os << " end=" << FormatDouble(rule.end_s);
+    }
+    os << " max=" << rule.max_count << "\n";
+  }
+  return os.str();
+}
+
+Result<FaultPlan> LoadFaultPlanFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Error{"cannot open fault plan file '" + path + "'"};
+  }
+  std::string text;
+  char buf[4096];
+  size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    text.append(buf, n);
+  }
+  std::fclose(f);
+  return ParseFaultPlan(text);
+}
+
+}  // namespace defl

@@ -8,7 +8,28 @@ namespace defl {
 GuestOs::GuestOs(const ResourceVector& spec) : GuestOs(spec, Params()) {}
 
 GuestOs::GuestOs(const ResourceVector& spec, const Params& params)
-    : spec_(spec), params_(params), fault_rng_(params.fault_seed) {}
+    : spec_(spec), params_(params) {
+  if (params_.unplug_flakiness > 0.0) {
+    // Compatibility path for the legacy per-GuestOs fault params: one
+    // always-active kUnplugPartial rule on a private injector.
+    FaultPlan plan;
+    plan.seed = params_.fault_seed;
+    FaultRule rule;
+    rule.kind = FaultKind::kUnplugPartial;
+    rule.magnitude = params_.unplug_flakiness;
+    plan.rules.push_back(rule);
+    owned_injector_ = std::make_unique<FaultInjector>(std::move(plan));
+    fault_injector_ = owned_injector_.get();
+  }
+}
+
+void GuestOs::AttachFaultInjector(FaultInjector* injector, int64_t vm_id) {
+  fault_injector_ = injector;
+  fault_vm_ = vm_id;
+  if (injector != nullptr) {
+    owned_injector_.reset();
+  }
+}
 
 ResourceVector GuestOs::SafelyUnpluggable() const {
   const ResourceVector vis = visible();
@@ -66,8 +87,12 @@ ResourceVector GuestOs::TryUnplug(const ResourceVector& target, bool force) {
   }
   // Injected partial failures: page migration can fail to assemble the full
   // contiguous range; the cascade's lower layers pick up the slack.
-  if (params_.unplug_flakiness > 0.0) {
-    mem_avail *= 1.0 - params_.unplug_flakiness * fault_rng_.NextDouble();
+  if (fault_injector_ != nullptr) {
+    const FaultDecision fault =
+        fault_injector_->Sample(FaultKind::kUnplugPartial, fault_vm_, -1);
+    if (fault.fired) {
+      mem_avail *= 1.0 - std::clamp(fault.magnitude, 0.0, 1.0) * fault.roll;
+    }
   }
   done[ResourceKind::kMemory] = std::min(mem_req, mem_avail);
 

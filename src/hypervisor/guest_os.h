@@ -7,7 +7,9 @@
 #ifndef SRC_HYPERVISOR_GUEST_OS_H_
 #define SRC_HYPERVISOR_GUEST_OS_H_
 
-#include "src/common/rng.h"
+#include <memory>
+
+#include "src/faults/fault_injector.h"
 #include "src/resources/resource_vector.h"
 
 namespace defl {
@@ -26,7 +28,9 @@ class GuestOs {
     // (1 - flakiness*U[0,1]) fraction of what was computed as available --
     // "hot unplugging of resources may fail or only succeed in partial
     // reclamation" (Section 3.2.2). 0 disables. Deterministic per
-    // fault_seed.
+    // fault_seed. Compatibility path: these params build a private
+    // single-rule FaultInjector; runs with a full FaultPlan attach a shared
+    // injector via AttachFaultInjector() instead (kUnplugPartial rules).
     double unplug_flakiness = 0.0;
     uint64_t fault_seed = 0;
     // Ballooning fragmentation: inflating the balloon scatters pinned pages
@@ -103,13 +107,25 @@ class GuestOs {
   // (the OOM-kill condition used by app models under forced unplug).
   bool UnderOomPressure() const;
 
+  // Routes unplug fault sampling through a shared injector (kUnplugPartial
+  // rules), replacing any Params-derived private one. `vm_id` scopes the
+  // sampling site so per-VM rules and streams stay independent.
+  void AttachFaultInjector(FaultInjector* injector, int64_t vm_id);
+  // Scope used for fault sampling (set by the owning Vm).
+  void set_fault_scope(int64_t vm_id) { fault_vm_ = vm_id; }
+  FaultInjector* fault_injector() const { return fault_injector_; }
+
   const Params& params() const { return params_; }
   const ResourceVector& spec() const { return spec_; }
 
  private:
   ResourceVector spec_;
   Params params_;
-  Rng fault_rng_;
+  // Compatibility: a private injector synthesized from Params::unplug_
+  // flakiness/fault_seed when no shared one is attached.
+  std::unique_ptr<FaultInjector> owned_injector_;
+  FaultInjector* fault_injector_ = nullptr;
+  int64_t fault_vm_ = -1;
   ResourceVector unplugged_;
   double balloon_mb_ = 0.0;
   double app_used_mb_ = 0.0;

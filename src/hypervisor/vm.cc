@@ -6,7 +6,9 @@
 namespace defl {
 
 Vm::Vm(VmId id, VmSpec spec, const GuestOs::Params& os_params)
-    : id_(id), spec_(std::move(spec)), guest_os_(spec_.size, os_params) {}
+    : id_(id), spec_(std::move(spec)), guest_os_(spec_.size, os_params) {
+  guest_os_.set_fault_scope(id_);
+}
 
 ResourceVector Vm::effective() const {
   // Balloon-pinned memory has been handed back to the host.

@@ -41,6 +41,12 @@ class ExperimentRun {
     engine_ = std::make_unique<SparkEngine>(&sim_, workload, raw, config.engine);
     engine_->AttachTelemetry(config.telemetry);
     cascade_.AttachTelemetry(config.telemetry);
+    if (config.faults != nullptr) {
+      cascade_.AttachFaultInjector(config.faults);
+      for (const auto& vm : vms_) {
+        vm->guest_os().AttachFaultInjector(config.faults, vm->id());
+      }
+    }
     for (const auto& vm : vms_) {
       SyncGuestFootprint(*vm, *engine_, config.engine);
     }

@@ -16,6 +16,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/faults/fault_injector.h"
 #include "src/spark/engine.h"
 #include "src/spark/policy.h"
 #include "src/spark/workload.h"
@@ -53,6 +54,9 @@ struct SparkExperimentConfig {
   // policy all publish through it; its clock follows the experiment's
   // simulator for the duration of the run.
   TelemetryContext* telemetry = nullptr;
+  // Optional failure injection (DESIGN.md §8): partial-unplug faults in the
+  // workers' guest OSes and hypervisor latency spikes in the cascade.
+  FaultInjector* faults = nullptr;
 };
 
 struct SparkExperimentResult {

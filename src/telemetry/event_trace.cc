@@ -49,6 +49,20 @@ const char* TraceEventKindName(TraceEventKind kind) {
       return "task_kill";
     case TraceEventKind::kRollback:
       return "rollback";
+    case TraceEventKind::kFaultInjected:
+      return "fault_injected";
+    case TraceEventKind::kAgentTimeout:
+      return "agent_timeout";
+    case TraceEventKind::kBreakerTrip:
+      return "breaker_trip";
+    case TraceEventKind::kBreakerReset:
+      return "breaker_reset";
+    case TraceEventKind::kServerCrash:
+      return "server_crash";
+    case TraceEventKind::kServerDegrade:
+      return "server_degrade";
+    case TraceEventKind::kServerRecover:
+      return "server_recover";
   }
   return "?";
 }

@@ -35,6 +35,13 @@ enum class TraceEventKind : uint8_t {
   kSparkPolicy,    // a Section 4.1 policy decision
   kTaskKill,       // a Spark task was killed (self-deflation / preemption)
   kRollback,       // a synchronous Spark job rolled back to its checkpoint
+  kFaultInjected,  // the FaultInjector fired a fault (outcome = FaultKind)
+  kAgentTimeout,   // an agent RPC attempt timed out
+  kBreakerTrip,    // consecutive timeouts opened a VM's circuit breaker
+  kBreakerReset,   // a footprint probe succeeded; the breaker closed
+  kServerCrash,    // a whole server went down; its VMs were lost
+  kServerDegrade,  // a server was excluded from new placements
+  kServerRecover,  // a crashed/degraded server came back
 };
 
 // The cascade layer an event belongs to, kNone for non-cascade events.

@@ -1,0 +1,266 @@
+// Server health state machine and crash recovery in the cluster manager,
+// plus the end-to-end guarantees for shipped fault plans: deterministic
+// byte-identical telemetry, targets still met, no VM ever driven negative.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "src/cluster/cluster_sim.h"
+#include "src/core/local_controller.h"
+#include "src/faults/fault_injector.h"
+
+namespace defl {
+namespace {
+
+std::unique_ptr<Vm> MakeVm(VmId id, double cpus, double mem_mb,
+                           VmPriority priority = VmPriority::kLow) {
+  VmSpec spec;
+  spec.name = "vm" + std::to_string(id);
+  spec.size = ResourceVector(cpus, mem_mb);
+  spec.priority = priority;
+  return std::make_unique<Vm>(id, spec);
+}
+
+ClusterConfig SmallClusterConfig() {
+  ClusterConfig config;
+  config.placement = PlacementPolicy::kFirstFit;
+  return config;
+}
+
+TEST(ClusterHealthTest, CrashEvacuatesAndReplacesVms) {
+  ClusterManager manager(2, ResourceVector(32.0, 65536.0), SmallClusterConfig());
+  ASSERT_TRUE(manager.LaunchVm(MakeVm(1, 8.0, 16384.0)).ok());
+  ASSERT_TRUE(manager.LaunchVm(MakeVm(2, 8.0, 16384.0, VmPriority::kHigh)).ok());
+  Server* origin = manager.ServerOf(1);
+  ASSERT_NE(origin, nullptr);
+  EXPECT_EQ(manager.health(origin->id()), ServerHealth::kHealthy);
+
+  manager.CrashServer(origin->id());
+  EXPECT_EQ(manager.health(origin->id()), ServerHealth::kDown);
+  // Both VMs survived by moving to the other server, at full nominal size.
+  Server* replacement = manager.ServerOf(1);
+  ASSERT_NE(replacement, nullptr);
+  EXPECT_NE(replacement->id(), origin->id());
+  EXPECT_EQ(manager.ServerOf(2), replacement);
+  Vm* vm1 = manager.FindVm(1);
+  ASSERT_NE(vm1, nullptr);
+  for (const ResourceKind kind : kAllResources) {
+    EXPECT_NEAR(vm1->effective()[kind], vm1->size()[kind], 1e-9);
+  }
+  const ClusterCounters counters = manager.counters();
+  EXPECT_EQ(counters.server_crashes, 1);
+  EXPECT_EQ(counters.crash_replaced, 2);
+  EXPECT_EQ(counters.crash_preempted, 0);
+  EXPECT_EQ(counters.crash_lost, 0);
+  EXPECT_EQ(counters.preempted, 0);  // policy counter untouched
+}
+
+TEST(ClusterHealthTest, CrashWithoutRoomPreemptsLowAndLosesHigh) {
+  ClusterManager manager(1, ResourceVector(32.0, 65536.0), SmallClusterConfig());
+  ASSERT_TRUE(manager.LaunchVm(MakeVm(1, 8.0, 16384.0)).ok());
+  ASSERT_TRUE(manager.LaunchVm(MakeVm(2, 8.0, 16384.0, VmPriority::kHigh)).ok());
+  manager.CrashServer(0);
+  EXPECT_EQ(manager.FindVm(1), nullptr);
+  EXPECT_EQ(manager.FindVm(2), nullptr);
+  const ClusterCounters counters = manager.counters();
+  EXPECT_EQ(counters.crash_replaced, 0);
+  EXPECT_EQ(counters.crash_preempted, 1);
+  EXPECT_EQ(counters.crash_lost, 1);
+  EXPECT_EQ(counters.preempted, 0);
+  // The crash-preempted low-priority VM shows up in lifecycle bookkeeping.
+  const std::vector<VmId> taken = manager.TakePreempted();
+  ASSERT_EQ(taken.size(), 1u);
+  EXPECT_EQ(taken[0], 1);
+}
+
+TEST(ClusterHealthTest, UnhealthyServersExcludedFromPlacement) {
+  ClusterManager manager(2, ResourceVector(32.0, 65536.0), SmallClusterConfig());
+  manager.DegradeServer(0);
+  EXPECT_EQ(manager.health(0), ServerHealth::kDegraded);
+  ASSERT_TRUE(manager.LaunchVm(MakeVm(1, 8.0, 16384.0)).ok());
+  EXPECT_EQ(manager.ServerOf(1)->id(), 1);
+  manager.CrashServer(1);
+  // Nothing placeable left: degraded takes no new VMs, crashed is down.
+  EXPECT_FALSE(manager.LaunchVm(MakeVm(3, 8.0, 16384.0)).ok());
+  // Recovery alone is probation, not placement eligibility.
+  manager.RecoverServer(1);
+  EXPECT_EQ(manager.health(1), ServerHealth::kRecovering);
+  EXPECT_FALSE(manager.LaunchVm(MakeVm(4, 8.0, 16384.0)).ok());
+  manager.MarkHealthy(1);
+  EXPECT_EQ(manager.health(1), ServerHealth::kHealthy);
+  EXPECT_TRUE(manager.LaunchVm(MakeVm(5, 8.0, 16384.0)).ok());
+  const ClusterCounters counters = manager.counters();
+  EXPECT_EQ(counters.server_crashes, 1);
+  EXPECT_EQ(counters.server_recoveries, 1);
+}
+
+TEST(ClusterHealthTest, RecoveryReinflatesSurvivors) {
+  // Fill server 1, crash server 0 so its VM squeezes in via deflation, then
+  // recover: the survivors should get resources back.
+  ClusterConfig config = SmallClusterConfig();
+  config.controller.mode = DeflationMode::kVmLevel;
+  ClusterManager manager(2, ResourceVector(16.0, 32768.0), config);
+  ASSERT_TRUE(manager.LaunchVm(MakeVm(1, 12.0, 24576.0)).ok());  // server 0
+  ASSERT_TRUE(manager.LaunchVm(MakeVm(2, 12.0, 24576.0)).ok());  // server 1
+  manager.CrashServer(0);
+  // VM 1 re-placed onto server 1 by deflating VM 2 (or itself).
+  ASSERT_NE(manager.FindVm(1), nullptr);
+  const double squeezed = manager.FindVm(2)->effective().cpu();
+  EXPECT_LT(squeezed, 12.0);
+  // VM 1 completes; proportional reinflation is triggered on completion,
+  // and recovering the crashed server reinflates too. Do it in the recovery
+  // order to exercise RecoverServer's sweep.
+  manager.CompleteVm(1);
+  manager.RecoverServer(0);
+  EXPECT_GE(manager.FindVm(2)->effective().cpu(), 12.0 - 1e-6);
+}
+
+TEST(ClusterHealthTest, CrashAndRecoveryAreIdempotent) {
+  ClusterManager manager(1, ResourceVector(8.0, 8192.0), SmallClusterConfig());
+  manager.CrashServer(0);
+  manager.CrashServer(0);  // no-op
+  EXPECT_EQ(manager.counters().server_crashes, 1);
+  manager.RecoverServer(0);
+  manager.RecoverServer(0);  // no-op: not down anymore
+  EXPECT_EQ(manager.counters().server_recoveries, 1);
+  manager.MarkHealthy(0);
+  manager.MarkHealthy(0);
+  EXPECT_EQ(manager.health(0), ServerHealth::kHealthy);
+}
+
+ClusterSimConfig FaultedSimConfig() {
+  ClusterSimConfig config;
+  config.num_servers = 8;
+  config.server_capacity = ResourceVector(32.0, 262144.0, 1000.0, 10000.0);
+  config.trace.duration_s = 6.0 * 3600.0;
+  config.trace.max_lifetime_s = 2.0 * 3600.0;
+  config.trace.seed = 11;
+  config.trace.arrival_rate_per_s = 0.02;
+  config.recovery_grace_s = 300.0;
+
+  FaultPlan plan;
+  plan.seed = 99;
+  FaultRule crash;
+  crash.kind = FaultKind::kServerCrash;
+  crash.server = 2;
+  crash.start_s = crash.end_s = 3600.0;
+  plan.rules.push_back(crash);
+  FaultRule recover;
+  recover.kind = FaultKind::kServerRecover;
+  recover.server = 2;
+  recover.start_s = recover.end_s = 7200.0;
+  plan.rules.push_back(recover);
+  FaultRule flaky;
+  flaky.kind = FaultKind::kUnplugPartial;
+  flaky.probability = 0.2;
+  flaky.magnitude = 0.5;
+  plan.rules.push_back(flaky);
+  config.fault_plan = plan;
+  return config;
+}
+
+TEST(ClusterFaultSimTest, SameSeedAndPlanIsByteIdentical) {
+  std::string metrics[2];
+  std::string traces[2];
+  for (int run = 0; run < 2; ++run) {
+    TelemetryContext telemetry;
+    RunClusterSim(FaultedSimConfig(), &telemetry);
+    std::ostringstream metrics_os;
+    telemetry.metrics().DumpJson(metrics_os);
+    metrics[run] = metrics_os.str();
+    std::ostringstream trace_os;
+    telemetry.trace().DumpJsonl(trace_os);
+    traces[run] = trace_os.str();
+  }
+  EXPECT_EQ(metrics[0], metrics[1]);
+  EXPECT_EQ(traces[0], traces[1]);
+  EXPECT_FALSE(metrics[0].empty());
+}
+
+TEST(ClusterFaultSimTest, CrashAccountingSurfacesInResult) {
+  const ClusterSimResult result = RunClusterSim(FaultedSimConfig());
+  EXPECT_EQ(result.server_crashes, 1);
+  EXPECT_EQ(result.server_recoveries, 1);
+  EXPECT_EQ(result.crash_replacements + result.crash_preemptions,
+            result.counters.crash_replaced + result.counters.crash_preempted);
+  // Policy preemption probability only counts policy preemptions.
+  if (result.counters.launched_low_priority > 0) {
+    EXPECT_DOUBLE_EQ(result.preemption_probability,
+                     static_cast<double>(result.counters.preempted) /
+                         static_cast<double>(result.counters.launched_low_priority));
+  }
+}
+
+TEST(ClusterFaultSimTest, NoVmEverDrivenNegative) {
+  ClusterSimConfig config = FaultedSimConfig();
+  TelemetryContext telemetry;
+  RunClusterSim(config, &telemetry);
+  // The registry-backed invariants: counters are consistent and nothing
+  // reported a negative effective allocation (the trace would have recorded
+  // it via the servers; spot-check by re-running and walking the cluster).
+  ClusterManager manager(config.num_servers, config.server_capacity, config.cluster);
+  FaultInjector injector(config.fault_plan);
+  manager.AttachFaultInjector(&injector);
+  for (int i = 0; i < 12; ++i) {
+    manager.LaunchVm(MakeVm(i, 16.0, 131072.0));
+  }
+  manager.CrashServer(0);
+  for (Server* server : manager.servers()) {
+    for (const auto& vm : server->vms()) {
+      for (const ResourceKind kind : kAllResources) {
+        EXPECT_GE(vm->effective()[kind], -1e-9);
+      }
+    }
+  }
+}
+
+// Every fault plan shipped in examples/ must preserve the paper's safety
+// argument: hypervisor-backed cascades still meet their targets and no VM
+// goes negative, no matter what the plan injects.
+class ShippedPlanTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ShippedPlanTest, HypervisorBackedCascadeStillMeetsTarget) {
+  const std::string path = std::string(DEFL_SOURCE_DIR) + "/examples/" + GetParam();
+  const Result<FaultPlan> plan = LoadFaultPlanFile(path);
+  ASSERT_TRUE(plan.ok()) << plan.error();
+  FaultInjector injector(plan.value());
+
+  Server server(1, ResourceVector(64.0, 262144.0));
+  LocalControllerConfig config;
+  config.mode = DeflationMode::kCascade;
+  LocalController controller(&server, config);
+  controller.AttachFaultInjector(&injector);
+  for (VmId id = 0; id < 4; ++id) {
+    VmSpec spec;
+    spec.name = "vm" + std::to_string(id);
+    spec.size = ResourceVector(8.0, 32768.0, 200.0, 1000.0);
+    spec.priority = VmPriority::kLow;
+    auto vm = std::make_unique<Vm>(id, spec);
+    vm->set_state(VmState::kRunning);
+    vm->guest_os().set_app_used_mb(8000.0);
+    server.AddVm(std::move(vm));
+  }
+  for (int round = 0; round < 6; ++round) {
+    for (VmId id = 0; id < 4; ++id) {
+      const DeflationOutcome out =
+          controller.DeflateVm(id, ResourceVector(1.0, 2048.0, 10.0, 50.0));
+      EXPECT_TRUE(out.TargetMet())
+          << GetParam() << " round " << round << " vm " << id;
+    }
+    controller.ReinflateAll();
+    for (const auto& vm : server.vms()) {
+      for (const ResourceKind kind : kAllResources) {
+        EXPECT_GE(vm->effective()[kind], -1e-9) << GetParam();
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Examples, ShippedPlanTest,
+                         ::testing::Values("faults_basic.plan", "faults_wire.plan",
+                                           "faults_cluster.plan"));
+
+}  // namespace
+}  // namespace defl

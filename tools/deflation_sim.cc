@@ -11,6 +11,7 @@
 //   deflation_sim --trace-file=my_trace.csv --pricing
 //   deflation_sim --save-trace=generated.csv --load=1.2
 //   deflation_sim --metrics-out=metrics.json --trace-out=events.jsonl
+//   deflation_sim --fault-plan=examples/faults_cluster.plan
 #include <cstdio>
 #include <fstream>
 #include <string>
@@ -18,6 +19,7 @@
 #include "src/cluster/cluster_sim.h"
 #include "src/cluster/trace_io.h"
 #include "src/common/flags.h"
+#include "src/faults/fault_plan.h"
 #include "src/telemetry/telemetry.h"
 
 using namespace defl;
@@ -41,6 +43,8 @@ struct Options {
   std::string save_trace;
   std::string metrics_out;
   std::string trace_out;
+  std::string fault_plan;
+  double recovery_grace_s = 600.0;
 };
 
 int Fail(const std::string& message) {
@@ -77,6 +81,11 @@ int main(int argc, char** argv) {
                    &opt.metrics_out);
   parser.AddString("trace-out", "write the deflation event trace to this JSONL file",
                    &opt.trace_out);
+  parser.AddString("fault-plan", "inject failures from this fault plan file",
+                   &opt.fault_plan);
+  parser.AddDouble("recovery-grace-s",
+                   "probation before a recovered server takes placements",
+                   &opt.recovery_grace_s);
   const Result<std::vector<std::string>> parsed = parser.Parse(argc, argv);
   if (!parsed.ok()) {
     return Fail(parsed.error());
@@ -95,6 +104,17 @@ int main(int argc, char** argv) {
       WithTargetLoad(config.trace, opt.load, config.num_servers, config.server_capacity);
   config.reinflate_period_s = opt.reinflate_period_s;
   config.predictive_holdback = opt.predictive;
+  config.recovery_grace_s = opt.recovery_grace_s;
+  if (!opt.fault_plan.empty()) {
+    Result<FaultPlan> plan = LoadFaultPlanFile(opt.fault_plan);
+    if (!plan.ok()) {
+      return Fail("cannot load fault plan: " + plan.error());
+    }
+    config.fault_plan = std::move(plan.value());
+    std::printf("injecting faults from %s (%zu rules, seed %llu)\n",
+                opt.fault_plan.c_str(), config.fault_plan.rules.size(),
+                static_cast<unsigned long long>(config.fault_plan.seed));
+  }
 
   if (opt.strategy == "deflation") {
     config.cluster.strategy = ReclamationStrategy::kDeflation;
@@ -175,6 +195,12 @@ int main(int argc, char** argv) {
   std::printf("delivered           %.0f effective transient CPU-hours "
               "(%.0f nominal)\n",
               r.usage.low_pri_effective_cpu_hours, r.usage.low_pri_nominal_cpu_hours);
+  if (!opt.fault_plan.empty()) {
+    std::printf("faults              %ld server crashes (%ld recovered), "
+                "%ld VMs re-placed, %ld crash-preempted\n",
+                r.server_crashes, r.server_recoveries, r.crash_replacements,
+                r.crash_preemptions);
+  }
 
   if (opt.pricing) {
     const PricingModel model;

@@ -9,11 +9,14 @@
 //   spark_sim --workload=cnn --approach=preemption --fraction=0.25
 //   spark_sim --workload=kmeans --approach=self --fraction=0.5 --at-progress=0.3
 //   spark_sim --workload=als --metrics-out=metrics.json --trace-out=events.jsonl
+//   spark_sim --workload=als --fault-plan=examples/faults_basic.plan
 #include <cstdio>
 #include <fstream>
+#include <memory>
 #include <string>
 
 #include "src/common/flags.h"
+#include "src/faults/fault_injector.h"
 #include "src/spark/experiment.h"
 #include "src/telemetry/telemetry.h"
 
@@ -37,6 +40,7 @@ int main(int argc, char** argv) {
   int64_t workers = 8;
   std::string metrics_out;
   std::string trace_out;
+  std::string fault_plan_file;
 
   FlagParser parser("spark_sim: Spark workloads under resource deflation");
   parser.AddString("workload", "als | kmeans | cnn | rnn", &workload_name);
@@ -50,6 +54,8 @@ int main(int argc, char** argv) {
                    &metrics_out);
   parser.AddString("trace-out", "write the deflation event trace to this JSONL file",
                    &trace_out);
+  parser.AddString("fault-plan", "inject failures from this fault plan file",
+                   &fault_plan_file);
   const Result<std::vector<std::string>> parsed = parser.Parse(argc, argv);
   if (!parsed.ok()) {
     return Fail(parsed.error());
@@ -90,6 +96,17 @@ int main(int argc, char** argv) {
   TelemetryContext telemetry;
   telemetry.trace().set_enabled(!trace_out.empty());
   config.telemetry = &telemetry;
+  std::unique_ptr<FaultInjector> injector;
+  if (!fault_plan_file.empty()) {
+    Result<FaultPlan> plan = LoadFaultPlanFile(fault_plan_file);
+    if (!plan.ok()) {
+      return Fail("cannot load fault plan: " + plan.error());
+    }
+    injector = std::make_unique<FaultInjector>(std::move(plan.value()));
+    injector->AttachTelemetry(&telemetry);
+    config.faults = injector.get();
+    std::printf("injecting faults from %s\n", fault_plan_file.c_str());
+  }
   const SparkExperimentResult result = RunSparkExperiment(workload, config);
   if (!result.completed) {
     return Fail("job did not complete within the simulation limit");
