@@ -1,0 +1,104 @@
+// Cluster-scale placement throughput: replays synthetic traces of growing
+// size through the full cluster simulator and reports lifecycle events per
+// second of wall time. This is the harness guarding the incremental
+// accounting + VM-index work (DESIGN.md §9): before it, every placement
+// rescanned all hosted VMs and every lookup scanned all servers, so
+// events/sec collapsed quadratically with cluster size.
+//
+// Output: the usual bench table, then one `scale_cluster_json: {...}` footer
+// line with the machine-readable points (CI diffs it against
+// bench/scale_cluster_baseline.json and fails on >2x regression).
+//
+// Usage: scale_cluster [servers target_vms]
+//   no args  -> the default sweep (100/2k, 250/5k, 1000/20k)
+//   two args -> a single point, for the CI regression check
+#include <chrono>
+#include <cstdlib>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "src/cluster/cluster_sim.h"
+
+namespace defl {
+namespace {
+
+struct ScalePoint {
+  int servers = 0;
+  int target_vms = 0;
+  int64_t vms = 0;      // actual arrivals in the generated trace
+  int64_t events = 0;   // launched + rejected + completed + preempted
+  double wall_s = 0.0;
+  double events_per_s = 0.0;
+};
+
+ScalePoint RunPoint(int servers, int target_vms) {
+  ScalePoint point;
+  point.servers = servers;
+  point.target_vms = target_vms;
+
+  ClusterSimConfig config;
+  config.num_servers = servers;
+  config.server_capacity = ResourceVector(32.0, 256.0 * 1024.0, 1000.0, 10000.0);
+  config.trace.seed = 1234;
+  config.trace.max_lifetime_s = 8.0 * 3600.0;
+  // Fix the offered load at the paper's 1.6x and stretch the horizon until
+  // the expected arrival count hits the target, so every sweep point
+  // stresses placement at the same per-server pressure.
+  config.trace = WithTargetLoad(config.trace, 1.6, servers, config.server_capacity);
+  config.trace.duration_s =
+      static_cast<double>(target_vms) / config.trace.arrival_rate_per_s;
+  config.explicit_trace = GenerateTrace(config.trace);
+  point.vms = static_cast<int64_t>(config.explicit_trace.size());
+
+  const auto start = std::chrono::steady_clock::now();
+  const ClusterSimResult result = RunClusterSim(config);
+  const auto end = std::chrono::steady_clock::now();
+
+  point.wall_s = std::chrono::duration<double>(end - start).count();
+  point.events = result.counters.launched + result.counters.rejected +
+                 result.counters.completed + result.counters.preempted;
+  point.events_per_s =
+      point.wall_s > 0.0 ? static_cast<double>(point.events) / point.wall_s : 0.0;
+  return point;
+}
+
+}  // namespace
+}  // namespace defl
+
+int main(int argc, char** argv) {
+  using namespace defl;
+  std::vector<std::pair<int, int>> sweep = {{100, 2000}, {250, 5000}, {1000, 20000}};
+  if (argc == 3) {
+    sweep = {{std::atoi(argv[1]), std::atoi(argv[2])}};
+  }
+
+  bench::PrintHeader("scale_cluster", "placement/lifecycle throughput vs cluster size");
+  bench::PrintNote("1.6x offered load, best-fit + cascade deflation; events =");
+  bench::PrintNote("launches + rejections + completions + preemptions.");
+  bench::PrintColumns({"servers", "vms", "events", "wall-s", "events/s"});
+
+  std::string json = "{\"bench\": \"scale_cluster\", \"points\": [";
+  bool first = true;
+  for (const auto& [servers, target_vms] : sweep) {
+    const ScalePoint point = RunPoint(servers, target_vms);
+    bench::PrintCell(static_cast<double>(point.servers));
+    bench::PrintCell(static_cast<double>(point.vms));
+    bench::PrintCell(static_cast<double>(point.events));
+    bench::PrintCell(point.wall_s);
+    bench::PrintCell(point.events_per_s);
+    bench::EndRow();
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"servers\": %d, \"vms\": %lld, \"events\": %lld, "
+                  "\"wall_s\": %.4f, \"events_per_s\": %.1f}",
+                  first ? "" : ", ", point.servers,
+                  static_cast<long long>(point.vms),
+                  static_cast<long long>(point.events), point.wall_s,
+                  point.events_per_s);
+    json += buf;
+    first = false;
+  }
+  json += "]}";
+  std::printf("scale_cluster_json: %s\n", json.c_str());
+  return 0;
+}

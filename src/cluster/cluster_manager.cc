@@ -86,16 +86,18 @@ std::vector<Server*> ClusterManager::servers() {
 }
 
 LocalController* ClusterManager::controller(ServerId id) {
-  for (auto& c : controllers_) {
-    if (c->server()->id() == id) {
-      return c.get();
-    }
-  }
-  return nullptr;
+  const int index = ServerIndex(id);
+  return index >= 0 ? controllers_[static_cast<size_t>(index)].get() : nullptr;
+}
+
+void ClusterManager::ForgetVm(VmId id, size_t server_index) {
+  vm_index_.erase(id);
+  controllers_[server_index]->UnregisterAgent(id);
 }
 
 ClusterManager::PlaceOutcome ClusterManager::TryPlace(std::unique_ptr<Vm>& vm) {
   PlaceOutcome out;
+  const VmId vm_id = vm->id();
   const ResourceVector demand = vm->size();
   const bool low_priority = vm->deflatable();
 
@@ -141,6 +143,9 @@ ClusterManager::PlaceOutcome ClusterManager::TryPlace(std::unique_ptr<Vm>& vm) {
       out.trace_outcome = 2;
       const ReclaimResult reclaim = controllers_[index]->MakeRoom(demand);
       for (const VmId victim : reclaim.preempted) {
+        // MakeRoom already deregistered the victim's agent; drop it from the
+        // VM index too so lookups cannot resolve a revoked VM.
+        vm_index_.erase(victim);
         registry.Add(metrics_.preempted);
         preempted_since_take_.push_back(victim);
       }
@@ -148,13 +153,17 @@ ClusterManager::PlaceOutcome ClusterManager::TryPlace(std::unique_ptr<Vm>& vm) {
         registry.Add(metrics_.deflation_ops);
       }
       if (!reclaim.success) {
+        // The failed attempt must not leave collateral damage: MakeRoom
+        // deflated (and possibly preempted) VMs for an arrival that never
+        // materialized, so give the survivors their resources back.
+        controllers_[index]->ReinflateAll();
         out.freed = reclaim.freed;
         out.error = "reclamation failed on chosen server";
         return out;
       }
     } else {
       out.trace_outcome = 3;
-      if (!PreemptForDemand(server, demand)) {
+      if (!PreemptForDemand(index, demand)) {
         out.error = "preemption could not free enough resources";
         return out;
       }
@@ -167,6 +176,7 @@ ClusterManager::PlaceOutcome ClusterManager::TryPlace(std::unique_ptr<Vm>& vm) {
     vm->guest_os().AttachFaultInjector(faults_, vm->id());
   }
   server.AddVm(std::move(vm));
+  vm_index_[vm_id] = index;
   out.ok = true;
   return out;
 }
@@ -195,7 +205,9 @@ Result<ServerId> ClusterManager::LaunchVm(std::unique_ptr<Vm> vm) {
   return placed.server;
 }
 
-bool ClusterManager::PreemptForDemand(Server& server, const ResourceVector& demand) {
+bool ClusterManager::PreemptForDemand(size_t server_index,
+                                      const ResourceVector& demand) {
+  Server& server = *servers_[server_index];
   while (!demand.AllLeq(server.Free())) {
     // Revoke the low-priority VM freeing the most of the bottleneck
     // resource (standard eviction heuristic).
@@ -221,47 +233,40 @@ bool ClusterManager::PreemptForDemand(Server& server, const ResourceVector& dema
                                server.id(), need, victim->effective(), 0);
     victim->set_state(VmState::kPreempted);
     server.RemoveVm(id);
+    ForgetVm(id, server_index);
     preempted_since_take_.push_back(id);
   }
   return true;
 }
 
 void ClusterManager::CompleteVm(VmId id) {
-  for (size_t i = 0; i < servers_.size(); ++i) {
-    Server& server = *servers_[i];
-    if (server.FindVm(id) == nullptr) {
-      continue;
-    }
-    std::unique_ptr<Vm> vm = server.RemoveVm(id);
-    vm->set_state(VmState::kCompleted);
-    controllers_[i]->UnregisterAgent(id);
-    telemetry_->metrics().Add(metrics_.completed);
-    telemetry_->trace().Record(TraceEventKind::kVmComplete, CascadeLayer::kNone, id,
-                               server.id(), vm->size(), vm->effective(), 0);
-    // Freed resources flow back to deflated VMs (reverse cascade).
-    if (config_.strategy == ReclamationStrategy::kDeflation) {
-      controllers_[i]->ReinflateAll();
-    }
+  const auto it = vm_index_.find(id);
+  if (it == vm_index_.end()) {
     return;
+  }
+  const size_t i = it->second;
+  Server& server = *servers_[i];
+  std::unique_ptr<Vm> vm = server.RemoveVm(id);
+  assert(vm != nullptr);
+  vm->set_state(VmState::kCompleted);
+  ForgetVm(id, i);
+  telemetry_->metrics().Add(metrics_.completed);
+  telemetry_->trace().Record(TraceEventKind::kVmComplete, CascadeLayer::kNone, id,
+                             server.id(), vm->size(), vm->effective(), 0);
+  // Freed resources flow back to deflated VMs (reverse cascade).
+  if (config_.strategy == ReclamationStrategy::kDeflation) {
+    controllers_[i]->ReinflateAll();
   }
 }
 
 Vm* ClusterManager::FindVm(VmId id) {
-  for (const auto& server : servers_) {
-    if (Vm* vm = server->FindVm(id)) {
-      return vm;
-    }
-  }
-  return nullptr;
+  const auto it = vm_index_.find(id);
+  return it != vm_index_.end() ? servers_[it->second]->FindVm(id) : nullptr;
 }
 
 Server* ClusterManager::ServerOf(VmId id) {
-  for (const auto& server : servers_) {
-    if (server->FindVm(id) != nullptr) {
-      return server.get();
-    }
-  }
-  return nullptr;
+  const auto it = vm_index_.find(id);
+  return it != vm_index_.end() ? servers_[it->second].get() : nullptr;
 }
 
 std::vector<VmId> ClusterManager::TakePreempted() {
@@ -297,12 +302,13 @@ std::vector<Server*> ClusterManager::PlaceableServers(
 }
 
 int ClusterManager::ServerIndex(ServerId id) const {
-  for (size_t i = 0; i < servers_.size(); ++i) {
-    if (servers_[i]->id() == id) {
-      return static_cast<int>(i);
-    }
+  // Server ids are assigned densely (0..n-1) by the constructor, so the id
+  // is its own index; guard anyway so stray ids degrade to "not found".
+  if (id < 0 || static_cast<size_t>(id) >= servers_.size()) {
+    return -1;
   }
-  return -1;
+  assert(servers_[static_cast<size_t>(id)]->id() == id);
+  return static_cast<int>(id);
 }
 
 ServerHealth ClusterManager::health(ServerId id) const {
@@ -348,7 +354,7 @@ void ClusterManager::CrashServer(ServerId id) {
   std::vector<std::unique_ptr<Vm>> lost;
   while (server.vm_count() > 0) {
     const VmId vm_id = server.vms().front()->id();
-    controllers_[index]->UnregisterAgent(vm_id);
+    ForgetVm(vm_id, static_cast<size_t>(index));
     lost.push_back(server.RemoveVm(vm_id));
   }
   std::stable_sort(lost.begin(), lost.end(),

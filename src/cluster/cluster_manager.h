@@ -15,6 +15,7 @@
 
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "src/cluster/placement.h"
@@ -78,8 +79,11 @@ class ClusterManager {
   Result<ServerId> LaunchVm(std::unique_ptr<Vm> vm);
 
   // Normal completion: the VM leaves and its server reinflates.
+  // O(hosted VMs on one server) via the VM index.
   void CompleteVm(VmId id);
 
+  // O(1) lookups backed by the VmId -> server index map, which is kept
+  // coherent by every placement/removal path in this class.
   Vm* FindVm(VmId id);
   Server* ServerOf(VmId id);
   std::vector<Server*> servers();
@@ -147,9 +151,14 @@ class ClusterManager {
   // Crash wipes deflation state: the re-placed VM restarts at nominal size.
   static void ResetVmDeflation(Vm& vm);
 
-  // Preemption-only reclamation: revoke low-priority VMs on `server` until
-  // `demand` fits; returns false if impossible.
-  bool PreemptForDemand(Server& server, const ResourceVector& demand);
+  // Preemption-only reclamation: revoke low-priority VMs on the server at
+  // `server_index` until `demand` fits; returns false if impossible. Each
+  // victim is fully deregistered (agent map, VM index) like any other
+  // removal path.
+  bool PreemptForDemand(size_t server_index, const ResourceVector& demand);
+  // Removes the VM from the index and its controller's agent map (every
+  // removal path must go through this or replicate it).
+  void ForgetVm(VmId id, size_t server_index);
 
   ClusterConfig config_;
   Rng rng_;
@@ -157,6 +166,8 @@ class ClusterManager {
   std::vector<std::unique_ptr<LocalController>> controllers_;
   std::vector<ServerHealth> health_;
   std::vector<VmId> preempted_since_take_;
+  // VmId -> index into servers_/controllers_ for every hosted VM.
+  std::unordered_map<VmId, size_t> vm_index_;
   FaultInjector* faults_ = nullptr;
 
   TelemetryContext* telemetry_ = nullptr;

@@ -3,14 +3,6 @@
 #include <algorithm>
 
 namespace defl {
-namespace {
-
-bool Feasible(const Server& server, const ResourceVector& demand,
-              AvailabilityMode mode) {
-  return demand.AllLeq(ServerAvailability(server, mode));
-}
-
-}  // namespace
 
 const char* PlacementPolicyName(PlacementPolicy policy) {
   switch (policy) {
@@ -35,15 +27,8 @@ ResourceVector ServerAvailability(const Server& server, AvailabilityMode mode) {
       return server.Free();
     case AvailabilityMode::kFreePlusDeflatable:
       return server.Availability();
-    case AvailabilityMode::kFreePlusPreemptible: {
-      ResourceVector preemptible;
-      for (const auto& vm : server.vms()) {
-        if (vm->priority() == VmPriority::kLow) {
-          preemptible += vm->effective();
-        }
-      }
-      return server.Free() + preemptible;
-    }
+    case AvailabilityMode::kFreePlusPreemptible:
+      return server.Free() + server.Preemptible();
   }
   return server.Free();
 }
@@ -54,10 +39,14 @@ Result<size_t> PlaceVm(const ResourceVector& demand,
   if (servers.empty()) {
     return Error{"no servers"};
   }
+  // Each candidate's availability is computed exactly once per probe:
+  // feasibility and fitness consume the same vector instead of re-deriving
+  // it (the server-side aggregates are cached, but the vector assembly --
+  // Free/clamp/adds -- is still worth sharing on the placement hot path).
   switch (policy) {
     case PlacementPolicy::kFirstFit:
       for (size_t i = 0; i < servers.size(); ++i) {
-        if (Feasible(*servers[i], demand, mode)) {
+        if (demand.AllLeq(ServerAvailability(*servers[i], mode))) {
           return i;
         }
       }
@@ -67,11 +56,11 @@ Result<size_t> PlaceVm(const ResourceVector& demand,
       size_t best = servers.size();
       double best_fitness = -1.0;
       for (size_t i = 0; i < servers.size(); ++i) {
-        if (!Feasible(*servers[i], demand, mode)) {
+        const ResourceVector availability = ServerAvailability(*servers[i], mode);
+        if (!demand.AllLeq(availability)) {
           continue;
         }
-        const double fitness =
-            PlacementFitness(demand, ServerAvailability(*servers[i], mode));
+        const double fitness = PlacementFitness(demand, availability);
         if (fitness > best_fitness) {
           best_fitness = fitness;
           best = i;
@@ -84,21 +73,35 @@ Result<size_t> PlaceVm(const ResourceVector& demand,
     }
 
     case PlacementPolicy::kTwoChoices: {
-      // Sample two random servers and keep the fitter feasible one; retry a
-      // few times before falling back to a full first-fit scan.
+      // Sample two *distinct* random servers and keep the fitter feasible
+      // one; retry a few times before falling back to a full first-fit
+      // scan. (Sampling with replacement would silently degenerate to one
+      // choice whenever both draws land on the same server.)
       constexpr int kAttempts = 8;
+      const auto count = static_cast<int64_t>(servers.size());
       for (int attempt = 0; attempt < kAttempts; ++attempt) {
-        const auto a = static_cast<size_t>(
-            rng.UniformInt(0, static_cast<int64_t>(servers.size()) - 1));
-        const auto b = static_cast<size_t>(
-            rng.UniformInt(0, static_cast<int64_t>(servers.size()) - 1));
-        const bool fa = Feasible(*servers[a], demand, mode);
-        const bool fb = Feasible(*servers[b], demand, mode);
+        const auto a = static_cast<size_t>(rng.UniformInt(0, count - 1));
+        size_t b = a;
+        if (count >= 2) {
+          // Draw from the count-1 servers that are not `a`.
+          b = static_cast<size_t>(rng.UniformInt(0, count - 2));
+          if (b >= a) {
+            ++b;
+          }
+        }
+        const ResourceVector avail_a = ServerAvailability(*servers[a], mode);
+        const bool fa = demand.AllLeq(avail_a);
+        if (b == a) {
+          if (fa) {
+            return a;
+          }
+          continue;
+        }
+        const ResourceVector avail_b = ServerAvailability(*servers[b], mode);
+        const bool fb = demand.AllLeq(avail_b);
         if (fa && fb) {
-          const double fit_a =
-              PlacementFitness(demand, ServerAvailability(*servers[a], mode));
-          const double fit_b =
-              PlacementFitness(demand, ServerAvailability(*servers[b], mode));
+          const double fit_a = PlacementFitness(demand, avail_a);
+          const double fit_b = PlacementFitness(demand, avail_b);
           return fit_a >= fit_b ? a : b;
         }
         if (fa) {
@@ -109,7 +112,7 @@ Result<size_t> PlaceVm(const ResourceVector& demand,
         }
       }
       for (size_t i = 0; i < servers.size(); ++i) {
-        if (Feasible(*servers[i], demand, mode)) {
+        if (demand.AllLeq(ServerAvailability(*servers[i], mode))) {
           return i;
         }
       }

@@ -70,8 +70,15 @@ Histogram::Histogram(double lo, double hi, int bins)
 }
 
 void Histogram::Add(double x) {
-  auto bin = static_cast<int64_t>((x - lo_) / width_);
-  bin = std::clamp<int64_t>(bin, 0, static_cast<int64_t>(counts_.size()) - 1);
+  if (!std::isfinite(x)) {
+    ++dropped_;
+    return;
+  }
+  // Clamp before the cast: a finite sample far outside [lo, hi) could still
+  // overflow the integer bin index, and that cast is just as undefined.
+  const double pos = std::clamp((x - lo_) / width_, 0.0,
+                                static_cast<double>(counts_.size() - 1));
+  const auto bin = static_cast<int64_t>(pos);
   ++counts_[static_cast<size_t>(bin)];
   ++total_;
 }

@@ -43,7 +43,9 @@ class RunningStats {
 double Percentile(std::vector<double> values, double p);
 
 // Fixed-width histogram over [lo, hi); out-of-range samples clamp to the
-// first/last bin. Used for reporting distributions in bench output.
+// first/last bin. Non-finite samples (NaN/Inf) are dropped and counted, not
+// binned: casting them to an integer bin index is undefined behavior.
+// Used for reporting distributions in bench output.
 class Histogram {
  public:
   Histogram(double lo, double hi, int bins);
@@ -52,6 +54,8 @@ class Histogram {
   int64_t bin_count(int bin) const { return counts_[static_cast<size_t>(bin)]; }
   int num_bins() const { return static_cast<int>(counts_.size()); }
   int64_t total() const { return total_; }
+  // NaN/Inf samples rejected by Add (not included in total()).
+  int64_t dropped() const { return dropped_; }
   double bin_lo(int bin) const;
   double bin_hi(int bin) const;
 
@@ -63,6 +67,7 @@ class Histogram {
   double width_;
   std::vector<int64_t> counts_;
   int64_t total_ = 0;
+  int64_t dropped_ = 0;
 };
 
 // Time-weighted mean of a piecewise-constant signal, e.g. cluster utilization

@@ -56,12 +56,14 @@ double GuestOs::BalloonInflate(double mb) {
   const double pinned =
       std::min(std::max(mb, 0.0), safe / (1.0 + params_.balloon_fragmentation));
   balloon_mb_ += pinned;
+  NotifyAllocationChanged();
   return pinned;
 }
 
 double GuestOs::BalloonDeflate(double mb) {
   const double released = std::min(std::max(mb, 0.0), balloon_mb_);
   balloon_mb_ -= released;
+  NotifyAllocationChanged();
   return released;
 }
 
@@ -106,12 +108,14 @@ ResourceVector GuestOs::TryUnplug(const ResourceVector& target, bool force) {
   page_cache_mb_ -= from_cache;
 
   unplugged_ += done;
+  NotifyAllocationChanged();
   return done;
 }
 
 ResourceVector GuestOs::Replug(const ResourceVector& amount) {
   const ResourceVector done = amount.ClampNonNegative().Min(unplugged_);
   unplugged_ -= done;
+  NotifyAllocationChanged();
   return done;
 }
 

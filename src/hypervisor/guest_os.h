@@ -14,6 +14,18 @@
 
 namespace defl {
 
+// Observer notified after any mutation that can change a VM's visible or
+// physically backed allocation (hot-unplug/replug, balloon traffic,
+// hypervisor reclaim/release). The hypervisor layer uses it to keep the
+// per-server accounting caches coherent without rescanning hosted VMs: a
+// mutation that bypasses the hook would silently desynchronize the cached
+// aggregates, so every allocation-changing path below must notify.
+class AllocationListener {
+ public:
+  virtual ~AllocationListener() = default;
+  virtual void OnAllocationChanged() = 0;
+};
+
 class GuestOs {
  public:
   struct Params {
@@ -107,6 +119,11 @@ class GuestOs {
   // (the OOM-kill condition used by app models under forced unplug).
   bool UnderOomPressure() const;
 
+  // Registers the observer notified after every allocation-changing
+  // mutation (unplug/replug/balloon). The owning Vm installs itself here and
+  // forwards to its host server's accounting cache. nullptr detaches.
+  void set_allocation_listener(AllocationListener* listener) { listener_ = listener; }
+
   // Routes unplug fault sampling through a shared injector (kUnplugPartial
   // rules), replacing any Params-derived private one. `vm_id` scopes the
   // sampling site so per-VM rules and streams stay independent.
@@ -119,8 +136,15 @@ class GuestOs {
   const ResourceVector& spec() const { return spec_; }
 
  private:
+  void NotifyAllocationChanged() {
+    if (listener_ != nullptr) {
+      listener_->OnAllocationChanged();
+    }
+  }
+
   ResourceVector spec_;
   Params params_;
+  AllocationListener* listener_ = nullptr;
   // Compatibility: a private injector synthesized from Params::unplug_
   // flakiness/fault_seed when no shared one is attached.
   std::unique_ptr<FaultInjector> owned_injector_;

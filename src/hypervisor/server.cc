@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdlib>
 
 #include "src/common/logging.h"
 
@@ -51,6 +52,8 @@ Vm* Server::AddVm(std::unique_ptr<Vm> vm) {
   const double oc_before = telemetry_ != nullptr ? NominalOvercommitment() : 0.0;
   vms_.push_back(std::move(vm));
   Vm* added = vms_.back().get();
+  added->set_allocation_listener(this);
+  accounting_dirty_ = true;
   if (telemetry_ != nullptr) {
     telemetry_->metrics().Add(metrics_.vms_added);
     telemetry_->trace().Record(TraceEventKind::kVmLaunch, CascadeLayer::kNone,
@@ -69,6 +72,8 @@ std::unique_ptr<Vm> Server::RemoveVm(VmId id) {
   const double oc_before = telemetry_ != nullptr ? NominalOvercommitment() : 0.0;
   std::unique_ptr<Vm> out = std::move(*it);
   vms_.erase(it);
+  out->set_allocation_listener(nullptr);
+  accounting_dirty_ = true;
   if (telemetry_ != nullptr) {
     telemetry_->metrics().Add(metrics_.vms_removed);
     telemetry_->trace().Record(TraceEventKind::kVmRemove, CascadeLayer::kNone,
@@ -84,33 +89,59 @@ Vm* Server::FindVm(VmId id) {
   return it != vms_.end() ? it->get() : nullptr;
 }
 
-ResourceVector Server::Allocated() const {
-  ResourceVector total;
+ServerAccounting Server::RecomputeAccounting() const {
+  // One pass, but each aggregate folds its own accumulator in hosting
+  // order: the result is bit-identical to the dedicated per-aggregate loops
+  // this cache replaced (placement output must not shift by even one ulp).
+  ServerAccounting out;
   for (const auto& vm : vms_) {
-    total += vm->effective();
+    out.allocated += vm->effective();
+    out.deflatable += vm->deflatable_amount();
+    if (vm->priority() == VmPriority::kLow) {
+      out.preemptible += vm->effective();
+    }
+    out.nominal += vm->size();
   }
-  return total;
+  return out;
 }
+
+bool Server::AccountingConsistent() const {
+  return accounting_dirty_ || accounting_ == RecomputeAccounting();
+}
+
+const ServerAccounting& Server::accounting() const {
+  if (accounting_dirty_) {
+    accounting_ = RecomputeAccounting();
+    accounting_dirty_ = false;
+  }
+#ifdef DEFL_CHECK_ACCOUNTING
+  else if (!AccountingConsistent()) {
+    // A mutation bypassed the AllocationListener hooks: the cached
+    // aggregates no longer match the hosted VMs. This is a bug in whatever
+    // mutated the VM, not recoverable bookkeeping -- fail loudly.
+    DEFL_LOG(kError) << "server " << id_
+                     << ": cached accounting drifted from recompute "
+                        "(allocation mutated without notification)";
+    std::abort();
+  }
+#endif
+  return accounting_;
+}
+
+ResourceVector Server::Allocated() const { return accounting().allocated; }
 
 ResourceVector Server::Free() const {
   return (capacity_ - Allocated()).ClampNonNegative();
 }
 
-ResourceVector Server::Deflatable() const {
-  ResourceVector total;
-  for (const auto& vm : vms_) {
-    total += vm->deflatable_amount();
-  }
-  return total;
-}
+ResourceVector Server::Deflatable() const { return accounting().deflatable; }
 
 ResourceVector Server::Availability() const { return Free() + Deflatable(); }
 
+ResourceVector Server::Preemptible() const { return accounting().preemptible; }
+
 double Server::NominalOvercommitment() const {
-  ResourceVector nominal;
-  for (const auto& vm : vms_) {
-    nominal += vm->size();
-  }
+  const ResourceVector& nominal = accounting().nominal;
   double oc = 0.0;
   for (const ResourceKind kind : kAllResources) {
     if (capacity_[kind] > 0.0) {

@@ -16,7 +16,28 @@ namespace defl {
 
 using ServerId = int64_t;
 
-class Server {
+// Aggregate resource view of one server, folded over its hosted VMs in
+// hosting order. Cached by Server and refreshed lazily: any VM mutation
+// (add/remove/deflate/reinflate/hv-reclaim) invalidates the cache through
+// the AllocationListener hooks, and the next accessor recomputes the fold.
+// Because the refresh replays exactly the from-scratch fold, cached values
+// are always bit-identical to a recomputation -- the cache can be stale
+// only if a mutation path misses its notification hook, which the
+// DEFL_CHECK_ACCOUNTING build cross-validates on every read.
+struct ServerAccounting {
+  // Sum of effective (physically backed) allocations.
+  ResourceVector allocated;
+  // Sum of what deflation may still reclaim (zero for high-priority VMs).
+  ResourceVector deflatable;
+  // Sum of effective allocations of low-priority (preemptible) VMs.
+  ResourceVector preemptible;
+  // Sum of nominal VM sizes (the overcommitment numerator).
+  ResourceVector nominal;
+
+  bool operator==(const ServerAccounting& o) const = default;
+};
+
+class Server : public AllocationListener {
  public:
   Server(ServerId id, ResourceVector capacity);
 
@@ -34,7 +55,7 @@ class Server {
   const std::vector<std::unique_ptr<Vm>>& vms() const { return vms_; }
   size_t vm_count() const { return vms_.size(); }
 
-  // --- Accounting ---
+  // --- Accounting (O(1) on a clean cache; see ServerAccounting) ---
 
   // Sum of effective (physically backed) allocations of hosted VMs.
   ResourceVector Allocated() const;
@@ -44,6 +65,21 @@ class Server {
   ResourceVector Deflatable() const;
   // Free + Deflatable: the availability vector used by placement fitness.
   ResourceVector Availability() const;
+  // Everything low-priority VMs physically hold: what a high-priority
+  // arrival could claim by displacing them outright.
+  ResourceVector Preemptible() const;
+
+  // From-scratch fold over the hosted VMs (the reference the cache must
+  // match). Exposed for the accounting invariant checks and property tests.
+  ServerAccounting RecomputeAccounting() const;
+  // True when the cached aggregates (if any are cached) are exactly equal
+  // to RecomputeAccounting(). A mutation path that misses its notification
+  // hook shows up here as a stale-but-clean cache.
+  bool AccountingConsistent() const;
+
+  // Invalidates the cached aggregates (AllocationListener; invoked by
+  // hosted VMs on every allocation-changing mutation).
+  void OnAllocationChanged() override { accounting_dirty_ = true; }
 
   // Sum of *nominal* VM sizes over capacity (per the dominant dimension):
   // the server overcommitment metric reported in Figure 8d. 1.0 = exactly
@@ -66,10 +102,14 @@ class Server {
   // Emits kOvercommitEnter/kOvercommitExit when AddVm/RemoveVm moved the
   // nominal overcommitment across 1.0.
   void RecordOvercommitTransition(double before, int64_t vm);
+  // Returns the cached aggregates, refreshing them first when dirty.
+  const ServerAccounting& accounting() const;
 
   ServerId id_;
   ResourceVector capacity_;
   std::vector<std::unique_ptr<Vm>> vms_;
+  mutable ServerAccounting accounting_;
+  mutable bool accounting_dirty_ = true;
 
   TelemetryContext* telemetry_ = nullptr;
   struct {

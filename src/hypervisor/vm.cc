@@ -8,6 +8,37 @@ namespace defl {
 Vm::Vm(VmId id, VmSpec spec, const GuestOs::Params& os_params)
     : id_(id), spec_(std::move(spec)), guest_os_(spec_.size, os_params) {
   guest_os_.set_fault_scope(id_);
+  guest_os_.set_allocation_listener(this);
+}
+
+Vm::Vm(Vm&& other) noexcept
+    : id_(other.id_),
+      spec_(std::move(other.spec_)),
+      state_(other.state_),
+      guest_os_(std::move(other.guest_os_)),
+      hv_reclaimed_(other.hv_reclaimed_) {
+  guest_os_.set_allocation_listener(this);
+}
+
+Vm& Vm::operator=(Vm&& other) noexcept {
+  if (this != &other) {
+    id_ = other.id_;
+    spec_ = std::move(other.spec_);
+    state_ = other.state_;
+    guest_os_ = std::move(other.guest_os_);
+    hv_reclaimed_ = other.hv_reclaimed_;
+    guest_os_.set_allocation_listener(this);
+    listener_ = nullptr;
+  }
+  return *this;
+}
+
+void Vm::OnAllocationChanged() { NotifyAllocationChanged(); }
+
+void Vm::NotifyAllocationChanged() {
+  if (listener_ != nullptr) {
+    listener_->OnAllocationChanged();
+  }
 }
 
 ResourceVector Vm::effective() const {
@@ -62,12 +93,14 @@ ResourceVector Vm::HvReclaim(const ResourceVector& amount) {
   // Cannot take more than what is currently backed.
   const ResourceVector take = amount.ClampNonNegative().Min(effective());
   hv_reclaimed_ += take;
+  NotifyAllocationChanged();
   return take;
 }
 
 ResourceVector Vm::HvRelease(const ResourceVector& amount) {
   const ResourceVector give = amount.ClampNonNegative().Min(hv_reclaimed_);
   hv_reclaimed_ -= give;
+  NotifyAllocationChanged();
   return give;
 }
 
@@ -76,6 +109,7 @@ void Vm::ClampHvToVisible() {
   ceiling[ResourceKind::kMemory] =
       std::max(0.0, ceiling.memory_mb() - guest_os_.balloon_mb());
   hv_reclaimed_ = hv_reclaimed_.Min(ceiling).ClampNonNegative();
+  NotifyAllocationChanged();
 }
 
 }  // namespace defl

@@ -68,9 +68,17 @@ struct EffectiveAllocation {
   }
 };
 
-class Vm {
+// A Vm observes its own GuestOs (unplug/balloon mutations) and forwards
+// every allocation change -- its own hypervisor-level mutations included --
+// to the listener its host server installs, so server-level accounting can
+// be cached instead of recomputed by scanning VMs.
+class Vm : public AllocationListener {
  public:
   Vm(VmId id, VmSpec spec, const GuestOs::Params& os_params = GuestOs::Params());
+  // Moves rebind the guest-OS observer to the new object and drop the host
+  // listener: a hosted VM is owned by its server and is never moved.
+  Vm(Vm&& other) noexcept;
+  Vm& operator=(Vm&& other) noexcept;
 
   VmId id() const { return id_; }
   const VmSpec& spec() const { return spec_; }
@@ -116,12 +124,23 @@ class Vm {
   // the host without needing overcommitment).
   void ClampHvToVisible();
 
+  // --- Accounting change notification ---
+
+  // Installs the observer told about every allocation-affecting mutation of
+  // this VM (set by the host server on AddVm, cleared on RemoveVm).
+  void set_allocation_listener(AllocationListener* listener) { listener_ = listener; }
+  // Guest-OS mutations arrive here and are forwarded to the host listener.
+  void OnAllocationChanged() override;
+
  private:
+  void NotifyAllocationChanged();
+
   VmId id_;
   VmSpec spec_;
   VmState state_ = VmState::kPending;
   GuestOs guest_os_;
   ResourceVector hv_reclaimed_;
+  AllocationListener* listener_ = nullptr;
 };
 
 }  // namespace defl

