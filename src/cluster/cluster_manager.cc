@@ -23,7 +23,9 @@ const char* ServerHealthName(ServerHealth health) {
 
 ClusterManager::ClusterManager(int num_servers, const ResourceVector& server_capacity,
                                const ClusterConfig& config, TelemetryContext* telemetry)
-    : config_(config), rng_(config.seed) {
+    : config_(config),
+      rng_(config.seed),
+      pool_(std::make_unique<ThreadPool>(config.threads)) {
   assert(num_servers > 0);
   if (telemetry != nullptr) {
     telemetry_ = telemetry;
@@ -116,14 +118,13 @@ ClusterManager::PlaceOutcome ClusterManager::TryPlace(std::unique_ptr<Vm>& vm) {
     // High priority displaces low priority outright as the last resort.
     passes.push_back(AvailabilityMode::kFreePlusPreemptible);
   }
-  std::vector<size_t> index_map;
-  const std::vector<Server*> candidates = PlaceableServers(&index_map);
+  RefreshPlaceable();
   Result<size_t> placed = Error{"unplaced"};
-  if (candidates.empty()) {
+  if (placeable_.empty()) {
     placed = Error{"no healthy servers"};
   } else {
     for (const AvailabilityMode mode : passes) {
-      placed = PlaceVm(demand, candidates, config_.placement, rng_, mode);
+      placed = PlaceVm(demand, placeable_, config_.placement, rng_, mode, pool_.get());
       if (placed.ok()) {
         break;
       }
@@ -133,7 +134,7 @@ ClusterManager::PlaceOutcome ClusterManager::TryPlace(std::unique_ptr<Vm>& vm) {
     out.error = placed.error();
     return out;
   }
-  const size_t index = index_map[placed.value()];
+  const size_t index = placeable_index_map_[placed.value()];
   Server& server = *servers_[index];
   out.server = server.id();
 
@@ -287,18 +288,20 @@ void ClusterManager::AttachFaultInjector(FaultInjector* faults) {
   }
 }
 
-std::vector<Server*> ClusterManager::PlaceableServers(
-    std::vector<size_t>* index_map) const {
-  std::vector<Server*> out;
-  index_map->clear();
+void ClusterManager::RefreshPlaceable() const {
+  if (!placeable_dirty_) {
+    return;
+  }
+  placeable_.clear();
+  placeable_index_map_.clear();
   for (size_t i = 0; i < servers_.size(); ++i) {
     if (health_[i] != ServerHealth::kHealthy) {
       continue;
     }
-    out.push_back(servers_[i].get());
-    index_map->push_back(i);
+    placeable_.push_back(servers_[i].get());
+    placeable_index_map_.push_back(i);
   }
-  return out;
+  placeable_dirty_ = false;
 }
 
 int ClusterManager::ServerIndex(ServerId id) const {
@@ -318,6 +321,9 @@ ServerHealth ClusterManager::health(ServerId id) const {
 }
 
 void ClusterManager::UpdateHealthGauge() {
+  // Every health transition funnels through here, so it doubles as the
+  // invalidation point for the cached placement candidate list.
+  placeable_dirty_ = true;
   double healthy = 0.0;
   for (const ServerHealth h : health_) {
     if (h == ServerHealth::kHealthy) {
@@ -467,9 +473,10 @@ double ClusterManager::Overcommitment() const {
       continue;
     }
     capacity += servers_[i]->capacity();
-    for (const auto& vm : servers_[i]->vms()) {
-      nominal += vm->size();
-    }
+    // Cached per-server nominal demand (folded in hosting order), summed in
+    // server order: O(servers) on warm caches, and one canonical fold order
+    // regardless of thread count.
+    nominal += servers_[i]->NominalDemand();
   }
   double oc = 0.0;
   for (const ResourceKind kind : kAllResources) {
@@ -478,6 +485,83 @@ double ClusterManager::Overcommitment() const {
     }
   }
   return oc;
+}
+
+void ClusterManager::ForEachServerParallel(const std::function<void(size_t)>& fn) {
+  // Chunked so the pool's claim cursor is touched once per ~shard rather
+  // than once per server. Which thread runs which chunk is irrelevant: fn
+  // touches only the state of the one server it is handed (shard
+  // ownership), and any cross-server folding happens on the caller
+  // afterwards in canonical order.
+  constexpr size_t kChunk = 64;
+  const size_t count = servers_.size();
+  const size_t chunks = (count + kChunk - 1) / kChunk;
+  pool_->ParallelFor(static_cast<int64_t>(chunks), [&](int64_t c) {
+    const size_t begin = static_cast<size_t>(c) * kChunk;
+    const size_t end = std::min(begin + kChunk, count);
+    for (size_t i = begin; i < end; ++i) {
+      fn(i);
+    }
+  });
+}
+
+void ClusterManager::WarmAccounting() {
+  ForEachServerParallel([this](size_t i) { servers_[i]->WarmAccountingCache(); });
+}
+
+void ClusterManager::CollectUsageSamples(std::vector<ServerUsageSample>* out) {
+  out->clear();
+  out->resize(servers_.size());
+  ForEachServerParallel([this, out](size_t i) {
+    ServerUsageSample& sample = (*out)[i];
+    sample.nominal_overcommitment = servers_[i]->NominalOvercommitment();
+    sample.vms.reserve(servers_[i]->vm_count());
+    for (const auto& vm : servers_[i]->vms()) {
+      sample.vms.push_back(ServerUsageSample::VmUsage{
+          vm->priority() == VmPriority::kLow, vm->size().cpu(), vm->effective().cpu()});
+    }
+  });
+}
+
+double ClusterManager::HighPriorityEffectiveCpu() {
+  std::vector<std::vector<double>> per_server(servers_.size());
+  ForEachServerParallel([this, &per_server](size_t i) {
+    for (const auto& vm : servers_[i]->vms()) {
+      if (vm->priority() == VmPriority::kHigh) {
+        per_server[i].push_back(vm->effective().cpu());
+      }
+    }
+  });
+  // Flat fold in (server, hosting) order: the exact summation sequence the
+  // old sequential loop used, so the result cannot drift by even one ulp
+  // with the thread count.
+  double sum = 0.0;
+  for (const std::vector<double>& values : per_server) {
+    for (const double value : values) {
+      sum += value;
+    }
+  }
+  return sum;
+}
+
+void ClusterManager::ReinflateSweep(double holdback_cpu_per_server) {
+  std::vector<ReinflatePlan> plans(servers_.size());
+  ForEachServerParallel([this, &plans, holdback_cpu_per_server](size_t i) {
+    // Hold back capacity-shaped headroom for forecast demand.
+    const double cpu = servers_[i]->capacity().cpu();
+    const ResourceVector holdback =
+        cpu > 0.0 ? servers_[i]->capacity() * (holdback_cpu_per_server / cpu)
+                  : ResourceVector::Zero();
+    plans[i] = controllers_[i]->PlanReinflate(holdback);
+  });
+  // Apply sequentially in server order: mutations and their telemetry
+  // (reinflate counters, kReinflation trace records) happen in one
+  // canonical order no matter how the planning phase was scheduled.
+  for (size_t i = 0; i < plans.size(); ++i) {
+    if (!plans[i].empty()) {
+      controllers_[i]->ApplyReinflate(plans[i]);
+    }
+  }
 }
 
 std::vector<double> ClusterManager::PerServerOvercommitment() const {

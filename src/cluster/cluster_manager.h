@@ -21,6 +21,7 @@
 #include "src/cluster/placement.h"
 #include "src/common/result.h"
 #include "src/common/rng.h"
+#include "src/common/thread_pool.h"
 #include "src/core/local_controller.h"
 #include "src/faults/fault_injector.h"
 #include "src/hypervisor/server.h"
@@ -45,6 +46,11 @@ struct ClusterConfig {
   ReclamationStrategy strategy = ReclamationStrategy::kDeflation;
   LocalControllerConfig controller;
   uint64_t seed = 1;
+  // Threads the manager's fork-join pool runs placement probes and
+  // per-server sweeps on (1 = everything inline on the caller). Outputs are
+  // byte-identical for every value: parallel phases follow the DESIGN.md
+  // §10 shard-ownership + deterministic-reduction rules.
+  int threads = 1;
 };
 
 // Snapshot view of the registry-backed lifecycle counters. Kept as a struct
@@ -93,6 +99,46 @@ class ClusterManager {
   TelemetryContext* telemetry() const { return telemetry_; }
   // Low-priority VMs revoked since the last call (for lifecycle bookkeeping).
   std::vector<VmId> TakePreempted();
+
+  // --- Sharded parallel sweeps (DESIGN.md §10) ---
+  // The fork-join pool behind the parallel phases (never nullptr; inline
+  // when config.threads <= 1). Drivers may shard their own read-only scans
+  // over it, observing the per-shard server-ownership rule.
+  ThreadPool* thread_pool() { return pool_.get(); }
+
+  // Refreshes every server's lazy accounting cache in parallel so a
+  // subsequent sequential reduction (Utilization, Overcommitment, ...) reads
+  // only clean O(1) caches.
+  void WarmAccounting();
+
+  // One sampling-tick usage snapshot of a server, gathered read-only in
+  // parallel by CollectUsageSamples and folded into the telemetry registry
+  // by the simulation loop in canonical server order.
+  struct ServerUsageSample {
+    double nominal_overcommitment = 0.0;
+    struct VmUsage {
+      bool low_priority = false;
+      double nominal_cpu = 0.0;    // vm->size().cpu()
+      double effective_cpu = 0.0;  // vm->effective().cpu()
+    };
+    std::vector<VmUsage> vms;
+  };
+  // Fills out[i] for server i (resized to the server count). Parallel over
+  // shards; per-VM entries appear in hosting order so any fold the caller
+  // does replays the exact sequential arithmetic.
+  void CollectUsageSamples(std::vector<ServerUsageSample>* out);
+
+  // Sum of effective CPU over hosted high-priority VMs. Gathered per-shard
+  // in parallel, then folded flat in canonical (server, hosting) order so
+  // the double-precision sum is byte-identical for any thread count.
+  double HighPriorityEffectiveCpu();
+
+  // Proactive reverse cascade over every server (the reinflation loop):
+  // plans each server's proportional reinflation in parallel (read-only),
+  // then applies the plans sequentially in server order so telemetry and
+  // mutations happen in one canonical order. `holdback_cpu_per_server`
+  // reserves capacity-shaped headroom for forecast demand.
+  void ReinflateSweep(double holdback_cpu_per_server);
 
   // --- Failure injection and server health (DESIGN.md §8) ---
 
@@ -143,9 +189,13 @@ class ClusterManager {
   // Places `vm` on a healthy server, reclaiming per the configured strategy.
   // Consumes `vm` on success and leaves it intact on failure.
   PlaceOutcome TryPlace(std::unique_ptr<Vm>& vm);
-  // Healthy servers only, with `index_map` mapping returned positions back
-  // to indices into servers_/controllers_.
-  std::vector<Server*> PlaceableServers(std::vector<size_t>* index_map) const;
+  // Healthy servers only, with placeable_index_map_ mapping candidate
+  // positions back to indices into servers_/controllers_. Rebuilt lazily
+  // after a health transition; placement probes hit the cache.
+  void RefreshPlaceable() const;
+  // Runs fn(server_index) for every server, chunked over the pool. Callers
+  // must follow the shard-ownership rule: fn touches only server i's state.
+  void ForEachServerParallel(const std::function<void(size_t)>& fn);
   int ServerIndex(ServerId id) const;
   void UpdateHealthGauge();
   // Crash wipes deflation state: the re-placed VM restarts at nominal size.
@@ -162,9 +212,15 @@ class ClusterManager {
 
   ClusterConfig config_;
   Rng rng_;
+  std::unique_ptr<ThreadPool> pool_;
   std::vector<std::unique_ptr<Server>> servers_;
   std::vector<std::unique_ptr<LocalController>> controllers_;
   std::vector<ServerHealth> health_;
+  // Cache of the healthy-server candidate list consumed by every placement
+  // probe; invalidated only by health transitions (rare next to probes).
+  mutable std::vector<Server*> placeable_;
+  mutable std::vector<size_t> placeable_index_map_;
+  mutable bool placeable_dirty_ = true;
   std::vector<VmId> preempted_since_take_;
   // VmId -> index into servers_/controllers_ for every hosted VM.
   std::unordered_map<VmId, size_t> vm_index_;

@@ -90,39 +90,41 @@ ClusterSimResult RunClusterSim(const ClusterSimConfig& config,
     });
   }
 
+  // The sampling sweep gathers every server's usage snapshot in parallel
+  // (read-only, shard ownership over the accounting caches) and then folds
+  // it into the registry here in canonical (server, hosting) order -- the
+  // exact sequence of registry calls the old sequential loop made, so the
+  // exported metrics are byte-identical for any --threads value.
   const double dt_hours = config.sample_period_s / 3600.0;
+  std::vector<ClusterManager::ServerUsageSample> usage_samples;
   sim.Every(config.sample_period_s, [&] {
+    manager.CollectUsageSamples(&usage_samples);  // also warms all caches
     registry.ObserveAt(util_series, sim.now(), manager.Utilization());
     registry.ObserveAt(oc_series, sim.now(), manager.Overcommitment());
-    for (Server* server : manager.servers()) {
-      registry.ObserveAt(server_oc_series, sim.now(), server->NominalOvercommitment());
-      for (const auto& vm : server->vms()) {
-        if (vm->priority() == VmPriority::kLow) {
+    for (const ClusterManager::ServerUsageSample& sample : usage_samples) {
+      registry.ObserveAt(server_oc_series, sim.now(), sample.nominal_overcommitment);
+      for (const ClusterManager::ServerUsageSample::VmUsage& vm : sample.vms) {
+        if (vm.low_priority) {
           registry.AddTo(low_vm_hours, dt_hours);
-          registry.AddTo(low_nominal_cpu_hours, vm->size().cpu() * dt_hours);
-          registry.AddTo(low_effective_cpu_hours, vm->effective().cpu() * dt_hours);
-          if (vm->size().cpu() > 0.0) {
-            registry.Observe(allocation_quality, vm->effective().cpu() / vm->size().cpu());
+          registry.AddTo(low_nominal_cpu_hours, vm.nominal_cpu * dt_hours);
+          registry.AddTo(low_effective_cpu_hours, vm.effective_cpu * dt_hours);
+          if (vm.nominal_cpu > 0.0) {
+            registry.Observe(allocation_quality, vm.effective_cpu / vm.nominal_cpu);
           }
         } else {
-          registry.AddTo(high_cpu_hours, vm->effective().cpu() * dt_hours);
+          registry.AddTo(high_cpu_hours, vm.effective_cpu * dt_hours);
         }
       }
     }
   });
 
-  // Proactive reinflation loop (optionally with predictive holdback).
+  // Proactive reinflation loop (optionally with predictive holdback). The
+  // demand gather and the per-server reinflation planning run sharded in
+  // parallel; the plans apply in canonical server order (DESIGN.md §10).
   EwmaPredictor high_pri_demand(config.predictor_alpha);
   if (config.reinflate_period_s > 0.0) {
     sim.Every(config.reinflate_period_s, [&] {
-      double high_pri_cpu = 0.0;
-      for (Server* server : manager.servers()) {
-        for (const auto& vm : server->vms()) {
-          if (vm->priority() == VmPriority::kHigh) {
-            high_pri_cpu += vm->effective().cpu();
-          }
-        }
-      }
+      const double high_pri_cpu = manager.HighPriorityEffectiveCpu();
       high_pri_demand.Observe(high_pri_cpu);
       double holdback_cpu_per_server = 0.0;
       if (config.predictive_holdback && high_pri_demand.initialized()) {
@@ -130,18 +132,7 @@ ClusterSimResult RunClusterSim(const ClusterSimConfig& config,
             std::max(0.0, high_pri_demand.UpperBound(1.0) - high_pri_cpu);
         holdback_cpu_per_server = expected_growth / config.num_servers;
       }
-      for (Server* server : manager.servers()) {
-        LocalController* controller = manager.controller(server->id());
-        if (controller == nullptr) {
-          continue;
-        }
-        // Hold back capacity-shaped headroom for forecast demand.
-        const double cpu = server->capacity().cpu();
-        const ResourceVector holdback =
-            cpu > 0.0 ? server->capacity() * (holdback_cpu_per_server / cpu)
-                      : ResourceVector::Zero();
-        controller->ReinflateAll(holdback);
-      }
+      manager.ReinflateSweep(holdback_cpu_per_server);
     });
   }
 

@@ -33,9 +33,89 @@ ResourceVector ServerAvailability(const Server& server, AvailabilityMode mode) {
   return server.Free();
 }
 
+namespace {
+
+// Per-chunk scan result. `first_feasible` serves first-fit (min over chunks);
+// (fitness, best_feasible) serves best-fit. Both reductions are
+// order-independent under their total-order tie-breaks, so the fold is
+// invariant to chunk boundaries and thread count.
+struct ChunkScan {
+  size_t first_feasible = SIZE_MAX;
+  size_t best_feasible = SIZE_MAX;
+  double best_fitness = -1.0;
+};
+
+// Shard the candidate scan only when it is worth a fork-join dispatch.
+constexpr size_t kMinParallelCandidates = 32;
+constexpr size_t kScanChunk = 64;
+
+bool UseParallelScan(const std::vector<Server*>& servers, ThreadPool* pool) {
+  return pool != nullptr && pool->parallelism() > 1 &&
+         servers.size() >= kMinParallelCandidates;
+}
+
+// Scans candidates [begin, end) exactly like the sequential loops below:
+// feasibility and fitness consume one availability vector per server.
+ChunkScan ScanRange(const ResourceVector& demand, const std::vector<Server*>& servers,
+                    AvailabilityMode mode, bool need_fitness, size_t begin,
+                    size_t end) {
+  ChunkScan out;
+  for (size_t i = begin; i < end; ++i) {
+    const ResourceVector availability = ServerAvailability(*servers[i], mode);
+    if (!demand.AllLeq(availability)) {
+      continue;
+    }
+    if (out.first_feasible == SIZE_MAX) {
+      out.first_feasible = i;
+      if (!need_fitness) {
+        return out;  // first-fit needs nothing past the first hit
+      }
+    }
+    const double fitness = PlacementFitness(demand, availability);
+    if (fitness > out.best_fitness ||
+        (fitness == out.best_fitness && i < out.best_feasible)) {
+      out.best_fitness = fitness;
+      out.best_feasible = i;
+    }
+  }
+  return out;
+}
+
+// Whole-candidate-set scan, sharded across `pool` when profitable. The merge
+// folds chunks in ascending chunk order on the calling thread, but the
+// tie-breaks make the outcome independent of that order too.
+ChunkScan ScanAll(const ResourceVector& demand, const std::vector<Server*>& servers,
+                  AvailabilityMode mode, bool need_fitness, ThreadPool* pool) {
+  if (!UseParallelScan(servers, pool)) {
+    return ScanRange(demand, servers, mode, need_fitness, 0, servers.size());
+  }
+  const size_t count = servers.size();
+  const size_t chunks = (count + kScanChunk - 1) / kScanChunk;
+  std::vector<ChunkScan> partial(chunks);
+  pool->ParallelFor(static_cast<int64_t>(chunks), [&](int64_t c) {
+    const size_t begin = static_cast<size_t>(c) * kScanChunk;
+    const size_t end = std::min(begin + kScanChunk, count);
+    partial[static_cast<size_t>(c)] =
+        ScanRange(demand, servers, mode, need_fitness, begin, end);
+  });
+  ChunkScan merged;
+  for (const ChunkScan& chunk : partial) {
+    merged.first_feasible = std::min(merged.first_feasible, chunk.first_feasible);
+    if (chunk.best_fitness > merged.best_fitness ||
+        (chunk.best_fitness == merged.best_fitness &&
+         chunk.best_feasible < merged.best_feasible)) {
+      merged.best_fitness = chunk.best_fitness;
+      merged.best_feasible = chunk.best_feasible;
+    }
+  }
+  return merged;
+}
+
+}  // namespace
+
 Result<size_t> PlaceVm(const ResourceVector& demand,
                        const std::vector<Server*>& servers, PlacementPolicy policy,
-                       Rng& rng, AvailabilityMode mode) {
+                       Rng& rng, AvailabilityMode mode, ThreadPool* pool) {
   if (servers.empty()) {
     return Error{"no servers"};
   }
@@ -44,32 +124,20 @@ Result<size_t> PlaceVm(const ResourceVector& demand,
   // it (the server-side aggregates are cached, but the vector assembly --
   // Free/clamp/adds -- is still worth sharing on the placement hot path).
   switch (policy) {
-    case PlacementPolicy::kFirstFit:
-      for (size_t i = 0; i < servers.size(); ++i) {
-        if (demand.AllLeq(ServerAvailability(*servers[i], mode))) {
-          return i;
-        }
+    case PlacementPolicy::kFirstFit: {
+      const ChunkScan scan = ScanAll(demand, servers, mode, /*need_fitness=*/false, pool);
+      if (scan.first_feasible == SIZE_MAX) {
+        return Error{"no feasible server (first-fit)"};
       }
-      return Error{"no feasible server (first-fit)"};
+      return scan.first_feasible;
+    }
 
     case PlacementPolicy::kBestFit: {
-      size_t best = servers.size();
-      double best_fitness = -1.0;
-      for (size_t i = 0; i < servers.size(); ++i) {
-        const ResourceVector availability = ServerAvailability(*servers[i], mode);
-        if (!demand.AllLeq(availability)) {
-          continue;
-        }
-        const double fitness = PlacementFitness(demand, availability);
-        if (fitness > best_fitness) {
-          best_fitness = fitness;
-          best = i;
-        }
-      }
-      if (best == servers.size()) {
+      const ChunkScan scan = ScanAll(demand, servers, mode, /*need_fitness=*/true, pool);
+      if (scan.best_feasible == SIZE_MAX) {
         return Error{"no feasible server (best-fit)"};
       }
-      return best;
+      return scan.best_feasible;
     }
 
     case PlacementPolicy::kTwoChoices: {
@@ -111,12 +179,11 @@ Result<size_t> PlaceVm(const ResourceVector& demand,
           return b;
         }
       }
-      for (size_t i = 0; i < servers.size(); ++i) {
-        if (demand.AllLeq(ServerAvailability(*servers[i], mode))) {
-          return i;
-        }
+      const ChunkScan scan = ScanAll(demand, servers, mode, /*need_fitness=*/false, pool);
+      if (scan.first_feasible == SIZE_MAX) {
+        return Error{"no feasible server (2-choices)"};
       }
-      return Error{"no feasible server (2-choices)"};
+      return scan.first_feasible;
     }
   }
   return Error{"unknown policy"};

@@ -59,6 +59,14 @@ Result<std::vector<TraceEvent>> ReadTraceCsv(std::istream& in) {
   double last_arrival = -1.0;
   while (std::getline(in, line)) {
     ++line_no;
+    // WriteTraceCsv terminates every record with '\n', so content that runs
+    // into EOF without one is a truncated write (partial record). Rejecting
+    // it here beats silently accepting a cut-off number that still happens
+    // to split into 12 parseable fields.
+    if (in.eof() && !line.empty()) {
+      return Error{"line " + std::to_string(line_no) +
+                   ": truncated record at EOF (missing trailing newline)"};
+    }
     if (line.empty() || line[0] == '#') {
       continue;
     }

@@ -1,0 +1,115 @@
+#include "src/common/thread_pool.h"
+
+#include <cassert>
+
+namespace defl {
+
+ThreadPool::ThreadPool(int parallelism) : parallelism_(parallelism < 1 ? 1 : parallelism) {
+  workers_.reserve(static_cast<size_t>(parallelism_ - 1));
+  for (int i = 1; i < parallelism_; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  generation_hint_.fetch_add(1, std::memory_order_release);  // break spinners
+  wake_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+int64_t ThreadPool::DrainCurrentJob(const std::function<void(int64_t)>& fn) {
+  // Claim items one at a time from the shared cursor. Items are independent
+  // (shard ownership), so which thread runs which item never matters; the
+  // caller's canonical-order merge provides determinism.
+  int64_t ran = 0;
+  for (;;) {
+    const int64_t i = next_cursor_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= job_count_) {
+      break;
+    }
+    fn(i);
+    ++ran;
+  }
+  return ran;
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen_generation = 0;
+  for (;;) {
+    // Fork-join batches arrive back-to-back from the event loop, so spin
+    // briefly on the generation hint before paying the condition-variable
+    // sleep/wake latency; yield periodically so an oversubscribed host
+    // (fewer cores than threads) still makes progress.
+    for (int spin = 0; spin < 4096; ++spin) {
+      if (generation_hint_.load(std::memory_order_acquire) != seen_generation) {
+        break;
+      }
+      if ((spin & 255) == 255) {
+        std::this_thread::yield();
+      }
+    }
+    const std::function<void(int64_t)>* fn = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      wake_.wait(lock, [&] {
+        return stop_ || (job_ != nullptr && generation_ != seen_generation);
+      });
+      if (stop_) {
+        return;
+      }
+      seen_generation = generation_;
+      fn = job_;
+      // Committing under the lock is what lets ParallelFor wait for every
+      // worker that joined this job to leave before recycling the cursor:
+      // a late waker can never claim items of a newer job with an old fn.
+      ++draining_;
+    }
+    const int64_t ran = DrainCurrentJob(*fn);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      completed_ += ran;
+      --draining_;
+    }
+    done_.notify_one();
+  }
+}
+
+void ThreadPool::ParallelFor(int64_t count, const std::function<void(int64_t)>& fn) {
+  if (count <= 0) {
+    return;
+  }
+  if (workers_.empty() || count == 1) {
+    for (int64_t i = 0; i < count; ++i) {
+      fn(i);
+    }
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    assert(job_ == nullptr && "ParallelFor does not nest");
+    job_ = &fn;
+    job_count_ = count;
+    completed_ = 0;
+    next_cursor_.store(0, std::memory_order_relaxed);
+    ++generation_;
+  }
+  generation_hint_.fetch_add(1, std::memory_order_release);
+  wake_.notify_all();
+  // The caller participates too; on a host with fewer cores than threads
+  // this also guarantees forward progress.
+  const int64_t ran = DrainCurrentJob(fn);
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    completed_ += ran;
+    done_.wait(lock, [&] { return completed_ == job_count_ && draining_ == 0; });
+    job_ = nullptr;
+  }
+}
+
+}  // namespace defl

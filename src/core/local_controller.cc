@@ -239,21 +239,28 @@ ReclaimResult LocalController::MakeRoom(const ResourceVector& demand) {
 }
 
 ResourceVector LocalController::ReinflateAll(const ResourceVector& hold_back) {
-  ResourceVector pool = (server_->Free() - hold_back).ClampNonNegative();
+  return ApplyReinflate(PlanReinflate(hold_back));
+}
+
+ReinflatePlan LocalController::PlanReinflate(const ResourceVector& hold_back) const {
+  ReinflatePlan plan;
+  const ResourceVector pool = (server_->Free() - hold_back).ClampNonNegative();
   if (!pool.AnyPositive()) {
-    return ResourceVector::Zero();
+    return plan;
   }
 
-  // Proportional to how much each VM is currently deflated by.
+  // Proportional to how much each VM is currently deflated by. Each entry's
+  // give depends only on these pre-scan totals, never on earlier entries, so
+  // planning ahead of the apply loop is arithmetically identical to the old
+  // fused loop.
   ResourceVector total_deflated;
   for (const auto& vm : server_->vms()) {
     total_deflated += DeflatedBy(*vm);
   }
   if (!total_deflated.AnyPositive()) {
-    return ResourceVector::Zero();
+    return plan;
   }
 
-  ResourceVector returned_total;
   for (const auto& vm : server_->vms()) {
     const ResourceVector deflated = DeflatedBy(*vm);
     ResourceVector give;
@@ -266,7 +273,15 @@ ResourceVector LocalController::ReinflateAll(const ResourceVector& hold_back) {
     if (!give.AnyPositive()) {
       continue;
     }
-    returned_total += cascade_.Reinflate(*vm, FindAgent(vm->id()), give);
+    plan.entries.push_back(ReinflatePlan::Entry{vm.get(), give});
+  }
+  return plan;
+}
+
+ResourceVector LocalController::ApplyReinflate(const ReinflatePlan& plan) {
+  ResourceVector returned_total;
+  for (const ReinflatePlan::Entry& entry : plan.entries) {
+    returned_total += cascade_.Reinflate(*entry.vm, FindAgent(entry.vm->id()), entry.give);
   }
   return returned_total;
 }

@@ -44,6 +44,21 @@ struct LocalControllerConfig {
   AgentGuardConfig guard;
 };
 
+// One server's planned reverse cascade: how much to give back to each of its
+// deflated VMs. Computed read-only by PlanReinflate (touches only the
+// controller's own server, so per-shard planning can run in parallel under
+// the DESIGN.md §10 ownership rule) and consumed by ApplyReinflate on the
+// coordinating thread. A plan is valid only while the server's VM set and
+// allocations are unchanged between the two calls.
+struct ReinflatePlan {
+  struct Entry {
+    Vm* vm = nullptr;
+    ResourceVector give;
+  };
+  std::vector<Entry> entries;
+  bool empty() const { return entries.empty(); }
+};
+
 struct ReclaimResult {
   bool success = false;
   // Resources freed (unplug + overcommit + preempted allocations).
@@ -80,8 +95,18 @@ class LocalController {
 
   // Proportionally reinflates deflated VMs from the server's current free
   // pool, reserving `hold_back` (e.g. for a VM about to arrive).
-  // Returns the total amount returned to VMs.
+  // Returns the total amount returned to VMs. Equivalent to
+  // ApplyReinflate(PlanReinflate(hold_back)).
   ResourceVector ReinflateAll(const ResourceVector& hold_back = ResourceVector::Zero());
+
+  // Read-only half of ReinflateAll: proportional-to-deflation split of the
+  // current free pool (minus `hold_back`) across this server's VMs. Mutates
+  // nothing except the server's lazily refreshed accounting cache, which is
+  // safe under per-shard ownership.
+  ReinflatePlan PlanReinflate(const ResourceVector& hold_back = ResourceVector::Zero()) const;
+  // Mutating half: runs the reverse cascade for each planned entry, in plan
+  // order, publishing telemetry as usual. Returns the total returned.
+  ResourceVector ApplyReinflate(const ReinflatePlan& plan);
 
   Server* server() { return server_; }
   const LocalControllerConfig& config() const { return config_; }

@@ -140,6 +140,8 @@ ResourceVector Server::Availability() const { return Free() + Deflatable(); }
 
 ResourceVector Server::Preemptible() const { return accounting().preemptible; }
 
+ResourceVector Server::NominalDemand() const { return accounting().nominal; }
+
 double Server::NominalOvercommitment() const {
   const ResourceVector& nominal = accounting().nominal;
   double oc = 0.0;

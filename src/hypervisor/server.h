@@ -24,6 +24,14 @@ using ServerId = int64_t;
 // are always bit-identical to a recomputation -- the cache can be stale
 // only if a mutation path misses its notification hook, which the
 // DEFL_CHECK_ACCOUNTING build cross-validates on every read.
+//
+// Thread-safety (DESIGN.md §10): the cache is guarded by SHARD OWNERSHIP,
+// not locks. Even const accessors may refresh the mutable cache, so during
+// a parallel phase exactly one thread -- the worker owning this server's
+// shard -- may touch this server (reads included); the coordinator thread
+// only resumes reading after the fork-join barrier. Concurrent access to
+// one server from two threads is a data race by design and is what the
+// ThreadSanitizer CI job exists to catch.
 struct ServerAccounting {
   // Sum of effective (physically backed) allocations.
   ResourceVector allocated;
@@ -68,6 +76,13 @@ class Server : public AllocationListener {
   // Everything low-priority VMs physically hold: what a high-priority
   // arrival could claim by displacing them outright.
   ResourceVector Preemptible() const;
+  // Sum of nominal VM sizes (the cached overcommitment numerator).
+  ResourceVector NominalDemand() const;
+
+  // Forces the lazy aggregate refresh now. The sharded simulation calls this
+  // from the worker that owns this server's shard so the subsequent
+  // sequential reduction reads only clean O(1) caches (DESIGN.md §10).
+  void WarmAccountingCache() const { (void)accounting(); }
 
   // From-scratch fold over the hosted VMs (the reference the cache must
   // match). Exposed for the accounting invariant checks and property tests.

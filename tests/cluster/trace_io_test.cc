@@ -48,11 +48,11 @@ TEST(TraceIoTest, CommentsAndBlankLinesIgnored) {
 
 TEST(TraceIoTest, RejectsMalformedRows) {
   const char* bad_cases[] = {
-      "10,600,vm,low,4,16384,100,500,1,4096,25",          // 11 fields
-      "10,600,vm,medium,4,16384,100,500,1,4096,25,125",   // bad priority
-      "10,xyz,vm,low,4,16384,100,500,1,4096,25,125",      // bad number
-      "10,600,vm,low,4,16384,100,500,8,32768,200,1000",   // min > size
-      "10,-5,vm,low,4,16384,100,500,1,4096,25,125",       // non-positive life
+      "10,600,vm,low,4,16384,100,500,1,4096,25\n",          // 11 fields
+      "10,600,vm,medium,4,16384,100,500,1,4096,25,125\n",   // bad priority
+      "10,xyz,vm,low,4,16384,100,500,1,4096,25,125\n",      // bad number
+      "10,600,vm,low,4,16384,100,500,8,32768,200,1000\n",   // min > size
+      "10,-5,vm,low,4,16384,100,500,1,4096,25,125\n",       // non-positive life
   };
   for (const char* text : bad_cases) {
     EXPECT_FALSE(ParseTraceCsv(text).ok()) << text;
@@ -95,6 +95,43 @@ TEST(TraceIoTest, EmptyInputIsAnEmptyTrace) {
   const Result<std::vector<TraceEvent>> parsed = ParseTraceCsv("");
   ASSERT_TRUE(parsed.ok());
   EXPECT_TRUE(parsed.value().empty());
+}
+
+// Every record WriteTraceCsv emits ends in '\n', so content running into
+// EOF without one is a partial write. The dangerous case is a number cut
+// mid-digit that still splits into 12 parseable fields -- before the
+// truncation check, that silently loaded a corrupted value.
+TEST(TraceIoTest, RejectsTruncatedFinalRecord) {
+  const std::string good =
+      "10,600,vm-a,low,4,16384,100,500,1,4096,25,125\n";
+  // Truncation points: mid-number with 12 fields intact (the silent case),
+  // mid-record with fewer fields, and a cut-off comment.
+  const char* truncated_tails[] = {
+      "20,600,vm-b,low,4,16384,100,500,1,4096,25,12",  // '125' cut to '12'
+      "20,600,vm-b,low,4,16384,100,500",               // fields missing
+      "# partial comm",
+  };
+  for (const char* tail : truncated_tails) {
+    const Result<std::vector<TraceEvent>> parsed = ParseTraceCsv(good + tail);
+    ASSERT_FALSE(parsed.ok()) << tail;
+    EXPECT_NE(parsed.error().find("truncated record at EOF"), std::string::npos)
+        << parsed.error();
+    EXPECT_NE(parsed.error().find("line 2"), std::string::npos) << parsed.error();
+  }
+}
+
+TEST(TraceIoTest, TruncatedFileRoundTripIsRejected) {
+  const std::vector<TraceEvent> original = SampleTrace();
+  ASSERT_FALSE(original.empty());
+  std::string text = TraceToCsv(original);
+  // Intact text round-trips; the same text minus its last byte (the final
+  // newline) does not.
+  ASSERT_TRUE(ParseTraceCsv(text).ok());
+  text.pop_back();
+  const Result<std::vector<TraceEvent>> parsed = ParseTraceCsv(text);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.error().find("truncated record at EOF"), std::string::npos)
+      << parsed.error();
 }
 
 }  // namespace

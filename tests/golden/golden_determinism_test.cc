@@ -1,0 +1,159 @@
+// Golden end-to-end determinism suite (DESIGN.md §10): every simulation
+// scenario -- including each shipped examples/*.plan fault plan -- must
+// produce byte-identical metrics JSON and event-trace JSONL whether it runs
+// on 1 thread or 8. On top of the pairwise comparison, the 1-thread output
+// is hashed and pinned against tests/golden/golden_digests.txt, so any
+// change to the simulation's observable output (intended or not) shows up
+// in review as a digest diff.
+//
+// To regenerate after an intended output change:
+//   DEFL_UPDATE_GOLDEN=1 ./golden_determinism_test
+// then copy the printed block into tests/golden/golden_digests.txt.
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/cluster/cluster_sim.h"
+#include "src/faults/fault_plan.h"
+#include "src/telemetry/telemetry.h"
+
+namespace defl {
+namespace {
+
+#ifndef DEFL_SOURCE_DIR
+#error "build must define DEFL_SOURCE_DIR"
+#endif
+
+constexpr const char* kDigestFile =
+    DEFL_SOURCE_DIR "/tests/golden/golden_digests.txt";
+
+// FNV-1a 64-bit: tiny, dependency-free, and stable across platforms for the
+// byte-stream pinning this suite needs (not cryptographic, not required).
+uint64_t Fnv1a64(const std::string& bytes) {
+  uint64_t hash = 14695981039346656037ull;
+  for (const char c : bytes) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+std::string HexDigest(uint64_t hash) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(hash));
+  return buf;
+}
+
+// Scenario matrix: the deflation_sim defaults at small scale, one variant
+// per placement policy and strategy, plus one per shipped fault plan.
+const char* const kScenarios[] = {
+    "base",           "first_fit",     "two_choices",    "preemption_only",
+    "reinflate",      "predictive",    "faults_basic",   "faults_wire",
+    "faults_cluster",
+};
+
+ClusterSimConfig MakeConfig(const std::string& name) {
+  ClusterSimConfig config;
+  config.num_servers = 40;
+  config.server_capacity = ResourceVector(32.0, 256.0 * 1024.0, 1000.0, 10000.0);
+  config.trace.seed = 42;
+  config.trace.duration_s = 3.0 * 3600.0;
+  config.trace.max_lifetime_s = 2.0 * 3600.0;
+  config.trace.low_priority_fraction = 0.6;
+  config.trace =
+      WithTargetLoad(config.trace, 1.6, config.num_servers, config.server_capacity);
+
+  if (name == "first_fit") {
+    config.cluster.placement = PlacementPolicy::kFirstFit;
+  } else if (name == "two_choices") {
+    config.cluster.placement = PlacementPolicy::kTwoChoices;
+  } else if (name == "preemption_only") {
+    config.cluster.strategy = ReclamationStrategy::kPreemptionOnly;
+  } else if (name == "reinflate") {
+    config.reinflate_period_s = 600.0;
+  } else if (name == "predictive") {
+    config.reinflate_period_s = 600.0;
+    config.predictive_holdback = true;
+  } else if (name.rfind("faults_", 0) == 0) {
+    const std::string path =
+        std::string(DEFL_SOURCE_DIR "/examples/") + name + ".plan";
+    Result<FaultPlan> plan = LoadFaultPlanFile(path);
+    EXPECT_TRUE(plan.ok()) << path << ": " << plan.error();
+    if (plan.ok()) {
+      config.fault_plan = std::move(plan.value());
+    }
+    config.reinflate_period_s = 600.0;
+  }
+  return config;
+}
+
+// Runs the scenario at the given thread count and returns the full
+// observable output: metrics JSON, then the event-trace JSONL.
+std::string RunScenario(const std::string& name, int threads) {
+  ClusterSimConfig config = MakeConfig(name);
+  config.cluster.threads = threads;
+  TelemetryContext telemetry;
+  telemetry.trace().set_enabled(true);
+  RunClusterSim(config, &telemetry);
+  std::ostringstream out;
+  telemetry.metrics().DumpJson(out);
+  out << "\n";
+  telemetry.trace().DumpJsonl(out);
+  return out.str();
+}
+
+std::map<std::string, std::string> LoadDigests() {
+  std::map<std::string, std::string> digests;
+  std::ifstream in(kDigestFile);
+  std::string name;
+  std::string digest;
+  while (in >> name >> digest) {
+    digests[name] = digest;
+  }
+  return digests;
+}
+
+class GoldenDeterminismTest : public testing::TestWithParam<const char*> {};
+
+TEST_P(GoldenDeterminismTest, ThreadCountDoesNotChangeOutput) {
+  const std::string name = GetParam();
+  const std::string one = RunScenario(name, 1);
+  const std::string eight = RunScenario(name, 8);
+  // Byte-for-byte: the sharded sweeps must be invisible in the output.
+  ASSERT_EQ(one, eight) << "scenario " << name
+                        << ": output differs between --threads 1 and 8";
+  EXPECT_FALSE(one.empty());
+}
+
+TEST_P(GoldenDeterminismTest, MatchesCheckedInDigest) {
+  const std::string name = GetParam();
+  const std::string digest = HexDigest(Fnv1a64(RunScenario(name, 1)));
+  if (std::getenv("DEFL_UPDATE_GOLDEN") != nullptr) {
+    // Regeneration mode: print the line to paste into the digest file.
+    std::printf("GOLDEN %s %s\n", name.c_str(), digest.c_str());
+    GTEST_SKIP() << "DEFL_UPDATE_GOLDEN set; printed new digest";
+  }
+  const std::map<std::string, std::string> digests = LoadDigests();
+  const auto it = digests.find(name);
+  ASSERT_NE(it, digests.end())
+      << "no digest for scenario '" << name << "' in " << kDigestFile
+      << "; regenerate with DEFL_UPDATE_GOLDEN=1";
+  EXPECT_EQ(it->second, digest)
+      << "scenario " << name << " output changed; if intended, regenerate "
+      << kDigestFile << " with DEFL_UPDATE_GOLDEN=1";
+}
+
+INSTANTIATE_TEST_SUITE_P(Scenarios, GoldenDeterminismTest,
+                         testing::ValuesIn(kScenarios),
+                         [](const testing::TestParamInfo<const char*>& info) {
+                           return std::string(info.param);
+                         });
+
+}  // namespace
+}  // namespace defl

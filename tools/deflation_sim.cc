@@ -45,6 +45,7 @@ struct Options {
   std::string trace_out;
   std::string fault_plan;
   double recovery_grace_s = 600.0;
+  int64_t threads = 1;
 };
 
 int Fail(const std::string& message) {
@@ -86,6 +87,10 @@ int main(int argc, char** argv) {
   parser.AddDouble("recovery-grace-s",
                    "probation before a recovered server takes placements",
                    &opt.recovery_grace_s);
+  parser.AddInt("threads",
+                "worker threads for sharded sweeps (outputs are identical "
+                "for every value)",
+                &opt.threads);
   const Result<std::vector<std::string>> parsed = parser.Parse(argc, argv);
   if (!parsed.ok()) {
     return Fail(parsed.error());
@@ -105,6 +110,10 @@ int main(int argc, char** argv) {
   config.reinflate_period_s = opt.reinflate_period_s;
   config.predictive_holdback = opt.predictive;
   config.recovery_grace_s = opt.recovery_grace_s;
+  if (opt.threads < 1) {
+    return Fail("--threads must be >= 1");
+  }
+  config.cluster.threads = static_cast<int>(opt.threads);
   if (!opt.fault_plan.empty()) {
     Result<FaultPlan> plan = LoadFaultPlanFile(opt.fault_plan);
     if (!plan.ok()) {
