@@ -131,8 +131,14 @@ int RunThreadSweep(int servers, int target_vms) {
 int main(int argc, char** argv) {
   using namespace defl;
   if (argc >= 2 && std::string(argv[1]) == "threads") {
-    const int servers = argc >= 4 ? std::atoi(argv[2]) : 1000;
-    const int target_vms = argc >= 4 ? std::atoi(argv[3]) : 20000;
+    if (argc != 2 && argc != 4) {
+      // A lone extra arg is ambiguous (servers or vms?); refuse rather than
+      // silently running the default config.
+      std::fprintf(stderr, "usage: %s threads [servers target_vms]\n", argv[0]);
+      return 2;
+    }
+    const int servers = argc == 4 ? std::atoi(argv[2]) : 1000;
+    const int target_vms = argc == 4 ? std::atoi(argv[3]) : 20000;
     return RunThreadSweep(servers, target_vms);
   }
   std::vector<std::pair<int, int>> sweep = {{100, 2000}, {250, 5000}, {1000, 20000}};

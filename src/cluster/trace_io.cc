@@ -31,6 +31,49 @@ std::vector<std::string> SplitCsv(const std::string& line) {
   return fields;
 }
 
+// Parses one non-comment record line; enforces field shape and per-event
+// validity plus the sorted-arrival invariant against last_arrival.
+Result<TraceEvent> ParseRecord(const std::string& line, int line_no,
+                               double last_arrival) {
+  const std::vector<std::string> fields = SplitCsv(line);
+  if (fields.size() != 12) {
+    return Error{"line " + std::to_string(line_no) + ": expected 12 fields, got " +
+                 std::to_string(fields.size())};
+  }
+  TraceEvent event;
+  double numbers[10] = {};
+  // Numeric fields: 0,1 then 4..11 (2 = name, 3 = priority).
+  const int numeric_indexes[10] = {0, 1, 4, 5, 6, 7, 8, 9, 10, 11};
+  for (int i = 0; i < 10; ++i) {
+    const Result<double> parsed =
+        ParseNumber(fields[static_cast<size_t>(numeric_indexes[i])], line_no);
+    if (!parsed.ok()) {
+      return Error{parsed.error()};
+    }
+    numbers[i] = parsed.value();
+  }
+  event.arrival_s = numbers[0];
+  event.lifetime_s = numbers[1];
+  event.spec.name = fields[2];
+  if (fields[3] == "low") {
+    event.spec.priority = VmPriority::kLow;
+  } else if (fields[3] == "high") {
+    event.spec.priority = VmPriority::kHigh;
+  } else {
+    return Error{"line " + std::to_string(line_no) + ": bad priority '" + fields[3] +
+                 "'"};
+  }
+  event.spec.size = ResourceVector(numbers[2], numbers[3], numbers[4], numbers[5]);
+  event.spec.min_size = ResourceVector(numbers[6], numbers[7], numbers[8], numbers[9]);
+  if (event.arrival_s < last_arrival) {
+    return Error{"line " + std::to_string(line_no) + ": arrivals not sorted"};
+  }
+  if (event.lifetime_s <= 0.0 || !event.spec.min_size.AllLeq(event.spec.size)) {
+    return Error{"line " + std::to_string(line_no) + ": invalid event"};
+  }
+  return event;
+}
+
 }  // namespace
 
 void WriteTraceCsv(const std::vector<TraceEvent>& trace, std::ostream& out) {
@@ -60,54 +103,25 @@ Result<std::vector<TraceEvent>> ReadTraceCsv(std::istream& in) {
   while (std::getline(in, line)) {
     ++line_no;
     // WriteTraceCsv terminates every record with '\n', so content that runs
-    // into EOF without one is a truncated write (partial record). Rejecting
-    // it here beats silently accepting a cut-off number that still happens
-    // to split into 12 parseable fields.
-    if (in.eof() && !line.empty()) {
-      return Error{"line " + std::to_string(line_no) +
-                   ": truncated record at EOF (missing trailing newline)"};
-    }
+    // into EOF without one may be a truncated write. Hand-authored or
+    // editor-stripped files are still accepted: an unterminated final line
+    // that parses into a complete valid record loads normally, and only a
+    // genuinely short or garbled tail is rejected -- with the truncation
+    // called out, since a generic field-count error would misdirect.
+    const bool unterminated = in.eof() && !line.empty();
     if (line.empty() || line[0] == '#') {
       continue;
     }
-    const std::vector<std::string> fields = SplitCsv(line);
-    if (fields.size() != 12) {
-      return Error{"line " + std::to_string(line_no) + ": expected 12 fields, got " +
-                   std::to_string(fields.size())};
-    }
-    TraceEvent event;
-    double numbers[10] = {};
-    // Numeric fields: 0,1 then 4..11 (2 = name, 3 = priority).
-    const int numeric_indexes[10] = {0, 1, 4, 5, 6, 7, 8, 9, 10, 11};
-    for (int i = 0; i < 10; ++i) {
-      const Result<double> parsed =
-          ParseNumber(fields[static_cast<size_t>(numeric_indexes[i])], line_no);
-      if (!parsed.ok()) {
-        return Error{parsed.error()};
+    Result<TraceEvent> record = ParseRecord(line, line_no, last_arrival);
+    if (!record.ok()) {
+      if (unterminated) {
+        return Error{record.error() +
+                     " (possible truncated record at EOF: missing trailing newline)"};
       }
-      numbers[i] = parsed.value();
+      return Error{record.error()};
     }
-    event.arrival_s = numbers[0];
-    event.lifetime_s = numbers[1];
-    event.spec.name = fields[2];
-    if (fields[3] == "low") {
-      event.spec.priority = VmPriority::kLow;
-    } else if (fields[3] == "high") {
-      event.spec.priority = VmPriority::kHigh;
-    } else {
-      return Error{"line " + std::to_string(line_no) + ": bad priority '" + fields[3] +
-                   "'"};
-    }
-    event.spec.size = ResourceVector(numbers[2], numbers[3], numbers[4], numbers[5]);
-    event.spec.min_size = ResourceVector(numbers[6], numbers[7], numbers[8], numbers[9]);
-    if (event.arrival_s < last_arrival) {
-      return Error{"line " + std::to_string(line_no) + ": arrivals not sorted"};
-    }
-    if (event.lifetime_s <= 0.0 || !event.spec.min_size.AllLeq(event.spec.size)) {
-      return Error{"line " + std::to_string(line_no) + ": invalid event"};
-    }
-    last_arrival = event.arrival_s;
-    trace.push_back(std::move(event));
+    last_arrival = record.value().arrival_s;
+    trace.push_back(std::move(record).value());
   }
   return trace;
 }

@@ -1,6 +1,8 @@
 #include "src/common/thread_pool.h"
 
-#include <cassert>
+#include <cstdlib>
+
+#include "src/common/logging.h"
 
 namespace defl {
 
@@ -92,7 +94,14 @@ void ThreadPool::ParallelFor(int64_t count, const std::function<void(int64_t)>& 
   }
   {
     std::lock_guard<std::mutex> lock(mu_);
-    assert(job_ == nullptr && "ParallelFor does not nest");
+    if (job_ != nullptr) {
+      // Nested or concurrent ParallelFor on one pool would hand workers a
+      // dangling fn / recycled cursor; the pool is exposed to external
+      // drivers, so misuse must fail loudly even in release builds.
+      DEFL_LOG(kError) << "ThreadPool::ParallelFor does not nest and is not "
+                          "reentrant; a job is already running on this pool";
+      std::abort();
+    }
     job_ = &fn;
     job_count_ = count;
     completed_ = 0;
