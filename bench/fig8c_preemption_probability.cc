@@ -5,7 +5,7 @@
 // with deflation, preemption probability is negligible even at 60%
 // overcommitment (1.6x utilization).
 #include "bench/bench_util.h"
-#include "src/cluster/cluster_sim.h"
+#include "src/cluster/sim_session.h"
 #include "src/telemetry/telemetry.h"
 
 namespace defl {
@@ -24,7 +24,9 @@ ClusterSimResult RunAtLoad(double load, ReclamationStrategy strategy,
   config.cluster.strategy = strategy;
   config.cluster.controller.mode = DeflationMode::kVmLevel;
   config.sample_period_s = 600.0;
-  return RunClusterSim(config, telemetry);
+  config.telemetry = telemetry;
+  Result<SimSession> session = SimSession::Open(config);
+  return session.value().Finish();
 }
 
 }  // namespace

@@ -3,7 +3,7 @@
 // Paper: all policies yield similar overcommitment -- deflation masks the
 // differences between online bin-packing heuristics.
 #include "bench/bench_util.h"
-#include "src/cluster/cluster_sim.h"
+#include "src/cluster/sim_session.h"
 #include "src/common/stats.h"
 #include "src/telemetry/telemetry.h"
 
@@ -22,7 +22,9 @@ ClusterSimResult RunWithPolicy(PlacementPolicy policy, TelemetryContext* telemet
   config.cluster.strategy = ReclamationStrategy::kDeflation;
   config.cluster.placement = policy;
   config.sample_period_s = 300.0;
-  return RunClusterSim(config, telemetry);
+  config.telemetry = telemetry;
+  Result<SimSession> session = SimSession::Open(config);
+  return session.value().Finish();
 }
 
 }  // namespace

@@ -2,10 +2,11 @@
 // arrivals, heavy-tailed lifetimes, 60% transient VMs) through the
 // deflation-based cluster manager and through a conventional preemption-only
 // manager at 1.6x offered load, and compares utilization, overcommitment and
-// the fate of transient VMs.
+// the fate of transient VMs. Runs through the steppable SimSession API so the
+// halfway point can be inspected live before the run finishes.
 #include <cstdio>
 
-#include "src/cluster/cluster_sim.h"
+#include "src/cluster/sim_session.h"
 
 using namespace defl;
 
@@ -21,7 +22,21 @@ ClusterSimResult Run(ReclamationStrategy strategy) {
   config.trace =
       WithTargetLoad(config.trace, 1.6, config.num_servers, config.server_capacity);
   config.cluster.strategy = strategy;
-  return RunClusterSim(config);
+  Result<SimSession> session = SimSession::Open(config);
+  if (!session.ok()) {
+    std::printf("cannot open session: %s\n", session.error().c_str());
+    return ClusterSimResult{};
+  }
+  // Stop the clock at midday and peek at the live cluster, then finish the
+  // remaining half. Stepping does not change the result: the full run is
+  // byte-identical to a batch RunClusterSim() of the same config.
+  SimSession& sim = session.value();
+  sim.StepUntil(6.0 * 3600.0);
+  const SimInspectView midday = sim.Inspect();
+  std::printf("  [t=%.0fh] %lld VMs hosted, utilization %.2f, overcommitment %.2f\n",
+              midday.now_s / 3600.0, static_cast<long long>(midday.hosted_vms),
+              midday.utilization, midday.overcommitment);
+  return sim.Finish();
 }
 
 void Report(const char* label, const ClusterSimResult& r) {

@@ -1,0 +1,83 @@
+// Checkpoint/restore for multi-day runs: opens a cluster simulation, runs
+// the first third, snapshots it to disk, deliberately throws the live
+// session away (standing in for a preemption or a crash), restores from the
+// snapshot, and finishes. The restored run's results are byte-identical to
+// an uninterrupted run of the same config -- the determinism contract in
+// DESIGN.md §11.
+#include <cstdio>
+
+#include "src/cluster/sim_session.h"
+
+using namespace defl;
+
+namespace {
+
+ClusterSimConfig DayConfig() {
+  ClusterSimConfig config;
+  config.num_servers = 24;
+  config.server_capacity = ResourceVector(32.0, 256.0 * 1024.0, 1000.0, 10000.0);
+  config.trace.duration_s = 24.0 * 3600.0;
+  config.trace.max_lifetime_s = 8.0 * 3600.0;
+  config.trace.seed = 7;
+  config.trace =
+      WithTargetLoad(config.trace, 1.5, config.num_servers, config.server_capacity);
+  config.cluster.strategy = ReclamationStrategy::kDeflation;
+  config.reinflate_period_s = 600.0;
+  return config;
+}
+
+void Report(const char* label, const ClusterSimResult& r) {
+  std::printf("%s launched=%lld preempted=%lld util=%.6f oc=%.6f quality=%.6f\n",
+              label, static_cast<long long>(r.counters.launched),
+              static_cast<long long>(r.counters.preempted), r.mean_utilization,
+              r.mean_overcommitment, r.low_priority_allocation_quality);
+}
+
+}  // namespace
+
+int main() {
+  const char* snapshot_path = "resumable_sim.snap";
+
+  // The uninterrupted run, for comparison.
+  Result<SimSession> batch = SimSession::Open(DayConfig());
+  if (!batch.ok()) {
+    std::printf("open failed: %s\n", batch.error().c_str());
+    return 1;
+  }
+  const ClusterSimResult uninterrupted = batch.value().Finish();
+
+  // The interrupted run: 8 simulated hours, snapshot, "crash".
+  {
+    Result<SimSession> session = SimSession::Open(DayConfig());
+    session.value().StepUntil(8.0 * 3600.0);
+    const Result<bool> saved = session.value().Snapshot(snapshot_path);
+    if (!saved.ok()) {
+      std::printf("snapshot failed: %s\n", saved.error().c_str());
+      return 1;
+    }
+    std::printf("snapshotted at t=%.0fh after %lld events\n",
+                session.value().now() / 3600.0,
+                static_cast<long long>(session.value().events_executed()));
+  }  // session destroyed here: the process has "died"
+
+  // Days later: restore and finish the remaining 16 hours.
+  Result<SimSession> resumed = SimSession::Restore(snapshot_path);
+  if (!resumed.ok()) {
+    std::printf("restore failed: %s\n", resumed.error().c_str());
+    return 1;
+  }
+  const ClusterSimResult completed = resumed.value().Finish();
+
+  Report("uninterrupted:", uninterrupted);
+  Report("kill+restored:", completed);
+  const bool identical =
+      uninterrupted.counters.launched == completed.counters.launched &&
+      uninterrupted.counters.preempted == completed.counters.preempted &&
+      uninterrupted.mean_utilization == completed.mean_utilization &&
+      uninterrupted.mean_overcommitment == completed.mean_overcommitment &&
+      uninterrupted.low_priority_allocation_quality ==
+          completed.low_priority_allocation_quality;
+  std::printf("results %s\n", identical ? "identical" : "DIVERGED");
+  std::remove(snapshot_path);
+  return identical ? 0 : 1;
+}

@@ -288,6 +288,27 @@ void ClusterManager::AttachFaultInjector(FaultInjector* faults) {
   }
 }
 
+void ClusterManager::AdoptVm(std::unique_ptr<Vm> vm, ServerId server) {
+  assert(vm != nullptr);
+  const int index = ServerIndex(server);
+  assert(index >= 0);
+  const VmId id = vm->id();
+  if (faults_ != nullptr) {
+    vm->guest_os().AttachFaultInjector(faults_, id);
+  }
+  servers_[static_cast<size_t>(index)]->AddVm(std::move(vm));
+  vm_index_[id] = static_cast<size_t>(index);
+}
+
+bool ClusterManager::RestoreHealthStates(const std::vector<ServerHealth>& health) {
+  if (health.size() != health_.size()) {
+    return false;
+  }
+  health_ = health;
+  UpdateHealthGauge();
+  return true;
+}
+
 void ClusterManager::RefreshPlaceable() const {
   if (!placeable_dirty_) {
     return;

@@ -13,6 +13,7 @@
 #ifndef SRC_CLUSTER_CLUSTER_MANAGER_H_
 #define SRC_CLUSTER_CLUSTER_MANAGER_H_
 
+#include <array>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -164,6 +165,30 @@ class ClusterManager {
   // Promotes kRecovering/kDegraded back to kHealthy after the caller's
   // probation grace period.
   void MarkHealthy(ServerId id);
+
+  // --- Deterministic checkpoint/restore (SimSession snapshots) ---
+
+  // Re-hosts a snapshot-restored VM on `server` exactly as the snapshotting
+  // run left it: no placement probe, no reclamation, no RNG or fault-
+  // injector draws. The server's add-path telemetry still fires; the session
+  // overwrites the whole registry right afterwards, so nothing the adoption
+  // emits survives into restored output. Ignores server health (a degraded
+  // server keeps its VMs across a snapshot).
+  void AdoptVm(std::unique_ptr<Vm> vm, ServerId server);
+  const std::vector<ServerHealth>& health_states() const { return health_; }
+  // Reinstates the snapshotted health vector; false if the size differs.
+  bool RestoreHealthStates(const std::vector<ServerHealth>& health);
+  std::array<uint64_t, 4> SaveRngState() const { return rng_.SaveState(); }
+  void RestoreRngState(const std::array<uint64_t, 4>& state) {
+    rng_.RestoreState(state);
+  }
+  // Low-priority revocations not yet drained by TakePreempted.
+  const std::vector<VmId>& pending_preempted() const {
+    return preempted_since_take_;
+  }
+  void RestorePreempted(std::vector<VmId> ids) {
+    preempted_since_take_ = std::move(ids);
+  }
 
   // --- Cluster-level metrics ---
   // Dominant-dimension utilization of backed resources, in [0, 1].

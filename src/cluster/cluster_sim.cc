@@ -1,178 +1,28 @@
 #include "src/cluster/cluster_sim.h"
 
-#include <algorithm>
-#include <memory>
+#include <cassert>
 
-#include "src/cluster/predictor.h"
-#include "src/common/stats.h"
-#include "src/sim/simulator.h"
+#include "src/cluster/sim_session.h"
 
 namespace defl {
 
 ClusterSimResult RunClusterSim(const ClusterSimConfig& config) {
-  // Private context so every result field can still be derived from the
-  // registry; nothing will export the trace, so don't accumulate it.
-  TelemetryContext local;
-  local.trace().set_enabled(false);
-  return RunClusterSim(config, &local);
+  Result<SimSession> session = SimSession::Open(config);
+  // The batch entry point has no error channel; configs that SimSession
+  // rejects (non-positive server count, zero sample period, ...) were
+  // undefined behavior here before the session API existed.
+  assert(session.ok() && "invalid ClusterSimConfig; use SimSession::Open for errors");
+  if (!session.ok()) {
+    return ClusterSimResult{};
+  }
+  return session.value().Finish();
 }
 
 ClusterSimResult RunClusterSim(const ClusterSimConfig& config,
                                TelemetryContext* telemetry) {
-  if (telemetry == nullptr) {
-    return RunClusterSim(config);
-  }
-  Simulator sim;
-  TelemetryClockScope clock_scope(telemetry, [&sim] { return sim.now(); });
-  ClusterManager manager(config.num_servers, config.server_capacity, config.cluster,
-                         telemetry);
-  // Only built when the plan has rules, so a faultless run registers no
-  // fault metrics and its output stays byte-identical to earlier builds.
-  std::unique_ptr<FaultInjector> injector;
-  if (!config.fault_plan.rules.empty()) {
-    injector = std::make_unique<FaultInjector>(config.fault_plan);
-    injector->AttachTelemetry(telemetry);
-    manager.AttachFaultInjector(injector.get());
-    for (const FaultInjector::ServerEvent& event :
-         injector->ServerEventsFor(config.num_servers)) {
-      sim.At(event.time_s, [&manager, &sim, &config, event] {
-        switch (event.kind) {
-          case FaultKind::kServerCrash:
-            manager.CrashServer(event.server);
-            break;
-          case FaultKind::kServerDegrade:
-            manager.DegradeServer(event.server);
-            break;
-          case FaultKind::kServerRecover:
-            manager.RecoverServer(event.server);
-            sim.After(config.recovery_grace_s,
-                      [&manager, event] { manager.MarkHealthy(event.server); });
-            break;
-          default:
-            break;
-        }
-      });
-    }
-  }
-  const std::vector<TraceEvent> trace =
-      config.explicit_trace.empty() ? GenerateTrace(config.trace)
-                                    : config.explicit_trace;
-
-  MetricsRegistry& registry = telemetry->metrics();
-  const SeriesHandle util_series = registry.Series("cluster/utilization");
-  const SeriesHandle oc_series = registry.Series("cluster/overcommitment");
-  const SeriesHandle server_oc_series = registry.Series("cluster/server_overcommitment");
-  const GaugeHandle low_vm_hours = registry.Gauge("cluster/usage/low_pri_vm_hours");
-  const GaugeHandle low_nominal_cpu_hours =
-      registry.Gauge("cluster/usage/low_pri_nominal_cpu_hours");
-  const GaugeHandle low_effective_cpu_hours =
-      registry.Gauge("cluster/usage/low_pri_effective_cpu_hours");
-  const GaugeHandle high_cpu_hours = registry.Gauge("cluster/usage/high_pri_cpu_hours");
-  const DistributionHandle allocation_quality =
-      registry.Distribution("cluster/low_pri/allocation_quality");
-
-  VmId next_id = 0;
-  for (const TraceEvent& event : trace) {
-    const VmId id = next_id++;
-    sim.At(event.arrival_s, [&manager, &sim, event, id] {
-      auto vm = std::make_unique<Vm>(id, event.spec);
-      const Result<ServerId> placed = manager.LaunchVm(std::move(vm));
-      if (!placed.ok()) {
-        return;
-      }
-      sim.After(event.lifetime_s, [&manager, id] {
-        // The VM may have been preempted in the meantime; completing a
-        // missing VM is a no-op.
-        if (manager.FindVm(id) != nullptr) {
-          manager.CompleteVm(id);
-        }
-      });
-    });
-  }
-
-  // The sampling sweep gathers every server's usage snapshot in parallel
-  // (read-only, shard ownership over the accounting caches) and then folds
-  // it into the registry here in canonical (server, hosting) order -- the
-  // exact sequence of registry calls the old sequential loop made, so the
-  // exported metrics are byte-identical for any --threads value.
-  const double dt_hours = config.sample_period_s / 3600.0;
-  std::vector<ClusterManager::ServerUsageSample> usage_samples;
-  sim.Every(config.sample_period_s, [&] {
-    manager.CollectUsageSamples(&usage_samples);  // also warms all caches
-    registry.ObserveAt(util_series, sim.now(), manager.Utilization());
-    registry.ObserveAt(oc_series, sim.now(), manager.Overcommitment());
-    for (const ClusterManager::ServerUsageSample& sample : usage_samples) {
-      registry.ObserveAt(server_oc_series, sim.now(), sample.nominal_overcommitment);
-      for (const ClusterManager::ServerUsageSample::VmUsage& vm : sample.vms) {
-        if (vm.low_priority) {
-          registry.AddTo(low_vm_hours, dt_hours);
-          registry.AddTo(low_nominal_cpu_hours, vm.nominal_cpu * dt_hours);
-          registry.AddTo(low_effective_cpu_hours, vm.effective_cpu * dt_hours);
-          if (vm.nominal_cpu > 0.0) {
-            registry.Observe(allocation_quality, vm.effective_cpu / vm.nominal_cpu);
-          }
-        } else {
-          registry.AddTo(high_cpu_hours, vm.effective_cpu * dt_hours);
-        }
-      }
-    }
-  });
-
-  // Proactive reinflation loop (optionally with predictive holdback). The
-  // demand gather and the per-server reinflation planning run sharded in
-  // parallel; the plans apply in canonical server order (DESIGN.md §10).
-  EwmaPredictor high_pri_demand(config.predictor_alpha);
-  if (config.reinflate_period_s > 0.0) {
-    sim.Every(config.reinflate_period_s, [&] {
-      const double high_pri_cpu = manager.HighPriorityEffectiveCpu();
-      high_pri_demand.Observe(high_pri_cpu);
-      double holdback_cpu_per_server = 0.0;
-      if (config.predictive_holdback && high_pri_demand.initialized()) {
-        const double expected_growth =
-            std::max(0.0, high_pri_demand.UpperBound(1.0) - high_pri_cpu);
-        holdback_cpu_per_server = expected_growth / config.num_servers;
-      }
-      manager.ReinflateSweep(holdback_cpu_per_server);
-    });
-  }
-
-  sim.Run(config.trace.duration_s);
-
-  ClusterSimResult result;
-  result.counters = manager.counters();
-  const int64_t low = result.counters.launched_low_priority;
-  result.preemption_probability =
-      low > 0 ? static_cast<double>(result.counters.preempted) / static_cast<double>(low)
-              : 0.0;
-  const int64_t arrivals = result.counters.launched + result.counters.rejected;
-  result.rejection_rate =
-      arrivals > 0
-          ? static_cast<double>(result.counters.rejected) / static_cast<double>(arrivals)
-          : 0.0;
-  // Everything below is a registry read: the result struct is a snapshot
-  // view over the telemetry the run produced.
-  result.mean_utilization =
-      registry.SeriesTimeWeightedMean(util_series, config.trace.duration_s);
-  result.mean_overcommitment =
-      registry.SeriesTimeWeightedMean(oc_series, config.trace.duration_s);
-  result.peak_overcommitment = registry.SeriesMax(oc_series);
-  const auto& server_oc_points = registry.series_points(server_oc_series);
-  result.server_overcommitment_samples.reserve(server_oc_points.size());
-  for (const MetricsRegistry::TimePoint& point : server_oc_points) {
-    result.server_overcommitment_samples.push_back(point.value);
-  }
-  result.usage.low_pri_vm_hours = registry.gauge(low_vm_hours);
-  result.usage.low_pri_nominal_cpu_hours = registry.gauge(low_nominal_cpu_hours);
-  result.usage.low_pri_effective_cpu_hours = registry.gauge(low_effective_cpu_hours);
-  result.usage.high_pri_cpu_hours = registry.gauge(high_cpu_hours);
-  result.usage.preemptions = result.counters.preempted;
-  result.low_priority_allocation_quality =
-      registry.distribution(allocation_quality).mean();
-  result.crash_preemptions = result.counters.crash_preempted;
-  result.crash_replacements = result.counters.crash_replaced;
-  result.server_crashes = result.counters.server_crashes;
-  result.server_recoveries = result.counters.server_recoveries;
-  return result;
+  ClusterSimConfig with_sink = config;
+  with_sink.telemetry = telemetry;
+  return RunClusterSim(with_sink);
 }
 
 }  // namespace defl

@@ -41,6 +41,12 @@ struct ClusterSimConfig {
   // How long a recovered server stays on probation (kRecovering, excluded
   // from placement) before being promoted back to kHealthy.
   double recovery_grace_s = 600.0;
+  // Telemetry sink (absorbed the second argument of the deprecated
+  // RunClusterSim overload): the run publishes every metric and trace event
+  // through it and derives all result fields from it. nullptr = the session
+  // owns a private context with the event trace disabled. Not part of the
+  // serialized snapshot state; Restore() takes its own sink.
+  TelemetryContext* telemetry = nullptr;
 };
 
 struct ClusterSimResult {
@@ -68,12 +74,17 @@ struct ClusterSimResult {
   int64_t server_recoveries = 0;
 };
 
-// Runs the simulation publishing through `telemetry`: the cluster manager /
-// servers / controllers emit their events there, the sampling loop records
-// the cluster/utilization and cluster/overcommitment series, and every
-// ClusterSimResult field is derived back from the registry. The one-argument
-// form uses a private context (trace disabled) and is otherwise identical.
+// Batch compatibility wrapper over SimSession (src/cluster/sim_session.h):
+// opens a session on `config` and runs it to completion. The cluster manager
+// / servers / controllers publish through config.telemetry (or a private
+// context with the trace disabled when unset), the sampling loop records the
+// cluster/utilization and cluster/overcommitment series, and every
+// ClusterSimResult field is derived back from the registry. Drivers that
+// want stepping, inspection, or checkpoint/restore use SimSession directly.
 ClusterSimResult RunClusterSim(const ClusterSimConfig& config);
+// DEPRECATED: set ClusterSimConfig::telemetry instead (or use SimSession
+// directly). Kept only as a source-compatibility shim; no in-tree callers.
+[[deprecated("set ClusterSimConfig::telemetry (or use SimSession) instead")]]
 ClusterSimResult RunClusterSim(const ClusterSimConfig& config,
                                TelemetryContext* telemetry);
 

@@ -30,6 +30,14 @@ class EwmaPredictor {
 
   bool initialized() const { return initialized_; }
   double mean() const { return mean_; }
+  // Raw variance estimate (may be 0); paired with RestoreState for
+  // deterministic checkpoint/restore (SimSession snapshots).
+  double variance() const { return var_; }
+  void RestoreState(bool initialized, double mean, double var) {
+    initialized_ = initialized;
+    mean_ = mean;
+    var_ = var;
+  }
   double stddev() const { return var_ > 0.0 ? std::sqrt(var_) : 0.0; }
   // Conservative demand forecast: mean + k sigma.
   double UpperBound(double k_sigma = 1.0) const { return mean_ + k_sigma * stddev(); }

@@ -1,12 +1,32 @@
 #include "src/common/flags.h"
 
+#include <algorithm>
 #include <charconv>
+#include <set>
 #include <sstream>
 
 namespace defl {
 namespace {
 
 std::string BoolText(bool b) { return b ? "true" : "false"; }
+
+// Levenshtein distance, for did-you-mean suggestions on unknown flags.
+size_t EditDistance(const std::string& a, const std::string& b) {
+  std::vector<size_t> row(b.size() + 1);
+  for (size_t j = 0; j <= b.size(); ++j) {
+    row[j] = j;
+  }
+  for (size_t i = 1; i <= a.size(); ++i) {
+    size_t diagonal = row[0];
+    row[0] = i;
+    for (size_t j = 1; j <= b.size(); ++j) {
+      const size_t substitute = diagonal + (a[i - 1] == b[j - 1] ? 0 : 1);
+      diagonal = row[j];
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1, substitute});
+    }
+  }
+  return row[b.size()];
+}
 
 // Flags are registered dash-style (--metrics-out) but accepted with either
 // separator (--metrics_out), gflags-style.
@@ -94,6 +114,7 @@ Result<bool> FlagParser::Assign(Flag& flag, const std::string& value) {
 
 Result<std::vector<std::string>> FlagParser::Parse(int argc, const char* const* argv) {
   std::vector<std::string> positional;
+  std::set<std::string> seen;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--help" || arg == "-h") {
@@ -108,7 +129,25 @@ Result<std::vector<std::string>> FlagParser::Parse(int argc, const char* const* 
                                                                    : eq - 2);
     Flag* flag = Find(name);
     if (flag == nullptr) {
-      return Error{"unknown flag --" + name + "\n" + Usage()};
+      std::string message = "unknown flag --" + name;
+      // Suggest the closest registered name when the typo is plausible
+      // (edit distance at most 1/3 of the flag's length, minimum 2).
+      size_t best_distance = std::max<size_t>(2, name.size() / 3) + 1;
+      const Flag* best = nullptr;
+      for (const Flag& candidate : flags_) {
+        const size_t d = EditDistance(NormalizeName(name), candidate.name);
+        if (d < best_distance) {
+          best_distance = d;
+          best = &candidate;
+        }
+      }
+      if (best != nullptr) {
+        message += " (did you mean --" + best->name + "?)";
+      }
+      return Error{message + "\n" + Usage()};
+    }
+    if (!seen.insert(NormalizeName(name)).second) {
+      return Error{"--" + flag->name + " specified more than once"};
     }
     std::string value;
     if (eq != std::string::npos) {

@@ -1,7 +1,7 @@
 // A minimal command-line flag parser for the tools (no external
 // dependencies): --name=value / --name value / --bool-flag, typed
-// registration, generated usage text, and strict errors on unknown flags or
-// bad values.
+// registration, generated usage text, and strict errors on unknown flags
+// (with a nearest-name suggestion), duplicated flags, or bad values.
 #ifndef SRC_COMMON_FLAGS_H_
 #define SRC_COMMON_FLAGS_H_
 
@@ -26,7 +26,9 @@ class FlagParser {
 
   // Parses argv (skipping argv[0]). On success returns the positional
   // (non-flag) arguments. `--help` yields an error whose message is the
-  // usage text.
+  // usage text. Each flag may appear at most once per invocation: a repeat
+  // is an error, not a silent last-one-wins (a shell-history edit that
+  // leaves two --seed values behind should fail loudly).
   Result<std::vector<std::string>> Parse(int argc, const char* const* argv);
 
   std::string Usage() const;

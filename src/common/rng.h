@@ -5,6 +5,8 @@
 #ifndef SRC_COMMON_RNG_H_
 #define SRC_COMMON_RNG_H_
 
+#include <array>
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -49,6 +51,17 @@ class Rng {
 
   // Derive an independent child stream (e.g. one per simulated server).
   Rng Fork();
+
+  // Raw generator state, for deterministic checkpoint/restore (SimSession
+  // snapshots). Restoring the saved words resumes the exact draw sequence.
+  std::array<uint64_t, 4> SaveState() const {
+    return {s_[0], s_[1], s_[2], s_[3]};
+  }
+  void RestoreState(const std::array<uint64_t, 4>& state) {
+    for (int i = 0; i < 4; ++i) {
+      s_[i] = state[static_cast<size_t>(i)];
+    }
+  }
 
  private:
   uint64_t s_[4];

@@ -1,0 +1,32 @@
+#include "src/common/sim_options.h"
+
+#include <utility>
+
+namespace defl {
+
+SimOptionsParser::SimOptionsParser(std::string program_description)
+    : parser_(std::move(program_description)) {
+  parser_.AddString("metrics-out", "write the metrics registry to this JSON file",
+                    &common_.metrics_out);
+  parser_.AddString("trace-out", "write the deflation event trace to this JSONL file",
+                    &common_.trace_out);
+  parser_.AddString("fault-plan", "inject failures from this fault plan file",
+                    &common_.fault_plan);
+}
+
+Result<std::vector<std::string>> SimOptionsParser::Parse(int argc,
+                                                         const char* const* argv) {
+  return parser_.Parse(argc, argv);
+}
+
+Result<bool> RejectFlagCombination(const std::string& flag_a, bool a_set,
+                                   const std::string& flag_b, bool b_set,
+                                   const std::string& reason) {
+  if (a_set && b_set) {
+    return Error{"--" + flag_a + " and --" + flag_b + " cannot be combined (" +
+                 reason + ")"};
+  }
+  return true;
+}
+
+}  // namespace defl

@@ -1,0 +1,53 @@
+// Shared command-line surface for the simulation tools (deflation_sim,
+// spark_sim): one place registers the flags both drivers accept, with one
+// help string and one error wording, so `--metrics-out` behaves identically
+// everywhere. Tool-specific flags still register on flags() directly; all
+// of them inherit FlagParser's strictness (unknown-flag suggestions,
+// duplicate-occurrence rejection, typed value errors).
+#ifndef SRC_COMMON_SIM_OPTIONS_H_
+#define SRC_COMMON_SIM_OPTIONS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/flags.h"
+#include "src/common/result.h"
+
+namespace defl {
+
+// The flags every simulation tool accepts.
+struct SimCommonOptions {
+  std::string metrics_out;   // write the metrics registry to this JSON file
+  std::string trace_out;     // write the deflation event trace to this JSONL file
+  std::string fault_plan;    // inject failures from this fault plan file
+};
+
+class SimOptionsParser {
+ public:
+  // Registers the SimCommonOptions flags up front so they appear first in
+  // --help with identical wording in every tool.
+  explicit SimOptionsParser(std::string program_description);
+
+  // Register tool-specific flags here before calling Parse().
+  FlagParser& flags() { return parser_; }
+  const SimCommonOptions& common() const { return common_; }
+
+  // Parses argv; on success returns positional arguments (see
+  // FlagParser::Parse for --help and error semantics).
+  Result<std::vector<std::string>> Parse(int argc, const char* const* argv);
+
+ private:
+  FlagParser parser_;
+  SimCommonOptions common_;
+};
+
+// Usage error for flags that cannot be combined, with one wording for every
+// tool: "--a and --b cannot be combined (<reason>)". Returns ok when at most
+// one of the two is set.
+Result<bool> RejectFlagCombination(const std::string& flag_a, bool a_set,
+                                   const std::string& flag_b, bool b_set,
+                                   const std::string& reason);
+
+}  // namespace defl
+
+#endif  // SRC_COMMON_SIM_OPTIONS_H_

@@ -29,6 +29,21 @@ class RunningStats {
   // Merge another accumulator into this one (parallel-friendly).
   void Merge(const RunningStats& other);
 
+  // Welford second moment, exposed with RestoreState for deterministic
+  // checkpoint/restore (SimSession snapshots). min()/max()/mean() already
+  // return the raw fields exactly whenever count() > 0, and all fields are
+  // zero when count() == 0, so those getters round-trip losslessly.
+  double m2() const { return m2_; }
+  void RestoreState(int64_t count, double mean, double m2, double min,
+                    double max, double sum) {
+    count_ = count;
+    mean_ = mean;
+    m2_ = m2;
+    min_ = min;
+    max_ = max;
+    sum_ = sum;
+  }
+
  private:
   int64_t count_ = 0;
   double mean_ = 0.0;
@@ -61,6 +76,23 @@ class Histogram {
 
   // Multi-line "lo..hi: count" rendering for harness output.
   std::string ToString() const;
+
+  // Bin geometry and bin-count restore for deterministic checkpoint/restore
+  // (SimSession snapshots). RestoreState requires `counts` to match the
+  // constructed bin count; geometry is re-derived from the registration that
+  // recreated the histogram, not from the snapshot.
+  double lo() const { return lo_; }
+  double width() const { return width_; }
+  bool RestoreState(const std::vector<int64_t>& counts, int64_t total,
+                    int64_t dropped) {
+    if (counts.size() != counts_.size()) {
+      return false;
+    }
+    counts_ = counts;
+    total_ = total;
+    dropped_ = dropped;
+    return true;
+  }
 
  private:
   double lo_;

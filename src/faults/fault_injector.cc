@@ -89,6 +89,34 @@ FaultDecision FaultInjector::Sample(FaultKind kind, int64_t vm, int64_t server) 
   return decision;
 }
 
+FaultInjector::State FaultInjector::ExportState() const {
+  State state;
+  state.site_draws.reserve(site_draws_.size());
+  for (const auto& [site, draws] : site_draws_) {
+    state.site_draws.emplace_back(std::get<0>(site), std::get<1>(site),
+                                  std::get<2>(site), draws);
+  }
+  state.rule_fires = rule_fires_;
+  state.injected = injected_;
+  return state;
+}
+
+Result<bool> FaultInjector::ImportState(const State& state) {
+  if (state.rule_fires.size() != plan_.rules.size()) {
+    return Error{"fault injector state mismatch: snapshot has " +
+                 std::to_string(state.rule_fires.size()) +
+                 " rule counters, the plan has " +
+                 std::to_string(plan_.rules.size()) + " rules"};
+  }
+  site_draws_.clear();
+  for (const auto& [kind, vm, server, draws] : state.site_draws) {
+    site_draws_[{kind, vm, server}] = draws;
+  }
+  rule_fires_ = state.rule_fires;
+  injected_ = state.injected;
+  return true;
+}
+
 int64_t FaultInjector::total_injected() const {
   int64_t total = 0;
   for (const int64_t n : injected_) {

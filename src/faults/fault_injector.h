@@ -62,6 +62,20 @@ class FaultInjector {
 
   const FaultPlan& plan() const { return plan_; }
 
+  // --- Deterministic checkpoint/restore (SimSession snapshots) ---
+  // Sampling is stateless apart from the per-site draw counters and the
+  // per-rule fire/injection tallies, so capturing them resumes the exact
+  // failure schedule. ImportState rejects a state whose rule count does not
+  // match this injector's plan (a snapshot from a different plan).
+  struct State {
+    // (kind, vm, server) -> draws taken at that site, in map (sorted) order.
+    std::vector<std::tuple<uint8_t, int64_t, int64_t, uint64_t>> site_draws;
+    std::vector<int64_t> rule_fires;
+    std::array<int64_t, kNumFaultKinds> injected = {};
+  };
+  State ExportState() const;
+  Result<bool> ImportState(const State& state);
+
  private:
   double Now() const { return telemetry_ != nullptr ? telemetry_->Now() : 0.0; }
   // The n-th uniform draw of the (kind, vm, server) site stream, with a salt

@@ -135,6 +135,17 @@ class GuestOs {
   const Params& params() const { return params_; }
   const ResourceVector& spec() const { return spec_; }
 
+  // Deterministic checkpoint/restore (SimSession snapshots): reinstates the
+  // mechanism-level state directly, without replaying TryUnplug/Balloon*
+  // (which would consume fault-injector draws the snapshotting run already
+  // took). App footprint/page cache/pinned CPUs restore through their
+  // ordinary setters.
+  void RestoreDeflationState(const ResourceVector& unplugged, double balloon_mb) {
+    unplugged_ = unplugged;
+    balloon_mb_ = balloon_mb;
+    NotifyAllocationChanged();
+  }
+
  private:
   void NotifyAllocationChanged() {
     if (listener_ != nullptr) {

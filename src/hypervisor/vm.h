@@ -124,6 +124,14 @@ class Vm : public AllocationListener {
   // the host without needing overcommitment).
   void ClampHvToVisible();
 
+  // Deterministic checkpoint/restore (SimSession snapshots): reinstates the
+  // hypervisor-level reclamation directly, bypassing the HvReclaim clamping
+  // (the snapshotted value already satisfied the invariants when taken).
+  void RestoreHvReclaimed(const ResourceVector& amount) {
+    hv_reclaimed_ = amount;
+    NotifyAllocationChanged();
+  }
+
   // --- Accounting change notification ---
 
   // Installs the observer told about every allocation-affecting mutation of

@@ -106,6 +106,13 @@ class EventTrace {
   size_t size() const { return events_.size(); }
   void Clear() { events_.clear(); }
 
+  // Replaces the recorded events wholesale: deterministic checkpoint/restore
+  // (SimSession snapshots) rebuilds the trace exactly as the snapshotting run
+  // left it, discarding whatever the restore machinery itself recorded.
+  void RestoreEvents(std::vector<TraceEventRecord> events) {
+    events_ = std::move(events);
+  }
+
   // Counts events of one kind (convenience for tests and benches),
   // optionally restricted to one cascade layer.
   int64_t CountKind(TraceEventKind kind) const;

@@ -208,4 +208,118 @@ void MetricsRegistry::DumpJson(std::ostream& os) const {
   os << (series_.empty() ? "" : "\n  ") << "}\n}\n";
 }
 
+MetricsRegistry::State MetricsRegistry::ExportState() const {
+  State state;
+  state.counters.reserve(counters_.size());
+  for (const CounterSlot& slot : counters_) {
+    state.counters.emplace_back(slot.name, slot.value);
+  }
+  state.gauges.reserve(gauges_.size());
+  for (const GaugeSlot& slot : gauges_) {
+    state.gauges.emplace_back(slot.name, slot.value);
+  }
+  state.distributions.reserve(distributions_.size());
+  for (const DistributionSlot& slot : distributions_) {
+    DistributionState d;
+    d.name = slot.name;
+    d.count = slot.stats.count();
+    d.mean = slot.stats.mean();
+    d.m2 = slot.stats.m2();
+    d.min = slot.stats.min();
+    d.max = slot.stats.max();
+    d.sum = slot.stats.sum();
+    if (!slot.histogram.empty()) {
+      const Histogram& hist = slot.histogram.front();
+      d.has_histogram = true;
+      d.hist_counts.reserve(static_cast<size_t>(hist.num_bins()));
+      for (int b = 0; b < hist.num_bins(); ++b) {
+        d.hist_counts.push_back(hist.bin_count(b));
+      }
+      d.hist_total = hist.total();
+      d.hist_dropped = hist.dropped();
+    }
+    state.distributions.push_back(std::move(d));
+  }
+  state.series.reserve(series_.size());
+  for (const SeriesSlot& slot : series_) {
+    state.series.emplace_back(slot.name, slot.points);
+  }
+  return state;
+}
+
+Result<bool> MetricsRegistry::ImportState(const State& state) {
+  // Verify the full layout first so a mismatch leaves the registry untouched.
+  if (state.counters.size() != counters_.size() ||
+      state.gauges.size() != gauges_.size() ||
+      state.distributions.size() != distributions_.size() ||
+      state.series.size() != series_.size()) {
+    return Error{"metrics layout mismatch: snapshot has " +
+                 std::to_string(state.counters.size()) + "/" +
+                 std::to_string(state.gauges.size()) + "/" +
+                 std::to_string(state.distributions.size()) + "/" +
+                 std::to_string(state.series.size()) +
+                 " counter/gauge/distribution/series slots, registry has " +
+                 std::to_string(counters_.size()) + "/" +
+                 std::to_string(gauges_.size()) + "/" +
+                 std::to_string(distributions_.size()) + "/" +
+                 std::to_string(series_.size())};
+  }
+  for (size_t i = 0; i < counters_.size(); ++i) {
+    if (state.counters[i].first != counters_[i].name) {
+      return Error{"metrics layout mismatch: counter slot " + std::to_string(i) +
+                   " is \"" + counters_[i].name + "\" here but \"" +
+                   state.counters[i].first + "\" in the snapshot"};
+    }
+  }
+  for (size_t i = 0; i < gauges_.size(); ++i) {
+    if (state.gauges[i].first != gauges_[i].name) {
+      return Error{"metrics layout mismatch: gauge slot " + std::to_string(i) +
+                   " is \"" + gauges_[i].name + "\" here but \"" +
+                   state.gauges[i].first + "\" in the snapshot"};
+    }
+  }
+  for (size_t i = 0; i < distributions_.size(); ++i) {
+    const DistributionState& d = state.distributions[i];
+    DistributionSlot& slot = distributions_[i];
+    if (d.name != slot.name) {
+      return Error{"metrics layout mismatch: distribution slot " +
+                   std::to_string(i) + " is \"" + slot.name + "\" here but \"" +
+                   d.name + "\" in the snapshot"};
+    }
+    if (d.has_histogram != !slot.histogram.empty() ||
+        (d.has_histogram &&
+         d.hist_counts.size() !=
+             static_cast<size_t>(slot.histogram.front().num_bins()))) {
+      return Error{"metrics layout mismatch: histogram shape of \"" + slot.name +
+                   "\" differs from the snapshot"};
+    }
+  }
+  for (size_t i = 0; i < series_.size(); ++i) {
+    if (state.series[i].first != series_[i].name) {
+      return Error{"metrics layout mismatch: series slot " + std::to_string(i) +
+                   " is \"" + series_[i].name + "\" here but \"" +
+                   state.series[i].first + "\" in the snapshot"};
+    }
+  }
+  for (size_t i = 0; i < counters_.size(); ++i) {
+    counters_[i].value = state.counters[i].second;
+  }
+  for (size_t i = 0; i < gauges_.size(); ++i) {
+    gauges_[i].value = state.gauges[i].second;
+  }
+  for (size_t i = 0; i < distributions_.size(); ++i) {
+    const DistributionState& d = state.distributions[i];
+    DistributionSlot& slot = distributions_[i];
+    slot.stats.RestoreState(d.count, d.mean, d.m2, d.min, d.max, d.sum);
+    if (d.has_histogram) {
+      slot.histogram.front().RestoreState(d.hist_counts, d.hist_total,
+                                          d.hist_dropped);
+    }
+  }
+  for (size_t i = 0; i < series_.size(); ++i) {
+    series_[i].points = state.series[i].second;
+  }
+  return true;
+}
+
 }  // namespace defl

@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/result.h"
 #include "src/common/stats.h"
 
 namespace defl {
@@ -124,6 +125,36 @@ class MetricsRegistry {
   // JSON object with one section per metric family, in registration order.
   // Output is deterministic: identical runs dump byte-identical JSON.
   void DumpJson(std::ostream& os) const;
+
+  // --- Deterministic checkpoint/restore (SimSession snapshots) ---
+  // ExportState captures every slot's name and value in registration order.
+  // ImportState overwrites the values of an already-populated registry: the
+  // restore path first re-runs the exact construction sequence that
+  // registered the metrics (reproducing registration order, histogram
+  // geometry included), then imports values wholesale. Slot counts, names,
+  // positions, and histogram bin counts must match exactly -- any skew means
+  // the snapshot came from a differently-configured run and is rejected.
+  struct DistributionState {
+    std::string name;
+    int64_t count = 0;
+    double mean = 0.0;
+    double m2 = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    double sum = 0.0;
+    bool has_histogram = false;
+    std::vector<int64_t> hist_counts;
+    int64_t hist_total = 0;
+    int64_t hist_dropped = 0;
+  };
+  struct State {
+    std::vector<std::pair<std::string, int64_t>> counters;
+    std::vector<std::pair<std::string, double>> gauges;
+    std::vector<DistributionState> distributions;
+    std::vector<std::pair<std::string, std::vector<TimePoint>>> series;
+  };
+  State ExportState() const;
+  Result<bool> ImportState(const State& state);
 
  private:
   struct CounterSlot {

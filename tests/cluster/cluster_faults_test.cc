@@ -166,7 +166,9 @@ TEST(ClusterFaultSimTest, SameSeedAndPlanIsByteIdentical) {
   std::string traces[2];
   for (int run = 0; run < 2; ++run) {
     TelemetryContext telemetry;
-    RunClusterSim(FaultedSimConfig(), &telemetry);
+    ClusterSimConfig config = FaultedSimConfig();
+    config.telemetry = &telemetry;
+    RunClusterSim(config);
     std::ostringstream metrics_os;
     telemetry.metrics().DumpJson(metrics_os);
     metrics[run] = metrics_os.str();
@@ -196,7 +198,9 @@ TEST(ClusterFaultSimTest, CrashAccountingSurfacesInResult) {
 TEST(ClusterFaultSimTest, NoVmEverDrivenNegative) {
   ClusterSimConfig config = FaultedSimConfig();
   TelemetryContext telemetry;
-  RunClusterSim(config, &telemetry);
+  config.telemetry = &telemetry;
+  RunClusterSim(config);
+  config.telemetry = nullptr;
   // The registry-backed invariants: counters are consistent and nothing
   // reported a negative effective allocation (the trace would have recorded
   // it via the servers; spot-check by re-running and walking the cluster).

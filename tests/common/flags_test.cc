@@ -76,6 +76,49 @@ TEST(FlagsTest, Errors) {
   EXPECT_FALSE(ParseArgs(parser, {"--name"}).ok());  // missing value
 }
 
+TEST(FlagsTest, DuplicateFlagRejected) {
+  Flags f;
+  FlagParser parser = MakeParser(f);
+  const auto result = ParseArgs(parser, {"--count=3", "--count=4"});
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error().find("--count"), std::string::npos) << result.error();
+  EXPECT_NE(result.error().find("more than once"), std::string::npos)
+      << result.error();
+  // Mixed =/space syntax and underscore/dash spellings are still duplicates.
+  EXPECT_FALSE(ParseArgs(parser, {"--ratio", "2.0", "--ratio=3.0"}).ok());
+}
+
+TEST(FlagsTest, DuplicateDetectionResetsBetweenParses) {
+  Flags f;
+  FlagParser parser = MakeParser(f);
+  ASSERT_TRUE(ParseArgs(parser, {"--count=3"}).ok());
+  // A second Parse on the same parser sees a fresh slate.
+  ASSERT_TRUE(ParseArgs(parser, {"--count=5"}).ok());
+  EXPECT_EQ(f.count, 5);
+}
+
+TEST(FlagsTest, UnknownFlagSuggestsNearestName) {
+  Flags f;
+  FlagParser parser = MakeParser(f);
+  const auto result = ParseArgs(parser, {"--ratoi=2.0"});
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error().find("unknown flag --ratoi"), std::string::npos)
+      << result.error();
+  EXPECT_NE(result.error().find("did you mean --ratio?"), std::string::npos)
+      << result.error();
+}
+
+TEST(FlagsTest, UnknownFlagWithNoCloseMatchGetsNoSuggestion) {
+  Flags f;
+  FlagParser parser = MakeParser(f);
+  const auto result = ParseArgs(parser, {"--zzzzzzzz=1"});
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error().find("unknown flag --zzzzzzzz"), std::string::npos)
+      << result.error();
+  EXPECT_EQ(result.error().find("did you mean"), std::string::npos)
+      << result.error();
+}
+
 TEST(FlagsTest, HelpYieldsUsage) {
   Flags f;
   FlagParser parser = MakeParser(f);

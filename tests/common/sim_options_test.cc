@@ -1,0 +1,77 @@
+#include "src/common/sim_options.h"
+
+#include <gtest/gtest.h>
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace defl {
+namespace {
+
+Result<std::vector<std::string>> ParseArgs(SimOptionsParser& options,
+                                           std::initializer_list<const char*> args) {
+  std::vector<const char*> argv = {"tool"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return options.Parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(SimOptionsTest, SharedFlagsParseIntoCommon) {
+  SimOptionsParser options("a test tool");
+  ASSERT_TRUE(ParseArgs(options, {"--metrics-out=m.json", "--trace-out=t.jsonl",
+                                  "--fault-plan=f.plan"})
+                  .ok());
+  EXPECT_EQ(options.common().metrics_out, "m.json");
+  EXPECT_EQ(options.common().trace_out, "t.jsonl");
+  EXPECT_EQ(options.common().fault_plan, "f.plan");
+}
+
+TEST(SimOptionsTest, ToolSpecificFlagsRegisterAlongside) {
+  SimOptionsParser options("a test tool");
+  int64_t workers = 4;
+  options.flags().AddInt("workers", "worker count", &workers);
+  ASSERT_TRUE(ParseArgs(options, {"--workers=9", "--metrics-out=m.json"}).ok());
+  EXPECT_EQ(workers, 9);
+  EXPECT_EQ(options.common().metrics_out, "m.json");
+}
+
+TEST(SimOptionsTest, SharedFlagsAppearFirstInHelp) {
+  SimOptionsParser options("my program banner");
+  int64_t workers = 4;
+  options.flags().AddInt("workers", "worker count", &workers);
+  const auto result = ParseArgs(options, {"--help"});
+  ASSERT_FALSE(result.ok());
+  const std::string& usage = result.error();
+  EXPECT_NE(usage.find("my program banner"), std::string::npos);
+  const size_t metrics_pos = usage.find("--metrics-out");
+  const size_t workers_pos = usage.find("--workers");
+  ASSERT_NE(metrics_pos, std::string::npos);
+  ASSERT_NE(workers_pos, std::string::npos);
+  EXPECT_LT(metrics_pos, workers_pos);
+}
+
+TEST(SimOptionsTest, InheritsParserStrictness) {
+  SimOptionsParser options("a test tool");
+  // Duplicates and near-miss names fail the same way plain FlagParser does.
+  EXPECT_FALSE(
+      ParseArgs(options, {"--metrics-out=a.json", "--metrics-out=b.json"}).ok());
+  const auto result = ParseArgs(options, {"--metrics-uot=a.json"});
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error().find("did you mean --metrics-out?"), std::string::npos)
+      << result.error();
+}
+
+TEST(SimOptionsTest, RejectFlagCombinationWording) {
+  const Result<bool> both = RejectFlagCombination(
+      "trace-file", true, "save-trace", true, "nothing new to save");
+  ASSERT_FALSE(both.ok());
+  EXPECT_EQ(both.error(),
+            "--trace-file and --save-trace cannot be combined "
+            "(nothing new to save)");
+  EXPECT_TRUE(RejectFlagCombination("a", true, "b", false, "r").ok());
+  EXPECT_TRUE(RejectFlagCombination("a", false, "b", true, "r").ok());
+  EXPECT_TRUE(RejectFlagCombination("a", false, "b", false, "r").ok());
+}
+
+}  // namespace
+}  // namespace defl

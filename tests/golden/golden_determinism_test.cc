@@ -20,6 +20,7 @@
 #include <gtest/gtest.h>
 
 #include "src/cluster/cluster_sim.h"
+#include "src/cluster/sim_session.h"
 #include "src/faults/fault_plan.h"
 #include "src/telemetry/telemetry.h"
 
@@ -100,11 +101,49 @@ std::string RunScenario(const std::string& name, int threads) {
   config.cluster.threads = threads;
   TelemetryContext telemetry;
   telemetry.trace().set_enabled(true);
-  RunClusterSim(config, &telemetry);
+  config.telemetry = &telemetry;
+  RunClusterSim(config);
   std::ostringstream out;
   telemetry.metrics().DumpJson(out);
   out << "\n";
   telemetry.trace().DumpJsonl(out);
+  return out.str();
+}
+
+// Runs the scenario to its halfway point, snapshots, drops the session (as
+// if the process were killed), restores into a FRESH telemetry context at a
+// different thread count, and finishes. Returns the resumed run's output.
+std::string RunScenarioWithSnapshot(const std::string& name, int threads,
+                                    int restore_threads) {
+  ClusterSimConfig config = MakeConfig(name);
+  config.cluster.threads = threads;
+  std::string bytes;
+  {
+    TelemetryContext telemetry;
+    telemetry.trace().set_enabled(true);
+    config.telemetry = &telemetry;
+    Result<SimSession> session = SimSession::Open(config);
+    EXPECT_TRUE(session.ok()) << session.error();
+    if (!session.ok()) {
+      return "";
+    }
+    session.value().StepUntil(config.trace.duration_s / 2.0);
+    bytes = session.value().SnapshotBytes();
+  }
+  TelemetryContext resumed;
+  SimSession::RestoreOptions options;
+  options.telemetry = &resumed;
+  options.threads = restore_threads;
+  Result<SimSession> restored = SimSession::RestoreBytes(bytes, options);
+  EXPECT_TRUE(restored.ok()) << restored.error();
+  if (!restored.ok()) {
+    return "";
+  }
+  restored.value().Finish();
+  std::ostringstream out;
+  resumed.metrics().DumpJson(out);
+  out << "\n";
+  resumed.trace().DumpJsonl(out);
   return out.str();
 }
 
@@ -147,6 +186,18 @@ TEST_P(GoldenDeterminismTest, MatchesCheckedInDigest) {
   EXPECT_EQ(it->second, digest)
       << "scenario " << name << " output changed; if intended, regenerate "
       << kDigestFile << " with DEFL_UPDATE_GOLDEN=1";
+}
+
+TEST_P(GoldenDeterminismTest, SnapshotMidRunDoesNotChangeOutput) {
+  // Kill-at-halfway + restore must be byte-invisible against the same
+  // uninterrupted output the digest file pins, at both thread pairings.
+  const std::string name = GetParam();
+  const std::string uninterrupted = RunScenario(name, 1);
+  ASSERT_FALSE(uninterrupted.empty());
+  EXPECT_EQ(uninterrupted, RunScenarioWithSnapshot(name, 1, 8))
+      << "scenario " << name << ": snapshot at threads 1, restore at 8";
+  EXPECT_EQ(uninterrupted, RunScenarioWithSnapshot(name, 8, 1))
+      << "scenario " << name << ": snapshot at threads 8, restore at 1";
 }
 
 INSTANTIATE_TEST_SUITE_P(Scenarios, GoldenDeterminismTest,

@@ -67,7 +67,8 @@ SimRun RunSim(int variant, int threads) {
   SimRun run;
   TelemetryContext telemetry;
   telemetry.trace().set_enabled(true);
-  run.result = RunClusterSim(config, &telemetry);
+  config.telemetry = &telemetry;
+  run.result = RunClusterSim(config);
   std::ostringstream metrics;
   telemetry.metrics().DumpJson(metrics);
   run.metrics_json = metrics.str();

@@ -29,13 +29,18 @@ ClusterSimConfig SmallSim() {
   return config;
 }
 
+ClusterSimResult RunWithSink(ClusterSimConfig config, TelemetryContext* telemetry) {
+  config.telemetry = telemetry;
+  return RunClusterSim(config);
+}
+
 TEST(ClusterTelemetryTest, SameSeedRunsExportIdenticalTelemetry) {
   const ClusterSimConfig config = SmallSim();
   std::string metrics[2];
   std::string trace[2];
   for (int run = 0; run < 2; ++run) {
     TelemetryContext telemetry;
-    RunClusterSim(config, &telemetry);
+    RunWithSink(config, &telemetry);
     std::ostringstream metrics_os;
     telemetry.metrics().DumpJson(metrics_os);
     metrics[run] = metrics_os.str();
@@ -50,7 +55,7 @@ TEST(ClusterTelemetryTest, SameSeedRunsExportIdenticalTelemetry) {
 
 TEST(ClusterTelemetryTest, CountersViewMatchesRegistry) {
   TelemetryContext telemetry;
-  const ClusterSimResult result = RunClusterSim(SmallSim(), &telemetry);
+  const ClusterSimResult result = RunWithSink(SmallSim(), &telemetry);
   const MetricsRegistry& registry = telemetry.metrics();
   EXPECT_GT(result.counters.launched, 0);
   EXPECT_EQ(result.counters.launched, registry.CounterValue("cluster/vms/launched"));
@@ -66,7 +71,7 @@ TEST(ClusterTelemetryTest, CountersViewMatchesRegistry) {
 TEST(ClusterTelemetryTest, ResultFieldsAgreeWithRegistryDerivation) {
   TelemetryContext telemetry;
   const ClusterSimConfig config = SmallSim();
-  const ClusterSimResult result = RunClusterSim(config, &telemetry);
+  const ClusterSimResult result = RunWithSink(config, &telemetry);
   const MetricsRegistry& registry = telemetry.metrics();
   // The result's headline figures are themselves registry reads; recomputing
   // them from the exported series must reproduce them exactly.
@@ -87,7 +92,7 @@ TEST(ClusterTelemetryTest, ResultFieldsAgreeWithRegistryDerivation) {
 
 TEST(ClusterTelemetryTest, TraceContainsLifecycleAndDeflationEvents) {
   TelemetryContext telemetry;
-  const ClusterSimResult result = RunClusterSim(SmallSim(), &telemetry);
+  const ClusterSimResult result = RunWithSink(SmallSim(), &telemetry);
   const EventTrace& trace = telemetry.trace();
   EXPECT_EQ(trace.CountKind(TraceEventKind::kVmLaunch), result.counters.launched);
   EXPECT_EQ(trace.CountKind(TraceEventKind::kVmComplete), result.counters.completed);

@@ -3,7 +3,9 @@
 // Runs a synthetic or user-provided VM trace through the deflation-based
 // cluster manager (or the preemption-only baseline) and reports utilization,
 // overcommitment, preemption probability, delivered resource-hours, and the
-// Section 8 pricing comparison.
+// Section 8 pricing comparison. Long runs can checkpoint to disk and resume
+// later: a killed-and-resumed run produces byte-identical --metrics-out /
+// --trace-out files to an uninterrupted one (DESIGN.md §11).
 //
 // Examples:
 //   deflation_sim --servers=100 --load=1.6 --duration-h=12
@@ -12,13 +14,16 @@
 //   deflation_sim --save-trace=generated.csv --load=1.2
 //   deflation_sim --metrics-out=metrics.json --trace-out=events.jsonl
 //   deflation_sim --fault-plan=examples/faults_cluster.plan
+//   deflation_sim --duration-h=48 --snapshot-every-h=6 --snapshot-out=run.snap
+//   deflation_sim --stop-after-h=12 --snapshot-out=run.snap   # checkpoint + exit
+//   deflation_sim --resume-from=run.snap                      # continue it
 #include <cstdio>
 #include <fstream>
 #include <string>
 
-#include "src/cluster/cluster_sim.h"
+#include "src/cluster/sim_session.h"
 #include "src/cluster/trace_io.h"
-#include "src/common/flags.h"
+#include "src/common/sim_options.h"
 #include "src/faults/fault_plan.h"
 #include "src/telemetry/telemetry.h"
 
@@ -41,11 +46,12 @@ struct Options {
   bool pricing = false;
   std::string trace_file;
   std::string save_trace;
-  std::string metrics_out;
-  std::string trace_out;
-  std::string fault_plan;
   double recovery_grace_s = 600.0;
   int64_t threads = 1;
+  double snapshot_every_h = 0.0;
+  std::string snapshot_out;
+  std::string resume_from;
+  double stop_after_h = 0.0;
 };
 
 int Fail(const std::string& message) {
@@ -53,12 +59,29 @@ int Fail(const std::string& message) {
   return 1;
 }
 
+const char* StrategyName(ReclamationStrategy strategy) {
+  return strategy == ReclamationStrategy::kDeflation ? "deflation" : "preemption";
+}
+
+const char* PlacementName(PlacementPolicy policy) {
+  switch (policy) {
+    case PlacementPolicy::kBestFit:
+      return "best-fit";
+    case PlacementPolicy::kFirstFit:
+      return "first-fit";
+    case PlacementPolicy::kTwoChoices:
+      return "2-choices";
+  }
+  return "?";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   Options opt;
-  FlagParser parser(
+  SimOptionsParser options(
       "deflation_sim: trace-driven cluster simulation with resource deflation");
+  FlagParser& parser = options.flags();
   parser.AddInt("servers", "number of physical servers", &opt.servers);
   parser.AddInt("server-cpus", "cores per server", &opt.server_cpus);
   parser.AddDouble("server-mem-gb", "memory per server (GB)", &opt.server_mem_gb);
@@ -78,12 +101,6 @@ int main(int argc, char** argv) {
                    &opt.trace_file);
   parser.AddString("save-trace", "write the generated trace to this CSV file",
                    &opt.save_trace);
-  parser.AddString("metrics-out", "write the metrics registry to this JSON file",
-                   &opt.metrics_out);
-  parser.AddString("trace-out", "write the deflation event trace to this JSONL file",
-                   &opt.trace_out);
-  parser.AddString("fault-plan", "inject failures from this fault plan file",
-                   &opt.fault_plan);
   parser.AddDouble("recovery-grace-s",
                    "probation before a recovered server takes placements",
                    &opt.recovery_grace_s);
@@ -91,106 +108,201 @@ int main(int argc, char** argv) {
                 "worker threads for sharded sweeps (outputs are identical "
                 "for every value)",
                 &opt.threads);
-  const Result<std::vector<std::string>> parsed = parser.Parse(argc, argv);
+  parser.AddDouble("snapshot-every-h",
+                   "checkpoint to --snapshot-out every N simulated hours (0 = off)",
+                   &opt.snapshot_every_h);
+  parser.AddString("snapshot-out", "checkpoint file for --snapshot-every-h / "
+                   "--stop-after-h",
+                   &opt.snapshot_out);
+  parser.AddString("resume-from",
+                   "restore the simulation from this snapshot instead of "
+                   "starting fresh (config flags come from the snapshot; "
+                   "--threads still applies)",
+                   &opt.resume_from);
+  parser.AddDouble("stop-after-h",
+                   "run N simulated hours, checkpoint to --snapshot-out, and "
+                   "exit without finishing",
+                   &opt.stop_after_h);
+  const Result<std::vector<std::string>> parsed = options.Parse(argc, argv);
   if (!parsed.ok()) {
     return Fail(parsed.error());
   }
+  const SimCommonOptions& common = options.common();
 
-  ClusterSimConfig config;
-  config.num_servers = static_cast<int>(opt.servers);
-  config.server_capacity =
-      ResourceVector(static_cast<double>(opt.server_cpus), opt.server_mem_gb * 1024.0,
-                     1000.0, 10000.0);
-  config.trace.duration_s = opt.duration_h * 3600.0;
-  config.trace.max_lifetime_s = std::min(config.trace.duration_s, 8.0 * 3600.0);
-  config.trace.low_priority_fraction = opt.low_pri_fraction;
-  config.trace.seed = static_cast<uint64_t>(opt.seed);
-  config.trace =
-      WithTargetLoad(config.trace, opt.load, config.num_servers, config.server_capacity);
-  config.reinflate_period_s = opt.reinflate_period_s;
-  config.predictive_holdback = opt.predictive;
-  config.recovery_grace_s = opt.recovery_grace_s;
+  // Flag combinations that cannot mean anything: replaying an existing
+  // trace leaves nothing newly generated to save, and a snapshot carries
+  // its own trace and fault plan.
+  for (const Result<bool>& check : {
+           RejectFlagCombination(
+               "trace-file", !opt.trace_file.empty(), "save-trace",
+               !opt.save_trace.empty(),
+               "replaying an existing trace generates nothing to save"),
+           RejectFlagCombination("resume-from", !opt.resume_from.empty(),
+                                 "trace-file", !opt.trace_file.empty(),
+                                 "the snapshot already carries its trace"),
+           RejectFlagCombination("resume-from", !opt.resume_from.empty(),
+                                 "save-trace", !opt.save_trace.empty(),
+                                 "the snapshot already carries its trace"),
+           RejectFlagCombination("resume-from", !opt.resume_from.empty(),
+                                 "fault-plan", !common.fault_plan.empty(),
+                                 "the snapshot already carries its fault plan"),
+       }) {
+    if (!check.ok()) {
+      return Fail(check.error());
+    }
+  }
+  if (opt.stop_after_h > 0.0 && opt.snapshot_out.empty()) {
+    return Fail("--stop-after-h requires --snapshot-out");
+  }
+  if (opt.snapshot_every_h > 0.0 && opt.snapshot_out.empty()) {
+    return Fail("--snapshot-every-h requires --snapshot-out");
+  }
   if (opt.threads < 1) {
     return Fail("--threads must be >= 1");
   }
-  config.cluster.threads = static_cast<int>(opt.threads);
-  if (!opt.fault_plan.empty()) {
-    Result<FaultPlan> plan = LoadFaultPlanFile(opt.fault_plan);
-    if (!plan.ok()) {
-      return Fail("cannot load fault plan: " + plan.error());
-    }
-    config.fault_plan = std::move(plan.value());
-    std::printf("injecting faults from %s (%zu rules, seed %llu)\n",
-                opt.fault_plan.c_str(), config.fault_plan.rules.size(),
-                static_cast<unsigned long long>(config.fault_plan.seed));
-  }
 
-  if (opt.strategy == "deflation") {
-    config.cluster.strategy = ReclamationStrategy::kDeflation;
-  } else if (opt.strategy == "preemption") {
-    config.cluster.strategy = ReclamationStrategy::kPreemptionOnly;
+  TelemetryContext telemetry;
+  Result<SimSession> session = Error{"unopened"};
+  if (!opt.resume_from.empty()) {
+    SimSession::RestoreOptions restore;
+    restore.telemetry = &telemetry;
+    restore.threads = static_cast<int>(opt.threads);
+    session = SimSession::Restore(opt.resume_from, restore);
+    if (!session.ok()) {
+      return Fail(session.error());
+    }
+    std::printf("resumed from %s at t=%.2fh (%lld events executed)\n",
+                opt.resume_from.c_str(), session.value().now() / 3600.0,
+                static_cast<long long>(session.value().events_executed()));
   } else {
-    return Fail("unknown --strategy '" + opt.strategy + "'");
-  }
-  if (opt.placement == "best-fit") {
-    config.cluster.placement = PlacementPolicy::kBestFit;
-  } else if (opt.placement == "first-fit") {
-    config.cluster.placement = PlacementPolicy::kFirstFit;
-  } else if (opt.placement == "2-choices") {
-    config.cluster.placement = PlacementPolicy::kTwoChoices;
-  } else {
-    return Fail("unknown --placement '" + opt.placement + "'");
-  }
+    ClusterSimConfig config;
+    config.num_servers = static_cast<int>(opt.servers);
+    config.server_capacity =
+        ResourceVector(static_cast<double>(opt.server_cpus), opt.server_mem_gb * 1024.0,
+                       1000.0, 10000.0);
+    config.trace.duration_s = opt.duration_h * 3600.0;
+    config.trace.max_lifetime_s = std::min(config.trace.duration_s, 8.0 * 3600.0);
+    config.trace.low_priority_fraction = opt.low_pri_fraction;
+    config.trace.seed = static_cast<uint64_t>(opt.seed);
+    config.trace = WithTargetLoad(config.trace, opt.load, config.num_servers,
+                                  config.server_capacity);
+    config.reinflate_period_s = opt.reinflate_period_s;
+    config.predictive_holdback = opt.predictive;
+    config.recovery_grace_s = opt.recovery_grace_s;
+    config.cluster.threads = static_cast<int>(opt.threads);
+    if (!common.fault_plan.empty()) {
+      Result<FaultPlan> plan = LoadFaultPlanFile(common.fault_plan);
+      if (!plan.ok()) {
+        return Fail("cannot load fault plan: " + plan.error());
+      }
+      config.fault_plan = std::move(plan.value());
+      std::printf("injecting faults from %s (%zu rules, seed %llu)\n",
+                  common.fault_plan.c_str(), config.fault_plan.rules.size(),
+                  static_cast<unsigned long long>(config.fault_plan.seed));
+    }
 
-  if (!opt.trace_file.empty()) {
-    Result<std::vector<TraceEvent>> loaded = LoadTraceFile(opt.trace_file);
-    if (!loaded.ok()) {
-      return Fail("cannot load trace: " + loaded.error());
+    if (opt.strategy == "deflation") {
+      config.cluster.strategy = ReclamationStrategy::kDeflation;
+    } else if (opt.strategy == "preemption") {
+      config.cluster.strategy = ReclamationStrategy::kPreemptionOnly;
+    } else {
+      return Fail("unknown --strategy '" + opt.strategy + "'");
     }
-    config.explicit_trace = std::move(loaded.value());
-    if (!config.explicit_trace.empty()) {
-      config.trace.duration_s = std::max(
-          config.trace.duration_s, config.explicit_trace.back().arrival_s + 3600.0);
+    if (opt.placement == "best-fit") {
+      config.cluster.placement = PlacementPolicy::kBestFit;
+    } else if (opt.placement == "first-fit") {
+      config.cluster.placement = PlacementPolicy::kFirstFit;
+    } else if (opt.placement == "2-choices") {
+      config.cluster.placement = PlacementPolicy::kTwoChoices;
+    } else {
+      return Fail("unknown --placement '" + opt.placement + "'");
     }
-    std::printf("replaying %zu events from %s\n", config.explicit_trace.size(),
-                opt.trace_file.c_str());
+
+    if (!opt.trace_file.empty()) {
+      Result<std::vector<TraceEvent>> loaded = LoadTraceFile(opt.trace_file);
+      if (!loaded.ok()) {
+        return Fail("cannot load trace: " + loaded.error());
+      }
+      config.explicit_trace = std::move(loaded.value());
+      if (!config.explicit_trace.empty()) {
+        config.trace.duration_s = std::max(
+            config.trace.duration_s, config.explicit_trace.back().arrival_s + 3600.0);
+      }
+      std::printf("replaying %zu events from %s\n", config.explicit_trace.size(),
+                  opt.trace_file.c_str());
+    }
+    if (!opt.save_trace.empty()) {
+      const std::vector<TraceEvent> generated = GenerateTrace(config.trace);
+      const Result<bool> saved = SaveTraceFile(generated, opt.save_trace);
+      if (!saved.ok()) {
+        return Fail(saved.error());
+      }
+      std::printf("wrote %zu events to %s\n", generated.size(),
+                  opt.save_trace.c_str());
+    }
+
+    // Recording the full event trace costs memory; only do it when asked.
+    // The enabled bit rides along in snapshots, so a resumed run keeps the
+    // original run's choice.
+    telemetry.trace().set_enabled(!common.trace_out.empty());
+    config.telemetry = &telemetry;
+    session = SimSession::Open(config);
+    if (!session.ok()) {
+      return Fail(session.error());
+    }
   }
-  if (!opt.save_trace.empty()) {
-    const std::vector<TraceEvent> generated = GenerateTrace(config.trace);
-    const Result<bool> saved = SaveTraceFile(generated, opt.save_trace);
+  SimSession& sim = session.value();
+  const ClusterSimConfig& cfg = sim.config();
+
+  if (opt.stop_after_h > 0.0) {
+    sim.StepUntil(opt.stop_after_h * 3600.0);
+    const Result<bool> saved = sim.Snapshot(opt.snapshot_out);
     if (!saved.ok()) {
       return Fail(saved.error());
     }
-    std::printf("wrote %zu events to %s\n", generated.size(), opt.save_trace.c_str());
+    std::printf("checkpointed at t=%.2fh (%lld events executed) to %s\n",
+                sim.now() / 3600.0,
+                static_cast<long long>(sim.events_executed()),
+                opt.snapshot_out.c_str());
+    return 0;
   }
+  if (opt.snapshot_every_h > 0.0) {
+    const double period_s = opt.snapshot_every_h * 3600.0;
+    for (double t = sim.now() + period_s; t < sim.duration_s(); t += period_s) {
+      sim.StepUntil(t);
+      const Result<bool> saved = sim.Snapshot(opt.snapshot_out);
+      if (!saved.ok()) {
+        return Fail(saved.error());
+      }
+      std::printf("checkpointed at t=%.2fh to %s\n", sim.now() / 3600.0,
+                  opt.snapshot_out.c_str());
+    }
+  }
+  const ClusterSimResult r = sim.Finish();
 
-  TelemetryContext telemetry;
-  // Recording the full event trace costs memory; only do it when asked.
-  telemetry.trace().set_enabled(!opt.trace_out.empty());
-  const ClusterSimResult r = RunClusterSim(config, &telemetry);
-
-  if (!opt.metrics_out.empty()) {
-    std::ofstream os(opt.metrics_out);
+  if (!common.metrics_out.empty()) {
+    std::ofstream os(common.metrics_out);
     if (!os) {
-      return Fail("cannot open --metrics-out file " + opt.metrics_out);
+      return Fail("cannot open --metrics-out file " + common.metrics_out);
     }
     telemetry.metrics().DumpJson(os);
     os << "\n";
-    std::printf("wrote metrics to %s\n", opt.metrics_out.c_str());
+    std::printf("wrote metrics to %s\n", common.metrics_out.c_str());
   }
-  if (!opt.trace_out.empty()) {
-    std::ofstream os(opt.trace_out);
+  if (!common.trace_out.empty()) {
+    std::ofstream os(common.trace_out);
     if (!os) {
-      return Fail("cannot open --trace-out file " + opt.trace_out);
+      return Fail("cannot open --trace-out file " + common.trace_out);
     }
     telemetry.trace().DumpJsonl(os);
     std::printf("wrote %zu trace events to %s\n", telemetry.trace().size(),
-                opt.trace_out.c_str());
+                common.trace_out.c_str());
   }
 
-  std::printf("\n=== deflation_sim: %d servers x %lldc/%.0fGB, %s, %s, load %.2f ===\n",
-              config.num_servers, static_cast<long long>(opt.server_cpus),
-              opt.server_mem_gb, opt.strategy.c_str(), opt.placement.c_str(), opt.load);
+  std::printf("\n=== deflation_sim: %d servers x %.0fc/%.0fGB, %s, %s ===\n",
+              cfg.num_servers, cfg.server_capacity[ResourceKind::kCpu],
+              cfg.server_capacity[ResourceKind::kMemory] / 1024.0,
+              StrategyName(cfg.cluster.strategy), PlacementName(cfg.cluster.placement));
   std::printf("VMs launched        %ld (%ld transient), rejected %ld (%.1f%%)\n",
               r.counters.launched, r.counters.launched_low_priority,
               r.counters.rejected, 100.0 * r.rejection_rate);
@@ -204,7 +316,7 @@ int main(int argc, char** argv) {
   std::printf("delivered           %.0f effective transient CPU-hours "
               "(%.0f nominal)\n",
               r.usage.low_pri_effective_cpu_hours, r.usage.low_pri_nominal_cpu_hours);
-  if (!opt.fault_plan.empty()) {
+  if (!cfg.fault_plan.rules.empty()) {
     std::printf("faults              %ld server crashes (%ld recovered), "
                 "%ld VMs re-placed, %ld crash-preempted\n",
                 r.server_crashes, r.server_recoveries, r.crash_replacements,

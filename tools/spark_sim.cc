@@ -15,7 +15,7 @@
 #include <memory>
 #include <string>
 
-#include "src/common/flags.h"
+#include "src/common/sim_options.h"
 #include "src/faults/fault_injector.h"
 #include "src/spark/experiment.h"
 #include "src/telemetry/telemetry.h"
@@ -38,11 +38,9 @@ int main(int argc, char** argv) {
   double at_progress = 0.5;
   double scale = 1.0;
   int64_t workers = 8;
-  std::string metrics_out;
-  std::string trace_out;
-  std::string fault_plan_file;
 
-  FlagParser parser("spark_sim: Spark workloads under resource deflation");
+  SimOptionsParser options("spark_sim: Spark workloads under resource deflation");
+  FlagParser& parser = options.flags();
   parser.AddString("workload", "als | kmeans | cnn | rnn", &workload_name);
   parser.AddString("approach", "cascade | self | vm-level | preemption",
                    &approach_name);
@@ -50,16 +48,13 @@ int main(int argc, char** argv) {
   parser.AddDouble("at-progress", "job progress at which pressure hits", &at_progress);
   parser.AddDouble("scale", "workload size multiplier", &scale);
   parser.AddInt("workers", "number of worker VMs", &workers);
-  parser.AddString("metrics-out", "write the metrics registry to this JSON file",
-                   &metrics_out);
-  parser.AddString("trace-out", "write the deflation event trace to this JSONL file",
-                   &trace_out);
-  parser.AddString("fault-plan", "inject failures from this fault plan file",
-                   &fault_plan_file);
-  const Result<std::vector<std::string>> parsed = parser.Parse(argc, argv);
+  const Result<std::vector<std::string>> parsed = options.Parse(argc, argv);
   if (!parsed.ok()) {
     return Fail(parsed.error());
   }
+  const std::string& metrics_out = options.common().metrics_out;
+  const std::string& trace_out = options.common().trace_out;
+  const std::string& fault_plan_file = options.common().fault_plan;
 
   SparkWorkload workload;
   if (workload_name == "als") {
