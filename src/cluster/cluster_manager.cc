@@ -59,6 +59,9 @@ ClusterManager::ClusterManager(int num_servers, const ResourceVector& server_cap
         std::make_unique<LocalController>(servers_.back().get(), config.controller));
     controllers_.back()->AttachTelemetry(telemetry_);
   }
+  // From here on, every allocation-affecting mutation marks its row in the
+  // flat mirror; placement probes scan the mirror, never the objects.
+  fleet_.Bind(servers_);
 }
 
 ClusterCounters ClusterManager::counters() const {
@@ -120,11 +123,12 @@ ClusterManager::PlaceOutcome ClusterManager::TryPlace(std::unique_ptr<Vm>& vm) {
   }
   RefreshPlaceable();
   Result<size_t> placed = Error{"unplaced"};
-  if (placeable_.empty()) {
+  if (placeable_rows_.empty()) {
     placed = Error{"no healthy servers"};
   } else {
     for (const AvailabilityMode mode : passes) {
-      placed = PlaceVm(demand, placeable_, config_.placement, rng_, mode, pool_.get());
+      placed = PlaceVmFleet(demand, fleet_, placeable_rows_, config_.placement, rng_,
+                            mode, pool_.get());
       if (placed.ok()) {
         break;
       }
@@ -134,7 +138,7 @@ ClusterManager::PlaceOutcome ClusterManager::TryPlace(std::unique_ptr<Vm>& vm) {
     out.error = placed.error();
     return out;
   }
-  const size_t index = placeable_index_map_[placed.value()];
+  const size_t index = placeable_rows_[placed.value()];
   Server& server = *servers_[index];
   out.server = server.id();
 
@@ -313,14 +317,12 @@ void ClusterManager::RefreshPlaceable() const {
   if (!placeable_dirty_) {
     return;
   }
-  placeable_.clear();
-  placeable_index_map_.clear();
+  placeable_rows_.clear();
   for (size_t i = 0; i < servers_.size(); ++i) {
     if (health_[i] != ServerHealth::kHealthy) {
       continue;
     }
-    placeable_.push_back(servers_[i].get());
-    placeable_index_map_.push_back(i);
+    placeable_rows_.push_back(static_cast<uint32_t>(i));
   }
   placeable_dirty_ = false;
 }
@@ -343,11 +345,14 @@ ServerHealth ClusterManager::health(ServerId id) const {
 
 void ClusterManager::UpdateHealthGauge() {
   // Every health transition funnels through here, so it doubles as the
-  // invalidation point for the cached placement candidate list.
+  // invalidation point for the cached placement candidate list and the
+  // sync point for the mirror's eligibility bits.
   placeable_dirty_ = true;
   double healthy = 0.0;
-  for (const ServerHealth h : health_) {
-    if (h == ServerHealth::kHealthy) {
+  for (size_t i = 0; i < health_.size(); ++i) {
+    const bool is_healthy = health_[i] == ServerHealth::kHealthy;
+    fleet_.SetEligible(i, is_healthy);
+    if (is_healthy) {
       healthy += 1.0;
     }
   }

@@ -19,6 +19,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/cluster/fleet_view.h"
 #include "src/cluster/placement.h"
 #include "src/common/result.h"
 #include "src/common/rng.h"
@@ -100,6 +101,11 @@ class ClusterManager {
   TelemetryContext* telemetry() const { return telemetry_; }
   // Low-priority VMs revoked since the last call (for lifecycle bookkeeping).
   std::vector<VmId> TakePreempted();
+
+  // The structure-of-arrays mirror every placement probe scans (DESIGN.md
+  // §12). Kept coherent with the object graph through the servers'
+  // ServerObserver notifications; exposed for property tests and benches.
+  FleetView& fleet() { return fleet_; }
 
   // --- Sharded parallel sweeps (DESIGN.md §10) ---
   // The fork-join pool behind the parallel phases (never nullptr; inline
@@ -214,9 +220,9 @@ class ClusterManager {
   // Places `vm` on a healthy server, reclaiming per the configured strategy.
   // Consumes `vm` on success and leaves it intact on failure.
   PlaceOutcome TryPlace(std::unique_ptr<Vm>& vm);
-  // Healthy servers only, with placeable_index_map_ mapping candidate
-  // positions back to indices into servers_/controllers_. Rebuilt lazily
-  // after a health transition; placement probes hit the cache.
+  // Rebuilds the healthy-row candidate list placement probes scan (rows are
+  // server indices, ascending). Rebuilt lazily after a health transition;
+  // placement probes hit the cache.
   void RefreshPlaceable() const;
   // Runs fn(server_index) for every server, chunked over the pool. Callers
   // must follow the shard-ownership rule: fn touches only server i's state.
@@ -239,12 +245,15 @@ class ClusterManager {
   Rng rng_;
   std::unique_ptr<ThreadPool> pool_;
   std::vector<std::unique_ptr<Server>> servers_;
+  // Declared after servers_ so it is destroyed first: its destructor
+  // detaches itself as each (still-alive) server's observer.
+  FleetView fleet_;
   std::vector<std::unique_ptr<LocalController>> controllers_;
   std::vector<ServerHealth> health_;
-  // Cache of the healthy-server candidate list consumed by every placement
-  // probe; invalidated only by health transitions (rare next to probes).
-  mutable std::vector<Server*> placeable_;
-  mutable std::vector<size_t> placeable_index_map_;
+  // Cache of the healthy-row candidate list consumed by every placement
+  // probe (ascending server indices, which double as FleetView rows);
+  // invalidated only by health transitions (rare next to probes).
+  mutable std::vector<uint32_t> placeable_rows_;
   mutable bool placeable_dirty_ = true;
   std::vector<VmId> preempted_since_take_;
   // VmId -> index into servers_/controllers_ for every hosted VM.

@@ -18,6 +18,11 @@ struct ClusterSimConfig {
   int num_servers = 100;
   ResourceVector server_capacity = ResourceVector(32.0, 256.0 * 1024.0, 1000.0, 10000.0);
   TraceConfig trace;
+  // When enabled, arrivals come from the diurnal/bursty generator
+  // (GenerateDiurnalTrace) instead of the flat-rate Poisson process;
+  // trace.arrival_rate_per_s remains the mean rate, so WithTargetLoad
+  // composes unchanged. Ignored when explicit_trace is set.
+  ArrivalGenConfig arrivals;
   // When non-empty, replayed instead of generating from `trace` (the paper
   // replays the Eucalyptus traces this way); `trace.duration_s` still bounds
   // the simulated horizon.

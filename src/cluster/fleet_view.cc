@@ -1,0 +1,118 @@
+#include "src/cluster/fleet_view.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace defl {
+
+FleetView::~FleetView() {
+  if (servers_ == nullptr) {
+    return;
+  }
+  for (const auto& server : *servers_) {
+    server->set_observer(nullptr);
+  }
+}
+
+void FleetView::Bind(const std::vector<std::unique_ptr<Server>>& servers) {
+  assert(servers_ == nullptr && "FleetView already bound");
+  servers_ = &servers;
+  count_ = servers.size();
+  for (auto& col : free_) col.resize(count_);
+  for (auto& col : deflatable_) col.resize(count_);
+  for (auto& col : preemptible_) col.resize(count_);
+  for (auto& col : nominal_) col.resize(count_);
+  eligible_.assign(count_, 1);
+  dirty_.assign(count_, 0);
+  dirty_rows_.clear();
+  dirty_rows_.reserve(count_);
+  for (size_t i = 0; i < count_; ++i) {
+    assert(servers[i]->id() == static_cast<ServerId>(i) &&
+           "FleetView requires dense server ids (id == row)");
+    servers[i]->set_observer(this);
+    MarkDirty(i);
+  }
+}
+
+void FleetView::OnServerAllocationChanged(ServerId id) {
+  MarkDirty(static_cast<size_t>(id));
+}
+
+void FleetView::MarkDirty(size_t row) {
+  assert(row < count_);
+  if (dirty_[row] == 0) {
+    dirty_[row] = 1;
+    dirty_rows_.push_back(static_cast<uint32_t>(row));
+  }
+}
+
+void FleetView::MarkAllDirty() {
+  for (size_t i = 0; i < count_; ++i) {
+    MarkDirty(i);
+  }
+}
+
+void FleetView::RefreshRow(size_t row) {
+  // Read through the same public accessors the object-graph scan would
+  // call: the mirrored bits are exactly the bits that scan would have seen
+  // (and the read warms/validates the server's own accounting cache).
+  const Server& server = *(*servers_)[row];
+  const ResourceVector free = server.Free();
+  const ResourceVector deflatable = server.Deflatable();
+  const ResourceVector preemptible = server.Preemptible();
+  const ResourceVector nominal = server.NominalDemand();
+  for (const ResourceKind kind : kAllResources) {
+    const auto k = static_cast<size_t>(kind);
+    free_[k][row] = free[kind];
+    deflatable_[k][row] = deflatable[kind];
+    preemptible_[k][row] = preemptible[kind];
+    nominal_[k][row] = nominal[kind];
+  }
+}
+
+void FleetView::Refresh() {
+  if (dirty_rows_.empty()) {
+    return;
+  }
+  // Canonical ascending order regardless of mutation arrival order. When
+  // most rows are dirty (initial bind, post-restore) a bitmap sweep beats
+  // sorting a near-full permutation.
+  if (dirty_rows_.size() >= count_ / 4 + 1) {
+    for (size_t row = 0; row < count_; ++row) {
+      if (dirty_[row] != 0) {
+        RefreshRow(row);
+        dirty_[row] = 0;
+      }
+    }
+  } else {
+    std::sort(dirty_rows_.begin(), dirty_rows_.end());
+    for (const uint32_t row : dirty_rows_) {
+      RefreshRow(row);
+      dirty_[row] = 0;
+    }
+  }
+  dirty_rows_.clear();
+}
+
+FleetEntry FleetView::Entry(size_t row) const {
+  FleetEntry entry;
+  for (const ResourceKind kind : kAllResources) {
+    const auto k = static_cast<size_t>(kind);
+    entry.free[kind] = free_[k][row];
+    entry.deflatable[kind] = deflatable_[k][row];
+    entry.preemptible[kind] = preemptible_[k][row];
+    entry.nominal[kind] = nominal_[k][row];
+  }
+  entry.eligible = eligible_[row] != 0;
+  return entry;
+}
+
+bool FleetView::RowConsistent(size_t row) const {
+  const Server& server = *(*servers_)[row];
+  const FleetEntry entry = Entry(row);
+  return entry.free == server.Free() && entry.deflatable == server.Deflatable() &&
+         entry.preemptible == server.Preemptible() &&
+         entry.nominal == server.NominalDemand();
+}
+
+}  // namespace defl

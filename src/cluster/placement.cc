@@ -1,6 +1,7 @@
 #include "src/cluster/placement.h"
 
 #include <algorithm>
+#include <cmath>
 
 namespace defl {
 
@@ -49,9 +50,9 @@ struct ChunkScan {
 constexpr size_t kMinParallelCandidates = 32;
 constexpr size_t kScanChunk = 64;
 
-bool UseParallelScan(const std::vector<Server*>& servers, ThreadPool* pool) {
+bool UseParallelScan(size_t candidates, ThreadPool* pool) {
   return pool != nullptr && pool->parallelism() > 1 &&
-         servers.size() >= kMinParallelCandidates;
+         candidates >= kMinParallelCandidates;
 }
 
 // Scans candidates [begin, end) exactly like the sequential loops below:
@@ -84,20 +85,9 @@ ChunkScan ScanRange(const ResourceVector& demand, const std::vector<Server*>& se
 // Whole-candidate-set scan, sharded across `pool` when profitable. The merge
 // folds chunks in ascending chunk order on the calling thread, but the
 // tie-breaks make the outcome independent of that order too.
-ChunkScan ScanAll(const ResourceVector& demand, const std::vector<Server*>& servers,
-                  AvailabilityMode mode, bool need_fitness, ThreadPool* pool) {
-  if (!UseParallelScan(servers, pool)) {
-    return ScanRange(demand, servers, mode, need_fitness, 0, servers.size());
-  }
-  const size_t count = servers.size();
-  const size_t chunks = (count + kScanChunk - 1) / kScanChunk;
-  std::vector<ChunkScan> partial(chunks);
-  pool->ParallelFor(static_cast<int64_t>(chunks), [&](int64_t c) {
-    const size_t begin = static_cast<size_t>(c) * kScanChunk;
-    const size_t end = std::min(begin + kScanChunk, count);
-    partial[static_cast<size_t>(c)] =
-        ScanRange(demand, servers, mode, need_fitness, begin, end);
-  });
+// Folds per-chunk results into one. Ascending chunk order on the calling
+// thread, but the tie-breaks make the outcome independent of that order.
+ChunkScan MergeChunks(const std::vector<ChunkScan>& partial) {
   ChunkScan merged;
   for (const ChunkScan& chunk : partial) {
     merged.first_feasible = std::min(merged.first_feasible, chunk.first_feasible);
@@ -109,6 +99,140 @@ ChunkScan ScanAll(const ResourceVector& demand, const std::vector<Server*>& serv
     }
   }
   return merged;
+}
+
+// Whole-candidate-set scan, sharded across `pool` when profitable.
+ChunkScan ScanAll(const ResourceVector& demand, const std::vector<Server*>& servers,
+                  AvailabilityMode mode, bool need_fitness, ThreadPool* pool) {
+  if (!UseParallelScan(servers.size(), pool)) {
+    return ScanRange(demand, servers, mode, need_fitness, 0, servers.size());
+  }
+  const size_t count = servers.size();
+  const size_t chunks = (count + kScanChunk - 1) / kScanChunk;
+  std::vector<ChunkScan> partial(chunks);
+  pool->ParallelFor(static_cast<int64_t>(chunks), [&](int64_t c) {
+    const size_t begin = static_cast<size_t>(c) * kScanChunk;
+    const size_t end = std::min(begin + kScanChunk, count);
+    partial[static_cast<size_t>(c)] =
+        ScanRange(demand, servers, mode, need_fitness, begin, end);
+  });
+  return MergeChunks(partial);
+}
+
+// --- Structure-of-arrays scan (FleetView) ---
+
+// The two column sets whose elementwise sum is a row's availability under
+// one mode. `extra` is null for kFreeOnly; the scan loop is specialized on
+// that so the common path stays branch-free per candidate.
+struct FleetCols {
+  const double* base[kNumResources];
+  const double* extra[kNumResources];
+};
+
+FleetCols ModeColumns(const FleetView& fleet, AvailabilityMode mode) {
+  FleetCols cols;
+  for (const ResourceKind kind : kAllResources) {
+    const auto k = static_cast<size_t>(kind);
+    cols.base[k] = fleet.free_col(kind);
+    switch (mode) {
+      case AvailabilityMode::kFreeOnly:
+        cols.extra[k] = nullptr;
+        break;
+      case AvailabilityMode::kFreePlusDeflatable:
+        cols.extra[k] = fleet.deflatable_col(kind);
+        break;
+      case AvailabilityMode::kFreePlusPreemptible:
+        cols.extra[k] = fleet.preemptible_col(kind);
+        break;
+    }
+  }
+  return cols;
+}
+
+// Flat-loop equivalent of ScanRange over candidate positions [begin, end).
+// Every floating-point operation replicates the object-graph path in the
+// same order: availability = base (+ extra) per dimension (the same adds as
+// Server::Availability), feasibility = AllLeq's per-dimension compare with
+// the same epsilon, fitness = CosineSimilarity's dot / (|d| * |a|) with
+// dimension-order accumulation and the degenerate-denominator guard. The
+// loop reads only contiguous arrays: no pointer-chasing, no virtual calls,
+// and the compiler can vectorize the per-dimension math.
+template <bool kHasExtra>
+ChunkScan ScanFleetRangeImpl(const FleetCols& cols, const double (&d)[kNumResources],
+                             double demand_norm, const std::vector<uint32_t>& candidates,
+                             bool need_fitness, size_t begin, size_t end) {
+  constexpr double kEps = 1e-9;  // matches ResourceVector::AllLeq's default
+  ChunkScan out;
+  for (size_t i = begin; i < end; ++i) {
+    const size_t row = candidates[i];
+    double a[kNumResources];
+    bool feasible = true;
+    for (int k = 0; k < kNumResources; ++k) {
+      a[k] = kHasExtra ? cols.base[k][row] + cols.extra[k][row] : cols.base[k][row];
+      feasible &= !(d[k] > a[k] + kEps);
+    }
+    if (!feasible) {
+      continue;
+    }
+    if (out.first_feasible == SIZE_MAX) {
+      out.first_feasible = i;
+      if (!need_fitness) {
+        return out;
+      }
+    }
+    double dot = 0.0;
+    double norm2 = 0.0;
+    for (int k = 0; k < kNumResources; ++k) {
+      dot += d[k] * a[k];
+      norm2 += a[k] * a[k];
+    }
+    const double denom = demand_norm * std::sqrt(norm2);
+    const double fitness = denom == 0.0 ? 0.0 : dot / denom;
+    if (fitness > out.best_fitness ||
+        (fitness == out.best_fitness && i < out.best_feasible)) {
+      out.best_fitness = fitness;
+      out.best_feasible = i;
+    }
+  }
+  return out;
+}
+
+ChunkScan ScanFleetRange(const FleetCols& cols, const double (&d)[kNumResources],
+                         double demand_norm, const std::vector<uint32_t>& candidates,
+                         bool need_fitness, size_t begin, size_t end) {
+  return cols.extra[0] != nullptr
+             ? ScanFleetRangeImpl<true>(cols, d, demand_norm, candidates,
+                                        need_fitness, begin, end)
+             : ScanFleetRangeImpl<false>(cols, d, demand_norm, candidates,
+                                         need_fitness, begin, end);
+}
+
+// SoA whole-candidate scan; shards CANDIDATE INDEX RANGES across the pool
+// (workers touch only the flat columns). Same chunk size, merge, and
+// tie-breaks as the object-graph ScanAll, so the outcome is byte-identical
+// at any thread count.
+ChunkScan ScanAllFleet(const ResourceVector& demand, const FleetView& fleet,
+                       const std::vector<uint32_t>& candidates, AvailabilityMode mode,
+                       bool need_fitness, ThreadPool* pool) {
+  const FleetCols cols = ModeColumns(fleet, mode);
+  double d[kNumResources];
+  for (const ResourceKind kind : kAllResources) {
+    d[static_cast<size_t>(kind)] = demand[kind];
+  }
+  const double demand_norm = demand.Norm();
+  const size_t count = candidates.size();
+  if (!UseParallelScan(count, pool)) {
+    return ScanFleetRange(cols, d, demand_norm, candidates, need_fitness, 0, count);
+  }
+  const size_t chunks = (count + kScanChunk - 1) / kScanChunk;
+  std::vector<ChunkScan> partial(chunks);
+  pool->ParallelFor(static_cast<int64_t>(chunks), [&](int64_t c) {
+    const size_t begin = static_cast<size_t>(c) * kScanChunk;
+    const size_t end = std::min(begin + kScanChunk, count);
+    partial[static_cast<size_t>(c)] =
+        ScanFleetRange(cols, d, demand_norm, candidates, need_fitness, begin, end);
+  });
+  return MergeChunks(partial);
 }
 
 }  // namespace
@@ -180,6 +304,104 @@ Result<size_t> PlaceVm(const ResourceVector& demand,
         }
       }
       const ChunkScan scan = ScanAll(demand, servers, mode, /*need_fitness=*/false, pool);
+      if (scan.first_feasible == SIZE_MAX) {
+        return Error{"no feasible server (2-choices)"};
+      }
+      return scan.first_feasible;
+    }
+  }
+  return Error{"unknown policy"};
+}
+
+ResourceVector FleetAvailability(const FleetView& fleet, size_t row,
+                                 AvailabilityMode mode) {
+  // Elementwise assembly in the same operation order as ServerAvailability:
+  // kFreeOnly copies the mirrored Free() bits; the other modes add the
+  // second aggregate per dimension exactly like ResourceVector::operator+.
+  ResourceVector out;
+  for (const ResourceKind kind : kAllResources) {
+    switch (mode) {
+      case AvailabilityMode::kFreeOnly:
+        out[kind] = fleet.free_col(kind)[row];
+        break;
+      case AvailabilityMode::kFreePlusDeflatable:
+        out[kind] = fleet.free_col(kind)[row] + fleet.deflatable_col(kind)[row];
+        break;
+      case AvailabilityMode::kFreePlusPreemptible:
+        out[kind] = fleet.free_col(kind)[row] + fleet.preemptible_col(kind)[row];
+        break;
+    }
+  }
+  return out;
+}
+
+Result<size_t> PlaceVmFleet(const ResourceVector& demand, FleetView& fleet,
+                            const std::vector<uint32_t>& candidates,
+                            PlacementPolicy policy, Rng& rng, AvailabilityMode mode,
+                            ThreadPool* pool) {
+  if (candidates.empty()) {
+    return Error{"no servers"};
+  }
+  // Bring every dirty row coherent before any column is read; O(1) when
+  // nothing mutated since the last probe.
+  fleet.Refresh();
+  switch (policy) {
+    case PlacementPolicy::kFirstFit: {
+      const ChunkScan scan =
+          ScanAllFleet(demand, fleet, candidates, mode, /*need_fitness=*/false, pool);
+      if (scan.first_feasible == SIZE_MAX) {
+        return Error{"no feasible server (first-fit)"};
+      }
+      return scan.first_feasible;
+    }
+
+    case PlacementPolicy::kBestFit: {
+      const ChunkScan scan =
+          ScanAllFleet(demand, fleet, candidates, mode, /*need_fitness=*/true, pool);
+      if (scan.best_feasible == SIZE_MAX) {
+        return Error{"no feasible server (best-fit)"};
+      }
+      return scan.best_feasible;
+    }
+
+    case PlacementPolicy::kTwoChoices: {
+      // Same draw sequence, comparisons, and fallback as the object-graph
+      // 2-choices -- only the availability reads come from the columns.
+      constexpr int kAttempts = 8;
+      const auto count = static_cast<int64_t>(candidates.size());
+      for (int attempt = 0; attempt < kAttempts; ++attempt) {
+        const auto a = static_cast<size_t>(rng.UniformInt(0, count - 1));
+        size_t b = a;
+        if (count >= 2) {
+          b = static_cast<size_t>(rng.UniformInt(0, count - 2));
+          if (b >= a) {
+            ++b;
+          }
+        }
+        const ResourceVector avail_a = FleetAvailability(fleet, candidates[a], mode);
+        const bool fa = demand.AllLeq(avail_a);
+        if (b == a) {
+          if (fa) {
+            return a;
+          }
+          continue;
+        }
+        const ResourceVector avail_b = FleetAvailability(fleet, candidates[b], mode);
+        const bool fb = demand.AllLeq(avail_b);
+        if (fa && fb) {
+          const double fit_a = PlacementFitness(demand, avail_a);
+          const double fit_b = PlacementFitness(demand, avail_b);
+          return fit_a >= fit_b ? a : b;
+        }
+        if (fa) {
+          return a;
+        }
+        if (fb) {
+          return b;
+        }
+      }
+      const ChunkScan scan =
+          ScanAllFleet(demand, fleet, candidates, mode, /*need_fitness=*/false, pool);
       if (scan.first_feasible == SIZE_MAX) {
         return Error{"no feasible server (2-choices)"};
       }

@@ -6,8 +6,10 @@
 #ifndef SRC_CLUSTER_PLACEMENT_H_
 #define SRC_CLUSTER_PLACEMENT_H_
 
+#include <cstdint>
 #include <vector>
 
+#include "src/cluster/fleet_view.h"
 #include "src/common/result.h"
 #include "src/common/rng.h"
 #include "src/common/thread_pool.h"
@@ -49,6 +51,27 @@ Result<size_t> PlaceVm(const ResourceVector& demand,
                        const std::vector<Server*>& servers, PlacementPolicy policy,
                        Rng& rng, AvailabilityMode mode = AvailabilityMode::kFreePlusDeflatable,
                        ThreadPool* pool = nullptr);
+
+// Availability of one FleetView row under `mode`, assembled from the flat
+// columns with the same elementwise adds as ServerAvailability -- the bits
+// are identical to the object-graph path for a coherent view.
+ResourceVector FleetAvailability(const FleetView& fleet, size_t row,
+                                 AvailabilityMode mode);
+
+// Structure-of-arrays variant of PlaceVm: scans the FleetView's flat
+// columns instead of Server objects. `candidates` lists the eligible rows
+// (ascending for the canonical placement order); the returned index is a
+// POSITION in `candidates`, mirroring PlaceVm's index-into-`servers`
+// contract. Refreshes the view first (O(1) when clean), so the decision --
+// feasibility, fitness, every tie-break, and the 2-choices RNG draw
+// sequence -- is bit-identical to PlaceVm over the equivalent Server list.
+// The sharded scan chunks candidate index ranges; workers read only the
+// contiguous columns, never the Server objects.
+Result<size_t> PlaceVmFleet(const ResourceVector& demand, FleetView& fleet,
+                            const std::vector<uint32_t>& candidates,
+                            PlacementPolicy policy, Rng& rng,
+                            AvailabilityMode mode = AvailabilityMode::kFreePlusDeflatable,
+                            ThreadPool* pool = nullptr);
 
 }  // namespace defl
 

@@ -158,6 +158,16 @@ void WriteConfig(SnapshotWriter& w, const ClusterSimConfig& config) {
     w.WriteI64(rule.max_count);
   }
   w.WriteF64(config.recovery_grace_s);
+  // Format v2: the diurnal/bursty arrival generator parameters.
+  const ArrivalGenConfig& a = config.arrivals;
+  w.WriteBool(a.enabled);
+  w.WriteF64(a.diurnal_amplitude);
+  w.WriteF64(a.diurnal_period_s);
+  w.WriteF64(a.diurnal_phase_s);
+  w.WriteF64(a.burst_rate_per_s);
+  w.WriteF64(a.burst_duration_s);
+  w.WriteF64(a.burst_multiplier);
+  w.WriteU64(a.seed);
 }
 
 ClusterSimConfig ReadConfig(SnapshotReader& r) {
@@ -231,6 +241,15 @@ ClusterSimConfig ReadConfig(SnapshotReader& r) {
     config.fault_plan.rules.push_back(rule);
   }
   config.recovery_grace_s = r.ReadF64();
+  ArrivalGenConfig& a = config.arrivals;
+  a.enabled = r.ReadBool();
+  a.diurnal_amplitude = r.ReadF64();
+  a.diurnal_period_s = r.ReadF64();
+  a.diurnal_phase_s = r.ReadF64();
+  a.burst_rate_per_s = r.ReadF64();
+  a.burst_duration_s = r.ReadF64();
+  a.burst_multiplier = r.ReadF64();
+  a.seed = r.ReadU64();
   return config;
 }
 
@@ -467,6 +486,10 @@ Result<bool> ValidateConfig(const ClusterSimConfig& config) {
   if (config.recovery_grace_s < 0.0) {
     return Error{"recovery_grace_s must be non-negative"};
   }
+  const std::string arrivals_error = ValidateArrivalGen(config.arrivals);
+  if (!arrivals_error.empty()) {
+    return Error{"arrivals: " + arrivals_error};
+  }
   return true;
 }
 
@@ -483,8 +506,13 @@ Result<SimSession> SimSession::Open(const ClusterSimConfig& config) {
     return Error{"invalid ClusterSimConfig: " + valid.error()};
   }
   std::unique_ptr<State> state = BuildCore(config, nullptr);
-  state->trace = config.explicit_trace.empty() ? GenerateTrace(config.trace)
-                                               : config.explicit_trace;
+  if (!config.explicit_trace.empty()) {
+    state->trace = config.explicit_trace;
+  } else if (config.arrivals.enabled) {
+    state->trace = GenerateDiurnalTrace(config.trace, config.arrivals);
+  } else {
+    state->trace = GenerateTrace(config.trace);
+  }
 
   // Schedule the whole program in the exact order the batch runner did:
   // fault timeline, then trace arrivals, then the sampling tick, then the

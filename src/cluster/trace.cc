@@ -24,43 +24,75 @@ std::vector<VmCatalogEntry> DefaultVmCatalog() {
   };
 }
 
-std::vector<TraceEvent> GenerateTrace(const TraceConfig& config) {
-  assert(config.arrival_rate_per_s > 0.0 && !config.catalog.empty());
-  Rng rng(config.seed);
+namespace {
 
+// One trace event at arrival time t; draws (catalog pick, lifetime,
+// priority) from `rng` in the exact per-event order GenerateTrace has always
+// used, so both generators attach identical workloads to a given arrival
+// sequence position.
+TraceEvent SampleEvent(const TraceConfig& config, double total_weight, double t,
+                       int64_t id, Rng& rng) {
+  // Pick a catalog entry by weight.
+  double pick = rng.NextDouble() * total_weight;
+  const VmCatalogEntry* chosen = &config.catalog.back();
+  for (const VmCatalogEntry& entry : config.catalog) {
+    pick -= entry.weight;
+    if (pick <= 0.0) {
+      chosen = &entry;
+      break;
+    }
+  }
+
+  TraceEvent event;
+  event.arrival_s = t;
+  event.lifetime_s = rng.BoundedPareto(config.min_lifetime_s, config.max_lifetime_s,
+                                       config.lifetime_alpha);
+  event.spec.name = chosen->app + "-" + std::to_string(id);
+  event.spec.size = chosen->size;
+  event.spec.priority = rng.Chance(config.low_priority_fraction) ? VmPriority::kLow
+                                                                 : VmPriority::kHigh;
+  event.spec.min_size = chosen->size * chosen->min_fraction;
+  return event;
+}
+
+double TotalCatalogWeight(const TraceConfig& config) {
   double total_weight = 0.0;
   for (const VmCatalogEntry& entry : config.catalog) {
     total_weight += entry.weight;
   }
+  return total_weight;
+}
+
+}  // namespace
+
+std::vector<TraceEvent> GenerateTrace(const TraceConfig& config) {
+  assert(config.arrival_rate_per_s > 0.0 && !config.catalog.empty());
+  Rng rng(config.seed);
+  const double total_weight = TotalCatalogWeight(config);
 
   std::vector<TraceEvent> events;
   double t = rng.Exponential(config.arrival_rate_per_s);
   int64_t next_id = 0;
   while (t < config.duration_s) {
-    // Pick a catalog entry by weight.
-    double pick = rng.NextDouble() * total_weight;
-    const VmCatalogEntry* chosen = &config.catalog.back();
-    for (const VmCatalogEntry& entry : config.catalog) {
-      pick -= entry.weight;
-      if (pick <= 0.0) {
-        chosen = &entry;
-        break;
-      }
-    }
-
-    TraceEvent event;
-    event.arrival_s = t;
-    event.lifetime_s = rng.BoundedPareto(config.min_lifetime_s, config.max_lifetime_s,
-                                         config.lifetime_alpha);
-    event.spec.name = chosen->app + "-" + std::to_string(next_id++);
-    event.spec.size = chosen->size;
-    event.spec.priority = rng.Chance(config.low_priority_fraction)
-                              ? VmPriority::kLow
-                              : VmPriority::kHigh;
-    event.spec.min_size = chosen->size * chosen->min_fraction;
-    events.push_back(event);
-
+    events.push_back(SampleEvent(config, total_weight, t, next_id++, rng));
     t += rng.Exponential(config.arrival_rate_per_s);
+  }
+  return events;
+}
+
+std::vector<TraceEvent> GenerateDiurnalTrace(const TraceConfig& config,
+                                             const ArrivalGenConfig& arrivals) {
+  assert(config.arrival_rate_per_s > 0.0 && !config.catalog.empty());
+  const std::vector<double> times = GenerateArrivalTimes(
+      arrivals, config.arrival_rate_per_s, config.duration_s);
+  Rng rng(config.seed);
+  const double total_weight = TotalCatalogWeight(config);
+
+  std::vector<TraceEvent> events;
+  events.reserve(times.size());
+  int64_t next_id = 0;
+  for (const double t : times) {
+    events.push_back(SampleEvent(config, total_weight, t, next_id++, rng));
   }
   return events;
 }

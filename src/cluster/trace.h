@@ -13,6 +13,7 @@
 
 #include "src/hypervisor/vm.h"
 #include "src/resources/resource_vector.h"
+#include "src/sim/arrival_gen.h"
 
 namespace defl {
 
@@ -49,6 +50,16 @@ struct TraceConfig {
 };
 
 std::vector<TraceEvent> GenerateTrace(const TraceConfig& config);
+
+// Like GenerateTrace, but arrival times come from the diurnal/bursty
+// generator (src/sim/arrival_gen.h) instead of a flat-rate Poisson process:
+// config.arrival_rate_per_s is the mean rate the sinusoid oscillates
+// around, so WithTargetLoad composes unchanged. VM shapes, lifetimes, and
+// priorities are sampled per arrival from config.seed with the same
+// per-event draw order as GenerateTrace; arrival times draw from
+// arrivals.seed, so the two knobs vary independently.
+std::vector<TraceEvent> GenerateDiurnalTrace(const TraceConfig& config,
+                                             const ArrivalGenConfig& arrivals);
 
 // Mean offered load of a config against a cluster: arrival_rate * E[lifetime]
 // * E[vm dominant share] / cluster capacity. Used to derive the arrival rate

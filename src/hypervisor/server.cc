@@ -53,7 +53,7 @@ Vm* Server::AddVm(std::unique_ptr<Vm> vm) {
   vms_.push_back(std::move(vm));
   Vm* added = vms_.back().get();
   added->set_allocation_listener(this);
-  accounting_dirty_ = true;
+  OnAllocationChanged();
   if (telemetry_ != nullptr) {
     telemetry_->metrics().Add(metrics_.vms_added);
     telemetry_->trace().Record(TraceEventKind::kVmLaunch, CascadeLayer::kNone,
@@ -73,7 +73,7 @@ std::unique_ptr<Vm> Server::RemoveVm(VmId id) {
   std::unique_ptr<Vm> out = std::move(*it);
   vms_.erase(it);
   out->set_allocation_listener(nullptr);
-  accounting_dirty_ = true;
+  OnAllocationChanged();
   if (telemetry_ != nullptr) {
     telemetry_->metrics().Add(metrics_.vms_removed);
     telemetry_->trace().Record(TraceEventKind::kVmRemove, CascadeLayer::kNone,

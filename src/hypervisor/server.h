@@ -45,6 +45,20 @@ struct ServerAccounting {
   bool operator==(const ServerAccounting& o) const = default;
 };
 
+// Observer of one server's allocation-affecting mutations, keyed by server
+// id. This is the hook the cluster layer's structure-of-arrays FleetView
+// (src/cluster/fleet_view.h) uses to mark its mirrored row stale: every
+// notification that dirties the server's own accounting cache is forwarded
+// here too, so the flat mirror can never miss an invalidation the cache saw.
+// Notifications fire only on mutations, which under the DESIGN.md §10 rules
+// happen exclusively on the coordinator thread -- lazy cache refreshes on
+// shard workers do not notify.
+class ServerObserver {
+ public:
+  virtual ~ServerObserver() = default;
+  virtual void OnServerAllocationChanged(ServerId id) = 0;
+};
+
 class Server : public AllocationListener {
  public:
   Server(ServerId id, ResourceVector capacity);
@@ -93,8 +107,20 @@ class Server : public AllocationListener {
   bool AccountingConsistent() const;
 
   // Invalidates the cached aggregates (AllocationListener; invoked by
-  // hosted VMs on every allocation-changing mutation).
-  void OnAllocationChanged() override { accounting_dirty_ = true; }
+  // hosted VMs on every allocation-changing mutation) and forwards the
+  // invalidation to the attached observer, if any. AddVm/RemoveVm route
+  // through here too, so the observer sees every path that dirties the
+  // cache.
+  void OnAllocationChanged() override {
+    accounting_dirty_ = true;
+    if (observer_ != nullptr) {
+      observer_->OnServerAllocationChanged(id_);
+    }
+  }
+
+  // Attaches the single allocation-change observer (nullptr detaches). Used
+  // by FleetView to mirror this server into its flat arrays.
+  void set_observer(ServerObserver* observer) { observer_ = observer; }
 
   // Sum of *nominal* VM sizes over capacity (per the dominant dimension):
   // the server overcommitment metric reported in Figure 8d. 1.0 = exactly
@@ -125,6 +151,7 @@ class Server : public AllocationListener {
   std::vector<std::unique_ptr<Vm>> vms_;
   mutable ServerAccounting accounting_;
   mutable bool accounting_dirty_ = true;
+  ServerObserver* observer_ = nullptr;
 
   TelemetryContext* telemetry_ = nullptr;
   struct {

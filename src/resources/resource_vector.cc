@@ -139,10 +139,15 @@ double ResourceVector::Sum() const {
 double ResourceVector::CosineSimilarity(const ResourceVector& a, const ResourceVector& b) {
   const double na = a.Norm();
   const double nb = b.Norm();
-  if (na == 0.0 || nb == 0.0) {
+  // Degenerate vectors have no direction; define their similarity as 0.
+  // Guard the PRODUCT, not the factors: two subnormal-but-nonzero norms can
+  // underflow to denom == 0.0, and x/0.0 would leak an inf/NaN fitness into
+  // the placement tie-breaks.
+  const double denom = na * nb;
+  if (denom == 0.0) {
     return 0.0;
   }
-  return a.Dot(b) / (na * nb);
+  return a.Dot(b) / denom;
 }
 
 std::string ResourceVector::ToString() const {

@@ -26,7 +26,10 @@ namespace defl {
 uint64_t SnapshotFnv1a64(const char* data, size_t size);
 
 inline constexpr char kSnapshotMagic[8] = {'D', 'E', 'F', 'L', 'S', 'N', 'A', 'P'};
-inline constexpr uint32_t kSnapshotFormatVersion = 1;
+// Version history:
+//   1 -- initial SimSession format (PR 5).
+//   2 -- ClusterSimConfig carries the diurnal/bursty ArrivalGenConfig.
+inline constexpr uint32_t kSnapshotFormatVersion = 2;
 
 // Append-only typed encoder. Build the payload with the typed writers, then
 // Finish() seals the header + footer and returns the full blob.

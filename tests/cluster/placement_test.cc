@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <memory>
 #include <vector>
 
@@ -164,6 +165,38 @@ TEST(PlacementFitnessTest, AlignedVectorsScoreHighest) {
   EXPECT_GT(PlacementFitness(demand, ResourceVector(8.0, 32768.0)),
             PlacementFitness(demand, ResourceVector(32.0, 8192.0)));
   EXPECT_DOUBLE_EQ(PlacementFitness(demand, ResourceVector()), 0.0);
+}
+
+TEST(PlacementFitnessTest, DegenerateVectorsScoreZeroNotNan) {
+  // Zero (or norm-product-underflowing) demand/availability must be defined
+  // as fitness 0, never NaN: a NaN would poison the best-fit max and make
+  // the scalar and SoA scans disagree on the winner.
+  const ResourceVector tiny = ResourceVector::Uniform(1e-200);
+  EXPECT_DOUBLE_EQ(PlacementFitness(ResourceVector(), ResourceVector()), 0.0);
+  EXPECT_DOUBLE_EQ(PlacementFitness(tiny, tiny), 0.0);
+  EXPECT_DOUBLE_EQ(PlacementFitness(tiny, ResourceVector(8.0, 32768.0)), 0.0);
+  EXPECT_FALSE(std::isnan(PlacementFitness(ResourceVector(), tiny)));
+}
+
+TEST_F(PlacementFixture, FleetScanMatchesObjectScanOnDegenerateDemand) {
+  // A zero demand is feasible everywhere with fitness 0 on every server;
+  // both paths must fall back to the same lowest-index tie-break.
+  servers_[0]->AddVm(MakeVm(1, 16.0, 65536.0, VmPriority::kHigh));  // full, rigid
+  FleetView fleet;
+  fleet.Bind(servers_);
+  const std::vector<uint32_t> rows = {0, 1, 2, 3};
+  const ResourceVector demand;  // zero
+  for (const PlacementPolicy policy :
+       {PlacementPolicy::kBestFit, PlacementPolicy::kFirstFit}) {
+    Rng object_rng(3);
+    Rng fleet_rng(3);
+    const Result<size_t> object_pick = PlaceVm(demand, Servers(), policy, object_rng);
+    const Result<size_t> fleet_pick =
+        PlaceVmFleet(demand, fleet, rows, policy, fleet_rng);
+    ASSERT_TRUE(object_pick.ok());
+    ASSERT_TRUE(fleet_pick.ok());
+    EXPECT_EQ(object_pick.value(), fleet_pick.value());
+  }
 }
 
 TEST(PlacementPolicyTest, Names) {

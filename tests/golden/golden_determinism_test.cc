@@ -55,8 +55,8 @@ std::string HexDigest(uint64_t hash) {
 // per placement policy and strategy, plus one per shipped fault plan.
 const char* const kScenarios[] = {
     "base",           "first_fit",     "two_choices",    "preemption_only",
-    "reinflate",      "predictive",    "faults_basic",   "faults_wire",
-    "faults_cluster",
+    "reinflate",      "predictive",    "diurnal",        "faults_basic",
+    "faults_wire",    "faults_cluster",
 };
 
 ClusterSimConfig MakeConfig(const std::string& name) {
@@ -81,6 +81,17 @@ ClusterSimConfig MakeConfig(const std::string& name) {
   } else if (name == "predictive") {
     config.reinflate_period_s = 600.0;
     config.predictive_holdback = true;
+  } else if (name == "diurnal") {
+    // Diurnal/bursty arrivals (src/sim/arrival_gen.h): a short period so the
+    // 3-hour horizon covers peaks and troughs, with bursts layered on top.
+    config.reinflate_period_s = 600.0;
+    config.arrivals.enabled = true;
+    config.arrivals.diurnal_amplitude = 0.7;
+    config.arrivals.diurnal_period_s = 2.0 * 3600.0;
+    config.arrivals.burst_rate_per_s = 2.0 / 3600.0;
+    config.arrivals.burst_duration_s = 900.0;
+    config.arrivals.burst_multiplier = 3.0;
+    config.arrivals.seed = 17;
   } else if (name.rfind("faults_", 0) == 0) {
     const std::string path =
         std::string(DEFL_SOURCE_DIR "/examples/") + name + ".plan";

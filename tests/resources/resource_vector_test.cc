@@ -93,6 +93,27 @@ TEST(ResourceVectorTest, CosineSimilarity) {
   EXPECT_NEAR(ResourceVector::CosineSimilarity(a * 5.0, a), 1.0, 1e-12);
   // Zero vector yields 0 (not NaN).
   EXPECT_DOUBLE_EQ(ResourceVector::CosineSimilarity(ResourceVector(), a), 0.0);
+  EXPECT_DOUBLE_EQ(ResourceVector::CosineSimilarity(a, ResourceVector()), 0.0);
+  EXPECT_DOUBLE_EQ(
+      ResourceVector::CosineSimilarity(ResourceVector(), ResourceVector()), 0.0);
+}
+
+TEST(ResourceVectorTest, CosineSimilarityDegenerateMagnitudes) {
+  // Components so small their squares underflow: the norm collapses to
+  // exactly 0 and the denominator guard must return 0, not divide.
+  const ResourceVector vanishing = ResourceVector::Uniform(1e-200);
+  EXPECT_EQ(vanishing.Norm(), 0.0);
+  EXPECT_DOUBLE_EQ(ResourceVector::CosineSimilarity(vanishing, vanishing), 0.0);
+
+  // The smallest magnitudes whose squares survive as subnormals: the result
+  // must stay finite (the guard is on the na*nb PRODUCT -- the exact
+  // denominator expression the structure-of-arrays placement scan uses, so
+  // the two paths agree bit-for-bit on when a vector is degenerate).
+  const ResourceVector tiny = ResourceVector::Uniform(3e-162);
+  ASSERT_GT(tiny.Norm(), 0.0);
+  const double similarity = ResourceVector::CosineSimilarity(tiny, tiny);
+  EXPECT_TRUE(std::isfinite(similarity));
+  EXPECT_GE(similarity, 0.0);
 }
 
 TEST(ResourceVectorTest, UniformHelper) {

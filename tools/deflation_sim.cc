@@ -46,6 +46,14 @@ struct Options {
   bool pricing = false;
   std::string trace_file;
   std::string save_trace;
+  bool diurnal = false;
+  double diurnal_amplitude = 0.5;
+  double diurnal_period_h = 24.0;
+  double diurnal_phase_h = 0.0;
+  double burst_rate_per_h = 0.0;
+  double burst_duration_s = 600.0;
+  double burst_multiplier = 2.0;
+  int64_t arrival_seed = 7;
   double recovery_grace_s = 600.0;
   int64_t threads = 1;
   double snapshot_every_h = 0.0;
@@ -101,6 +109,26 @@ int main(int argc, char** argv) {
                    &opt.trace_file);
   parser.AddString("save-trace", "write the generated trace to this CSV file",
                    &opt.save_trace);
+  parser.AddBool("diurnal",
+                 "draw arrivals from the diurnal/bursty generator instead of "
+                 "a flat-rate Poisson process (--load stays the mean)",
+                 &opt.diurnal);
+  parser.AddDouble("diurnal-amplitude",
+                   "sinusoidal rate swing around the mean, 0..1",
+                   &opt.diurnal_amplitude);
+  parser.AddDouble("diurnal-period-h", "diurnal cycle length (hours)",
+                   &opt.diurnal_period_h);
+  parser.AddDouble("diurnal-phase-h", "offset of the first rate peak (hours)",
+                   &opt.diurnal_phase_h);
+  parser.AddDouble("burst-rate-per-h", "Poisson rate of burst onsets (0 = off)",
+                   &opt.burst_rate_per_h);
+  parser.AddDouble("burst-duration-s", "length of each burst window",
+                   &opt.burst_duration_s);
+  parser.AddDouble("burst-multiplier", "rate multiplier inside a burst",
+                   &opt.burst_multiplier);
+  parser.AddInt("arrival-seed",
+                "RNG seed for diurnal arrival times (independent of --seed)",
+                &opt.arrival_seed);
   parser.AddDouble("recovery-grace-s",
                    "probation before a recovered server takes placements",
                    &opt.recovery_grace_s);
@@ -146,6 +174,12 @@ int main(int argc, char** argv) {
            RejectFlagCombination("resume-from", !opt.resume_from.empty(),
                                  "fault-plan", !common.fault_plan.empty(),
                                  "the snapshot already carries its fault plan"),
+           RejectFlagCombination("trace-file", !opt.trace_file.empty(),
+                                 "diurnal", opt.diurnal,
+                                 "a replayed trace carries its own arrival times"),
+           RejectFlagCombination("resume-from", !opt.resume_from.empty(),
+                                 "diurnal", opt.diurnal,
+                                 "the snapshot already carries its trace"),
        }) {
     if (!check.ok()) {
       return Fail(check.error());
@@ -186,6 +220,16 @@ int main(int argc, char** argv) {
     config.trace.seed = static_cast<uint64_t>(opt.seed);
     config.trace = WithTargetLoad(config.trace, opt.load, config.num_servers,
                                   config.server_capacity);
+    if (opt.diurnal) {
+      config.arrivals.enabled = true;
+      config.arrivals.diurnal_amplitude = opt.diurnal_amplitude;
+      config.arrivals.diurnal_period_s = opt.diurnal_period_h * 3600.0;
+      config.arrivals.diurnal_phase_s = opt.diurnal_phase_h * 3600.0;
+      config.arrivals.burst_rate_per_s = opt.burst_rate_per_h / 3600.0;
+      config.arrivals.burst_duration_s = opt.burst_duration_s;
+      config.arrivals.burst_multiplier = opt.burst_multiplier;
+      config.arrivals.seed = static_cast<uint64_t>(opt.arrival_seed);
+    }
     config.reinflate_period_s = opt.reinflate_period_s;
     config.predictive_holdback = opt.predictive;
     config.recovery_grace_s = opt.recovery_grace_s;
@@ -232,7 +276,10 @@ int main(int argc, char** argv) {
                   opt.trace_file.c_str());
     }
     if (!opt.save_trace.empty()) {
-      const std::vector<TraceEvent> generated = GenerateTrace(config.trace);
+      const std::vector<TraceEvent> generated =
+          config.arrivals.enabled
+              ? GenerateDiurnalTrace(config.trace, config.arrivals)
+              : GenerateTrace(config.trace);
       const Result<bool> saved = SaveTraceFile(generated, opt.save_trace);
       if (!saved.ok()) {
         return Fail(saved.error());
