@@ -86,6 +86,20 @@ VmSpec ReadVmSpec(SnapshotReader& r) {
   return spec;
 }
 
+// Checksum over the trace's serialized form, computed once per session (the
+// trace is immutable). Elided-trace snapshots store it so a restore can
+// prove the regenerated arrivals are the ones the run actually used.
+uint64_t TraceFnv(const std::vector<TraceEvent>& trace) {
+  SnapshotWriter w;
+  for (const TraceEvent& event : trace) {
+    w.WriteF64(event.arrival_s);
+    w.WriteF64(event.lifetime_s);
+    WriteVmSpec(w, event.spec);
+  }
+  const std::string bytes = w.Finish();
+  return SnapshotFnv1a64(bytes.data(), bytes.size());
+}
+
 // Length prefix bounded against the remaining payload so a crafted count
 // can never drive a near-infinite loop or allocation.
 uint64_t ReadCount(SnapshotReader& r, size_t min_entry_bytes, const char* what) {
@@ -268,9 +282,13 @@ struct SimSession::State {
   // serialized) from the plan on both Open and Restore -- ServerEventsFor is
   // a pure function of plan + server count.
   std::vector<FaultInjector::ServerEvent> fault_events;
-  // The materialized arrival trace; VmId == index. Serialized, so a restored
-  // run never re-samples trace generation.
+  // The materialized arrival trace; VmId == index. Inlined into snapshots
+  // only when it was handed in explicitly -- a config-generated trace is
+  // regenerated on restore and only its length + checksum are serialized,
+  // keeping checkpoint I/O proportional to live state, not trace length.
   std::vector<TraceEvent> trace;
+  bool trace_generated = false;
+  uint64_t trace_fnv = 0;
   EwmaPredictor predictor;
 
   SeriesHandle util_series;
@@ -510,9 +528,12 @@ Result<SimSession> SimSession::Open(const ClusterSimConfig& config) {
     state->trace = config.explicit_trace;
   } else if (config.arrivals.enabled) {
     state->trace = GenerateDiurnalTrace(config.trace, config.arrivals);
+    state->trace_generated = true;
   } else {
     state->trace = GenerateTrace(config.trace);
+    state->trace_generated = true;
   }
+  state->trace_fnv = TraceFnv(state->trace);
 
   // Schedule the whole program in the exact order the batch runner did:
   // fault timeline, then trace arrivals, then the sampling tick, then the
@@ -641,11 +662,19 @@ std::string SimSession::SnapshotBytes() const {
 
   WriteConfig(w, s.config);
 
+  // A config-generated trace is deterministic from the TraceConfig just
+  // serialized, so only its length and checksum go into the snapshot; the
+  // restore side regenerates and verifies. Explicit traces (replay files,
+  // bench harnesses) have no generator to rerun and are inlined in full.
+  w.WriteBool(s.trace_generated);
   w.WriteU64(s.trace.size());
-  for (const TraceEvent& event : s.trace) {
-    w.WriteF64(event.arrival_s);
-    w.WriteF64(event.lifetime_s);
-    WriteVmSpec(w, event.spec);
+  w.WriteU64(s.trace_fnv);
+  if (!s.trace_generated) {
+    for (const TraceEvent& event : s.trace) {
+      w.WriteF64(event.arrival_s);
+      w.WriteF64(event.lifetime_s);
+      WriteVmSpec(w, event.spec);
+    }
   }
 
   w.WriteF64(s.now);
@@ -654,8 +683,19 @@ std::string SimSession::SnapshotBytes() const {
 
   // Canonical queue image: sorted by (when, seq), independent of the heap's
   // internal array layout, so identical logical states snapshot to identical
-  // bytes.
-  std::vector<QueueEntry> entries = s.queue;
+  // bytes. Strictly-future VM arrivals are elided: arrival i was pushed at
+  // Open with when = trace[i].arrival_s and seq = |fault timeline| + i and is
+  // never re-pushed, so the restore side rebuilds them from the trace.
+  // Arrivals AT `now` (an event-boundary snapshot can leave same-instant
+  // stragglers unexecuted) are the only ones written out.
+  std::vector<QueueEntry> entries;
+  entries.reserve(s.queue.size());
+  for (const QueueEntry& entry : s.queue) {
+    if (entry.kind == SimEventKind::kVmArrival && entry.when > s.now) {
+      continue;
+    }
+    entries.push_back(entry);
+  }
   std::sort(entries.begin(), entries.end(),
             [](const QueueEntry& a, const QueueEntry& b) {
               if (a.when != b.when) {
@@ -822,18 +862,47 @@ Result<SimSession> SimSession::RestoreBytes(const std::string& bytes,
   std::unique_ptr<State> state = BuildCore(config, options.telemetry);
   State& s = *state;
 
-  const uint64_t trace_size = ReadCount(r, 8 * 2, "trace event");
-  s.trace.reserve(static_cast<size_t>(trace_size));
-  for (uint64_t i = 0; r.ok() && i < trace_size; ++i) {
-    TraceEvent event;
-    event.arrival_s = r.ReadF64();
-    event.lifetime_s = r.ReadF64();
-    event.spec = ReadVmSpec(r);
-    s.trace.push_back(std::move(event));
+  const bool trace_generated = r.ReadBool();
+  if (trace_generated) {
+    // The trace was elided: rerun the generator the original session used
+    // and prove the result is bit-identical via the stored length/checksum.
+    // Pending arrival events index into this list, so a generator that
+    // drifted across builds must fail the restore, not corrupt it.
+    const uint64_t trace_size = r.ReadU64();
+    const uint64_t trace_fnv = r.ReadU64();
+    if (r.ok()) {
+      s.trace = s.config.arrivals.enabled
+                    ? GenerateDiurnalTrace(s.config.trace, s.config.arrivals)
+                    : GenerateTrace(s.config.trace);
+      s.trace_generated = true;
+      s.trace_fnv = TraceFnv(s.trace);
+      if (s.trace.size() != trace_size || s.trace_fnv != trace_fnv) {
+        r.Fail("snapshot's elided arrival trace cannot be regenerated: the "
+               "generator produced " +
+               std::to_string(s.trace.size()) + " arrivals, snapshot recorded " +
+               std::to_string(trace_size) + " (checksum " +
+               (s.trace_fnv == trace_fnv ? "matches" : "differs") + ")");
+      }
+    }
+  } else {
+    const uint64_t trace_size = ReadCount(r, 8 * 2, "trace event");
+    const uint64_t trace_fnv = r.ReadU64();
+    s.trace.reserve(static_cast<size_t>(trace_size));
+    for (uint64_t i = 0; r.ok() && i < trace_size; ++i) {
+      TraceEvent event;
+      event.arrival_s = r.ReadF64();
+      event.lifetime_s = r.ReadF64();
+      event.spec = ReadVmSpec(r);
+      s.trace.push_back(std::move(event));
+    }
+    // An explicit trace must never be re-sampled: pending arrival events
+    // index into exactly this materialized list.
+    s.config.explicit_trace = s.trace;
+    s.trace_fnv = TraceFnv(s.trace);
+    if (r.ok() && s.trace_fnv != trace_fnv) {
+      r.Fail("snapshot's inlined arrival trace fails its checksum");
+    }
   }
-  // A restored session must never regenerate the trace: pending arrival
-  // events index into exactly this materialized list.
-  s.config.explicit_trace = s.trace;
 
   s.now = r.ReadF64();
   s.next_seq = r.ReadI64();
@@ -866,8 +935,8 @@ Result<SimSession> SimSession::RestoreBytes(const std::string& bytes,
         break;
       case SimEventKind::kVmArrival:
       case SimEventKind::kVmCompletion:
-        payload_ok =
-            entry.payload >= 0 && static_cast<uint64_t>(entry.payload) < trace_size;
+        payload_ok = entry.payload >= 0 &&
+                     static_cast<size_t>(entry.payload) < s.trace.size();
         break;
       default:
         break;
@@ -878,6 +947,20 @@ Result<SimSession> SimSession::RestoreBytes(const std::string& bytes,
       break;
     }
     s.queue.push_back(entry);
+  }
+  // Rebuild the elided strictly-future arrivals (see SnapshotBytes): arrival
+  // i re-enters with its Open-time sequence number, |fault timeline| + i, so
+  // the same-time tie-break order is bit-exact.
+  if (r.ok()) {
+    const int64_t arrival_seq_base = static_cast<int64_t>(s.fault_events.size());
+    for (size_t i = 0; i < s.trace.size(); ++i) {
+      if (s.trace[i].arrival_s > s.now) {
+        s.queue.push_back(QueueEntry{s.trace[i].arrival_s,
+                                     arrival_seq_base + static_cast<int64_t>(i),
+                                     SimEventKind::kVmArrival,
+                                     static_cast<int64_t>(i)});
+      }
+    }
   }
   std::make_heap(s.queue.begin(), s.queue.end(), LaterEntry{});
 

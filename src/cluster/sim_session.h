@@ -75,6 +75,17 @@ class SimSession {
   // version-skewed snapshots fail with a descriptive error, never a crash.
   static Result<SimSession> Restore(const std::string& path,
                                     const RestoreOptions& options);
+  // Rebuilds a session from a durable run directory (DESIGN.md §13): loads
+  // the newest valid checkpoint snapshot and re-applies the write-ahead
+  // journal's command suffix, yielding the state an uninterrupted run would
+  // hold -- no matter where (even mid-checkpoint or mid-WAL-append) the
+  // writing process was SIGKILLed. Read-only: the directory is not touched;
+  // use DurableSession to continue the run. Defined in durable_session.cc.
+  static Result<SimSession> Recover(const std::string& dir,
+                                    const RestoreOptions& options);
+  static Result<SimSession> Recover(const std::string& dir) {
+    return Recover(dir, RestoreOptions());
+  }
   static Result<SimSession> Restore(const std::string& path) {
     return Restore(path, RestoreOptions());
   }

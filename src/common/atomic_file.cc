@@ -1,0 +1,94 @@
+#include "src/common/atomic_file.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "src/common/crash_point.h"
+
+namespace defl {
+namespace {
+
+std::string ErrnoText() { return std::strerror(errno); }
+
+std::string ParentDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) {
+    return ".";
+  }
+  if (slash == 0) {
+    return "/";
+  }
+  return path.substr(0, slash);
+}
+
+}  // namespace
+
+void SyncParentDir(const std::string& path) {
+  const int fd = ::open(ParentDir(path).c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    return;
+  }
+  ::fsync(fd);  // best-effort: some filesystems refuse directory fsync
+  ::close(fd);
+}
+
+Result<bool> WriteFileAtomic(const std::string& path, const std::string& bytes) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Error{"cannot open " + tmp + " for writing: " + ErrnoText()};
+  }
+  size_t written = 0;
+  while (written < bytes.size()) {
+    const ssize_t n =
+        ::write(fd, bytes.data() + written, bytes.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      const std::string error = ErrnoText();
+      ::close(fd);
+      return Error{"short write to " + tmp + ": " + error};
+    }
+    written += static_cast<size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    const std::string error = ErrnoText();
+    ::close(fd);
+    return Error{"fsync failed on " + tmp + ": " + error};
+  }
+  ::close(fd);
+  // Chaos window: the complete tmp file is durable but the destination still
+  // holds the previous version (or nothing).
+  CrashPoint("atomic-tmp-synced");
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Error{"cannot rename " + tmp + " into place as " + path + ": " +
+                 ErrnoText()};
+  }
+  // The rename only becomes power-loss durable once the directory entry is
+  // synced; until then a reader in THIS boot already sees the new file.
+  SyncParentDir(path);
+  CrashPoint("atomic-renamed");
+  return true;
+}
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Error{"cannot open file " + path};
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) {
+    return Error{"read error on file " + path};
+  }
+  return std::move(buffer).str();
+}
+
+}  // namespace defl

@@ -1,0 +1,32 @@
+// Crash-safe file replacement: write to "<path>.tmp", fsync the data, rename
+// over the destination, then fsync the containing directory so the rename
+// itself is durable. A reader therefore only ever sees the old complete file
+// or the new complete file -- never a torn half-write -- and after the call
+// returns the new bytes survive power loss. Every artifact a run promises to
+// leave behind (snapshots, checkpoints, --metrics-out / --trace-out exports)
+// goes through this path; see DESIGN.md §13.
+#ifndef SRC_COMMON_ATOMIC_FILE_H_
+#define SRC_COMMON_ATOMIC_FILE_H_
+
+#include <string>
+
+#include "src/common/result.h"
+
+namespace defl {
+
+// Atomically replaces `path` with `bytes`. The temp file lives next to the
+// destination (same filesystem, so the rename is atomic). On failure the
+// destination is untouched; a stale "<path>.tmp" may remain and is
+// overwritten by the next attempt.
+Result<bool> WriteFileAtomic(const std::string& path, const std::string& bytes);
+
+// Whole-file read (binary). Errors name the path.
+Result<std::string> ReadFileToString(const std::string& path);
+
+// fsync the directory containing `path` (after a rename/unlink inside it).
+// Best-effort on filesystems that reject directory fsync.
+void SyncParentDir(const std::string& path);
+
+}  // namespace defl
+
+#endif  // SRC_COMMON_ATOMIC_FILE_H_

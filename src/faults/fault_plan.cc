@@ -1,5 +1,6 @@
 #include "src/faults/fault_plan.h"
 
+#include <algorithm>
 #include <charconv>
 #include <cmath>
 #include <cstdio>
@@ -93,8 +94,33 @@ bool IsServerEventKind(FaultKind kind) {
          kind == FaultKind::kServerRecover;
 }
 
+namespace {
+
+// Site scopes intersect when either side is the -1 wildcard or the ids match.
+bool SiteScopesIntersect(int64_t a, int64_t b) {
+  return a == -1 || b == -1 || a == b;
+}
+
+// Two rules of the same kind aimed at an intersecting site are in conflict
+// when they could fire together: for scheduled server events that means the
+// same instant (a duplicate crash/recover), for windowed mechanism faults an
+// overlapping [start, end] (the probabilities would silently compound).
+bool RulesConflict(const FaultRule& a, const FaultRule& b) {
+  if (a.kind != b.kind || !SiteScopesIntersect(a.vm, b.vm) ||
+      !SiteScopesIntersect(a.server, b.server)) {
+    return false;
+  }
+  if (IsServerEventKind(a.kind)) {
+    return a.start_s == b.start_s;
+  }
+  return std::max(a.start_s, b.start_s) <= std::min(a.end_s, b.end_s);
+}
+
+}  // namespace
+
 Result<FaultPlan> ParseFaultPlan(const std::string& text) {
   FaultPlan plan;
+  std::vector<int> rule_lines;  // source line of each accepted rule
   std::istringstream in(text);
   std::string line;
   bool saw_header = false;
@@ -184,9 +210,44 @@ Result<FaultPlan> ParseFaultPlan(const std::string& text) {
       return Error{where + ": magnitude must be >= 0"};
     }
     if (rule.end_s < rule.start_s) {
-      return Error{where + ": end before start"};
+      return Error{where + ": end before start (duration would be negative)"};
+    }
+    if (rule.start_s < 0.0) {
+      return Error{where + ": start must be >= 0"};
+    }
+    if (rule.vm < -1) {
+      return Error{where + ": vm must be -1 (any) or a VM id >= 0"};
+    }
+    if (rule.server < -1) {
+      return Error{where + ": server must be -1 (any) or a server id >= 0"};
+    }
+    if (rule.max_count < -1 || rule.max_count == 0) {
+      return Error{where + ": max must be -1 (unlimited) or >= 1 "
+                   "(max=0 would disable the rule; delete it instead)"};
+    }
+    if (IsServerEventKind(rule.kind) && rule.vm >= 0) {
+      return Error{where + ": kind " + FaultKindName(rule.kind) +
+                   " targets servers; vm= does not apply"};
+    }
+    if (!IsServerEventKind(rule.kind) && rule.end_s == rule.start_s) {
+      return Error{where + ": zero-duration window can never fire for kind " +
+                   FaultKindName(rule.kind) +
+                   " (at= schedules server events; use start=/end= here)"};
+    }
+    for (size_t i = 0; i < plan.rules.size(); ++i) {
+      if (RulesConflict(plan.rules[i], rule)) {
+        return Error{
+            where + ": rule conflicts with the rule at line " +
+            std::to_string(rule_lines[i]) +
+            (IsServerEventKind(rule.kind)
+                 ? " (same kind scheduled at the same time for an "
+                   "overlapping server scope)"
+                 : " (same kind with overlapping windows and site scopes; "
+                   "the probabilities would compound)")};
+      }
     }
     plan.rules.push_back(rule);
+    rule_lines.push_back(line_no);
   }
   if (!saw_header) {
     return Error{"missing '" + std::string(kHeaderTag) + "' header"};

@@ -6,6 +6,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "src/common/atomic_file.h"
+
 namespace defl {
 
 uint64_t SnapshotFnv1a64(const char* data, size_t size) {
@@ -189,21 +191,7 @@ std::string SnapshotReader::ReadString() {
 }
 
 Result<bool> WriteSnapshotFile(const std::string& bytes, const std::string& path) {
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
-    if (!os) {
-      return Error{"cannot open snapshot file " + tmp + " for writing"};
-    }
-    os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-    if (!os) {
-      return Error{"short write to snapshot file " + tmp};
-    }
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    return Error{"cannot rename " + tmp + " into place as " + path};
-  }
-  return true;
+  return WriteFileAtomic(path, bytes);
 }
 
 Result<std::string> ReadSnapshotFile(const std::string& path) {

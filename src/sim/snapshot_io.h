@@ -29,7 +29,7 @@ inline constexpr char kSnapshotMagic[8] = {'D', 'E', 'F', 'L', 'S', 'N', 'A', 'P
 // Version history:
 //   1 -- initial SimSession format (PR 5).
 //   2 -- ClusterSimConfig carries the diurnal/bursty ArrivalGenConfig.
-inline constexpr uint32_t kSnapshotFormatVersion = 2;
+inline constexpr uint32_t kSnapshotFormatVersion = 3;
 
 // Append-only typed encoder. Build the payload with the typed writers, then
 // Finish() seals the header + footer and returns the full blob.
@@ -95,9 +95,10 @@ class SnapshotReader {
   std::string error_;
 };
 
-// File convenience wrappers. WriteSnapshotFile writes to "<path>.tmp" and
-// renames into place, so a crash mid-write can never leave a half-written
-// snapshot where a resumable one is expected.
+// File convenience wrappers. WriteSnapshotFile goes through WriteFileAtomic
+// (tmp + fsync + rename + parent-dir fsync), so a crash -- even power loss --
+// mid-write can never leave a half-written snapshot where a resumable one is
+// expected.
 Result<bool> WriteSnapshotFile(const std::string& bytes, const std::string& path);
 Result<std::string> ReadSnapshotFile(const std::string& path);
 

@@ -1,0 +1,333 @@
+#include "src/sim/wal_io.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "src/common/atomic_file.h"
+#include "src/common/crash_point.h"
+#include "src/sim/snapshot_io.h"
+
+namespace defl {
+namespace {
+
+void AppendU32Le(std::string& out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void AppendU64Le(std::string& out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void AppendF64Le(std::string& out, double v) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  AppendU64Le(out, bits);
+}
+
+uint32_t LoadU32Le(const char* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<unsigned char>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+uint64_t LoadU64Le(const char* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<unsigned char>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+double LoadF64Le(const char* p) {
+  const uint64_t bits = LoadU64Le(p);
+  double v = 0.0;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+constexpr size_t kHeaderBytes = sizeof(kWalMagic) + 4;
+constexpr size_t kFrameOverhead = 4 + 1 + 8;  // length + kind + checksum
+
+// Payload sizes are fixed per kind; a framed record whose length disagrees
+// is malformed even if its checksum passes (a lying length field cannot
+// smuggle a short payload through).
+size_t PayloadBytesFor(WalRecordKind kind) {
+  switch (kind) {
+    case WalRecordKind::kStepUntil:
+      return 8;
+    case WalRecordKind::kStepEventsTo:
+      return 8;
+    case WalRecordKind::kCheckpoint:
+      return 8 * 5;
+  }
+  return 0;
+}
+
+std::string EncodePayload(const WalRecord& record) {
+  std::string payload;
+  switch (record.kind) {
+    case WalRecordKind::kStepUntil:
+      AppendF64Le(payload, record.t_s);
+      break;
+    case WalRecordKind::kStepEventsTo:
+      AppendU64Le(payload, static_cast<uint64_t>(record.target_events));
+      break;
+    case WalRecordKind::kCheckpoint:
+      AppendU64Le(payload, record.checkpoint_id);
+      AppendF64Le(payload, record.sim_time_s);
+      AppendU64Le(payload, static_cast<uint64_t>(record.events_executed));
+      AppendU64Le(payload, record.snapshot_fnv);
+      AppendU64Le(payload, record.snapshot_size);
+      break;
+  }
+  return payload;
+}
+
+std::string ErrnoText() { return std::strerror(errno); }
+
+Result<bool> WriteAllFsync(int fd, const char* data, size_t size,
+                           const std::string& what) {
+  size_t written = 0;
+  while (written < size) {
+    const ssize_t n = ::write(fd, data + written, size - written);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return Error{"short write to " + what + ": " + ErrnoText()};
+    }
+    written += static_cast<size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    return Error{"fsync failed on " + what + ": " + ErrnoText()};
+  }
+  return true;
+}
+
+}  // namespace
+
+WalRecord WalRecord::StepUntil(double t_s) {
+  WalRecord r;
+  r.kind = WalRecordKind::kStepUntil;
+  r.t_s = t_s;
+  return r;
+}
+
+WalRecord WalRecord::StepEventsTo(int64_t target_events) {
+  WalRecord r;
+  r.kind = WalRecordKind::kStepEventsTo;
+  r.target_events = target_events;
+  return r;
+}
+
+WalRecord WalRecord::Checkpoint(uint64_t id, double sim_time_s,
+                                int64_t events_executed, uint64_t snapshot_fnv,
+                                uint64_t snapshot_size) {
+  WalRecord r;
+  r.kind = WalRecordKind::kCheckpoint;
+  r.checkpoint_id = id;
+  r.sim_time_s = sim_time_s;
+  r.events_executed = events_executed;
+  r.snapshot_fnv = snapshot_fnv;
+  r.snapshot_size = snapshot_size;
+  return r;
+}
+
+std::string EncodeWalRecord(const WalRecord& record) {
+  const std::string payload = EncodePayload(record);
+  std::string bytes;
+  bytes.reserve(kFrameOverhead + payload.size());
+  AppendU32Le(bytes, static_cast<uint32_t>(payload.size()));
+  bytes.push_back(static_cast<char>(record.kind));
+  bytes.append(payload);
+  AppendU64Le(bytes, SnapshotFnv1a64(bytes.data(), bytes.size()));
+  return bytes;
+}
+
+std::string EncodeWalHeader() {
+  std::string bytes(kWalMagic, sizeof(kWalMagic));
+  AppendU32Le(bytes, kWalFormatVersion);
+  return bytes;
+}
+
+Result<WalReadResult> DecodeWal(const std::string& bytes) {
+  if (bytes.size() < kHeaderBytes) {
+    return Error{"WAL truncated: " + std::to_string(bytes.size()) +
+                 " bytes is smaller than the fixed header"};
+  }
+  if (std::memcmp(bytes.data(), kWalMagic, sizeof(kWalMagic)) != 0) {
+    return Error{"not a deflation WAL (bad magic)"};
+  }
+  const uint32_t version = LoadU32Le(bytes.data() + sizeof(kWalMagic));
+  if (version != kWalFormatVersion) {
+    return Error{"unsupported WAL format version " + std::to_string(version) +
+                 " (this build reads version " +
+                 std::to_string(kWalFormatVersion) + ")"};
+  }
+
+  WalReadResult result;
+  size_t pos = kHeaderBytes;
+  const auto torn = [&](const std::string& reason) {
+    result.torn = true;
+    result.torn_reason = reason + " at offset " + std::to_string(pos);
+    result.valid_bytes = pos;
+    return result;
+  };
+  while (pos < bytes.size()) {
+    if (bytes.size() - pos < kFrameOverhead) {
+      return torn("short record frame");
+    }
+    const uint32_t payload_len = LoadU32Le(bytes.data() + pos);
+    const uint8_t kind_byte = static_cast<uint8_t>(bytes[pos + 4]);
+    if (bytes.size() - pos < kFrameOverhead + payload_len) {
+      return torn("record frame runs past end of file");
+    }
+    const size_t body = 4 + 1 + payload_len;
+    const uint64_t expected = LoadU64Le(bytes.data() + pos + body);
+    const uint64_t actual = SnapshotFnv1a64(bytes.data() + pos, body);
+    if (expected != actual) {
+      return torn("record checksum mismatch");
+    }
+    if (kind_byte > kMaxWalRecordKind) {
+      return torn("unknown record kind " + std::to_string(kind_byte));
+    }
+    const WalRecordKind kind = static_cast<WalRecordKind>(kind_byte);
+    if (payload_len != PayloadBytesFor(kind)) {
+      return torn("record payload length " + std::to_string(payload_len) +
+                  " does not match its kind");
+    }
+    const char* p = bytes.data() + pos + 5;
+    WalRecord record;
+    record.kind = kind;
+    switch (kind) {
+      case WalRecordKind::kStepUntil:
+        record.t_s = LoadF64Le(p);
+        break;
+      case WalRecordKind::kStepEventsTo:
+        record.target_events = static_cast<int64_t>(LoadU64Le(p));
+        break;
+      case WalRecordKind::kCheckpoint:
+        record.checkpoint_id = LoadU64Le(p);
+        record.sim_time_s = LoadF64Le(p + 8);
+        record.events_executed = static_cast<int64_t>(LoadU64Le(p + 16));
+        record.snapshot_fnv = LoadU64Le(p + 24);
+        record.snapshot_size = LoadU64Le(p + 32);
+        break;
+    }
+    result.records.push_back(record);
+    pos += body + 8;
+  }
+  result.valid_bytes = pos;
+  return result;
+}
+
+Result<WalReadResult> ReadWalFile(const std::string& path) {
+  Result<std::string> bytes = ReadFileToString(path);
+  if (!bytes.ok()) {
+    return Error{bytes.error()};
+  }
+  Result<WalReadResult> decoded = DecodeWal(bytes.value());
+  if (!decoded.ok()) {
+    return Error{path + ": " + decoded.error()};
+  }
+  return decoded;
+}
+
+Result<WalWriter> WalWriter::Create(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Error{"cannot create WAL " + path + ": " + ErrnoText()};
+  }
+  const std::string header = EncodeWalHeader();
+  const Result<bool> wrote = WriteAllFsync(fd, header.data(), header.size(), path);
+  if (!wrote.ok()) {
+    ::close(fd);
+    return Error{wrote.error()};
+  }
+  SyncParentDir(path);
+  return WalWriter(fd);
+}
+
+Result<WalWriter> WalWriter::OpenAt(const std::string& path,
+                                    uint64_t valid_bytes) {
+  if (valid_bytes < kHeaderBytes) {
+    return Error{"WAL append position " + std::to_string(valid_bytes) +
+                 " is inside the header"};
+  }
+  const int fd = ::open(path.c_str(), O_WRONLY);
+  if (fd < 0) {
+    return Error{"cannot open WAL " + path + " for appending: " + ErrnoText()};
+  }
+  // Drop the torn tail so the next record lands directly after the last
+  // valid one (the trace_io EOF posture: garbage after the valid prefix is
+  // discarded, never reinterpreted).
+  if (::ftruncate(fd, static_cast<off_t>(valid_bytes)) != 0) {
+    const std::string error = ErrnoText();
+    ::close(fd);
+    return Error{"cannot truncate WAL " + path + " torn tail: " + error};
+  }
+  if (::lseek(fd, static_cast<off_t>(valid_bytes), SEEK_SET) < 0) {
+    const std::string error = ErrnoText();
+    ::close(fd);
+    return Error{"cannot seek WAL " + path + ": " + error};
+  }
+  if (::fsync(fd) != 0) {
+    const std::string error = ErrnoText();
+    ::close(fd);
+    return Error{"fsync failed on " + path + ": " + error};
+  }
+  return WalWriter(fd);
+}
+
+WalWriter::WalWriter(WalWriter&& other) noexcept : fd_(other.fd_) {
+  other.fd_ = -1;
+}
+
+WalWriter& WalWriter::operator=(WalWriter&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) {
+      ::close(fd_);
+    }
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+WalWriter::~WalWriter() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+  }
+}
+
+Result<bool> WalWriter::Append(const WalRecord& record) {
+  if (fd_ < 0) {
+    return Error{"WAL writer was moved from"};
+  }
+  const std::string bytes = EncodeWalRecord(record);
+  // Chaos window: die after only half the record reaches the file -- the
+  // manufactured torn tail the reader must truncate on recovery.
+  if (CrashPointFires("wal-append-torn")) {
+    const size_t half = bytes.size() / 2;
+    (void)WriteAllFsync(fd_, bytes.data(), half, "WAL");
+    CrashPointKill();
+  }
+  const Result<bool> wrote = WriteAllFsync(fd_, bytes.data(), bytes.size(), "WAL");
+  if (!wrote.ok()) {
+    return wrote;
+  }
+  // Chaos window: the record is durable but nothing that follows it is.
+  CrashPoint("wal-append-synced");
+  return true;
+}
+
+}  // namespace defl

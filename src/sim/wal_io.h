@@ -1,0 +1,119 @@
+// Write-ahead journal for durable simulation runs (DESIGN.md §13). The WAL
+// records every externally injected command before it executes, plus a
+// marker for every checkpoint, so a SIGKILLed run can be rebuilt exactly:
+// load the newest valid snapshot, then re-apply the journaled commands.
+//
+// File layout (all integers little-endian):
+//
+//   header:  magic "DEFLWAL0" (8 bytes) | format version (u32)
+//   record:  payload length (u32) | kind (u8) | payload |
+//            FNV-1a-64 over (length | kind | payload) (u64)
+//
+// Every record carries its own checksum, so the reader is torn-tail
+// tolerant in the trace_io spirit: it accepts records until the first
+// short, corrupt, or malformed one, reports how many bytes were valid, and
+// the writer truncates the garbage tail before appending again. A record is
+// only acknowledged once write(2) + fsync(2) have returned, which is what
+// makes it a WRITE-AHEAD log: a command that was acted on is always
+// recoverable, and a command that is not recoverable was never acted on.
+//
+// Replay safety: commands are absolute targets (run until sim time T, run
+// until N total events executed), never deltas, so re-applying the whole
+// journal on top of ANY valid checkpoint -- even one taken after some of
+// the journaled commands already ran -- converges to the same state.
+// Checkpoint markers are written BEFORE their snapshot file, so a marker
+// without a snapshot means "checkpoint was cut short" (harmless), while a
+// snapshot without a marker cannot exist.
+#ifndef SRC_SIM_WAL_IO_H_
+#define SRC_SIM_WAL_IO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+
+namespace defl {
+
+inline constexpr char kWalMagic[8] = {'D', 'E', 'F', 'L', 'W', 'A', 'L', '0'};
+inline constexpr uint32_t kWalFormatVersion = 1;
+
+enum class WalRecordKind : uint8_t {
+  // Run the simulation until sim time `t_s` (absolute, clamped to the
+  // horizon; idempotent once the clock has passed it).
+  kStepUntil = 0,
+  // Run until `target_events` TOTAL events have executed (absolute count;
+  // idempotent once events_executed has passed it).
+  kStepEventsTo = 1,
+  // Checkpoint `checkpoint_id` is about to be written at (sim_time_s,
+  // events_executed); `snapshot_fnv`/`snapshot_size` fingerprint the blob so
+  // recovery can verify a snapshot file against the marker that announced it.
+  kCheckpoint = 2,
+};
+inline constexpr uint8_t kMaxWalRecordKind = 2;
+
+struct WalRecord {
+  WalRecordKind kind = WalRecordKind::kStepUntil;
+  double t_s = 0.0;                // kStepUntil
+  int64_t target_events = 0;       // kStepEventsTo
+  uint64_t checkpoint_id = 0;      // kCheckpoint
+  double sim_time_s = 0.0;         // kCheckpoint
+  int64_t events_executed = 0;     // kCheckpoint
+  uint64_t snapshot_fnv = 0;       // kCheckpoint
+  uint64_t snapshot_size = 0;      // kCheckpoint
+
+  static WalRecord StepUntil(double t_s);
+  static WalRecord StepEventsTo(int64_t target_events);
+  static WalRecord Checkpoint(uint64_t id, double sim_time_s,
+                              int64_t events_executed, uint64_t snapshot_fnv,
+                              uint64_t snapshot_size);
+};
+
+// One framed record (length | kind | payload | checksum), sans file header.
+std::string EncodeWalRecord(const WalRecord& record);
+
+// The 12-byte file header.
+std::string EncodeWalHeader();
+
+struct WalReadResult {
+  std::vector<WalRecord> records;  // every record before the torn point
+  uint64_t valid_bytes = 0;        // prefix length holding header + records
+  bool torn = false;               // trailing garbage was found (and ignored)
+  std::string torn_reason;         // what was wrong with the first bad record
+};
+
+// Decodes a WAL image. A missing/short/corrupt header is a hard error (the
+// file is not a WAL); anything wrong after that merely marks the tail torn.
+Result<WalReadResult> DecodeWal(const std::string& bytes);
+
+// Reads and decodes `path`. Errors only on open/read failure or a bad
+// header; torn tails come back in the result.
+Result<WalReadResult> ReadWalFile(const std::string& path);
+
+// Append handle. Every Append is write + fsync before it returns success;
+// the caller may treat a returned record as durable.
+class WalWriter {
+ public:
+  // Creates `path` with a fresh header (truncating any previous content),
+  // fsyncs it and its directory.
+  static Result<WalWriter> Create(const std::string& path);
+
+  // Opens `path` for appending at `valid_bytes` (from ReadWalFile),
+  // truncating any torn tail past it first.
+  static Result<WalWriter> OpenAt(const std::string& path, uint64_t valid_bytes);
+
+  WalWriter(WalWriter&& other) noexcept;
+  WalWriter& operator=(WalWriter&& other) noexcept;
+  ~WalWriter();
+
+  Result<bool> Append(const WalRecord& record);
+
+ private:
+  explicit WalWriter(int fd) : fd_(fd) {}
+
+  int fd_ = -1;
+};
+
+}  // namespace defl
+
+#endif  // SRC_SIM_WAL_IO_H_

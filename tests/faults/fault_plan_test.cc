@@ -60,6 +60,74 @@ TEST(FaultPlanParseTest, RejectsMalformedInput) {
   EXPECT_FALSE(ParseFaultPlan(header + "rule kind=wire-drop vm=1.5\n").ok());
 }
 
+// Every structural rejection names the offending line, so a typo in a
+// 50-rule plan is a one-line fix, not a hunt.
+TEST(FaultPlanParseTest, RejectsOutOfRangeSitesAndBudgets) {
+  const std::string header = "faultplan/1 seed=1\n";
+  const auto error_of = [&](const std::string& rule) {
+    const Result<FaultPlan> parsed = ParseFaultPlan(header + rule);
+    EXPECT_FALSE(parsed.ok()) << "accepted: " << rule;
+    return parsed.ok() ? std::string() : parsed.error();
+  };
+  EXPECT_NE(error_of("rule kind=wire-drop vm=-2\n").find("line 2"),
+            std::string::npos);
+  EXPECT_NE(error_of("rule kind=wire-drop server=-7\n").find("server"),
+            std::string::npos);
+  EXPECT_NE(error_of("rule kind=wire-drop max=0\n").find("max"),
+            std::string::npos);
+  EXPECT_FALSE(ParseFaultPlan(header + "rule kind=wire-drop max=-3\n").ok());
+  EXPECT_FALSE(ParseFaultPlan(header + "rule kind=wire-drop start=-5\n").ok());
+  // Server events target servers; a vm= scope cannot mean anything.
+  EXPECT_NE(error_of("rule kind=server-crash vm=3 at=100\n").find("vm="),
+            std::string::npos);
+}
+
+TEST(FaultPlanParseTest, RejectsZeroDurationWindowsForMechanismFaults) {
+  const std::string header = "faultplan/1 seed=1\n";
+  // at= pins start == end: meaningful for scheduled server events, a
+  // never-firing window for probabilistic mechanism faults.
+  EXPECT_TRUE(ParseFaultPlan(header + "rule kind=server-crash server=1 at=60\n").ok());
+  EXPECT_FALSE(ParseFaultPlan(header + "rule kind=wire-drop at=60\n").ok());
+  EXPECT_FALSE(
+      ParseFaultPlan(header + "rule kind=agent-slow start=60 end=60\n").ok());
+}
+
+TEST(FaultPlanParseTest, RejectsConflictingRulesWithBothLineNumbers) {
+  const std::string header = "faultplan/1 seed=1\n";
+  // Same kind, overlapping windows, intersecting site scopes (wildcard vm
+  // intersects vm=3): the two p= values would silently compound.
+  const Result<FaultPlan> windowed = ParseFaultPlan(
+      header +
+      "rule kind=wire-drop p=0.2 start=0 end=100\n"
+      "rule kind=wire-drop p=0.1 vm=3 start=50 end=150\n");
+  ASSERT_FALSE(windowed.ok());
+  EXPECT_NE(windowed.error().find("line 3"), std::string::npos);
+  EXPECT_NE(windowed.error().find("line 2"), std::string::npos);
+
+  // Duplicate scheduled server event at the same instant.
+  const Result<FaultPlan> scheduled = ParseFaultPlan(
+      header +
+      "rule kind=server-crash server=4 at=7200\n"
+      "rule kind=server-crash at=7200\n");
+  ASSERT_FALSE(scheduled.ok());
+  EXPECT_NE(scheduled.error().find("line 2"), std::string::npos);
+
+  // Disjoint windows, disjoint sites, or different kinds are all fine.
+  EXPECT_TRUE(ParseFaultPlan(header +
+                             "rule kind=wire-drop p=0.2 start=0 end=100\n"
+                             "rule kind=wire-drop p=0.1 start=101 end=200\n")
+                  .ok());
+  EXPECT_TRUE(ParseFaultPlan(header +
+                             "rule kind=wire-drop p=0.2 vm=1\n"
+                             "rule kind=wire-drop p=0.1 vm=2\n")
+                  .ok());
+  EXPECT_TRUE(ParseFaultPlan(header +
+                             "rule kind=server-crash server=4 at=7200\n"
+                             "rule kind=server-crash server=4 at=9000\n"
+                             "rule kind=server-recover server=4 at=8000\n")
+                  .ok());
+}
+
 TEST(FaultPlanParseTest, EncodeParseRoundTrips) {
   FaultPlan plan;
   plan.seed = 12345;

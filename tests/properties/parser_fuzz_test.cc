@@ -1,0 +1,219 @@
+// Structure-aware fuzzing of the three durable-artifact parsers: snapshot
+// blobs, write-ahead journals, and CSV traces. The durability layer's whole
+// promise rests on these readers being total -- any byte damage a crash or a
+// disk can produce must come back as a clean Result error (or a truncated
+// torn tail, for the WAL), never a crash, hang, or silently wrong state.
+// Mutations are seeded from DEFL_FAULT_SEED so CI's seed matrix explores
+// fresh damage each leg; a checked-in corpus of crafted regression inputs
+// (tests/corpus/) pins the known-nasty shapes: bit flips that must trip the
+// checksum, truncations at every layer, and lying length fields whose
+// checksums are VALID but whose semantics are not.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "src/cluster/sim_session.h"
+#include "src/cluster/trace_io.h"
+#include "src/common/atomic_file.h"
+#include "src/common/rng.h"
+#include "src/sim/snapshot_io.h"
+#include "src/sim/wal_io.h"
+
+namespace defl {
+namespace {
+
+#ifndef DEFL_SOURCE_DIR
+#error "build must define DEFL_SOURCE_DIR"
+#endif
+
+uint64_t TestSeed() {
+  const char* env = std::getenv("DEFL_FAULT_SEED");
+  if (env != nullptr && *env != '\0') {
+    return std::strtoull(env, nullptr, 10);
+  }
+  return 42;
+}
+
+// A small but real session snapshot: every subsystem section is present.
+std::string ValidSnapshotBytes() {
+  ClusterSimConfig config;
+  config.num_servers = 4;
+  config.server_capacity = ResourceVector(16.0, 64.0 * 1024.0, 1000.0, 10000.0);
+  config.trace.duration_s = 1800.0;
+  config.trace.max_lifetime_s = 900.0;
+  config.trace.seed = 7;
+  config.trace =
+      WithTargetLoad(config.trace, 1.4, config.num_servers, config.server_capacity);
+  Result<SimSession> session = SimSession::Open(config);
+  EXPECT_TRUE(session.ok()) << session.error();
+  session.value().StepUntil(600.0);
+  return session.value().SnapshotBytes();
+}
+
+std::string ValidWalBytes() {
+  std::string image = EncodeWalHeader();
+  for (int i = 1; i <= 10; ++i) {
+    image += EncodeWalRecord(WalRecord::StepUntil(100.0 * i));
+    if (i % 3 == 0) {
+      image += EncodeWalRecord(
+          WalRecord::Checkpoint(static_cast<uint64_t>(i), 100.0 * i, 17 * i,
+                                0xabcdULL + static_cast<uint64_t>(i), 4096));
+    }
+  }
+  return image;
+}
+
+// Applies one seeded structural mutation; returns true if `bytes` changed.
+bool Mutate(Rng& rng, std::string& bytes) {
+  if (bytes.empty()) {
+    return false;
+  }
+  const std::string before = bytes;
+  switch (rng.UniformInt(0, 3)) {
+    case 0: {  // single bit flip
+      const size_t at = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(bytes.size()) - 1));
+      bytes[at] = static_cast<char>(bytes[at] ^ (1 << rng.UniformInt(0, 7)));
+      break;
+    }
+    case 1:  // truncate anywhere, including inside the header or footer
+      bytes.resize(static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(bytes.size()) - 1)));
+      break;
+    case 2: {  // stomp 8 bytes: the shape of a corrupted length/checksum field
+      const size_t at = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(bytes.size()) - 1));
+      for (size_t i = at; i < bytes.size() && i < at + 8; ++i) {
+        bytes[i] = static_cast<char>(rng.UniformInt(0, 255));
+      }
+      break;
+    }
+    default:  // append garbage past the real end
+      for (int i = 0; i < 16; ++i) {
+        bytes.push_back(static_cast<char>(rng.UniformInt(0, 255)));
+      }
+      break;
+  }
+  return bytes != before;
+}
+
+TEST(ParserFuzzTest, DamagedSnapshotsAlwaysRejectCleanly) {
+  const std::string valid = ValidSnapshotBytes();
+  ASSERT_FALSE(valid.empty());
+  Rng rng(TestSeed() ^ 0x5a47f001ULL);
+  int rejected = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string mutated = valid;
+    if (!Mutate(rng, mutated)) {
+      continue;
+    }
+    const Result<SimSession> restored = SimSession::RestoreBytes(mutated);
+    // The blob is checksummed end to end: ANY change must be caught.
+    ASSERT_FALSE(restored.ok())
+        << "trial " << trial << ": a damaged snapshot restored";
+    EXPECT_FALSE(restored.error().empty());
+    ++rejected;
+  }
+  EXPECT_GT(rejected, 150);  // the mutator isn't degenerate
+}
+
+TEST(ParserFuzzTest, DamagedWalsNeverGainRecords) {
+  const std::string valid = ValidWalBytes();
+  const Result<WalReadResult> baseline = DecodeWal(valid);
+  ASSERT_TRUE(baseline.ok()) << baseline.error();
+  const size_t baseline_records = baseline.value().records.size();
+  Rng rng(TestSeed() ^ 0x3a11f002ULL);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string mutated = valid;
+    if (!Mutate(rng, mutated)) {
+      continue;
+    }
+    const Result<WalReadResult> read = DecodeWal(mutated);
+    if (!read.ok()) {
+      // Hard errors only come from header damage.
+      EXPECT_FALSE(read.error().empty());
+      continue;
+    }
+    // Torn-tail tolerance must only ever SHRINK the accepted prefix; damage
+    // can never mint records (appended garbage lacks a valid checksum).
+    EXPECT_LE(read.value().records.size(), baseline_records + 0u)
+        << "trial " << trial;
+    EXPECT_LE(read.value().valid_bytes, mutated.size());
+  }
+}
+
+TEST(ParserFuzzTest, DamagedTracesErrorOrParseNeverCrash) {
+  std::vector<TraceEvent> events;
+  for (int i = 0; i < 20; ++i) {
+    TraceEvent e;
+    e.arrival_s = 60.0 * i;
+    e.lifetime_s = 600.0;
+    e.spec.name = "vm-" + std::to_string(i);
+    e.spec.size = ResourceVector(2.0, 2048.0, 10.0, 10.0);
+    e.spec.min_size = ResourceVector(1.0, 1024.0, 5.0, 5.0);
+    events.push_back(e);
+  }
+  const std::string valid = TraceToCsv(events);
+  ASSERT_TRUE(ParseTraceCsv(valid).ok());
+  Rng rng(TestSeed() ^ 0x77ace003ULL);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string mutated = valid;
+    if (!Mutate(rng, mutated)) {
+      continue;
+    }
+    // Text is not checksummed, so some mutations legitimately still parse
+    // (e.g. a digit changed inside a float). The property is totality: a
+    // clean verdict either way, and errors carry a message.
+    const Result<std::vector<TraceEvent>> parsed = ParseTraceCsv(mutated);
+    if (!parsed.ok()) {
+      EXPECT_FALSE(parsed.error().empty());
+    }
+  }
+}
+
+// The checked-in corpus: regression inputs crafted to probe specific layers
+// (checksum, framing, semantic bounds). File-name prefix selects the parser;
+// every corpus member must be handled without a crash, and the snapshot- and
+// trace-corpus members must all be REJECTED (they are all damaged).
+TEST(ParserFuzzTest, CheckedInCorpusIsHandledCleanly) {
+  const std::string dir = DEFL_SOURCE_DIR "/tests/corpus";
+  int seen = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name == "README.md") {
+      continue;  // the corpus index, not a corpus member
+    }
+    const Result<std::string> bytes = ReadFileToString(entry.path().string());
+    ASSERT_TRUE(bytes.ok()) << bytes.error();
+    ++seen;
+    if (name.rfind("snapshot_", 0) == 0) {
+      const Result<SimSession> restored = SimSession::RestoreBytes(bytes.value());
+      EXPECT_FALSE(restored.ok()) << name << " restored but is damaged";
+      if (!restored.ok()) {
+        EXPECT_FALSE(restored.error().empty()) << name;
+      }
+    } else if (name.rfind("wal_", 0) == 0) {
+      const Result<WalReadResult> read = DecodeWal(bytes.value());
+      if (read.ok()) {
+        // Damaged journals may keep a valid prefix, but must flag the tear.
+        EXPECT_TRUE(read.value().torn) << name << " decoded without a tear";
+        EXPECT_FALSE(read.value().torn_reason.empty()) << name;
+      } else {
+        EXPECT_FALSE(read.error().empty()) << name;
+      }
+    } else if (name.rfind("trace_", 0) == 0) {
+      const Result<std::vector<TraceEvent>> parsed = ParseTraceCsv(bytes.value());
+      EXPECT_FALSE(parsed.ok()) << name << " parsed but is damaged";
+    } else {
+      ADD_FAILURE() << "corpus file " << name
+                    << " has no parser prefix (snapshot_/wal_/trace_)";
+    }
+  }
+  EXPECT_GE(seen, 8) << "corpus went missing from " << dir;
+}
+
+}  // namespace
+}  // namespace defl

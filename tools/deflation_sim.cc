@@ -17,12 +17,16 @@
 //   deflation_sim --duration-h=48 --snapshot-every-h=6 --snapshot-out=run.snap
 //   deflation_sim --stop-after-h=12 --snapshot-out=run.snap   # checkpoint + exit
 //   deflation_sim --resume-from=run.snap                      # continue it
+//   deflation_sim --durable-dir=run.d   # crash-safe: WAL + auto-checkpoints;
+//                                       # rerun the same command to recover
 #include <cstdio>
-#include <fstream>
+#include <sstream>
 #include <string>
 
+#include "src/cluster/durable_session.h"
 #include "src/cluster/sim_session.h"
 #include "src/cluster/trace_io.h"
+#include "src/common/atomic_file.h"
 #include "src/common/sim_options.h"
 #include "src/faults/fault_plan.h"
 #include "src/telemetry/telemetry.h"
@@ -60,6 +64,10 @@ struct Options {
   std::string snapshot_out;
   std::string resume_from;
   double stop_after_h = 0.0;
+  std::string durable_dir;
+  double checkpoint_every_h = 1.0;
+  double checkpoint_min_wall_s = 5.0;
+  int64_t keep_checkpoints = 3;
 };
 
 int Fail(const std::string& message) {
@@ -81,6 +89,167 @@ const char* PlacementName(PlacementPolicy policy) {
       return "2-choices";
   }
   return "?";
+}
+
+// Translates the command line into a fresh-run config (trace generation or
+// replay, arrival model, fault plan, strategy/placement). Shared by the
+// classic run path and a durable run's first generation; resumed and
+// recovered runs take their config from the snapshot instead.
+Result<ClusterSimConfig> BuildFreshConfig(const Options& opt,
+                                          const SimCommonOptions& common,
+                                          TelemetryContext& telemetry) {
+  ClusterSimConfig config;
+  config.num_servers = static_cast<int>(opt.servers);
+  config.server_capacity =
+      ResourceVector(static_cast<double>(opt.server_cpus), opt.server_mem_gb * 1024.0,
+                     1000.0, 10000.0);
+  config.trace.duration_s = opt.duration_h * 3600.0;
+  config.trace.max_lifetime_s = std::min(config.trace.duration_s, 8.0 * 3600.0);
+  config.trace.low_priority_fraction = opt.low_pri_fraction;
+  config.trace.seed = static_cast<uint64_t>(opt.seed);
+  config.trace = WithTargetLoad(config.trace, opt.load, config.num_servers,
+                                config.server_capacity);
+  if (opt.diurnal) {
+    config.arrivals.enabled = true;
+    config.arrivals.diurnal_amplitude = opt.diurnal_amplitude;
+    config.arrivals.diurnal_period_s = opt.diurnal_period_h * 3600.0;
+    config.arrivals.diurnal_phase_s = opt.diurnal_phase_h * 3600.0;
+    config.arrivals.burst_rate_per_s = opt.burst_rate_per_h / 3600.0;
+    config.arrivals.burst_duration_s = opt.burst_duration_s;
+    config.arrivals.burst_multiplier = opt.burst_multiplier;
+    config.arrivals.seed = static_cast<uint64_t>(opt.arrival_seed);
+  }
+  config.reinflate_period_s = opt.reinflate_period_s;
+  config.predictive_holdback = opt.predictive;
+  config.recovery_grace_s = opt.recovery_grace_s;
+  config.cluster.threads = static_cast<int>(opt.threads);
+  if (!common.fault_plan.empty()) {
+    Result<FaultPlan> plan = LoadFaultPlanFile(common.fault_plan);
+    if (!plan.ok()) {
+      return Error{"cannot load fault plan: " + plan.error()};
+    }
+    config.fault_plan = std::move(plan.value());
+    std::printf("injecting faults from %s (%zu rules, seed %llu)\n",
+                common.fault_plan.c_str(), config.fault_plan.rules.size(),
+                static_cast<unsigned long long>(config.fault_plan.seed));
+  }
+
+  if (opt.strategy == "deflation") {
+    config.cluster.strategy = ReclamationStrategy::kDeflation;
+  } else if (opt.strategy == "preemption") {
+    config.cluster.strategy = ReclamationStrategy::kPreemptionOnly;
+  } else {
+    return Error{"unknown --strategy '" + opt.strategy + "'"};
+  }
+  if (opt.placement == "best-fit") {
+    config.cluster.placement = PlacementPolicy::kBestFit;
+  } else if (opt.placement == "first-fit") {
+    config.cluster.placement = PlacementPolicy::kFirstFit;
+  } else if (opt.placement == "2-choices") {
+    config.cluster.placement = PlacementPolicy::kTwoChoices;
+  } else {
+    return Error{"unknown --placement '" + opt.placement + "'"};
+  }
+
+  if (!opt.trace_file.empty()) {
+    Result<std::vector<TraceEvent>> loaded = LoadTraceFile(opt.trace_file);
+    if (!loaded.ok()) {
+      return Error{"cannot load trace: " + loaded.error()};
+    }
+    config.explicit_trace = std::move(loaded.value());
+    if (!config.explicit_trace.empty()) {
+      config.trace.duration_s = std::max(
+          config.trace.duration_s, config.explicit_trace.back().arrival_s + 3600.0);
+    }
+    std::printf("replaying %zu events from %s\n", config.explicit_trace.size(),
+                opt.trace_file.c_str());
+  }
+  if (!opt.save_trace.empty()) {
+    const std::vector<TraceEvent> generated =
+        config.arrivals.enabled
+            ? GenerateDiurnalTrace(config.trace, config.arrivals)
+            : GenerateTrace(config.trace);
+    const Result<bool> saved = SaveTraceFile(generated, opt.save_trace);
+    if (!saved.ok()) {
+      return Error{saved.error()};
+    }
+    std::printf("wrote %zu events to %s\n", generated.size(),
+                opt.save_trace.c_str());
+  }
+
+  // Recording the full event trace costs memory; only do it when asked.
+  // The enabled bit rides along in snapshots, so a resumed run keeps the
+  // original run's choice.
+  telemetry.trace().set_enabled(!common.trace_out.empty());
+  config.telemetry = &telemetry;
+  return config;
+}
+
+// Exports --metrics-out / --trace-out (atomically: a killed export never
+// leaves a torn file for a consumer to read) and prints the run report.
+int WriteOutputsAndReport(const Options& opt, const SimCommonOptions& common,
+                          TelemetryContext& telemetry,
+                          const ClusterSimConfig& cfg,
+                          const ClusterSimResult& r) {
+  if (!common.metrics_out.empty()) {
+    std::ostringstream os;
+    telemetry.metrics().DumpJson(os);
+    os << "\n";
+    const Result<bool> wrote = WriteFileAtomic(common.metrics_out, os.str());
+    if (!wrote.ok()) {
+      return Fail("cannot write --metrics-out: " + wrote.error());
+    }
+    std::printf("wrote metrics to %s\n", common.metrics_out.c_str());
+  }
+  if (!common.trace_out.empty()) {
+    std::ostringstream os;
+    telemetry.trace().DumpJsonl(os);
+    const Result<bool> wrote = WriteFileAtomic(common.trace_out, os.str());
+    if (!wrote.ok()) {
+      return Fail("cannot write --trace-out: " + wrote.error());
+    }
+    std::printf("wrote %zu trace events to %s\n", telemetry.trace().size(),
+                common.trace_out.c_str());
+  }
+
+  std::printf("\n=== deflation_sim: %d servers x %.0fc/%.0fGB, %s, %s ===\n",
+              cfg.num_servers, cfg.server_capacity[ResourceKind::kCpu],
+              cfg.server_capacity[ResourceKind::kMemory] / 1024.0,
+              StrategyName(cfg.cluster.strategy), PlacementName(cfg.cluster.placement));
+  std::printf("VMs launched        %ld (%ld transient), rejected %ld (%.1f%%)\n",
+              r.counters.launched, r.counters.launched_low_priority,
+              r.counters.rejected, 100.0 * r.rejection_rate);
+  std::printf("preempted           %ld transient VMs (probability %.3f)\n",
+              r.counters.preempted, r.preemption_probability);
+  std::printf("utilization         %.3f mean\n", r.mean_utilization);
+  std::printf("overcommitment      %.3f mean, %.3f peak\n", r.mean_overcommitment,
+              r.peak_overcommitment);
+  std::printf("transient quality   %.3f of nominal allocation on average\n",
+              r.low_priority_allocation_quality);
+  std::printf("delivered           %.0f effective transient CPU-hours "
+              "(%.0f nominal)\n",
+              r.usage.low_pri_effective_cpu_hours, r.usage.low_pri_nominal_cpu_hours);
+  if (!cfg.fault_plan.rules.empty()) {
+    std::printf("faults              %ld server crashes (%ld recovered), "
+                "%ld VMs re-placed, %ld crash-preempted\n",
+                r.server_crashes, r.server_recoveries, r.crash_replacements,
+                r.crash_preemptions);
+  }
+
+  if (opt.pricing) {
+    const PricingModel model;
+    std::printf("\npricing (on-demand $%.3f/vCPU-h):\n", model.on_demand_cpu_hour);
+    const auto report = [](const char* label, const RevenueReport& rr) {
+      std::printf("  %-10s revenue $%8.2f  customer cost $%8.2f  losses $%7.2f  "
+                  "effective $%.4f/CPU-h\n",
+                  label, rr.provider_revenue, rr.customer_cost, rr.customer_loss,
+                  rr.effective_cost_per_cpu_hour);
+    };
+    report("flat", PriceDeflatableFlat(r.usage, model));
+    report("raas", PriceDeflatableRaaS(r.usage, model));
+    report("spot", PricePreemptible(r.usage, model));
+  }
+  return 0;
 }
 
 }  // namespace
@@ -151,6 +320,24 @@ int main(int argc, char** argv) {
                    "run N simulated hours, checkpoint to --snapshot-out, and "
                    "exit without finishing",
                    &opt.stop_after_h);
+  parser.AddString("durable-dir",
+                   "crash-safe run directory (WAL + atomic auto-checkpoints); "
+                   "rerunning the same command after a crash recovers and "
+                   "continues, with byte-identical outputs (DESIGN.md §13)",
+                   &opt.durable_dir);
+  parser.AddDouble("checkpoint-every-h",
+                   "auto-checkpoint cadence inside --durable-dir, simulated "
+                   "hours (0 = only genesis and final checkpoints)",
+                   &opt.checkpoint_every_h);
+  parser.AddDouble("checkpoint-min-wall-s",
+                   "skip a cadence checkpoint if the previous one landed "
+                   "less than this many wall-clock seconds ago, bounding the "
+                   "durability overhead on fast runs (0 = checkpoint every "
+                   "cadence boundary)",
+                   &opt.checkpoint_min_wall_s);
+  parser.AddInt("keep-checkpoints",
+                "newest K checkpoints retained in --durable-dir",
+                &opt.keep_checkpoints);
   const Result<std::vector<std::string>> parsed = options.Parse(argc, argv);
   if (!parsed.ok()) {
     return Fail(parsed.error());
@@ -180,6 +367,21 @@ int main(int argc, char** argv) {
            RejectFlagCombination("resume-from", !opt.resume_from.empty(),
                                  "diurnal", opt.diurnal,
                                  "the snapshot already carries its trace"),
+           // The durable directory IS the checkpoint/resume mechanism; mixing
+           // it with the single-snapshot flags would leave two sources of
+           // truth for where the run restarts.
+           RejectFlagCombination("durable-dir", !opt.durable_dir.empty(),
+                                 "snapshot-out", !opt.snapshot_out.empty(),
+                                 "the durable dir manages its own checkpoints"),
+           RejectFlagCombination("durable-dir", !opt.durable_dir.empty(),
+                                 "snapshot-every-h", opt.snapshot_every_h > 0.0,
+                                 "use --checkpoint-every-h inside the durable dir"),
+           RejectFlagCombination("durable-dir", !opt.durable_dir.empty(),
+                                 "stop-after-h", opt.stop_after_h > 0.0,
+                                 "a durable run is always resumable; just kill it"),
+           RejectFlagCombination("durable-dir", !opt.durable_dir.empty(),
+                                 "resume-from", !opt.resume_from.empty(),
+                                 "recovery comes from the durable dir itself"),
        }) {
     if (!check.ok()) {
       return Fail(check.error());
@@ -191,11 +393,69 @@ int main(int argc, char** argv) {
   if (opt.snapshot_every_h > 0.0 && opt.snapshot_out.empty()) {
     return Fail("--snapshot-every-h requires --snapshot-out");
   }
+  if (opt.durable_dir.empty() &&
+      (opt.checkpoint_every_h != 1.0 || opt.checkpoint_min_wall_s != 5.0 ||
+       opt.keep_checkpoints != 3)) {
+    return Fail("--checkpoint-every-h / --checkpoint-min-wall-s / "
+                "--keep-checkpoints require --durable-dir");
+  }
+  if (opt.checkpoint_every_h < 0.0) {
+    return Fail("--checkpoint-every-h must be >= 0");
+  }
+  if (opt.checkpoint_min_wall_s < 0.0) {
+    return Fail("--checkpoint-min-wall-s must be >= 0");
+  }
+  if (opt.keep_checkpoints < 1) {
+    return Fail("--keep-checkpoints must be >= 1");
+  }
   if (opt.threads < 1) {
     return Fail("--threads must be >= 1");
   }
 
   TelemetryContext telemetry;
+
+  // Durable mode: the run directory carries the whole story. A fresh
+  // directory starts a new journaled run; a directory with a recoverable
+  // run in it continues that run (config flags are then ignored, exactly as
+  // with --resume-from -- the snapshot carries the config).
+  if (!opt.durable_dir.empty()) {
+    DurableSession::Options dopt;
+    dopt.dir = opt.durable_dir;
+    dopt.checkpoint_every_s = opt.checkpoint_every_h * 3600.0;
+    dopt.min_checkpoint_wall_s = opt.checkpoint_min_wall_s;
+    dopt.keep_checkpoints = static_cast<int>(opt.keep_checkpoints);
+    Result<DurableSession> durable = Error{"unopened"};
+    if (DurableSession::CanRecover(opt.durable_dir)) {
+      dopt.telemetry = &telemetry;
+      dopt.threads = static_cast<int>(opt.threads);
+      durable = DurableSession::Recover(dopt);
+      if (!durable.ok()) {
+        return Fail(durable.error());
+      }
+      std::printf("recovered %s at t=%.2fh (%lld events executed)\n",
+                  opt.durable_dir.c_str(),
+                  durable.value().session().now() / 3600.0,
+                  static_cast<long long>(
+                      durable.value().session().events_executed()));
+    } else {
+      Result<ClusterSimConfig> config = BuildFreshConfig(opt, common, telemetry);
+      if (!config.ok()) {
+        return Fail(config.error());
+      }
+      durable = DurableSession::Create(config.value(), dopt);
+      if (!durable.ok()) {
+        return Fail(durable.error());
+      }
+    }
+    Result<ClusterSimResult> result = durable.value().Finish();
+    if (!result.ok()) {
+      return Fail(result.error());
+    }
+    return WriteOutputsAndReport(opt, common, telemetry,
+                                 durable.value().session().config(),
+                                 result.value());
+  }
+
   Result<SimSession> session = Error{"unopened"};
   if (!opt.resume_from.empty()) {
     SimSession::RestoreOptions restore;
@@ -209,91 +469,11 @@ int main(int argc, char** argv) {
                 opt.resume_from.c_str(), session.value().now() / 3600.0,
                 static_cast<long long>(session.value().events_executed()));
   } else {
-    ClusterSimConfig config;
-    config.num_servers = static_cast<int>(opt.servers);
-    config.server_capacity =
-        ResourceVector(static_cast<double>(opt.server_cpus), opt.server_mem_gb * 1024.0,
-                       1000.0, 10000.0);
-    config.trace.duration_s = opt.duration_h * 3600.0;
-    config.trace.max_lifetime_s = std::min(config.trace.duration_s, 8.0 * 3600.0);
-    config.trace.low_priority_fraction = opt.low_pri_fraction;
-    config.trace.seed = static_cast<uint64_t>(opt.seed);
-    config.trace = WithTargetLoad(config.trace, opt.load, config.num_servers,
-                                  config.server_capacity);
-    if (opt.diurnal) {
-      config.arrivals.enabled = true;
-      config.arrivals.diurnal_amplitude = opt.diurnal_amplitude;
-      config.arrivals.diurnal_period_s = opt.diurnal_period_h * 3600.0;
-      config.arrivals.diurnal_phase_s = opt.diurnal_phase_h * 3600.0;
-      config.arrivals.burst_rate_per_s = opt.burst_rate_per_h / 3600.0;
-      config.arrivals.burst_duration_s = opt.burst_duration_s;
-      config.arrivals.burst_multiplier = opt.burst_multiplier;
-      config.arrivals.seed = static_cast<uint64_t>(opt.arrival_seed);
+    Result<ClusterSimConfig> config = BuildFreshConfig(opt, common, telemetry);
+    if (!config.ok()) {
+      return Fail(config.error());
     }
-    config.reinflate_period_s = opt.reinflate_period_s;
-    config.predictive_holdback = opt.predictive;
-    config.recovery_grace_s = opt.recovery_grace_s;
-    config.cluster.threads = static_cast<int>(opt.threads);
-    if (!common.fault_plan.empty()) {
-      Result<FaultPlan> plan = LoadFaultPlanFile(common.fault_plan);
-      if (!plan.ok()) {
-        return Fail("cannot load fault plan: " + plan.error());
-      }
-      config.fault_plan = std::move(plan.value());
-      std::printf("injecting faults from %s (%zu rules, seed %llu)\n",
-                  common.fault_plan.c_str(), config.fault_plan.rules.size(),
-                  static_cast<unsigned long long>(config.fault_plan.seed));
-    }
-
-    if (opt.strategy == "deflation") {
-      config.cluster.strategy = ReclamationStrategy::kDeflation;
-    } else if (opt.strategy == "preemption") {
-      config.cluster.strategy = ReclamationStrategy::kPreemptionOnly;
-    } else {
-      return Fail("unknown --strategy '" + opt.strategy + "'");
-    }
-    if (opt.placement == "best-fit") {
-      config.cluster.placement = PlacementPolicy::kBestFit;
-    } else if (opt.placement == "first-fit") {
-      config.cluster.placement = PlacementPolicy::kFirstFit;
-    } else if (opt.placement == "2-choices") {
-      config.cluster.placement = PlacementPolicy::kTwoChoices;
-    } else {
-      return Fail("unknown --placement '" + opt.placement + "'");
-    }
-
-    if (!opt.trace_file.empty()) {
-      Result<std::vector<TraceEvent>> loaded = LoadTraceFile(opt.trace_file);
-      if (!loaded.ok()) {
-        return Fail("cannot load trace: " + loaded.error());
-      }
-      config.explicit_trace = std::move(loaded.value());
-      if (!config.explicit_trace.empty()) {
-        config.trace.duration_s = std::max(
-            config.trace.duration_s, config.explicit_trace.back().arrival_s + 3600.0);
-      }
-      std::printf("replaying %zu events from %s\n", config.explicit_trace.size(),
-                  opt.trace_file.c_str());
-    }
-    if (!opt.save_trace.empty()) {
-      const std::vector<TraceEvent> generated =
-          config.arrivals.enabled
-              ? GenerateDiurnalTrace(config.trace, config.arrivals)
-              : GenerateTrace(config.trace);
-      const Result<bool> saved = SaveTraceFile(generated, opt.save_trace);
-      if (!saved.ok()) {
-        return Fail(saved.error());
-      }
-      std::printf("wrote %zu events to %s\n", generated.size(),
-                  opt.save_trace.c_str());
-    }
-
-    // Recording the full event trace costs memory; only do it when asked.
-    // The enabled bit rides along in snapshots, so a resumed run keeps the
-    // original run's choice.
-    telemetry.trace().set_enabled(!common.trace_out.empty());
-    config.telemetry = &telemetry;
-    session = SimSession::Open(config);
+    session = SimSession::Open(config.value());
     if (!session.ok()) {
       return Fail(session.error());
     }
@@ -326,62 +506,5 @@ int main(int argc, char** argv) {
     }
   }
   const ClusterSimResult r = sim.Finish();
-
-  if (!common.metrics_out.empty()) {
-    std::ofstream os(common.metrics_out);
-    if (!os) {
-      return Fail("cannot open --metrics-out file " + common.metrics_out);
-    }
-    telemetry.metrics().DumpJson(os);
-    os << "\n";
-    std::printf("wrote metrics to %s\n", common.metrics_out.c_str());
-  }
-  if (!common.trace_out.empty()) {
-    std::ofstream os(common.trace_out);
-    if (!os) {
-      return Fail("cannot open --trace-out file " + common.trace_out);
-    }
-    telemetry.trace().DumpJsonl(os);
-    std::printf("wrote %zu trace events to %s\n", telemetry.trace().size(),
-                common.trace_out.c_str());
-  }
-
-  std::printf("\n=== deflation_sim: %d servers x %.0fc/%.0fGB, %s, %s ===\n",
-              cfg.num_servers, cfg.server_capacity[ResourceKind::kCpu],
-              cfg.server_capacity[ResourceKind::kMemory] / 1024.0,
-              StrategyName(cfg.cluster.strategy), PlacementName(cfg.cluster.placement));
-  std::printf("VMs launched        %ld (%ld transient), rejected %ld (%.1f%%)\n",
-              r.counters.launched, r.counters.launched_low_priority,
-              r.counters.rejected, 100.0 * r.rejection_rate);
-  std::printf("preempted           %ld transient VMs (probability %.3f)\n",
-              r.counters.preempted, r.preemption_probability);
-  std::printf("utilization         %.3f mean\n", r.mean_utilization);
-  std::printf("overcommitment      %.3f mean, %.3f peak\n", r.mean_overcommitment,
-              r.peak_overcommitment);
-  std::printf("transient quality   %.3f of nominal allocation on average\n",
-              r.low_priority_allocation_quality);
-  std::printf("delivered           %.0f effective transient CPU-hours "
-              "(%.0f nominal)\n",
-              r.usage.low_pri_effective_cpu_hours, r.usage.low_pri_nominal_cpu_hours);
-  if (!cfg.fault_plan.rules.empty()) {
-    std::printf("faults              %ld server crashes (%ld recovered), "
-                "%ld VMs re-placed, %ld crash-preempted\n",
-                r.server_crashes, r.server_recoveries, r.crash_replacements,
-                r.crash_preemptions);
-  }
-
-  if (opt.pricing) {
-    const PricingModel model;
-    std::printf("\npricing (on-demand $%.3f/vCPU-h):\n", model.on_demand_cpu_hour);
-    const auto report = [](const char* label, const RevenueReport& rr) {
-      std::printf("  %-10s revenue $%8.2f  customer cost $%8.2f  losses $%7.2f  "
-                  "effective $%.4f/CPU-h\n",
-                  label, rr.provider_revenue, rr.customer_cost, rr.customer_loss,
-                  rr.effective_cost_per_cpu_hour);
-    };
-    report("flat", PriceDeflatableFlat(r.usage, model));
-    report("raas", PriceDeflatableRaaS(r.usage, model));
-    report("spot", PricePreemptible(r.usage, model));
-  }
-  return 0;
+  return WriteOutputsAndReport(opt, common, telemetry, cfg, r);
 }

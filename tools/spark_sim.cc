@@ -11,10 +11,11 @@
 //   spark_sim --workload=als --metrics-out=metrics.json --trace-out=events.jsonl
 //   spark_sim --workload=als --fault-plan=examples/faults_basic.plan
 #include <cstdio>
-#include <fstream>
 #include <memory>
+#include <sstream>
 #include <string>
 
+#include "src/common/atomic_file.h"
 #include "src/common/sim_options.h"
 #include "src/faults/fault_injector.h"
 #include "src/spark/experiment.h"
@@ -108,20 +109,22 @@ int main(int argc, char** argv) {
   }
 
   if (!metrics_out.empty()) {
-    std::ofstream os(metrics_out);
-    if (!os) {
-      return Fail("cannot open --metrics-out file " + metrics_out);
-    }
+    std::ostringstream os;
     telemetry.metrics().DumpJson(os);
     os << "\n";
+    const Result<bool> wrote = WriteFileAtomic(metrics_out, os.str());
+    if (!wrote.ok()) {
+      return Fail("cannot write --metrics-out: " + wrote.error());
+    }
     std::printf("wrote metrics to %s\n", metrics_out.c_str());
   }
   if (!trace_out.empty()) {
-    std::ofstream os(trace_out);
-    if (!os) {
-      return Fail("cannot open --trace-out file " + trace_out);
-    }
+    std::ostringstream os;
     telemetry.trace().DumpJsonl(os);
+    const Result<bool> wrote = WriteFileAtomic(trace_out, os.str());
+    if (!wrote.ok()) {
+      return Fail("cannot write --trace-out: " + wrote.error());
+    }
     std::printf("wrote %zu trace events to %s\n", telemetry.trace().size(),
                 trace_out.c_str());
   }
