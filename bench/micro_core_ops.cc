@@ -5,16 +5,59 @@
 // proportional vs greedy splits) as parameterized benchmarks.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
 #include <memory>
+#include <new>
 
 #include "src/cluster/placement.h"
 #include "src/common/rng.h"
 #include "src/core/local_controller.h"
+#include "src/sim/simulator.h"
 #include "src/spark/experiment.h"
 #include "src/telemetry/telemetry.h"
 
+// --- Global allocation accounting -------------------------------------------
+// The whole binary's operator new/delete are overridden with counting
+// wrappers so the simulator benchmarks can report an allocations-per-event
+// counter (the DESIGN.md §14 "0 allocs/event" gate runs off it in CI). The
+// counter is relaxed-atomic: benchmarks here are single-threaded and only the
+// before/after difference matters.
+
+namespace {
+std::atomic<int64_t> g_alloc_count{0};
+
+void* CountedAlloc(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+}  // namespace
+
+void* operator new(std::size_t size) { return CountedAlloc(size); }
+void* operator new[](std::size_t size) { return CountedAlloc(size); }
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size ? size : 1);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size ? size : 1);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { std::free(p); }
+
 namespace defl {
 namespace {
+
+int64_t AllocCount() { return g_alloc_count.load(std::memory_order_relaxed); }
 
 VmSpec BenchVmSpec(int i) {
   VmSpec spec;
@@ -227,6 +270,93 @@ void BM_PolicyAblationRHeuristic(benchmark::State& state) {
   state.SetLabel(worst_case ? "r=1 (worst case)" : "r heuristic");
 }
 BENCHMARK(BM_PolicyAblationRHeuristic)->Arg(0)->Arg(1);
+
+// --- Simulator event-loop benchmarks (DESIGN.md §14) ------------------------
+// Each reports two counters the scale-regression CI job gates on:
+//   allocs_per_event  -- heap allocations per scheduled event in steady state
+//                        (after a warm-up pass primes every pool/capacity);
+//                        must be 0 for the arena-backed event core
+//   ns_per_event      -- wall time per event (items_per_second inverse)
+// The warm-up runs one full batch before the timed loop so the timed region
+// measures recycled slots and stable vector capacities, not first-touch
+// growth.
+
+constexpr int kSimBatch = 512;
+
+void BM_SimulatorEventLoop(benchmark::State& state) {
+  Simulator sim;
+  int64_t sink = 0;
+  for (int i = 0; i < kSimBatch; ++i) {
+    sim.After(1.0, [&sink] { ++sink; });
+  }
+  sim.Run();
+  int64_t events = 0;
+  const int64_t allocs_before = AllocCount();
+  for (auto _ : state) {
+    for (int i = 0; i < kSimBatch; ++i) {
+      sim.After(1.0, [&sink] { ++sink; });
+    }
+    sim.Run();
+    events += kSimBatch;
+  }
+  const int64_t allocs = AllocCount() - allocs_before;
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(events);
+  state.counters["allocs_per_event"] =
+      events > 0 ? static_cast<double>(allocs) / static_cast<double>(events) : 0.0;
+}
+BENCHMARK(BM_SimulatorEventLoop);
+
+void BM_SimulatorEveryTick(benchmark::State& state) {
+  Simulator sim;
+  int64_t sink = 0;
+  EventHandle tick = sim.Every(1.0, [&sink] { ++sink; });
+  sim.Run(sim.now() + kSimBatch);  // warm-up: primes the queue + slot pools
+  int64_t events = 0;
+  const int64_t allocs_before = AllocCount();
+  for (auto _ : state) {
+    sim.Run(sim.now() + kSimBatch);
+    events += kSimBatch;
+  }
+  const int64_t allocs = AllocCount() - allocs_before;
+  tick.Cancel();
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(events);
+  state.counters["allocs_per_event"] =
+      events > 0 ? static_cast<double>(allocs) / static_cast<double>(events) : 0.0;
+}
+BENCHMARK(BM_SimulatorEveryTick);
+
+void BM_SimulatorScheduleCancel(benchmark::State& state) {
+  Simulator sim;
+  int64_t sink = 0;
+  std::vector<EventHandle> handles(kSimBatch);
+  for (int i = 0; i < kSimBatch; ++i) {
+    handles[static_cast<size_t>(i)] = sim.After(1.0, [&sink] { ++sink; });
+  }
+  for (EventHandle& h : handles) {
+    h.Cancel();
+  }
+  sim.Run(sim.now() + 1.0);  // warm-up drains the cancelled batch
+  int64_t events = 0;
+  const int64_t allocs_before = AllocCount();
+  for (auto _ : state) {
+    for (int i = 0; i < kSimBatch; ++i) {
+      handles[static_cast<size_t>(i)] = sim.After(1.0, [&sink] { ++sink; });
+    }
+    for (EventHandle& h : handles) {
+      h.Cancel();
+    }
+    sim.Run(sim.now() + 1.0);
+    events += kSimBatch;
+  }
+  const int64_t allocs = AllocCount() - allocs_before;
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(events);
+  state.counters["allocs_per_event"] =
+      events > 0 ? static_cast<double>(allocs) / static_cast<double>(events) : 0.0;
+}
+BENCHMARK(BM_SimulatorScheduleCancel);
 
 }  // namespace
 }  // namespace defl

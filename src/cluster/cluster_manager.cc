@@ -113,20 +113,23 @@ ClusterManager::PlaceOutcome ClusterManager::TryPlace(std::unique_ptr<Vm>& vm) {
   // shrink low-priority VMs for anyone; preemption-only clusters can revoke
   // low-priority VMs for high-priority arrivals but give low-priority
   // arrivals only free space.
-  std::vector<AvailabilityMode> passes = {AvailabilityMode::kFreeOnly};
+  std::array<AvailabilityMode, 3> passes;
+  size_t num_passes = 0;
+  passes[num_passes++] = AvailabilityMode::kFreeOnly;
   if (config_.strategy == ReclamationStrategy::kDeflation) {
-    passes.push_back(AvailabilityMode::kFreePlusDeflatable);
+    passes[num_passes++] = AvailabilityMode::kFreePlusDeflatable;
   }
   if (!low_priority) {
     // High priority displaces low priority outright as the last resort.
-    passes.push_back(AvailabilityMode::kFreePlusPreemptible);
+    passes[num_passes++] = AvailabilityMode::kFreePlusPreemptible;
   }
   RefreshPlaceable();
   Result<size_t> placed = Error{"unplaced"};
   if (placeable_rows_.empty()) {
     placed = Error{"no healthy servers"};
   } else {
-    for (const AvailabilityMode mode : passes) {
+    for (size_t p = 0; p < num_passes; ++p) {
+      const AvailabilityMode mode = passes[p];
       placed = PlaceVmFleet(demand, fleet_, placeable_rows_, config_.placement, rng_,
                             mode, pool_.get());
       if (placed.ok()) {
@@ -536,11 +539,14 @@ void ClusterManager::WarmAccounting() {
 }
 
 void ClusterManager::CollectUsageSamples(std::vector<ServerUsageSample>* out) {
-  out->clear();
+  // The session passes the same scratch vector every tick: keep the outer
+  // entries and each inner vms buffer (clear, not destroy) so steady-state
+  // sampling never touches the allocator.
   out->resize(servers_.size());
   ForEachServerParallel([this, out](size_t i) {
     ServerUsageSample& sample = (*out)[i];
     sample.nominal_overcommitment = servers_[i]->NominalOvercommitment();
+    sample.vms.clear();
     sample.vms.reserve(servers_[i]->vm_count());
     for (const auto& vm : servers_[i]->vms()) {
       sample.vms.push_back(ServerUsageSample::VmUsage{
@@ -550,42 +556,49 @@ void ClusterManager::CollectUsageSamples(std::vector<ServerUsageSample>* out) {
 }
 
 double ClusterManager::HighPriorityEffectiveCpu() {
-  std::vector<std::vector<double>> per_server(servers_.size());
-  ForEachServerParallel([this, &per_server](size_t i) {
+  hp_cpu_scratch_.EnsureShards(servers_.size());
+  ForEachServerParallel([this](size_t i) {
+    std::vector<double>& values = hp_cpu_scratch_.shard(i);
     for (const auto& vm : servers_[i]->vms()) {
       if (vm->priority() == VmPriority::kHigh) {
-        per_server[i].push_back(vm->effective().cpu());
+        values.push_back(vm->effective().cpu());
       }
     }
   });
   // Flat fold in (server, hosting) order: the exact summation sequence the
   // old sequential loop used, so the result cannot drift by even one ulp
-  // with the thread count.
+  // with the thread count. Per-shard partial sums would regroup the adds and
+  // change the rounding -- forbidden.
   double sum = 0.0;
-  for (const std::vector<double>& values : per_server) {
-    for (const double value : values) {
+  for (size_t i = 0; i < servers_.size(); ++i) {
+    for (const double value : hp_cpu_scratch_.shard(i)) {
       sum += value;
     }
   }
+  hp_cpu_scratch_.Retire();  // empty the shards, keep their capacity
   return sum;
 }
 
 void ClusterManager::ReinflateSweep(double holdback_cpu_per_server) {
-  std::vector<ReinflatePlan> plans(servers_.size());
-  ForEachServerParallel([this, &plans, holdback_cpu_per_server](size_t i) {
+  if (reinflate_plans_.size() < servers_.size()) {
+    reinflate_plans_.resize(servers_.size());
+  }
+  ForEachServerParallel([this, holdback_cpu_per_server](size_t i) {
     // Hold back capacity-shaped headroom for forecast demand.
     const double cpu = servers_[i]->capacity().cpu();
     const ResourceVector holdback =
         cpu > 0.0 ? servers_[i]->capacity() * (holdback_cpu_per_server / cpu)
                   : ResourceVector::Zero();
-    plans[i] = controllers_[i]->PlanReinflate(holdback);
+    controllers_[i]->PlanReinflate(holdback, &reinflate_plans_[i]);
   });
   // Apply sequentially in server order: mutations and their telemetry
   // (reinflate counters, kReinflation trace records) happen in one
-  // canonical order no matter how the planning phase was scheduled.
-  for (size_t i = 0; i < plans.size(); ++i) {
-    if (!plans[i].empty()) {
-      controllers_[i]->ApplyReinflate(plans[i]);
+  // canonical order no matter how the planning phase was scheduled. Each
+  // plan is retired right after its apply (emptied, capacity kept).
+  for (size_t i = 0; i < servers_.size(); ++i) {
+    if (!reinflate_plans_[i].empty()) {
+      controllers_[i]->ApplyReinflate(reinflate_plans_[i]);
+      reinflate_plans_[i].entries.clear();
     }
   }
 }

@@ -21,6 +21,7 @@
 
 #include "src/cluster/fleet_view.h"
 #include "src/cluster/placement.h"
+#include "src/common/epoch_arena.h"
 #include "src/common/result.h"
 #include "src/common/rng.h"
 #include "src/common/thread_pool.h"
@@ -256,6 +257,12 @@ class ClusterManager {
   mutable std::vector<uint32_t> placeable_rows_;
   mutable bool placeable_dirty_ = true;
   std::vector<VmId> preempted_since_take_;
+  // Retire-reclaim scratch for the parallel sweeps (DESIGN.md §14): workers
+  // fill exactly their own shard, the coordinator folds in canonical order,
+  // then retires the buffers (capacity kept) so steady-state sweeps never
+  // touch the allocator.
+  ShardScratch<double> hp_cpu_scratch_;
+  std::vector<ReinflatePlan> reinflate_plans_;
   // VmId -> index into servers_/controllers_ for every hosted VM.
   std::unordered_map<VmId, size_t> vm_index_;
   FaultInjector* faults_ = nullptr;

@@ -101,6 +101,19 @@ ChunkScan MergeChunks(const std::vector<ChunkScan>& partial) {
   return merged;
 }
 
+// Pooled per-probe chunk scratch (DESIGN.md §14 retire-reclaim): placement
+// runs thousands of probes per simulated hour, and a fresh vector per probe
+// dominated the scan's allocation profile. Only the coordinating thread (the
+// ParallelFor caller) sizes and merges the buffer; workers write disjoint
+// elements of an already-sized vector, so no reallocation can race the
+// dispatch. assign() re-default-initializes every slot, which is the retire
+// step -- capacity survives, values do not.
+std::vector<ChunkScan>& ChunkScratch(size_t chunks) {
+  static thread_local std::vector<ChunkScan> scratch;
+  scratch.assign(chunks, ChunkScan{});
+  return scratch;
+}
+
 // Whole-candidate-set scan, sharded across `pool` when profitable.
 ChunkScan ScanAll(const ResourceVector& demand, const std::vector<Server*>& servers,
                   AvailabilityMode mode, bool need_fitness, ThreadPool* pool) {
@@ -109,7 +122,7 @@ ChunkScan ScanAll(const ResourceVector& demand, const std::vector<Server*>& serv
   }
   const size_t count = servers.size();
   const size_t chunks = (count + kScanChunk - 1) / kScanChunk;
-  std::vector<ChunkScan> partial(chunks);
+  std::vector<ChunkScan>& partial = ChunkScratch(chunks);
   pool->ParallelFor(static_cast<int64_t>(chunks), [&](int64_t c) {
     const size_t begin = static_cast<size_t>(c) * kScanChunk;
     const size_t end = std::min(begin + kScanChunk, count);
@@ -225,7 +238,7 @@ ChunkScan ScanAllFleet(const ResourceVector& demand, const FleetView& fleet,
     return ScanFleetRange(cols, d, demand_norm, candidates, need_fitness, 0, count);
   }
   const size_t chunks = (count + kScanChunk - 1) / kScanChunk;
-  std::vector<ChunkScan> partial(chunks);
+  std::vector<ChunkScan>& partial = ChunkScratch(chunks);
   pool->ParallelFor(static_cast<int64_t>(chunks), [&](int64_t c) {
     const size_t begin = static_cast<size_t>(c) * kScanChunk;
     const size_t end = std::min(begin + kScanChunk, count);

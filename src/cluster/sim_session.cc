@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 #include <cassert>
+#include <cmath>
 #include <memory>
 #include <utility>
 
@@ -39,6 +40,15 @@ struct QueueEntry {
   SimEventKind kind = SimEventKind::kSampleTick;
   int64_t payload = 0;
 };
+
+// Drift-free periodic chains: tick k fires at exactly k * period. The chains
+// are seeded at t = period, so the fire index is recoverable from the entry's
+// own timestamp -- snapshots carry no extra state. Accumulating
+// `when + period` instead compounds one rounding error per tick over
+// million-tick cloud runs.
+double NextPeriodicFire(double when, double period) {
+  return (std::round(when / period) + 1.0) * period;
+}
 
 // Heap comparator: the *earliest* (when, seq) entry is popped first; seq
 // breaks same-time ties in scheduling order, the determinism backbone.
@@ -362,12 +372,13 @@ struct SimSession::State {
         break;
       case SimEventKind::kSampleTick:
         SampleTick();
-        Push(entry.when + config.sample_period_s, SimEventKind::kSampleTick, 0);
+        Push(NextPeriodicFire(entry.when, config.sample_period_s),
+             SimEventKind::kSampleTick, 0);
         break;
       case SimEventKind::kReinflateTick:
         ReinflateTick();
-        Push(entry.when + config.reinflate_period_s, SimEventKind::kReinflateTick,
-             0);
+        Push(NextPeriodicFire(entry.when, config.reinflate_period_s),
+             SimEventKind::kReinflateTick, 0);
         break;
     }
   }
@@ -805,7 +816,7 @@ std::string SimSession::SnapshotBytes() const {
       w.WriteF64(point.value);
     }
   }
-  const std::vector<TraceEventRecord>& events = s.telemetry->trace().events();
+  const TraceEventView events = s.telemetry->trace().events();
   w.WriteU64(events.size());
   for (const TraceEventRecord& event : events) {
     w.WriteF64(event.time);

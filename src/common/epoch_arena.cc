@@ -1,0 +1,73 @@
+#include "src/common/epoch_arena.h"
+
+#include <cassert>
+
+#include "src/common/logging.h"
+
+namespace defl {
+
+EpochArena::EpochArena(size_t block_bytes) : block_bytes_(block_bytes) {
+  assert(block_bytes_ > 0);
+}
+
+EpochArena::~EpochArena() = default;
+
+void* EpochArena::Allocate(size_t size, size_t align) {
+  assert(align > 0 && (align & (align - 1)) == 0);
+  if (align > alignof(std::max_align_t)) {
+    DEFL_LOG(kError) << "EpochArena::Allocate: alignment " << align
+                     << " exceeds max_align_t";
+    std::abort();
+  }
+  if (size == 0) {
+    size = 1;
+  }
+  size_t offset = (cursor_ + align - 1) & ~(align - 1);
+  if (current_.data == nullptr || offset + size > current_.capacity) {
+    StartBlock(size);
+    offset = 0;  // fresh blocks are max_align_t-aligned
+  }
+  unsigned char* p = current_.data.get() + offset;
+  epoch_bytes_ += (offset - cursor_) + size;
+  cursor_ = offset + size;
+  return p;
+}
+
+void EpochArena::StartBlock(size_t min_bytes) {
+  if (current_.data != nullptr) {
+    used_blocks_.push_back(std::move(current_));
+  }
+  if (min_bytes <= block_bytes_ && !free_blocks_.empty()) {
+    current_ = std::move(free_blocks_.back());
+    free_blocks_.pop_back();
+  } else {
+    const size_t capacity = min_bytes > block_bytes_ ? min_bytes : block_bytes_;
+    // operator new[] guarantees max_align_t alignment for the block base.
+    current_ = Block{std::make_unique<unsigned char[]>(capacity), capacity};
+    ++os_allocations_;
+    if (capacity > block_bytes_) {
+      ++oversized_allocations_;
+    }
+  }
+  cursor_ = 0;
+}
+
+void EpochArena::ResetEpoch() {
+  if (current_.data != nullptr) {
+    used_blocks_.push_back(std::move(current_));
+    current_ = Block{};
+  }
+  for (Block& block : used_blocks_) {
+    if (block.capacity == block_bytes_) {
+      free_blocks_.push_back(std::move(block));
+    }
+    // Oversized fallback blocks are dropped: pooling them would pin the
+    // worst-case footprint forever.
+  }
+  used_blocks_.clear();
+  cursor_ = 0;
+  epoch_bytes_ = 0;
+  ++epochs_;
+}
+
+}  // namespace defl

@@ -244,9 +244,16 @@ ResourceVector LocalController::ReinflateAll(const ResourceVector& hold_back) {
 
 ReinflatePlan LocalController::PlanReinflate(const ResourceVector& hold_back) const {
   ReinflatePlan plan;
+  PlanReinflate(hold_back, &plan);
+  return plan;
+}
+
+void LocalController::PlanReinflate(const ResourceVector& hold_back,
+                                    ReinflatePlan* out) const {
+  out->entries.clear();  // reuse the caller's buffer; capacity survives
   const ResourceVector pool = (server_->Free() - hold_back).ClampNonNegative();
   if (!pool.AnyPositive()) {
-    return plan;
+    return;
   }
 
   // Proportional to how much each VM is currently deflated by. Each entry's
@@ -258,7 +265,7 @@ ReinflatePlan LocalController::PlanReinflate(const ResourceVector& hold_back) co
     total_deflated += DeflatedBy(*vm);
   }
   if (!total_deflated.AnyPositive()) {
-    return plan;
+    return;
   }
 
   for (const auto& vm : server_->vms()) {
@@ -273,9 +280,8 @@ ReinflatePlan LocalController::PlanReinflate(const ResourceVector& hold_back) co
     if (!give.AnyPositive()) {
       continue;
     }
-    plan.entries.push_back(ReinflatePlan::Entry{vm.get(), give});
+    out->entries.push_back(ReinflatePlan::Entry{vm.get(), give});
   }
-  return plan;
 }
 
 ResourceVector LocalController::ApplyReinflate(const ReinflatePlan& plan) {

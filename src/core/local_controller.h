@@ -104,6 +104,10 @@ class LocalController {
   // nothing except the server's lazily refreshed accounting cache, which is
   // safe under per-shard ownership.
   ReinflatePlan PlanReinflate(const ResourceVector& hold_back = ResourceVector::Zero()) const;
+  // Buffer-filling form for the sweep hot loop: clears `out` (capacity kept)
+  // and fills it, so a caller passing the same plan every sweep allocates
+  // nothing in steady state.
+  void PlanReinflate(const ResourceVector& hold_back, ReinflatePlan* out) const;
   // Mutating half: runs the reverse cascade for each planned entry, in plan
   // order, publishing telemetry as usual. Returns the total returned.
   ResourceVector ApplyReinflate(const ReinflatePlan& plan);

@@ -1,67 +1,52 @@
 #include "src/sim/simulator.h"
 
-#include <cassert>
-#include <utility>
+#include <cstdlib>
+
+#include "src/common/logging.h"
 
 namespace defl {
 
-void EventHandle::Cancel() {
-  if (state_ != nullptr) {
-    *state_ = true;
-  }
+namespace internal {
+
+void AbortInvalidSchedule(const char* what, double value, double now) {
+  DEFL_LOG(kError) << what << " (value " << value << ", now " << now
+                   << "): scheduling into the past or with a degenerate period"
+                      " would corrupt deterministic event order";
+  std::abort();
 }
 
-EventHandle Simulator::Push(SimTime when, std::function<void()> fn) {
-  auto cancelled = std::make_shared<bool>(false);
-  queue_.push(Entry{when, next_seq_++, std::move(fn), cancelled});
-  return EventHandle(std::move(cancelled));
-}
-
-EventHandle Simulator::At(SimTime when, std::function<void()> fn) {
-  assert(when >= now_);
-  return Push(when, std::move(fn));
-}
-
-EventHandle Simulator::After(SimTime delay, std::function<void()> fn) {
-  assert(delay >= 0.0);
-  return Push(now_ + delay, std::move(fn));
-}
-
-EventHandle Simulator::Every(SimTime period, std::function<void()> fn) {
-  assert(period > 0.0);
-  auto cancelled = std::make_shared<bool>(false);
-  // Self-rescheduling wrapper; shares one cancellation flag across firings.
-  auto tick = std::make_shared<std::function<void(SimTime)>>();
-  std::weak_ptr<std::function<void(SimTime)>> weak_tick = tick;
-  *tick = [this, period, fn = std::move(fn), cancelled, weak_tick](SimTime when) {
-    if (*cancelled) {
-      return;
-    }
-    fn();
-    if (*cancelled) {
-      return;
-    }
-    if (auto self = weak_tick.lock()) {
-      queue_.push(Entry{when + period, next_seq_++,
-                        [self, when, period] { (*self)(when + period); }, cancelled});
-    }
-  };
-  queue_.push(Entry{now_ + period, next_seq_++,
-                    [tick, first = now_ + period] { (*tick)(first); }, cancelled});
-  return EventHandle(std::move(cancelled));
-}
+}  // namespace internal
 
 bool Simulator::Step() {
   while (!queue_.empty()) {
-    Entry entry = queue_.top();
-    queue_.pop();
-    if (*entry.cancelled) {
+    std::pop_heap(queue_.begin(), queue_.end(), Later{});
+    const QueueEntry entry = queue_.back();
+    queue_.pop_back();
+    internal::EventSlot& slot = slots_->slot(entry.slot);
+    // A queue entry and its slot are released together, so a live entry's
+    // generation always matches; the check guards against future misuse.
+    assert(slot.generation == entry.generation);
+    if (slot.cancelled) {
+      slots_->Release(entry.slot);
       continue;
     }
     assert(entry.when >= now_);
     now_ = entry.when;
     ++events_executed_;
-    entry.fn();
+    slot.fn.Invoke();
+    // The slot reference stays valid across Invoke: callbacks may schedule
+    // new events (growing the pool's chunk list), but chunk storage never
+    // moves. This slot cannot be recycled mid-flight -- release happens only
+    // here, after its own entry was popped.
+    if (slot.period > 0.0 && !slot.cancelled) {
+      // Drift-free periodic re-arm: the k-th firing is first + k * period,
+      // never an accumulated `when += period`.
+      ++slot.fires;
+      PushEntry(slot.first + static_cast<double>(slot.fires) * slot.period,
+                entry.slot, entry.generation);
+    } else {
+      slots_->Release(entry.slot);
+    }
     return true;
   }
   return false;
@@ -69,7 +54,7 @@ bool Simulator::Step() {
 
 void Simulator::Run(SimTime until) {
   while (!queue_.empty()) {
-    if (until != kNoLimit && queue_.top().when > until) {
+    if (until != kNoLimit && queue_.front().when > until) {
       now_ = until;
       return;
     }

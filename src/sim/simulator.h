@@ -3,15 +3,30 @@
 // (time, sequence) order so same-time events run in scheduling order,
 // which keeps every experiment deterministic.
 //
+// The event core is allocation-free in steady state (DESIGN.md §14): queue
+// entries are 24-byte PODs in a recycled binary heap, and each event's
+// callback + cancellation state live together in a pooled, generation-counted
+// slot (slab chunks with stable addresses, free-list recycling). Callbacks
+// are stored with small-buffer optimization -- captures up to
+// InlineCallback::kInlineBytes never touch the heap; larger ones fall back to
+// a counted heap allocation. EventHandle carries (pool, slot, generation), so
+// cancellation stays O(1) and lazy (the entry is skipped when popped), stale
+// handles are immune to slot reuse, and handles remain safe to query after
+// the Simulator itself is gone (they share ownership of the slot pool).
+//
 // The Spark engine, the cluster manager, and the timeline benches all run on
 // this kernel; the analytic application models do not need it.
 #ifndef SRC_SIM_SIMULATOR_H_
 #define SRC_SIM_SIMULATOR_H_
 
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
 #include <cstdint>
-#include <functional>
 #include <memory>
-#include <queue>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 namespace defl {
@@ -19,41 +34,226 @@ namespace defl {
 // Simulated time in seconds.
 using SimTime = double;
 
+namespace internal {
+
+// Aborts with a logged message; out-of-line so this header stays free of the
+// logging dependency. Scheduling into the past or with a non-positive period
+// is a programming error that must not survive into release binaries
+// (misordered events would silently corrupt a deterministic run).
+[[noreturn]] void AbortInvalidSchedule(const char* what, double value, double now);
+
+// Small-buffer-optimized owning callback: captures up to kInlineBytes are
+// stored in place (no heap traffic on the event hot path); larger captures
+// fall back to one heap allocation. Not copyable or movable -- a callback is
+// constructed in its pooled slot and destroyed there.
+class InlineCallback {
+ public:
+  static constexpr size_t kInlineBytes = 64;
+
+  InlineCallback() = default;
+  InlineCallback(const InlineCallback&) = delete;
+  InlineCallback& operator=(const InlineCallback&) = delete;
+  ~InlineCallback() { Reset(); }
+
+  template <typename F>
+  void Set(F&& fn) {
+    assert(invoke_ == nullptr);
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineBytes &&
+                  alignof(Fn) <= alignof(std::max_align_t)) {
+      target_ = new (storage_) Fn(std::forward<F>(fn));
+      destroy_ = [](void* self) { static_cast<Fn*>(self)->~Fn(); };
+    } else {
+      target_ = new Fn(std::forward<F>(fn));
+      destroy_ = [](void* self) { delete static_cast<Fn*>(self); };
+    }
+    invoke_ = [](void* self) { (*static_cast<Fn*>(self))(); };
+  }
+
+  void Invoke() { invoke_(target_); }
+
+  void Reset() {
+    if (destroy_ != nullptr) {
+      destroy_(target_);
+      destroy_ = nullptr;
+      invoke_ = nullptr;
+      target_ = nullptr;
+    }
+  }
+
+  bool empty() const { return invoke_ == nullptr; }
+
+ private:
+  alignas(std::max_align_t) unsigned char storage_[kInlineBytes];
+  void* target_ = nullptr;
+  void (*invoke_)(void*) = nullptr;
+  void (*destroy_)(void*) = nullptr;
+};
+
+// One pooled event: callback, cancellation flag, and (for Every) the
+// periodic re-arm state, all in a single intrusive entry. `generation`
+// disambiguates slot reuse: a handle issued for generation g is dead once
+// the slot is released (generation bumped), so recycled slots can never be
+// cancelled through stale handles.
+struct EventSlot {
+  InlineCallback fn;
+  double period = 0.0;  // > 0 -> periodic (Every)
+  double first = 0.0;   // first firing time of a periodic slot
+  int64_t fires = 0;    // completed periodic firings (drift-free re-arm)
+  uint32_t generation = 0;
+  uint32_t next_free = 0;
+  bool cancelled = false;
+};
+
+// Slab of EventSlots: chunked storage (stable addresses across growth) with
+// LIFO free-list recycling. After warm-up, Acquire/Release never allocate.
+// Shared between the Simulator and its EventHandles so handles stay valid
+// independent of the Simulator's lifetime.
+class EventSlotPool {
+ public:
+  static constexpr uint32_t kNoSlot = 0xffffffffu;
+
+  EventSlotPool() = default;
+  EventSlotPool(const EventSlotPool&) = delete;
+  EventSlotPool& operator=(const EventSlotPool&) = delete;
+
+  uint32_t Acquire() {
+    if (free_head_ != kNoSlot) {
+      const uint32_t index = free_head_;
+      free_head_ = slot(index).next_free;
+      return index;
+    }
+    const uint32_t index = size_;
+    if (index % kChunkSlots == 0) {
+      chunks_.push_back(std::make_unique<EventSlot[]>(kChunkSlots));
+    }
+    ++size_;
+    return index;
+  }
+
+  // Destroys the callback, invalidates outstanding handles, and recycles the
+  // slot. Must not be called while the slot's callback is executing.
+  void Release(uint32_t index) {
+    EventSlot& s = slot(index);
+    s.fn.Reset();
+    s.period = 0.0;
+    s.fires = 0;
+    s.cancelled = false;
+    ++s.generation;
+    s.next_free = free_head_;
+    free_head_ = index;
+  }
+
+  EventSlot& slot(uint32_t index) {
+    return chunks_[index / kChunkSlots][index % kChunkSlots];
+  }
+  const EventSlot& slot(uint32_t index) const {
+    return chunks_[index / kChunkSlots][index % kChunkSlots];
+  }
+
+  bool Pending(uint32_t index, uint32_t generation) const {
+    const EventSlot& s = slot(index);
+    return s.generation == generation && !s.cancelled;
+  }
+
+  void Cancel(uint32_t index, uint32_t generation) {
+    EventSlot& s = slot(index);
+    if (s.generation == generation) {
+      s.cancelled = true;
+    }
+  }
+
+  uint32_t size() const { return size_; }
+
+ private:
+  static constexpr uint32_t kChunkSlots = 256;
+  std::vector<std::unique_ptr<EventSlot[]>> chunks_;
+  uint32_t size_ = 0;
+  uint32_t free_head_ = kNoSlot;
+};
+
+}  // namespace internal
+
 // Handle that allows cancelling a scheduled event. Cancellation is lazy: the
-// event stays in the queue but is skipped when popped.
+// event stays in the queue but is skipped when popped. Copyable; copies share
+// the same slot. Safe to hold past the event's execution and past the
+// Simulator's destruction (the handle co-owns the slot pool).
 class EventHandle {
  public:
   EventHandle() = default;
 
   // False if the event already ran or was cancelled, or the handle is empty.
-  bool pending() const { return state_ != nullptr && !*state_; }
-  void Cancel();
+  bool pending() const {
+    return pool_ != nullptr && pool_->Pending(slot_, generation_);
+  }
+  void Cancel() {
+    if (pool_ != nullptr) {
+      pool_->Cancel(slot_, generation_);
+    }
+  }
 
  private:
   friend class Simulator;
-  // Shared "cancelled" flag; the queue entry holds the other reference.
-  explicit EventHandle(std::shared_ptr<bool> state) : state_(std::move(state)) {}
-  std::shared_ptr<bool> state_;
+  EventHandle(std::shared_ptr<internal::EventSlotPool> pool, uint32_t slot,
+              uint32_t generation)
+      : pool_(std::move(pool)), slot_(slot), generation_(generation) {}
+
+  std::shared_ptr<internal::EventSlotPool> pool_;
+  uint32_t slot_ = internal::EventSlotPool::kNoSlot;
+  uint32_t generation_ = 0;
 };
 
 class Simulator {
  public:
-  Simulator() = default;
+  Simulator() : slots_(std::make_shared<internal::EventSlotPool>()) {}
 
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
   SimTime now() const { return now_; }
 
-  // Schedules `fn` to run at absolute time `when` (>= now).
-  EventHandle At(SimTime when, std::function<void()> fn);
+  // Schedules `fn` to run at absolute time `when` (>= now; aborts otherwise,
+  // in release builds too -- a misordered event would corrupt determinism).
+  template <typename F>
+  EventHandle At(SimTime when, F&& fn) {
+    if (!(when >= now_)) {
+      internal::AbortInvalidSchedule("Simulator::At: event time before now", when,
+                                     now_);
+    }
+    return Push(when, std::forward<F>(fn));
+  }
 
-  // Schedules `fn` to run `delay` seconds from now (delay >= 0).
-  EventHandle After(SimTime delay, std::function<void()> fn);
+  // Schedules `fn` to run `delay` seconds from now (delay >= 0; aborts
+  // otherwise, in release builds too).
+  template <typename F>
+  EventHandle After(SimTime delay, F&& fn) {
+    if (!(delay >= 0.0)) {
+      internal::AbortInvalidSchedule("Simulator::After: negative delay", delay,
+                                     now_);
+    }
+    return Push(now_ + delay, std::forward<F>(fn));
+  }
 
-  // Schedules `fn` every `period` seconds, first firing at now + period,
-  // until the returned handle is cancelled or the run limit stops the sim.
-  EventHandle Every(SimTime period, std::function<void()> fn);
+  // Schedules `fn` every `period` seconds (> 0; aborts otherwise), first
+  // firing at now + period, until the returned handle is cancelled or the
+  // run limit stops the sim. The k-th firing lands exactly at
+  // first + k * period (computed from a fire counter, never accumulated, so
+  // long simulations cannot drift off the period grid).
+  template <typename F>
+  EventHandle Every(SimTime period, F&& fn) {
+    if (!(period > 0.0)) {
+      internal::AbortInvalidSchedule("Simulator::Every: non-positive period",
+                                     period, now_);
+    }
+    const uint32_t index = slots_->Acquire();
+    internal::EventSlot& slot = slots_->slot(index);
+    slot.fn.Set(std::forward<F>(fn));
+    slot.period = period;
+    slot.first = now_ + period;
+    slot.fires = 0;
+    PushEntry(slot.first, index, slot.generation);
+    return EventHandle(slots_, index, slot.generation);
+  }
 
   // Runs until the queue is empty or `until` is reached (events strictly
   // after `until` remain queued; the clock advances to `until`).
@@ -67,14 +267,15 @@ class Simulator {
   static constexpr SimTime kNoLimit = -1.0;
 
  private:
-  struct Entry {
+  // 24-byte POD heap entry; the callback lives in the slot pool.
+  struct QueueEntry {
     SimTime when;
     int64_t seq;
-    std::function<void()> fn;
-    std::shared_ptr<bool> cancelled;
+    uint32_t slot;
+    uint32_t generation;
   };
   struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
+    bool operator()(const QueueEntry& a, const QueueEntry& b) const {
       if (a.when != b.when) {
         return a.when > b.when;
       }
@@ -82,12 +283,25 @@ class Simulator {
     }
   };
 
-  EventHandle Push(SimTime when, std::function<void()> fn);
+  template <typename F>
+  EventHandle Push(SimTime when, F&& fn) {
+    const uint32_t index = slots_->Acquire();
+    internal::EventSlot& slot = slots_->slot(index);
+    slot.fn.Set(std::forward<F>(fn));
+    PushEntry(when, index, slot.generation);
+    return EventHandle(slots_, index, slot.generation);
+  }
+
+  void PushEntry(SimTime when, uint32_t slot, uint32_t generation) {
+    queue_.push_back(QueueEntry{when, next_seq_++, slot, generation});
+    std::push_heap(queue_.begin(), queue_.end(), Later{});
+  }
 
   SimTime now_ = 0.0;
   int64_t next_seq_ = 0;
   int64_t events_executed_ = 0;
-  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  std::shared_ptr<internal::EventSlotPool> slots_;
+  std::vector<QueueEntry> queue_;  // binary heap under Later
 };
 
 }  // namespace defl

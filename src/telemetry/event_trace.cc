@@ -1,15 +1,9 @@
 #include "src/telemetry/event_trace.h"
 
-#include <cstdio>
+#include "src/telemetry/json_util.h"
 
 namespace defl {
 namespace {
-
-std::string JsonNumber(double x) {
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), "%.17g", x);
-  return buf;
-}
 
 void DumpVector(std::ostream& os, const ResourceVector& v) {
   os << "{\"cpu\": " << JsonNumber(v.cpu()) << ", \"mem_mb\": "
@@ -85,7 +79,7 @@ const char* CascadeLayerName(CascadeLayer layer) {
 
 int64_t EventTrace::CountKind(TraceEventKind kind) const {
   int64_t n = 0;
-  for (const TraceEventRecord& e : events_) {
+  for (const TraceEventRecord& e : events()) {
     if (e.kind == kind) {
       ++n;
     }
@@ -95,7 +89,7 @@ int64_t EventTrace::CountKind(TraceEventKind kind) const {
 
 int64_t EventTrace::CountKind(TraceEventKind kind, CascadeLayer layer) const {
   int64_t n = 0;
-  for (const TraceEventRecord& e : events_) {
+  for (const TraceEventRecord& e : events()) {
     if (e.kind == kind && e.layer == layer) {
       ++n;
     }
@@ -104,7 +98,7 @@ int64_t EventTrace::CountKind(TraceEventKind kind, CascadeLayer layer) const {
 }
 
 void EventTrace::DumpJsonl(std::ostream& os) const {
-  for (const TraceEventRecord& e : events_) {
+  for (const TraceEventRecord& e : events()) {
     os << "{\"time\": " << JsonNumber(e.time) << ", \"kind\": \""
        << TraceEventKindName(e.kind) << "\", \"layer\": \""
        << CascadeLayerName(e.layer) << "\", \"vm\": " << e.vm

@@ -6,16 +6,25 @@
 // the per-VM allocation timelines, deflation latency distributions and
 // deflation-tolerance analyses of the evaluation all read from it.
 //
+// Storage is epoch-arena-chunked (DESIGN.md §14): records append into
+// fixed-size chunks bump-allocated from an EpochArena, so a multi-million-
+// record cloud run never pays vector-doubling copies, and Clear() recycles
+// every chunk in O(chunks) -- a record..Clear cycle is allocation-free in
+// steady state. Records are addressed through TraceEventView (indexable,
+// iterable); they are not one contiguous array.
+//
 // Event kinds and the meaning of the vector/outcome fields are documented in
 // DESIGN.md ("Telemetry & tracing").
 #ifndef SRC_TELEMETRY_EVENT_TRACE_H_
 #define SRC_TELEMETRY_EVENT_TRACE_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <ostream>
 #include <vector>
 
+#include "src/common/epoch_arena.h"
 #include "src/resources/resource_vector.h"
 
 namespace defl {
@@ -68,9 +77,54 @@ struct TraceEventRecord {
   int32_t outcome = 0;
 };
 
+// Lightweight random-access view over the trace's chunked record storage.
+// Valid until the trace is mutated (append, Clear, RestoreEvents) -- the
+// same contract the old contiguous-vector reference had.
+class TraceEventView {
+ public:
+  static constexpr size_t kChunkRecords = 512;
+
+  TraceEventView(const std::vector<TraceEventRecord*>* chunks, size_t size)
+      : chunks_(chunks), size_(size) {}
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  const TraceEventRecord& operator[](size_t i) const {
+    return (*chunks_)[i / kChunkRecords][i % kChunkRecords];
+  }
+
+  class Iterator {
+   public:
+    Iterator(const std::vector<TraceEventRecord*>* chunks, size_t index)
+        : chunks_(chunks), index_(index) {}
+    const TraceEventRecord& operator*() const {
+      return (*chunks_)[index_ / kChunkRecords][index_ % kChunkRecords];
+    }
+    const TraceEventRecord* operator->() const { return &**this; }
+    Iterator& operator++() {
+      ++index_;
+      return *this;
+    }
+    bool operator==(const Iterator& other) const { return index_ == other.index_; }
+    bool operator!=(const Iterator& other) const { return index_ != other.index_; }
+
+   private:
+    const std::vector<TraceEventRecord*>* chunks_;
+    size_t index_;
+  };
+
+  Iterator begin() const { return Iterator(chunks_, 0); }
+  Iterator end() const { return Iterator(chunks_, size_); }
+
+ private:
+  const std::vector<TraceEventRecord*>* chunks_;
+  size_t size_;
+};
+
 class EventTrace {
  public:
-  EventTrace() = default;
+  EventTrace() : arena_(TraceEventView::kChunkRecords * sizeof(TraceEventRecord)) {}
   EventTrace(const EventTrace&) = delete;
   EventTrace& operator=(const EventTrace&) = delete;
 
@@ -98,19 +152,30 @@ class EventTrace {
     if (!enabled_) {
       return;
     }
-    events_.push_back(
-        TraceEventRecord{time, kind, layer, vm, server, target, reclaimed, outcome});
+    Append() =
+        TraceEventRecord{time, kind, layer, vm, server, target, reclaimed, outcome};
   }
 
-  const std::vector<TraceEventRecord>& events() const { return events_; }
-  size_t size() const { return events_.size(); }
-  void Clear() { events_.clear(); }
+  TraceEventView events() const { return TraceEventView(&chunks_, size_); }
+  size_t size() const { return size_; }
+
+  // Drops every record and recycles all chunk storage into the arena's block
+  // pool: a record..Clear cycle is allocation-free once warmed.
+  void Clear() {
+    chunks_.clear();
+    size_ = 0;
+    arena_.ResetEpoch();
+  }
 
   // Replaces the recorded events wholesale: deterministic checkpoint/restore
   // (SimSession snapshots) rebuilds the trace exactly as the snapshotting run
   // left it, discarding whatever the restore machinery itself recorded.
-  void RestoreEvents(std::vector<TraceEventRecord> events) {
-    events_ = std::move(events);
+  // Bypasses the enabled flag, as the wholesale assignment it replaces did.
+  void RestoreEvents(const std::vector<TraceEventRecord>& events) {
+    Clear();
+    for (const TraceEventRecord& event : events) {
+      Append() = event;
+    }
   }
 
   // Counts events of one kind (convenience for tests and benches),
@@ -123,9 +188,22 @@ class EventTrace {
   void DumpJsonl(std::ostream& os) const;
 
  private:
+  // Reserves the next record slot, opening a fresh arena chunk when the
+  // current one is full. Chunk addresses are stable until Clear().
+  TraceEventRecord& Append() {
+    const size_t offset = size_ % TraceEventView::kChunkRecords;
+    if (offset == 0) {
+      chunks_.push_back(
+          arena_.NewArray<TraceEventRecord>(TraceEventView::kChunkRecords));
+    }
+    return chunks_[size_++ / TraceEventView::kChunkRecords][offset];
+  }
+
   bool enabled_ = true;
   std::function<double()> clock_;
-  std::vector<TraceEventRecord> events_;
+  EpochArena arena_;  // one block per chunk; Clear() recycles them all
+  std::vector<TraceEventRecord*> chunks_;
+  size_t size_ = 0;
 };
 
 }  // namespace defl

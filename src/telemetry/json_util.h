@@ -1,0 +1,23 @@
+// Shared JSON rendering helpers for the telemetry dumps (metrics DumpJson,
+// trace DumpJsonl). One definition instead of per-file copies, and strictly
+// valid output: every emission path funnels through here, so a downstream
+// parser never sees a bare `nan`/`inf` token or an unescaped control byte.
+#ifndef SRC_TELEMETRY_JSON_UTIL_H_
+#define SRC_TELEMETRY_JSON_UTIL_H_
+
+#include <string>
+
+namespace defl {
+
+// Deterministic, locale-independent double rendering. Non-finite values
+// render as `null`: NaN/Inf have no JSON representation, and emitting them
+// bare breaks strict parsers.
+std::string JsonNumber(double x);
+
+// Quotes and escapes `s` as a JSON string literal (quote, backslash, and
+// all control bytes < 0x20).
+std::string JsonString(const std::string& s);
+
+}  // namespace defl
+
+#endif  // SRC_TELEMETRY_JSON_UTIL_H_

@@ -1,40 +1,10 @@
 #include "src/telemetry/metrics.h"
 
 #include <algorithm>
-#include <cstdio>
+
+#include "src/telemetry/json_util.h"
 
 namespace defl {
-namespace {
-
-// Deterministic, locale-independent double rendering for the JSON dump.
-std::string JsonNumber(double x) {
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), "%.17g", x);
-  return buf;
-}
-
-std::string JsonString(const std::string& s) {
-  std::string out = "\"";
-  for (const char c : s) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      default:
-        out += c;
-    }
-  }
-  out += '"';
-  return out;
-}
-
-}  // namespace
 
 CounterHandle MetricsRegistry::Counter(const std::string& name) {
   const CounterHandle existing = FindCounter(name);

@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <array>
+#include <limits>
+#include <numeric>
 #include <vector>
 
 #include "src/common/rng.h"
@@ -175,6 +178,112 @@ TEST(SimulatorTest, ManyPeriodicTasksCoexist) {
     const int expected = static_cast<int>(100.0 / (1.0 + i * 0.1));
     EXPECT_NEAR(counts[i], expected, 1) << "timer " << i;
   }
+}
+
+TEST(SimulatorTest, PendingIsFalseAfterEventRuns) {
+  // The handle contract says pending() is false once the event ran; the
+  // generation-counted slots implement that exactly (the pre-arena
+  // shared_ptr<bool> implementation reported a stale `true` here).
+  Simulator sim;
+  EventHandle h = sim.At(1.0, [] {});
+  EXPECT_TRUE(h.pending());
+  sim.Run();
+  EXPECT_FALSE(h.pending());
+}
+
+TEST(SimulatorTest, StaleHandleCannotCancelRecycledSlot) {
+  // ABA guard: after an event runs, its slot is recycled for later events.
+  // A stale handle to the old event must be a no-op, never a cancellation of
+  // whatever reused the slot.
+  Simulator sim;
+  bool second_ran = false;
+  EventHandle h1 = sim.At(1.0, [] {});
+  sim.Run();
+  EventHandle h2 = sim.At(2.0, [&] { second_ran = true; });
+  h1.Cancel();
+  EXPECT_FALSE(h1.pending());
+  EXPECT_TRUE(h2.pending());
+  sim.Run();
+  EXPECT_TRUE(second_ran);
+}
+
+TEST(SimulatorTest, HandleOutlivesSimulator) {
+  // Handles co-own the slot pool: querying or cancelling after the Simulator
+  // is gone must be safe.
+  EventHandle h;
+  {
+    Simulator sim;
+    h = sim.At(1.0, [] {});
+  }
+  EXPECT_TRUE(h.pending());  // never ran: the sim died with it queued
+  h.Cancel();
+  EXPECT_FALSE(h.pending());
+}
+
+TEST(SimulatorTest, LargeCaptureFallsBackToHeapCorrectly) {
+  // Captures beyond the small-buffer budget take the heap fallback; the
+  // callback must still move in and run intact.
+  Simulator sim;
+  std::array<double, 64> payload;  // 512 bytes, > InlineCallback::kInlineBytes
+  std::iota(payload.begin(), payload.end(), 1.0);
+  double sum = 0.0;
+  sim.At(1.0, [payload, &sum] {
+    for (const double v : payload) {
+      sum += v;
+    }
+  });
+  sim.Run();
+  EXPECT_DOUBLE_EQ(sum, 64.0 * 65.0 / 2.0);
+}
+
+TEST(SimulatorTest, EveryFiresOnExactPeriodGridWithoutDrift) {
+  // The k-th firing is first + k * period computed from a fire counter. With
+  // a period that is not exactly representable (0.1), the old accumulated
+  // `when += period` walks off the grid; the closed form cannot.
+  Simulator sim;
+  std::vector<double> fires;
+  sim.Every(0.1, [&] { fires.push_back(sim.now()); });
+  sim.Run(100.0);
+  ASSERT_GE(fires.size(), 990u);
+  for (size_t k = 0; k < fires.size(); ++k) {
+    const double expected = 0.1 + static_cast<double>(k) * 0.1;
+    EXPECT_EQ(fires[k], expected) << "firing " << k;  // bitwise, not NEAR
+  }
+  // Document why the closed form matters: accumulation drifts within a
+  // thousand firings of a non-dyadic period.
+  double accumulated = 0.1;
+  for (size_t k = 1; k < 1000; ++k) {
+    accumulated += 0.1;
+  }
+  EXPECT_NE(accumulated, 0.1 + 999.0 * 0.1);
+}
+
+using SimulatorDeathTest = ::testing::Test;
+
+TEST(SimulatorDeathTest, AtInThePastAbortsInReleaseBuildsToo) {
+  // Past-scheduling is rejected with a loud abort (not just an assert), so a
+  // release binary cannot silently enqueue misordered events.
+  Simulator sim;
+  sim.At(10.0, [] {});
+  sim.Run();
+  EXPECT_DEATH(sim.At(5.0, [] {}), "event time before now");
+}
+
+TEST(SimulatorDeathTest, AtRejectsNaN) {
+  Simulator sim;
+  EXPECT_DEATH(sim.At(std::numeric_limits<double>::quiet_NaN(), [] {}),
+               "event time before now");
+}
+
+TEST(SimulatorDeathTest, AfterNegativeDelayAborts) {
+  Simulator sim;
+  EXPECT_DEATH(sim.After(-1.0, [] {}), "negative delay");
+}
+
+TEST(SimulatorDeathTest, EveryNonPositivePeriodAborts) {
+  Simulator sim;
+  EXPECT_DEATH(sim.Every(0.0, [] {}), "non-positive period");
+  EXPECT_DEATH(sim.Every(-2.0, [] {}), "non-positive period");
 }
 
 TEST(SimulatorTest, EventsScheduledDuringRunExecute) {

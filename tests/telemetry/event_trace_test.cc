@@ -103,6 +103,68 @@ TEST(EventTraceTest, KindAndLayerNamesAreStable) {
   EXPECT_STREQ(CascadeLayerName(CascadeLayer::kHypervisor), "hypervisor");
 }
 
+TEST(EventTraceTest, ChunkedStorageIndexesAcrossChunkBoundaries) {
+  // Records live in arena chunks of TraceEventView::kChunkRecords; indexing
+  // and iteration must be seamless across the boundaries.
+  EventTrace trace;
+  const size_t count = TraceEventView::kChunkRecords * 3 + 17;
+  for (size_t i = 0; i < count; ++i) {
+    trace.RecordAt(static_cast<double>(i), TraceEventKind::kDeflation,
+                   CascadeLayer::kNone, static_cast<int64_t>(i), -1,
+                   ResourceVector::Zero(), ResourceVector::Zero(),
+                   static_cast<int32_t>(i % 7));
+  }
+  const TraceEventView view = trace.events();
+  ASSERT_EQ(view.size(), count);
+  for (const size_t i : {size_t{0}, TraceEventView::kChunkRecords - 1,
+                         TraceEventView::kChunkRecords,
+                         2 * TraceEventView::kChunkRecords + 5, count - 1}) {
+    EXPECT_DOUBLE_EQ(view[i].time, static_cast<double>(i)) << "record " << i;
+    EXPECT_EQ(view[i].vm, static_cast<int64_t>(i));
+  }
+  size_t seen = 0;
+  for (const TraceEventRecord& e : view) {
+    EXPECT_DOUBLE_EQ(e.time, static_cast<double>(seen));
+    ++seen;
+  }
+  EXPECT_EQ(seen, count);
+}
+
+TEST(EventTraceTest, ClearRecyclesChunksWithoutLosingNewRecords) {
+  EventTrace trace;
+  for (int round = 0; round < 5; ++round) {
+    for (size_t i = 0; i < TraceEventView::kChunkRecords + 3; ++i) {
+      trace.RecordAt(1.0, TraceEventKind::kPlacement, CascadeLayer::kNone, 1, 2,
+                     ResourceVector::Zero(), ResourceVector::Zero(), round);
+    }
+    EXPECT_EQ(trace.size(), TraceEventView::kChunkRecords + 3);
+    EXPECT_EQ(trace.events()[0].outcome, round);
+    trace.Clear();
+    EXPECT_EQ(trace.size(), 0u);
+    EXPECT_TRUE(trace.events().empty());
+  }
+}
+
+TEST(EventTraceTest, RestoreEventsRoundTripsAcrossChunkBoundary) {
+  EventTrace trace;
+  std::vector<TraceEventRecord> records;
+  for (size_t i = 0; i < TraceEventView::kChunkRecords + 9; ++i) {
+    TraceEventRecord r;
+    r.time = static_cast<double>(i) * 0.5;
+    r.kind = TraceEventKind::kReinflation;
+    r.vm = static_cast<int64_t>(i);
+    records.push_back(r);
+  }
+  trace.RecordAt(99.0, TraceEventKind::kDeflation, CascadeLayer::kNone, 7, 8,
+                 ResourceVector::Zero(), ResourceVector::Zero(), 0);
+  trace.RestoreEvents(records);
+  ASSERT_EQ(trace.size(), records.size());  // pre-restore records discarded
+  for (size_t i = 0; i < records.size(); ++i) {
+    EXPECT_DOUBLE_EQ(trace.events()[i].time, records[i].time);
+    EXPECT_EQ(trace.events()[i].vm, records[i].vm);
+  }
+}
+
 TEST(TelemetryContextTest, ClockScopeBindsAndClears) {
   TelemetryContext telemetry;
   EXPECT_DOUBLE_EQ(telemetry.Now(), 0.0);

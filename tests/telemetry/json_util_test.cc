@@ -1,0 +1,280 @@
+#include "src/telemetry/json_util.h"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <string>
+
+#include "src/telemetry/metrics.h"
+#include "src/telemetry/event_trace.h"
+
+namespace defl {
+namespace {
+
+// Minimal strict JSON parser: accepts exactly the RFC 8259 grammar (objects,
+// arrays, strings with escapes, numbers, true/false/null) and nothing else.
+// In particular the bare `nan`/`inf` tokens printf produces for non-finite
+// doubles are syntax errors here -- which is the point: everything the
+// telemetry layer dumps must survive a parser this strict.
+class StrictJsonParser {
+ public:
+  explicit StrictJsonParser(const std::string& text) : text_(text) {}
+
+  bool Parse() {
+    pos_ = 0;
+    SkipWs();
+    if (!ParseValue()) {
+      return false;
+    }
+    SkipWs();
+    return pos_ == text_.size();  // trailing garbage is an error
+  }
+
+ private:
+  bool ParseValue() {
+    if (pos_ >= text_.size()) {
+      return false;
+    }
+    switch (text_[pos_]) {
+      case '{':
+        return ParseObject();
+      case '[':
+        return ParseArray();
+      case '"':
+        return ParseString();
+      case 't':
+        return Literal("true");
+      case 'f':
+        return Literal("false");
+      case 'n':
+        return Literal("null");
+      default:
+        return ParseNumber();
+    }
+  }
+
+  bool ParseObject() {
+    ++pos_;  // '{'
+    SkipWs();
+    if (Peek() == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      if (!ParseString()) {
+        return false;
+      }
+      SkipWs();
+      if (Peek() != ':') {
+        return false;
+      }
+      ++pos_;
+      SkipWs();
+      if (!ParseValue()) {
+        return false;
+      }
+      SkipWs();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == '}') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool ParseArray() {
+    ++pos_;  // '['
+    SkipWs();
+    if (Peek() == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      if (!ParseValue()) {
+        return false;
+      }
+      SkipWs();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == ']') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool ParseString() {
+    if (Peek() != '"') {
+      return false;
+    }
+    ++pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return false;  // raw control byte inside a string
+      }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) {
+          return false;
+        }
+        const char esc = text_[pos_];
+        if (esc == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (pos_ >= text_.size() || !std::isxdigit(static_cast<unsigned char>(text_[pos_]))) {
+              return false;
+            }
+          }
+        } else if (esc != '"' && esc != '\\' && esc != '/' && esc != 'b' &&
+                   esc != 'f' && esc != 'n' && esc != 'r' && esc != 't') {
+          return false;
+        }
+      }
+      ++pos_;
+    }
+    return false;
+  }
+
+  bool ParseNumber() {
+    const size_t start = pos_;
+    if (Peek() == '-') {
+      ++pos_;
+    }
+    if (!Digits()) {
+      return false;
+    }
+    if (Peek() == '.') {
+      ++pos_;
+      if (!Digits()) {
+        return false;
+      }
+    }
+    if (Peek() == 'e' || Peek() == 'E') {
+      ++pos_;
+      if (Peek() == '+' || Peek() == '-') {
+        ++pos_;
+      }
+      if (!Digits()) {
+        return false;
+      }
+    }
+    return pos_ > start;
+  }
+
+  bool Digits() {
+    const size_t start = pos_;
+    while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool Literal(const char* word) {
+    for (const char* p = word; *p != '\0'; ++p, ++pos_) {
+      if (pos_ >= text_.size() || text_[pos_] != *p) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  char Peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+bool StrictParse(const std::string& text) { return StrictJsonParser(text).Parse(); }
+
+TEST(StrictJsonParserTest, SelfCheck) {
+  EXPECT_TRUE(StrictParse("{\"a\": [1, -2.5e3, null, true, \"x\\n\"]}"));
+  EXPECT_FALSE(StrictParse("{\"a\": nan}"));
+  EXPECT_FALSE(StrictParse("{\"a\": inf}"));
+  EXPECT_FALSE(StrictParse("{\"a\": -inf}"));
+  EXPECT_FALSE(StrictParse("{\"a\": 1} trailing"));
+  EXPECT_FALSE(StrictParse("{\"a\": .5}"));
+}
+
+TEST(JsonUtilTest, FiniteNumbersRoundTripAtFullPrecision) {
+  EXPECT_EQ(JsonNumber(0.0), "0");
+  EXPECT_EQ(JsonNumber(-1.5), "-1.5");
+  EXPECT_EQ(JsonNumber(0.1), "0.10000000000000001");  // %.17g, deterministic
+}
+
+TEST(JsonUtilTest, NonFiniteNumbersRenderAsNull) {
+  EXPECT_EQ(JsonNumber(std::numeric_limits<double>::quiet_NaN()), "null");
+  EXPECT_EQ(JsonNumber(std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(JsonNumber(-std::numeric_limits<double>::infinity()), "null");
+}
+
+TEST(JsonUtilTest, StringEscapesQuotesBackslashesAndControlBytes) {
+  EXPECT_EQ(JsonString("plain"), "\"plain\"");
+  EXPECT_EQ(JsonString("a\"b"), "\"a\\\"b\"");
+  EXPECT_EQ(JsonString("a\\b"), "\"a\\\\b\"");
+  EXPECT_EQ(JsonString("a\nb\tc\rd"), "\"a\\nb\\tc\\rd\"");
+  EXPECT_EQ(JsonString(std::string("a\x01z")), "\"a\\u0001z\"");
+  EXPECT_TRUE(StrictParse(JsonString(std::string("q\x02\x1f\n\"\\"))));
+}
+
+TEST(JsonUtilTest, MetricsDumpWithNonFiniteGaugeIsStrictlyValidJson) {
+  MetricsRegistry registry;
+  registry.Set(registry.Gauge("poisoned/not_a_number"),
+               std::numeric_limits<double>::quiet_NaN());
+  registry.Set(registry.Gauge("poisoned/unbounded"),
+               std::numeric_limits<double>::infinity());
+  registry.Set(registry.Gauge("healthy"), 42.0);
+  std::ostringstream os;
+  registry.DumpJson(os);
+  const std::string dump = os.str();
+  EXPECT_TRUE(StrictParse(dump)) << dump;
+  EXPECT_NE(dump.find("null"), std::string::npos);
+  EXPECT_EQ(dump.find("nan"), std::string::npos);
+  EXPECT_EQ(dump.find("inf"), std::string::npos);
+}
+
+TEST(JsonUtilTest, TraceDumpWithNonFiniteVectorIsStrictlyValidJsonl) {
+  EventTrace trace;
+  ResourceVector poisoned(std::numeric_limits<double>::quiet_NaN(), 1024.0,
+                          std::numeric_limits<double>::infinity(), 10.0);
+  trace.RecordAt(1.0, TraceEventKind::kDeflation, CascadeLayer::kHypervisor, 3, 1,
+                 poisoned, ResourceVector::Zero(), 1);
+  trace.RecordAt(2.0, TraceEventKind::kPlacement, CascadeLayer::kNone, 4, 2,
+                 ResourceVector(1.0, 2.0, 3.0, 4.0), ResourceVector::Zero(), 1);
+  std::ostringstream os;
+  trace.DumpJsonl(os);
+  std::istringstream lines(os.str());
+  std::string line;
+  int parsed = 0;
+  while (std::getline(lines, line)) {
+    EXPECT_TRUE(StrictParse(line)) << line;
+    ++parsed;
+  }
+  EXPECT_EQ(parsed, 2);
+}
+
+}  // namespace
+}  // namespace defl
