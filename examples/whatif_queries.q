@@ -1,0 +1,19 @@
+# What-if query batch for deflation_server (--queries=...).
+# One query per line: kind key=value ...; `#` comments and blanks skipped.
+
+# Headroom: how many more 2-core transient VMs fit right now?
+place count=40 cpu=2 mem=4096
+
+# Firm capacity: can we take 10 high-priority 4-core VMs without deflating?
+place count=10 cpu=4 mem=8192 prio=high
+
+# Resilience: what does losing 20% of the fleet cost immediately...
+fail fraction=0.2 seed=7
+# ... and after an hour of the workload churning on the survivors?
+fail fraction=0.5 seed=3 hours=1
+
+# Packing: push overcommitment toward 1.8 with 2-core transients.
+overcommit target=1.8 cpu=2 mem=4096 limit=500
+
+# Baseline forecast: two more hours of the snapshotted workload as-is.
+run hours=2

@@ -851,7 +851,12 @@ Result<SimSession> SimSession::Restore(const std::string& path,
 
 Result<SimSession> SimSession::RestoreBytes(const std::string& bytes,
                                             const RestoreOptions& options) {
-  Result<SnapshotReader> opened = SnapshotReader::Open(bytes);
+  return RestoreView(std::string_view(bytes), options);
+}
+
+Result<SimSession> SimSession::RestoreView(std::string_view bytes,
+                                           const RestoreOptions& options) {
+  Result<SnapshotReader> opened = SnapshotReader::OpenView(bytes);
   if (!opened.ok()) {
     return Error{opened.error()};
   }
@@ -864,6 +869,15 @@ Result<SimSession> SimSession::RestoreBytes(const std::string& bytes,
   config.telemetry = nullptr;
   if (options.threads > 0) {
     config.cluster.threads = options.threads;
+  }
+  if (options.placement >= 0) {
+    if (options.placement > static_cast<int>(PlacementPolicy::kTwoChoices)) {
+      return Error{"placement override " + std::to_string(options.placement) +
+                   " is not a PlacementPolicy (max " +
+                   std::to_string(static_cast<int>(PlacementPolicy::kTwoChoices)) +
+                   ")"};
+    }
+    config.cluster.placement = static_cast<PlacementPolicy>(options.placement);
   }
   const Result<bool> valid = ValidateConfig(config);
   if (!valid.ok()) {

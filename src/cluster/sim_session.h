@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/cluster/cluster_sim.h"
@@ -64,6 +65,11 @@ class SimSession {
     // byte-identical for every value (DESIGN.md §10), so a snapshot taken
     // at --threads 8 restores exactly on a single-core box.
     int threads = 0;
+    // >= 0 overrides the snapshotted placement policy (a PlacementPolicy
+    // cast to int). The restored fleet state is untouched -- only future
+    // placement decisions change. This is the sweep orchestrator's policy
+    // axis (DESIGN.md §15); out-of-range values fail the restore.
+    int placement = -1;
   };
 
   // Builds the session and schedules the whole run (fault timeline, trace
@@ -94,6 +100,12 @@ class SimSession {
   static Result<SimSession> RestoreBytes(const std::string& bytes) {
     return RestoreBytes(bytes, RestoreOptions());
   }
+  // Zero-copy restore over caller-kept memory: the blob is only read during
+  // the call and never written, so any number of sessions -- including
+  // concurrently, from different threads -- can fork off one shared const
+  // blob (the what-if service's copy-on-restore children, DESIGN.md §15).
+  static Result<SimSession> RestoreView(std::string_view bytes,
+                                        const RestoreOptions& options);
 
   SimSession(SimSession&&) noexcept;
   SimSession& operator=(SimSession&&) noexcept;

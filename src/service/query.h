@@ -1,0 +1,73 @@
+// What-if query model for the capacity-planning service (DESIGN.md §15).
+// A query is one line of text -- a kind token followed by key=value fields:
+//
+//   place count=200 cpu=2 mem=4096 prio=low hours=1
+//   fail fraction=0.25 seed=7
+//   overcommit target=1.5 cpu=2 mem=4096 limit=5000
+//   run hours=6
+//
+// Every query executes against a private copy-on-restore child session of
+// the service's immutable base snapshot, so answers never interfere. The
+// parser is strict and total: unknown kinds or keys, duplicate keys,
+// malformed numbers, out-of-range values, and empty scripts all fail with a
+// descriptive (line-numbered, for scripts) error -- never a crash.
+#ifndef SRC_SERVICE_QUERY_H_
+#define SRC_SERVICE_QUERY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/hypervisor/vm.h"
+#include "src/resources/resource_vector.h"
+
+namespace defl {
+
+enum class QueryKind {
+  kPlace,       // attempt `count` launches of `shape`; report placed/rejected
+  kFail,        // crash floor(fraction * healthy + 0.5) servers (seeded draw)
+  kOvercommit,  // admit `shape` VMs until Overcommitment() >= target
+  kRun,         // advance the simulation `hours` sim-hours
+};
+
+const char* QueryKindName(QueryKind kind);
+
+struct WhatIfQuery {
+  QueryKind kind = QueryKind::kRun;
+
+  // place: VMs to attempt (count >= 1).
+  int64_t count = 0;
+  // place/overcommit: VM size (cpu required > 0; mem/disk/net >= 0) and
+  // priority (prio=low VMs are fully deflatable, prio=high are firm).
+  ResourceVector shape;
+  VmPriority priority = VmPriority::kLow;
+
+  // fail: fraction of currently-healthy servers to crash, in [0, 1], and the
+  // seed of the private victim-selection RNG (part of the query, so the same
+  // query always crashes the same servers).
+  double fraction = 0.0;
+  uint64_t seed = 1;
+
+  // overcommit: stop once cluster Overcommitment() >= target (> 0), a launch
+  // is rejected, or `limit` admissions were attempted (1 <= limit).
+  double target = 0.0;
+  int64_t limit = 10000;
+
+  // All kinds: afterwards advance the simulation this many sim-hours and
+  // report preemptions and the deflation distribution. Required (> 0) for
+  // `run`; optional (>= 0, default 0 = report immediately) elsewhere.
+  double hours = 0.0;
+};
+
+// Parses one query line. The line must be a single query (no comments).
+Result<WhatIfQuery> ParseQuery(const std::string& line);
+
+// Parses a query script: one query per line, blank lines and `#` comments
+// skipped. Errors carry the 1-based line number. An effectively empty script
+// is an error (a batch of zero queries is always a caller mistake).
+Result<std::vector<WhatIfQuery>> ParseQueryScript(const std::string& text);
+
+}  // namespace defl
+
+#endif  // SRC_SERVICE_QUERY_H_

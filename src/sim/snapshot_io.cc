@@ -79,11 +79,43 @@ std::string SnapshotWriter::Finish() {
   return std::move(bytes_);
 }
 
-SnapshotReader::SnapshotReader(std::string bytes, size_t payload_begin,
-                               size_t payload_end)
-    : bytes_(std::move(bytes)), pos_(payload_begin), payload_end_(payload_end) {}
+SnapshotReader::SnapshotReader(std::string owned, std::string_view bytes,
+                               size_t payload_begin, size_t payload_end)
+    : owned_(std::move(owned)),
+      bytes_(owned_.empty() ? bytes : std::string_view(owned_)),
+      pos_(payload_begin),
+      payload_end_(payload_end) {}
+
+SnapshotReader::SnapshotReader(SnapshotReader&& other) noexcept
+    : owned_(std::move(other.owned_)),
+      bytes_(owned_.empty() ? other.bytes_ : std::string_view(owned_)),
+      pos_(other.pos_),
+      payload_end_(other.payload_end_),
+      error_(std::move(other.error_)) {}
+
+SnapshotReader& SnapshotReader::operator=(SnapshotReader&& other) noexcept {
+  if (this != &other) {
+    owned_ = std::move(other.owned_);
+    bytes_ = owned_.empty() ? other.bytes_ : std::string_view(owned_);
+    pos_ = other.pos_;
+    payload_end_ = other.payload_end_;
+    error_ = std::move(other.error_);
+  }
+  return *this;
+}
 
 Result<SnapshotReader> SnapshotReader::Open(std::string bytes) {
+  Result<SnapshotReader> opened = OpenView(std::string_view(bytes));
+  if (!opened.ok()) {
+    return Error{opened.error()};
+  }
+  // Re-anchor the validated framing onto storage the reader owns; pos_ and
+  // payload_end_ are offsets, so they carry over unchanged.
+  return SnapshotReader(std::move(bytes), std::string_view(),
+                        opened.value().pos_, opened.value().payload_end_);
+}
+
+Result<SnapshotReader> SnapshotReader::OpenView(std::string_view bytes) {
   constexpr size_t kHeader = sizeof(kSnapshotMagic) + 4;
   constexpr size_t kFooter = 8;
   if (bytes.size() < kHeader + kFooter) {
@@ -116,7 +148,7 @@ Result<SnapshotReader> SnapshotReader::Open(std::string bytes) {
     return Error{std::string("snapshot integrity check failed (") + buf +
                  "); the file is corrupted or truncated"};
   }
-  return SnapshotReader(std::move(bytes), kHeader, body);
+  return SnapshotReader(std::string(), bytes, kHeader, body);
 }
 
 bool SnapshotReader::Need(size_t n) {
@@ -185,7 +217,7 @@ std::string SnapshotReader::ReadString() {
   if (!Need(static_cast<size_t>(size))) {
     return {};
   }
-  std::string out = bytes_.substr(pos_, static_cast<size_t>(size));
+  std::string out(bytes_.substr(pos_, static_cast<size_t>(size)));
   pos_ += static_cast<size_t>(size);
   return out;
 }

@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/common/result.h"
@@ -58,10 +59,26 @@ class SnapshotWriter {
 // Sequential typed decoder over a sealed blob. Open() verifies the magic,
 // the version, and the integrity footer up front, so the typed reads only
 // have to guard against logical truncation (reads past the payload).
+//
+// Ownership comes in two flavours: Open() takes the bytes by value and owns
+// them for the reader's lifetime; OpenView() decodes IN PLACE over memory the
+// caller keeps alive and never mutates. The view form is what makes restores
+// from one shared const blob cheap -- N concurrent readers over the same
+// string perform zero copies of it (DESIGN.md §15).
 class SnapshotReader {
  public:
   // Validates framing; the reader is positioned at the start of the payload.
   static Result<SnapshotReader> Open(std::string bytes);
+  // As Open(), but non-owning: `bytes` must outlive the reader and must not
+  // change while any reader views it (readers never write through it).
+  static Result<SnapshotReader> OpenView(std::string_view bytes);
+
+  // Moves must rebind the view when the reader owns its storage (the string
+  // buffer can live inside the object for small strings).
+  SnapshotReader(SnapshotReader&& other) noexcept;
+  SnapshotReader& operator=(SnapshotReader&& other) noexcept;
+  SnapshotReader(const SnapshotReader&) = delete;
+  SnapshotReader& operator=(const SnapshotReader&) = delete;
 
   // Typed reads. After any failure ok() turns false and every later read
   // returns a zero value; callers check ok()/error() once per section.
@@ -86,10 +103,14 @@ class SnapshotReader {
   size_t Remaining() const { return payload_end_ - pos_; }
 
  private:
-  SnapshotReader(std::string bytes, size_t payload_begin, size_t payload_end);
+  SnapshotReader(std::string owned, std::string_view bytes, size_t payload_begin,
+                 size_t payload_end);
   bool Need(size_t n);
 
-  std::string bytes_;
+  // Backing storage when the reader owns the blob (Open); empty for views.
+  // `bytes_` always points at the blob being decoded.
+  std::string owned_;
+  std::string_view bytes_;
   size_t pos_ = 0;
   size_t payload_end_ = 0;
   std::string error_;

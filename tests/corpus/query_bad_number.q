@@ -1,0 +1,1 @@
+fail fraction=0.5x

@@ -1,0 +1,1 @@
+place count=5 count=6 cpu=2

@@ -1,0 +1,2 @@
+# overcommit needs target=; this one only has a shape.
+overcommit cpu=2

@@ -1,0 +1,1 @@
+place count=5 cpu=

@@ -1,0 +1,2 @@
+# 'deflate' is not a query kind (place/fail/overcommit/run).
+deflate fraction=0.5

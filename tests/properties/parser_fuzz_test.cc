@@ -1,8 +1,10 @@
-// Structure-aware fuzzing of the three durable-artifact parsers: snapshot
-// blobs, write-ahead journals, and CSV traces. The durability layer's whole
-// promise rests on these readers being total -- any byte damage a crash or a
-// disk can produce must come back as a clean Result error (or a truncated
-// torn tail, for the WAL), never a crash, hang, or silently wrong state.
+// Structure-aware fuzzing of the durable-artifact parsers -- snapshot
+// blobs, write-ahead journals, CSV traces -- plus the what-if service's two
+// operator-input parsers (query scripts and sweep grids, DESIGN.md §15).
+// The durability layer's whole promise rests on these readers being total --
+// any byte damage a crash or a disk can produce must come back as a clean
+// Result error (or a truncated torn tail, for the WAL), never a crash,
+// hang, or silently wrong state.
 // Mutations are seeded from DEFL_FAULT_SEED so CI's seed matrix explores
 // fresh damage each leg; a checked-in corpus of crafted regression inputs
 // (tests/corpus/) pins the known-nasty shapes: bit flips that must trip the
@@ -19,6 +21,8 @@
 #include "src/cluster/trace_io.h"
 #include "src/common/atomic_file.h"
 #include "src/common/rng.h"
+#include "src/service/query.h"
+#include "src/service/sweep.h"
 #include "src/sim/snapshot_io.h"
 #include "src/sim/wal_io.h"
 
@@ -174,6 +178,54 @@ TEST(ParserFuzzTest, DamagedTracesErrorOrParseNeverCrash) {
   }
 }
 
+TEST(ParserFuzzTest, DamagedQueryScriptsErrorOrParseNeverCrash) {
+  // Operator text is not checksummed, so some mutations still parse (e.g. a
+  // digit changed inside a count). The property is totality: every mutation
+  // gets a clean verdict, and rejections carry a non-empty message.
+  const std::string valid =
+      "# capacity probe\n"
+      "place count=20 cpu=2 mem=4096 prio=low hours=0.5\n"
+      "fail fraction=0.3 seed=11\n"
+      "overcommit target=1.6 cpu=2 mem=4096 limit=200\n"
+      "run hours=2\n";
+  ASSERT_TRUE(ParseQueryScript(valid).ok());
+  Rng rng(TestSeed() ^ 0x9e81f004ULL);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string mutated = valid;
+    if (!Mutate(rng, mutated)) {
+      continue;
+    }
+    const Result<std::vector<WhatIfQuery>> parsed = ParseQueryScript(mutated);
+    if (!parsed.ok()) {
+      EXPECT_FALSE(parsed.error().empty()) << "trial " << trial;
+    }
+  }
+}
+
+TEST(ParserFuzzTest, DamagedSweepGridsErrorOrParseNeverCrash) {
+  const std::string valid =
+      "policy = best-fit, first-fit, 2-choices\n"
+      "fail-fraction = 0.0, 0.25\n"
+      "overcommit-target = 1.2, 1.8\n"
+      "intensity = 0.5, 1.0\n"
+      "hours = 1\n"
+      "shape = 2:4096\n"
+      "fail-seed = 7\n"
+      "limit = 300\n";
+  ASSERT_TRUE(ParseSweepGrid(valid).ok());
+  Rng rng(TestSeed() ^ 0x6a1df005ULL);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string mutated = valid;
+    if (!Mutate(rng, mutated)) {
+      continue;
+    }
+    const Result<SweepGrid> parsed = ParseSweepGrid(mutated);
+    if (!parsed.ok()) {
+      EXPECT_FALSE(parsed.error().empty()) << "trial " << trial;
+    }
+  }
+}
+
 // The checked-in corpus: regression inputs crafted to probe specific layers
 // (checksum, framing, semantic bounds). File-name prefix selects the parser;
 // every corpus member must be handled without a crash, and the snapshot- and
@@ -207,12 +259,26 @@ TEST(ParserFuzzTest, CheckedInCorpusIsHandledCleanly) {
     } else if (name.rfind("trace_", 0) == 0) {
       const Result<std::vector<TraceEvent>> parsed = ParseTraceCsv(bytes.value());
       EXPECT_FALSE(parsed.ok()) << name << " parsed but is damaged";
+    } else if (name.rfind("query_", 0) == 0) {
+      const Result<std::vector<WhatIfQuery>> parsed =
+          ParseQueryScript(bytes.value());
+      EXPECT_FALSE(parsed.ok()) << name << " parsed but is malformed";
+      if (!parsed.ok()) {
+        EXPECT_FALSE(parsed.error().empty()) << name;
+      }
+    } else if (name.rfind("grid_", 0) == 0) {
+      const Result<SweepGrid> parsed = ParseSweepGrid(bytes.value());
+      EXPECT_FALSE(parsed.ok()) << name << " parsed but is malformed";
+      if (!parsed.ok()) {
+        EXPECT_FALSE(parsed.error().empty()) << name;
+      }
     } else {
       ADD_FAILURE() << "corpus file " << name
-                    << " has no parser prefix (snapshot_/wal_/trace_)";
+                    << " has no parser prefix "
+                       "(snapshot_/wal_/trace_/query_/grid_)";
     }
   }
-  EXPECT_GE(seen, 8) << "corpus went missing from " << dir;
+  EXPECT_GE(seen, 15) << "corpus went missing from " << dir;
 }
 
 }  // namespace

@@ -10,11 +10,13 @@
 #include <cstdlib>
 #include <sstream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/cluster/sim_session.h"
 #include "src/common/rng.h"
 #include "src/faults/fault_plan.h"
+#include "src/sim/snapshot_io.h"
 #include "src/telemetry/telemetry.h"
 
 namespace defl {
@@ -176,6 +178,109 @@ TEST(SnapshotRoundtripTest, DoubleKillIsInvisible) {
   ASSERT_TRUE(restored.ok()) << restored.error();
   restored.value().Finish();
   EXPECT_EQ(reference, Export(resumed));
+}
+
+TEST(SnapshotRoundtripTest, SharedBlobServesManyRestoresUnchanged) {
+  // The what-if service's contract (DESIGN.md §15): N sessions forked off
+  // ONE const blob -- via the zero-copy RestoreView path -- each finish to
+  // the uninterrupted output, at randomized kill points and mixed thread
+  // counts, and the blob's bytes never change.
+  const ClusterSimConfig config = BaseConfig();
+  const std::string reference = RunUninterrupted(config, 1);
+  Rng rng(TestSeed() ^ 0xb10bf00dULL);
+  const double kill_at_s = rng.Uniform(0.0, config.trace.duration_s);
+  std::string blob;
+  {
+    TelemetryContext telemetry;
+    ClusterSimConfig run = config;
+    run.telemetry = &telemetry;
+    Result<SimSession> session = SimSession::Open(run);
+    ASSERT_TRUE(session.ok()) << session.error();
+    session.value().StepUntil(kill_at_s);
+    blob = session.value().SnapshotBytes();
+  }
+  const uint64_t blob_fnv = SnapshotFnv1a64(blob.data(), blob.size());
+  for (int restore = 0; restore < 3; ++restore) {
+    TelemetryContext resumed;
+    SimSession::RestoreOptions options;
+    options.telemetry = &resumed;
+    options.threads = kThreadCounts[static_cast<size_t>(restore) %
+                                    (sizeof(kThreadCounts) / sizeof(int))];
+    Result<SimSession> restored =
+        SimSession::RestoreView(std::string_view(blob), options);
+    ASSERT_TRUE(restored.ok()) << "restore " << restore << ": "
+                               << restored.error();
+    restored.value().Finish();
+    EXPECT_EQ(reference, Export(resumed))
+        << "restore " << restore << " from the shared blob diverged";
+    EXPECT_EQ(blob_fnv, SnapshotFnv1a64(blob.data(), blob.size()))
+        << "restore " << restore << " wrote through the shared blob";
+  }
+}
+
+TEST(SnapshotRoundtripTest, FileAndBytesRestorePathsAgree) {
+  // Snapshot(path) + Restore(path) and SnapshotBytes() + RestoreBytes()
+  // must be the same round trip: the file layer adds framing-free I/O only.
+  const ClusterSimConfig config = BaseConfig();
+  std::string bytes;
+  const std::string path = testing::TempDir() + "/roundtrip_paths.snap";
+  {
+    TelemetryContext telemetry;
+    ClusterSimConfig run = config;
+    run.telemetry = &telemetry;
+    Result<SimSession> session = SimSession::Open(run);
+    ASSERT_TRUE(session.ok()) << session.error();
+    session.value().StepUntil(1800.0);
+    bytes = session.value().SnapshotBytes();
+    const Result<bool> written = session.value().Snapshot(path);
+    ASSERT_TRUE(written.ok()) << written.error();
+  }
+  TelemetryContext from_file_ctx;
+  SimSession::RestoreOptions file_options;
+  file_options.telemetry = &from_file_ctx;
+  Result<SimSession> from_file = SimSession::Restore(path, file_options);
+  ASSERT_TRUE(from_file.ok()) << from_file.error();
+  from_file.value().Finish();
+
+  TelemetryContext from_bytes_ctx;
+  SimSession::RestoreOptions bytes_options;
+  bytes_options.telemetry = &from_bytes_ctx;
+  Result<SimSession> from_bytes = SimSession::RestoreBytes(bytes, bytes_options);
+  ASSERT_TRUE(from_bytes.ok()) << from_bytes.error();
+  from_bytes.value().Finish();
+
+  EXPECT_EQ(Export(from_file_ctx), Export(from_bytes_ctx));
+}
+
+TEST(SnapshotRoundtripTest, PlacementOverrideValidatedAndApplied) {
+  const ClusterSimConfig config = BaseConfig();
+  std::string bytes;
+  {
+    TelemetryContext telemetry;
+    ClusterSimConfig run = config;
+    run.telemetry = &telemetry;
+    Result<SimSession> session = SimSession::Open(run);
+    ASSERT_TRUE(session.ok()) << session.error();
+    session.value().StepUntil(900.0);
+    bytes = session.value().SnapshotBytes();
+  }
+  TelemetryContext overridden;
+  SimSession::RestoreOptions options;
+  options.telemetry = &overridden;
+  options.placement = static_cast<int>(PlacementPolicy::kFirstFit);
+  Result<SimSession> restored = SimSession::RestoreBytes(bytes, options);
+  ASSERT_TRUE(restored.ok()) << restored.error();
+  EXPECT_EQ(restored.value().config().cluster.placement,
+            PlacementPolicy::kFirstFit);
+
+  TelemetryContext rejected;
+  SimSession::RestoreOptions bad;
+  bad.telemetry = &rejected;
+  bad.placement = 42;
+  Result<SimSession> invalid = SimSession::RestoreBytes(bytes, bad);
+  ASSERT_FALSE(invalid.ok());
+  EXPECT_NE(invalid.error().find("placement override"), std::string::npos)
+      << invalid.error();
 }
 
 // Every shipped fault plan: the injector cursors and the health timeline

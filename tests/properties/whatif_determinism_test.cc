@@ -1,0 +1,189 @@
+// Property test for the what-if service's concurrency contract (DESIGN.md
+// §15): a randomized batch of queries answered (a) serially and (b)
+// concurrently at several worker counts against the same base snapshot must
+// produce bitwise-identical per-query results, and the shared base blob
+// must hash identically before and after -- queries are isolated
+// copy-on-restore children and never write through the blob. Runs under
+// the TSan CI matrix; query batches are seeded from DEFL_FAULT_SEED so each
+// CI leg explores a different batch.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "src/cluster/sim_session.h"
+#include "src/common/rng.h"
+#include "src/service/query.h"
+#include "src/service/sweep.h"
+#include "src/service/whatif.h"
+#include "src/sim/snapshot_io.h"
+#include "src/telemetry/telemetry.h"
+
+namespace defl {
+namespace {
+
+uint64_t TestSeed() {
+  const char* env = std::getenv("DEFL_FAULT_SEED");
+  if (env != nullptr && *env != '\0') {
+    return std::strtoull(env, nullptr, 10);
+  }
+  return 42;
+}
+
+// A mid-run snapshot (half the horizon still ahead), so `run`/`hours=`
+// queries genuinely simulate instead of hitting the horizon clamp.
+std::string MidRunSnapshot() {
+  ClusterSimConfig config;
+  config.num_servers = 8;
+  config.server_capacity = ResourceVector(16.0, 128.0 * 1024.0, 1000.0, 10000.0);
+  config.trace.duration_s = 2.0 * 3600.0;
+  config.trace.max_lifetime_s = 3600.0;
+  config.trace.seed = TestSeed();
+  config.trace =
+      WithTargetLoad(config.trace, 1.5, config.num_servers, config.server_capacity);
+  config.reinflate_period_s = 600.0;
+  Result<SimSession> session = SimSession::Open(config);
+  EXPECT_TRUE(session.ok()) << session.error();
+  session.value().StepUntil(3600.0);
+  return session.value().SnapshotBytes();
+}
+
+WhatIfQuery RandomQuery(Rng& rng) {
+  WhatIfQuery query;
+  switch (rng.UniformInt(0, 3)) {
+    case 0:
+      query.kind = QueryKind::kPlace;
+      query.count = rng.UniformInt(1, 40);
+      query.shape = ResourceVector(static_cast<double>(rng.UniformInt(1, 8)),
+                                   static_cast<double>(rng.UniformInt(1, 16)) *
+                                       1024.0);
+      query.priority = rng.Chance(0.3) ? VmPriority::kHigh : VmPriority::kLow;
+      query.hours = rng.Chance(0.5) ? rng.Uniform(0.1, 0.5) : 0.0;
+      break;
+    case 1:
+      query.kind = QueryKind::kFail;
+      query.fraction = rng.Uniform(0.0, 0.6);
+      query.seed = rng.NextU64();
+      query.hours = rng.Chance(0.5) ? rng.Uniform(0.1, 0.5) : 0.0;
+      break;
+    case 2:
+      query.kind = QueryKind::kOvercommit;
+      query.target = rng.Uniform(1.1, 1.9);
+      query.shape = ResourceVector(2.0, 4096.0);
+      query.limit = rng.UniformInt(10, 120);
+      break;
+    default:
+      query.kind = QueryKind::kRun;
+      query.hours = rng.Uniform(0.1, 1.0);
+      break;
+  }
+  return query;
+}
+
+TEST(WhatIfDeterminismTest, ConcurrentBatchesMatchSerialBitwise) {
+  Result<WhatIfService> loaded = WhatIfService::Load(MidRunSnapshot());
+  ASSERT_TRUE(loaded.ok()) << loaded.error();
+  const WhatIfService& service = loaded.value();
+  const uint64_t blob_fnv_before = service.blob_fnv();
+
+  Rng rng(TestSeed() ^ 0x817a71f5ULL);
+  std::vector<WhatIfQuery> queries;
+  for (int i = 0; i < 12; ++i) {
+    queries.push_back(RandomQuery(rng));
+  }
+
+  const std::string serial = service.AnswerBatch(queries, 1);
+  ASSERT_FALSE(serial.empty());
+  for (const int workers : {2, 7}) {
+    EXPECT_EQ(serial, service.AnswerBatch(queries, workers))
+        << "workers=" << workers << " changed a query answer";
+  }
+  // The shared blob is read-only: no query may have written through it.
+  EXPECT_EQ(blob_fnv_before,
+            SnapshotFnv1a64(service.blob().data(), service.blob().size()));
+}
+
+TEST(WhatIfDeterminismTest, RepeatedConcurrentBatchesAreStable) {
+  // Two concurrent runs of the same batch on one service instance: the
+  // service holds no per-query mutable state, so the reports must match.
+  Result<WhatIfService> loaded = WhatIfService::Load(MidRunSnapshot());
+  ASSERT_TRUE(loaded.ok()) << loaded.error();
+  Rng rng(TestSeed() ^ 0x5eedba7cULL);
+  std::vector<WhatIfQuery> queries;
+  for (int i = 0; i < 8; ++i) {
+    queries.push_back(RandomQuery(rng));
+  }
+  const std::string first = loaded.value().AnswerBatch(queries, 7);
+  EXPECT_EQ(first, loaded.value().AnswerBatch(queries, 7));
+}
+
+TEST(WhatIfDeterminismTest, AnswersDependOnlyOnBlobAndQuery) {
+  // Two service instances over the same bytes answer identically: nothing
+  // about an instance (load order, prior answers) leaks into a result.
+  const std::string blob = MidRunSnapshot();
+  Result<WhatIfService> a = WhatIfService::Load(blob);
+  Result<WhatIfService> b = WhatIfService::Load(blob);
+  ASSERT_TRUE(a.ok() && b.ok());
+  Rng rng(TestSeed() ^ 0x0b10bULL);
+  const WhatIfQuery query = RandomQuery(rng);
+  // Warm instance `a` with a different query first.
+  (void)a.value().Answer(RandomQuery(rng));
+  Result<std::string> from_a = a.value().Answer(query);
+  Result<std::string> from_b = b.value().Answer(query);
+  ASSERT_TRUE(from_a.ok() && from_b.ok());
+  EXPECT_EQ(from_a.value(), from_b.value());
+}
+
+TEST(WhatIfDeterminismTest, CorruptBlobIsRejectedAtLoad) {
+  std::string blob = MidRunSnapshot();
+  blob[blob.size() / 2] = static_cast<char>(blob[blob.size() / 2] ^ 0x40);
+  Result<WhatIfService> loaded = WhatIfService::Load(std::move(blob));
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.error().find("snapshot blob rejected"), std::string::npos)
+      << loaded.error();
+}
+
+TEST(WhatIfDeterminismTest, PlacementOverrideChangesOnlyFuturePolicy) {
+  Result<WhatIfService> loaded = WhatIfService::Load(MidRunSnapshot());
+  ASSERT_TRUE(loaded.ok()) << loaded.error();
+  TelemetryContext telemetry;
+  Result<SimSession> child = loaded.value().RestoreChild(
+      &telemetry, static_cast<int>(PlacementPolicy::kTwoChoices));
+  ASSERT_TRUE(child.ok()) << child.error();
+  EXPECT_EQ(child.value().config().cluster.placement,
+            PlacementPolicy::kTwoChoices);
+
+  TelemetryContext telemetry2;
+  Result<SimSession> bad = loaded.value().RestoreChild(&telemetry2, 99);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.error().find("placement override"), std::string::npos)
+      << bad.error();
+}
+
+TEST(WhatIfSweepTest, WorkerCountDoesNotChangeSweepReport) {
+  Result<WhatIfService> loaded = WhatIfService::Load(MidRunSnapshot());
+  ASSERT_TRUE(loaded.ok()) << loaded.error();
+  SweepGrid grid;
+  grid.policies = {PlacementPolicy::kBestFit, PlacementPolicy::kTwoChoices};
+  grid.fail_fractions = {0.0, 0.25};
+  grid.overcommit_targets = {1.4};
+  grid.intensities = {0.5, 1.0};
+  grid.hours = 0.5;
+  grid.shape = ResourceVector(2.0, 4096.0);
+  grid.limit = 60;
+  SweepOrchestrator orchestrator(&loaded.value());
+  Result<std::string> one = orchestrator.Run(grid, 1);
+  ASSERT_TRUE(one.ok()) << one.error();
+  for (const int workers : {2, 8}) {
+    Result<std::string> many = orchestrator.Run(grid, workers);
+    ASSERT_TRUE(many.ok()) << many.error();
+    EXPECT_EQ(one.value(), many.value()) << "workers=" << workers;
+  }
+  // 2 policies x 2 fractions x 1 target x 2 intensities.
+  EXPECT_NE(one.value().find("# sweep cells=8 "), std::string::npos)
+      << one.value();
+}
+
+}  // namespace
+}  // namespace defl

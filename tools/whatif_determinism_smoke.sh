@@ -1,0 +1,57 @@
+#!/bin/sh
+# End-to-end determinism check for the what-if service (DESIGN.md §15):
+#
+#   1. Worker invariance on a MID-RUN snapshot (3h into a 6h run, so
+#      `run hours=` queries actually simulate): the shipped query batch and
+#      both shipped sweep grids must be byte-identical at workers 1 vs 8.
+#   2. Base-source invariance: a cold snapshot taken at the horizon and a
+#      durable-dir run of the same scenario driven to completion hold the
+#      same state (recovery is byte-exact), so both bases must answer the
+#      batch identically -- at different worker counts, for good measure.
+#
+# Usage: whatif_determinism_smoke.sh <deflation_sim> <deflation_server> \
+#            <work_dir> <examples_dir>
+set -eu
+
+SIM="$1"
+SERVER="$2"
+DIR="$3"
+EXAMPLES="$4"
+
+rm -rf "$DIR"
+mkdir -p "$DIR"
+cd "$DIR"
+
+# --- 1. Worker invariance on a mid-run snapshot ---
+"$SIM" --servers=10 --duration-h=6 --load=1.5 \
+  --stop-after-h=3 --snapshot-out=mid.snap > /dev/null
+
+"$SERVER" --snapshot=mid.snap --queries="$EXAMPLES/whatif_queries.q" \
+  --workers=1 --out=batch_w1.jsonl 2> /dev/null
+"$SERVER" --snapshot=mid.snap --queries="$EXAMPLES/whatif_queries.q" \
+  --workers=8 --out=batch_w8.jsonl 2> /dev/null
+cmp batch_w1.jsonl batch_w8.jsonl
+
+for grid in sweep_policies sweep_faults; do
+  "$SERVER" --snapshot=mid.snap --sweep="$EXAMPLES/$grid.grid" \
+    --workers=1 --out="${grid}_w1.jsonl" 2> /dev/null
+  "$SERVER" --snapshot=mid.snap --sweep="$EXAMPLES/$grid.grid" \
+    --workers=8 --out="${grid}_w8.jsonl" 2> /dev/null
+  cmp "${grid}_w1.jsonl" "${grid}_w8.jsonl"
+done
+
+# --- 2. Cold snapshot vs recovered durable dir ---
+"$SIM" --servers=10 --duration-h=3 --load=1.5 \
+  --stop-after-h=3 --snapshot-out=cold.snap > /dev/null
+
+"$SIM" --servers=10 --duration-h=3 --load=1.5 \
+  --durable-dir=run.d --checkpoint-every-h=1 --checkpoint-min-wall-s=0 \
+  > /dev/null
+
+"$SERVER" --snapshot=cold.snap --queries="$EXAMPLES/whatif_queries.q" \
+  --workers=1 --out=cold.jsonl 2> /dev/null
+"$SERVER" --recover-dir=run.d --queries="$EXAMPLES/whatif_queries.q" \
+  --workers=4 --out=recovered.jsonl 2> /dev/null
+cmp cold.jsonl recovered.jsonl
+
+echo "whatif determinism smoke: OK"
