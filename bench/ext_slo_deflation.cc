@@ -1,0 +1,109 @@
+// Extension (DESIGN.md §16): SLO-violation rate vs deflation policy for the
+// interactive-serving scenario. Sweeps the p99 target across the SLO-aware
+// controller and the uniform-proportional baseline on the same diurnal
+// trace: the controller concentrates deflation on batch victims and
+// reinflates web VMs under tail pressure, so its violation rate must sit at
+// or below the baseline's at every target.
+//
+// Output: the usual bench table, then one `ext_slo_json: {...}` footer line
+// with the machine-readable points. The simulation is deterministic, so CI
+// diffs the integer fields and the violation rates against
+// bench/ext_slo_baseline.json exactly (any drift is a behavior change).
+#include <string>
+
+#include "bench/bench_util.h"
+#include "src/cluster/cluster_sim.h"
+
+namespace defl {
+namespace {
+
+// The interactive golden scenario at bench scale: hot enough that the
+// baseline violates at every target and the controller has work to do.
+ClusterSimConfig InteractiveConfig(double slo_p99_ms, bool slo_aware) {
+  ClusterSimConfig config;
+  config.num_servers = 30;
+  config.server_capacity = ResourceVector(32.0, 256.0 * 1024.0, 1000.0, 10000.0);
+  config.trace.seed = 42;
+  config.trace.duration_s = 3.0 * 3600.0;
+  config.trace.max_lifetime_s = 2.0 * 3600.0;
+  config.trace.low_priority_fraction = 0.6;
+  config.trace =
+      WithTargetLoad(config.trace, 1.6, config.num_servers, config.server_capacity);
+  config.reinflate_period_s = 600.0;
+  config.arrivals.enabled = true;
+  config.arrivals.diurnal_amplitude = 0.6;
+  config.arrivals.diurnal_period_s = 2.0 * 3600.0;
+  config.arrivals.seed = 17;
+  config.interactive.enabled = true;
+  config.interactive.fraction = 0.45;
+  config.interactive.slo_p99_ms = slo_p99_ms;
+  config.interactive.slo_aware = slo_aware;
+  config.interactive.control_period_s = 300.0;
+  config.interactive.rate_rps_per_cpu = 120.0;
+  config.interactive.rate_period_s = 2.0 * 3600.0;
+  return config;
+}
+
+}  // namespace
+}  // namespace defl
+
+int main() {
+  using namespace defl;
+  bench::PrintHeader("Extension: SLO vs deflation",
+                     "slo-aware controller vs uniform-proportional baseline");
+  bench::PrintNote("30 servers, 1.6x load, 45% interactive mix over diurnal");
+  bench::PrintNote("arrivals; same trace per row, only the policy differs.");
+  bench::PrintColumns({"p99-target", "policy", "viol-rate", "mean-p99",
+                       "peak-p99", "reinflate", "victims", "preempted"});
+
+  std::string json = "{\"bench\": \"ext_slo_deflation\", \"points\": [";
+  bool first = true;
+  int failures = 0;
+  for (const double target_ms : {40.0, 60.0, 100.0}) {
+    double uniform_rate = 0.0;
+    for (const bool slo_aware : {false, true}) {
+      const ClusterSimResult result =
+          RunClusterSim(InteractiveConfig(target_ms, slo_aware));
+      bench::PrintCell(target_ms);
+      bench::PrintCell(slo_aware ? "slo" : "uniform");
+      bench::PrintCell(result.slo_violation_rate);
+      bench::PrintCell(result.slo_mean_p99_ms);
+      bench::PrintCell(result.slo_peak_p99_ms);
+      bench::PrintCell(static_cast<double>(result.slo_reinflate_ops));
+      bench::PrintCell(static_cast<double>(result.slo_victim_deflations));
+      bench::PrintCell(static_cast<double>(result.counters.preempted));
+      bench::EndRow();
+      if (slo_aware) {
+        // The controller's whole claim: no worse a tail than the baseline.
+        if (result.slo_violation_rate > uniform_rate) {
+          std::printf("FAIL: slo policy violates more than uniform at "
+                      "p99=%.0fms (%.4f vs %.4f)\n",
+                      target_ms, result.slo_violation_rate, uniform_rate);
+          ++failures;
+        }
+      } else {
+        uniform_rate = result.slo_violation_rate;
+      }
+      char buf[384];
+      std::snprintf(
+          buf, sizeof(buf),
+          "%s{\"p99_target_ms\": %.0f, \"policy\": \"%s\", "
+          "\"violation_rate\": %.4f, \"mean_p99_ms\": %.2f, "
+          "\"peak_p99_ms\": %.2f, \"interactive_vms\": %lld, "
+          "\"reinflate_ops\": %lld, \"victim_deflations\": %lld, "
+          "\"preempted\": %lld}",
+          first ? "" : ", ", target_ms, slo_aware ? "slo" : "uniform",
+          result.slo_violation_rate, result.slo_mean_p99_ms,
+          result.slo_peak_p99_ms,
+          static_cast<long long>(result.interactive_vms),
+          static_cast<long long>(result.slo_reinflate_ops),
+          static_cast<long long>(result.slo_victim_deflations),
+          static_cast<long long>(result.counters.preempted));
+      json += buf;
+      first = false;
+    }
+  }
+  json += "]}";
+  std::printf("ext_slo_json: %s\n", json.c_str());
+  return failures == 0 ? 0 : 1;
+}

@@ -17,3 +17,7 @@ overcommit target=1.8 cpu=2 mem=4096 limit=500
 
 # Baseline forecast: two more hours of the snapshotted workload as-is.
 run hours=2
+
+# Tail health: serve 40% of the fleet interactively for an hour under the
+# SLO-aware controller -- what violation rate does an 80 ms p99 target see?
+slo p99=80 fraction=0.4 policy=slo hours=1

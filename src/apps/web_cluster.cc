@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 
 #include "src/core/cascade.h"
 
@@ -15,6 +16,51 @@ const char* LoadBalancingPolicyName(LoadBalancingPolicy policy) {
       return "even-split";
   }
   return "?";
+}
+
+double WebServiceTimeInflation(const WebLatencyParams& params, double d) {
+  d = std::clamp(d, 0.0, 1.0);
+  double inflation = 1.0 + params.graceful_slope * d;
+  if (d > params.knee_fraction && params.knee_fraction < 1.0) {
+    const double past =
+        (d - params.knee_fraction) / (1.0 - params.knee_fraction);
+    inflation += params.cliff_scale * std::pow(past, params.cliff_power);
+  }
+  return inflation;
+}
+
+double WebCapacityRps(const WebLatencyParams& params, double effective_cpus,
+                      double d) {
+  if (effective_cpus <= 0.0 || params.base_service_us <= 0.0) {
+    return 0.0;
+  }
+  const double service_us =
+      params.base_service_us * WebServiceTimeInflation(params, d);
+  return effective_cpus * 1e6 / service_us;
+}
+
+WebLatencyQuantiles WebLatencyUnderLoad(const WebLatencyParams& params,
+                                        double effective_cpus, double d,
+                                        double offered_rps) {
+  WebLatencyQuantiles q;
+  q.capacity_rps = WebCapacityRps(params, effective_cpus, d);
+  if (q.capacity_rps <= 0.0) {
+    // A fully collapsed backend: report an hour-scale sentinel latency so
+    // any finite SLO reads as violated, without producing inf/nan.
+    q.utilization = 1.0;
+    const double t_s = 3600.0;
+    q.p50_ms = t_s * std::log(2.0) * 1000.0;
+    q.p99_ms = t_s * std::log(100.0) * 1000.0;
+    return q;
+  }
+  const double raw_rho = std::max(offered_rps, 0.0) / q.capacity_rps;
+  q.utilization = std::min(raw_rho, params.max_utilization);
+  // M/M/1 sojourn time T = (1/mu) / (1 - rho); exponential sojourn gives
+  // quantile q at -T ln(1 - q).
+  const double t_s = (1.0 / q.capacity_rps) / (1.0 - q.utilization);
+  q.p50_ms = t_s * std::log(2.0) * 1000.0;
+  q.p99_ms = t_s * std::log(100.0) * 1000.0;
+  return q;
 }
 
 WebCluster::WebCluster(int num_backends, const ResourceVector& vm_size,

@@ -26,6 +26,46 @@ enum class LoadBalancingPolicy {
 
 const char* LoadBalancingPolicyName(LoadBalancingPolicy policy);
 
+// Tail-latency model for one deflated web VM (the fig5-style degradation
+// curves: performance degrades gracefully up to a knee, then falls off a
+// cliff as deflation digs into the working set). Service time inflates with
+// the deflation fraction d = 1 - effective/nominal; request latency follows
+// an M/M/1 open-loop queue on the deflated capacity.
+struct WebLatencyParams {
+  double base_service_us = 2000.0;  // undeflated per-request service time
+  // Up to `knee_fraction` deflation, service time grows linearly with slope
+  // `graceful_slope` (memcached/web tier in fig5: <~2x at 50% deflation).
+  double knee_fraction = 0.5;
+  double graceful_slope = 0.8;
+  // Past the knee the working set no longer fits: a polynomial cliff.
+  double cliff_power = 3.0;
+  double cliff_scale = 6.0;
+  // Open-loop utilization is clamped here so the M/M/1 term stays finite.
+  double max_utilization = 0.98;
+};
+
+// Latency quantiles of one backend under an offered load, in milliseconds.
+struct WebLatencyQuantiles {
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double utilization = 0.0;   // after clamping to max_utilization
+  double capacity_rps = 0.0;  // service rate at this deflation level
+};
+
+// Service-time multiplier at deflation fraction `d` in [0, 1].
+double WebServiceTimeInflation(const WebLatencyParams& params, double d);
+
+// Capacity (requests/s) of a backend with `effective_cpus` of compute whose
+// service time has been inflated by deflation fraction `d`.
+double WebCapacityRps(const WebLatencyParams& params, double effective_cpus,
+                      double d);
+
+// Steady-state M/M/1 quantiles for `offered_rps` against the deflated
+// capacity: p50 = T ln 2, p99 = T ln 100 with T the mean sojourn time.
+WebLatencyQuantiles WebLatencyUnderLoad(const WebLatencyParams& params,
+                                        double effective_cpus, double d,
+                                        double offered_rps);
+
 struct WebClusterMetrics {
   double offered_rps = 0.0;
   double served_rps = 0.0;   // requests actually completed

@@ -5,14 +5,45 @@
 #ifndef SRC_CLUSTER_CLUSTER_SIM_H_
 #define SRC_CLUSTER_CLUSTER_SIM_H_
 
+#include <cstdint>
 #include <vector>
 
+#include "src/apps/web_cluster.h"
 #include "src/cluster/cluster_manager.h"
 #include "src/cluster/pricing.h"
 #include "src/cluster/trace.h"
 #include "src/faults/fault_plan.h"
 
 namespace defl {
+
+// Interactive-serving workload mix (ROADMAP item 3, the Fuerst/Shenoy
+// follow-up question): a fraction of low-priority arrivals are web VMs
+// serving an open-loop diurnal request stream. A periodic SLO controller
+// evaluates each web VM's p99 against the fig5-style latency model
+// (WebLatencyParams) and -- when slo_aware -- relieves violating VMs by
+// deflating batch/spark co-tenants and reinflating the web VM, as an
+// alternative to the EuroSys uniform-proportional policies.
+struct InteractiveSloConfig {
+  bool enabled = false;
+  // Fraction of low-priority trace arrivals re-tagged as interactive web
+  // VMs (seeded, deterministic; explicit traces tag by "web" name prefix).
+  double fraction = 0.3;
+  uint64_t seed = 21;
+  // Tail-latency target for interactive VMs, in milliseconds.
+  double slo_p99_ms = 100.0;
+  // true: the SLO-aware controller (prefer batch victims, reinflate web VMs
+  // on SLO pressure); false: measure violations only and leave reclamation
+  // to the uniform policies (the paper's baseline).
+  bool slo_aware = true;
+  double control_period_s = 60.0;
+  // Open-loop request generator: per-VM offered load in requests/s is
+  // rate_rps_per_cpu * nominal_cpus * (1 + amplitude*sin(2*pi*(t+phase)/T))
+  // with a per-VM deterministic phase (millions of users in aggregate).
+  double rate_rps_per_cpu = 30.0;
+  double rate_amplitude = 0.6;
+  double rate_period_s = 24.0 * 3600.0;
+  WebLatencyParams latency;
+};
 
 struct ClusterSimConfig {
   int num_servers = 100;
@@ -46,6 +77,9 @@ struct ClusterSimConfig {
   // How long a recovered server stays on probation (kRecovering, excluded
   // from placement) before being promoted back to kHealthy.
   double recovery_grace_s = 600.0;
+  // Interactive-serving workload mix + SLO controller (off by default; when
+  // disabled the run is byte-identical to builds without the feature).
+  InteractiveSloConfig interactive;
   // Telemetry sink (absorbed the second argument of the deprecated
   // RunClusterSim overload): the run publishes every metric and trace event
   // through it and derives all result fields from it. nullptr = the session
@@ -77,6 +111,13 @@ struct ClusterSimResult {
   int64_t crash_replacements = 0;
   int64_t server_crashes = 0;
   int64_t server_recoveries = 0;
+  // Interactive-serving scenario (all zero unless interactive.enabled).
+  int64_t interactive_vms = 0;        // arrivals tagged as web VMs
+  double slo_violation_rate = 0.0;    // violating checks / total checks
+  double slo_mean_p99_ms = 0.0;       // mean observed p99 across checks
+  double slo_peak_p99_ms = 0.0;       // worst observed p99
+  int64_t slo_reinflate_ops = 0;      // SLO-pressure reinflations of web VMs
+  int64_t slo_victim_deflations = 0;  // batch co-tenants deflated to relieve
 };
 
 // Batch compatibility wrapper over SimSession (src/cluster/sim_session.h):

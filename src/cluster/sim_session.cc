@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "src/cluster/predictor.h"
+#include "src/common/rng.h"
 #include "src/common/stats.h"
 #include "src/faults/fault_injector.h"
 #include "src/hypervisor/vm.h"
@@ -18,12 +19,12 @@ namespace {
 
 // The typed, serializable event queue. The closure-based Simulator cannot
 // checkpoint (std::function is opaque), so the session replays the cluster
-// simulation through six reconstructible event kinds; `payload` indexes into
-// state the snapshot carries (the fault timeline, the materialized trace) or
-// names a server/VM directly. Scheduling and execution order mirror the old
-// RunClusterSim closure program exactly -- same (time, seq) keys, same
-// relative pushes -- so the event sequence, every RNG draw, and therefore
-// every byte of telemetry are unchanged.
+// simulation through seven reconstructible event kinds; `payload` indexes
+// into state the snapshot carries (the fault timeline, the materialized
+// trace) or names a server/VM directly. Scheduling and execution order
+// mirror the old RunClusterSim closure program exactly -- same (time, seq)
+// keys, same relative pushes -- so the event sequence, every RNG draw, and
+// therefore every byte of telemetry are unchanged.
 enum class SimEventKind : uint8_t {
   kFaultEvent = 0,     // payload: index into State::fault_events
   kMarkHealthy = 1,    // payload: server id (recovery probation expired)
@@ -31,8 +32,9 @@ enum class SimEventKind : uint8_t {
   kVmCompletion = 3,   // payload: VmId (no-op if already preempted)
   kSampleTick = 4,     // payload unused; self-reschedules
   kReinflateTick = 5,  // payload unused; self-reschedules
+  kSloTick = 6,        // payload unused; self-reschedules (interactive only)
 };
-constexpr uint8_t kMaxEventKind = 5;
+constexpr uint8_t kMaxEventKind = 6;
 
 struct QueueEntry {
   double when = 0.0;
@@ -108,6 +110,80 @@ uint64_t TraceFnv(const std::vector<TraceEvent>& trace) {
   }
   const std::string bytes = w.Finish();
   return SnapshotFnv1a64(bytes.data(), bytes.size());
+}
+
+// --- Interactive-serving workload mix (ROADMAP item 3) -------------------
+// A seeded fraction of low-priority arrivals are re-tagged as web VMs that
+// serve an open-loop request stream; the SLO tick evaluates their p99
+// against the fig5-style latency model and, under the slo-aware policy,
+// relieves violating VMs at the expense of batch co-tenants.
+
+constexpr double kTwoPi = 6.283185307179586476925286766559;
+
+bool IsInteractiveSpec(const VmSpec& spec) {
+  return spec.name.rfind("web", 0) == 0;
+}
+
+// Re-tags a seeded fraction of low-priority arrivals as interactive web VMs
+// (deflatable to 25% of nominal, like the catalog's web entries). One
+// Chance() draw per candidate event, in trace order, so the tagged set is a
+// pure function of (trace, seed, fraction) -- regenerated identically on
+// restore. Events already named "web*" (explicit replay traces) count as
+// interactive without re-tagging. Arrival times and lifetimes are untouched,
+// so pending queue entries indexing the trace stay valid across a re-tag.
+int64_t ApplyInteractiveMix(std::vector<TraceEvent>& trace,
+                            const InteractiveSloConfig& mix) {
+  Rng rng(mix.seed);
+  int64_t tagged = 0;
+  for (size_t i = 0; i < trace.size(); ++i) {
+    TraceEvent& event = trace[i];
+    if (IsInteractiveSpec(event.spec)) {
+      ++tagged;
+      continue;
+    }
+    if (event.spec.priority != VmPriority::kLow) {
+      continue;
+    }
+    if (!rng.Chance(mix.fraction)) {
+      continue;
+    }
+    event.spec.name = "web-" + std::to_string(i);
+    event.spec.min_size = event.spec.size * 0.25;
+    ++tagged;
+  }
+  return tagged;
+}
+
+int64_t CountInteractive(const std::vector<TraceEvent>& trace) {
+  int64_t tagged = 0;
+  for (const TraceEvent& event : trace) {
+    if (IsInteractiveSpec(event.spec)) {
+      ++tagged;
+    }
+  }
+  return tagged;
+}
+
+// Stateless per-VM phase offset for the diurnal request-rate curve
+// (SplitMix64 finalizer over the mix seed and the VM id): every VM peaks at
+// its own time of day without the session carrying per-VM generator state.
+double InteractivePhaseS(uint64_t seed, VmId id, double period_s) {
+  uint64_t z = seed ^ (0x9e3779b97f4a7c15ULL * (static_cast<uint64_t>(id) + 1));
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  return period_s * (static_cast<double>(z >> 11) * 0x1.0p-53);
+}
+
+// Open-loop offered load for one web VM at simulated time `now`: millions of
+// aggregate users follow a sinusoidal diurnal curve, phase-shifted per VM.
+double OfferedRps(const InteractiveSloConfig& mix, VmId id, double nominal_cpu,
+                  double now) {
+  const double phase = InteractivePhaseS(mix.seed, id, mix.rate_period_s);
+  const double wave = std::sin(kTwoPi * (now + phase) / mix.rate_period_s);
+  return std::max(0.0,
+                  mix.rate_rps_per_cpu * nominal_cpu *
+                      (1.0 + mix.rate_amplitude * wave));
 }
 
 // Length prefix bounded against the remaining payload so a crafted count
@@ -192,6 +268,23 @@ void WriteConfig(SnapshotWriter& w, const ClusterSimConfig& config) {
   w.WriteF64(a.burst_duration_s);
   w.WriteF64(a.burst_multiplier);
   w.WriteU64(a.seed);
+  // Format v4: the interactive-serving workload mix + SLO controller.
+  const InteractiveSloConfig& i = config.interactive;
+  w.WriteBool(i.enabled);
+  w.WriteF64(i.fraction);
+  w.WriteU64(i.seed);
+  w.WriteF64(i.slo_p99_ms);
+  w.WriteBool(i.slo_aware);
+  w.WriteF64(i.control_period_s);
+  w.WriteF64(i.rate_rps_per_cpu);
+  w.WriteF64(i.rate_amplitude);
+  w.WriteF64(i.rate_period_s);
+  w.WriteF64(i.latency.base_service_us);
+  w.WriteF64(i.latency.knee_fraction);
+  w.WriteF64(i.latency.graceful_slope);
+  w.WriteF64(i.latency.cliff_power);
+  w.WriteF64(i.latency.cliff_scale);
+  w.WriteF64(i.latency.max_utilization);
 }
 
 ClusterSimConfig ReadConfig(SnapshotReader& r) {
@@ -274,6 +367,22 @@ ClusterSimConfig ReadConfig(SnapshotReader& r) {
   a.burst_duration_s = r.ReadF64();
   a.burst_multiplier = r.ReadF64();
   a.seed = r.ReadU64();
+  InteractiveSloConfig& i = config.interactive;
+  i.enabled = r.ReadBool();
+  i.fraction = r.ReadF64();
+  i.seed = r.ReadU64();
+  i.slo_p99_ms = r.ReadF64();
+  i.slo_aware = r.ReadBool();
+  i.control_period_s = r.ReadF64();
+  i.rate_rps_per_cpu = r.ReadF64();
+  i.rate_amplitude = r.ReadF64();
+  i.rate_period_s = r.ReadF64();
+  i.latency.base_service_us = r.ReadF64();
+  i.latency.knee_fraction = r.ReadF64();
+  i.latency.graceful_slope = r.ReadF64();
+  i.latency.cliff_power = r.ReadF64();
+  i.latency.cliff_scale = r.ReadF64();
+  i.latency.max_utilization = r.ReadF64();
   return config;
 }
 
@@ -309,6 +418,18 @@ struct SimSession::State {
   GaugeHandle low_effective_cpu_hours;
   GaugeHandle high_cpu_hours;
   DistributionHandle allocation_quality;
+  // Interactive-serving metrics: registered only when interactive.enabled,
+  // so the registry layout (and every golden digest) of the existing
+  // scenarios is unchanged. Derived (not serialized): interactive_tagged is
+  // recounted from the materialized trace on restore.
+  CounterHandle slo_checks;
+  CounterHandle slo_violations;
+  CounterHandle slo_reinflates;
+  CounterHandle slo_victim_deflations;
+  DistributionHandle slo_p99_dist;
+  SeriesHandle slo_offered_series;
+  SeriesHandle slo_p99_series;
+  int64_t interactive_tagged = 0;
 
   double now = 0.0;
   int64_t next_seq = 0;
@@ -380,7 +501,113 @@ struct SimSession::State {
         Push(NextPeriodicFire(entry.when, config.reinflate_period_s),
              SimEventKind::kReinflateTick, 0);
         break;
+      case SimEventKind::kSloTick:
+        SloTick();
+        Push(NextPeriodicFire(entry.when, config.interactive.control_period_s),
+             SimEventKind::kSloTick, 0);
+        break;
     }
+  }
+
+  void RegisterInteractiveMetrics(MetricsRegistry& registry) {
+    slo_checks = registry.Counter("slo/checks");
+    slo_violations = registry.Counter("slo/violations");
+    slo_reinflates = registry.Counter("slo/reinflate_ops");
+    slo_victim_deflations = registry.Counter("slo/victim_deflations");
+    slo_p99_dist = registry.Distribution("slo/p99_ms");
+    slo_offered_series = registry.Series("slo/offered_rps");
+    slo_p99_series = registry.Series("slo/worst_p99_ms");
+  }
+
+  // Relieves one SLO-violating web VM: restore its nominal allocation by
+  // deflating batch/spark co-tenants on the same server (never another web
+  // VM) and handing the freed resources back through the reverse cascade.
+  // Victims are taken in hosting order -- the canonical order everything
+  // else uses -- so the pass is deterministic at any thread count.
+  void RelieveSloPressure(Server* server, LocalController* controller,
+                          Vm* web, MetricsRegistry& registry) {
+    const ResourceVector deficit =
+        (web->spec().size - web->effective()).ClampNonNegative();
+    if (!deficit.AnyPositive()) {
+      return;
+    }
+    ResourceVector shortfall = (deficit - server->Free()).ClampNonNegative();
+    if (shortfall.AnyPositive()) {
+      for (const auto& hosted : server->vms()) {
+        if (!shortfall.AnyPositive()) {
+          break;
+        }
+        Vm* victim = hosted.get();
+        if (victim == web || !victim->deflatable() ||
+            IsInteractiveSpec(victim->spec())) {
+          continue;
+        }
+        const ResourceVector take = shortfall.Min(victim->deflatable_amount());
+        if (!take.AnyPositive()) {
+          continue;
+        }
+        const DeflationOutcome outcome = controller->DeflateVm(victim->id(), take);
+        const ResourceVector got = outcome.TotalReclaimed();
+        if (got.AnyPositive()) {
+          registry.Add(slo_victim_deflations);
+        }
+        shortfall = (shortfall - got).ClampNonNegative();
+      }
+    }
+    const ResourceVector give = deficit.Min(server->Free());
+    if (!give.AnyPositive()) {
+      return;
+    }
+    ReinflatePlan plan;
+    plan.entries.push_back(ReinflatePlan::Entry{web, give});
+    controller->ApplyReinflate(plan);
+    registry.Add(slo_reinflates);
+  }
+
+  // The SLO control loop (ROADMAP item 3): evaluate every interactive VM's
+  // open-loop p99 against the target. Under the slo-aware policy a violating
+  // VM is relieved immediately; under the uniform baseline the violation is
+  // only counted and reclamation stays with the EuroSys policies. Sequential
+  // in canonical (server, hosting) order -- the tick reads and mutates fleet
+  // state, so it runs on the coordinating thread like plan application does.
+  void SloTick() {
+    const InteractiveSloConfig& mix = config.interactive;
+    MetricsRegistry& registry = telemetry->metrics();
+    double worst_p99_ms = 0.0;
+    double total_offered = 0.0;
+    for (Server* server : manager->servers()) {
+      LocalController* controller = manager->controller(server->id());
+      const auto& hosted = server->vms();
+      for (size_t i = 0; i < hosted.size(); ++i) {
+        Vm* web = hosted[i].get();
+        if (!IsInteractiveSpec(web->spec())) {
+          continue;
+        }
+        const double nominal_cpu = web->spec().size[ResourceKind::kCpu];
+        const double effective_cpu = web->effective()[ResourceKind::kCpu];
+        if (nominal_cpu <= 0.0) {
+          continue;
+        }
+        const double offered = OfferedRps(mix, web->id(), nominal_cpu, now);
+        total_offered += offered;
+        const double d =
+            std::clamp(1.0 - effective_cpu / nominal_cpu, 0.0, 1.0);
+        const WebLatencyQuantiles q =
+            WebLatencyUnderLoad(mix.latency, effective_cpu, d, offered);
+        registry.Add(slo_checks);
+        registry.Observe(slo_p99_dist, q.p99_ms);
+        worst_p99_ms = std::max(worst_p99_ms, q.p99_ms);
+        if (q.p99_ms <= mix.slo_p99_ms) {
+          continue;
+        }
+        registry.Add(slo_violations);
+        if (mix.slo_aware) {
+          RelieveSloPressure(server, controller, web, registry);
+        }
+      }
+    }
+    registry.ObserveAt(slo_offered_series, now, total_offered);
+    registry.ObserveAt(slo_p99_series, now, worst_p99_ms);
   }
 
   // The sampling sweep gathers every server's usage snapshot in parallel
@@ -493,6 +720,12 @@ std::unique_ptr<SimSession::State> BuildCore(const ClusterSimConfig& config,
   state->high_cpu_hours = registry.Gauge("cluster/usage/high_pri_cpu_hours");
   state->allocation_quality =
       registry.Distribution("cluster/low_pri/allocation_quality");
+  // Registered last, and only for interactive runs: every pre-existing
+  // scenario keeps its exact registry layout (ImportState and the golden
+  // digests both depend on it).
+  if (config.interactive.enabled) {
+    state->RegisterInteractiveMetrics(registry);
+  }
   return state;
 }
 
@@ -519,6 +752,36 @@ Result<bool> ValidateConfig(const ClusterSimConfig& config) {
   if (!arrivals_error.empty()) {
     return Error{"arrivals: " + arrivals_error};
   }
+  if (config.interactive.enabled) {
+    const InteractiveSloConfig& i = config.interactive;
+    if (i.fraction < 0.0 || i.fraction > 1.0) {
+      return Error{"interactive.fraction must be in [0, 1]"};
+    }
+    if (i.slo_p99_ms <= 0.0) {
+      return Error{"interactive.slo_p99_ms must be positive"};
+    }
+    if (i.control_period_s <= 0.0) {
+      return Error{"interactive.control_period_s must be positive"};
+    }
+    if (i.rate_rps_per_cpu < 0.0) {
+      return Error{"interactive.rate_rps_per_cpu must be non-negative"};
+    }
+    if (i.rate_amplitude < 0.0 || i.rate_amplitude > 1.0) {
+      return Error{"interactive.rate_amplitude must be in [0, 1]"};
+    }
+    if (i.rate_period_s <= 0.0) {
+      return Error{"interactive.rate_period_s must be positive"};
+    }
+    if (i.latency.base_service_us <= 0.0) {
+      return Error{"interactive.latency.base_service_us must be positive"};
+    }
+    if (i.latency.knee_fraction < 0.0 || i.latency.knee_fraction >= 1.0) {
+      return Error{"interactive.latency.knee_fraction must be in [0, 1)"};
+    }
+    if (i.latency.max_utilization <= 0.0 || i.latency.max_utilization >= 1.0) {
+      return Error{"interactive.latency.max_utilization must be in (0, 1)"};
+    }
+  }
   return true;
 }
 
@@ -537,13 +800,23 @@ Result<SimSession> SimSession::Open(const ClusterSimConfig& config) {
   std::unique_ptr<State> state = BuildCore(config, nullptr);
   if (!config.explicit_trace.empty()) {
     state->trace = config.explicit_trace;
-  } else if (config.arrivals.enabled) {
-    state->trace = GenerateDiurnalTrace(config.trace, config.arrivals);
-    state->trace_generated = true;
+    // An explicit trace is authoritative: VMs it already names "web*" are
+    // interactive, nothing is re-tagged.
+    if (config.interactive.enabled) {
+      state->interactive_tagged = CountInteractive(state->trace);
+    }
   } else {
-    state->trace = GenerateTrace(config.trace);
+    state->trace = config.arrivals.enabled
+                       ? GenerateDiurnalTrace(config.trace, config.arrivals)
+                       : GenerateTrace(config.trace);
     state->trace_generated = true;
+    if (config.interactive.enabled) {
+      state->interactive_tagged =
+          ApplyInteractiveMix(state->trace, config.interactive);
+    }
   }
+  // Checksummed after tagging: a restore regenerates and re-tags with the
+  // snapshotted mix before verifying.
   state->trace_fnv = TraceFnv(state->trace);
 
   // Schedule the whole program in the exact order the batch runner did:
@@ -561,6 +834,9 @@ Result<SimSession> SimSession::Open(const ClusterSimConfig& config) {
   state->Push(config.sample_period_s, SimEventKind::kSampleTick, 0);
   if (config.reinflate_period_s > 0.0) {
     state->Push(config.reinflate_period_s, SimEventKind::kReinflateTick, 0);
+  }
+  if (config.interactive.enabled) {
+    state->Push(config.interactive.control_period_s, SimEventKind::kSloTick, 0);
   }
   return SimSession(std::move(state));
 }
@@ -660,6 +936,19 @@ ClusterSimResult SimSession::Finish() {
   result.crash_replacements = result.counters.crash_replaced;
   result.server_crashes = result.counters.server_crashes;
   result.server_recoveries = result.counters.server_recoveries;
+  if (s.config.interactive.enabled) {
+    result.interactive_vms = s.interactive_tagged;
+    const int64_t checks = registry.counter(s.slo_checks);
+    const int64_t violations = registry.counter(s.slo_violations);
+    result.slo_violation_rate =
+        checks > 0 ? static_cast<double>(violations) / static_cast<double>(checks)
+                   : 0.0;
+    const RunningStats& p99 = registry.distribution(s.slo_p99_dist);
+    result.slo_mean_p99_ms = p99.mean();
+    result.slo_peak_p99_ms = p99.count() > 0 ? p99.max() : 0.0;
+    result.slo_reinflate_ops = registry.counter(s.slo_reinflates);
+    result.slo_victim_deflations = registry.counter(s.slo_victim_deflations);
+  }
   return result;
 }
 
@@ -900,6 +1189,9 @@ Result<SimSession> SimSession::RestoreView(std::string_view bytes,
                     ? GenerateDiurnalTrace(s.config.trace, s.config.arrivals)
                     : GenerateTrace(s.config.trace);
       s.trace_generated = true;
+      if (s.config.interactive.enabled) {
+        s.interactive_tagged = ApplyInteractiveMix(s.trace, s.config.interactive);
+      }
       s.trace_fnv = TraceFnv(s.trace);
       if (s.trace.size() != trace_size || s.trace_fnv != trace_fnv) {
         r.Fail("snapshot's elided arrival trace cannot be regenerated: the "
@@ -923,6 +1215,9 @@ Result<SimSession> SimSession::RestoreView(std::string_view bytes,
     // An explicit trace must never be re-sampled: pending arrival events
     // index into exactly this materialized list.
     s.config.explicit_trace = s.trace;
+    if (s.config.interactive.enabled) {
+      s.interactive_tagged = CountInteractive(s.trace);
+    }
     s.trace_fnv = TraceFnv(s.trace);
     if (r.ok() && s.trace_fnv != trace_fnv) {
       r.Fail("snapshot's inlined arrival trace fails its checksum");
@@ -962,6 +1257,14 @@ Result<SimSession> SimSession::RestoreView(std::string_view bytes,
       case SimEventKind::kVmCompletion:
         payload_ok = entry.payload >= 0 &&
                      static_cast<size_t>(entry.payload) < s.trace.size();
+        break;
+      case SimEventKind::kSloTick:
+        // An SLO tick without the interactive config is inconsistent (its
+        // reschedule would divide by a zero period).
+        if (!config.interactive.enabled) {
+          r.Fail("snapshot queues an SLO tick but interactive serving is "
+                 "disabled in its config");
+        }
         break;
       default:
         break;
@@ -1171,6 +1474,53 @@ Result<SimSession> SimSession::RestoreView(std::string_view bytes,
   if (r.ok()) {
     s.telemetry->trace().set_enabled(trace_enabled);
     s.telemetry->trace().RestoreEvents(std::move(events));
+  }
+
+  // The SLO override (DESIGN.md §16) applies only after the full parse: the
+  // trace checksum was verified against the ORIGINAL config's mix, and the
+  // registry import needed the snapshot's exact layout. Enabling interactive
+  // serving here appends the slo/* metrics to the registry tail -- the same
+  // position BuildCore gives them -- and re-tags the regenerated trace, so
+  // only future arrivals change; already-placed VMs keep their specs.
+  if (r.ok() && options.slo.active) {
+    const bool was_enabled = s.config.interactive.enabled;
+    InteractiveSloConfig& mix = s.config.interactive;
+    mix.enabled = true;
+    if (options.slo.slo_p99_ms >= 0.0) {
+      mix.slo_p99_ms = options.slo.slo_p99_ms;
+    }
+    if (options.slo.policy >= 0) {
+      mix.slo_aware = options.slo.policy != 0;
+    }
+    if (options.slo.control_period_s >= 0.0) {
+      mix.control_period_s = options.slo.control_period_s;
+    }
+    if (options.slo.fraction >= 0.0) {
+      mix.fraction = options.slo.fraction;
+    }
+    const Result<bool> still_valid = ValidateConfig(s.config);
+    if (!still_valid.ok()) {
+      r.Fail("slo override yields an invalid config: " + still_valid.error());
+    }
+    if (r.ok() && (options.slo.fraction >= 0.0 || !was_enabled)) {
+      if (s.trace_generated) {
+        s.trace = s.config.arrivals.enabled
+                      ? GenerateDiurnalTrace(s.config.trace, s.config.arrivals)
+                      : GenerateTrace(s.config.trace);
+        s.interactive_tagged = ApplyInteractiveMix(s.trace, mix);
+        s.trace_fnv = TraceFnv(s.trace);
+      } else if (options.slo.fraction >= 0.0) {
+        r.Fail("slo override cannot re-tag an explicit trace (no generator "
+               "to rerun); it tags by the \"web\" name prefix only");
+      } else {
+        s.interactive_tagged = CountInteractive(s.trace);
+      }
+    }
+    if (r.ok() && !was_enabled) {
+      s.RegisterInteractiveMetrics(s.telemetry->metrics());
+      s.Push(NextPeriodicFire(s.now, mix.control_period_s),
+             SimEventKind::kSloTick, 0);
+    }
   }
 
   if (!r.ok()) {

@@ -70,6 +70,20 @@ class SimSession {
     // placement decisions change. This is the sweep orchestrator's policy
     // axis (DESIGN.md §15); out-of-range values fail the restore.
     int placement = -1;
+    // Interactive-serving override (the `slo` what-if query, DESIGN.md §16):
+    // enables the SLO controller on the restored child -- or adjusts an
+    // already-interactive run -- without disturbing restored fleet state.
+    // Negative fields keep the snapshotted value. Overriding `fraction`
+    // re-tags the regenerated trace, so it fails on explicit-trace
+    // snapshots (there is no generator to rerun).
+    struct SloOverride {
+      bool active = false;
+      double slo_p99_ms = -1.0;
+      double fraction = -1.0;
+      int policy = -1;  // 0 = uniform baseline, 1 = slo-aware
+      double control_period_s = -1.0;
+    };
+    SloOverride slo;
   };
 
   // Builds the session and schedules the whole run (fault timeline, trace

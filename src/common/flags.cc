@@ -164,8 +164,19 @@ Result<std::vector<std::string>> FlagParser::Parse(int argc, const char* const* 
     if (!assigned.ok()) {
       return Error{assigned.error()};
     }
+    flag->set = true;
   }
   return positional;
+}
+
+bool FlagParser::WasSet(const std::string& name) const {
+  const std::string normalized = NormalizeName(name);
+  for (const Flag& flag : flags_) {
+    if (NormalizeName(flag.name) == normalized) {
+      return flag.set;
+    }
+  }
+  return false;
 }
 
 std::string FlagParser::Usage() const {

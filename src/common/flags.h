@@ -31,6 +31,12 @@ class FlagParser {
   // leaves two --seed values behind should fail loudly).
   Result<std::vector<std::string>> Parse(int argc, const char* const* argv);
 
+  // True when the flag appeared on the last parsed command line (with either
+  // separator style). Lets a tool distinguish a default value from an
+  // explicit one -- e.g. to reject deprecated aliases alongside their
+  // replacement, or to record flag provenance. False before Parse().
+  bool WasSet(const std::string& name) const;
+
   std::string Usage() const;
 
  private:
@@ -41,6 +47,7 @@ class FlagParser {
     Kind kind;
     void* out;
     std::string default_text;
+    bool set = false;
   };
 
   Flag* Find(const std::string& name);

@@ -7,6 +7,8 @@
 #ifndef SRC_COMMON_SIM_OPTIONS_H_
 #define SRC_COMMON_SIM_OPTIONS_H_
 
+#include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -47,6 +49,82 @@ class SimOptionsParser {
 Result<bool> RejectFlagCombination(const std::string& flag_a, bool a_set,
                                    const std::string& flag_b, bool b_set,
                                    const std::string& reason);
+
+// ---------------------------------------------------------------------------
+// WorkloadSpec: the declarative workload surface of the simulation tools.
+//
+// What a run simulates -- offered load, trace replay, the diurnal arrival
+// model, the interactive-serving mix -- used to be smeared across a dozen
+// mutually-exclusive deflation_sim flags. A WorkloadSpec consolidates it:
+// one file (`--workload=interactive.workload`), one strict total parser, and
+// one validator that owns every pairwise-exclusion rule with line-numbered
+// messages. The old flags survive as deprecated aliases that build the same
+// spec (provenance line 0), so their errors keep the `--flag` wording.
+//
+// Grammar (one setting per line, same shape as sweep grids):
+//   # interactive-serving scenario
+//   load = 1.8
+//   duration-h = 24
+//   diurnal = on
+//   diurnal-period-h = 24
+//   interactive = on
+//   slo-p99-ms = 80
+//   slo-policy = slo
+//
+// `key = value`, `#` comments, blank lines ignored; unknown keys, duplicate
+// keys, and malformed values are line-numbered errors. Booleans accept
+// on/off/true/false. The struct is deliberately cluster-agnostic (plain
+// scalars, hours not seconds where the flags used hours): the tool layer
+// maps it onto ClusterSimConfig.
+struct WorkloadSpec {
+  double load = 1.6;             // offered CPU load as a fraction of capacity
+  double duration_h = 12.0;
+  double low_pri_fraction = 0.6;
+  uint64_t seed = 42;            // trace RNG seed
+  std::string trace_file;        // replay this CSV instead of generating
+  std::string fault_plan;        // inject failures from this plan file
+  // Diurnal/bursty arrival generator (PR 6); off = flat-rate Poisson.
+  bool diurnal = false;
+  double diurnal_amplitude = 0.5;
+  double diurnal_period_h = 24.0;
+  double diurnal_phase_h = 0.0;
+  double burst_rate_per_h = 0.0;
+  double burst_duration_s = 600.0;
+  double burst_multiplier = 2.0;
+  uint64_t arrival_seed = 7;
+  // Interactive-serving mix + SLO controller (DESIGN.md §16).
+  bool interactive = false;
+  double interactive_fraction = 0.3;
+  uint64_t interactive_seed = 21;
+  double slo_p99_ms = 100.0;
+  std::string slo_policy = "slo";  // slo | uniform
+  double slo_period_s = 60.0;
+  double rate_rps_per_cpu = 30.0;
+  double rate_amplitude = 0.6;
+  double rate_period_h = 24.0;
+  // Where each explicitly-set key came from: key -> 1-based source line for
+  // spec files, 0 for flag-built specs. Validation words its errors from
+  // this ("spec.workload:7: ..." vs "--diurnal-amplitude ...").
+  std::map<std::string, int> provenance;
+
+  bool Has(const std::string& key) const { return provenance.count(key) != 0; }
+};
+
+// Strict total parser for the spec grammar above. Any malformed line, value,
+// unknown key, or duplicate key is a clean `source:line:` error -- never a
+// crash or a silently-defaulted setting. Does NOT validate cross-key rules;
+// callers run ValidateWorkloadSpec next (tool drivers may set provenance-0
+// keys in between).
+Result<WorkloadSpec> ParseWorkloadSpec(const std::string& text,
+                                       const std::string& source_name);
+
+// Every cross-key rule the tools used to enforce flag-by-flag: pairwise
+// exclusions (trace replay vs the arrival generator), gating (arrival knobs
+// require `diurnal`, SLO knobs require `interactive`), and range checks.
+// Messages cite the offending key's source line for file-built specs and
+// the `--flag` spelling for flag-built ones.
+Result<bool> ValidateWorkloadSpec(const WorkloadSpec& spec,
+                                  const std::string& source_name);
 
 }  // namespace defl
 

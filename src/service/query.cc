@@ -72,6 +72,8 @@ const std::unordered_set<std::string>& KeysFor(QueryKind kind) {
   static const std::unordered_set<std::string> overcommit = {
       "target", "cpu", "mem", "disk", "net", "prio", "limit", "hours"};
   static const std::unordered_set<std::string> run = {"hours"};
+  static const std::unordered_set<std::string> slo = {
+      "p99", "fraction", "policy", "period", "hours"};
   switch (kind) {
     case QueryKind::kPlace:
       return place;
@@ -81,6 +83,8 @@ const std::unordered_set<std::string>& KeysFor(QueryKind kind) {
       return overcommit;
     case QueryKind::kRun:
       return run;
+    case QueryKind::kSlo:
+      return slo;
   }
   return run;
 }
@@ -97,6 +101,8 @@ const char* QueryKindName(QueryKind kind) {
       return "overcommit";
     case QueryKind::kRun:
       return "run";
+    case QueryKind::kSlo:
+      return "slo";
   }
   return "unknown";
 }
@@ -104,7 +110,8 @@ const char* QueryKindName(QueryKind kind) {
 Result<WhatIfQuery> ParseQuery(const std::string& line) {
   const std::vector<std::string> tokens = Tokenize(line);
   if (tokens.empty()) {
-    return Error{"empty query (expected a kind: place, fail, overcommit, run)"};
+    return Error{
+        "empty query (expected a kind: place, fail, overcommit, run, slo)"};
   }
 
   WhatIfQuery query;
@@ -117,9 +124,11 @@ Result<WhatIfQuery> ParseQuery(const std::string& line) {
     query.kind = QueryKind::kOvercommit;
   } else if (kind == "run") {
     query.kind = QueryKind::kRun;
+  } else if (kind == "slo") {
+    query.kind = QueryKind::kSlo;
   } else {
     return Error{"unknown query kind '" + kind +
-                 "' (expected place, fail, overcommit, or run)"};
+                 "' (expected place, fail, overcommit, run, or slo)"};
   }
 
   const std::unordered_set<std::string>& allowed = KeysFor(query.kind);
@@ -172,6 +181,8 @@ Result<WhatIfQuery> ParseQuery(const std::string& line) {
                            f64("disk", &disk), f64("net", &net),
                            f64("fraction", &query.fraction),
                            f64("target", &query.target),
+                           f64("p99", &query.slo_p99_ms),
+                           f64("period", &query.slo_period_s),
                            f64("hours", &query.hours)}) {
     if (!step.ok()) {
       return Error{step.error()};
@@ -197,6 +208,17 @@ Result<WhatIfQuery> ParseQuery(const std::string& line) {
     } else {
       return Error{"bad prio='" + prio + "' in " + kind +
                    " query (expected low or high)"};
+    }
+  }
+  if (has("policy")) {
+    const std::string& policy = fields.at("policy");
+    if (policy == "slo") {
+      query.slo_policy = 1;
+    } else if (policy == "uniform") {
+      query.slo_policy = 0;
+    } else {
+      return Error{"bad policy='" + policy + "' in " + kind +
+                   " query (expected slo or uniform)"};
     }
   }
   query.shape = ResourceVector(cpu, mem, disk, net);
@@ -247,6 +269,26 @@ Result<WhatIfQuery> ParseQuery(const std::string& line) {
     case QueryKind::kRun:
       if (!has("hours") || query.hours <= 0.0) {
         return Error{"run query requires hours= > 0"};
+      }
+      break;
+    case QueryKind::kSlo:
+      if (!has("hours") || query.hours <= 0.0) {
+        return Error{"slo query requires hours= > 0"};
+      }
+      if (has("p99") && query.slo_p99_ms <= 0.0) {
+        return Error{"slo query p99 must be > 0 (got " +
+                     std::to_string(query.slo_p99_ms) + ")"};
+      }
+      if (has("fraction")) {
+        if (query.fraction < 0.0 || query.fraction > 1.0) {
+          return Error{"slo query fraction must be in [0, 1] (got " +
+                       std::to_string(query.fraction) + ")"};
+        }
+        query.mix_fraction = query.fraction;
+      }
+      if (has("period") && query.slo_period_s <= 0.0) {
+        return Error{"slo query period must be > 0 (got " +
+                     std::to_string(query.slo_period_s) + ")"};
       }
       break;
   }

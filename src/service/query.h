@@ -5,6 +5,7 @@
 //   fail fraction=0.25 seed=7
 //   overcommit target=1.5 cpu=2 mem=4096 limit=5000
 //   run hours=6
+//   slo p99=80 policy=slo hours=6
 //
 // Every query executes against a private copy-on-restore child session of
 // the service's immutable base snapshot, so answers never interfere. The
@@ -29,6 +30,7 @@ enum class QueryKind {
   kFail,        // crash floor(fraction * healthy + 0.5) servers (seeded draw)
   kOvercommit,  // admit `shape` VMs until Overcommitment() >= target
   kRun,         // advance the simulation `hours` sim-hours
+  kSlo,         // run `hours` under an SLO/mix override; report violation rate
 };
 
 const char* QueryKindName(QueryKind kind);
@@ -54,9 +56,23 @@ struct WhatIfQuery {
   double target = 0.0;
   int64_t limit = 10000;
 
+  // slo: overrides applied to the child session before it runs, each -1 =
+  // keep the snapshot's setting. `p99` is the SLO target in milliseconds
+  // (> 0); `fraction` re-tags the interactive mix (in [0, 1]; generated
+  // traces only -- an explicit trace carries its own tags); `policy` picks
+  // the controller (1 = slo-aware, 0 = uniform baseline that only measures);
+  // `period` is the controller check period in seconds (> 0). The snapshot
+  // need not have interactive serving enabled -- an slo query enables it on
+  // its private child.
+  double slo_p99_ms = -1.0;
+  double mix_fraction = -1.0;
+  int slo_policy = -1;
+  double slo_period_s = -1.0;
+
   // All kinds: afterwards advance the simulation this many sim-hours and
   // report preemptions and the deflation distribution. Required (> 0) for
-  // `run`; optional (>= 0, default 0 = report immediately) elsewhere.
+  // `run` and `slo`; optional (>= 0, default 0 = report immediately)
+  // elsewhere.
   double hours = 0.0;
 };
 

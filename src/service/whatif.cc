@@ -92,24 +92,48 @@ Result<WhatIfService> WhatIfService::Load(std::string blob) {
   return service;
 }
 
-Result<SimSession> WhatIfService::RestoreChild(TelemetryContext* telemetry,
-                                               int placement) const {
+Result<SimSession> WhatIfService::RestoreChild(
+    TelemetryContext* telemetry, int placement,
+    const SimSession::RestoreOptions::SloOverride* slo) const {
   SimSession::RestoreOptions options;
   options.telemetry = telemetry;
   options.threads = 1;
   options.placement = placement;
+  if (slo != nullptr) {
+    options.slo = *slo;
+  }
   return SimSession::RestoreView(std::string_view(*blob_), options);
 }
 
 Result<std::string> WhatIfService::Answer(const WhatIfQuery& query) const {
   TelemetryContext telemetry;
-  Result<SimSession> restored = RestoreChild(&telemetry);
+  SimSession::RestoreOptions::SloOverride slo;
+  if (query.kind == QueryKind::kSlo) {
+    slo.active = true;
+    slo.slo_p99_ms = query.slo_p99_ms;
+    slo.fraction = query.mix_fraction;
+    slo.policy = query.slo_policy;
+    slo.control_period_s = query.slo_period_s;
+  }
+  Result<SimSession> restored =
+      RestoreChild(&telemetry, /*placement=*/-1, slo.active ? &slo : nullptr);
   if (!restored.ok()) {
     return Error{"what-if restore failed: " + restored.error()};
   }
   SimSession& session = restored.value();
   ClusterManager& manager = session.manager();
   const ClusterCounters before = manager.counters();
+  // kSlo reports metric deltas over its run; the child's registry arrives
+  // pre-loaded with the snapshot's history, so capture the baselines now.
+  int64_t slo_checks0 = 0, slo_violations0 = 0, slo_reinflate0 = 0,
+          slo_victims0 = 0;
+  if (query.kind == QueryKind::kSlo) {
+    const MetricsRegistry& metrics = telemetry.metrics();
+    slo_checks0 = metrics.CounterValue("slo/checks");
+    slo_violations0 = metrics.CounterValue("slo/violations");
+    slo_reinflate0 = metrics.CounterValue("slo/reinflate_ops");
+    slo_victims0 = metrics.CounterValue("slo/victim_deflations");
+  }
 
   std::string out = "{\"kind\":" + JsonString(QueryKindName(query.kind));
   switch (query.kind) {
@@ -205,6 +229,24 @@ Result<std::string> WhatIfService::Answer(const WhatIfQuery& query) const {
     case QueryKind::kRun:
       // All reporting happens in the shared hours block below.
       break;
+    case QueryKind::kSlo: {
+      // Echo the effective interactive config (post-override) and the
+      // interactive population currently placed, in canonical server order.
+      const InteractiveSloConfig& mix = session.config().interactive;
+      int64_t placed = 0;
+      for (Server* server : manager.servers()) {
+        for (const std::unique_ptr<Vm>& vm : server->vms()) {
+          if (vm->spec().name.rfind("web", 0) == 0) {
+            ++placed;
+          }
+        }
+      }
+      out += ",\"p99_target_ms\":" + JsonNumber(mix.slo_p99_ms);
+      out += ",\"policy\":" + JsonString(mix.slo_aware ? "slo" : "uniform");
+      out += ",\"mix_fraction\":" + JsonNumber(mix.fraction);
+      out += ",\"interactive_placed\":" + std::to_string(placed);
+      break;
+    }
   }
 
   if (query.hours > 0.0) {
@@ -222,6 +264,31 @@ Result<std::string> WhatIfService::Answer(const WhatIfQuery& query) const {
     out += ",\"low_vms\":" + std::to_string(deflation.low_vms);
     out += ",\"p99_deflation\":" + JsonNumber(deflation.p99);
     out += ",\"mean_deflation\":" + JsonNumber(deflation.mean);
+  }
+  if (query.kind == QueryKind::kSlo) {
+    const MetricsRegistry& metrics = telemetry.metrics();
+    const int64_t checks = metrics.CounterValue("slo/checks") - slo_checks0;
+    const int64_t violations =
+        metrics.CounterValue("slo/violations") - slo_violations0;
+    out += ",\"slo_checks\":" + std::to_string(checks);
+    out += ",\"slo_violations\":" + std::to_string(violations);
+    out += ",\"violation_rate\":" +
+           JsonNumber(checks > 0
+                          ? static_cast<double>(violations) /
+                                static_cast<double>(checks)
+                          : 0.0);
+    // Distribution stats are cumulative over the whole simulated history
+    // (snapshot included): RunningStats fold, they don't subtract.
+    const RunningStats& p99 =
+        metrics.distribution(metrics.FindDistribution("slo/p99_ms"));
+    out += ",\"p99_mean_ms\":" + JsonNumber(p99.count() > 0 ? p99.mean() : 0.0);
+    out += ",\"p99_peak_ms\":" + JsonNumber(p99.count() > 0 ? p99.max() : 0.0);
+    out += ",\"reinflate_ops\":" +
+           std::to_string(metrics.CounterValue("slo/reinflate_ops") -
+                          slo_reinflate0);
+    out += ",\"victim_deflations\":" +
+           std::to_string(metrics.CounterValue("slo/victim_deflations") -
+                          slo_victims0);
   }
   out += ",\"utilization\":" + JsonNumber(manager.Utilization());
   out += ",\"overcommitment\":" + JsonNumber(manager.Overcommitment());

@@ -47,10 +47,13 @@ class WhatIfService {
 
   // Forks a private child session off the shared blob. `telemetry` must be
   // fresh; `placement` >= 0 overrides the future placement policy (the
-  // sweep orchestrator's policy axis). Children restore with threads=1:
+  // sweep orchestrator's policy axis); `slo` (when non-null and active)
+  // overrides the interactive-serving SLO config on the child, enabling it
+  // if the snapshot ran without one. Children restore with threads=1:
   // queries parallelize across sessions, never inside one.
-  Result<SimSession> RestoreChild(TelemetryContext* telemetry,
-                                  int placement = -1) const;
+  Result<SimSession> RestoreChild(
+      TelemetryContext* telemetry, int placement = -1,
+      const SimSession::RestoreOptions::SloOverride* slo = nullptr) const;
 
   // FNV-1a-64 of the base blob; the property suite re-hashes after a
   // concurrent batch to prove no query wrote through the shared bytes.

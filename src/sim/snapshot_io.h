@@ -30,7 +30,10 @@ inline constexpr char kSnapshotMagic[8] = {'D', 'E', 'F', 'L', 'S', 'N', 'A', 'P
 // Version history:
 //   1 -- initial SimSession format (PR 5).
 //   2 -- ClusterSimConfig carries the diurnal/bursty ArrivalGenConfig.
-inline constexpr uint32_t kSnapshotFormatVersion = 3;
+//   3 -- config-generated traces and strictly-future arrivals are elided
+//        (length + checksum only); durable-run checkpoints (PR 7).
+//   4 -- ClusterSimConfig carries the InteractiveSloConfig workload mix.
+inline constexpr uint32_t kSnapshotFormatVersion = 4;
 
 // Append-only typed encoder. Build the payload with the typed writers, then
 // Finish() seals the header + footer and returns the full blob.

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 namespace defl {
 namespace {
 
@@ -89,6 +91,70 @@ TEST(WebClusterTest, PolicyNames) {
   EXPECT_STREQ(LoadBalancingPolicyName(LoadBalancingPolicy::kDeflationAware),
                "deflation-aware");
   EXPECT_STREQ(LoadBalancingPolicyName(LoadBalancingPolicy::kEvenSplit), "even-split");
+}
+
+TEST(WebLatencyModelTest, InflationIsGracefulBelowKneeAndCliffAbove) {
+  WebLatencyParams params;
+  EXPECT_DOUBLE_EQ(WebServiceTimeInflation(params, 0.0), 1.0);
+  // Below the knee: linear growth, small multipliers (fig5 graceful zone).
+  const double at_knee = WebServiceTimeInflation(params, params.knee_fraction);
+  EXPECT_NEAR(at_knee, 1.0 + params.graceful_slope * params.knee_fraction,
+              1e-12);
+  EXPECT_LT(at_knee, 2.0);
+  // Past the knee the cliff term dominates.
+  const double deep = WebServiceTimeInflation(params, 0.95);
+  EXPECT_GT(deep, 5.0);
+  // Monotone in d.
+  double prev = 0.0;
+  for (double d = 0.0; d <= 1.0; d += 0.05) {
+    const double inflation = WebServiceTimeInflation(params, d);
+    EXPECT_GE(inflation, prev) << "d=" << d;
+    prev = inflation;
+  }
+  // Out-of-range inputs clamp rather than extrapolate.
+  EXPECT_DOUBLE_EQ(WebServiceTimeInflation(params, -0.5), 1.0);
+  EXPECT_DOUBLE_EQ(WebServiceTimeInflation(params, 2.0),
+                   WebServiceTimeInflation(params, 1.0));
+}
+
+TEST(WebLatencyModelTest, CapacityShrinksWithDeflation) {
+  WebLatencyParams params;
+  const double full = WebCapacityRps(params, 8.0, 0.0);
+  EXPECT_NEAR(full, 8.0 * 1e6 / params.base_service_us, 1e-9);
+  EXPECT_LT(WebCapacityRps(params, 8.0, 0.5), full);
+  EXPECT_LT(WebCapacityRps(params, 8.0, 0.9), WebCapacityRps(params, 8.0, 0.5));
+  EXPECT_DOUBLE_EQ(WebCapacityRps(params, 0.0, 0.0), 0.0);
+}
+
+TEST(WebLatencyModelTest, QuantilesOrderAndGrowWithLoadAndDeflation) {
+  WebLatencyParams params;
+  const WebLatencyQuantiles light = WebLatencyUnderLoad(params, 8.0, 0.0, 400.0);
+  const WebLatencyQuantiles heavy =
+      WebLatencyUnderLoad(params, 8.0, 0.0, 3600.0);
+  EXPECT_LT(light.p50_ms, light.p99_ms);
+  EXPECT_GT(heavy.p99_ms, light.p99_ms);
+  EXPECT_GT(heavy.utilization, light.utilization);
+  // Same offered load, deeper deflation: worse tail.
+  const WebLatencyQuantiles deflated =
+      WebLatencyUnderLoad(params, 8.0, 0.6, 400.0);
+  EXPECT_GT(deflated.p99_ms, light.p99_ms);
+  EXPECT_LT(deflated.capacity_rps, light.capacity_rps);
+}
+
+TEST(WebLatencyModelTest, OverloadClampsAndCollapseIsFiniteSentinel) {
+  WebLatencyParams params;
+  // Offered load far past capacity: utilization clamps, latency is finite.
+  const WebLatencyQuantiles overload =
+      WebLatencyUnderLoad(params, 2.0, 0.0, 1e9);
+  EXPECT_DOUBLE_EQ(overload.utilization, params.max_utilization);
+  EXPECT_TRUE(std::isfinite(overload.p99_ms));
+  EXPECT_GT(overload.p99_ms, 1.0);
+  // Zero effective compute: the hour-scale sentinel, still finite.
+  const WebLatencyQuantiles collapsed =
+      WebLatencyUnderLoad(params, 0.0, 1.0, 100.0);
+  EXPECT_DOUBLE_EQ(collapsed.capacity_rps, 0.0);
+  EXPECT_TRUE(std::isfinite(collapsed.p99_ms));
+  EXPECT_GT(collapsed.p99_ms, 1e6);  // >1000 s in ms
 }
 
 }  // namespace

@@ -119,6 +119,23 @@ TEST(FlagsTest, UnknownFlagWithNoCloseMatchGetsNoSuggestion) {
       << result.error();
 }
 
+TEST(FlagsTest, WasSetDistinguishesExplicitFromDefault) {
+  Flags f;
+  FlagParser parser = MakeParser(f);
+  EXPECT_FALSE(parser.WasSet("ratio"));  // false before Parse()
+  // Setting a flag to its default value still counts as explicitly set.
+  ASSERT_TRUE(ParseArgs(parser, {"--ratio=1.5", "--count", "7"}).ok());
+  EXPECT_TRUE(parser.WasSet("ratio"));
+  EXPECT_TRUE(parser.WasSet("count"));
+  EXPECT_FALSE(parser.WasSet("name"));
+  EXPECT_FALSE(parser.WasSet("verbose"));
+  EXPECT_FALSE(parser.WasSet("no-such-flag"));
+  Flags g;
+  FlagParser other = MakeParser(g);
+  ASSERT_TRUE(ParseArgs(other, {"--name=x"}).ok());
+  EXPECT_TRUE(other.WasSet("name"));
+}
+
 TEST(FlagsTest, HelpYieldsUsage) {
   Flags f;
   FlagParser parser = MakeParser(f);

@@ -1,0 +1,2 @@
+# policy must be slo or uniform
+slo p99=80 policy=fastest hours=2

@@ -1,0 +1,1 @@
+slo fraction=1.25 hours=1

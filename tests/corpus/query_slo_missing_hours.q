@@ -1,0 +1,2 @@
+# slo queries must run: hours= > 0 is required
+slo p99=80 policy=slo

@@ -56,7 +56,7 @@ std::string HexDigest(uint64_t hash) {
 const char* const kScenarios[] = {
     "base",           "first_fit",     "two_choices",    "preemption_only",
     "reinflate",      "predictive",    "diurnal",        "faults_basic",
-    "faults_wire",    "faults_cluster",
+    "faults_wire",    "faults_cluster", "interactive",   "interactive_uniform",
 };
 
 ClusterSimConfig MakeConfig(const std::string& name) {
@@ -92,6 +92,24 @@ ClusterSimConfig MakeConfig(const std::string& name) {
     config.arrivals.burst_duration_s = 900.0;
     config.arrivals.burst_multiplier = 3.0;
     config.arrivals.seed = 17;
+  } else if (name.rfind("interactive", 0) == 0) {
+    // Interactive-serving mix (DESIGN.md §16) over diurnal arrivals: a tight
+    // SLO plus a high per-CPU request rate so violations (and, for the
+    // slo-aware variant, controller interventions) occur within 3 hours.
+    // `interactive` runs the SLO-aware controller; `interactive_uniform`
+    // measures the same workload under the uniform baseline.
+    config.reinflate_period_s = 600.0;
+    config.arrivals.enabled = true;
+    config.arrivals.diurnal_amplitude = 0.6;
+    config.arrivals.diurnal_period_s = 2.0 * 3600.0;
+    config.arrivals.seed = 17;
+    config.interactive.enabled = true;
+    config.interactive.fraction = 0.45;
+    config.interactive.slo_p99_ms = 60.0;
+    config.interactive.slo_aware = (name == "interactive");
+    config.interactive.control_period_s = 300.0;
+    config.interactive.rate_rps_per_cpu = 120.0;
+    config.interactive.rate_period_s = 2.0 * 3600.0;
   } else if (name.rfind("faults_", 0) == 0) {
     const std::string path =
         std::string(DEFL_SOURCE_DIR "/examples/") + name + ".plan";

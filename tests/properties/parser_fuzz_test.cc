@@ -1,6 +1,7 @@
 // Structure-aware fuzzing of the durable-artifact parsers -- snapshot
-// blobs, write-ahead journals, CSV traces -- plus the what-if service's two
-// operator-input parsers (query scripts and sweep grids, DESIGN.md §15).
+// blobs, write-ahead journals, CSV traces -- plus the operator-text parsers
+// (what-if query scripts and sweep grids, DESIGN.md §15; workload spec
+// files, DESIGN.md §16).
 // The durability layer's whole promise rests on these readers being total --
 // any byte damage a crash or a disk can produce must come back as a clean
 // Result error (or a truncated torn tail, for the WAL), never a crash,
@@ -21,6 +22,7 @@
 #include "src/cluster/trace_io.h"
 #include "src/common/atomic_file.h"
 #include "src/common/rng.h"
+#include "src/common/sim_options.h"
 #include "src/service/query.h"
 #include "src/service/sweep.h"
 #include "src/sim/snapshot_io.h"
@@ -187,7 +189,8 @@ TEST(ParserFuzzTest, DamagedQueryScriptsErrorOrParseNeverCrash) {
       "place count=20 cpu=2 mem=4096 prio=low hours=0.5\n"
       "fail fraction=0.3 seed=11\n"
       "overcommit target=1.6 cpu=2 mem=4096 limit=200\n"
-      "run hours=2\n";
+      "run hours=2\n"
+      "slo p99=80 fraction=0.4 policy=slo period=300 hours=1\n";
   ASSERT_TRUE(ParseQueryScript(valid).ok());
   Rng rng(TestSeed() ^ 0x9e81f004ULL);
   for (int trial = 0; trial < 200; ++trial) {
@@ -198,6 +201,49 @@ TEST(ParserFuzzTest, DamagedQueryScriptsErrorOrParseNeverCrash) {
     const Result<std::vector<WhatIfQuery>> parsed = ParseQueryScript(mutated);
     if (!parsed.ok()) {
       EXPECT_FALSE(parsed.error().empty()) << "trial " << trial;
+    }
+  }
+}
+
+TEST(ParserFuzzTest, DamagedWorkloadSpecsErrorOrParseNeverCrash) {
+  // The unified workload spec (DESIGN.md §16) is two total layers: the
+  // line-oriented parser, then semantic validation. Both must return a clean
+  // verdict for any damage, and every rejection names a line or key.
+  const std::string valid =
+      "# interactive serving over diurnal arrivals\n"
+      "load = 1.8\n"
+      "duration-h = 6\n"
+      "low-pri-fraction = 0.6\n"
+      "seed = 42\n"
+      "diurnal = on\n"
+      "diurnal-amplitude = 0.6\n"
+      "arrival-seed = 17\n"
+      "interactive = on\n"
+      "interactive-fraction = 0.45\n"
+      "slo-p99-ms = 80\n"
+      "slo-policy = slo\n"
+      "rate-rps-per-cpu = 60\n";
+  {
+    const Result<WorkloadSpec> spec = ParseWorkloadSpec(valid, "spec");
+    ASSERT_TRUE(spec.ok()) << spec.error();
+    ASSERT_TRUE(ValidateWorkloadSpec(spec.value(), "spec").ok());
+  }
+  Rng rng(TestSeed() ^ 0x1c0df006ULL);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string mutated = valid;
+    if (!Mutate(rng, mutated)) {
+      continue;
+    }
+    const Result<WorkloadSpec> parsed = ParseWorkloadSpec(mutated, "spec");
+    if (!parsed.ok()) {
+      EXPECT_FALSE(parsed.error().empty()) << "trial " << trial;
+      continue;
+    }
+    // Some mutations survive the parser (a digit changed inside a number);
+    // validation must still give a clean verdict on whatever got through.
+    const Result<bool> checked = ValidateWorkloadSpec(parsed.value(), "spec");
+    if (!checked.ok()) {
+      EXPECT_FALSE(checked.error().empty()) << "trial " << trial;
     }
   }
 }
@@ -272,13 +318,27 @@ TEST(ParserFuzzTest, CheckedInCorpusIsHandledCleanly) {
       if (!parsed.ok()) {
         EXPECT_FALSE(parsed.error().empty()) << name;
       }
+    } else if (name.rfind("workload_", 0) == 0) {
+      // Workload-spec corpus members are rejected by one of the two layers:
+      // the line parser or cross-key validation. Either way the error names
+      // the offending line or key.
+      const Result<WorkloadSpec> parsed = ParseWorkloadSpec(bytes.value(), name);
+      if (parsed.ok()) {
+        const Result<bool> checked = ValidateWorkloadSpec(parsed.value(), name);
+        EXPECT_FALSE(checked.ok()) << name << " validated but is malformed";
+        if (!checked.ok()) {
+          EXPECT_FALSE(checked.error().empty()) << name;
+        }
+      } else {
+        EXPECT_FALSE(parsed.error().empty()) << name;
+      }
     } else {
       ADD_FAILURE() << "corpus file " << name
                     << " has no parser prefix "
-                       "(snapshot_/wal_/trace_/query_/grid_)";
+                       "(snapshot_/wal_/trace_/query_/grid_/workload_)";
     }
   }
-  EXPECT_GE(seen, 15) << "corpus went missing from " << dir;
+  EXPECT_GE(seen, 20) << "corpus went missing from " << dir;
 }
 
 }  // namespace

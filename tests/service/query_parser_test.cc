@@ -56,6 +56,25 @@ TEST(QueryParserTest, ParsesEveryKind) {
   ASSERT_TRUE(run.ok()) << run.error();
   EXPECT_EQ(run.value().kind, QueryKind::kRun);
   EXPECT_DOUBLE_EQ(run.value().hours, 6.0);
+
+  Result<WhatIfQuery> slo =
+      ParseQuery("slo p99=80 fraction=0.4 policy=uniform period=300 hours=2");
+  ASSERT_TRUE(slo.ok()) << slo.error();
+  EXPECT_EQ(slo.value().kind, QueryKind::kSlo);
+  EXPECT_DOUBLE_EQ(slo.value().slo_p99_ms, 80.0);
+  EXPECT_DOUBLE_EQ(slo.value().mix_fraction, 0.4);
+  EXPECT_EQ(slo.value().slo_policy, 0);
+  EXPECT_DOUBLE_EQ(slo.value().slo_period_s, 300.0);
+  EXPECT_DOUBLE_EQ(slo.value().hours, 2.0);
+
+  // Every override is optional: a bare `slo hours=` run keeps the snapshot's
+  // settings, marked by -1 sentinels.
+  Result<WhatIfQuery> bare = ParseQuery("slo hours=1");
+  ASSERT_TRUE(bare.ok()) << bare.error();
+  EXPECT_DOUBLE_EQ(bare.value().slo_p99_ms, -1.0);
+  EXPECT_DOUBLE_EQ(bare.value().mix_fraction, -1.0);
+  EXPECT_EQ(bare.value().slo_policy, -1);
+  EXPECT_DOUBLE_EQ(bare.value().slo_period_s, -1.0);
 }
 
 TEST(QueryParserTest, RejectsEmptyAndUnknownKinds) {
@@ -112,6 +131,24 @@ TEST(QueryParserTest, RejectsOutOfRangeValues) {
   ExpectErrorMentions(ParseQuery("run hours=0"), {"run", "hours"});
   ExpectErrorMentions(ParseQuery("place count=5 cpu=2 prio=urgent"),
                       {"prio", "urgent"});
+}
+
+TEST(QueryParserTest, SloKindGuardsItsAllowListAndRanges) {
+  ExpectErrorMentions(ParseQuery("slo p99=80"), {"slo", "hours"});
+  ExpectErrorMentions(ParseQuery("slo hours=0"), {"slo", "hours"});
+  ExpectErrorMentions(ParseQuery("slo hours=1 p99=0"), {"p99", "> 0"});
+  ExpectErrorMentions(ParseQuery("slo hours=1 fraction=1.5"),
+                      {"fraction", "[0, 1]"});
+  ExpectErrorMentions(ParseQuery("slo hours=1 period=-60"),
+                      {"period", "> 0"});
+  ExpectErrorMentions(ParseQuery("slo hours=1 policy=aggressive"),
+                      {"policy", "aggressive", "slo or uniform"});
+  // The allow-list is strict per kind: slo takes no VM shape, and the other
+  // kinds do not inherit the slo keys.
+  ExpectErrorMentions(ParseQuery("slo hours=1 cpu=2"),
+                      {"unknown key", "cpu", "slo"});
+  ExpectErrorMentions(ParseQuery("run hours=1 p99=80"),
+                      {"unknown key", "p99", "run"});
 }
 
 TEST(QueryParserTest, ScriptSkipsCommentsAndNumbersErrors) {

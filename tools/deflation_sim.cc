@@ -9,6 +9,7 @@
 //
 // Examples:
 //   deflation_sim --servers=100 --load=1.6 --duration-h=12
+//   deflation_sim --workload=examples/interactive.workload   # declarative spec
 //   deflation_sim --strategy=preemption --placement=2-choices --load=1.4
 //   deflation_sim --trace-file=my_trace.csv --pricing
 //   deflation_sim --save-trace=generated.csv --load=1.2
@@ -36,28 +37,16 @@ using namespace defl;
 namespace {
 
 struct Options {
+  // Run-control and cluster-shape flags (not part of the workload).
   int64_t servers = 50;
   int64_t server_cpus = 32;
   double server_mem_gb = 256.0;
-  double load = 1.6;
-  double duration_h = 12.0;
-  double low_pri_fraction = 0.6;
   std::string strategy = "deflation";
   std::string placement = "best-fit";
-  int64_t seed = 42;
   double reinflate_period_s = 0.0;
   bool predictive = false;
   bool pricing = false;
-  std::string trace_file;
   std::string save_trace;
-  bool diurnal = false;
-  double diurnal_amplitude = 0.5;
-  double diurnal_period_h = 24.0;
-  double diurnal_phase_h = 0.0;
-  double burst_rate_per_h = 0.0;
-  double burst_duration_s = 600.0;
-  double burst_multiplier = 2.0;
-  int64_t arrival_seed = 7;
   double recovery_grace_s = 600.0;
   int64_t threads = 1;
   double snapshot_every_h = 0.0;
@@ -68,6 +57,45 @@ struct Options {
   double checkpoint_every_h = 1.0;
   double checkpoint_min_wall_s = 5.0;
   int64_t keep_checkpoints = 3;
+  // The declarative workload surface: --workload=FILE loads a WorkloadSpec;
+  // the deprecated per-knob flags below build the same spec (and cannot be
+  // combined with --workload).
+  std::string workload;
+  double load = 1.6;
+  double duration_h = 12.0;
+  double low_pri_fraction = 0.6;
+  int64_t seed = 42;
+  std::string trace_file;
+  bool diurnal = false;
+  double diurnal_amplitude = 0.5;
+  double diurnal_period_h = 24.0;
+  double diurnal_phase_h = 0.0;
+  double burst_rate_per_h = 0.0;
+  double burst_duration_s = 600.0;
+  double burst_multiplier = 2.0;
+  int64_t arrival_seed = 7;
+  bool interactive = false;
+  double interactive_fraction = 0.3;
+  int64_t interactive_seed = 21;
+  double slo_p99_ms = 100.0;
+  std::string slo_policy = "slo";
+  double slo_period_s = 60.0;
+  double rate_rps_per_cpu = 30.0;
+  double rate_amplitude = 0.6;
+  double rate_period_h = 24.0;
+};
+
+// Every flag that is a deprecated alias for a WorkloadSpec key (same
+// spelling); --workload excludes all of them.
+constexpr const char* kWorkloadFlagNames[] = {
+    "load",           "duration-h",       "low-pri-fraction",
+    "seed",           "trace-file",       "fault-plan",
+    "diurnal",        "diurnal-amplitude", "diurnal-period-h",
+    "diurnal-phase-h", "burst-rate-per-h", "burst-duration-s",
+    "burst-multiplier", "arrival-seed",    "interactive",
+    "interactive-fraction", "interactive-seed", "slo-p99-ms",
+    "slo-policy",     "slo-period-s",     "rate-rps-per-cpu",
+    "rate-amplitude", "rate-period-h",
 };
 
 int Fail(const std::string& message) {
@@ -91,11 +119,13 @@ const char* PlacementName(PlacementPolicy policy) {
   return "?";
 }
 
-// Translates the command line into a fresh-run config (trace generation or
-// replay, arrival model, fault plan, strategy/placement). Shared by the
-// classic run path and a durable run's first generation; resumed and
-// recovered runs take their config from the snapshot instead.
+// Translates the resolved workload spec plus the run-control flags into a
+// fresh-run config (trace generation or replay, arrival model, interactive
+// mix, fault plan, strategy/placement). Shared by the classic run path and a
+// durable run's first generation; resumed and recovered runs take their
+// config from the snapshot instead.
 Result<ClusterSimConfig> BuildFreshConfig(const Options& opt,
+                                          const WorkloadSpec& spec,
                                           const SimCommonOptions& common,
                                           TelemetryContext& telemetry) {
   ClusterSimConfig config;
@@ -103,34 +133,45 @@ Result<ClusterSimConfig> BuildFreshConfig(const Options& opt,
   config.server_capacity =
       ResourceVector(static_cast<double>(opt.server_cpus), opt.server_mem_gb * 1024.0,
                      1000.0, 10000.0);
-  config.trace.duration_s = opt.duration_h * 3600.0;
+  config.trace.duration_s = spec.duration_h * 3600.0;
   config.trace.max_lifetime_s = std::min(config.trace.duration_s, 8.0 * 3600.0);
-  config.trace.low_priority_fraction = opt.low_pri_fraction;
-  config.trace.seed = static_cast<uint64_t>(opt.seed);
-  config.trace = WithTargetLoad(config.trace, opt.load, config.num_servers,
+  config.trace.low_priority_fraction = spec.low_pri_fraction;
+  config.trace.seed = spec.seed;
+  config.trace = WithTargetLoad(config.trace, spec.load, config.num_servers,
                                 config.server_capacity);
-  if (opt.diurnal) {
+  if (spec.diurnal) {
     config.arrivals.enabled = true;
-    config.arrivals.diurnal_amplitude = opt.diurnal_amplitude;
-    config.arrivals.diurnal_period_s = opt.diurnal_period_h * 3600.0;
-    config.arrivals.diurnal_phase_s = opt.diurnal_phase_h * 3600.0;
-    config.arrivals.burst_rate_per_s = opt.burst_rate_per_h / 3600.0;
-    config.arrivals.burst_duration_s = opt.burst_duration_s;
-    config.arrivals.burst_multiplier = opt.burst_multiplier;
-    config.arrivals.seed = static_cast<uint64_t>(opt.arrival_seed);
+    config.arrivals.diurnal_amplitude = spec.diurnal_amplitude;
+    config.arrivals.diurnal_period_s = spec.diurnal_period_h * 3600.0;
+    config.arrivals.diurnal_phase_s = spec.diurnal_phase_h * 3600.0;
+    config.arrivals.burst_rate_per_s = spec.burst_rate_per_h / 3600.0;
+    config.arrivals.burst_duration_s = spec.burst_duration_s;
+    config.arrivals.burst_multiplier = spec.burst_multiplier;
+    config.arrivals.seed = spec.arrival_seed;
+  }
+  if (spec.interactive) {
+    config.interactive.enabled = true;
+    config.interactive.fraction = spec.interactive_fraction;
+    config.interactive.seed = spec.interactive_seed;
+    config.interactive.slo_p99_ms = spec.slo_p99_ms;
+    config.interactive.slo_aware = spec.slo_policy != "uniform";
+    config.interactive.control_period_s = spec.slo_period_s;
+    config.interactive.rate_rps_per_cpu = spec.rate_rps_per_cpu;
+    config.interactive.rate_amplitude = spec.rate_amplitude;
+    config.interactive.rate_period_s = spec.rate_period_h * 3600.0;
   }
   config.reinflate_period_s = opt.reinflate_period_s;
   config.predictive_holdback = opt.predictive;
   config.recovery_grace_s = opt.recovery_grace_s;
   config.cluster.threads = static_cast<int>(opt.threads);
-  if (!common.fault_plan.empty()) {
-    Result<FaultPlan> plan = LoadFaultPlanFile(common.fault_plan);
+  if (!spec.fault_plan.empty()) {
+    Result<FaultPlan> plan = LoadFaultPlanFile(spec.fault_plan);
     if (!plan.ok()) {
       return Error{"cannot load fault plan: " + plan.error()};
     }
     config.fault_plan = std::move(plan.value());
     std::printf("injecting faults from %s (%zu rules, seed %llu)\n",
-                common.fault_plan.c_str(), config.fault_plan.rules.size(),
+                spec.fault_plan.c_str(), config.fault_plan.rules.size(),
                 static_cast<unsigned long long>(config.fault_plan.seed));
   }
 
@@ -151,8 +192,8 @@ Result<ClusterSimConfig> BuildFreshConfig(const Options& opt,
     return Error{"unknown --placement '" + opt.placement + "'"};
   }
 
-  if (!opt.trace_file.empty()) {
-    Result<std::vector<TraceEvent>> loaded = LoadTraceFile(opt.trace_file);
+  if (!spec.trace_file.empty()) {
+    Result<std::vector<TraceEvent>> loaded = LoadTraceFile(spec.trace_file);
     if (!loaded.ok()) {
       return Error{"cannot load trace: " + loaded.error()};
     }
@@ -162,7 +203,7 @@ Result<ClusterSimConfig> BuildFreshConfig(const Options& opt,
           config.trace.duration_s, config.explicit_trace.back().arrival_s + 3600.0);
     }
     std::printf("replaying %zu events from %s\n", config.explicit_trace.size(),
-                opt.trace_file.c_str());
+                spec.trace_file.c_str());
   }
   if (!opt.save_trace.empty()) {
     const std::vector<TraceEvent> generated =
@@ -235,6 +276,15 @@ int WriteOutputsAndReport(const Options& opt, const SimCommonOptions& common,
                 r.server_crashes, r.server_recoveries, r.crash_replacements,
                 r.crash_preemptions);
   }
+  if (cfg.interactive.enabled) {
+    std::printf("interactive         %ld web VMs, p99 target %.0fms (%s policy)\n",
+                r.interactive_vms, cfg.interactive.slo_p99_ms,
+                cfg.interactive.slo_aware ? "slo" : "uniform");
+    std::printf("slo                 violation rate %.3f, p99 mean %.1fms / "
+                "peak %.0fms, %ld reinflations, %ld victim deflations\n",
+                r.slo_violation_rate, r.slo_mean_p99_ms, r.slo_peak_p99_ms,
+                r.slo_reinflate_ops, r.slo_victim_deflations);
+  }
 
   if (opt.pricing) {
     const PricingModel model;
@@ -262,42 +312,94 @@ int main(int argc, char** argv) {
   parser.AddInt("servers", "number of physical servers", &opt.servers);
   parser.AddInt("server-cpus", "cores per server", &opt.server_cpus);
   parser.AddDouble("server-mem-gb", "memory per server (GB)", &opt.server_mem_gb);
-  parser.AddDouble("load", "offered CPU load as a fraction of capacity", &opt.load);
-  parser.AddDouble("duration-h", "simulated hours", &opt.duration_h);
-  parser.AddDouble("low-pri-fraction", "fraction of transient VM arrivals",
+  parser.AddString("workload",
+                   "load the workload from this spec file (`key = value` "
+                   "lines; see DESIGN.md §16); excludes the per-knob "
+                   "workload flags below",
+                   &opt.workload);
+  parser.AddDouble("load",
+                   "offered CPU load as a fraction of capacity "
+                   "(workload alias; prefer --workload)",
+                   &opt.load);
+  parser.AddDouble("duration-h", "simulated hours (workload alias)",
+                   &opt.duration_h);
+  parser.AddDouble("low-pri-fraction",
+                   "fraction of transient VM arrivals (workload alias)",
                    &opt.low_pri_fraction);
   parser.AddString("strategy", "deflation | preemption", &opt.strategy);
   parser.AddString("placement", "best-fit | first-fit | 2-choices", &opt.placement);
-  parser.AddInt("seed", "trace RNG seed", &opt.seed);
+  parser.AddInt("seed", "trace RNG seed (workload alias)", &opt.seed);
   parser.AddDouble("reinflate-period-s", "proactive reinflation period (0 = off)",
                    &opt.reinflate_period_s);
   parser.AddBool("predictive", "EWMA holdback during proactive reinflation",
                  &opt.predictive);
   parser.AddBool("pricing", "print the Section 8 pricing comparison", &opt.pricing);
-  parser.AddString("trace-file", "replay this CSV trace instead of generating",
+  parser.AddString("trace-file",
+                   "replay this CSV trace instead of generating "
+                   "(workload alias)",
                    &opt.trace_file);
   parser.AddString("save-trace", "write the generated trace to this CSV file",
                    &opt.save_trace);
   parser.AddBool("diurnal",
                  "draw arrivals from the diurnal/bursty generator instead of "
-                 "a flat-rate Poisson process (--load stays the mean)",
+                 "a flat-rate Poisson process (--load stays the mean) "
+                 "(workload alias)",
                  &opt.diurnal);
   parser.AddDouble("diurnal-amplitude",
-                   "sinusoidal rate swing around the mean, 0..1",
+                   "sinusoidal rate swing around the mean, 0..1 "
+                   "(workload alias)",
                    &opt.diurnal_amplitude);
-  parser.AddDouble("diurnal-period-h", "diurnal cycle length (hours)",
+  parser.AddDouble("diurnal-period-h", "diurnal cycle length (hours) "
+                   "(workload alias)",
                    &opt.diurnal_period_h);
-  parser.AddDouble("diurnal-phase-h", "offset of the first rate peak (hours)",
+  parser.AddDouble("diurnal-phase-h", "offset of the first rate peak (hours) "
+                   "(workload alias)",
                    &opt.diurnal_phase_h);
-  parser.AddDouble("burst-rate-per-h", "Poisson rate of burst onsets (0 = off)",
+  parser.AddDouble("burst-rate-per-h", "Poisson rate of burst onsets (0 = off) "
+                   "(workload alias)",
                    &opt.burst_rate_per_h);
-  parser.AddDouble("burst-duration-s", "length of each burst window",
+  parser.AddDouble("burst-duration-s", "length of each burst window "
+                   "(workload alias)",
                    &opt.burst_duration_s);
-  parser.AddDouble("burst-multiplier", "rate multiplier inside a burst",
+  parser.AddDouble("burst-multiplier", "rate multiplier inside a burst "
+                   "(workload alias)",
                    &opt.burst_multiplier);
   parser.AddInt("arrival-seed",
-                "RNG seed for diurnal arrival times (independent of --seed)",
+                "RNG seed for diurnal arrival times (independent of --seed) "
+                "(workload alias)",
                 &opt.arrival_seed);
+  parser.AddBool("interactive",
+                 "tag a fraction of transient VMs as interactive web servers "
+                 "with an SLO-aware deflation controller (workload alias)",
+                 &opt.interactive);
+  parser.AddDouble("interactive-fraction",
+                   "fraction of transient arrivals tagged interactive "
+                   "(workload alias)",
+                   &opt.interactive_fraction);
+  parser.AddInt("interactive-seed",
+                "RNG seed for interactive tagging (workload alias)",
+                &opt.interactive_seed);
+  parser.AddDouble("slo-p99-ms",
+                   "p99 latency target for interactive VMs, milliseconds "
+                   "(workload alias)",
+                   &opt.slo_p99_ms);
+  parser.AddString("slo-policy",
+                   "slo = SLO-aware controller, uniform = measure only "
+                   "(workload alias)",
+                   &opt.slo_policy);
+  parser.AddDouble("slo-period-s",
+                   "SLO controller check period, seconds (workload alias)",
+                   &opt.slo_period_s);
+  parser.AddDouble("rate-rps-per-cpu",
+                   "mean offered request rate per nominal CPU (workload alias)",
+                   &opt.rate_rps_per_cpu);
+  parser.AddDouble("rate-amplitude",
+                   "diurnal swing of the offered request rate, 0..1 "
+                   "(workload alias)",
+                   &opt.rate_amplitude);
+  parser.AddDouble("rate-period-h",
+                   "offered-rate cycle length (hours) (workload alias)",
+                   &opt.rate_period_h);
   parser.AddDouble("recovery-grace-s",
                    "probation before a recovered server takes placements",
                    &opt.recovery_grace_s);
@@ -344,12 +446,79 @@ int main(int argc, char** argv) {
   }
   const SimCommonOptions& common = options.common();
 
+  // Resolve the workload: --workload=FILE loads and validates a spec file;
+  // otherwise the deprecated flag aliases build the same spec (provenance
+  // line 0, so validation errors keep the --flag wording). Either way,
+  // ValidateWorkloadSpec owns every cross-key rule -- e.g. a replayed trace
+  // excluding the diurnal generator -- with one wording for both surfaces.
+  WorkloadSpec spec;
+  std::string spec_source = "<flags>";
+  if (parser.WasSet("workload")) {
+    for (const char* name : kWorkloadFlagNames) {
+      if (parser.WasSet(name)) {
+        return Fail("--workload and --" + std::string(name) +
+                    " cannot be combined (the workload spec file owns that "
+                    "setting)");
+      }
+    }
+    if (!opt.resume_from.empty()) {
+      return Fail("--resume-from and --workload cannot be combined (the "
+                  "snapshot already carries its workload)");
+    }
+    const Result<std::string> text = ReadFileToString(opt.workload);
+    if (!text.ok()) {
+      return Fail("cannot read --workload: " + text.error());
+    }
+    Result<WorkloadSpec> loaded = ParseWorkloadSpec(text.value(), opt.workload);
+    if (!loaded.ok()) {
+      return Fail(loaded.error());
+    }
+    spec = std::move(loaded.value());
+    spec_source = opt.workload;
+  } else {
+    spec.load = opt.load;
+    spec.duration_h = opt.duration_h;
+    spec.low_pri_fraction = opt.low_pri_fraction;
+    spec.seed = static_cast<uint64_t>(opt.seed);
+    spec.trace_file = opt.trace_file;
+    spec.fault_plan = common.fault_plan;
+    spec.diurnal = opt.diurnal;
+    spec.diurnal_amplitude = opt.diurnal_amplitude;
+    spec.diurnal_period_h = opt.diurnal_period_h;
+    spec.diurnal_phase_h = opt.diurnal_phase_h;
+    spec.burst_rate_per_h = opt.burst_rate_per_h;
+    spec.burst_duration_s = opt.burst_duration_s;
+    spec.burst_multiplier = opt.burst_multiplier;
+    spec.arrival_seed = static_cast<uint64_t>(opt.arrival_seed);
+    spec.interactive = opt.interactive;
+    spec.interactive_fraction = opt.interactive_fraction;
+    spec.interactive_seed = static_cast<uint64_t>(opt.interactive_seed);
+    spec.slo_p99_ms = opt.slo_p99_ms;
+    spec.slo_policy = opt.slo_policy;
+    spec.slo_period_s = opt.slo_period_s;
+    spec.rate_rps_per_cpu = opt.rate_rps_per_cpu;
+    spec.rate_amplitude = opt.rate_amplitude;
+    spec.rate_period_h = opt.rate_period_h;
+    for (const char* name : kWorkloadFlagNames) {
+      if (parser.WasSet(name)) {
+        spec.provenance.emplace(name, 0);
+      }
+    }
+  }
+  {
+    const Result<bool> valid = ValidateWorkloadSpec(spec, spec_source);
+    if (!valid.ok()) {
+      return Fail(valid.error());
+    }
+  }
+
   // Flag combinations that cannot mean anything: replaying an existing
   // trace leaves nothing newly generated to save, and a snapshot carries
-  // its own trace and fault plan.
+  // its own trace and fault plan. (Workload-internal exclusions like
+  // trace-file vs diurnal live in ValidateWorkloadSpec above.)
   for (const Result<bool>& check : {
            RejectFlagCombination(
-               "trace-file", !opt.trace_file.empty(), "save-trace",
+               "trace-file", !spec.trace_file.empty(), "save-trace",
                !opt.save_trace.empty(),
                "replaying an existing trace generates nothing to save"),
            RejectFlagCombination("resume-from", !opt.resume_from.empty(),
@@ -361,12 +530,12 @@ int main(int argc, char** argv) {
            RejectFlagCombination("resume-from", !opt.resume_from.empty(),
                                  "fault-plan", !common.fault_plan.empty(),
                                  "the snapshot already carries its fault plan"),
-           RejectFlagCombination("trace-file", !opt.trace_file.empty(),
-                                 "diurnal", opt.diurnal,
-                                 "a replayed trace carries its own arrival times"),
            RejectFlagCombination("resume-from", !opt.resume_from.empty(),
                                  "diurnal", opt.diurnal,
                                  "the snapshot already carries its trace"),
+           RejectFlagCombination("resume-from", !opt.resume_from.empty(),
+                                 "interactive", opt.interactive,
+                                 "the snapshot already carries its workload"),
            // The durable directory IS the checkpoint/resume mechanism; mixing
            // it with the single-snapshot flags would leave two sources of
            // truth for where the run restarts.
@@ -438,7 +607,7 @@ int main(int argc, char** argv) {
                   static_cast<long long>(
                       durable.value().session().events_executed()));
     } else {
-      Result<ClusterSimConfig> config = BuildFreshConfig(opt, common, telemetry);
+      Result<ClusterSimConfig> config = BuildFreshConfig(opt, spec, common, telemetry);
       if (!config.ok()) {
         return Fail(config.error());
       }
@@ -469,7 +638,7 @@ int main(int argc, char** argv) {
                 opt.resume_from.c_str(), session.value().now() / 3600.0,
                 static_cast<long long>(session.value().events_executed()));
   } else {
-    Result<ClusterSimConfig> config = BuildFreshConfig(opt, common, telemetry);
+    Result<ClusterSimConfig> config = BuildFreshConfig(opt, spec, common, telemetry);
     if (!config.ok()) {
       return Fail(config.error());
     }

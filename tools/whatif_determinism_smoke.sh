@@ -54,4 +54,26 @@ done
   --workers=4 --out=recovered.jsonl 2> /dev/null
 cmp cold.jsonl recovered.jsonl
 
+# --- 3. slo queries against an interactive-serving snapshot ---
+# DESIGN.md §16: the batch mixes measurement (no knobs), policy flips, and a
+# mix-fraction override; answers must not move with the worker count.
+"$SIM" --servers=10 --duration-h=6 --load=1.5 \
+  --diurnal --diurnal-period-h=2 --arrival-seed=17 \
+  --interactive --interactive-fraction=0.45 --slo-p99-ms=60 \
+  --slo-period-s=300 --rate-rps-per-cpu=120 --rate-period-h=2 \
+  --stop-after-h=3 --snapshot-out=slo.snap > /dev/null
+
+cat > slo.q <<'EOF'
+slo hours=1
+slo p99=40 policy=uniform hours=1
+slo p99=40 policy=slo hours=1
+slo fraction=0.8 hours=1
+EOF
+"$SERVER" --snapshot=slo.snap --queries=slo.q \
+  --workers=1 --out=slo_w1.jsonl 2> /dev/null
+"$SERVER" --snapshot=slo.snap --queries=slo.q \
+  --workers=8 --out=slo_w8.jsonl 2> /dev/null
+cmp slo_w1.jsonl slo_w8.jsonl
+grep -q '"violation_rate"' slo_w1.jsonl
+
 echo "whatif determinism smoke: OK"
